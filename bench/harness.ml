@@ -1,0 +1,60 @@
+(* Timing, slope fitting and table rendering for the experiment
+   harness.  Wall-clock times; each point is the best of [repeat]
+   runs so that one-off GC pauses do not distort the scaling fit. *)
+
+let time ?(repeat = 2) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* Least-squares slope of log2(y) against log2(x): the empirical
+   scaling exponent.  [O(n)] gives ~1, [O(n^2)] ~2; [O(n log n)]
+   lands slightly above 1. *)
+let loglog_slope points =
+  let points =
+    List.filter (fun (x, y) -> x > 0.0 && y > 0.0) points
+    |> List.map (fun (x, y) -> (log x /. log 2.0, log y /. log 2.0))
+  in
+  let n = float_of_int (List.length points) in
+  if n < 2.0 then nan
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+  end
+
+let hline width = print_endline (String.make width '-')
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) header)
+      all
+  in
+  let render row =
+    String.concat "  "
+      (List.map2 (fun w cell -> Printf.sprintf "%*s" w cell) widths row)
+  in
+  let total = List.fold_left ( + ) (2 * (List.length header - 1)) widths in
+  print_newline ();
+  print_endline title;
+  hline total;
+  print_endline (render header);
+  hline total;
+  List.iter (fun row -> print_endline (render row)) rows;
+  hline total
+
+let sec t = Printf.sprintf "%.4f" t
+let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.1fx" (a /. b)
+let slope s = if Float.is_nan s then "-" else Printf.sprintf "%.2f" s

@@ -1,0 +1,463 @@
+(* gbc — command-line front end: run choice programs, inspect the
+   compile-time stage analysis, print rewritings, enumerate models,
+   check stability, and run the built-in greedy demos. *)
+
+open Gbc
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match Parser.parse_program (read_file path) with
+  | prog -> Ok prog
+  | exception Parser.Error msg -> Error (`Msg (path ^ ": " ^ msg))
+  | exception Sys_error msg -> Error (`Msg msg)
+
+let print_model ?preds db =
+  match preds with
+  | None -> Format.printf "%a@?" Database.pp db
+  | Some preds ->
+    List.iter
+      (fun pred ->
+        List.iter
+          (fun row ->
+            Format.printf "%s(%s).@." pred
+              (String.concat ", " (List.map Value.to_string (Array.to_list row))))
+          (Database.facts_of db pred))
+      preds
+
+(* ---------------- common options ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
+
+let engine_conv = Arg.enum [ ("reference", `Reference); ("staged", `Staged) ]
+
+let engine_arg =
+  Arg.(value & opt engine_conv `Staged & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Evaluation engine: $(b,reference) (Choice Fixpoint) or $(b,staged) (Section-6 priority queues).")
+
+let preds_arg =
+  Arg.(value & opt (some (list string)) None & info [ "print" ] ~docv:"PREDS"
+         ~doc:"Comma-separated predicates to print (default: whole model).")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+         ~doc:"Random gamma policy with this seed (reference engine only).")
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let run file engine preds seed =
+    Result.bind (parse_file file) (fun prog ->
+        try
+          let db =
+            match engine, seed with
+            | `Reference, Some s -> Choice_fixpoint.model ~policy:(Random s) prog
+            | `Reference, None -> Choice_fixpoint.model prog
+            | `Staged, _ -> Stage_engine.model prog
+          in
+          print_model ?preds db;
+          Ok ()
+        with
+        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
+          Error (`Msg msg))
+  in
+  let doc = "Evaluate a choice program and print one stable model." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(term_result (const run $ file_arg $ engine_arg $ preds_arg $ seed_arg))
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let run file =
+    Result.bind (parse_file file) (fun prog ->
+        let report = Stage.analyze prog in
+        Format.printf "%a@?" Stage.pp_report report;
+        Ok ())
+  in
+  let doc = "Compile-time analysis: cliques, stage arguments, stage-stratification." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(term_result (const run $ file_arg))
+
+(* ---------------- rewrite ---------------- *)
+
+let rewrite_cmd =
+  let run file =
+    Result.bind (parse_file file) (fun prog ->
+        Format.printf "%a@." Pretty.pp_program (Rewrite.expand_all prog);
+        Ok ())
+  in
+  let doc = "Print the first-order rewriting (next, choice, extrema expanded to negation)." in
+  Cmd.v (Cmd.info "rewrite" ~doc) Term.(term_result (const run $ file_arg))
+
+(* ---------------- models ---------------- *)
+
+let models_cmd =
+  let max_arg =
+    Arg.(value & opt int 100 & info [ "max" ] ~docv:"N" ~doc:"Stop after N distinct models.")
+  in
+  let run file preds max_models =
+    Result.bind (parse_file file) (fun prog ->
+        try
+          let models = Choice_fixpoint.enumerate ~max_models prog in
+          Format.printf "%d model(s)@." (List.length models);
+          List.iteri
+            (fun i db ->
+              Format.printf "--- model %d ---@." (i + 1);
+              print_model ?preds db)
+            models;
+          Ok ()
+        with Choice_fixpoint.Unsupported msg -> Error (`Msg msg))
+  in
+  let doc = "Enumerate all choice models (small programs only)." in
+  Cmd.v (Cmd.info "models" ~doc)
+    Term.(term_result (const run $ file_arg $ preds_arg $ max_arg))
+
+(* ---------------- stable ---------------- *)
+
+let stable_cmd =
+  let run file engine =
+    Result.bind (parse_file file) (fun prog ->
+        try
+          let db =
+            match engine with
+            | `Reference -> Choice_fixpoint.model prog
+            | `Staged -> Stage_engine.model prog
+          in
+          let ok = Stable.is_stable prog db in
+          Format.printf "stable: %b@." ok;
+          if ok then Ok () else Error (`Msg "produced model is not stable")
+        with
+        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
+          Error (`Msg msg))
+  in
+  let doc = "Evaluate and verify the result against the Gelfond-Lifschitz reduct (Theorem 1)." in
+  Cmd.v (Cmd.info "stable" ~doc) Term.(term_result (const run $ file_arg $ engine_arg))
+
+(* ---------------- wellfounded ---------------- *)
+
+let wellfounded_cmd =
+  let run file =
+    Result.bind (parse_file file) (fun prog ->
+        try
+          let t = Wellfounded.compute (Rewrite.expand_all prog) in
+          Format.printf "total: %b@." (Wellfounded.is_total t);
+          let undef = Wellfounded.undefined t in
+          Format.printf "%d undefined atom(s)@." (List.length undef);
+          List.iter
+            (fun (pred, row) ->
+              Format.printf "  undefined: %s(%s)@." pred
+                (String.concat ", " (List.map Value.to_string (Array.to_list row))))
+            undef;
+          Ok ()
+        with Invalid_argument msg -> Error (`Msg msg))
+  in
+  let doc =
+    "Well-founded model of the rewritten program (choices show up as undefined atoms)."
+  in
+  Cmd.v (Cmd.info "wellfounded" ~doc) Term.(term_result (const run $ file_arg))
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ATOM"
+           ~doc:"Query atom, e.g. 'prm(X, Y, C, _)'.")
+  in
+  let magic_flag =
+    Arg.(value & flag & info [ "magic" ]
+           ~doc:"Use the magic-set rewriting (positive programs only).")
+  in
+  let run file engine q magic =
+    Result.bind (parse_file file) (fun prog ->
+        try
+          let goal =
+            match Parser.parse_rule ("query_goal <- " ^ q) with
+            | { Ast.body = [ Ast.Pos a ]; _ } -> a
+            | _ -> raise (Parser.Error "expected a single positive atom")
+          in
+          let vars = Ast.atom_vars goal in
+          let print_rows rows =
+            List.iter
+              (fun row ->
+                Format.printf "%s@."
+                  (String.concat ", "
+                     (List.map2
+                        (fun v x -> v ^ " = " ^ Value.to_string x)
+                        vars row)))
+              rows;
+            Format.printf "%d answer(s)@." (List.length rows)
+          in
+          if magic then begin
+            let var_positions =
+              List.mapi (fun i t -> (i, t)) goal.Ast.args
+              |> List.filter_map (fun (i, t) ->
+                     match t with Ast.Var _ -> Some i | _ -> None)
+            in
+            let rows = Magic.answers ~query:goal prog in
+            print_rows
+              (List.map (fun row -> List.map (fun i -> row.(i)) var_positions) rows);
+            Ok ()
+          end
+          else begin
+            let db =
+              match engine with
+              | `Reference -> Choice_fixpoint.model prog
+              | `Staged -> Stage_engine.model prog
+            in
+            let body = Eval.compile_body [ Ast.Pos goal ] in
+            let outs = List.map (fun v -> Ast.Var v) vars in
+            print_rows (Eval.solutions body db outs);
+            Ok ()
+          end
+        with
+        | Parser.Error msg -> Error (`Msg msg)
+        | Invalid_argument msg -> Error (`Msg msg)
+        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
+          Error (`Msg msg))
+  in
+  let doc = "Evaluate the program, then answer a query atom against the model." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(term_result (const run $ file_arg $ engine_arg $ query_arg $ magic_flag))
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let atom_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FACT"
+           ~doc:"Ground fact to explain, e.g. 'prm(0, 3, 5, 2)'.")
+  in
+  let run file engine text =
+    Result.bind (parse_file file) (fun prog ->
+        try
+          let goal =
+            match Parser.parse_rule ("query_goal <- " ^ text) with
+            | { Ast.body = [ Ast.Pos a ]; _ } -> a
+            | _ -> raise (Parser.Error "expected a single positive atom")
+          in
+          let row =
+            Array.of_list (List.map Ast.term_to_value goal.Ast.args)
+          in
+          let db =
+            match engine with
+            | `Reference -> Choice_fixpoint.model prog
+            | `Staged -> Stage_engine.model prog
+          in
+          (match Explain.fact prog db goal.Ast.pred row with
+          | Some node -> Format.printf "%a@?" Explain.pp node
+          | None -> Format.printf "not in the model@.");
+          Ok ()
+        with
+        | Parser.Error msg | Invalid_argument msg -> Error (`Msg msg)
+        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
+          Error (`Msg msg))
+  in
+  let doc = "Evaluate the program and print a derivation of a ground fact." in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(term_result (const run $ file_arg $ engine_arg $ atom_arg))
+
+(* ---------------- repl ---------------- *)
+
+let repl_cmd =
+  let run () =
+    let program = ref [] in
+    let print_err msg = Format.printf "error: %s@." msg in
+    let evaluate () =
+      try Ok (Stage_engine.model !program) with
+      | Stage_engine.Not_compilable _ -> (
+        try Ok (Choice_fixpoint.model !program)
+        with Choice_fixpoint.Unsupported msg -> Error msg)
+      | Choice_fixpoint.Unsupported msg -> Error msg
+    in
+    let answer_query text =
+      match Parser.parse_rule ("query_goal <- " ^ text) with
+      | exception Parser.Error msg -> print_err msg
+      | { Ast.body = [ Ast.Pos goal ]; _ } -> (
+        match evaluate () with
+        | Error msg -> print_err msg
+        | Ok db ->
+          let body = Eval.compile_body [ Ast.Pos goal ] in
+          let vars = Ast.atom_vars goal in
+          let rows = Eval.solutions body db (List.map (fun v -> Ast.Var v) vars) in
+          if vars = [] then Format.printf "%b@." (rows <> [])
+          else begin
+            List.iter
+              (fun row ->
+                Format.printf "%s@."
+                  (String.concat ", "
+                     (List.map2 (fun v x -> v ^ " = " ^ Value.to_string x) vars row)))
+              rows;
+            Format.printf "%d answer(s)@." (List.length rows)
+          end)
+      | _ -> print_err "queries take a single positive atom"
+    in
+    let handle_command line =
+      match String.split_on_char ' ' (String.trim line) with
+      | [ ":quit" ] | [ ":q" ] -> raise Exit
+      | [ ":clear" ] ->
+        program := [];
+        Format.printf "cleared@."
+      | [ ":list" ] -> Format.printf "%a@." Pretty.pp_program !program
+      | [ ":check" ] -> Format.printf "%a@?" Stage.pp_report (Stage.analyze !program)
+      | [ ":model" ] -> (
+        match evaluate () with
+        | Ok db -> Format.printf "%a@?" Database.pp db
+        | Error msg -> print_err msg)
+      | [ ":models" ] -> (
+        try
+          let models = Choice_fixpoint.enumerate ~max_models:50 !program in
+          Format.printf "%d model(s)@." (List.length models)
+        with Choice_fixpoint.Unsupported msg -> print_err msg)
+      | [ ":stable" ] -> (
+        match evaluate () with
+        | Ok db -> (
+          try Format.printf "stable: %b@." (Stable.is_stable !program db)
+          with Invalid_argument msg -> print_err msg)
+        | Error msg -> print_err msg)
+      | [ ":load"; path ] -> (
+        match parse_file path with
+        | Ok prog ->
+          program := !program @ prog;
+          Format.printf "loaded %d clause(s)@." (List.length prog)
+        | Error (`Msg msg) -> print_err msg)
+      | [ ":help" ] | [ ":h" ] ->
+        Format.printf
+          "clauses end with '.'; queries start with '?-'.@.commands: :model :models            :check :stable :list :load FILE :clear :quit@."
+      | _ -> print_err ("unknown command: " ^ line)
+    in
+    Format.printf "gbc repl — :help for commands, :quit to leave@.";
+    let buffer = Buffer.create 256 in
+    (try
+       while true do
+         Format.printf "%s @?" (if Buffer.length buffer = 0 then "gbc>" else "...>");
+         let line = try input_line stdin with End_of_file -> raise Exit in
+         let trimmed = String.trim line in
+         if Buffer.length buffer = 0 && String.length trimmed > 0 && trimmed.[0] = ':' then
+           handle_command trimmed
+         else if String.length trimmed >= 2 && String.sub trimmed 0 2 = "?-" then begin
+           let q = String.trim (String.sub trimmed 2 (String.length trimmed - 2)) in
+           let q =
+             if String.length q > 0 && q.[String.length q - 1] = '.' then
+               String.sub q 0 (String.length q - 1)
+             else q
+           in
+           answer_query q
+         end
+         else begin
+           Buffer.add_string buffer line;
+           Buffer.add_char buffer '\n';
+           if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = '.' then begin
+             let text = Buffer.contents buffer in
+             Buffer.clear buffer;
+             match Parser.parse_program text with
+             | clauses -> program := !program @ clauses
+             | exception Parser.Error msg -> print_err msg
+           end
+         end
+       done
+     with Exit -> ());
+    Ok ()
+  in
+  let doc = "Interactive session: enter clauses, ask '?-' queries, inspect analyses." in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(term_result (const run $ const ()))
+
+(* ---------------- demo ---------------- *)
+
+let demo_cmd =
+  let algo_arg =
+    let algos =
+      [ ("prim", `Prim); ("kruskal", `Kruskal); ("sort", `Sort); ("matching", `Matching);
+        ("tsp", `Tsp); ("huffman", `Huffman); ("dijkstra", `Dijkstra); ("scheduling", `Sched);
+        ("vcover", `Vcover); ("setcover", `Setcover) ]
+    in
+    Arg.(required & pos 0 (some (enum algos)) None & info [] ~docv:"ALGO"
+           ~doc:"One of: prim, kruskal, sort, matching, tsp, huffman, dijkstra, scheduling, vcover, setcover.")
+  in
+  let size_arg =
+    Arg.(value & opt int 64 & info [ "size" ] ~docv:"N" ~doc:"Workload size (nodes/items).")
+  in
+  let dseed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Workload seed.")
+  in
+  let run algo size seed engine =
+    let eng = match engine with `Reference -> Runner.Reference | `Staged -> Runner.Staged in
+    let time f =
+      let t0 = Sys.time () in
+      let r = f () in
+      (r, Sys.time () -. t0)
+    in
+    (match algo with
+       | `Prim ->
+         let g = Graph_gen.random_connected ~seed ~nodes:size ~extra_edges:(4 * size) in
+         let r, dt = time (fun () -> Prim.run eng g) in
+         Format.printf "prim: %d edges, weight %d (MST oracle %d), %.3fs@."
+           (List.length r.Prim.edges) r.Prim.weight (Graph_gen.mst_weight g) dt
+       | `Kruskal ->
+         let g = Graph_gen.random_connected ~seed ~nodes:size ~extra_edges:(4 * size) in
+         let r, dt = time (fun () -> Kruskal.run eng g) in
+         Format.printf "kruskal: %d edges, weight %d (MST oracle %d), %.3fs@."
+           (List.length r.Kruskal.edges) r.Kruskal.weight (Graph_gen.mst_weight g) dt
+       | `Sort ->
+         let rng = Rng.create seed in
+         let items = List.init size (fun i -> (Printf.sprintf "x%d" i, Rng.int rng 100_000)) in
+         let r, dt = time (fun () -> Sorting.run eng items) in
+         Format.printf "sort: %d items, sorted %b, %.3fs@." (List.length r)
+           (Sorting.is_sorted_permutation ~input:items r) dt
+       | `Matching ->
+         let rng = Rng.create seed in
+         let arcs =
+           List.init (4 * size) (fun i ->
+               (Rng.int rng size, size + Rng.int rng size, (i * 7919 mod 104729) + 1))
+           |> List.sort_uniq compare
+         in
+         let r, dt = time (fun () -> Matching.run eng arcs) in
+         Format.printf "matching: %d arcs selected, cost %d, %.3fs@."
+           (List.length r.Matching.arcs) r.Matching.cost dt
+       | `Tsp ->
+         let g = Graph_gen.complete ~seed ~nodes:size in
+         let r, dt = time (fun () -> Tsp.run eng g) in
+         Format.printf "tsp: chain of %d arcs, cost %d (procedural %d), %.3fs@."
+           (List.length r.Tsp.chain) r.Tsp.cost (Tsp.procedural g).Tsp.cost dt
+       | `Huffman ->
+         let letters = Text_gen.zipf ~seed ~letters:size in
+         let r, dt = time (fun () -> Huffman.run eng letters) in
+         Format.printf "huffman: %d merges, cost %d (optimal %d), %.3fs@." r.Huffman.merges
+           r.Huffman.internal_cost (Huffman.procedural_cost letters) dt
+       | `Dijkstra ->
+         let g = Graph_gen.random_connected ~seed ~nodes:size ~extra_edges:(4 * size) in
+         let r, dt = time (fun () -> Dijkstra.run eng g) in
+         Format.printf "dijkstra: %d nodes settled, %.3fs@." (List.length r) dt
+       | `Sched ->
+         let jobs = Interval_gen.random ~seed ~jobs:size ~horizon:(20 * size) in
+         let r, dt = time (fun () -> Scheduling.run eng jobs) in
+         Format.printf "scheduling: %d jobs selected of %d, %.3fs@." (List.length r) size dt
+       | `Vcover ->
+         let g = Graph_gen.random_connected ~seed ~nodes:size ~extra_edges:(2 * size) in
+         let r, dt = time (fun () -> Vertex_cover.run eng g) in
+         Format.printf "vertex cover: %d nodes cover %d edges (valid %b), %.3fs@."
+           (List.length r.Vertex_cover.cover)
+           (List.length g.Graph_gen.edges)
+           (Vertex_cover.is_cover g r) dt
+       | `Setcover ->
+         let sets = Set_cover.random_instance ~seed ~sets:size ~universe:(4 * size) in
+         let r, dt = time (fun () -> Set_cover.run eng sets) in
+         Format.printf "set cover: %d sets cover %d/%d elements, %.3fs@." (List.length r)
+           (Set_cover.coverage sets r) (Set_cover.coverable sets) dt);
+    Ok ()
+  in
+  let doc = "Run a built-in greedy demo on a generated workload." in
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(term_result (const run $ algo_arg $ size_arg $ dseed_arg $ engine_arg))
+
+let () =
+  let doc = "Greedy by Choice: Datalog with choice, least/most and next (PODS'92)." in
+  let info = Cmd.info "gbc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; check_cmd; rewrite_cmd; models_cmd; stable_cmd; wellfounded_cmd;
+            query_cmd; explain_cmd; repl_cmd; demo_cmd ]))

@@ -1,0 +1,42 @@
+(* Huffman coding (Example 6): build the tree declaratively, read the
+   prefix codes off it and compress a sample sentence.
+
+   Run with:  dune exec examples/huffman_codes.exe *)
+
+open Gbc
+
+let sample =
+  "the greedy paradigm of algorithm design is a well known tool used for \
+   efficiently solving many classical computational problems"
+
+let () =
+  let letters = Text_gen.of_string sample in
+  Printf.printf "alphabet: %d distinct characters, %d total\n" (List.length letters)
+    (String.length sample);
+
+  let tree = Huffman.run Runner.Staged letters in
+  Printf.printf "weighted path length: %d (optimal: %d)\n" tree.Huffman.internal_cost
+    (Huffman.procedural_cost letters);
+  assert (tree.Huffman.internal_cost = Huffman.procedural_cost letters);
+
+  let codes = Huffman.codes tree.Huffman.root in
+  let code_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (sym, bits) -> Hashtbl.replace tbl sym bits) codes;
+    fun c -> Hashtbl.find tbl (Printf.sprintf "c_%d" (Char.code c))
+  in
+  print_endline "codes for the most frequent characters:";
+  let by_freq = List.sort (fun (_, a) (_, b) -> compare b a) letters in
+  List.iteri
+    (fun i (sym, freq) ->
+      if i < 8 then
+        let c = Scanf.sscanf sym "c_%d" Char.chr in
+        Printf.printf "  %C (freq %3d) -> %s\n" c freq (code_of c))
+    by_freq;
+
+  let encoded_bits =
+    String.to_seq sample |> Seq.fold_left (fun acc c -> acc + String.length (code_of c)) 0
+  in
+  Printf.printf "encoded size: %d bits vs %d bits in 8-bit ASCII (%.1f%%)\n" encoded_bits
+    (8 * String.length sample)
+    (100.0 *. float_of_int encoded_bits /. float_of_int (8 * String.length sample))

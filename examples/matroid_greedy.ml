@@ -1,0 +1,50 @@
+(* The conclusion's research program, made executable: matroid theory
+   explains exactly when "greedy by choice" is optimal.
+
+   - Kruskal's program optimizes over a graphic matroid: greedy finds
+     the minimum basis, and the declarative program finds the same tree.
+   - The matching program optimizes over the intersection of two
+     partition matroids, which fails the exchange axiom: greedy is
+     maximal but can be beaten.
+
+   Run with:  dune exec examples/matroid_greedy.exe *)
+
+open Gbc
+
+let () =
+  print_endline "=== Graphic matroid: Kruskal is matroid greedy ===";
+  let g = Graph_gen.random_connected ~seed:11 ~nodes:9 ~extra_edges:8 in
+  let weight_tbl = Hashtbl.create 32 in
+  List.iter (fun (u, v, c) -> Hashtbl.replace weight_tbl (u, v) c) g.Graph_gen.edges;
+  let m = Matroid.graphic ~nodes:9 (List.map (fun (u, v, _) -> (u, v)) g.Graph_gen.edges) in
+  Printf.printf "independence system: %b, exchange axiom: %b -> a matroid\n"
+    (Matroid.is_independence_system m) (Matroid.satisfies_exchange m);
+  let weight e = Hashtbl.find weight_tbl e in
+  let basis = Matroid.greedy ~weight m in
+  let basis_weight = List.fold_left (fun a e -> a + weight e) 0 basis in
+  let kruskal = Kruskal.run Runner.Staged g in
+  Printf.printf "matroid greedy basis weight : %d\n" basis_weight;
+  Printf.printf "declarative Kruskal weight  : %d\n" kruskal.Kruskal.weight;
+  Printf.printf "exhaustive optimum          : %d\n"
+    (Matroid.best_basis_weight ~weight m);
+  assert (basis_weight = kruskal.Kruskal.weight);
+  assert (basis_weight = Matroid.best_basis_weight ~weight m)
+
+let () =
+  print_endline "\n=== Matching: an intersection of matroids, not a matroid ===";
+  let arcs = [ (0, 10); (0, 11); (1, 10) ] in
+  let system =
+    Matroid.make ~ground:arcs ~independent:(fun s ->
+        let distinct f = List.length (List.sort_uniq compare (List.map f s)) = List.length s in
+        distinct fst && distinct snd)
+  in
+  Printf.printf "downward closed: %b, exchange axiom: %b -> NOT a matroid\n"
+    (Matroid.is_independence_system system)
+    (Matroid.satisfies_exchange system);
+  let weighted = [ (0, 10, 1); (0, 11, 2); (1, 10, 2) ] in
+  let greedy = Matching.run Runner.Staged weighted in
+  Printf.printf "greedy matching: %d arc(s) (maximal), but {(0,11),(1,10)} has 2 arcs\n"
+    (List.length greedy.Matching.arcs);
+  print_endline "\nexactly why the paper's conclusion reaches for matroid theory:";
+  print_endline "pushing least into a choice program is safe on matroids,";
+  print_endline "and only heuristic (a sub-optimal, Section 5) elsewhere."

@@ -1,0 +1,139 @@
+type binop = Add | Sub | Mul | Max | Min
+
+type term =
+  | Var of string
+  | Cst of Value.t
+  | Cmp of string * term list
+  | Binop of binop * term * term
+
+type cmp_op = Lt | Le | Gt | Ge | Eq | Ne
+type agg_op = Count | Sum
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Rel of cmp_op * term * term
+  | Choice of term list * term list
+  | Least of term * term list
+  | Most of term * term list
+  | Agg of agg_op * string * term * term list
+  | Next of string
+
+type rule = { head : atom; body : literal list }
+type program = rule list
+
+let atom pred args = { pred; args }
+let rule head body = { head; body }
+
+let var v = Var v
+let int n = Cst (Value.Int n)
+let sym s = Cst (Value.Sym s)
+
+let rec term_is_ground = function
+  | Var _ -> false
+  | Cst _ -> true
+  | Cmp (_, args) -> List.for_all term_is_ground args
+  | Binop (_, a, b) -> term_is_ground a && term_is_ground b
+
+let rec term_to_value = function
+  | Cst v -> v
+  | Cmp ("", args) -> Value.Tup (List.map term_to_value args)
+  | Cmp (f, args) -> Value.App (f, List.map term_to_value args)
+  | Var v -> invalid_arg ("Ast.term_to_value: unbound variable " ^ v)
+  | Binop (op, a, b) -> (
+    (* Ground arithmetic in fact heads, e.g. [p(0 - 5).]. *)
+    match op, term_to_value a, term_to_value b with
+    | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+    | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+    | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+    | Max, x, y -> if Value.compare x y >= 0 then x else y
+    | Min, x, y -> if Value.compare x y <= 0 then x else y
+    | (Add | Sub | Mul), _, _ ->
+      invalid_arg "Ast.term_to_value: arithmetic on non-integers")
+
+let rec value_to_term v =
+  match v with
+  | Value.Int _ | Value.Sym _ | Value.Str _ -> Cst v
+  | Value.Tup xs -> Cmp ("", List.map value_to_term xs)
+  | Value.App (f, xs) -> Cmp (f, List.map value_to_term xs)
+
+let fact pred values = { head = atom pred (List.map value_to_term values); body = [] }
+
+let is_fact r = r.body = [] && List.for_all term_is_ground r.head.args
+
+let add_var acc v = if v = "_" || List.mem v acc then acc else v :: acc
+
+let rec term_vars_acc acc = function
+  | Var v -> add_var acc v
+  | Cst _ -> acc
+  | Cmp (_, args) -> List.fold_left term_vars_acc acc args
+  | Binop (_, a, b) -> term_vars_acc (term_vars_acc acc a) b
+
+let term_vars t = List.rev (term_vars_acc [] t)
+let atom_vars_acc acc a = List.fold_left term_vars_acc acc a.args
+let atom_vars a = List.rev (atom_vars_acc [] a)
+
+let literal_vars_acc acc = function
+  | Pos a | Neg a -> atom_vars_acc acc a
+  | Rel (_, t1, t2) -> term_vars_acc (term_vars_acc acc t1) t2
+  | Choice (l, r) -> List.fold_left term_vars_acc (List.fold_left term_vars_acc acc l) r
+  | Least (c, ks) | Most (c, ks) -> List.fold_left term_vars_acc (term_vars_acc acc c) ks
+  | Agg (_, out, counted, ks) ->
+    List.fold_left term_vars_acc (term_vars_acc (add_var acc out) counted) ks
+  | Next v -> add_var acc v
+
+let literal_vars l = List.rev (literal_vars_acc [] l)
+
+let rule_vars r =
+  List.rev (List.fold_left literal_vars_acc (atom_vars_acc [] r.head) r.body)
+
+let positive_body_atoms r =
+  List.filter_map (function Pos a -> Some a | _ -> None) r.body
+
+let negative_body_atoms r =
+  List.filter_map (function Neg a -> Some a | _ -> None) r.body
+
+let body_preds r =
+  List.filter_map (function Pos a | Neg a -> Some a.pred | _ -> None) r.body
+
+let head_pred r = r.head.pred
+let has_next r = List.exists (function Next _ -> true | _ -> false) r.body
+let has_choice r = List.exists (function Choice _ -> true | _ -> false) r.body
+
+let has_extrema r =
+  List.exists (function Least _ | Most _ -> true | _ -> false) r.body
+
+let has_agg r = List.exists (function Agg _ -> true | _ -> false) r.body
+
+let rec rename_term f = function
+  | Var v -> Var (f v)
+  | Cst _ as t -> t
+  | Cmp (name, args) -> Cmp (name, List.map (rename_term f) args)
+  | Binop (op, a, b) -> Binop (op, rename_term f a, rename_term f b)
+
+let rename_atom f a = { a with args = List.map (rename_term f) a.args }
+
+let rename_literal f = function
+  | Pos a -> Pos (rename_atom f a)
+  | Neg a -> Neg (rename_atom f a)
+  | Rel (op, a, b) -> Rel (op, rename_term f a, rename_term f b)
+  | Choice (l, r) -> Choice (List.map (rename_term f) l, List.map (rename_term f) r)
+  | Least (c, ks) -> Least (rename_term f c, List.map (rename_term f) ks)
+  | Most (c, ks) -> Most (rename_term f c, List.map (rename_term f) ks)
+  | Agg (op, out, counted, ks) ->
+    Agg (op, f out, rename_term f counted, List.map (rename_term f) ks)
+  | Next v -> Next (f v)
+
+let rename_rule f r =
+  { head = rename_atom f r.head; body = List.map (rename_literal f) r.body }
+
+let choice_fds r =
+  List.filter_map (function Choice (l, rhs) -> Some (l, rhs) | _ -> None) r.body
+
+let fresh_counter = ref 0
+
+let fresh_var () =
+  incr fresh_counter;
+  Printf.sprintf "_G%d" !fresh_counter

@@ -1,0 +1,83 @@
+(** Abstract syntax of Datalog extended with the paper's meta-level
+    constructs: [choice], [least], [most] and [next]. *)
+
+type binop = Add | Sub | Mul | Max | Min
+
+type term =
+  | Var of string  (** logical variable (capitalized in the surface syntax) *)
+  | Cst of Value.t  (** constant *)
+  | Cmp of string * term list  (** compound term [t(X, Y)]; name [""] for tuples *)
+  | Binop of binop * term * term  (** interpreted arithmetic, e.g. [I1 + 1] *)
+
+type cmp_op = Lt | Le | Gt | Ge | Eq | Ne
+type agg_op = Count | Sum
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Rel of cmp_op * term * term
+      (** comparison, or binding equality when one side is an unbound var *)
+  | Choice of term list * term list
+      (** [choice((X..), (Y..))]: FD from left tuple to right tuple *)
+  | Least of term * term list  (** [least(C, Keys)] *)
+  | Most of term * term list  (** [most(C, Keys)] *)
+  | Agg of agg_op * string * term * term list
+      (** [count(N, E, Keys)] / [sum(N, E, Keys)]: bind [N] to the
+          count (sum) of distinct values of [E] among the solutions of
+          the rule's flat body, grouped by [Keys] — LDL-style
+          aggregates, for non-recursive grouping rules *)
+  | Next of string  (** [next(I)], [I] the stage variable *)
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+val atom : string -> term list -> atom
+val rule : atom -> literal list -> rule
+val fact : string -> Value.t list -> rule
+
+val is_fact : rule -> bool
+(** True when the body is empty and the head is ground. *)
+
+val var : string -> term
+val int : int -> term
+val sym : string -> term
+
+val term_vars : term -> string list
+(** Variables of a term, each listed once, in first-occurrence order.
+    The anonymous variable ["_"] is excluded everywhere below. *)
+
+val literal_vars : literal -> string list
+val atom_vars : atom -> string list
+val rule_vars : rule -> string list
+
+val positive_body_atoms : rule -> atom list
+val negative_body_atoms : rule -> atom list
+
+val body_preds : rule -> string list
+(** Predicate names referenced (positively or negatively) in the body. *)
+
+val head_pred : rule -> string
+
+val has_next : rule -> bool
+val has_choice : rule -> bool
+val has_extrema : rule -> bool
+val has_agg : rule -> bool
+
+val rename_rule : (string -> string) -> rule -> rule
+(** Apply a variable renaming throughout a rule. *)
+
+val term_is_ground : term -> bool
+val term_to_value : term -> Value.t
+(** @raise Invalid_argument on non-ground or arithmetic terms. *)
+
+val value_to_term : Value.t -> term
+
+val choice_fds : rule -> (term list * term list) list
+(** All [choice] goals of the rule, in order. *)
+
+val fresh_var : unit -> string
+(** A globally fresh variable name (used by rewritings and the parser's
+    anonymous-variable expansion). *)

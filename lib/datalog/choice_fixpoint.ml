@@ -1,0 +1,9 @@
+type policy = Engine_core.policy = First | Random of int
+type stats = Engine_core.stats = { gamma_steps : int; candidates_examined : int }
+
+exception Unsupported = Engine_core.Unsupported
+
+let run = Engine_core.run
+let model = Engine_core.model
+let enumerate = Engine_core.enumerate
+let find = Engine_core.find

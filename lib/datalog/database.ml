@@ -1,0 +1,93 @@
+type t = {
+  relations : (string, Relation.t) Hashtbl.t;
+  mutable order : string list; (* creation order, reversed *)
+}
+
+let create () = { relations = Hashtbl.create 32; order = [] }
+
+let relation db pred arity =
+  match Hashtbl.find_opt db.relations pred with
+  | Some r ->
+    if Relation.arity r <> arity then
+      invalid_arg
+        (Printf.sprintf "Database.relation: %s used with arity %d but declared with %d" pred arity
+           (Relation.arity r));
+    r
+  | None ->
+    let r = Relation.create pred arity in
+    Hashtbl.add db.relations pred r;
+    db.order <- pred :: db.order;
+    r
+
+let find db pred = Hashtbl.find_opt db.relations pred
+
+let add_fact db pred row = Relation.add (relation db pred (Array.length row)) row
+
+let mem_fact db pred row =
+  match find db pred with
+  | None -> false
+  | Some r -> Relation.arity r = Array.length row && Relation.mem r row
+
+let load_facts db rules =
+  List.iter
+    (fun r ->
+      if not (Ast.is_fact r) then
+        invalid_arg ("Database.load_facts: not a ground fact: " ^ Pretty.rule_to_string r);
+      let row = Array.of_list (List.map Ast.term_to_value r.Ast.head.Ast.args) in
+      ignore (add_fact db r.Ast.head.Ast.pred row))
+    rules
+
+let preds db = List.rev db.order
+
+let cardinal db =
+  Hashtbl.fold (fun _ r acc -> acc + Relation.cardinal r) db.relations 0
+
+let set_relation db name r =
+  if not (Hashtbl.mem db.relations name) then db.order <- name :: db.order;
+  Hashtbl.replace db.relations name r
+
+let remove_relation db name =
+  Hashtbl.remove db.relations name;
+  db.order <- List.filter (fun p -> not (String.equal p name)) db.order
+
+let copy db =
+  let relations = Hashtbl.create 32 in
+  Hashtbl.iter (fun name r -> Hashtbl.add relations name (Relation.copy r)) db.relations;
+  { relations; order = db.order }
+
+let facts_of db pred =
+  match find db pred with None -> [] | Some r -> Relation.to_list r
+
+let row_compare a b =
+  let rec go i =
+    if i = Array.length a then 0
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  let c = compare (Array.length a) (Array.length b) in
+  if c <> 0 then c else go 0
+
+let pp fmt db =
+  let preds = List.sort String.compare (preds db) in
+  List.iter
+    (fun pred ->
+      let rows = List.sort row_compare (facts_of db pred) in
+      List.iter
+        (fun row ->
+          Format.fprintf fmt "%s(%a).@." pred
+            (Format.pp_print_list
+               ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+               Value.pp)
+            (Array.to_list row))
+        rows)
+    preds
+
+let equal_on a b preds =
+  List.for_all
+    (fun pred ->
+      let ra = facts_of a pred and rb = facts_of b pred in
+      let sort = List.sort row_compare in
+      List.length ra = List.length rb
+      && List.for_all2 (fun x y -> row_compare x y = 0) (sort ra) (sort rb))
+    preds

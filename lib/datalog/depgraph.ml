@@ -1,0 +1,129 @@
+type polarity = Positive | Negative | Extremal
+
+type t = {
+  rules : Ast.rule list;
+  all_preds : string list;
+  idb_preds : string list;
+  edges : (string, (string * polarity) list) Hashtbl.t; (* head -> body deps *)
+  mutable cliques_memo : string list list option;
+}
+
+let rule_edges (r : Ast.rule) =
+  let extremal = Ast.has_extrema r || Ast.has_agg r in
+  List.filter_map
+    (fun lit ->
+      match lit with
+      | Ast.Pos a -> Some (a.Ast.pred, if extremal then Extremal else Positive)
+      | Ast.Neg a -> Some (a.Ast.pred, Negative)
+      | _ -> None)
+    r.Ast.body
+
+let make rules =
+  let edges = Hashtbl.create 32 in
+  let seen = Hashtbl.create 32 in
+  let order = ref [] in
+  let note p =
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      order := p :: !order
+    end
+  in
+  let idb = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      let h = Ast.head_pred r in
+      note h;
+      if not (Ast.is_fact r) then Hashtbl.replace idb h ();
+      let deps = rule_edges r in
+      List.iter (fun (p, _) -> note p) deps;
+      let existing = try Hashtbl.find edges h with Not_found -> [] in
+      Hashtbl.replace edges h (existing @ deps))
+    rules;
+  let all_preds = List.rev !order in
+  let idb_preds = List.filter (Hashtbl.mem idb) all_preds in
+  { rules; all_preds; idb_preds; edges; cliques_memo = None }
+
+let preds g = g.all_preds
+let idb g = g.idb_preds
+let edb g = List.filter (fun p -> not (List.mem p g.idb_preds)) g.all_preds
+
+let successors g p =
+  match Hashtbl.find_opt g.edges p with
+  | None -> []
+  | Some deps -> List.filter (fun (q, _) -> List.mem q g.idb_preds) deps
+
+(* Iterative Tarjan SCC; components come out reverse-topologically, so
+   we reverse at the end to get dependencies-first order. *)
+let compute_cliques g =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) g.idb_preds;
+  (* Tarjan emits a component before any component that depends on it is
+     closed, i.e. [!components] is already dependencies-last; reverse. *)
+  List.rev !components
+
+let cliques g =
+  match g.cliques_memo with
+  | Some c -> c
+  | None ->
+    let c = compute_cliques g in
+    g.cliques_memo <- Some c;
+    c
+
+let clique_index g p =
+  let rec go i = function
+    | [] -> raise Not_found
+    | c :: rest -> if List.mem p c then i else go (i + 1) rest
+  in
+  go 0 (cliques g)
+
+let edges_within g clique =
+  List.concat_map
+    (fun p ->
+      match Hashtbl.find_opt g.edges p with
+      | None -> []
+      | Some deps ->
+        List.filter_map
+          (fun (q, pol) -> if List.mem q clique then Some (p, q, pol) else None)
+          deps)
+    clique
+
+let rules_of_clique g clique =
+  List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (Ast.head_pred r) clique) g.rules
+
+let is_recursive g clique =
+  match clique with
+  | [] -> false
+  | [ p ] -> List.exists (fun (q, _) -> String.equal q p) (successors g p)
+  | _ -> true

@@ -1,0 +1,43 @@
+(** Predicate dependency graph, strongly connected components and
+    topological ordering — the clique structure of Section 4.
+
+    An edge [p -> q] exists when a rule with head predicate [p] uses [q]
+    in its body.  The edge is {e negative} when the occurrence is under
+    negation, and {e extremal} when the rule carries a [least]/[most]
+    goal (extrema behave like negation for stratification purposes: the
+    body must be saturated before the extremum is taken). *)
+
+type t
+
+type polarity = Positive | Negative | Extremal
+
+val make : Ast.program -> t
+
+val preds : t -> string list
+(** Every predicate occurring in the program (heads and bodies). *)
+
+val idb : t -> string list
+(** Predicates defined by at least one non-fact rule. *)
+
+val edb : t -> string list
+(** Predicates that occur only in bodies or as ground facts. *)
+
+val cliques : t -> string list list
+(** Strongly connected components of the dependency graph restricted to
+    IDB predicates, in topological order (dependencies first).  Each
+    component is the paper's {e recursive clique}; trivial components
+    are singletons. *)
+
+val clique_index : t -> string -> int
+(** Index of a predicate's clique in the {!cliques} list.
+    @raise Not_found for pure-EDB predicates. *)
+
+val edges_within : t -> string list -> (string * string * polarity) list
+(** Dependency edges with both endpoints inside the given clique. *)
+
+val rules_of_clique : t -> string list -> Ast.rule list
+(** Non-fact rules whose head is in the clique, in program order. *)
+
+val is_recursive : t -> string list -> bool
+(** A clique is recursive when it has more than one predicate or a
+    self-edge. *)

@@ -1,0 +1,479 @@
+open Ast
+
+type policy = First | Random of int
+type stats = { gamma_steps : int; candidates_examined : int }
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Compiled choice rules                                               *)
+(* ------------------------------------------------------------------ *)
+
+type extremum = { minimize : bool; key : term; cost : term }
+
+type crule = {
+  ridx : int;  (* index of chosen$ridx, matching Rewrite.expand_choice *)
+  head : atom;
+  vars : string list;  (* V: argument layout of chosen$ridx *)
+  out_terms : term list;
+  fds : (term list * term list) list;
+  body : Eval.body;
+  extrema : extremum list;
+  stage : (string * int) option;  (* next rules: stage var and head position *)
+}
+
+let is_choice_rule r = has_next r || has_choice r
+
+let stage_of_rule (r : Ast.rule) =
+  match List.find_map (function Next v -> Some v | _ -> None) r.body with
+  | None -> None
+  | Some v ->
+    let rec find i = function
+      | [] ->
+        raise
+          (Unsupported
+             (Printf.sprintf "stage variable %s of '%s' does not appear in the head" v
+                (Pretty.rule_to_string r)))
+      | Var x :: _ when String.equal x v -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    Some (v, find 0 r.head.args)
+
+let flat_literals (r : Ast.rule) =
+  List.filter
+    (function
+      | Next _ | Choice _ | Least _ | Most _ -> false
+      | Agg _ ->
+        raise
+          (Unsupported
+             ("aggregate goal in a choice rule: " ^ Pretty.rule_to_string r))
+      | Pos _ | Neg _ | Rel _ -> true)
+    r.body
+
+let extrema_of (r : Ast.rule) =
+  List.filter_map
+    (function
+      | Least (c, ks) -> Some { minimize = true; key = Cmp ("", ks); cost = c }
+      | Most (c, ks) -> Some { minimize = false; key = Cmp ("", ks); cost = c }
+      | _ -> None)
+    r.body
+
+let compile_crule ridx (r : Ast.rule) =
+  let stage = stage_of_rule r in
+  let fds =
+    match stage with
+    | None -> choice_fds r
+    | Some (v, pos) ->
+      let w = List.filteri (fun i _ -> i <> pos) r.head.args in
+      [ ([ Var v ], w); (w, [ Var v ]) ] @ choice_fds r
+  in
+  let vars = Rewrite.choice_vars fds in
+  let extra_bound = match stage with Some (v, _) -> [ v ] | None -> [] in
+  let body =
+    try Eval.compile_body ~extra_bound (flat_literals r)
+    with Eval.Unsafe msg ->
+      raise (Unsupported (Printf.sprintf "unsafe rule '%s': %s" (Pretty.rule_to_string r) msg))
+  in
+  { ridx; head = r.head; vars;
+    out_terms = List.map (fun v -> Var v) vars;
+    fds; body; extrema = extrema_of r; stage }
+
+(* The rewritten positive rule: head <- flat body, chosen$i(V).  The
+   extrema are dropped when the head is fully determined by V (always
+   the case for next rules), mirroring the paper's remark that the
+   upper least "only recomputes the one in the lower rule". *)
+let positive_rule cr (r : Ast.rule) =
+  let chosen_atom = atom (Rewrite.chosen_pred cr.ridx) cr.out_terms in
+  let head_determined =
+    List.for_all (fun v -> List.mem v cr.vars) (atom_vars r.head)
+  in
+  let keep_extrema = if head_determined then [] else List.filter
+      (function Least _ | Most _ -> true | _ -> false) r.body
+  in
+  { head = r.head; body = flat_literals r @ keep_extrema @ [ Pos chosen_atom ] }
+
+(* ------------------------------------------------------------------ *)
+(* FD bookkeeping                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate a choice-goal term under an assignment of V. *)
+let rec term_value lookup = function
+  | Var v -> lookup v
+  | Cst v -> v
+  | Cmp ("", args) -> Value.Tup (List.map (term_value lookup) args)
+  | Cmp (f, args) -> Value.App (f, List.map (term_value lookup) args)
+  | Binop (op, a, b) -> (
+    match op, term_value lookup a, term_value lookup b with
+    | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+    | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+    | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+    | Max, x, y -> if Value.compare x y >= 0 then x else y
+    | Min, x, y -> if Value.compare x y <= 0 then x else y
+    | (Add | Sub | Mul), _, _ -> raise (Unsupported "arithmetic on non-integers in choice goal"))
+
+type fd_state = {
+  cr : crule;
+  rel : Relation.t;  (* chosen$ridx, lives in the database *)
+  tables : Value.t Value.Tbl.t list;  (* per FD: L-projection -> R-projection *)
+  mutable mark : int;  (* replay watermark on [rel] *)
+}
+
+let fd_projections cr row (l, r) =
+  let lookup v =
+    let rec idx i = function
+      | [] -> invalid_arg ("choice variable not in V: " ^ v)
+      | x :: _ when String.equal x v -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    row.(idx 0 cr.vars)
+  in
+  (Value.Tup (List.map (term_value lookup) l), Value.Tup (List.map (term_value lookup) r))
+
+let make_fd_state db cr =
+  let rel = Database.relation db (Rewrite.chosen_pred cr.ridx) (List.length cr.vars) in
+  { cr; rel; tables = List.map (fun _ -> Value.Tbl.create 64) cr.fds; mark = 0 }
+
+let replay_chosen st =
+  Relation.iter_from st.rel st.mark (fun row ->
+      List.iter2
+        (fun fd tbl ->
+          let l, r = fd_projections st.cr row fd in
+          Value.Tbl.replace tbl l r)
+        st.cr.fds st.tables);
+  st.mark <- Relation.cardinal st.rel
+
+(* FD-compatibility of a solution (projections computed from the
+   environment, so non-V constants inside choice goals work too). *)
+let compatible st projections =
+  List.for_all2
+    (fun tbl (l, r) ->
+      match Value.Tbl.find_opt tbl l with None -> true | Some r' -> Value.equal r r')
+    st.tables projections
+
+(* ------------------------------------------------------------------ *)
+(* Stage tracking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type tracker = { pred : string; pos : int; mutable mark : int; mutable maxv : int }
+
+let current_stage db tr =
+  (match Database.find db tr.pred with
+  | None -> ()
+  | Some rel ->
+    Relation.iter_from rel tr.mark (fun row ->
+        match row.(tr.pos) with
+        | Value.Int i -> if i > tr.maxv then tr.maxv <- i
+        | v ->
+          raise
+            (Unsupported
+               (Printf.sprintf "non-integer stage value %s in %s" (Value.to_string v) tr.pred)));
+    tr.mark <- Relation.cardinal rel);
+  tr.maxv
+
+(* ------------------------------------------------------------------ *)
+(* Candidate collection                                                *)
+(* ------------------------------------------------------------------ *)
+
+type candidate = {
+  c_st : fd_state;
+  c_row : Value.t array;  (* the new chosen$i tuple *)
+}
+
+let collect_candidates db st tracker examined =
+  let cr = st.cr in
+  replay_chosen st;
+  let env = Eval.fresh_env cr.body in
+  (match cr.stage, tracker with
+  | Some (v, _), Some tr ->
+    env.(Eval.slot cr.body v) <- Some (Value.Int (current_stage db tr + 1))
+  | None, None -> ()
+  | _ -> assert false);
+  (* All FD-compatible solutions, existing chosen rows included: the
+     existing rows act as witnesses that suppress costlier candidates
+     (cf. the bi_st_c example), while only new rows are candidates. *)
+  let seen = Value.Tbl.create 64 in
+  let solutions = ref [] in
+  Eval.run cr.body db env (fun env ->
+      incr examined;
+      let row = Array.of_list (Eval.eval_terms cr.body env cr.out_terms) in
+      let key = Value.Tup (Array.to_list row) in
+      if not (Value.Tbl.mem seen key) then begin
+        let projections =
+          List.map
+            (fun (l, r) ->
+              ( Value.Tup (List.map (fun t -> Eval.eval_term cr.body env t) l),
+                Value.Tup (List.map (fun t -> Eval.eval_term cr.body env t) r) ))
+            cr.fds
+        in
+        if compatible st projections then begin
+          Value.Tbl.add seen key ();
+          let kcs =
+            List.map
+              (fun e -> (Eval.eval_term cr.body env e.key, Eval.eval_term cr.body env e.cost))
+              cr.extrema
+          in
+          solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
+        end
+      end);
+  let solutions = List.rev !solutions in
+  (* Optimum per key for each extremum, over all compatible solutions. *)
+  let bests = List.map (fun _ -> Value.Tbl.create 16) cr.extrema in
+  List.iter
+    (fun (_, _, kcs) ->
+      List.iteri
+        (fun i (k, c) ->
+          let tbl = List.nth bests i in
+          let e = List.nth cr.extrema i in
+          match Value.Tbl.find_opt tbl k with
+          | None -> Value.Tbl.replace tbl k c
+          | Some best ->
+            let better =
+              if e.minimize then Value.compare c best < 0 else Value.compare c best > 0
+            in
+            if better then Value.Tbl.replace tbl k c)
+        kcs)
+    solutions;
+  List.filter_map
+    (fun (row, existing, kcs) ->
+      let optimal =
+        List.for_all2 (fun tbl (k, c) -> Value.compare (Value.Tbl.find tbl k) c = 0) bests kcs
+      in
+      if optimal && not existing then Some { c_st = st; c_row = row } else None)
+    solutions
+
+(* ------------------------------------------------------------------ *)
+(* Clique evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type clique_plan = {
+  crules : (crule * Ast.rule) list;  (* compiled choice rules with originals *)
+  flat : Ast.program;  (* flat rules + rewritten positive rules *)
+  sub_cliques : string list list;  (* stratified sub-structure of [flat] *)
+}
+
+let make_plan crules_in flat_rules =
+  let positives = List.map (fun (cr, r) -> positive_rule cr r) crules_in in
+  let flat = flat_rules @ positives in
+  let sub_graph = Depgraph.make flat in
+  { crules = crules_in; flat; sub_cliques = Depgraph.cliques sub_graph }
+
+let wrap_invalid f = try f () with Invalid_argument msg -> raise (Unsupported msg)
+
+type clique_state = {
+  plan : clique_plan;
+  fd_states : fd_state list;
+  trackers : tracker option list;  (* aligned with fd_states *)
+  saturators : Seminaive.incremental list;  (* one per flat sub-clique *)
+}
+
+let saturate_flat state =
+  wrap_invalid (fun () -> List.iter Seminaive.step state.saturators)
+
+let make_state db plan =
+  let saturators =
+    wrap_invalid (fun () ->
+        List.map
+          (fun sub -> Seminaive.make ~allow_clique_negation:true db ~clique:sub plan.flat)
+          plan.sub_cliques)
+  in
+  let fd_states = List.map (fun (cr, _) -> make_fd_state db cr) plan.crules in
+  let trackers =
+    List.map
+      (fun (cr, _) ->
+        match cr.stage with
+        | None -> None
+        | Some (_, pos) ->
+          ignore (Database.relation db cr.head.pred (List.length cr.head.args));
+          Some { pred = cr.head.pred; pos; mark = 0; maxv = 0 })
+      plan.crules
+  in
+  { plan; fd_states; trackers; saturators }
+
+let all_candidates db state examined =
+  List.concat
+    (List.map2
+       (fun st tr -> collect_candidates db st tr examined)
+       state.fd_states state.trackers)
+
+let fire db cand =
+  ignore (Relation.add cand.c_st.rel cand.c_row);
+  ignore db
+
+let eval_choice_clique ~policy db plan stats_steps stats_examined =
+  let state = make_state db plan in
+  let rng =
+    match policy with First -> None | Random seed -> Some (Random.State.make [| seed |])
+  in
+  saturate_flat state;
+  let rec loop () =
+    let cands = all_candidates db state stats_examined in
+    match cands with
+    | [] -> ()
+    | _ ->
+      let cand =
+        match rng with
+        | None -> List.hd cands
+        | Some st -> List.nth cands (Random.State.int st (List.length cands))
+      in
+      fire db cand;
+      incr stats_steps;
+      saturate_flat state;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Program driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type program_plan = {
+  facts : Ast.program;
+  cliques : [ `Plain of string list | `Choice of clique_plan ] list;
+}
+
+let plan_program program =
+  let facts, rules = List.partition Ast.is_fact program in
+  (* Number the choice rules exactly as Rewrite.expand_choice does on
+     the next-expanded program: program order among choice rules. *)
+  let counter = ref 0 in
+  let compiled =
+    List.map
+      (fun r ->
+        if is_choice_rule r then begin
+          let i = !counter in
+          incr counter;
+          `Choice (compile_crule i r, r)
+        end
+        else `Flat r)
+      rules
+  in
+  let graph = Depgraph.make (Rewrite.expand_next rules) in
+  let cliques =
+    List.map
+      (fun clique ->
+        let crules_in =
+          List.filter_map
+            (function
+              | `Choice ((cr : crule), r) when List.mem cr.head.pred clique -> Some (cr, r)
+              | _ -> None)
+            compiled
+        in
+        let flat_in =
+          List.filter_map
+            (function
+              | `Flat r when List.mem (head_pred r) clique -> Some r
+              | _ -> None)
+            compiled
+        in
+        if crules_in = [] then `Plain clique else `Choice (make_plan crules_in flat_in))
+      (Depgraph.cliques graph)
+  in
+  { facts; cliques }
+
+let run ?(policy = First) ?db program =
+  let db = match db with Some db -> db | None -> Database.create () in
+  let plan = plan_program program in
+  Database.load_facts db plan.facts;
+  let steps = ref 0 and examined = ref 0 in
+  List.iter
+    (fun clique ->
+      match clique with
+      | `Plain preds ->
+        wrap_invalid (fun () ->
+            try Seminaive.eval_clique db ~clique:preds (List.filter (fun r -> not (Ast.is_fact r)) program)
+            with Eval.Unsafe msg -> raise (Unsupported msg))
+      | `Choice cplan -> eval_choice_clique ~policy db cplan steps examined)
+    plan.cliques;
+  (db, { gamma_steps = !steps; candidates_examined = !examined })
+
+let model ?policy ?db program = fst (run ?policy ?db program)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration of all choice models                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Depth-first exploration of the gamma choices shared by [enumerate]
+   and [find].  Intermediate states are deduplicated by signature —
+   different firing orders converge on the same database, so without
+   the memo the search would pay once per permutation. *)
+let explore ?(max_models = 10_000) ?db ~accept program =
+  let base = match db with Some db -> Database.copy db | None -> Database.create () in
+  let plan = plan_program program in
+  Database.load_facts base plan.facts;
+  let examined = ref 0 in
+  let rules = List.filter (fun r -> not (Ast.is_fact r)) program in
+  let eval_plain preds db =
+    wrap_invalid (fun () -> Seminaive.eval_clique db ~clique:preds rules);
+    [ db ]
+  in
+  let signature db = Format.asprintf "%a" Database.pp db in
+  let found = ref [] in
+  let nfound = ref 0 in
+  let explore_choice cplan db =
+    let visited = Hashtbl.create 64 in
+    let leaves = ref [] in
+    let rec go db state =
+      match all_candidates db state examined with
+      | [] -> leaves := db :: !leaves
+      | cands ->
+        List.iter
+          (fun cand ->
+            let db' = Database.copy db in
+            let state' = make_state db' cplan in
+            let cand' =
+              { cand with
+                c_st =
+                  List.nth state'.fd_states
+                    (let rec idx i = function
+                       | [] -> assert false
+                       | st :: _ when st == cand.c_st -> i
+                       | _ :: rest -> idx (i + 1) rest
+                     in
+                     idx 0 state.fd_states) }
+            in
+            fire db' cand';
+            saturate_flat state';
+            let s = signature db' in
+            if not (Hashtbl.mem visited s) then begin
+              Hashtbl.add visited s ();
+              go db' state'
+            end)
+          cands
+    in
+    let state = make_state db cplan in
+    saturate_flat state;
+    go db state;
+    List.rev !leaves
+  in
+  let module Done = struct
+    exception Done
+  end in
+  (try
+     let dbs =
+       List.fold_left
+         (fun dbs clique ->
+           match clique with
+           | `Plain preds -> List.concat_map (eval_plain preds) dbs
+           | `Choice cplan -> List.concat_map (explore_choice cplan) dbs)
+         [ base ] plan.cliques
+     in
+     let seen = Hashtbl.create 64 in
+     List.iter
+       (fun db ->
+         let s = signature db in
+         if not (Hashtbl.mem seen s) then begin
+           Hashtbl.add seen s ();
+           if accept db then begin
+             found := db :: !found;
+             incr nfound;
+             if !nfound >= max_models then raise Done.Done
+           end
+         end)
+       dbs
+   with Done.Done -> ());
+  List.rev !found
+
+let enumerate ?max_models ?db program = explore ?max_models ?db ~accept:(fun _ -> true) program
+
+let find ?db ~accept program =
+  match explore ~max_models:1 ?db ~accept program with [] -> None | db :: _ -> Some db

@@ -1,0 +1,416 @@
+open Ast
+
+type env = Value.t option array
+
+exception Unsafe of string
+
+(* Slot-resolved terms. *)
+type pterm =
+  | PVar of int
+  | PCst of Value.t
+  | PCmp of string * pterm array
+  | PBinop of binop * pterm * pterm
+
+type guard = cmp_op * pterm * pterm
+
+type step =
+  | SScan of string * int * pterm array
+  | SNeg of string * int * pterm array * guard list
+  | STest of cmp_op * pterm * pterm
+  | SUnify of pterm * pterm
+
+type body = {
+  steps : step array;
+  slots : (string, int) Hashtbl.t;
+  nvars : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Term runtime                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let apply_binop op a b =
+  match op, a, b with
+  | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+  | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | Max, x, y -> if Value.compare x y >= 0 then x else y
+  | Min, x, y -> if Value.compare x y <= 0 then x else y
+  | (Add | Sub | Mul), _, _ ->
+    raise (Unsafe "arithmetic on non-integer values")
+
+let rec eval_pterm (env : env) = function
+  | PVar s -> env.(s)
+  | PCst v -> Some v
+  | PCmp (f, args) ->
+    let n = Array.length args in
+    let out = Array.make n Value.unit in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      match eval_pterm env args.(i) with
+      | Some v -> out.(i) <- v
+      | None -> ok := false
+    done;
+    if not !ok then None
+    else if f = "" then Some (Value.Tup (Array.to_list out))
+    else Some (Value.App (f, Array.to_list out))
+  | PBinop (op, a, b) -> (
+    match eval_pterm env a, eval_pterm env b with
+    | Some x, Some y -> Some (apply_binop op x y)
+    | _ -> None)
+
+(* Structural match of a pattern term against a ground value, binding
+   unbound variables into [env] and recording them on [trail]. *)
+let rec match_pterm env trail t v =
+  match t with
+  | PVar s -> (
+    match env.(s) with
+    | Some v' -> Value.equal v v'
+    | None ->
+      env.(s) <- Some v;
+      trail := s :: !trail;
+      true)
+  | PCst c -> Value.equal c v
+  | PCmp ("", args) -> (
+    match v with
+    | Value.Tup vs -> match_args env trail args vs
+    | _ -> false)
+  | PCmp (f, args) -> (
+    match v with
+    | Value.App (g, vs) when String.equal f g -> match_args env trail args vs
+    | _ -> false)
+  | PBinop (op, a, b) -> (
+    (* Invert simple integer arithmetic so that equations like
+       [I = J + 1] can bind [J] when [I] is already known. *)
+    match eval_pterm env t with
+    | Some v' -> Value.equal v v'
+    | None -> (
+      match op, v with
+      | Add, Value.Int s -> (
+        match eval_pterm env a, eval_pterm env b with
+        | Some (Value.Int x), None -> match_pterm env trail b (Value.Int (s - x))
+        | None, Some (Value.Int y) -> match_pterm env trail a (Value.Int (s - y))
+        | _ -> false)
+      | Sub, Value.Int s -> (
+        match eval_pterm env a, eval_pterm env b with
+        | Some (Value.Int x), None -> match_pterm env trail b (Value.Int (x - s))
+        | None, Some (Value.Int y) -> match_pterm env trail a (Value.Int (s + y))
+        | _ -> false)
+      | _ -> false))
+
+and match_args env trail args vs =
+  Array.length args = List.length vs
+  &&
+  let rec go i = function
+    | [] -> true
+    | v :: rest -> match_pterm env trail args.(i) v && go (i + 1) rest
+  in
+  go 0 vs
+
+let undo env trail = List.iter (fun s -> env.(s) <- None) !trail
+
+let test_cmp op a b =
+  let c = Value.compare a b in
+  match op with
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+  | Eq -> c = 0
+  | Ne -> c <> 0
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { tbl : (string, int) Hashtbl.t; mutable next : int }
+
+let slot_of ctx v =
+  match Hashtbl.find_opt ctx.tbl v with
+  | Some s -> s
+  | None ->
+    let s = ctx.next in
+    ctx.next <- s + 1;
+    Hashtbl.add ctx.tbl v s;
+    s
+
+let rec resolve ctx = function
+  | Var "_" -> PVar (slot_of ctx (Ast.fresh_var ()))
+  | Var v -> PVar (slot_of ctx v)
+  | Cst v -> PCst v
+  | Cmp (f, args) -> PCmp (f, Array.of_list (List.map (resolve ctx) args))
+  | Binop (op, a, b) -> PBinop (op, resolve ctx a, resolve ctx b)
+
+module SSet = Set.Make (String)
+
+let lit_name = function
+  | Pos a -> "atom " ^ a.pred
+  | Neg a -> "negated atom " ^ a.pred
+  | Rel _ -> "comparison"
+  | Choice _ -> "choice goal"
+  | Least _ | Most _ -> "extrema goal"
+  | Agg _ -> "aggregate goal"
+  | Next _ -> "next goal"
+
+(* Variables a positive occurrence of [lit] can bind. *)
+let binders = function
+  | Pos a -> atom_vars a
+  | Rel (Eq, a, b) ->
+    (* An equality can bind either side once the other is ground. *)
+    term_vars a @ term_vars b
+  | _ -> []
+
+let compile_body ?(extra_bound = []) lits =
+  List.iter
+    (fun l ->
+      match l with
+      | Pos _ | Neg _ | Rel _ -> ()
+      | Choice _ | Least _ | Most _ | Agg _ | Next _ ->
+        invalid_arg ("Eval.compile_body: non-flat literal: " ^ lit_name l))
+    lits;
+  (* Which variables ever become bound (fixpoint over Eq propagation). *)
+  let eventually =
+    let base =
+      List.fold_left
+        (fun acc l -> List.fold_left (fun acc v -> SSet.add v acc) acc (binders l))
+        (SSet.of_list extra_bound) lits
+    in
+    (* Positive atoms bind all their variables; Eq both sides are in
+       [base] already via [binders], which over-approximates — refined
+       by the planner below, which only fires a step when ready. *)
+    base
+  in
+  (* Locals of each negation: variables never bound positively. *)
+  let lits =
+    List.map
+      (fun l ->
+        match l with
+        | Neg a ->
+          let locals =
+            List.filter (fun v -> not (SSet.mem v eventually)) (atom_vars a)
+          in
+          `Neg (a, SSet.of_list locals)
+        | Pos a -> `Pos a
+        | Rel (op, x, y) -> `Rel (op, x, y)
+        | _ -> assert false)
+      lits
+  in
+  (* Attach guard comparisons to the negation owning their local vars. *)
+  let guards = Hashtbl.create 4 in
+  (* keyed by the negated atom (physical position via index) *)
+  let lits_idx = List.mapi (fun i l -> (i, l)) lits in
+  let guard_of = Hashtbl.create 4 in
+  List.iter
+    (fun (i, l) ->
+      match l with
+      | `Rel (op, x, y) ->
+        let vars = SSet.of_list (term_vars x @ term_vars y) in
+        let local_vars = SSet.filter (fun v -> not (SSet.mem v eventually)) vars in
+        if not (SSet.is_empty local_vars) then begin
+          (* Find the unique negation owning all these locals. *)
+          let owners =
+            List.filter_map
+              (fun (j, l') ->
+                match l' with
+                | `Neg (_, locals) when SSet.exists (fun v -> SSet.mem v locals) local_vars ->
+                  Some (j, locals)
+                | _ -> None)
+              lits_idx
+          in
+          match owners with
+          | [ (j, locals) ] when SSet.subset local_vars locals ->
+            Hashtbl.replace guards i j;
+            Hashtbl.replace guard_of i (op, x, y)
+          | [] ->
+            raise
+              (Unsafe
+                 (Printf.sprintf "comparison uses variable(s) %s never bound by a positive goal"
+                    (String.concat ", " (SSet.elements local_vars))))
+          | _ ->
+            raise (Unsafe "comparison mixes local variables of distinct negations")
+        end
+      | _ -> ())
+    lits_idx;
+  let ctx = { tbl = Hashtbl.create 16; next = 0 } in
+  List.iter (fun v -> ignore (slot_of ctx v)) extra_bound;
+  (* Greedy planning. *)
+  let remaining = ref (List.filter (fun (i, _) -> not (Hashtbl.mem guards i)) lits_idx) in
+  let bound = ref (SSet.of_list extra_bound) in
+  let steps = ref [] in
+  let all_bound t = List.for_all (fun v -> SSet.mem v !bound) (term_vars t) in
+  let resolve_guards j =
+    Hashtbl.fold
+      (fun i owner acc ->
+        if owner = j then
+          let op, x, y = Hashtbl.find guard_of i in
+          (op, resolve ctx x, resolve ctx y) :: acc
+        else acc)
+      guards []
+  in
+  let emit_atom a = (a.pred, List.length a.args, Array.of_list (List.map (resolve ctx) a.args)) in
+  let ready (j, l) =
+    match l with
+    | `Pos _ -> true
+    | `Rel (Eq, x, y) -> all_bound x || all_bound y
+    | `Rel (_, x, y) -> all_bound x && all_bound y
+    | `Neg (a, locals) ->
+      List.for_all (fun v -> SSet.mem v locals || SSet.mem v !bound) (atom_vars a)
+      && List.for_all
+           (fun (_, x, y) ->
+             List.for_all
+               (fun v -> SSet.mem v locals || SSet.mem v !bound)
+               (term_vars x @ term_vars y))
+           (List.map
+              (fun (op, x, y) -> (op, x, y))
+              (Hashtbl.fold
+                 (fun i owner acc ->
+                   if owner = j then Hashtbl.find guard_of i :: acc else acc)
+                 guards []))
+  in
+  (* Preference: cheap filters first (tests, unifications, negations),
+     then positive scans in written order. *)
+  let pick () =
+    let filters, scans =
+      List.partition (fun (_, l) -> match l with `Pos _ -> false | _ -> true) !remaining
+    in
+    let try_list lst = List.find_opt ready lst in
+    match try_list filters with Some x -> Some x | None -> try_list scans
+  in
+  let rec plan () =
+    match !remaining with
+    | [] -> ()
+    | _ -> (
+      match pick () with
+      | None ->
+        let names =
+          String.concat ", "
+            (List.map
+               (fun (_, l) ->
+                 match l with
+                 | `Pos a -> a.pred
+                 | `Neg (a, _) -> "not " ^ a.pred
+                 | `Rel _ -> "comparison")
+               !remaining)
+        in
+        raise (Unsafe ("cannot order body literals safely: stuck on " ^ names))
+      | Some (j, l) ->
+        remaining := List.filter (fun (i, _) -> i <> j) !remaining;
+        (match l with
+        | `Pos a ->
+          let pred, arity, args = emit_atom a in
+          steps := SScan (pred, arity, args) :: !steps;
+          List.iter (fun v -> bound := SSet.add v !bound) (atom_vars a)
+        | `Rel (Eq, x, y) when not (all_bound x && all_bound y) ->
+          let ground, pat = if all_bound x then (x, y) else (y, x) in
+          steps := SUnify (resolve ctx pat, resolve ctx ground) :: !steps;
+          List.iter (fun v -> bound := SSet.add v !bound) (term_vars pat)
+        | `Rel (op, x, y) -> steps := STest (op, resolve ctx x, resolve ctx y) :: !steps
+        | `Neg (a, _) ->
+          let pred, arity, args = emit_atom a in
+          steps := SNeg (pred, arity, args, resolve_guards j) :: !steps);
+        plan ())
+  in
+  plan ();
+  { steps = Array.of_list (List.rev !steps); slots = ctx.tbl; nvars = ctx.next }
+
+let nvars b = b.nvars
+let slot b v = Hashtbl.find b.slots v
+let fresh_env b = Array.make (max 1 b.nvars) None
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scan_pattern env args =
+  Array.map
+    (fun t -> match eval_pterm env t with Some v -> Some v | None -> None)
+    args
+
+let neg_holds db env pred arity args guards =
+  match Database.find db pred with
+  | None -> true
+  | Some rel ->
+    if Relation.arity rel <> arity then
+      invalid_arg (Printf.sprintf "predicate %s used with arity %d and %d" pred (Relation.arity rel) arity);
+    let pattern = scan_pattern env args in
+    let found = ref false in
+    (try
+       Relation.iter_matching rel pattern (fun row ->
+           let trail = ref [] in
+           let matched =
+             match_args env trail args (Array.to_list row)
+             && List.for_all
+                  (fun (op, x, y) ->
+                    match eval_pterm env x, eval_pterm env y with
+                    | Some a, Some b -> test_cmp op a b
+                    | _ -> raise (Unsafe "unbound variable in negation guard"))
+                  guards
+           in
+           undo env trail;
+           if matched then begin
+             found := true;
+             raise Exit
+           end)
+     with Exit -> ());
+    not !found
+
+let run body db env k =
+  let nsteps = Array.length body.steps in
+  let rec exec i =
+    if i = nsteps then k env
+    else
+      match body.steps.(i) with
+      | SScan (pred, arity, args) -> (
+        match Database.find db pred with
+        | None -> ()
+        | Some rel ->
+          if Relation.arity rel <> arity then
+            invalid_arg
+              (Printf.sprintf "predicate %s used with arity %d and %d" pred (Relation.arity rel)
+                 arity);
+          let pattern = scan_pattern env args in
+          Relation.iter_matching rel pattern (fun row ->
+              let trail = ref [] in
+              if match_args env trail args (Array.to_list row) then exec (i + 1);
+              undo env trail))
+      | SNeg (pred, arity, args, guards) ->
+        if neg_holds db env pred arity args guards then exec (i + 1)
+      | STest (op, x, y) -> (
+        match eval_pterm env x, eval_pterm env y with
+        | Some a, Some b -> if test_cmp op a b then exec (i + 1)
+        | _ -> raise (Unsafe "unbound variable in comparison"))
+      | SUnify (pat, ground) -> (
+        match eval_pterm env ground with
+        | None -> raise (Unsafe "unbound variable in equality")
+        | Some v ->
+          let trail = ref [] in
+          if match_pterm env trail pat v then exec (i + 1);
+          undo env trail)
+  in
+  exec 0
+
+let eval_term body env t =
+  let ctx_resolve t =
+    let rec go = function
+      | Var v -> (
+        match Hashtbl.find_opt body.slots v with
+        | Some s -> PVar s
+        | None -> raise (Unsafe ("variable " ^ v ^ " does not occur in the body")))
+      | Cst v -> PCst v
+      | Cmp (f, args) -> PCmp (f, Array.of_list (List.map go args))
+      | Binop (op, a, b) -> PBinop (op, go a, go b)
+    in
+    go t
+  in
+  match eval_pterm env (ctx_resolve t) with
+  | Some v -> v
+  | None -> raise (Unsafe ("unbound variable in term " ^ Pretty.term_to_string t))
+
+let eval_terms body env ts = List.map (eval_term body env) ts
+
+let solutions body db ?(bindings = []) outs =
+  let env = fresh_env body in
+  List.iter (fun (v, value) -> env.(slot body v) <- Some value) bindings;
+  let acc = ref [] in
+  run body db env (fun env -> acc := eval_terms body env outs :: !acc);
+  List.rev !acc

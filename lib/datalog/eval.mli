@@ -1,0 +1,51 @@
+(** Compilation and evaluation of flat rule bodies.
+
+    A {e flat body} is a list of [Pos]/[Neg]/[Rel] literals — the
+    engines strip [choice]/[least]/[most]/[next] goals and handle them
+    separately.  Compilation assigns every variable an integer slot,
+    greedily orders the literals so that each is evaluated only when its
+    inputs are bound, and turns comparisons that constrain otherwise-
+    unbound variables of a negated atom into {e guards} scoped inside
+    that negation.  The guard treatment implements the paper's notation
+    [¬subtree(X, L1), L1 < I], where [L1] is existentially quantified
+    under the negation (cf. Example 6 and footnote 2).
+
+    Evaluation enumerates all satisfying assignments by backtracking
+    joins over {!Relation.iter_matching}, in relation insertion order —
+    engines rely on that order for deterministic tie-breaking. *)
+
+type env = Value.t option array
+
+type body
+
+exception Unsafe of string
+(** Raised at compile time when the body cannot be ordered safely
+    (e.g. a comparison or negation over variables never bound by a
+    positive literal). *)
+
+val compile_body : ?extra_bound:string list -> Ast.literal list -> body
+(** [extra_bound] names variables the engine binds before {!run}
+    (typically the stage variable of a [next] rule). *)
+
+val nvars : body -> int
+val slot : body -> string -> int
+(** Slot of a variable. @raise Not_found if the body never saw it. *)
+
+val fresh_env : body -> env
+
+val run : body -> Database.t -> env -> (env -> unit) -> unit
+(** [run body db env k] calls [k] once per satisfying assignment.  The
+    environment is mutated in place and restored between solutions;
+    [k] must not retain it (copy what it needs). *)
+
+val eval_term : body -> env -> Ast.term -> Value.t
+(** Evaluate a term (head argument, cost, key, ...) under [env].
+    @raise Unsafe when a variable is unbound. *)
+
+val eval_terms : body -> env -> Ast.term list -> Value.t list
+
+val solutions :
+  body -> Database.t -> ?bindings:(string * Value.t) list -> Ast.term list -> Value.t list list
+(** [solutions body db ~bindings outs] runs the body with the given
+    initial variable bindings and returns the evaluation of [outs] for
+    every solution, in enumeration order. *)

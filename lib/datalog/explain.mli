@@ -1,0 +1,35 @@
+(** Best-effort provenance: why is a fact in the model?
+
+    [fact] searches backwards for a derivation tree: a rule whose head
+    matches the fact and whose body is satisfied in the model, with the
+    positive subgoals explained recursively (acyclically — a fact never
+    justifies itself along one branch).  For rules carrying [choice] /
+    [next] / extrema goals the flat part of the body is checked and the
+    node is marked as a greedy selection; [chosen$i] facts and
+    extensional facts are leaves.
+
+    This is a diagnostic for users of the CLI ([gbc explain]), not a
+    proof object: it exhibits {e one} supported derivation. *)
+
+type node = {
+  pred : string;
+  row : Value.t array;
+  reason : reason;
+  children : node list;  (** positive subgoals, in rule order *)
+}
+
+and reason =
+  | Extensional  (** a fact of the program (or preloaded EDB) *)
+  | Rule of Ast.rule  (** derived by this rule *)
+  | Selected of Ast.rule  (** derived by a choice / next / extrema rule *)
+  | Chosen  (** a [chosen$i] memo tuple (a gamma step) *)
+  | Assumed  (** depth budget exhausted; the fact is in the model *)
+
+val fact :
+  ?max_depth:int -> Ast.program -> Database.t -> string -> Value.t array -> node option
+(** [fact program model pred row]: a derivation of [pred(row)] from
+    [program] within [model], or [None] when the fact is not in the
+    model at all.  [max_depth] defaults to 64. *)
+
+val pp : Format.formatter -> node -> unit
+(** Render as an indented tree. *)

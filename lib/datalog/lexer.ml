@@ -1,0 +1,214 @@
+type token =
+  | LIDENT of string
+  | UIDENT of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | ARROW
+  | NOT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | PLUS
+  | MINUS
+  | STAR
+  | UNDERSCORE
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_digit c || is_lower c || is_upper c || c = '_' || c = '\''
+
+type state = { src : string; mutable i : int; mutable line : int; mutable col : int }
+
+let peek st = if st.i < String.length st.src then Some st.src.[st.i] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.i <- st.i + 1
+
+let here st = { line = st.line; col = st.col }
+
+let error st msg = raise (Error (msg, here st))
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some ('%' | '#') ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.i in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.i - start)
+
+let lex_int st =
+  let start = st.i in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  int_of_string (String.sub st.src start (st.i - start))
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some c -> Buffer.add_char buf c
+      | None -> error st "unterminated escape");
+      advance st;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st =
+  skip_ws st;
+  let pos = here st in
+  let tok =
+    match peek st with
+    | None -> EOF
+    | Some c when is_digit c -> INT (lex_int st)
+    | Some c when is_lower c ->
+      let id = lex_ident st in
+      if id = "not" then NOT else LIDENT id
+    | Some c when is_upper c -> UIDENT (lex_ident st)
+    | Some '_' ->
+      let id = lex_ident st in
+      if id = "_" then UNDERSCORE else UIDENT id
+    | Some '"' -> STRING (lex_string st)
+    | Some '(' ->
+      advance st;
+      LPAREN
+    | Some ')' ->
+      advance st;
+      RPAREN
+    | Some ',' ->
+      advance st;
+      COMMA
+    | Some '.' ->
+      advance st;
+      DOT
+    | Some '+' ->
+      advance st;
+      PLUS
+    | Some '-' ->
+      advance st;
+      MINUS
+    | Some '*' ->
+      advance st;
+      STAR
+    | Some '~' ->
+      advance st;
+      NOT
+    | Some '=' ->
+      advance st;
+      EQ
+    | Some '!' ->
+      advance st;
+      (match peek st with
+      | Some '=' ->
+        advance st;
+        NE
+      | _ -> error st "expected '=' after '!'")
+    | Some '<' ->
+      advance st;
+      (match peek st with
+      | Some '-' ->
+        advance st;
+        ARROW
+      | Some '=' ->
+        advance st;
+        LE
+      | Some '>' ->
+        advance st;
+        NE
+      | _ -> LT)
+    | Some '>' ->
+      advance st;
+      (match peek st with
+      | Some '=' ->
+        advance st;
+        GE
+      | _ -> GT)
+    | Some ':' ->
+      advance st;
+      (match peek st with
+      | Some '-' ->
+        advance st;
+        ARROW
+      | _ -> error st "expected '-' after ':'")
+    | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+  in
+  (tok, pos)
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let ((tok, _) as t) = next_token st in
+    if tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | LIDENT s -> s
+  | UIDENT s -> s
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | ARROW -> "<-"
+  | NOT -> "not"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "="
+  | NE -> "!="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | UNDERSCORE -> "_"
+  | EOF -> "<eof>"

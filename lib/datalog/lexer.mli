@@ -1,0 +1,36 @@
+(** Hand-written lexer for the surface syntax.
+
+    Comments run from [%] or [#] to end of line.  [<-] and [:-] both
+    introduce rule bodies. *)
+
+type token =
+  | LIDENT of string  (** lowercase identifier: predicate / constant *)
+  | UIDENT of string  (** capitalized or [_]-prefixed identifier: variable *)
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | ARROW
+  | NOT  (** [not] / [~] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | PLUS
+  | MINUS
+  | STAR
+  | UNDERSCORE  (** the anonymous variable *)
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+val tokenize : string -> (token * pos) list
+(** @raise Error on any unrecognizable input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,155 @@
+open Ast
+
+type rewritten = { program : Ast.program; query_pred : string }
+
+let ( let* ) = Result.bind
+
+let adorned_name pred adornment = Printf.sprintf "%s$%s" pred adornment
+let magic_name pred adornment = Printf.sprintf "magic$%s$%s" pred adornment
+
+let check_positive program =
+  let bad =
+    List.find_opt
+      (fun r ->
+        List.exists
+          (function
+            | Pos _ | Rel _ -> false
+            | Neg _ | Choice _ | Least _ | Most _ | Agg _ | Next _ -> true)
+          r.body)
+      program
+  in
+  match bad with
+  | Some r -> Error ("Magic.rewrite: non-positive rule: " ^ Pretty.rule_to_string r)
+  | None -> Ok ()
+
+module SSet = Set.Make (String)
+
+(* Adornment of an atom given the currently bound variables: 'b' for an
+   argument whose variables are all bound (or which is ground). *)
+let adorn_atom bound a =
+  String.concat ""
+    (List.map
+       (fun t ->
+         let vars = term_vars t in
+         if vars <> [] && List.for_all (fun v -> SSet.mem v bound) vars then "b"
+         else if vars = [] then "b"
+         else "f")
+       a.args)
+
+let project_args adornment args =
+  List.filteri (fun i _ -> adornment.[i] = 'b') args
+
+let rewrite ~query program =
+  let* () = check_positive program in
+  let facts, rules = List.partition Ast.is_fact program in
+  let idb =
+    List.sort_uniq String.compare (List.map head_pred rules)
+  in
+  if not (List.mem query.pred idb) then
+    Error (Printf.sprintf "Magic.rewrite: %s is not an IDB predicate" query.pred)
+  else begin
+    let query_adornment =
+      String.concat ""
+        (List.map (fun t -> if term_is_ground t then "b" else "f") query.args)
+    in
+    (* Worklist over (pred, adornment) pairs. *)
+    let produced = Hashtbl.create 16 in
+    let out_rules = ref [] in
+    let queue = Queue.create () in
+    let demand pred adornment =
+      if List.mem pred idb && not (Hashtbl.mem produced (pred, adornment)) then begin
+        Hashtbl.add produced (pred, adornment) ();
+        Queue.push (pred, adornment) queue
+      end
+    in
+    demand query.pred query_adornment;
+    while not (Queue.is_empty queue) do
+      let pred, adornment = Queue.pop queue in
+      List.iter
+        (fun r ->
+          if head_pred r = pred then begin
+            let head_bound =
+              List.concat
+                (List.filteri
+                   (fun i _ -> adornment.[i] = 'b')
+                   (List.map term_vars r.head.args))
+            in
+            let magic_head =
+              atom (magic_name pred adornment) (project_args adornment r.head.args)
+            in
+            (* Left-to-right SIP: walk the body, adorn IDB atoms, emit a
+               magic rule for each, accumulate bindings. *)
+            let bound = ref (SSet.of_list head_bound) in
+            let prefix = ref [ Pos magic_head ] in
+            let new_body =
+              List.map
+                (fun lit ->
+                  match lit with
+                  | Pos a when List.mem a.pred idb ->
+                    let sub_adornment = adorn_atom !bound a in
+                    demand a.pred sub_adornment;
+                    let magic_rule =
+                      { head =
+                          atom (magic_name a.pred sub_adornment)
+                            (project_args sub_adornment a.args);
+                        body = List.rev !prefix }
+                    in
+                    out_rules := magic_rule :: !out_rules;
+                    let lit' = Pos { a with pred = adorned_name a.pred sub_adornment } in
+                    bound := SSet.union !bound (SSet.of_list (atom_vars a));
+                    prefix := lit' :: !prefix;
+                    lit'
+                  | Pos a ->
+                    bound := SSet.union !bound (SSet.of_list (atom_vars a));
+                    prefix := lit :: !prefix;
+                    lit
+                  | Rel _ ->
+                    prefix := lit :: !prefix;
+                    lit
+                  | _ -> assert false)
+                r.body
+            in
+            out_rules :=
+              { head = { r.head with pred = adorned_name pred adornment };
+                body = Pos magic_head :: new_body }
+              :: !out_rules
+          end)
+        rules
+    done;
+    let seed =
+      { head = atom (magic_name query.pred query_adornment) (project_args query_adornment query.args);
+        body = [] }
+    in
+    Ok
+      { program = facts @ (seed :: List.rev !out_rules);
+        query_pred = adorned_name query.pred query_adornment }
+  end
+
+let matches_query query row =
+  List.for_all2
+    (fun t v -> if term_is_ground t then Value.equal (term_to_value t) v else true)
+    query.args (Array.to_list row)
+
+(* Both sides evaluate with the semi-naive engine, so the benchmark
+   compares rewritings, not evaluators. *)
+let eval program = Engine_core.model program
+
+let answers ~query program =
+  match rewrite ~query program with
+  | Error msg -> invalid_arg msg
+  | Ok { program = rewritten; query_pred } ->
+    let db = eval rewritten in
+    List.filter (matches_query query) (Database.facts_of db query_pred)
+
+let answers_unoptimized ~query program =
+  let db = eval program in
+  List.filter (matches_query query) (Database.facts_of db query.pred)
+
+let facts_computed ~query program =
+  match rewrite ~query program with
+  | Error msg -> invalid_arg msg
+  | Ok { program = rewritten; _ } ->
+    let magic_db = eval rewritten in
+    let full_db = eval program in
+    (Database.cardinal magic_db - Database.cardinal (eval (List.filter Ast.is_fact program)),
+     Database.cardinal full_db - Database.cardinal (eval (List.filter Ast.is_fact program)))

@@ -1,0 +1,37 @@
+(** Magic-set rewriting for positive Datalog queries.
+
+    The engines of this library evaluate bottom-up, computing whole
+    relations; a deductive database also needs goal-directed query
+    answering (the substrate LDL systems of the era shipped exactly
+    this pair).  [rewrite] specializes a positive program to a query
+    atom: predicates are {e adorned} with bound/free argument patterns
+    (left-to-right sideways information passing), [magic$...] filter
+    predicates restrict each adorned rule to the bindings actually
+    demanded, and a seed fact carries the query constants.  Bottom-up
+    evaluation of the rewritten program then touches only the part of
+    the model relevant to the query.
+
+    Supported programs: positive rules (atoms and comparisons).
+    Negation, extrema and choice are out of scope — magic sets predate
+    and do not commute with the paper's non-monotonic constructs. *)
+
+type rewritten = {
+  program : Ast.program;  (** adorned rules + magic rules + seed *)
+  query_pred : string;  (** the adorned predicate answering the query *)
+}
+
+val rewrite : query:Ast.atom -> Ast.program -> (rewritten, string) result
+(** The bound positions of [query] are its ground arguments. *)
+
+val answers : query:Ast.atom -> Ast.program -> Value.t array list
+(** Evaluate the rewritten program bottom-up and return the rows of the
+    query predicate that match the query's ground arguments.
+    @raise Invalid_argument when {!rewrite} fails. *)
+
+val answers_unoptimized : query:Ast.atom -> Ast.program -> Value.t array list
+(** Full bottom-up evaluation followed by filtering — the oracle the
+    tests and the benchmark compare against. *)
+
+val facts_computed : query:Ast.atom -> Ast.program -> int * int
+(** [(magic, full)]: total facts derived by the magic-rewritten program
+    versus full evaluation — the work saved. *)

@@ -1,0 +1,95 @@
+let model_alias = "$model$"
+
+let check_plain rules =
+  List.iter
+    (fun r ->
+      List.iter
+        (fun lit ->
+          match lit with
+          | Ast.Pos _ | Ast.Neg _ | Ast.Rel _ -> ()
+          | Ast.Choice _ | Ast.Least _ | Ast.Most _ | Ast.Agg _ | Ast.Next _ ->
+            invalid_arg
+              ("Naive: rule contains a meta-level goal; expand it first: "
+              ^ Pretty.rule_to_string r))
+        r.Ast.body)
+    rules
+
+type compiled_rule = { rule : Ast.rule; body : Eval.body }
+
+let compile_rules rules =
+  List.map (fun r -> { rule = r; body = Eval.compile_body r.Ast.body }) rules
+
+let head_row cr env =
+  Array.of_list (Eval.eval_terms cr.body env cr.rule.Ast.head.Ast.args)
+
+(* One naive round: fire every rule once against the current database.
+   Returns whether any new fact was derived. *)
+let round db compiled =
+  List.fold_left
+    (fun changed cr ->
+      let additions = ref [] in
+      let env = Eval.fresh_env cr.body in
+      Eval.run cr.body db env (fun env -> additions := head_row cr env :: !additions);
+      List.fold_left
+        (fun changed row -> Database.add_fact db cr.rule.Ast.head.Ast.pred row || changed)
+        changed !additions)
+    false compiled
+
+let saturate db program =
+  let facts, rules = List.partition Ast.is_fact program in
+  check_plain rules;
+  Database.load_facts db facts;
+  let compiled = compile_rules rules in
+  while round db compiled do
+    ()
+  done
+
+(* Rename negated occurrences so they read from the fixed model. *)
+let redirect_negations rule =
+  let body =
+    List.map
+      (fun lit ->
+        match lit with
+        | Ast.Neg a -> Ast.Neg { a with Ast.pred = model_alias ^ a.Ast.pred }
+        | lit -> lit)
+      rule.Ast.body
+  in
+  { rule with Ast.body }
+
+let least_model_under ~model ~edb program =
+  let facts, rules = List.partition Ast.is_fact program in
+  check_plain rules;
+  let db = Database.copy edb in
+  Database.load_facts db facts;
+  (* Alias every negated predicate to the model's relation (an empty
+     one when the model never saw the predicate). *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun a ->
+          let pred = a.Ast.pred in
+          let rel =
+            match Database.find model pred with
+            | Some rel -> rel
+            | None -> Relation.create pred (List.length a.Ast.args)
+          in
+          Database.set_relation db (model_alias ^ pred) rel)
+        (Ast.negative_body_atoms r))
+    rules;
+  let compiled = compile_rules (List.map redirect_negations rules) in
+  while round db compiled do
+    ()
+  done;
+  (* Drop the alias relations from the result view. *)
+  let out = Database.create () in
+  List.iter
+    (fun pred ->
+      if
+        String.length pred < String.length model_alias
+        || String.sub pred 0 (String.length model_alias) <> model_alias
+      then
+        match Database.find db pred with
+        | Some rel -> Database.set_relation out pred rel
+        | None -> ())
+    (Database.preds db);
+  out

@@ -1,0 +1,22 @@
+(** Naive bottom-up evaluation.
+
+    Two uses: saturating small rule sets where performance is
+    irrelevant, and computing the least model of a Gelfond–Lifschitz
+    reduct, where negated atoms are tested against a {e fixed} model
+    database rather than the growing one. *)
+
+val saturate : Database.t -> Ast.program -> unit
+(** Fire all non-fact rules to fixpoint against (and into) [db].
+    Negation is tested against the growing database — the caller must
+    guarantee this is sound (e.g. negated predicates already saturated).
+    Extrema goals are evaluated as per-round group filters, which is
+    only meaningful for non-recursive extrema rules.  Facts in the
+    program are loaded first. *)
+
+val least_model_under : model:Database.t -> edb:Database.t -> Ast.program -> Database.t
+(** The least model of the reduct of [program] with respect to [model]:
+    start from a copy of [edb], fire rules to fixpoint, and evaluate
+    every negated goal against [model] (never against the growing
+    database).  The program must already be free of
+    [choice]/[least]/[most]/[next] goals (apply {!Rewrite.expand_all}
+    first). *)

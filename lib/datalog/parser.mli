@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the surface syntax.
+
+    Grammar sketch (see README for the full reference):
+    {v
+    program  ::= clause*
+    clause   ::= atom ( ("<-" | ":-") literals )? "."
+    literals ::= literal ("," literal)*
+    literal  ::= "not" atom
+               | "choice" "(" group "," group ")"
+               | ("least" | "most") "(" expr ("," group)? ")"
+               | "next" "(" VAR ")"
+               | expr (cmp expr)?          -- atom when no comparator follows
+    group    ::= "(" exprs? ")" | expr
+    expr     ::= arith over INT, VAR, "_", lident, strings, tuples,
+                 compound terms, max(_,_), min(_,_)
+    v}
+
+    Anonymous variables [_] are expanded to fresh variables. *)
+
+exception Error of string
+(** Raised with a message including line/column. *)
+
+val parse_program : string -> Ast.program
+val parse_rule : string -> Ast.rule
+(** Parse a single clause (trailing dot optional). *)
+
+val parse_term : string -> Ast.term

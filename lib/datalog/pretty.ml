@@ -1,0 +1,71 @@
+open Ast
+
+let comma fmt () = Format.pp_print_string fmt ", "
+let pp_list pp fmt xs = Format.pp_print_list ~pp_sep:comma pp fmt xs
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Max -> "max"
+  | Min -> "min"
+
+let rec pp_term fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Cst v -> Value.pp fmt v
+  | Cmp ("", args) -> Format.fprintf fmt "(%a)" (pp_list pp_term) args
+  | Cmp (f, args) -> Format.fprintf fmt "%s(%a)" f (pp_list pp_term) args
+  | Binop ((Max | Min) as op, a, b) ->
+    Format.fprintf fmt "%s(%a, %a)" (binop_name op) pp_term a pp_term b
+  | Binop (op, a, b) -> Format.fprintf fmt "%a %s %a" pp_atomic a (binop_name op) pp_atomic b
+
+and pp_atomic fmt t =
+  match t with
+  | Binop ((Add | Sub | Mul), _, _) -> Format.fprintf fmt "(%a)" pp_term t
+  | _ -> pp_term fmt t
+
+let pp_atom fmt { pred; args } =
+  match args with
+  | [] -> Format.pp_print_string fmt pred
+  | _ -> Format.fprintf fmt "%s(%a)" pred (pp_list pp_term) args
+
+let cmp_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "=" | Ne -> "!="
+
+let pp_group fmt = function
+  | [] -> Format.pp_print_string fmt "()"
+  | [ (Ast.Cmp ("", _) | Ast.Binop _) as t ] ->
+    (* A singleton group whose member is a tuple — or an arithmetic
+       term whose rendering may open with a parenthesis — needs extra
+       parens, or re-parsing would read it as a multi-member group. *)
+    Format.fprintf fmt "(%a)" pp_term t
+  | [ t ] -> pp_term fmt t
+  | ts -> Format.fprintf fmt "(%a)" (pp_list pp_term) ts
+
+let pp_literal fmt = function
+  | Pos a -> pp_atom fmt a
+  | Neg a -> Format.fprintf fmt "not %a" pp_atom a
+  | Rel (op, a, b) -> Format.fprintf fmt "%a %s %a" pp_term a (cmp_name op) pp_term b
+  | Choice (l, r) -> Format.fprintf fmt "choice(%a, %a)" pp_group l pp_group r
+  | Least (c, []) -> Format.fprintf fmt "least(%a)" pp_term c
+  | Least (c, ks) -> Format.fprintf fmt "least(%a, %a)" pp_term c pp_group ks
+  | Most (c, []) -> Format.fprintf fmt "most(%a)" pp_term c
+  | Most (c, ks) -> Format.fprintf fmt "most(%a, %a)" pp_term c pp_group ks
+  | Agg (op, out, counted, []) ->
+    Format.fprintf fmt "%s(%s, %a)" (match op with Count -> "count" | Sum -> "sum") out
+      pp_term counted
+  | Agg (op, out, counted, ks) ->
+    Format.fprintf fmt "%s(%s, %a, %a)" (match op with Count -> "count" | Sum -> "sum") out
+      pp_term counted pp_group ks
+  | Next v -> Format.fprintf fmt "next(%s)" v
+
+let pp_rule fmt { head; body } =
+  match body with
+  | [] -> Format.fprintf fmt "%a." pp_atom head
+  | _ -> Format.fprintf fmt "%a <- %a." pp_atom head (pp_list pp_literal) body
+
+let pp_program fmt rules =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_rule fmt rules
+
+let term_to_string t = Format.asprintf "%a" pp_term t
+let rule_to_string r = Format.asprintf "%a" pp_rule r
+let program_to_string p = Format.asprintf "%a" pp_program p

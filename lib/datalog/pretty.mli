@@ -1,0 +1,13 @@
+(** Pretty-printers for the surface syntax.  [Parser.parse_program] of a
+    pretty-printed program reproduces the original AST (round-trip
+    property, checked by the tests). *)
+
+val pp_term : Format.formatter -> Ast.term -> unit
+val pp_atom : Format.formatter -> Ast.atom -> unit
+val pp_literal : Format.formatter -> Ast.literal -> unit
+val pp_rule : Format.formatter -> Ast.rule -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val term_to_string : Ast.term -> string
+val rule_to_string : Ast.rule -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,127 @@
+type tuple = Value.t array
+
+module Row_key = struct
+  type t = tuple
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i = Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash row = Array.fold_left (fun h v -> (h * 1000003) lxor Value.hash v) 17 row
+end
+
+module Row_tbl = Hashtbl.Make (Row_key)
+
+(* An index for a set of bound columns: projection of the row on those
+   columns (as a [Value.Tup]) -> row ids, most recent first. *)
+type index = { columns : int list; buckets : int list ref Value.Tbl.t }
+
+type t = {
+  rel_name : string;
+  rel_arity : int;
+  mutable rows : tuple array;
+  mutable count : int;
+  seen : unit Row_tbl.t;
+  indexes : (int, index) Hashtbl.t; (* bitmask of bound columns -> index *)
+}
+
+let create rel_name rel_arity =
+  { rel_name; rel_arity; rows = [||]; count = 0; seen = Row_tbl.create 64;
+    indexes = Hashtbl.create 4 }
+
+let name r = r.rel_name
+let arity r = r.rel_arity
+let cardinal r = r.count
+
+let project row columns = Value.Tup (List.map (fun c -> row.(c)) columns)
+
+let index_add idx row_id row =
+  let key = project row idx.columns in
+  match Value.Tbl.find_opt idx.buckets key with
+  | Some ids -> ids := row_id :: !ids
+  | None -> Value.Tbl.add idx.buckets key (ref [ row_id ])
+
+let grow r row =
+  let cap = Array.length r.rows in
+  if r.count = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nrows = Array.make ncap row in
+    Array.blit r.rows 0 nrows 0 r.count;
+    r.rows <- nrows
+  end
+
+let add r row =
+  if Array.length row <> r.rel_arity then
+    invalid_arg
+      (Printf.sprintf "Relation.add: %s expects arity %d, got %d" r.rel_name r.rel_arity
+         (Array.length row));
+  if Row_tbl.mem r.seen row then false
+  else begin
+    Row_tbl.add r.seen row ();
+    grow r row;
+    r.rows.(r.count) <- row;
+    r.count <- r.count + 1;
+    Hashtbl.iter (fun _ idx -> index_add idx (r.count - 1) row) r.indexes;
+    true
+  end
+
+let mem r row = Row_tbl.mem r.seen row
+
+let iter r f =
+  for i = 0 to r.count - 1 do
+    f r.rows.(i)
+  done
+
+let iter_from r k f =
+  for i = k to r.count - 1 do
+    f r.rows.(i)
+  done
+
+let mask_of_columns columns = List.fold_left (fun m c -> m lor (1 lsl c)) 0 columns
+
+let get_index r columns =
+  let mask = mask_of_columns columns in
+  match Hashtbl.find_opt r.indexes mask with
+  | Some idx -> idx
+  | None ->
+    let idx = { columns; buckets = Value.Tbl.create 64 } in
+    for i = 0 to r.count - 1 do
+      index_add idx i r.rows.(i)
+    done;
+    Hashtbl.add r.indexes mask idx;
+    idx
+
+let iter_matching r pattern f =
+  if Array.length pattern <> r.rel_arity then
+    invalid_arg (Printf.sprintf "Relation.iter_matching: bad pattern arity for %s" r.rel_name);
+  let columns = ref [] in
+  for i = r.rel_arity - 1 downto 0 do
+    if pattern.(i) <> None then columns := i :: !columns
+  done;
+  match !columns with
+  | [] -> iter r f
+  | columns ->
+    let idx = get_index r columns in
+    let key = Value.Tup (List.map (fun c -> match pattern.(c) with Some v -> v | None -> assert false) columns) in
+    (match Value.Tbl.find_opt idx.buckets key with
+    | None -> ()
+    | Some ids ->
+      (* Reverse for insertion order: determinism of candidate choice. *)
+      List.iter (fun i -> f r.rows.(i)) (List.rev !ids))
+
+let fold r ~init ~f =
+  let acc = ref init in
+  iter r (fun row -> acc := f !acc row);
+  !acc
+
+let to_list r = List.rev (fold r ~init:[] ~f:(fun acc row -> row :: acc))
+
+let copy r =
+  { rel_name = r.rel_name;
+    rel_arity = r.rel_arity;
+    rows = Array.sub r.rows 0 r.count;
+    count = r.count;
+    seen = Row_tbl.copy r.seen;
+    indexes = Hashtbl.create 4 (* rebuilt lazily *) }

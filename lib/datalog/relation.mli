@@ -1,0 +1,46 @@
+(** Append-only relation storage with on-demand hash indexes.
+
+    Rows are kept in insertion order (engines rely on this for
+    deterministic tie-breaking), membership is a hash set, and an index
+    is built lazily for every distinct bound-column pattern that a query
+    uses.  Indexes are maintained incrementally on insertion, so any
+    lookup after the first is expected [O(1 + matches)].
+
+    Relations only grow — the semantics never retracts a fact — which is
+    what makes the watermark-based semi-naive deltas ({!cardinal} +
+    {!iter_from}) sound. *)
+
+type tuple = Value.t array
+
+type t
+
+val create : string -> int -> t
+(** [create name arity]. *)
+
+val name : t -> string
+val arity : t -> int
+val cardinal : t -> int
+
+val add : t -> tuple -> bool
+(** [add r row] returns [true] if the row was new.
+    @raise Invalid_argument on arity mismatch. *)
+
+val mem : t -> tuple -> bool
+
+val iter : t -> (tuple -> unit) -> unit
+(** All rows, in insertion order. *)
+
+val iter_from : t -> int -> (tuple -> unit) -> unit
+(** [iter_from r k f] applies [f] to rows [k, k+1, ...] in insertion
+    order — the semi-naive delta between two watermarks. *)
+
+val iter_matching : t -> Value.t option array -> (tuple -> unit) -> unit
+(** [iter_matching r pattern f]: rows agreeing with every [Some v]
+    position of [pattern].  Uses (and if needed builds) the index for
+    the pattern's bound-column set. *)
+
+val fold : t -> init:'a -> f:('a -> tuple -> 'a) -> 'a
+val to_list : t -> tuple list
+val copy : t -> t
+(** Deep enough a copy that further [add]s to either side are invisible
+    to the other (rows themselves are immutable values). *)

@@ -1,0 +1,152 @@
+open Ast
+
+let chosen_pred i = Printf.sprintf "chosen$%d" i
+let witness_pred i = Printf.sprintf "witness$%d" i
+
+let is_internal_pred p =
+  let has_prefix prefix =
+    String.length p > String.length prefix && String.sub p 0 (String.length prefix) = prefix
+  in
+  has_prefix "chosen$" || has_prefix "witness$"
+
+(* ------------------------------------------------------------------ *)
+(* next(I)                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stage_position rule stage_var =
+  let rec find i = function
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Rewrite.expand_next: stage variable %s of rule '%s' not in head"
+           stage_var
+           (Pretty.rule_to_string rule))
+    | Var v :: _ when String.equal v stage_var -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 rule.head.args
+
+let expand_next_rule rule =
+  match List.partition (function Next _ -> true | _ -> false) rule.body with
+  | [], _ -> [ rule ]
+  | [ Next stage_var ], rest ->
+    let pos = stage_position rule stage_var in
+    let w = List.filteri (fun i _ -> i <> pos) rule.head.args in
+    let prev = List.map (fun _ -> Var (Ast.fresh_var ())) rule.head.args in
+    let prev_stage =
+      match List.nth prev pos with Var v -> v | _ -> assert false
+    in
+    let self = atom rule.head.pred prev in
+    let body =
+      Pos self
+      :: Rel (Eq, Var stage_var, Binop (Add, Var prev_stage, Cst (Value.Int 1)))
+      :: Choice ([ Var stage_var ], w)
+      :: Choice (w, [ Var stage_var ])
+      :: rest
+    in
+    [ { rule with body } ]
+  | _ ->
+    invalid_arg
+      ("Rewrite.expand_next: multiple next goals in rule " ^ Pretty.rule_to_string rule)
+
+let expand_next program = List.concat_map expand_next_rule program
+
+(* ------------------------------------------------------------------ *)
+(* choice                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Variables of the choice goals of a rule, each once, in order. *)
+let choice_vars fds =
+  let add acc v = if List.mem v acc then acc else acc @ [ v ] in
+  List.fold_left
+    (fun acc (l, r) ->
+      let tvars ts = List.concat_map term_vars ts in
+      List.fold_left add acc (tvars l @ tvars r))
+    [] fds
+
+(* One negated [chosen_i] occurrence per FD: left-hand variables shared
+   with the rule, everything else fresh, plus the tuple-disequality
+   guard on the right-hand side. *)
+let fd_negation pred vars (l, r) =
+  let lvars = List.concat_map term_vars l in
+  let rvars = List.concat_map term_vars r in
+  let renaming = Hashtbl.create 8 in
+  let local v =
+    match Hashtbl.find_opt renaming v with
+    | Some v' -> v'
+    | None ->
+      let v' = Ast.fresh_var () in
+      Hashtbl.add renaming v v';
+      v'
+  in
+  let args =
+    List.map (fun v -> if List.mem v lvars then Var v else Var (local v)) vars
+  in
+  let r_fresh = List.map (fun v -> Var (local v)) rvars in
+  let r_orig = List.map (fun v -> Var v) rvars in
+  [ Neg (atom pred args); Rel (Ne, Cmp ("", r_fresh), Cmp ("", r_orig)) ]
+
+let expand_choice_rule counter rule =
+  match choice_fds rule with
+  | [] -> [ rule ]
+  | fds ->
+    let i = !counter in
+    incr counter;
+    let pred = chosen_pred i in
+    let vars = choice_vars fds in
+    let chosen_atom = atom pred (List.map (fun v -> Var v) vars) in
+    let flat = List.filter (function Choice _ -> false | _ -> true) rule.body in
+    let positive = { head = rule.head; body = flat @ [ Pos chosen_atom ] } in
+    let chosen_rule =
+      { head = chosen_atom; body = flat @ List.concat_map (fd_negation pred vars) fds }
+    in
+    [ positive; chosen_rule ]
+
+let expand_choice program =
+  let counter = ref 0 in
+  List.concat_map (expand_choice_rule counter) program
+
+(* ------------------------------------------------------------------ *)
+(* least / most                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let expand_extrema_rule counter rule =
+  let extrema, flat =
+    List.partition (function Least _ | Most _ -> true | _ -> false) rule.body
+  in
+  match extrema with
+  | [] -> [ rule ]
+  | _ ->
+    (* Each extremum gets its own witness over the rule's flat body. *)
+    let out_rules = ref [] in
+    let body = ref flat in
+    List.iter
+      (fun lit ->
+        let cost, keys, better_op =
+          match lit with
+          | Least (c, ks) -> (c, ks, Lt)
+          | Most (c, ks) -> (c, ks, Gt)
+          | _ -> assert false
+        in
+        let m = !counter in
+        incr counter;
+        let wpred = witness_pred m in
+        let key_tup = Cmp ("", keys) in
+        let witness_rule = { head = atom wpred [ key_tup; cost ]; body = flat } in
+        let c' = Var (Ast.fresh_var ()) in
+        let neg = [ Neg (atom wpred [ key_tup; c' ]); Rel (better_op, c', cost) ] in
+        out_rules := witness_rule :: !out_rules;
+        body := !body @ neg)
+      extrema;
+    { rule with body = !body } :: List.rev !out_rules
+
+let expand_extrema program =
+  List.iter
+    (fun r ->
+      if Ast.has_agg r then
+        invalid_arg
+          ("Rewrite: aggregates have no first-order expansion: " ^ Pretty.rule_to_string r))
+    program;
+  let counter = ref 0 in
+  List.concat_map (expand_extrema_rule counter) program
+
+let expand_all program = expand_extrema (expand_choice (expand_next program))

@@ -1,0 +1,49 @@
+(** The paper's first-order macro-expansions (Sections 2–3).
+
+    Applying {!expand_next}, then {!expand_choice}, then
+    {!expand_extrema} turns a program with [next]/[choice]/[least]/
+    [most] goals into a normal program whose only non-Horn construct is
+    negation — the program whose stable models define the semantics
+    (Section 4), used by the {!Stable} checker and the {!Stage}
+    analysis.
+
+    [diffChoice] is not materialized as a predicate.  A goal
+    [¬diffChoice_i(L, R)] is emitted as a negated [chosen_i] atom whose
+    [R]-positions hold fresh existential variables, guarded by a tuple
+    disequality — precisely the "generated on-the-fly" reading the
+    paper prescribes, and directly executable by {!Eval}'s scoped
+    negation. *)
+
+val chosen_pred : int -> string
+(** Name of the memo predicate for the [i]-th choice rule
+    (["chosen$i"]; [$] keeps it out of the user namespace). *)
+
+val is_internal_pred : string -> bool
+(** Predicates introduced by the rewritings (chosen / witness). *)
+
+val choice_vars : (Ast.term list * Ast.term list) list -> string list
+(** Variables of a rule's choice goals, each once, in first-occurrence
+    order — the argument list of its [chosen_i] predicate.  Exposed so
+    the engines memoize [chosen_i] tuples in exactly the layout the
+    rewriting defines (the stability checker depends on the match). *)
+
+val expand_next : Ast.program -> Ast.program
+(** Replace every [next(I)] goal by the paper's macro: a self-join on
+    the head predicate binding [I1], [I = I1 + 1], and the stage FDs
+    [choice(I, W)], [choice(W, I)].
+    @raise Invalid_argument if the stage variable does not appear in
+    the rule head. *)
+
+val expand_choice : Ast.program -> Ast.program
+(** Rewrite every rule carrying [choice] goals into the positive rule
+    over [chosen_i] plus the [chosen_i] rule with its FD-enforcing
+    negations. *)
+
+val expand_extrema : Ast.program -> Ast.program
+(** Rewrite every [least]/[most] goal into a negated witness: a fresh
+    predicate [witness$m(KeyTuple, Cost)] capturing the rule body, and a
+    guarded negation asserting no witness with equal keys and smaller
+    (greater) cost exists. *)
+
+val expand_all : Ast.program -> Ast.program
+(** [expand_extrema (expand_choice (expand_next p))]. *)

@@ -1,0 +1,262 @@
+open Ast
+
+let delta_suffix = "$delta"
+
+(* ------------------------------------------------------------------ *)
+(* Extrema rules                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type extremum = { minimize : bool; key : Ast.term; cost : Ast.term }
+
+let extrema_of rule =
+  List.filter_map
+    (function
+      | Least (c, ks) -> Some { minimize = true; key = Cmp ("", ks); cost = c }
+      | Most (c, ks) -> Some { minimize = false; key = Cmp ("", ks); cost = c }
+      | _ -> None)
+    rule.body
+
+let flat_body rule =
+  List.filter (function Least _ | Most _ | Agg _ -> false | _ -> true) rule.body
+
+let eval_extrema_rule db rule =
+  let extrema = extrema_of rule in
+  let body = Eval.compile_body (flat_body rule) in
+  let env = Eval.fresh_env body in
+  (* Solution: head row + per-extremum (key, cost). *)
+  let solutions = ref [] in
+  Eval.run body db env (fun env ->
+      let head = Array.of_list (Eval.eval_terms body env rule.head.args) in
+      let kcs =
+        List.map (fun e -> (Eval.eval_term body env e.key, Eval.eval_term body env e.cost)) extrema
+      in
+      solutions := (head, kcs) :: !solutions);
+  let solutions = List.rev !solutions in
+  (* Optimum per key, per extremum. *)
+  let bests = List.map (fun _ -> Value.Tbl.create 16) extrema in
+  List.iter
+    (fun (_, kcs) ->
+      List.iteri
+        (fun i (k, c) ->
+          let tbl = List.nth bests i in
+          let e = List.nth extrema i in
+          match Value.Tbl.find_opt tbl k with
+          | None -> Value.Tbl.replace tbl k c
+          | Some best ->
+            let better = if e.minimize then Value.compare c best < 0 else Value.compare c best > 0 in
+            if better then Value.Tbl.replace tbl k c)
+        kcs)
+    solutions;
+  let changed = ref false in
+  List.iter
+    (fun (head, kcs) ->
+      let optimal =
+        List.for_all2
+          (fun i_best (k, c) -> Value.compare (Value.Tbl.find i_best k) c = 0)
+          bests kcs
+      in
+      if optimal then changed := Database.add_fact db rule.head.pred head || !changed)
+    solutions;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate rules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One [count]/[sum] goal per rule: group the flat-body solutions by
+   the (evaluated) keys, aggregate the distinct counted values of each
+   group, bind the output variable and emit the heads. *)
+let eval_agg_rule db rule =
+  let op, out, counted, keys =
+    match List.filter_map (function Agg (o, v, c, k) -> Some (o, v, c, k) | _ -> None) rule.body with
+    | [ x ] -> x
+    | [] -> invalid_arg "Seminaive.eval_agg_rule: no aggregate goal"
+    | _ -> invalid_arg ("Seminaive: at most one aggregate per rule: " ^ Pretty.rule_to_string rule)
+  in
+  if Ast.has_extrema rule then
+    invalid_arg ("Seminaive: aggregate mixed with extremum: " ^ Pretty.rule_to_string rule);
+  let key_term = Cmp ("", keys) in
+  let body = Eval.compile_body (flat_body rule) in
+  let env = Eval.fresh_env body in
+  (* Head arguments: the output variable passes through, everything
+     else must be determined by the group (evaluated per solution,
+     first solution of the group wins — sound when head vars are key
+     vars, which the programs we accept satisfy). *)
+  let head_parts = Value.Tbl.create 16 in
+  let groups = Value.Tbl.create 16 in
+  Eval.run body db env (fun env ->
+      let key = Eval.eval_term body env key_term in
+      let v = Eval.eval_term body env counted in
+      (match Value.Tbl.find_opt groups key with
+      | Some set -> set := Value.Set.add v !set
+      | None -> Value.Tbl.add groups key (ref (Value.Set.singleton v)));
+      if not (Value.Tbl.mem head_parts key) then begin
+        let partial =
+          List.map
+            (fun t ->
+              match t with
+              | Var v when String.equal v out -> None
+              | t -> Some (Eval.eval_term body env t))
+            rule.head.args
+        in
+        Value.Tbl.add head_parts key partial
+      end);
+  let changed = ref false in
+  Value.Tbl.iter
+    (fun key set ->
+      let aggregate =
+        match op with
+        | Count -> Value.Int (Value.Set.cardinal !set)
+        | Sum ->
+          Value.Int
+            (Value.Set.fold (fun v acc -> acc + Value.as_int v) !set 0)
+      in
+      let row =
+        Array.of_list
+          (List.map
+             (function Some v -> v | None -> aggregate)
+             (Value.Tbl.find head_parts key))
+      in
+      changed := Database.add_fact db rule.head.pred row || !changed)
+    groups;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Rule checks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_clique_rule ~allow_clique_negation clique rule =
+  List.iter
+    (fun lit ->
+      match lit with
+      | Neg a when List.mem a.pred clique && not allow_clique_negation ->
+        invalid_arg
+          ("Seminaive: negation of clique predicate " ^ a.pred ^ " in "
+          ^ Pretty.rule_to_string rule)
+      | Choice _ | Next _ ->
+        invalid_arg ("Seminaive: choice/next goal in " ^ Pretty.rule_to_string rule)
+      | _ -> ())
+    rule.body;
+  if (Ast.has_extrema rule || Ast.has_agg rule) && not allow_clique_negation then
+    List.iter
+      (fun p ->
+        if List.mem p clique then
+          invalid_arg
+            ("Seminaive: extremum or aggregate over recursive predicate in "
+            ^ Pretty.rule_to_string rule))
+      (body_preds rule)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental semi-naive saturation                                   *)
+(* ------------------------------------------------------------------ *)
+
+type variant = { v_head : Ast.atom; v_body : Eval.body }
+
+(* Delta variants of a rule: one per positive occurrence of a tracked
+   predicate, reading that occurrence from [pred$delta]. *)
+let variants_of_rule tracked (rule : Ast.rule) =
+  let occurrences =
+    List.filter (function Pos a -> List.mem a.pred tracked | _ -> false) rule.body
+  in
+  let make i =
+    let occurrence = ref (-1) in
+    let delta = ref None in
+    let rest =
+      List.filter_map
+        (fun lit ->
+          match lit with
+          | Pos a when List.mem a.pred tracked ->
+            incr occurrence;
+            if !occurrence = i then begin
+              delta := Some (Pos { a with pred = a.pred ^ delta_suffix });
+              None
+            end
+            else Some lit
+          | lit -> Some lit)
+        rule.body
+    in
+    (* The delta occurrence goes first: it is the smallest relation, so
+       the join planner makes it the outer loop and a variant whose
+       delta is empty costs O(1). *)
+    let body = match !delta with Some d -> d :: rest | None -> assert false in
+    { v_head = rule.head; v_body = Eval.compile_body body }
+  in
+  List.init (List.length occurrences) make
+
+type incremental = {
+  db : Database.t;
+  tracked : string list;
+  variants : variant list;
+  extrema_rules : Ast.rule list;
+  watermarks : (string, int) Hashtbl.t;
+}
+
+let make ?(allow_clique_negation = false) db ~clique program =
+  let rules =
+    List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (head_pred r) clique) program
+  in
+  List.iter (check_clique_rule ~allow_clique_negation clique) rules;
+  (* Head relations must exist even when no rule ever fires. *)
+  List.iter
+    (fun (r : Ast.rule) ->
+      ignore (Database.relation db r.head.pred (List.length r.head.args)))
+    rules;
+  let agg_rules, rest = List.partition Ast.has_agg rules in
+  let extrema_rules, plain = List.partition Ast.has_extrema rest in
+  (* Aggregate rules are evaluated by the same group-then-emit schedule
+     as extrema rules. *)
+  let extrema_rules = extrema_rules @ agg_rules in
+  (* Track every positive body predicate: the first step then seeds
+     from the full relations, later steps only from what is new —
+     including facts added externally between steps. *)
+  let tracked =
+    List.sort_uniq String.compare
+      (clique
+      @ List.concat_map
+          (fun r -> List.map (fun a -> a.pred) (positive_body_atoms r))
+          (plain @ extrema_rules))
+  in
+  let variants = List.concat_map (variants_of_rule tracked) plain in
+  let watermarks = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace watermarks p 0) tracked;
+  { db; tracked; variants; extrema_rules; watermarks }
+
+let publish_deltas t =
+  List.fold_left
+    (fun any p ->
+      match Database.find t.db p with
+      | None -> any
+      | Some rel ->
+        let from = Hashtbl.find t.watermarks p in
+        let count = Relation.cardinal rel in
+        Hashtbl.replace t.watermarks p count;
+        let delta = Relation.create (p ^ delta_suffix) (Relation.arity rel) in
+        Relation.iter_from rel from (fun row -> ignore (Relation.add delta row));
+        Database.set_relation t.db (p ^ delta_suffix) delta;
+        any || count > from)
+    false t.tracked
+
+let fire db variant =
+  let env = Eval.fresh_env variant.v_body in
+  let additions = ref [] in
+  Eval.run variant.v_body db env (fun env ->
+      additions :=
+        Array.of_list (Eval.eval_terms variant.v_body env variant.v_head.args) :: !additions);
+  List.fold_left
+    (fun changed row -> Database.add_fact db variant.v_head.pred row || changed)
+    false !additions
+
+let step t =
+  let progressed = ref (publish_deltas t) in
+  while !progressed do
+    List.iter (fun v -> ignore (fire t.db v)) t.variants;
+    List.iter
+      (fun r ->
+        ignore (if Ast.has_agg r then eval_agg_rule t.db r else eval_extrema_rule t.db r))
+      t.extrema_rules;
+    progressed := publish_deltas t
+  done;
+  List.iter (fun p -> Database.remove_relation t.db (p ^ delta_suffix)) t.tracked
+
+let eval_clique ?allow_clique_negation db ~clique program =
+  step (make ?allow_clique_negation db ~clique program)

@@ -1,0 +1,46 @@
+(** Semi-naive saturation, one-shot and incremental.
+
+    The incremental form is what makes the engines meet the paper's
+    complexity bounds: a choice clique's flat rules are saturated after
+    {e every} gamma step, so re-seeding from scratch each time would
+    charge the whole database per stage.  {!make} captures persistent
+    per-predicate watermarks; each {!step} publishes only the rows that
+    appeared since the previous step (whether derived by the flat rules
+    themselves or added externally by the gamma operator — chosen
+    tuples, staged head facts) and fires only the delta variants.
+
+    Negation and extrema may only refer to predicates outside the
+    clique, except under [allow_clique_negation] — used by the choice
+    engines for stage-stratified cliques, where every in-clique
+    negation is strictly stage-bounded and thus tests only facts that
+    are final by the time the negating rule can fire (see DESIGN.md). *)
+
+type incremental
+
+val make :
+  ?allow_clique_negation:bool ->
+  Database.t ->
+  clique:string list ->
+  Ast.program ->
+  incremental
+(** Compile the non-fact rules whose heads lie in [clique].  Every
+    positive body predicate is delta-tracked, so the first {!step}
+    performs the seed evaluation and later steps are proportional to
+    the new facts.
+    @raise Invalid_argument on rules outside the supported class (see
+    above). *)
+
+val step : incremental -> unit
+(** Saturate to fixpoint given everything that is new since the last
+    call.  Extrema rules (non-recursive w.r.t. the clique) are
+    re-evaluated whenever the iteration makes progress. *)
+
+val eval_clique :
+  ?allow_clique_negation:bool -> Database.t -> clique:string list -> Ast.program -> unit
+(** One-shot: [make] followed by a single [step]. *)
+
+val eval_extrema_rule : Database.t -> Ast.rule -> bool
+(** Fire a rule containing [least]/[most] goals once: enumerate the
+    flat-body solutions, group each extremum by its (evaluated) keys,
+    keep the solutions achieving the optimum of {e every} extremum, and
+    insert their heads.  Returns [true] when a new fact was added. *)

@@ -1,0 +1,90 @@
+let witness_prefix = "witness$"
+
+let has_prefix prefix p =
+  String.length p >= String.length prefix && String.sub p 0 (String.length prefix) = prefix
+
+let is_witness p = has_prefix witness_prefix p
+
+let empty_db () = Database.create ()
+
+let complete ?edb program m =
+  let rewritten = Rewrite.expand_all program in
+  let witness_rules =
+    List.filter (fun r -> is_witness (Ast.head_pred r)) rewritten
+  in
+  (* Witness bodies read ordinary predicates and negate chosen$i — all
+     present in [m]; evaluate them once against [m] itself. *)
+  let base =
+    match edb with
+    | None -> Database.copy m
+    | Some edb ->
+      let db = Database.copy m in
+      List.iter
+        (fun pred ->
+          List.iter
+            (fun row -> ignore (Database.add_fact db pred row))
+            (Database.facts_of edb pred))
+        (Database.preds edb);
+      db
+  in
+  Naive.least_model_under ~model:base ~edb:base witness_rules
+
+let all_preds a b =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    (Database.preds a @ Database.preds b)
+
+let reduct_model ?edb program m =
+  let rewritten = Rewrite.expand_all program in
+  let completed = complete ?edb program m in
+  let base = match edb with None -> empty_db () | Some edb -> Database.copy edb in
+  Naive.least_model_under ~model:completed ~edb:base rewritten
+
+let is_stable ?edb program m =
+  let completed = complete ?edb program m in
+  let rewritten = Rewrite.expand_all program in
+  let base = match edb with None -> empty_db () | Some edb -> Database.copy edb in
+  let reduct = Naive.least_model_under ~model:completed ~edb:base rewritten in
+  Database.equal_on reduct completed (all_preds reduct completed)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force enumeration                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stable_models_brute ?edb ?(max_atoms = 16) program =
+  let rewritten = Rewrite.expand_all program in
+  let base = match edb with None -> empty_db () | Some edb -> Database.copy edb in
+  (* Upper bound on derivable atoms: least model with every negation
+     assumed to hold (negations evaluated against an empty model). *)
+  let upper = Naive.least_model_under ~model:(empty_db ()) ~edb:base rewritten in
+  let edb_facts = Database.copy base in
+  Database.load_facts edb_facts (List.filter Ast.is_fact rewritten);
+  let candidates =
+    List.concat_map
+      (fun pred ->
+        List.filter_map
+          (fun row -> if Database.mem_fact edb_facts pred row then None else Some (pred, row))
+          (Database.facts_of upper pred))
+      (Database.preds upper)
+  in
+  let n = List.length candidates in
+  if n > max_atoms then
+    invalid_arg
+      (Printf.sprintf "Stable.stable_models_brute: %d candidate atoms exceed the limit %d" n
+         max_atoms);
+  let models = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let m = Database.copy edb_facts in
+    List.iteri
+      (fun i (pred, row) -> if mask land (1 lsl i) <> 0 then ignore (Database.add_fact m pred row))
+      candidates;
+    let reduct = Naive.least_model_under ~model:m ~edb:base rewritten in
+    if Database.equal_on reduct m (all_preds reduct m) then models := m :: !models
+  done;
+  List.rev !models

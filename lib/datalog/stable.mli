@@ -1,0 +1,35 @@
+(** Stable-model machinery (Gelfond–Lifschitz).
+
+    Everything here works on the {e rewritten} program
+    ({!Rewrite.expand_all}): the normal program with negation whose
+    stable models define the semantics of choice programs (Section 4).
+    A model produced by an engine contains the [chosen$i] relations but
+    not the [witness$m] ones (those exist only in the rewriting);
+    {!complete} adds them.
+
+    These functions are exponential-free but build full least models,
+    so they are meant for validating engines on small instances —
+    the Theorem-1 tests ("every set of facts produced by the Choice
+    Fixpoint is a stable model") and the Lemma-2 completeness tests. *)
+
+val complete : ?edb:Database.t -> Ast.program -> Database.t -> Database.t
+(** [complete program m] extends a copy of [m] with the [witness$m]
+    facts the rewritten program derives under [m].  [edb] supplies
+    extensional facts that are not part of the program text. *)
+
+val reduct_model : ?edb:Database.t -> Ast.program -> Database.t -> Database.t
+(** Least model of the Gelfond–Lifschitz reduct of the rewritten
+    program with respect to [complete program m]. *)
+
+val is_stable : ?edb:Database.t -> Ast.program -> Database.t -> bool
+(** [is_stable program m]: is [complete program m] a stable model of
+    the rewritten program?  [m] is typically {!Choice_fixpoint.model}
+    output. *)
+
+val stable_models_brute : ?edb:Database.t -> ?max_atoms:int -> Ast.program -> Database.t list
+(** All stable models of the rewritten program, by exhaustive search
+    over subsets of the derivable-atom upper bound (the least model
+    with every negation assumed true).  Exponential: refuses to run
+    (raises [Invalid_argument]) when the candidate atom count exceeds
+    [max_atoms] (default 16).  Used to validate {!Choice_fixpoint.enumerate}
+    independently on paper-scale examples. *)

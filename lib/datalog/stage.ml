@@ -1,0 +1,314 @@
+open Ast
+
+type kind = Horn | Flat_stratified | Choice_clique
+
+type clique_report = {
+  preds : string list;
+  kind : kind;
+  next_rules : int;
+  choice_only_rules : int;
+  flat_rules : int;
+  stage_args : (string * int) list;
+  issues : string list;
+  notes : string list;
+}
+
+type report = { cliques : clique_report list; stage_stratified : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Provable bounds between variables of one rule                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Is [x >= y] (resp. [x > y]) provable from the rule's comparison and
+   equation goals?  One-hop only — deliberately conservative. *)
+let bound_facts rule =
+  List.filter_map
+    (fun lit ->
+      match lit with
+      | Rel (Lt, Var a, Var b) -> Some (`Gt (b, a))
+      | Rel (Le, Var a, Var b) -> Some (`Ge (b, a))
+      | Rel (Gt, Var a, Var b) -> Some (`Gt (a, b))
+      | Rel (Ge, Var a, Var b) -> Some (`Ge (a, b))
+      | Rel (Eq, Var a, Binop (Add, Var b, Cst (Value.Int k)))
+      | Rel (Eq, Binop (Add, Var b, Cst (Value.Int k)), Var a) ->
+        if k > 0 then Some (`Gt (a, b)) else if k = 0 then Some (`Ge (a, b)) else None
+      | Rel (Eq, Var a, Binop (Max, s, t)) | Rel (Eq, Binop (Max, s, t), Var a) ->
+        let vars = List.concat_map term_vars [ s; t ] in
+        Some (`Max (a, vars))
+      | _ -> None)
+    rule.body
+
+let bounds_ge facts x y =
+  String.equal x y
+  || List.exists
+       (function
+         | `Gt (a, b) | `Ge (a, b) -> String.equal a x && String.equal b y
+         | `Max (a, vars) -> String.equal a x && List.mem y vars)
+       facts
+
+let bounds_gt facts x y =
+  List.exists
+    (function
+      | `Gt (a, b) -> String.equal a x && String.equal b y
+      | `Ge _ | `Max _ -> false)
+    facts
+
+(* ------------------------------------------------------------------ *)
+(* Stage-predicate inference                                           *)
+(* ------------------------------------------------------------------ *)
+
+module SMap = Map.Make (String)
+module ISet = Set.Make (Int)
+
+let head_stage_var rule =
+  List.find_map (function Next v -> Some v | _ -> None) rule.body
+
+(* Positions in [head] holding a variable provably >= [y]. *)
+let head_positions_bounding facts head y =
+  List.filteri (fun _ _ -> true) head.args
+  |> List.mapi (fun i t -> (i, t))
+  |> List.filter_map (fun (i, t) ->
+         match t with Var x when bounds_ge facts x y -> Some i | _ -> None)
+
+let infer_stage_positions rules =
+  let stage = ref SMap.empty in
+  let add pred pos changed =
+    let cur = Option.value ~default:ISet.empty (SMap.find_opt pred !stage) in
+    if ISet.mem pos cur then changed
+    else begin
+      stage := SMap.add pred (ISet.add pos cur) !stage;
+      true
+    end
+  in
+  (* Seed: next rules. *)
+  let changed = ref false in
+  List.iter
+    (fun r ->
+      match head_stage_var r with
+      | None -> ()
+      | Some v ->
+        List.iteri
+          (fun i t ->
+            match t with
+            | Var x when String.equal x v -> changed := add r.head.pred i !changed
+            | _ -> ())
+          r.head.args)
+    rules;
+  (* Propagate through all rules. *)
+  let step () =
+    let changed = ref false in
+    List.iter
+      (fun r ->
+        if not (Ast.is_fact r) then begin
+          let facts = bound_facts r in
+          List.iter
+            (fun lit ->
+              match lit with
+              | Pos a | Neg a -> (
+                match SMap.find_opt a.pred !stage with
+                | None -> ()
+                | Some positions ->
+                  ISet.iter
+                    (fun pos ->
+                      match List.nth_opt a.args pos with
+                      | Some (Var y) ->
+                        List.iter
+                          (fun i -> changed := add r.head.pred i !changed)
+                          (head_positions_bounding facts r.head y)
+                      | _ -> ())
+                    positions)
+              | _ -> ())
+            r.body
+        end)
+      rules;
+    !changed
+  in
+  while step () do
+    ()
+  done;
+  !stage
+
+let stage_positions rules =
+  SMap.bindings (infer_stage_positions rules)
+  |> List.map (fun (p, s) -> (p, ISet.elements s))
+
+(* ------------------------------------------------------------------ *)
+(* Clique analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rule_is_recursive clique r = List.exists (fun p -> List.mem p clique) (body_preds r)
+
+type rule_class = Rnext | Rchoice | Rflat
+
+let classify r = if has_next r then Rnext else if has_choice r then Rchoice else Rflat
+
+(* Check one stage-predicate occurrence inside a rule.  [head_stage] is
+   the head's stage variable (as a string), [strict] whether the bound
+   must be strict.  Returns [Ok note option] or [Error msg]. *)
+let check_occurrence ~facts ~head_stage ~strict ~rule ~atom:a ~pos =
+  let where =
+    Printf.sprintf "%s occurrence in '%s'" a.pred (Pretty.rule_to_string rule)
+  in
+  match List.nth_opt a.args pos with
+  | None -> Error (Printf.sprintf "%s: missing stage argument %d" where pos)
+  | Some (Cst _) -> Ok (Some (Printf.sprintf "%s: constant stage argument accepted" where))
+  | Some (Var y) ->
+    let ok = if strict then bounds_gt facts head_stage y else bounds_ge facts head_stage y in
+    if ok then Ok None
+    else
+      Error
+        (Printf.sprintf "%s: stage variable %s not provably %s head stage %s" where y
+           (if strict then "<" else "<=")
+           head_stage)
+  | Some _ -> Error (Printf.sprintf "%s: stage argument is a compound term" where)
+
+let analyze rules =
+  let graph = Depgraph.make (Rewrite.expand_next rules) in
+  let stage = infer_stage_positions rules in
+  let stage_of p = Option.map ISet.elements (SMap.find_opt p stage) in
+  let cliques = Depgraph.cliques graph in
+  let analyze_clique clique =
+    let crules =
+      List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (head_pred r) clique) rules
+    in
+    let kind =
+      if List.exists (fun r -> has_next r || has_choice r) crules then Choice_clique
+      else if
+        List.exists
+          (fun r -> has_extrema r || negative_body_atoms r <> [])
+          crules
+      then Flat_stratified
+      else Horn
+    in
+    let issues = ref [] and notes = ref [] in
+    let issue msg = issues := msg :: !issues in
+    let note msg = notes := msg :: !notes in
+    let next_rules = List.filter (fun r -> classify r = Rnext) crules in
+    let choice_only = List.filter (fun r -> classify r = Rchoice) crules in
+    let flat_rules = List.filter (fun r -> classify r = Rflat) crules in
+    let stage_args = ref [] in
+    (match kind with
+    | Horn -> ()
+    | Flat_stratified ->
+      (* Negation/extrema must not cross inside the clique. *)
+      List.iter
+        (fun (p, q, pol) ->
+          match pol with
+          | Depgraph.Positive -> ()
+          | Depgraph.Negative ->
+            issue (Printf.sprintf "negation from %s to %s inside a recursive clique" p q)
+          | Depgraph.Extremal ->
+            issue (Printf.sprintf "extremum over %s inside the recursive clique of %s" q p))
+        (Depgraph.edges_within graph clique)
+    | Choice_clique when next_rules = [] && not (Depgraph.is_recursive graph clique) ->
+      (* A non-recursive choice rule (Example 1 style): no stage
+         machinery involved, trivially fine. *)
+      note "non-recursive choice clique"
+    | Choice_clique ->
+      (* Stage-clique conditions. *)
+      List.iter
+        (fun p ->
+          match stage_of p with
+          | Some [ pos ] -> stage_args := (p, pos) :: !stage_args
+          | Some [] | None ->
+            issue (Printf.sprintf "recursive predicate %s has no stage argument" p)
+          | Some positions ->
+            issue
+              (Printf.sprintf "predicate %s has %d stage arguments" p (List.length positions)))
+        clique;
+      List.iter
+        (fun p ->
+          let recursive =
+            List.filter
+              (fun r -> head_pred r = p && (has_next r || rule_is_recursive clique r))
+              crules
+          in
+          let kinds = List.sort_uniq compare (List.map classify recursive) in
+          if List.length kinds > 1 then
+            issue
+              (Printf.sprintf "predicate %s mixes next and flat recursive rules" p))
+        clique;
+      (* Stage-stratification of each rule. *)
+      let check_rule ~is_next r =
+        let facts = bound_facts r in
+        let head_stage =
+          match
+            if is_next then head_stage_var r
+            else
+              match List.assoc_opt (head_pred r) !stage_args with
+              | Some pos -> (
+                match List.nth_opt r.head.args pos with
+                | Some (Var v) -> Some v
+                | _ -> None)
+              | None -> None
+          with
+          | Some v -> Some v
+          | None -> None
+        in
+        match head_stage with
+        | None ->
+          if is_next then issue ("next rule without head stage variable: " ^ Pretty.rule_to_string r)
+        | Some head_stage ->
+          List.iter
+            (fun lit ->
+              let occ strict a =
+                match List.assoc_opt a.pred !stage_args with
+                | None -> () (* not a clique stage predicate *)
+                | Some pos when not (List.mem a.pred clique) -> ignore pos
+                | Some pos -> (
+                  match check_occurrence ~facts ~head_stage ~strict ~rule:r ~atom:a ~pos with
+                  | Ok (Some n) -> note n
+                  | Ok None -> ()
+                  | Error e -> issue e)
+              in
+              match lit with
+              | Pos a -> occ is_next a
+              | Neg a -> occ true a
+              | Least (_, keys) | Most (_, keys) ->
+                if
+                  is_next
+                  && not
+                       (List.exists
+                          (function Var v -> String.equal v head_stage | _ -> false)
+                          keys)
+                then
+                  note
+                    (Printf.sprintf
+                       "extremum in next rule of %s has no stage key (cf. the paper's \
+                        least(C, I) remark)"
+                       (head_pred r))
+              | Agg _ | Rel _ | Choice _ | Next _ -> ())
+            r.body
+      in
+      List.iter (check_rule ~is_next:true) next_rules;
+      List.iter (check_rule ~is_next:false) flat_rules);
+    { preds = clique;
+      kind;
+      next_rules = List.length next_rules;
+      choice_only_rules = List.length choice_only;
+      flat_rules = List.length flat_rules;
+      stage_args = List.rev !stage_args;
+      issues = List.rev !issues;
+      notes = List.rev !notes }
+  in
+  let reports = List.map analyze_clique cliques in
+  { cliques = reports; stage_stratified = List.for_all (fun c -> c.issues = []) reports }
+
+let pp_kind fmt = function
+  | Horn -> Format.pp_print_string fmt "horn"
+  | Flat_stratified -> Format.pp_print_string fmt "stratified"
+  | Choice_clique -> Format.pp_print_string fmt "choice"
+
+let pp_report fmt r =
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "clique {%s}: %a" (String.concat ", " c.preds) pp_kind c.kind;
+      if c.kind = Choice_clique then
+        Format.fprintf fmt " (%d next, %d choice, %d flat)" c.next_rules c.choice_only_rules
+          c.flat_rules;
+      Format.pp_print_newline fmt ();
+      List.iter (fun (p, i) -> Format.fprintf fmt "  stage argument: %s[%d]@." p i) c.stage_args;
+      List.iter (fun m -> Format.fprintf fmt "  issue: %s@." m) c.issues;
+      List.iter (fun m -> Format.fprintf fmt "  note: %s@." m) c.notes)
+    r.cliques;
+  Format.fprintf fmt "stage-stratified: %b@." r.stage_stratified

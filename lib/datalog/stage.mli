@@ -1,0 +1,45 @@
+(** The Section-4 compile-time analysis: stage predicates, stage
+    cliques, and the (strict) stage-stratification checker.
+
+    The checker is conservative and syntactic, as in the paper: a
+    body occurrence of a stage predicate is accepted when its stage
+    term is {e provably bounded} by the head stage variable through an
+    explicit comparison ([J < I], [J <= I]), an increment equation
+    ([I = J + 1]) or a max equation ([I = max(J, K)]); [next] rules and
+    negated occurrences need the strict forms.  Ground-constant stage
+    arguments (fixed early stages, e.g. [tsp_chain(Y, _, _, 1)]) are
+    accepted and recorded as a note.
+
+    Verdicts do not gate execution — the engines run any program whose
+    rules are individually safe — but {!report} is what the paper means
+    by "easily recognized at compile time", and the CLI's [check]
+    command prints it. *)
+
+type kind =
+  | Horn  (** no negation, extrema or choice anywhere in the clique *)
+  | Flat_stratified  (** negation/extrema, none of it inside the clique *)
+  | Choice_clique  (** contains [next] and/or [choice] rules *)
+
+type clique_report = {
+  preds : string list;
+  kind : kind;
+  next_rules : int;
+  choice_only_rules : int;  (** [choice] but no [next] (exit rules) *)
+  flat_rules : int;
+  stage_args : (string * int) list;  (** inferred stage argument per predicate *)
+  issues : string list;  (** stage-stratification violations *)
+  notes : string list;  (** non-fatal observations (e.g. extremum without stage key) *)
+}
+
+type report = {
+  cliques : clique_report list;  (** topological order, dependencies first *)
+  stage_stratified : bool;  (** no clique has issues *)
+}
+
+val analyze : Ast.program -> report
+
+val stage_positions : Ast.program -> (string * int list) list
+(** Inferred stage-argument positions per predicate (0-based),
+    exposed for tests. *)
+
+val pp_report : Format.formatter -> report -> unit

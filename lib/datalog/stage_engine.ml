@@ -1,0 +1,479 @@
+open Ast
+module EC = Engine_core
+module Rql = Gbc_ordered.Rql
+
+exception Not_compilable of string
+
+type stats = {
+  gamma_steps : int;
+  inserted : int;
+  shadowed : int;
+  stale : int;
+  invalid_pops : int;
+  max_queue : int;
+}
+
+type shadow_mode = [ `Auto | `Off ]
+
+(* ------------------------------------------------------------------ *)
+(* Bound facts (local, rule-level)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Pairs (a, b) with a > b provable from one comparison/equation goal,
+   plus (a, b) pin pairs from a = b + 1 (used for newer-wins). *)
+let gt_pairs (r : Ast.rule) =
+  List.filter_map
+    (fun lit ->
+      match lit with
+      | Rel (Lt, Var a, Var b) -> Some (b, a, false)
+      | Rel (Gt, Var a, Var b) -> Some (a, b, false)
+      | Rel (Eq, Var a, Binop (Add, Var b, Cst (Value.Int 1)))
+      | Rel (Eq, Binop (Add, Var b, Cst (Value.Int 1)), Var a) -> Some (a, b, true)
+      | _ -> None)
+    r.body
+
+(* ------------------------------------------------------------------ *)
+(* Shadow-safety analysis                                              *)
+(* ------------------------------------------------------------------ *)
+
+module SS = Set.Make (String)
+
+let tvars ts = SS.of_list (List.concat_map term_vars ts)
+
+(* See DESIGN.md: an argument set D may be dropped from the congruence
+   key iff its variables are FD-determined by the remaining key and
+   every FD's left-hand side stays inside the key; additionally all
+   non-stage source variables (the cost included) must lie in the FD
+   closure of the key, so that within a class the cheapest fact is
+   always an acceptable representative. *)
+let shadow_analysis ~svars ~stagevars ~costvars ~fds =
+  let k0 = SS.diff (SS.diff svars stagevars) costvars in
+  let lhs_of (l, _) = tvars l and rhs_of (_, r) = tvars r in
+  let all_lhs = List.fold_left (fun acc fd -> SS.union acc (lhs_of fd)) SS.empty fds in
+  let rec drop d =
+    let candidate =
+      SS.choose_opt
+        (SS.filter
+           (fun v ->
+             (not (SS.mem v d))
+             && (not (SS.mem v all_lhs))
+             && List.exists (fun fd -> SS.mem v (rhs_of fd)) fds
+             && List.for_all
+                  (fun fd ->
+                    (not (SS.mem v (rhs_of fd)))
+                    || SS.subset (lhs_of fd) (SS.remove v (SS.diff k0 d)))
+                  fds)
+           k0)
+    in
+    match candidate with None -> d | Some v -> drop (SS.add v d)
+  in
+  let d = drop SS.empty in
+  let key = SS.diff k0 d in
+  let closure =
+    let rec go s =
+      let s' =
+        List.fold_left
+          (fun s fd -> if SS.subset (lhs_of fd) s then SS.union s (rhs_of fd) else s)
+          s fds
+      in
+      if SS.equal s s' then s else go s'
+    in
+    go key
+  in
+  let safe =
+    List.for_all (fun fd -> SS.subset (lhs_of fd) key) fds
+    && SS.subset (SS.diff svars stagevars) closure
+  in
+  (safe, key)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled next rules                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type srule = {
+  cr : EC.crule;
+  rule : Ast.rule;
+  source : atom;
+  residual : Eval.body;
+  minimize : bool;  (* meaningful when has_extremum *)
+  has_extremum : bool;
+  cost : term option;
+  key_positions : int list;
+  stage_positions : int list;
+  shadow : bool;
+  newer_wins : bool;
+  stage_var : string;
+}
+
+let compile_srule (cr : EC.crule) (r : Ast.rule) =
+  let fail msg = raise (Not_compilable (msg ^ ": " ^ Pretty.rule_to_string r)) in
+  let stage_var =
+    match cr.EC.stage with Some (v, _) -> v | None -> assert false
+  in
+  (match cr.EC.extrema with
+  | [] | [ _ ] -> ()
+  | _ -> fail "more than one extremum in a next rule");
+  let minimize, cost, has_extremum =
+    match cr.EC.extrema with
+    | [] -> (true, None, false)
+    | [ e ] -> (e.EC.minimize, Some e.EC.cost, true)
+    | _ -> assert false
+  in
+  if not (List.for_all (fun v -> List.mem v cr.EC.vars) (atom_vars r.head)) then
+    fail "head not determined by the choice variables";
+  let positives = positive_body_atoms r in
+  let cost_vars = match cost with None -> [] | Some t -> term_vars t in
+  let source =
+    match
+      List.find_opt
+        (fun a -> List.for_all (fun v -> List.mem v (atom_vars a)) cost_vars)
+        positives
+    with
+    | Some a -> a
+    | None -> fail "no positive body atom binds the extremum cost"
+  in
+  (* Residual: the flat body minus the first occurrence of the source. *)
+  let removed = ref false in
+  let residual_literals =
+    List.filter
+      (fun lit ->
+        match lit with
+        | Pos a when (not !removed) && a == source ->
+          removed := true;
+          false
+        | Next _ | Choice _ | Least _ | Most _ -> false
+        | _ -> true)
+      r.body
+  in
+  let extra_bound = stage_var :: atom_vars source in
+  let residual =
+    try Eval.compile_body ~extra_bound residual_literals
+    with Eval.Unsafe msg -> fail ("unsafe residual: " ^ msg)
+  in
+  let pairs = gt_pairs r in
+  let is_stage_term = function
+    | Var j ->
+      List.exists (fun (a, b, _) -> String.equal a stage_var && String.equal b j) pairs
+    | _ -> false
+  in
+  let stage_positions =
+    List.filteri (fun _ _ -> true) source.args
+    |> List.mapi (fun i t -> (i, t))
+    |> List.filter_map (fun (i, t) -> if is_stage_term t then Some i else None)
+  in
+  let newer_wins =
+    List.exists
+      (fun (a, b, pin) ->
+        pin && String.equal a stage_var
+        && List.exists
+             (fun pos ->
+               match List.nth source.args pos with
+               | Var j -> String.equal j b
+               | _ -> false)
+             stage_positions)
+      pairs
+  in
+  let stagevars =
+    SS.of_list
+      (List.filter_map
+         (fun pos -> match List.nth source.args pos with Var j -> Some j | _ -> None)
+         stage_positions)
+  in
+  let safe, key =
+    shadow_analysis ~svars:(SS.of_list (atom_vars source)) ~stagevars
+      ~costvars:(SS.of_list cost_vars) ~fds:(choice_fds r)
+  in
+  let shadow = safe && has_extremum in
+  let key_positions =
+    List.mapi (fun i t -> (i, t)) source.args
+    |> List.filter_map (fun (i, t) ->
+           if List.mem i stage_positions then None
+           else
+             let vs = term_vars t in
+             if vs = [] then Some i
+             else if List.exists (fun v -> SS.mem v key) vs then Some i
+             else None)
+  in
+  { cr; rule = r; source; residual; minimize; has_extremum; cost; key_positions;
+    stage_positions; shadow; newer_wins; stage_var }
+
+(* ------------------------------------------------------------------ *)
+(* Matching a source row                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Bind the source atom's argument terms against a stored row, writing
+   variable bindings into the residual's environment. *)
+let bind_source sr (env : Eval.env) row =
+  let rec match_term t v =
+    match t with
+    | Var "_" -> true
+    | Var x -> (
+      let s = Eval.slot sr.residual x in
+      match env.(s) with
+      | None ->
+        env.(s) <- Some v;
+        true
+      | Some v' -> Value.equal v v')
+    | Cst c -> Value.equal c v
+    | Cmp ("", args) -> (
+      match v with Value.Tup vs -> match_all args vs | _ -> false)
+    | Cmp (f, args) -> (
+      match v with Value.App (g, vs) when String.equal f g -> match_all args vs | _ -> false)
+    | Binop _ -> false
+  and match_all args vs =
+    List.length args = List.length vs && List.for_all2 match_term args vs
+  in
+  List.for_all2 match_term sr.source.args (Array.to_list row)
+
+let row_cost sr env =
+  match sr.cost with
+  | None -> Value.Int 0
+  | Some t -> Eval.eval_term sr.residual env t
+
+(* ------------------------------------------------------------------ *)
+(* Clique evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type staged = {
+  sr : srule;
+  rql : (Value.t array, Value.t) Rql.t;
+  fd : EC.fd_state;
+  tracker : EC.tracker;
+  mutable src_mark : int;
+}
+
+exception Fired of Value.t array * Value.t array (* chosen row, head row *)
+
+let eval_choice_clique ~backend ~shadow_mode db crules flat_rules gamma =
+  let exits, nexts = List.partition (fun ((cr : EC.crule), _) -> cr.EC.stage = None) crules in
+  let srules = List.map (fun (cr, r) -> compile_srule cr r) nexts in
+  let flat =
+    flat_rules @ List.map (fun (cr, r) -> EC.positive_rule cr r) exits
+  in
+  let sub_cliques = Depgraph.cliques (Depgraph.make flat) in
+  let saturators =
+    try
+      List.map
+        (fun sub -> Seminaive.make ~allow_clique_negation:true db ~clique:sub flat)
+        sub_cliques
+    with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
+  in
+  let saturate () =
+    try List.iter Seminaive.step saturators
+    with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
+  in
+  let exit_states = List.map (fun (cr, _) -> EC.make_fd_state db cr) exits in
+  let staged =
+    List.map
+      (fun sr ->
+        let key_of row = Value.Tup (List.map (fun p -> row.(p)) sr.key_positions) in
+        (* Cost is computed at insertion and cached in a side table?  No:
+           recompute via a tiny env-free evaluation — cost variables live
+           in the source args, so evaluate by matching into a scratch
+           environment. *)
+        let cost_of row =
+          let env = Eval.fresh_env sr.residual in
+          if bind_source sr env row then row_cost sr env
+          else invalid_arg "Stage_engine: source row does not match its own atom"
+        in
+        let cost_tbl = Hashtbl.create 256 in
+        let cost_cached row =
+          let key = row in
+          match Hashtbl.find_opt cost_tbl key with
+          | Some c -> c
+          | None ->
+            let c = cost_of row in
+            Hashtbl.add cost_tbl key c;
+            c
+        in
+        let cost_cmp a b =
+          if not sr.has_extremum then 0
+          else
+            let c = Value.compare (cost_cached a) (cost_cached b) in
+            if sr.minimize then c else -c
+        in
+        let stage_of row =
+          match sr.stage_positions with
+          | [] -> 0
+          | p :: _ -> ( match row.(p) with Value.Int i -> i | _ -> 0)
+        in
+        let shadow = match shadow_mode with `Auto -> sr.shadow | `Off -> false in
+        let rql =
+          Rql.create ~backend ~shadow ~newer_wins:sr.newer_wins ~key:key_of
+            ~cost_cmp ~stage:stage_of ()
+        in
+        ignore (Database.relation db sr.source.pred (List.length sr.source.args));
+        { sr; rql; fd = EC.make_fd_state db sr.cr;
+          tracker =
+            (let pos = match sr.cr.EC.stage with Some (_, p) -> p | None -> assert false in
+             ignore (Database.relation db sr.cr.EC.head.pred (List.length sr.cr.EC.head.args));
+             { EC.pred = sr.cr.EC.head.pred; pos; mark = 0; maxv = 0 });
+          src_mark = 0 })
+      srules
+  in
+  let sync () =
+    List.iter
+      (fun st ->
+        match Database.find db st.sr.source.pred with
+        | None -> ()
+        | Some rel ->
+          Relation.iter_from rel st.src_mark (fun row -> Rql.insert st.rql row);
+          st.src_mark <- Relation.cardinal rel)
+      staged
+  in
+  let examined = ref 0 in
+  let fire_exit () =
+    let rec try_exits = function
+      | [] -> false
+      | st :: rest -> (
+        match EC.collect_candidates db st None examined with
+        | [] -> try_exits rest
+        | cand :: _ ->
+          EC.fire db cand;
+          incr gamma;
+          true)
+    in
+    try_exits exit_states
+  in
+  (* Pop-validate-fire for one staged rule; returns true if fired. *)
+  let fire_staged st =
+    EC.replay_chosen st.fd;
+    let stage = EC.current_stage db st.tracker + 1 in
+    let valid row =
+      let env = Eval.fresh_env st.sr.residual in
+      env.(Eval.slot st.sr.residual st.sr.stage_var) <- Some (Value.Int stage);
+      if not (bind_source st.sr env row) then false
+      else begin
+        match
+          Eval.run st.sr.residual db env (fun env ->
+              let chosen_row =
+                Array.of_list (Eval.eval_terms st.sr.residual env st.sr.cr.EC.out_terms)
+              in
+              if not (Relation.mem st.fd.EC.rel chosen_row) then begin
+                let projections =
+                  List.map
+                    (fun (l, r) ->
+                      ( Value.Tup (List.map (Eval.eval_term st.sr.residual env) l),
+                        Value.Tup (List.map (Eval.eval_term st.sr.residual env) r) ))
+                    st.sr.cr.EC.fds
+                in
+                if EC.compatible st.fd projections then
+                  let head_row =
+                    Array.of_list
+                      (Eval.eval_terms st.sr.residual env st.sr.cr.EC.head.args)
+                  in
+                  raise (Fired (chosen_row, head_row))
+              end)
+        with
+        | () -> false
+        | exception Fired (chosen_row, head_row) ->
+          ignore (Relation.add st.fd.EC.rel chosen_row);
+          ignore (Database.add_fact db st.sr.cr.EC.head.pred head_row);
+          true
+      end
+    in
+    match Rql.retrieve_least st.rql ~valid with
+    | Some _ ->
+      incr gamma;
+      true
+    | None -> false
+  in
+  saturate ();
+  let rec loop () =
+    if fire_exit () then begin
+      saturate ();
+      loop ()
+    end
+    else begin
+      sync ();
+      let rec try_staged = function
+        | [] -> false
+        | st :: rest -> if fire_staged st then true else try_staged rest
+      in
+      if try_staged staged then begin
+        saturate ();
+        loop ()
+      end
+    end
+  in
+  loop ();
+  List.map (fun st -> Rql.stats st.rql) staged
+
+(* ------------------------------------------------------------------ *)
+(* Program driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cliques rules =
+  let counter = ref 0 in
+  let compiled =
+    List.map
+      (fun r ->
+        if EC.is_choice_rule r then begin
+          let i = !counter in
+          incr counter;
+          `Choice (EC.compile_crule i r, r)
+        end
+        else `Flat r)
+      rules
+  in
+  let graph = Depgraph.make (Rewrite.expand_next rules) in
+  List.map
+    (fun clique ->
+      let crules_in =
+        List.filter_map
+          (function
+            | `Choice ((cr : EC.crule), r) when List.mem cr.EC.head.pred clique -> Some (cr, r)
+            | _ -> None)
+          compiled
+      in
+      let flat_in =
+        List.filter_map
+          (function `Flat r when List.mem (head_pred r) clique -> Some r | _ -> None)
+          compiled
+      in
+      (clique, crules_in, flat_in))
+    (Depgraph.cliques graph)
+
+let run ?(backend = `Binary) ?(shadow = `Auto) ?db program =
+  let db = match db with Some db -> db | None -> Database.create () in
+  let facts, rules = List.partition Ast.is_fact program in
+  Database.load_facts db facts;
+  let gamma = ref 0 in
+  let rql_stats = ref [] in
+  List.iter
+    (fun (clique, crules_in, flat_in) ->
+      if crules_in = [] then begin
+        try Seminaive.eval_clique db ~clique rules
+        with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
+      end
+      else
+        rql_stats :=
+          eval_choice_clique ~backend ~shadow_mode:shadow db crules_in flat_in gamma
+          @ !rql_stats)
+    (plan_cliques rules);
+  let sum f = List.fold_left (fun acc (s : Rql.stats) -> acc + f s) 0 !rql_stats in
+  let maxq =
+    List.fold_left (fun acc (s : Rql.stats) -> max acc s.Rql.max_queue) 0 !rql_stats
+  in
+  ( db,
+    { gamma_steps = !gamma;
+      inserted = sum (fun s -> s.Rql.inserted);
+      shadowed = sum (fun s -> s.Rql.shadowed);
+      stale = sum (fun s -> s.Rql.stale);
+      invalid_pops = sum (fun s -> s.Rql.invalid);
+      max_queue = maxq } )
+
+let model ?db program = fst (run ?db program)
+
+let compiled_keys program =
+  let _, rules = List.partition Ast.is_fact program in
+  List.concat_map
+    (fun (_, crules_in, _) ->
+      List.filter_map
+        (fun ((cr : EC.crule), r) ->
+          if cr.EC.stage = None then None
+          else
+            let sr = compile_srule cr r in
+            Some (cr.EC.head.pred, sr.shadow, sr.key_positions))
+        crules_in)
+    (plan_cliques rules)

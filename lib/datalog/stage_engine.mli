@@ -1,0 +1,64 @@
+(** The optimized engine: the Alternating Stage-Choice Fixpoint
+    implemented with the Section-6 [(R, Q, L)] structures.
+
+    Every [next] rule of a choice clique is compiled into a plan built
+    around one {e source atom} — the positive body atom that binds the
+    extremum's cost variable.  Source facts stream into an {!Rql}
+    structure as the clique's flat rules saturate (semi-naive, delta
+    watermarks); the paper's [retrieve least] pops the cheapest
+    candidate and lazily re-validates it against the {e residual} body
+    (the remaining joins, comparisons and negations) and the choice
+    FDs.  Lazy revalidation is sound because in stage-stratified
+    programs those conditions are monotone — once a candidate is
+    invalid it stays invalid — so a discarded fact can go to [R]
+    forever.
+
+    The r-congruence key is derived per rule by the shadow-safety
+    analysis described in DESIGN.md: an argument may be dropped from
+    the key only when the choice FDs guarantee that, within a
+    congruence class, at most one fact can ever fire and the cheapest
+    is always an acceptable representative.  When the analysis cannot
+    establish that (e.g. the matching program), shadowing is disabled
+    and [Q] simply holds every candidate, exactly as the paper's own
+    complexity analysis of Example 7 assumes.
+
+    Exit rules ([choice] without [next], e.g. greedy TSP's cheapest
+    first arc) are evaluated with the reference gamma operator.
+
+    The produced database is a stable model of the same rewritten
+    program as {!Choice_fixpoint}'s, with identical [chosen$i]
+    layouts, and coincides with the reference engine's model whenever
+    the program's extrema are tie-free. *)
+
+exception Not_compilable of string
+(** The program is outside the compiled class: a [next] rule with more
+    than one extremum, no source atom binding the cost variable, or a
+    head not determined by its choice variables. *)
+
+type stats = {
+  gamma_steps : int;
+  inserted : int;  (** source facts offered to the queues *)
+  shadowed : int;  (** facts sent to R at insertion (congruence) *)
+  stale : int;  (** superseded queue entries skipped at pop *)
+  invalid_pops : int;  (** candidates discarded by revalidation *)
+  max_queue : int;  (** largest live queue across rules *)
+}
+
+type shadow_mode =
+  [ `Auto  (** per-rule safety analysis (default) *)
+  | `Off  (** ablation A2: never shadow *)
+  ]
+
+val run :
+  ?backend:[ `Binary | `Pairing ] ->
+  ?shadow:shadow_mode ->
+  ?db:Database.t ->
+  Ast.program ->
+  Database.t * stats
+
+val model : ?db:Database.t -> Ast.program -> Database.t
+
+val compiled_keys : Ast.program -> (string * bool * int list) list
+(** For each [next] rule (by head predicate): whether congruence
+    shadowing is enabled and the source-argument positions forming the
+    congruence key.  Exposed for tests of the shadow-safety analysis. *)

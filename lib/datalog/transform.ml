@@ -1,0 +1,195 @@
+open Ast
+
+let ( let* ) = Result.bind
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let var_name = function Var v -> Some v | _ -> None
+
+(* The unary-least post-condition: opt(C) <- a(C), least(C). *)
+let find_post_condition program =
+  let candidates =
+    List.filter_map
+      (fun r ->
+        match r.head.args, r.body with
+        | [ Var c ], [ Pos a; Least (Var c', []) ] when c = c' -> (
+          match a.args with [ Var c'' ] when c'' = c -> Some (r, a.pred) | _ -> None)
+        | _ -> None)
+      program
+  in
+  match candidates with
+  | [ x ] -> Ok x
+  | [] -> fail "no unary least post-condition rule found"
+  | _ -> fail "more than one post-condition rule"
+
+(* The final-stage aggregate: a(C) <- p(..., C, ..., I, ...), most(I). *)
+let find_aggregate program a_pred =
+  let candidates =
+    List.filter_map
+      (fun r ->
+        match r.head with
+        | { pred; args = [ Var c ] } when pred = a_pred -> (
+          match r.body with
+          | [ Pos p; Most (Var i, []) ] ->
+            let pos_of v =
+              List.find_index (fun t -> var_name t = Some v) p.args
+            in
+            (match pos_of c, pos_of i with
+            | Some cost_pos, Some stage_pos -> Some (r, p.pred, cost_pos, stage_pos)
+            | _ -> None)
+          | _ -> None)
+        | _ -> None)
+      program
+  in
+  match candidates with
+  | [ x ] -> Ok x
+  | [] -> fail "no most-aggregate rule over %s" a_pred
+  | _ -> fail "ambiguous aggregate rules"
+
+(* The variable-to-variable substitution unifying two atoms of equal
+   shape (both all-variable argument lists). *)
+let var_mapping src dst =
+  if List.length src.args <> List.length dst.args then None
+  else
+    let tbl = Hashtbl.create 8 in
+    let ok =
+      List.for_all2
+        (fun s d ->
+          match var_name s, var_name d with
+          | Some sv, Some dv -> (
+            match Hashtbl.find_opt tbl sv with
+            | None ->
+              Hashtbl.add tbl sv dv;
+              true
+            | Some dv' -> dv = dv')
+          | _ -> false)
+        src.args dst.args
+    in
+    if ok then Some tbl else None
+
+let rename_by tbl r =
+  Ast.rename_rule (fun v -> Option.value ~default:v (Hashtbl.find_opt tbl v)) r
+
+let push_extremum program =
+  let* post_rule, a_pred = find_post_condition program in
+  let* agg_rule, p_pred, cost_pos, _stage_pos = find_aggregate program a_pred in
+  (* The next rule of p and its accumulator source atom. *)
+  let* next_rule =
+    match
+      List.filter (fun r -> head_pred r = p_pred && has_next r) program
+    with
+    | [ r ] -> Ok r
+    | [] -> fail "no next rule for %s" p_pred
+    | _ -> fail "several next rules for %s" p_pred
+  in
+  let* cost_var =
+    match List.nth_opt next_rule.head.args cost_pos with
+    | Some (Var c) -> Ok c
+    | _ -> fail "cost position of %s is not a variable in the next rule" p_pred
+  in
+  let* stage_var =
+    match List.find_map (function Next v -> Some v | _ -> None) next_rule.body with
+    | Some v -> Ok v
+    | None -> fail "next rule lost its stage variable"
+  in
+  let* source_atom =
+    match
+      List.filter_map
+        (function
+          | Pos a when List.exists (fun t -> var_name t = Some cost_var) a.args -> Some a
+          | _ -> None)
+        next_rule.body
+    with
+    | [ a ] -> Ok a
+    | _ -> fail "expected exactly one accumulator atom binding the cost"
+  in
+  let acc_pred = source_atom.pred in
+  (* The accumulator rule: acc(...) <- p-or-acc(..C1..), base(..C2..),
+     C = C1 + C2. *)
+  let* acc_rule =
+    match List.filter (fun r -> head_pred r = acc_pred) program with
+    | [ r ] -> Ok r
+    | [] -> fail "no accumulator rule for %s" acc_pred
+    | _ -> fail "several rules define the accumulator %s" acc_pred
+  in
+  let* acc_cost_var =
+    (* Position of the cost in the accumulator head = position of the
+       next rule's cost variable in its source atom. *)
+    match
+      List.find_index (fun t -> var_name t = Some cost_var) source_atom.args
+    with
+    | Some pos -> (
+      match List.nth_opt acc_rule.head.args pos with
+      | Some (Var v) -> Ok v
+      | _ -> fail "accumulator head cost is not a variable")
+    | None -> fail "cost variable not found in the source atom"
+  in
+  let* c1_var, c2_var =
+    match
+      List.find_map
+        (function
+          | Rel (Eq, Var c, Binop (Add, Var c1, Var c2)) when c = acc_cost_var ->
+            Some (c1, c2)
+          | _ -> None)
+        acc_rule.body
+    with
+    | Some x -> Ok x
+    | None -> fail "accumulator does not add two costs into %s" acc_cost_var
+  in
+  let* base_atom =
+    match
+      List.filter_map
+        (function
+          | Pos a
+            when a.pred <> p_pred && a.pred <> acc_pred
+                 && List.exists
+                      (fun t -> var_name t = Some c1_var || var_name t = Some c2_var)
+                      a.args ->
+            Some a
+          | _ -> None)
+        acc_rule.body
+    with
+    | [ a ] -> Ok a
+    | _ -> fail "expected exactly one base atom carrying a step cost"
+  in
+  let step_cost = if List.exists (fun t -> var_name t = Some c2_var) base_atom.args then c2_var else c1_var in
+  (* Rename the base atom into the next rule's variable space: map the
+     accumulator head's variables to the source occurrence's, and the
+     step cost to the rule's cost variable. *)
+  let* mapping =
+    match var_mapping acc_rule.head source_atom with
+    | Some tbl -> Ok tbl
+    | None -> fail "cannot unify the accumulator head with its occurrence"
+  in
+  Hashtbl.replace mapping step_cost cost_var;
+  let renamed_base =
+    (rename_by mapping { head = base_atom; body = [] }).head
+  in
+  (* Variables that vanish with the accumulator (e.g. its stage). *)
+  let dead_vars =
+    List.filter
+      (fun v ->
+        (not (Hashtbl.mem mapping v))
+        && not (List.mem v (atom_vars renamed_base)))
+      (atom_vars source_atom)
+    |> List.filter (fun v -> not (String.equal v cost_var))
+  in
+  let body' =
+    List.filter_map
+      (fun lit ->
+        match lit with
+        | Pos a when a == source_atom -> Some (Pos renamed_base)
+        | Rel (_, x, y)
+          when List.exists (fun v -> List.mem v dead_vars) (term_vars x @ term_vars y) ->
+          None
+        | lit -> Some lit)
+      next_rule.body
+    @ [ Least (Var cost_var, [ Var stage_var ]) ]
+  in
+  let next_rule' = { next_rule with body = body' } in
+  Ok
+    (List.filter_map
+       (fun r ->
+         if r == post_rule || r == agg_rule || r == acc_rule then None
+         else if r == next_rule then Some next_rule'
+         else Some r)
+       program)

@@ -1,0 +1,37 @@
+(** The conclusion's program transformation, implemented for the shape
+    the paper exhibits.
+
+    Section 7 poses the "intriguing possibility" of detecting
+    declarative specifications that greedy algorithms implement: the
+    naive matching program accumulates a running total [C = C1 + C2]
+    through the recursion and selects the cheapest completed run with a
+    post-condition
+
+    {v
+    opt(C)  <- a(C), least(C).
+    a(C)    <- p(_, _, C, I), most(I).
+    p(X, Y, C, I) <- next(I), acc(X, Y, C, J), I = J + 1, choice...
+    acc(X, Y, C, J) <- p(_, _, C1, J), base(X, Y, C2), C = C1 + C2.
+    v}
+
+    and the paper states it "can be transformed into the efficient
+    solution of Example 7" — pushing the extremum into the recursion:
+
+    {v
+    p(X, Y, C2, I) <- next(I), base(X, Y, C2), least(C2, I), choice...
+    v}
+
+    {!push_extremum} performs exactly this rewriting when it recognizes
+    the shape: a unary [least] post-condition over a [most]-final
+    aggregate of an additively accumulated cost.  Sufficient conditions
+    for the transformation to preserve optimality are the paper's open
+    problem (matroid theory — see {!Gbc_greedy.Matroid} for the
+    executable side of that discussion); this function is the syntactic
+    rewriting, and the tests exercise it on instances where greedy is
+    optimal.  *)
+
+val push_extremum : Ast.program -> (Ast.program, string) result
+(** Returns the transformed program (post-condition and accumulator
+    rules removed, [least(C, I)] pushed into the [next] rule reading
+    the base relation directly), or [Error reason] when the program
+    does not match the recognized shape. *)

@@ -1,0 +1,69 @@
+type t =
+  | Int of int
+  | Sym of string
+  | Str of string
+  | Tup of t list
+  | App of string * t list
+
+let unit = Tup []
+let nil = Sym "nil"
+
+let tag = function Int _ -> 0 | Sym _ -> 1 | Str _ -> 2 | Tup _ -> 3 | App _ -> 4
+
+let rec compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Sym x, Sym y | Str x, Str y -> String.compare x y
+  | Tup xs, Tup ys -> compare_list xs ys
+  | App (f, xs), App (g, ys) ->
+    let c = String.compare f g in
+    if c <> 0 then c else compare_list xs ys
+  | _ -> Stdlib.compare (tag a) (tag b)
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs' ys'
+
+let equal a b = compare a b = 0
+
+let combine h x = (h * 1000003) lxor x
+
+let rec hash = function
+  | Int x -> combine 3 (Hashtbl.hash x)
+  | Sym s -> combine 5 (Hashtbl.hash s)
+  | Str s -> combine 7 (Hashtbl.hash s)
+  | Tup xs -> List.fold_left (fun h x -> combine h (hash x)) 11 xs
+  | App (f, xs) -> List.fold_left (fun h x -> combine h (hash x)) (combine 13 (Hashtbl.hash f)) xs
+
+let rec pp fmt = function
+  | Int x -> Format.pp_print_int fmt x
+  | Sym s -> Format.pp_print_string fmt s
+  | Str s -> Format.fprintf fmt "%S" s
+  | Tup xs -> Format.fprintf fmt "(%a)" pp_args xs
+  | App (f, xs) -> Format.fprintf fmt "%s(%a)" f pp_args xs
+
+and pp_args fmt xs =
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp fmt xs
+
+let to_string v = Format.asprintf "%a" pp v
+
+let as_int = function
+  | Int x -> x
+  | v -> invalid_arg (Printf.sprintf "Value.as_int: %s" (to_string v))
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Stdlib.Set.Make (Key)
+module Map = Stdlib.Map.Make (Key)

@@ -1,0 +1,35 @@
+(** Ground values of the (reduced) Herbrand universe.
+
+    Function symbols are restricted, as in the paper's next-Datalog
+    programs, to those the programs themselves build — e.g. Huffman's
+    tree constructor [t(X, Y)] — plus tuples used by [choice] goals. *)
+
+type t =
+  | Int of int  (** integers: costs, grades, stage values *)
+  | Sym of string  (** lowercase constants: [a], [nil], [engl] *)
+  | Str of string  (** quoted strings *)
+  | Tup of t list  (** tuples [(a, b)]; [Tup []] is the unit [()] *)
+  | App of string * t list  (** compound terms such as [t(l1, l2)] *)
+
+val unit : t
+val nil : t
+
+val compare : t -> t -> int
+(** Total order: [Int < Sym < Str < Tup < App], contents lexicographic.
+    [least]/[most] and deterministic tie-breaking rely on it. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Deep structural hash (unlike [Hashtbl.hash], never truncates deep
+    Huffman trees to a handful of meaningful nodes). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val as_int : t -> int
+(** @raise Invalid_argument when the value is not an [Int]. *)
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,50 @@
+type t = { true_facts : Database.t; possible : Database.t }
+
+let gamma ~edb program interpretation =
+  Naive.least_model_under ~model:interpretation ~edb program
+
+let preds_of a b =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    (Database.preds a @ Database.preds b)
+
+let equal a b = Database.equal_on a b (preds_of a b)
+
+let compute ?edb ?(max_rounds = 1000) program =
+  let edb = match edb with Some db -> Database.copy db | None -> Database.create () in
+  let gamma = gamma ~edb program in
+  (* K underestimates the true atoms, U overestimates; both improve
+     monotonically under the squared operator. *)
+  let rec alternate k round =
+    if round > max_rounds then
+      invalid_arg "Wellfounded.compute: alternation did not converge";
+    let u = gamma k in
+    let k' = gamma u in
+    if equal k k' then { true_facts = k; possible = u } else alternate k' (round + 1)
+  in
+  alternate (Database.create ()) 0
+
+let is_total t = equal t.true_facts t.possible
+
+let undefined t =
+  List.concat_map
+    (fun pred ->
+      List.filter_map
+        (fun row ->
+          if Database.mem_fact t.true_facts pred row then None else Some (pred, row))
+        (Database.facts_of t.possible pred))
+    (Database.preds t.possible)
+
+let subset a b =
+  List.for_all
+    (fun pred ->
+      List.for_all (fun row -> Database.mem_fact b pred row) (Database.facts_of a pred))
+    (Database.preds a)
+
+let agrees_with_stable t m = subset t.true_facts m && subset m t.possible

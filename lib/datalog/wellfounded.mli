@@ -1,0 +1,40 @@
+(** Well-founded semantics (Van Gelder–Ross–Schlipf, the paper's [11])
+    via the alternating fixpoint.
+
+    [Gamma(I)] is the least model of the Gelfond–Lifschitz reduct with
+    respect to [I]; it is antimonotone, so its square is monotone and
+    the alternation [K := Gamma(U); U := Gamma(K)] converges to the
+    well-founded model: [K] holds the true atoms, [U] the possible ones
+    (true or undefined), and everything outside [U] is false.
+
+    The paper leans on two facts this module lets the tests observe
+    directly: locally stratified programs have a total well-founded
+    model that coincides with their unique stable model, while choice
+    programs — once rewritten into negation — are {e deliberately}
+    non-stratified: the well-founded semantics leaves every genuine
+    choice undefined, and the stable models (one per choice) each live
+    between [true_facts] and [possible].
+
+    Programs must be flat (apply {!Rewrite.expand_all} first). *)
+
+type t = {
+  true_facts : Database.t;  (** atoms true in the well-founded model *)
+  possible : Database.t;  (** atoms true or undefined *)
+}
+
+val compute : ?edb:Database.t -> ?max_rounds:int -> Ast.program -> t
+(** Alternating fixpoint.  [max_rounds] (default 1000) is a safety
+    bound; the alternation converges in at most [|Herbrand base|]
+    rounds.
+    @raise Invalid_argument on non-flat programs or non-convergence. *)
+
+val is_total : t -> bool
+(** No undefined atoms: [true_facts = possible]. *)
+
+val undefined : t -> (string * Value.t array) list
+(** The undefined atoms ([possible] minus [true_facts]). *)
+
+val agrees_with_stable : t -> Database.t -> bool
+(** [agrees_with_stable wf m]: does the candidate stable model [m]
+    lie between [true_facts] and [possible]?  (A property every stable
+    model must satisfy.) *)

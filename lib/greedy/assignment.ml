@@ -1,0 +1,60 @@
+open Gbc_datalog
+
+let example1_source = {|
+a_st(St, Crs) <- takes(St, Crs, _), choice(Crs, St), choice(St, Crs).
+|}
+
+let bi_st_c_source = {|
+bi_st_c(St, Crs, G) <- takes(St, Crs, G), G > 1, least(G),
+                       choice(St, Crs), choice(Crs, St).
+|}
+
+let paper_facts =
+  Parser.parse_program
+    {|
+takes(andy, engl, 4).
+takes(mark, engl, 2).
+takes(ann,  math, 3).
+takes(mark, math, 2).
+|}
+
+let program ?(facts = paper_facts) source = facts @ Parser.parse_program source
+
+let models ?facts source =
+  let prog = program ?facts source in
+  let pred =
+    match Parser.parse_program source with
+    | { Ast.head = { Ast.pred; _ }; _ } :: _ -> pred
+    | [] -> invalid_arg "Assignment.models: empty source"
+  in
+  Choice_fixpoint.enumerate prog
+  |> List.map (fun db ->
+         Runner.rows db pred
+         |> List.map (fun row ->
+                match row.(0), row.(1) with
+                | Value.Sym s, Value.Sym c -> (s, c)
+                | _ -> invalid_arg "Assignment.models: non-symbolic assignment")
+         |> List.sort compare)
+  |> List.sort_uniq compare
+
+let random_takes ~seed ~students ~courses ~enrollments =
+  let rng = Gbc_workload.Rng.create seed in
+  let seen = Hashtbl.create (2 * enrollments) in
+  let rec draw acc n guard =
+    if n = 0 || guard = 0 then acc
+    else
+      let s = Gbc_workload.Rng.int rng students and c = Gbc_workload.Rng.int rng courses in
+      if Hashtbl.mem seen (s, c) then draw acc n (guard - 1)
+      else begin
+        Hashtbl.add seen (s, c) ();
+        let g = 1 + Gbc_workload.Rng.int rng 4 in
+        let fact =
+          Ast.fact "takes"
+            [ Value.Sym (Printf.sprintf "s%d" s);
+              Value.Sym (Printf.sprintf "c%d" c);
+              Value.Int g ]
+        in
+        draw (fact :: acc) (n - 1) guard
+      end
+  in
+  draw [] enrollments (100 * enrollments)

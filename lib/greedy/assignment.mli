@@ -1,0 +1,24 @@
+(** Examples 1 and 2 (and the [bi_st_c] refinement): bi-injective
+    student/course assignments — the paper's introductory choice
+    programs, used by the quickstart and by the semantics tests. *)
+
+open Gbc_datalog
+
+val example1_source : string
+(** One student per course and vice versa ([a_st]). *)
+
+val bi_st_c_source : string
+(** Bi-injective pairs among the lowest grades above 1. *)
+
+val paper_facts : Ast.program
+(** The four [takes] facts of Example 1. *)
+
+val program : ?facts:Ast.program -> string -> Ast.program
+(** Source plus facts (defaults to {!paper_facts}). *)
+
+val models : ?facts:Ast.program -> string -> (string * string) list list
+(** All choice models, as sorted (student, course) assignment lists —
+    for Example 1 on the paper's facts, exactly M1, M2, M3. *)
+
+val random_takes : seed:int -> students:int -> courses:int -> enrollments:int -> Ast.program
+(** Random [takes] facts for scaling experiments (E7). *)

@@ -1,0 +1,54 @@
+open Gbc_datalog
+module Graph_gen = Gbc_workload.Graph_gen
+
+let source ~root =
+  Printf.sprintf
+    {|
+dij(%d, 0, 0).
+dij(Y, D, I) <- next(I), cand(Y, D, J), J < I, Y != %d, least(D, I), choice(Y, D).
+cand(Y, D, J) <- dij(X, DX, J), g(X, Y, C), D = DX + C.
+|}
+    root root
+
+let program ~root g = Graph_gen.to_facts g @ Parser.parse_program (source ~root)
+
+let decode db =
+  Runner.rows db "dij"
+  |> Runner.sort_by_stage ~stage_col:2
+  |> List.map (fun row -> (Runner.int_at row 0, Runner.int_at row 1))
+
+let run engine ?(root = 0) g = decode (Runner.run engine (program ~root g))
+
+let procedural ?(root = 0) (g : Graph_gen.t) =
+  let n = g.Graph_gen.nodes in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, c) ->
+      adj.(u) <- (v, c) :: adj.(u);
+      adj.(v) <- (u, c) :: adj.(v))
+    g.Graph_gen.edges;
+  let dist = Array.make n max_int in
+  let settled = Array.make n false in
+  let heap = Gbc_ordered.Binary_heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+  dist.(root) <- 0;
+  Gbc_ordered.Binary_heap.push heap (0, root);
+  let order = ref [] in
+  let rec loop () =
+    match Gbc_ordered.Binary_heap.pop heap with
+    | None -> ()
+    | Some (d, x) ->
+      if not settled.(x) then begin
+        settled.(x) <- true;
+        order := (x, d) :: !order;
+        List.iter
+          (fun (y, c) ->
+            if (not settled.(y)) && d + c < dist.(y) then begin
+              dist.(y) <- d + c;
+              Gbc_ordered.Binary_heap.push heap (d + c, y)
+            end)
+          adj.(x)
+      end;
+      loop ()
+  in
+  loop ();
+  List.rev !order

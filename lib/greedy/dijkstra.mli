@@ -1,0 +1,19 @@
+(** Single-source shortest paths as a stage-stratified program — an
+    extension in the spirit of the paper's conclusion: Dijkstra's
+    algorithm is greedy-by-choice too, and its program compiles to the
+    same [(R, Q, L)] plan (the congruence key is the frontier node, so
+    shadowing implements decrease-key).
+
+    As with Prim, the [Y != root] guard keeps the source from being
+    re-entered (its distance is a fact, not a chosen tuple). *)
+
+open Gbc_datalog
+
+val source : root:int -> string
+val program : root:int -> Gbc_workload.Graph_gen.t -> Ast.program
+
+val run : Runner.engine -> ?root:int -> Gbc_workload.Graph_gen.t -> (int * int) list
+(** [(node, distance)] for every reachable node, in settling order. *)
+
+val procedural : ?root:int -> Gbc_workload.Graph_gen.t -> (int * int) list
+(** Classic Dijkstra with a binary heap; same output order. *)

@@ -1,0 +1,108 @@
+open Gbc_datalog
+
+let source = {|
+h(X, C, 0) <- letter(X, C).
+h(t(X, Y), C, I) <- next(I), feasible(t(X, Y), C, J), J < I,
+                    not subtree(X, L1), L1 < I,
+                    not subtree(Y, L2), L2 < I,
+                    least(C, I), choice(X, I), choice(Y, I).
+feasible(t(X, Y), C, I) <- h(X, C1, J), h(Y, C2, K), X != Y,
+                           I = max(J, K), C = C1 + C2,
+                           not subtree(X, L1), L1 < I,
+                           not subtree(Y, L2), L2 < I.
+subtree(X, I) <- h(t(X, _), _, I).
+subtree(Y, I) <- h(t(_, Y), _, I).
+|}
+
+let program letters = Gbc_workload.Text_gen.letter_facts letters @ Parser.parse_program source
+
+type result = { root : Value.t; internal_cost : int; merges : int }
+
+let decode letters db =
+  let internal =
+    Runner.rows db "h" |> List.filter (fun row -> Runner.int_at row 2 > 0)
+  in
+  let internal_cost = List.fold_left (fun acc row -> acc + Runner.int_at row 1) 0 internal in
+  let root =
+    match Runner.sort_by_stage ~stage_col:2 internal with
+    | [] ->
+      (* Degenerate single-letter alphabet: the root is the leaf. *)
+      (match letters with
+      | [ (sym, _) ] -> Value.Sym sym
+      | _ -> invalid_arg "Huffman.decode: no merges on a multi-letter alphabet")
+    | rows -> (List.nth rows (List.length rows - 1)).(0)
+  in
+  { root; internal_cost; merges = List.length internal }
+
+let run engine letters = decode letters (Runner.run engine (program letters))
+
+(* Two sorted queues: leaves and merged trees; always combine the two
+   globally smallest costs.  O(n log n) because of the initial sort. *)
+let procedural_cost letters =
+  let leaves = Queue.create () and merged = Queue.create () in
+  List.iter
+    (fun (_, c) -> Queue.push c leaves)
+    (List.sort (fun (_, a) (_, b) -> compare a b) letters);
+  let pop_min () =
+    match Queue.peek_opt leaves, Queue.peek_opt merged with
+    | None, None -> invalid_arg "Huffman.procedural_cost: empty alphabet"
+    | Some _, None -> Queue.pop leaves
+    | None, Some _ -> Queue.pop merged
+    | Some a, Some b -> if a <= b then Queue.pop leaves else Queue.pop merged
+  in
+  let total = ref 0 in
+  let remaining = ref (List.length letters) in
+  while !remaining > 1 do
+    let a = pop_min () in
+    let b = pop_min () in
+    let c = a + b in
+    total := !total + c;
+    Queue.push c merged;
+    decr remaining
+  done;
+  !total
+
+let encode root symbols =
+  let codes =
+    let tbl = Hashtbl.create 64 in
+    let rec walk prefix = function
+      | Value.App ("t", [ l; r ]) ->
+        walk (prefix ^ "0") l;
+        walk (prefix ^ "1") r
+      | Value.Sym s -> Hashtbl.replace tbl s (if prefix = "" then "0" else prefix)
+      | v -> invalid_arg ("Huffman.encode: unexpected node " ^ Value.to_string v)
+    in
+    walk "" root;
+    tbl
+  in
+  String.concat "" (List.map (Hashtbl.find codes) symbols)
+
+let decode root bits =
+  let out = ref [] in
+  let node = ref root in
+  let consume_leaf s =
+    out := s :: !out;
+    node := root
+  in
+  (match root with
+  | Value.Sym s ->
+    (* Single-letter alphabet: every bit is that letter. *)
+    String.iter (fun _ -> consume_leaf s) bits
+  | _ ->
+    String.iter
+      (fun bit ->
+        (match !node with
+        | Value.App ("t", [ l; r ]) -> node := (if bit = '0' then l else r)
+        | v -> invalid_arg ("Huffman.decode: unexpected node " ^ Value.to_string v));
+        match !node with Value.Sym s -> consume_leaf s | _ -> ())
+      bits;
+    if !node != root then invalid_arg "Huffman.decode: truncated codeword");
+  List.rev !out
+
+let codes root =
+  let rec walk prefix acc = function
+    | Value.App ("t", [ l; r ]) -> walk (prefix ^ "0") (walk (prefix ^ "1") acc r) l
+    | Value.Sym s -> (s, if prefix = "" then "0" else prefix) :: acc
+    | v -> invalid_arg ("Huffman.codes: unexpected node " ^ Value.to_string v)
+  in
+  walk "" [] root

@@ -1,0 +1,45 @@
+(** Example 6: Huffman trees.
+
+    Subtrees [h(T, C, I)] merge greedily by least cost; [feasible]
+    enumerates candidate pairs and the stage-guarded negations
+    [not subtree(X, L1), L1 < I] express availability, using the
+    paper's scoped-negation idiom directly (the guard comparison is
+    folded under the negation by {!Eval}).
+
+    One repair over the printed program, documented in DESIGN.md: the
+    availability checks are carried in the {e next rule} as well, not
+    only inside [feasible].  Since [feasible] facts are materialized,
+    the printed program can select a pair whose component was consumed
+    after the pair was derived — the choice FDs [choice(X, I)],
+    [choice(Y, I)] cannot catch a subtree reused across the two
+    columns. *)
+
+open Gbc_datalog
+
+val source : string
+
+val program : (string * int) list -> Ast.program
+(** [letter(sym, freq)] facts plus the rules. *)
+
+type result = {
+  root : Value.t;  (** the final tree term *)
+  internal_cost : int;  (** sum of merge costs = weighted path length *)
+  merges : int;
+}
+
+val run : Runner.engine -> (string * int) list -> result
+
+val procedural_cost : (string * int) list -> int
+(** Optimal weighted path length via the classic two-queue algorithm. *)
+
+val codes : Value.t -> (string * string) list
+(** Prefix codes read off a tree term: leaf symbol to bit string. *)
+
+val encode : Value.t -> string list -> string
+(** Encode a sequence of symbols with the tree's codes.
+    @raise Not_found for a symbol outside the alphabet. *)
+
+val decode : Value.t -> string -> string list
+(** Decode a bit string back into symbols.
+    @raise Invalid_argument on a bit sequence that is not a codeword
+    concatenation. *)

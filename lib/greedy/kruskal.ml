@@ -1,0 +1,55 @@
+open Gbc_datalog
+module Graph_gen = Gbc_workload.Graph_gen
+
+let source = {|
+kruskal(nil, nil, 0, 0).
+kruskal(X, Y, C, I) <- next(I), g(X, Y, C), cur(X, J, I), cur(Y, K, I), J != K,
+                       least(C, I).
+
+% Per-stage component view: comp0 seeds stage 1; after the selection at
+% stage I1, members of the first endpoint's component adopt the second
+% endpoint's, everyone else carries over.  Both rules are positive (the
+% carry-over tests component inequality instead of negating a "moved"
+% predicate), so saturation order cannot matter.
+cur(X, K, 1) <- comp0(X, K).
+cur(X, K, I) <- stage(I), I = I1 + 1, cur(X, J, I1), kruskal(A, B, _, I1),
+                cur(A, J, I1), cur(B, K, I1).
+cur(X, K, I) <- stage(I), I = I1 + 1, cur(X, K, I1), kruskal(A, B, _, I1),
+                cur(A, J, I1), K != J.
+stage(I) <- kruskal(_, _, _, I1), I = I1 + 1.
+
+% Initial components: one fresh identifier per node.
+comp0(nil, 0).
+comp0(X, K) <- next(K), node(X).
+|}
+
+let program g =
+  Graph_gen.to_facts g @ Graph_gen.node_facts g @ Parser.parse_program source
+
+type result = { edges : (int * int * int) list; weight : int }
+
+let decode db =
+  let edges =
+    Runner.rows db "kruskal"
+    |> List.filter (fun row -> Runner.int_at row 3 > 0)
+    |> Runner.sort_by_stage ~stage_col:3
+    |> List.map (fun row -> (Runner.int_at row 0, Runner.int_at row 1, Runner.int_at row 2))
+  in
+  { edges; weight = List.fold_left (fun acc (_, _, c) -> acc + c) 0 edges }
+
+let run engine g = decode (Runner.run engine (program g))
+
+let procedural ?(by_rank = true) (g : Graph_gen.t) =
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> compare a b) g.Graph_gen.edges
+  in
+  let uf = Gbc_ordered.Union_find.create ~by_rank g.Graph_gen.nodes in
+  let edges =
+    List.filter (fun (u, v, _) -> Gbc_ordered.Union_find.union uf u v) sorted
+  in
+  { edges; weight = List.fold_left (fun acc (_, _, c) -> acc + c) 0 edges }
+
+let is_spanning_tree (g : Graph_gen.t) r =
+  let uf = Gbc_ordered.Union_find.create g.Graph_gen.nodes in
+  List.length r.edges = g.Graph_gen.nodes - 1
+  && List.for_all (fun (u, v, _) -> Gbc_ordered.Union_find.union uf u v) r.edges

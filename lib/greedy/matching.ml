@@ -1,0 +1,59 @@
+open Gbc_datalog
+
+let source = {|
+matching(nil, nil, 0, 0).
+matching(X, Y, C, I) <- next(I), g(X, Y, C), least(C, I),
+                        choice(Y, X), choice(X, Y).
+|}
+
+let arc_facts arcs =
+  List.map (fun (x, y, c) -> Ast.fact "g" [ Value.Int x; Value.Int y; Value.Int c ]) arcs
+
+let program arcs = arc_facts arcs @ Parser.parse_program source
+
+type result = { arcs : (int * int * int) list; cost : int }
+
+let decode db =
+  let arcs =
+    Runner.rows db "matching"
+    |> List.filter (fun row -> Runner.int_at row 3 > 0)
+    |> Runner.sort_by_stage ~stage_col:3
+    |> List.map (fun row -> (Runner.int_at row 0, Runner.int_at row 1, Runner.int_at row 2))
+  in
+  { arcs; cost = List.fold_left (fun acc (_, _, c) -> acc + c) 0 arcs }
+
+let run engine arcs = decode (Runner.run engine (program arcs))
+
+let procedural arcs =
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) arcs in
+  let out_used = Hashtbl.create 64 and in_used = Hashtbl.create 64 in
+  let chosen =
+    List.filter
+      (fun (x, y, _) ->
+        if Hashtbl.mem out_used x || Hashtbl.mem in_used y then false
+        else begin
+          Hashtbl.add out_used x ();
+          Hashtbl.add in_used y ();
+          true
+        end)
+      sorted
+  in
+  { arcs = chosen; cost = List.fold_left (fun acc (_, _, c) -> acc + c) 0 chosen }
+
+let is_maximal_matching all r =
+  let out_used = Hashtbl.create 64 and in_used = Hashtbl.create 64 in
+  let valid =
+    List.for_all
+      (fun (x, y, _) ->
+        if Hashtbl.mem out_used x || Hashtbl.mem in_used y then false
+        else begin
+          Hashtbl.add out_used x ();
+          Hashtbl.add in_used y ();
+          true
+        end)
+      r.arcs
+  in
+  valid
+  && List.for_all
+       (fun (x, y, _) -> Hashtbl.mem out_used x || Hashtbl.mem in_used y)
+       all

@@ -1,0 +1,31 @@
+(** Example 7: greedy minimum-cost maximal matching on a directed
+    graph.
+
+    As the program's choice goals define it ([choice(Y, X)],
+    [choice(X, Y)]), the result is a maximal {e partial permutation}:
+    each node has at most one outgoing and at most one incoming
+    selected arc.  (The paper's prose says "no two arcs share a common
+    vertex"; the FDs of the printed program enforce the per-column
+    reading, which is what we — and the baseline — implement.  See
+    DESIGN.md.)
+
+    Claim C3: [O(e log e)] with all [e] arcs in the priority queue;
+    the congruence analysis correctly refuses to shadow here. *)
+
+open Gbc_datalog
+
+val source : string
+
+val program : (int * int * int) list -> Ast.program
+(** Directed arcs [(x, y, c)]. *)
+
+type result = { arcs : (int * int * int) list; cost : int }
+
+val run : Runner.engine -> (int * int * int) list -> result
+
+val procedural : (int * int * int) list -> result
+(** Sort arcs by cost, take each whose source is an unused source and
+    whose target is an unused target. *)
+
+val is_maximal_matching : (int * int * int) list -> result -> bool
+(** Valid partial permutation, maximal for the arc set. *)

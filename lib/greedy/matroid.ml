@@ -1,0 +1,82 @@
+type 'a t = { m_ground : 'a list; m_independent : 'a list -> bool }
+
+let make ~ground ~independent =
+  if not (independent []) then invalid_arg "Matroid.make: the empty set must be independent";
+  { m_ground = ground; m_independent = independent }
+
+let ground t = t.m_ground
+let independent t s = t.m_independent s
+
+let uniform ~k elements =
+  make ~ground:elements ~independent:(fun s -> List.length s <= k)
+
+let partition ~class_of ~capacity elements =
+  make ~ground:elements ~independent:(fun s ->
+      let counts = Hashtbl.create 8 in
+      List.for_all
+        (fun x ->
+          let c = class_of x in
+          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt counts c) in
+          Hashtbl.replace counts c n;
+          n <= capacity)
+        s)
+
+let graphic ~nodes edges =
+  make ~ground:edges ~independent:(fun s ->
+      let uf = Gbc_ordered.Union_find.create nodes in
+      List.for_all (fun (u, v) -> Gbc_ordered.Union_find.union uf u v) s)
+
+(* All subsets of the ground set, as lists (small grounds only). *)
+let subsets t =
+  let elements = Array.of_list t.m_ground in
+  let n = Array.length elements in
+  if n > 20 then invalid_arg "Matroid: ground set too large for exhaustive checks";
+  List.init (1 lsl n) (fun mask ->
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list elements))
+
+let is_independence_system t =
+  t.m_independent []
+  && List.for_all
+       (fun s ->
+         (not (t.m_independent s))
+         || List.for_all
+              (fun dropped -> t.m_independent (List.filter (fun x -> x != dropped) s))
+              s)
+       (subsets t)
+
+let satisfies_exchange t =
+  let independents = List.filter t.m_independent (subsets t) in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          List.length a >= List.length b
+          || List.exists
+               (fun x -> (not (List.memq x a)) && t.m_independent (x :: a))
+               b)
+        independents)
+    independents
+
+let greedy ~weight ?(maximize = false) t =
+  let order a b =
+    let c = compare (weight a) (weight b) in
+    if maximize then -c else c
+  in
+  let sorted = List.stable_sort order t.m_ground in
+  List.rev
+    (List.fold_left
+       (fun acc x -> if t.m_independent (x :: acc) then x :: acc else acc)
+       [] sorted)
+
+let best_basis_weight ~weight ?(maximize = false) t =
+  let independents = List.filter t.m_independent (subsets t) in
+  let maximal s =
+    List.for_all
+      (fun x -> List.memq x s || not (t.m_independent (x :: s)))
+      t.m_ground
+  in
+  let bases = List.filter maximal independents in
+  let weights = List.map (fun s -> List.fold_left (fun a x -> a + weight x) 0 s) bases in
+  match weights with
+  | [] -> invalid_arg "Matroid.best_basis_weight: no bases"
+  | w :: ws -> List.fold_left (if maximize then max else min) w ws

@@ -1,0 +1,48 @@
+(** Matroids and the greedy theorem — the paper's conclusion points at
+    matroid theory [12] (and greedoids, matroid embeddings) as the road
+    to deciding when [least] can be pushed into a choice program.  This
+    module implements the structures that discussion rests on:
+    independence systems with an oracle, the matroid axioms as
+    executable (exhaustive, small-scale) checks, and the generic greedy
+    algorithm, which is optimal exactly on matroids.
+
+    The tests connect the theory back to the programs: Kruskal's edge
+    sets are the greedy bases of the graphic matroid; the matching
+    program optimizes over an intersection of two partition matroids —
+    not itself a matroid, which is exactly why its greedy result is
+    maximal but not always optimal. *)
+
+type 'a t
+(** An independence system over a finite ground set. *)
+
+val make : ground:'a list -> independent:('a list -> bool) -> 'a t
+(** [independent] must accept the empty list. *)
+
+val ground : 'a t -> 'a list
+val independent : 'a t -> 'a list -> bool
+
+val uniform : k:int -> 'a list -> 'a t
+(** Sets of size at most [k]. *)
+
+val partition : class_of:('a -> int) -> capacity:int -> 'a list -> 'a t
+(** At most [capacity] elements per class. *)
+
+val graphic : nodes:int -> (int * int) list -> (int * int) t
+(** Forests of the given edge set (edges are ground elements). *)
+
+val is_independence_system : 'a t -> bool
+(** Non-empty and downward closed (exhaustive — keep the ground set
+    small). *)
+
+val satisfies_exchange : 'a t -> bool
+(** The matroid augmentation axiom, checked exhaustively. *)
+
+val greedy : weight:('a -> int) -> ?maximize:bool -> 'a t -> 'a list
+(** The generic greedy: scan elements by weight (ascending by default),
+    keep each element that preserves independence.  Returns a basis;
+    optimal for matroids (minimum-weight basis), merely maximal
+    otherwise. *)
+
+val best_basis_weight : weight:('a -> int) -> ?maximize:bool -> 'a t -> int
+(** Exhaustive optimum over all maximal independent sets (tests only).
+    @raise Invalid_argument beyond 20 ground elements. *)

@@ -1,0 +1,63 @@
+open Gbc_datalog
+module Graph_gen = Gbc_workload.Graph_gen
+
+let source ~root =
+  Printf.sprintf
+    {|
+prm(nil, %d, 0, 0).
+prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, Y != %d,
+                   least(C, I), choice(Y, (X, C)).
+new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+|}
+    root root
+
+let program ~root g = Graph_gen.to_facts g @ Parser.parse_program (source ~root)
+
+type result = { edges : (int * int * int) list; weight : int }
+
+let decode db =
+  let edges =
+    Runner.rows db "prm"
+    |> List.filter (fun row -> Runner.int_at row 3 > 0)
+    |> Runner.sort_by_stage ~stage_col:3
+    |> List.map (fun row -> (Runner.int_at row 0, Runner.int_at row 1, Runner.int_at row 2))
+  in
+  { edges; weight = List.fold_left (fun acc (_, _, c) -> acc + c) 0 edges }
+
+let run engine ?(root = 0) g = decode (Runner.run engine (program ~root g))
+
+let procedural ?(root = 0) (g : Graph_gen.t) =
+  let n = g.Graph_gen.nodes in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, c) ->
+      adj.(u) <- (v, c) :: adj.(u);
+      adj.(v) <- (u, c) :: adj.(v))
+    g.Graph_gen.edges;
+  let in_tree = Array.make n false in
+  let heap = Gbc_ordered.Binary_heap.create ~cmp:(fun (c1, _, _) (c2, _, _) -> compare c1 c2) () in
+  let enter x =
+    in_tree.(x) <- true;
+    List.iter (fun (y, c) -> if not in_tree.(y) then Gbc_ordered.Binary_heap.push heap (c, x, y)) adj.(x)
+  in
+  enter root;
+  let edges = ref [] in
+  let rec loop () =
+    match Gbc_ordered.Binary_heap.pop heap with
+    | None -> ()
+    | Some (c, x, y) ->
+      if not in_tree.(y) then begin
+        edges := (x, y, c) :: !edges;
+        enter y
+      end;
+      loop ()
+  in
+  loop ();
+  let edges = List.rev !edges in
+  { edges; weight = List.fold_left (fun acc (_, _, c) -> acc + c) 0 edges }
+
+let is_spanning_tree (g : Graph_gen.t) r =
+  let n = g.Graph_gen.nodes in
+  let uf = Gbc_ordered.Union_find.create n in
+  List.length r.edges = n - 1
+  && List.for_all (fun (u, v, _) -> Gbc_ordered.Union_find.union uf u v) r.edges

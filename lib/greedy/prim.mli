@@ -1,0 +1,27 @@
+(** Example 4: Prim's minimum-spanning-tree algorithm.
+
+    One deviation from the PODS'92 text, documented in DESIGN.md: the
+    rule carries the guard [Y != root].  Without it the choice FD
+    cannot prevent re-entering the source node — no chosen tuple ever
+    mentions it — and the program can select a cycle edge.  We also
+    write [choice(Y, (X, C))] (the Example-3 form, robust to parallel
+    edges) rather than [choice(Y, X)].
+
+    Claim C1: the [(R, Q, L)] implementation runs in [O(e log e)]. *)
+
+open Gbc_datalog
+
+val source : root:int -> string
+val program : root:int -> Gbc_workload.Graph_gen.t -> Ast.program
+
+type result = { edges : (int * int * int) list; weight : int }
+
+val run : Runner.engine -> ?root:int -> Gbc_workload.Graph_gen.t -> result
+(** Tree edges in selection order ([(x, y, c)]: [y] entered the tree
+    through [x]). *)
+
+val procedural : ?root:int -> Gbc_workload.Graph_gen.t -> result
+(** Classic Prim with a binary heap and lazy deletion. *)
+
+val is_spanning_tree : Gbc_workload.Graph_gen.t -> result -> bool
+(** Edges form a spanning tree of the graph (when it is connected). *)

@@ -1,0 +1,14 @@
+open Gbc_datalog
+
+type engine = Reference | Staged
+
+let run engine program =
+  match engine with
+  | Reference -> Choice_fixpoint.model program
+  | Staged -> Stage_engine.model program
+
+let rows db pred = Database.facts_of db pred
+let int_at row i = Value.as_int row.(i)
+
+let sort_by_stage ~stage_col rows =
+  List.sort (fun a b -> compare (int_at a stage_col) (int_at b stage_col)) rows

@@ -1,0 +1,19 @@
+(** Shared plumbing for the greedy-algorithm modules: run a program on
+    either engine and decode the result relation. *)
+
+open Gbc_datalog
+
+type engine = Reference | Staged
+
+val run : engine -> Ast.program -> Database.t
+(** Evaluate with {!Choice_fixpoint} (policy [First]) or
+    {!Stage_engine}. *)
+
+val rows : Database.t -> string -> Value.t array list
+(** Rows of a predicate in insertion order. *)
+
+val int_at : Value.t array -> int -> int
+(** Integer at a column. @raise Invalid_argument otherwise. *)
+
+val sort_by_stage : stage_col:int -> Value.t array list -> Value.t array list
+(** Sort rows by the integer value of the stage column. *)

@@ -1,0 +1,42 @@
+open Gbc_datalog
+
+let source = {|
+sched(nil, 0, 0, 0).
+sched(Id, S, F, I) <- next(I), job(Id, S, F), least(F, I),
+                      not conflict(Id), choice(Id, (S, F)).
+conflict(Id) <- job(Id, S, F), sched(Id1, S1, F1, I), I > 0, Id1 != Id,
+                S < F1, S1 < F.
+|}
+
+let program jobs = Gbc_workload.Interval_gen.job_facts jobs @ Parser.parse_program source
+
+let decode db =
+  Runner.rows db "sched"
+  |> List.filter (fun row -> Runner.int_at row 3 > 0)
+  |> Runner.sort_by_stage ~stage_col:3
+  |> List.map (fun row -> (Runner.int_at row 0, Runner.int_at row 1, Runner.int_at row 2))
+
+let run engine jobs = decode (Runner.run engine (program jobs))
+
+let procedural jobs =
+  let sorted = List.sort (fun (_, _, f1) (_, _, f2) -> compare f1 f2) jobs in
+  let rec go last acc = function
+    | [] -> List.rev acc
+    | ((_, s, f) as job) :: rest ->
+      if s >= last then go f (job :: acc) rest else go last acc rest
+  in
+  go min_int [] sorted
+
+let is_valid_schedule ~all selected =
+  let compatible (_, s1, f1) (_, s2, f2) = f1 <= s2 || f2 <= s1 in
+  let pairwise_ok =
+    List.for_all
+      (fun j1 -> List.for_all (fun j2 -> j1 = j2 || compatible j1 j2) selected)
+      selected
+  in
+  (* Maximality: every unselected job conflicts with a selected one. *)
+  pairwise_ok
+  && List.for_all
+       (fun job ->
+         List.mem job selected || List.exists (fun s -> not (compatible job s)) selected)
+       all

@@ -1,0 +1,20 @@
+(** Interval scheduling by earliest finish time — a second extension
+    program (the paper's Section 5 mentions scheduling algorithms among
+    those expressed in the companion report [2]).
+
+    Greedy earliest-finish is optimal for maximizing the number of
+    compatible jobs; the [not conflict(Id)] guard rejects jobs
+    overlapping an already-selected one. *)
+
+open Gbc_datalog
+
+val source : string
+val program : (int * int * int) list -> Ast.program
+
+val run : Runner.engine -> (int * int * int) list -> (int * int * int) list
+(** Selected jobs [(id, start, finish)] in selection order. *)
+
+val procedural : (int * int * int) list -> (int * int * int) list
+
+val is_valid_schedule : all:(int * int * int) list -> (int * int * int) list -> bool
+(** Pairwise compatible and maximal in the greedy sense. *)

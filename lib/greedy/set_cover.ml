@@ -1,0 +1,92 @@
+open Gbc_datalog
+
+let source = {|
+picked(nil, 0).
+picked(S, I) <- next(I), gain(S, G, I), G > 0, most(G, I), choice(S, I).
+gain(S, G, I) <- uncovered(S, E, I), count(G, E, (S, I)).
+uncovered(S, E, I) <- stage(I), elem(S, E), not covered(E, L), L < I.
+covered(E, I) <- picked(S, I), elem(S, E).
+stage(I) <- picked(_, I1), I = I1 + 1.
+|}
+
+let program sets =
+  List.concat_map
+    (fun (s, elems) ->
+      List.map (fun e -> Ast.fact "elem" [ Value.Int s; Value.Int e ]) elems)
+    sets
+  @ Parser.parse_program source
+
+let run engine sets =
+  let db = Runner.run engine (program sets) in
+  Runner.rows db "picked"
+  |> List.filter (fun row -> Runner.int_at row 1 > 0)
+  |> Runner.sort_by_stage ~stage_col:1
+  |> List.map (fun row -> Runner.int_at row 0)
+
+let coverage sets picked =
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match List.assoc_opt s sets with
+      | Some elems -> List.iter (fun e -> Hashtbl.replace covered e ()) elems
+      | None -> ())
+    picked;
+  Hashtbl.length covered
+
+let coverable sets =
+  let all = Hashtbl.create 64 in
+  List.iter (fun (_, elems) -> List.iter (fun e -> Hashtbl.replace all e ()) elems) sets;
+  Hashtbl.length all
+
+let procedural sets =
+  let covered = Hashtbl.create 64 in
+  let rec go acc =
+    let gain (_, elems) =
+      List.length (List.sort_uniq compare (List.filter (fun e -> not (Hashtbl.mem covered e)) elems))
+    in
+    let best =
+      List.fold_left
+        (fun acc set ->
+          let g = gain set in
+          match acc with
+          | Some (_, bg) when bg >= g -> acc
+          | _ when g > 0 -> Some (set, g)
+          | _ -> acc)
+        None sets
+    in
+    match best with
+    | None -> List.rev acc
+    | Some ((s, elems), _) ->
+      List.iter (fun e -> Hashtbl.replace covered e ()) elems;
+      go (s :: acc)
+  in
+  go []
+
+let optimal_size sets =
+  let n = List.length sets in
+  if n > 16 then invalid_arg "Set_cover.optimal_size: too many sets";
+  let target = coverable sets in
+  let arr = Array.of_list sets in
+  let best = ref n in
+  for mask = 0 to (1 lsl n) - 1 do
+    let chosen = ref [] in
+    Array.iteri (fun i (s, _) -> if mask land (1 lsl i) <> 0 then chosen := s :: !chosen) arr;
+    let size = List.length !chosen in
+    if size < !best && coverage sets !chosen = target then best := size
+  done;
+  !best
+
+let random_instance ~seed ~sets ~universe =
+  let rng = Gbc_workload.Rng.create seed in
+  let base =
+    List.init sets (fun s ->
+        let size = 1 + Gbc_workload.Rng.int rng (max 1 (universe / 2)) in
+        (s, List.sort_uniq compare (List.init size (fun _ -> Gbc_workload.Rng.int rng universe))))
+  in
+  (* Guarantee full coverability: sweep leftovers into the last set. *)
+  let covered = Hashtbl.create 64 in
+  List.iter (fun (_, es) -> List.iter (fun e -> Hashtbl.replace covered e ()) es) base;
+  let missing = List.filter (fun e -> not (Hashtbl.mem covered e)) (List.init universe Fun.id) in
+  match List.rev base with
+  | (s, es) :: rest -> List.rev ((s, List.sort_uniq compare (es @ missing)) :: rest)
+  | [] -> []

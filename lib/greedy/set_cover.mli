@@ -1,0 +1,46 @@
+(** Greedy set cover — named by the paper among the greedy algorithms
+    expressed in its companion report [2], and the reason this library
+    carries LDL-style [count] aggregates: the greedy gain of a set is
+    "how many still-uncovered elements it contains", a per-stage
+    aggregate over a stage-guarded negation.
+
+    The program follows the Kruskal pattern (a per-stage recomputed
+    view) with [most(G, I)] selecting a maximum-gain set:
+
+    {v
+    picked(S, I) <- next(I), gain(S, G, I), G > 0, most(G, I), choice(S, I).
+    gain(S, G, I) <- uncovered(S, E, I), count(G, E, (S, I)).
+    uncovered(S, E, I) <- stage(I), elem(S, E), not covered(E, L), L < I.
+    covered(E, I) <- picked(S, I), elem(S, E).
+    v}
+
+    The classical [H_k]-approximation bound applies.  Note that
+    aggregates have no first-order expansion in this library, so set
+    cover is the one program whose models cannot be fed to the
+    stability checker (documented in DESIGN.md). *)
+
+open Gbc_datalog
+
+val source : string
+
+val program : (int * int list) list -> Ast.program
+(** Sets as [(set id, elements)]. *)
+
+val run : Runner.engine -> (int * int list) list -> int list
+(** Picked set ids, in selection order. *)
+
+val procedural : (int * int list) list -> int list
+(** Classic greedy max-gain (ties by lowest set id). *)
+
+val coverage : (int * int list) list -> int list -> int
+(** Number of distinct elements covered by the given sets. *)
+
+val coverable : (int * int list) list -> int
+(** Number of distinct elements in the instance. *)
+
+val optimal_size : (int * int list) list -> int
+(** Exhaustive minimum number of sets achieving full coverage
+    (tests only). @raise Invalid_argument beyond 16 sets. *)
+
+val random_instance : seed:int -> sets:int -> universe:int -> (int * int list) list
+(** Random instance whose union covers the whole universe. *)

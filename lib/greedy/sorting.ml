@@ -1,0 +1,37 @@
+open Gbc_datalog
+
+let source = {|
+sp(nil, 0, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+|}
+
+let item_facts items =
+  List.map (fun (x, c) -> Ast.fact "p" [ Value.Sym x; Value.Int c ]) items
+
+let program items = item_facts items @ Parser.parse_program source
+
+let run engine items =
+  let db = Runner.run engine (program items) in
+  Runner.rows db "sp"
+  |> List.filter (fun row -> Runner.int_at row 2 > 0) (* drop the seed *)
+  |> Runner.sort_by_stage ~stage_col:2
+  |> List.map (fun row ->
+         match row.(0) with
+         | Value.Sym x -> (x, Runner.int_at row 1)
+         | v -> invalid_arg ("Sorting.run: unexpected item " ^ Value.to_string v))
+
+let procedural items =
+  let heap =
+    Gbc_ordered.Binary_heap.of_list
+      ~cmp:(fun (_, a) (_, b) -> compare a b)
+      (List.sort_uniq compare items)
+  in
+  Gbc_ordered.Binary_heap.to_sorted_list heap
+
+let is_sorted_permutation ~input output =
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | (_, c1) :: ((_, c2) :: _ as rest) -> c1 <= c2 && sorted rest
+  in
+  sorted output
+  && List.sort compare output = List.sort compare (List.sort_uniq compare input)

@@ -1,0 +1,24 @@
+(** Example 5: sorting a relation with [next] + [least].
+
+    The program stamps each tuple of [p(X, C)] with a stage [I] such
+    that stages increase with costs — the paper's point being that the
+    fixpoint implementation of this "insertion sort"-looking program is
+    actually a heap sort ([O(n log n)], claim C2). *)
+
+open Gbc_datalog
+
+val source : string
+(** The program text (without the [p] facts). *)
+
+val program : (string * int) list -> Ast.program
+(** Program plus [p(name, cost)] facts. *)
+
+val run : Runner.engine -> (string * int) list -> (string * int) list
+(** Items in stage order (the sort produced by the engine). *)
+
+val procedural : (string * int) list -> (string * int) list
+(** Heap-sort baseline (binary heap), stable on distinct costs. *)
+
+val is_sorted_permutation : input:(string * int) list -> (string * int) list -> bool
+(** Output is non-decreasing in cost and a permutation of the distinct
+    input tuples. *)

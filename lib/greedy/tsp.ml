@@ -1,0 +1,85 @@
+open Gbc_datalog
+module Graph_gen = Gbc_workload.Graph_gen
+
+let source = {|
+tsp_chain(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).
+tsp_chain(X, Y, C, I) <- next(I), new_g(X, Y, C, J), I = J + 1, least(C, I),
+                         not visited(Y, L), L < I, choice(Y, X).
+new_g(X, Y, C, J) <- tsp_chain(_, X, _, J), g(X, Y, C).
+visited(X, J) <- tsp_chain(X, _, _, J).
+visited(Y, J) <- tsp_chain(_, Y, _, J).
+least_arcs(X, Y, C) <- g(X, Y, C), least(C).
+|}
+
+let program g = Graph_gen.to_facts g @ Parser.parse_program source
+
+type result = { chain : (int * int * int) list; cost : int }
+
+let decode db =
+  let chain =
+    Runner.rows db "tsp_chain"
+    |> Runner.sort_by_stage ~stage_col:3
+    |> List.map (fun row -> (Runner.int_at row 0, Runner.int_at row 1, Runner.int_at row 2))
+  in
+  { chain; cost = List.fold_left (fun acc (_, _, c) -> acc + c) 0 chain }
+
+let run engine g = decode (Runner.run engine (program g))
+
+let procedural (g : Graph_gen.t) =
+  let n = g.Graph_gen.nodes in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, c) ->
+      adj.(u) <- (v, c) :: adj.(u);
+      adj.(v) <- (u, c) :: adj.(v))
+    g.Graph_gen.edges;
+  match List.sort (fun (_, _, a) (_, _, b) -> compare a b) g.Graph_gen.edges with
+  | [] -> { chain = []; cost = 0 }
+  | (u0, v0, c0) :: _ ->
+    let visited = Array.make n false in
+    visited.(u0) <- true;
+    visited.(v0) <- true;
+    let chain = ref [ (u0, v0, c0) ] in
+    let current = ref v0 in
+    let rec extend () =
+      let best =
+        List.fold_left
+          (fun acc (y, c) ->
+            if visited.(y) then acc
+            else
+              match acc with
+              | Some (_, c') when c' <= c -> acc
+              | _ -> Some (y, c))
+          None adj.(!current)
+      in
+      match best with
+      | None -> ()
+      | Some (y, c) ->
+        chain := (!current, y, c) :: !chain;
+        visited.(y) <- true;
+        current := y;
+        extend ()
+    in
+    extend ();
+    let chain = List.rev !chain in
+    { chain; cost = List.fold_left (fun acc (_, _, c) -> acc + c) 0 chain }
+
+let is_hamiltonian_path (g : Graph_gen.t) r =
+  let n = g.Graph_gen.nodes in
+  let visited = Array.make n false in
+  let ok = ref (List.length r.chain = n - 1) in
+  (match r.chain with
+  | [] -> ok := n <= 1
+  | (u0, v0, _) :: rest ->
+    visited.(u0) <- true;
+    visited.(v0) <- true;
+    let current = ref v0 in
+    List.iter
+      (fun (x, y, _) ->
+        if x <> !current || visited.(y) then ok := false
+        else begin
+          visited.(y) <- true;
+          current := y
+        end)
+      rest);
+  !ok && Array.for_all (fun b -> b) visited

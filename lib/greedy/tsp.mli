@@ -1,0 +1,28 @@
+(** Section 5, "Computation of Sub-Optimals": the greedy
+    traveling-salesperson chain.
+
+    Start from the globally cheapest arc, then repeatedly extend the
+    chain's end with the cheapest arc into an unvisited node.  The
+    stage-guarded [not visited(Y, L), L < I] implements the paper's own
+    side condition ("provided that an arc with starting node Y has not
+    been previously selected") — the choice FD alone cannot see the
+    first arc's endpoints, which live in the exit rule's separate
+    [chosen] relation; and the guard must be stage-bounded, or the
+    selected arc would formally block itself in the rewriting (see
+    DESIGN.md). *)
+
+open Gbc_datalog
+
+val source : string
+val program : Gbc_workload.Graph_gen.t -> Ast.program
+
+type result = { chain : (int * int * int) list; cost : int }
+
+val run : Runner.engine -> Gbc_workload.Graph_gen.t -> result
+
+val procedural : Gbc_workload.Graph_gen.t -> result
+(** The same greedy chain, imperatively. *)
+
+val is_hamiltonian_path : Gbc_workload.Graph_gen.t -> result -> bool
+(** The chain is connected, starts at the cheapest arc and visits every
+    node exactly once (complete graphs always admit this). *)

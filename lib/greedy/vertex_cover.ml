@@ -1,0 +1,72 @@
+open Gbc_datalog
+module Graph_gen = Gbc_workload.Graph_gen
+
+let source = {|
+vc(nil, nil, 0).
+vc(X, Y, I) <- next(I), g(X, Y, C),
+               not covered(X, L1), L1 < I,
+               not covered(Y, L2), L2 < I.
+covered(X, I) <- vc(X, _, I).
+covered(Y, I) <- vc(_, Y, I).
+|}
+
+let program g = Graph_gen.to_facts g @ Parser.parse_program source
+
+type result = { picked : (int * int) list; cover : int list }
+
+let decode db =
+  let picked =
+    Runner.rows db "vc"
+    |> List.filter (fun row -> Runner.int_at row 2 > 0)
+    |> Runner.sort_by_stage ~stage_col:2
+    |> List.map (fun row -> (Runner.int_at row 0, Runner.int_at row 1))
+  in
+  let cover =
+    List.sort_uniq compare (List.concat_map (fun (x, y) -> [ x; y ]) picked)
+  in
+  { picked; cover }
+
+let run engine g = decode (Runner.run engine (program g))
+
+let procedural (g : Graph_gen.t) =
+  (* The engines scan g in fact-insertion order: both orientations of
+     each edge, in edge-list order. *)
+  let covered = Hashtbl.create 64 in
+  let picked =
+    List.filter_map
+      (fun (u, v, _) ->
+        if Hashtbl.mem covered u || Hashtbl.mem covered v then None
+        else begin
+          Hashtbl.add covered u ();
+          Hashtbl.add covered v ();
+          Some (u, v)
+        end)
+      g.Graph_gen.edges
+  in
+  { picked;
+    cover = List.sort_uniq compare (List.concat_map (fun (x, y) -> [ x; y ]) picked) }
+
+let is_cover (g : Graph_gen.t) r =
+  List.for_all
+    (fun (u, v, _) -> List.mem u r.cover || List.mem v r.cover)
+    g.Graph_gen.edges
+
+let optimal_cover_size (g : Graph_gen.t) =
+  let n = g.Graph_gen.nodes in
+  if n > 20 then invalid_arg "Vertex_cover.optimal_cover_size: too large";
+  let best = ref n in
+  for mask = 0 to (1 lsl n) - 1 do
+    let size =
+      let rec bits m acc = if m = 0 then acc else bits (m lsr 1) (acc + (m land 1)) in
+      bits mask 0
+    in
+    if size < !best then begin
+      let covers =
+        List.for_all
+          (fun (u, v, _) -> mask land (1 lsl u) <> 0 || mask land (1 lsl v) <> 0)
+          g.Graph_gen.edges
+      in
+      if covers then best := size
+    end
+  done;
+  !best

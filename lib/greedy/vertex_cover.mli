@@ -1,0 +1,29 @@
+(** Greedy vertex cover (the classic maximal-matching 2-approximation)
+    as a choice program — an extension exercising the one construct
+    combination the Section-5 examples skip: a [next] rule with {e no}
+    extremum, where the paper's [retrieve least] degenerates to
+    [retrieve any].
+
+    The program repeatedly picks any edge with both endpoints uncovered
+    and covers both; the picked edges form a maximal matching, so the
+    cover is at most twice the optimum. *)
+
+open Gbc_datalog
+
+val source : string
+val program : Gbc_workload.Graph_gen.t -> Ast.program
+
+type result = {
+  picked : (int * int) list;  (** the matching edges, in selection order *)
+  cover : int list;  (** their endpoints, sorted *)
+}
+
+val run : Runner.engine -> Gbc_workload.Graph_gen.t -> result
+
+val procedural : Gbc_workload.Graph_gen.t -> result
+(** Same greedy, scanning edges in the engines' candidate order. *)
+
+val is_cover : Gbc_workload.Graph_gen.t -> result -> bool
+val optimal_cover_size : Gbc_workload.Graph_gen.t -> int
+(** Exhaustive minimum vertex cover — exponential, tests only.
+    @raise Invalid_argument beyond 20 nodes. *)

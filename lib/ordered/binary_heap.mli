@@ -1,0 +1,31 @@
+(** Array-based binary min-heap.
+
+    The heap is parameterized at creation time by a comparison function;
+    elements compare smaller are popped first.  Used by the procedural
+    baselines (Prim, Dijkstra, heap-sort, Huffman) and by {!Rql}. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x] in [O(log n)]. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns a minimal element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+(** [peek h] returns a minimal element without removing it. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** [of_list ~cmp xs] heapifies [xs] in [O(n)]. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains [h], returning its elements in ascending
+    order.  The heap is empty afterwards. *)

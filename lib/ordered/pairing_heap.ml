@@ -1,0 +1,51 @@
+type 'a tree = Leaf | Node of 'a * 'a tree list
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable root : 'a tree;
+  mutable size : int;
+}
+
+let create ~cmp () = { cmp; root = Leaf; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let meld cmp a b =
+  match a, b with
+  | Leaf, t | t, Leaf -> t
+  | Node (x, xs), Node (y, ys) ->
+    if cmp x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+(* Two-pass pairing merge, written tail-recursively so that degenerate
+   insertion orders (e.g. already-sorted input) cannot overflow the
+   stack: first pair up adjacent siblings, then fold the pairs. *)
+let merge_pairs cmp children =
+  let rec pair acc = function
+    | [] -> acc
+    | [ t ] -> t :: acc
+    | a :: b :: rest -> pair (meld cmp a b :: acc) rest
+  in
+  List.fold_left (meld cmp) Leaf (pair [] children)
+
+let push h x =
+  h.root <- meld h.cmp h.root (Node (x, []));
+  h.size <- h.size + 1
+
+let peek h = match h.root with Leaf -> None | Node (x, _) -> Some x
+
+let pop h =
+  match h.root with
+  | Leaf -> None
+  | Node (x, children) ->
+    h.root <- merge_pairs h.cmp children;
+    h.size <- h.size - 1;
+    Some x
+
+let of_list ~cmp xs =
+  let h = create ~cmp () in
+  List.iter (push h) xs;
+  h
+
+let to_sorted_list h =
+  let rec drain acc = match pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  drain []

@@ -1,0 +1,17 @@
+(** Functional pairing heap with an imperative wrapper.
+
+    Pairing heaps give amortized [O(1)] meld/insert and [O(log n)]
+    delete-min.  This implementation exists alongside {!Binary_heap} so
+    that the benchmark harness can compare the two backends of the
+    Section-6 [(R, Q, L)] structure. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,147 @@
+type 'f entry = { fact : 'f; id : int }
+
+type 'f queue = {
+  q_push : 'f entry -> unit;
+  q_pop : unit -> 'f entry option;
+  q_length : unit -> int;
+}
+
+type 'k class_state = Used | Live of int (* live entry id *)
+
+type stats = {
+  inserted : int;
+  shadowed : int;
+  stale : int;
+  invalid : int;
+  used : int;
+  max_queue : int;
+}
+
+type ('f, 'k) t = {
+  key : 'f -> 'k;
+  cost_cmp : 'f -> 'f -> int;
+  stage : 'f -> int;
+  shadow : bool;
+  newer_wins : bool;
+  classes : ('k, 'k class_state * 'f) Hashtbl.t;
+  queue : 'f queue;
+  mutable live : int;
+  mutable next_id : int;
+  mutable s_inserted : int;
+  mutable s_shadowed : int;
+  mutable s_stale : int;
+  mutable s_invalid : int;
+  mutable s_used : int;
+  mutable s_max_queue : int;
+}
+
+let make_queue backend cmp =
+  match backend with
+  | `Binary ->
+    let h = Binary_heap.create ~cmp () in
+    { q_push = Binary_heap.push h;
+      q_pop = (fun () -> Binary_heap.pop h);
+      q_length = (fun () -> Binary_heap.length h) }
+  | `Pairing ->
+    let h = Pairing_heap.create ~cmp () in
+    { q_push = Pairing_heap.push h;
+      q_pop = (fun () -> Pairing_heap.pop h);
+      q_length = (fun () -> Pairing_heap.length h) }
+
+let create ?(backend = `Binary) ?(shadow = true) ?(newer_wins = false) ~key ~cost_cmp
+    ?(stage = fun _ -> 0) () =
+  (* Entry ids break cost ties so pops are deterministic (FIFO within
+     equal cost), which the engines rely on for reproducible models. *)
+  let entry_cmp a b =
+    let c = cost_cmp a.fact b.fact in
+    if c <> 0 then c else compare a.id b.id
+  in
+  { key; cost_cmp; stage; shadow; newer_wins;
+    classes = Hashtbl.create 64;
+    queue = make_queue backend entry_cmp;
+    live = 0; next_id = 0;
+    s_inserted = 0; s_shadowed = 0; s_stale = 0; s_invalid = 0; s_used = 0;
+    s_max_queue = 0 }
+
+let bump_max t =
+  if t.live > t.s_max_queue then t.s_max_queue <- t.live
+
+let push_live t fact =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.queue.q_push { fact; id };
+  t.live <- t.live + 1;
+  bump_max t;
+  id
+
+let insert t fact =
+  t.s_inserted <- t.s_inserted + 1;
+  if not t.shadow then ignore (push_live t fact)
+  else begin
+    let k = t.key fact in
+    match Hashtbl.find_opt t.classes k with
+    | Some (Used, _) -> t.s_shadowed <- t.s_shadowed + 1
+    | Some (Live _, incumbent) ->
+      let replaces =
+        if t.newer_wins && t.stage fact > t.stage incumbent then true
+        else if t.newer_wins && t.stage fact < t.stage incumbent then false
+        else t.cost_cmp fact incumbent < 0
+      in
+      if replaces then begin
+        (* The incumbent's queue entry becomes stale; it is skipped at
+           pop time.  [live] counts it out immediately. *)
+        t.live <- t.live - 1;
+        t.s_shadowed <- t.s_shadowed + 1;
+        let id = push_live t fact in
+        Hashtbl.replace t.classes k (Live id, fact)
+      end
+      else t.s_shadowed <- t.s_shadowed + 1
+    | None ->
+      let id = push_live t fact in
+      Hashtbl.replace t.classes k (Live id, fact)
+  end
+
+let retrieve_least t ~valid =
+  (* Iterative: a queue full of stale or invalid entries must not blow
+     the stack. *)
+  let result = ref None in
+  let finished = ref false in
+  while not !finished do
+    match t.queue.q_pop () with
+    | None -> finished := true
+    | Some { fact; id } ->
+      let k = t.key fact in
+      let is_live =
+        if not t.shadow then true
+        else
+          match Hashtbl.find_opt t.classes k with
+          | Some (Live live_id, _) -> live_id = id
+          | Some (Used, _) | None -> false
+      in
+      if not is_live then t.s_stale <- t.s_stale + 1
+      else begin
+        t.live <- t.live - 1;
+        if valid fact then begin
+          t.s_used <- t.s_used + 1;
+          if t.shadow then Hashtbl.replace t.classes k (Used, fact);
+          result := Some fact;
+          finished := true
+        end
+        else begin
+          (* Invalid candidate: goes to R and reopens its class. *)
+          t.s_invalid <- t.s_invalid + 1;
+          if t.shadow then Hashtbl.remove t.classes k
+        end
+      end
+  done;
+  !result
+
+let queue_length t = t.live
+
+let stats t =
+  { inserted = t.s_inserted;
+    shadowed = t.s_shadowed;
+    stale = t.s_stale;
+    invalid = t.s_invalid;
+    used = t.s_used;
+    max_queue = t.s_max_queue }

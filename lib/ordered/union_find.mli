@@ -1,0 +1,22 @@
+(** Disjoint-set forest over integers [0 .. n-1].
+
+    Used by the procedural Kruskal baseline.  The [~by_rank:false] mode
+    disables union-by-rank (path compression stays on) so that the
+    benchmark ablation can mimic the paper's remark that the declarative
+    Kruskal does not merge the smaller component into the larger. *)
+
+type t
+
+val create : ?by_rank:bool -> int -> t
+(** [create n] is [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Representative of the class of the argument, with path compression. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the classes of [a] and [b].  Returns [false]
+    when they were already in the same class. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of distinct classes remaining. *)

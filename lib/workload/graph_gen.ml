@@ -1,0 +1,103 @@
+type t = { nodes : int; edges : (int * int * int) list }
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+let random_connected_gen ~unique_weights ~seed ~nodes ~extra_edges =
+  if nodes < 1 then invalid_arg "Graph_gen.random_connected: need at least one node";
+  let rng = Rng.create seed in
+  let seen = Hashtbl.create (4 * (nodes + extra_edges)) in
+  let edges = ref [] in
+  let count = ref 0 in
+  let add u v =
+    let u, v = norm u v in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      edges := (u, v) :: !edges;
+      incr count
+    end
+  in
+  (* Random spanning tree: connect node i to a random earlier node. *)
+  for i = 1 to nodes - 1 do
+    add i (Rng.int rng i)
+  done;
+  let attempts = ref 0 in
+  let max_extra = (nodes * (nodes - 1) / 2) - (nodes - 1) in
+  let target = nodes - 1 + min extra_edges max_extra in
+  while !count < target && !attempts < 100 * (extra_edges + 1) do
+    incr attempts;
+    let u = Rng.int rng nodes and v = Rng.int rng nodes in
+    add u v
+  done;
+  let m = !count in
+  let costs =
+    if unique_weights then begin
+      (* A shuffled block of distinct integers. *)
+      let costs = Array.init m (fun i -> i + 1) in
+      Rng.shuffle rng costs;
+      costs
+    end
+    else
+      (* Small costs with replacement: plenty of ties. *)
+      Array.init m (fun _ -> 1 + Rng.int rng (max 2 (m / 8)))
+  in
+  let edges = List.mapi (fun i (u, v) -> (u, v, costs.(i))) (List.rev !edges) in
+  { nodes; edges }
+
+let random_connected ~seed ~nodes ~extra_edges =
+  random_connected_gen ~unique_weights:true ~seed ~nodes ~extra_edges
+
+let random_connected_ties ~seed ~nodes ~extra_edges =
+  random_connected_gen ~unique_weights:false ~seed ~nodes ~extra_edges
+
+let complete ~seed ~nodes =
+  let rng = Rng.create seed in
+  let xs = Array.init nodes (fun _ -> Rng.int rng 10_000) in
+  let ys = Array.init nodes (fun _ -> Rng.int rng 10_000) in
+  let edges = ref [] in
+  let idx = ref 0 in
+  for u = 0 to nodes - 1 do
+    for v = u + 1 to nodes - 1 do
+      let dx = xs.(u) - xs.(v) and dy = ys.(u) - ys.(v) in
+      let d = int_of_float (sqrt (float_of_int ((dx * dx) + (dy * dy)))) in
+      (* The offset keeps costs unique without distorting the metric. *)
+      incr idx;
+      edges := (u, v, (d * 512) + (!idx mod 512)) :: !edges
+    done
+  done;
+  { nodes; edges = List.rev !edges }
+
+let grid ~width ~height =
+  let node x y = (y * width) + x in
+  let edges = ref [] in
+  let c = ref 0 in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then begin
+        incr c;
+        edges := (node x y, node (x + 1) y, (!c * 7 mod 1009) + 1 + (!c * 1009)) :: !edges
+      end;
+      if y + 1 < height then begin
+        incr c;
+        edges := (node x y, node x (y + 1), (!c * 7 mod 1009) + 1 + (!c * 1009)) :: !edges
+      end
+    done
+  done;
+  { nodes = width * height; edges = List.rev !edges }
+
+let mst_weight g =
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) g.edges in
+  let uf = Gbc_ordered.Union_find.create g.nodes in
+  List.fold_left
+    (fun acc (u, v, c) -> if Gbc_ordered.Union_find.union uf u v then acc + c else acc)
+    0 sorted
+
+let fact3 pred u v c = Gbc_datalog.Ast.fact pred [ Gbc_datalog.Value.Int u; Gbc_datalog.Value.Int v; Gbc_datalog.Value.Int c ]
+
+let to_facts ?(pred = "g") ?(directed = false) g =
+  List.concat_map
+    (fun (u, v, c) ->
+      if directed then [ fact3 pred u v c ] else [ fact3 pred u v c; fact3 pred v u c ])
+    g.edges
+
+let node_facts ?(pred = "node") g =
+  List.init g.nodes (fun i -> Gbc_datalog.Ast.fact pred [ Gbc_datalog.Value.Int i ])

@@ -1,0 +1,39 @@
+(** Random graph workloads for the benchmarks and tests.
+
+    Nodes are integers [0 .. n-1]; edge costs are positive integers.
+    Generators marked "unique" assign pairwise-distinct costs so that
+    the greedy programs have a single stable model and engine-equality
+    tests can compare models exactly. *)
+
+type t = {
+  nodes : int;
+  edges : (int * int * int) list;  (** (u, v, cost), u < v, stored once *)
+}
+
+val random_connected : seed:int -> nodes:int -> extra_edges:int -> t
+(** A connected graph: a random spanning tree plus [extra_edges]
+    distinct random chords, all with pairwise-distinct costs (giving
+    the greedy programs a unique stable model). *)
+
+val random_connected_ties : seed:int -> nodes:int -> extra_edges:int -> t
+(** Same topology generator, but small costs drawn with replacement:
+    ties abound, exercising the engines' deterministic tie-breaking. *)
+
+val complete : seed:int -> nodes:int -> t
+(** Complete graph on random integer points (approximately Euclidean
+    costs, made unique by a per-edge offset). *)
+
+val grid : width:int -> height:int -> t
+(** Grid graph with unique deterministic costs. *)
+
+val mst_weight : t -> int
+(** Weight of a minimum spanning tree (Kruskal on sorted edges) —
+    the test oracle. *)
+
+val to_facts : ?pred:string -> ?directed:bool -> t -> Gbc_datalog.Ast.program
+(** Edge facts [g(u, v, c)].  With [directed:false] (default) each
+    edge appears in both orientations, as the paper stores undirected
+    graphs. *)
+
+val node_facts : ?pred:string -> t -> Gbc_datalog.Ast.program
+(** [node(i)] facts. *)

@@ -1,0 +1,13 @@
+let random ~seed ~jobs ~horizon =
+  if horizon < 2 * jobs then invalid_arg "Interval_gen.random: horizon too small";
+  let rng = Rng.create seed in
+  let finishes = List.sort compare (Rng.sample_distinct rng jobs (horizon - 1)) in
+  List.mapi
+    (fun i f ->
+      let finish = f + 1 in
+      let start = Rng.int rng finish in
+      (i, start, finish))
+    finishes
+
+let job_facts ?(pred = "job") js =
+  List.map (fun (id, s, f) -> Gbc_datalog.Ast.fact pred [ Gbc_datalog.Value.Int id; Gbc_datalog.Value.Int s; Gbc_datalog.Value.Int f ]) js

@@ -1,0 +1,9 @@
+(** Interval (job) workloads for the scheduling example. *)
+
+val random : seed:int -> jobs:int -> horizon:int -> (int * int * int) list
+(** [jobs] tuples [(id, start, finish)] with [0 <= start < finish <=
+    horizon] and pairwise-distinct finish times (so the greedy
+    earliest-finish schedule is unique). *)
+
+val job_facts : ?pred:string -> (int * int * int) list -> Gbc_datalog.Ast.program
+(** [job(id, start, finish)] facts. *)

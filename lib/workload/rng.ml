@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_u64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the conversion to OCaml's 63-bit int stays
+     non-negative. *)
+  let x = Int64.to_int (Int64.shift_right_logical (next_u64 t) 2) in
+  x mod bound
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct t k bound =
+  if k > bound then invalid_arg "Rng.sample_distinct: k > bound";
+  if 3 * k >= bound then begin
+    let a = Array.init bound (fun i -> i) in
+    shuffle t a;
+    Array.to_list (Array.sub a 0 k)
+  end
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let rec draw acc n =
+      if n = 0 then acc
+      else
+        let x = int t bound in
+        if Hashtbl.mem seen x then draw acc n
+        else begin
+          Hashtbl.add seen x ();
+          draw (x :: acc) (n - 1)
+        end
+    in
+    draw [] k
+  end

@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The benchmark harness and the property tests need workloads that
+    are bit-identical across runs and platforms; OCaml's [Random] gives
+    no such guarantee across versions, so we carry our own generator. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val sample_distinct : t -> int -> int -> int list
+(** [sample_distinct t k bound]: [k] distinct integers in [0, bound).
+    @raise Invalid_argument when [k > bound]. *)

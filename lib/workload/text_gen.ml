@@ -1,0 +1,19 @@
+let zipf ~seed ~letters =
+  let rng = Rng.create seed in
+  let scale = 1000 * letters in
+  List.init letters (fun i ->
+      let base = scale / (i + 1) in
+      let jitter = Rng.int rng (1 + (base / 4)) in
+      (Printf.sprintf "l%d" i, max 1 (base + jitter)))
+
+let of_string s =
+  let tbl = Hashtbl.create 64 in
+  String.iter
+    (fun c ->
+      let key = Printf.sprintf "c_%d" (Char.code c) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    s;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let letter_facts ?(pred = "letter") freqs =
+  List.map (fun (sym, freq) -> Gbc_datalog.Ast.fact pred [ Gbc_datalog.Value.Sym sym; Gbc_datalog.Value.Int freq ]) freqs

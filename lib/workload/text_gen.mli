@@ -1,0 +1,12 @@
+(** Letter-frequency workloads for Huffman coding. *)
+
+val zipf : seed:int -> letters:int -> (string * int) list
+(** [letters] symbols [l0 .. l(n-1)] with Zipf-ish frequencies
+    (rank [k] gets roughly [N / k], jittered, minimum 1). *)
+
+val of_string : string -> (string * int) list
+(** Frequency table of the characters of a string; each character [c]
+    becomes the symbol ["c_<code>"]. *)
+
+val letter_facts : ?pred:string -> (string * int) list -> Gbc_datalog.Ast.program
+(** [letter(sym, freq)] facts. *)

@@ -1,0 +1,89 @@
+(* Dependency graph: cliques (SCCs), topological order, polarity. *)
+
+open Gbc
+
+let graph_of src = Depgraph.make (Parser.parse_program src)
+
+let test_edb_idb_split () =
+  let g = graph_of "p(X) <- e(X). q(X) <- p(X). base(1)." in
+  Alcotest.(check (list string)) "idb" [ "p"; "q" ] (List.sort compare (Depgraph.idb g));
+  Alcotest.(check bool) "e is edb" true (List.mem "e" (Depgraph.edb g));
+  Alcotest.(check bool) "pure facts are edb" true (List.mem "base" (Depgraph.edb g))
+
+let test_topological_order () =
+  let g = graph_of "a(X) <- e(X). b(X) <- a(X). c(X) <- b(X), a(X)." in
+  Alcotest.(check (list (list string))) "dependencies first"
+    [ [ "a" ]; [ "b" ]; [ "c" ] ]
+    (Depgraph.cliques g)
+
+let test_mutual_recursion_one_clique () =
+  let g = graph_of "p(X) <- e(X). p(X) <- q(X). q(X) <- p(X), f(X)." in
+  (match Depgraph.cliques g with
+  | [ clique ] -> Alcotest.(check (list string)) "joint" [ "p"; "q" ] (List.sort compare clique)
+  | cs -> Alcotest.fail (Printf.sprintf "expected one clique, got %d" (List.length cs)));
+  Alcotest.(check bool) "recursive" true
+    (Depgraph.is_recursive g (List.hd (Depgraph.cliques g)))
+
+let test_self_loop_recursive () =
+  let g = graph_of "tc(X, Y) <- e(X, Y). tc(X, Y) <- tc(X, Z), e(Z, Y)." in
+  Alcotest.(check bool) "self edge counts" true (Depgraph.is_recursive g [ "tc" ]);
+  let g2 = graph_of "p(X) <- e(X)." in
+  Alcotest.(check bool) "non-recursive singleton" false (Depgraph.is_recursive g2 [ "p" ])
+
+let test_diamond_topology () =
+  let g =
+    graph_of
+      "top(X) <- left(X), right(X). left(X) <- base(X). right(X) <- base(X). base(X) <- e(X)."
+  in
+  let order = List.map List.hd (Depgraph.cliques g) in
+  let pos p = Option.get (List.find_index (String.equal p) order) in
+  Alcotest.(check bool) "base before left" true (pos "base" < pos "left");
+  Alcotest.(check bool) "base before right" true (pos "base" < pos "right");
+  Alcotest.(check bool) "left before top" true (pos "left" < pos "top");
+  Alcotest.(check bool) "right before top" true (pos "right" < pos "top")
+
+let test_polarity_edges () =
+  let g =
+    graph_of "p(X) <- e(X), not q(X). q(X) <- f(X). r(X) <- r(X), least(X)."
+  in
+  let edges = Depgraph.edges_within g [ "r" ] in
+  Alcotest.(check bool) "extremal self edge" true
+    (List.exists (fun (_, _, pol) -> pol = Depgraph.Extremal) edges)
+
+let test_rules_of_clique () =
+  let src = "p(X) <- e(X). p(X) <- p(X). q(X) <- p(X). f(1)." in
+  let g = graph_of src in
+  Alcotest.(check int) "p's rules" 2
+    (List.length (Depgraph.rules_of_clique g [ "p" ]));
+  Alcotest.(check int) "facts excluded" 1 (List.length (Depgraph.rules_of_clique g [ "q" ]))
+
+let test_next_expansion_makes_self_edge () =
+  (* Engines rely on next rules becoming self-recursive after expansion. *)
+  let prog = Parser.parse_program "sp(nil, 0, 0). sp(X, C, I) <- next(I), p(X, C), least(C, I)." in
+  let g = Depgraph.make (Rewrite.expand_next prog) in
+  Alcotest.(check bool) "sp self-recursive" true (Depgraph.is_recursive g [ "sp" ])
+
+let test_larger_scc () =
+  let g =
+    graph_of "a(X) <- b(X). b(X) <- c(X). c(X) <- a(X), e(X). d(X) <- c(X). e0(X) <- d(X)."
+  in
+  match Depgraph.cliques g with
+  | [ abc; [ "d" ]; [ "e0" ] ] ->
+    Alcotest.(check (list string)) "3-cycle" [ "a"; "b"; "c" ] (List.sort compare abc)
+  | cs ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected cliques: %s"
+         (String.concat " | " (List.map (String.concat ",") cs)))
+
+let () =
+  Alcotest.run "depgraph"
+    [ ( "structure",
+        [ Alcotest.test_case "edb/idb split" `Quick test_edb_idb_split;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion_one_clique;
+          Alcotest.test_case "self loops" `Quick test_self_loop_recursive;
+          Alcotest.test_case "diamond" `Quick test_diamond_topology;
+          Alcotest.test_case "polarity" `Quick test_polarity_edges;
+          Alcotest.test_case "rules of clique" `Quick test_rules_of_clique;
+          Alcotest.test_case "next expansion self edge" `Quick test_next_expansion_makes_self_edge;
+          Alcotest.test_case "three-node SCC" `Quick test_larger_scc ] ) ]

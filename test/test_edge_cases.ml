@@ -1,0 +1,183 @@
+(* Edge cases and failure modes of the engines and the language. *)
+
+open Gbc
+
+let model src = Choice_fixpoint.model (Parser.parse_program src)
+
+let facts db pred =
+  Database.facts_of db pred
+  |> List.map (fun row -> List.map Value.to_string (Array.to_list row))
+  |> List.sort compare
+
+let test_empty_program () =
+  let db = Choice_fixpoint.model [] in
+  Alcotest.(check int) "empty model" 0 (Database.cardinal db);
+  let db = Stage_engine.model [] in
+  Alcotest.(check int) "empty staged model" 0 (Database.cardinal db)
+
+let test_facts_only () =
+  let db = model "p(1). p(2). q(a, b)." in
+  Alcotest.(check int) "three facts" 3 (Database.cardinal db)
+
+let test_duplicate_facts_set_semantics () =
+  let db = model "p(1). p(1). p(1)." in
+  Alcotest.(check int) "one fact" 1 (Database.cardinal db)
+
+let test_zero_arity_predicates () =
+  let db = model "raining. wet <- raining. dry <- sunny." in
+  Alcotest.(check int) "wet derived" 1 (List.length (facts db "wet"));
+  Alcotest.(check int) "dry not derived" 0 (List.length (facts db "dry"))
+
+let test_negative_constants_via_arithmetic () =
+  let db = model "p(0 - 5). q(X) <- p(X), X < 0." in
+  Alcotest.(check (list (list string))) "negative fact" [ [ "-5" ] ] (facts db "q")
+
+let test_rule_with_empty_relation_body () =
+  let db = model "p(X) <- nothing(X)." in
+  Alcotest.(check int) "no facts" 0 (List.length (facts db "p"))
+
+let test_long_chain_recursion () =
+  let buf = Buffer.create 4096 in
+  for i = 0 to 999 do
+    Buffer.add_string buf (Printf.sprintf "e(%d, %d). " i (i + 1))
+  done;
+  Buffer.add_string buf "r(0). r(Y) <- r(X), e(X, Y).";
+  let db = model (Buffer.contents buf) in
+  Alcotest.(check int) "reaches the end" 1001 (List.length (facts db "r"))
+
+let test_long_sorting_chain_staged () =
+  (* 1000 gamma steps through the staged engine. *)
+  let items = List.init 1000 (fun i -> (Printf.sprintf "x%d" i, (i * 7919) mod 104729)) in
+  let out = Sorting.run Runner.Staged items in
+  Alcotest.(check bool) "sorted" true (Sorting.is_sorted_permutation ~input:items out)
+
+let test_unsupported_errors_are_informative () =
+  let check_msg src fragment =
+    match Choice_fixpoint.model (Parser.parse_program src) with
+    | _ -> Alcotest.fail ("expected Unsupported for: " ^ src)
+    | exception Choice_fixpoint.Unsupported msg ->
+      let contains hay needle =
+        let n = String.length needle in
+        let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "%S mentions %S" msg fragment) true
+        (contains msg fragment)
+  in
+  check_msg "m(a, b). win(X) <- m(X, Y), not win(Y)." "win";
+  check_msg "p(X, C) <- e(X, C). p(X, C) <- p(X, C1), least(C1, X), C = C1 + 1. e(a, 1)."
+    "extremum"
+
+let test_stage_engine_not_compilable () =
+  let src = "p(nil, 0). p(X, I) <- next(I), e(X, C, D), least(C, I), most(D, I). e(a, 1, 2)." in
+  Alcotest.(check bool) "two extrema rejected" true
+    (try
+       ignore (Stage_engine.model (Parser.parse_program src));
+       false
+     with Stage_engine.Not_compilable _ -> true);
+  (* The reference engine handles the same program. *)
+  let db = Choice_fixpoint.model (Parser.parse_program src) in
+  Alcotest.(check int) "reference runs it" 1 (List.length (facts db "p") - 1)
+
+let test_stage_engine_on_choice_only_program () =
+  let prog = Assignment.program Assignment.example1_source in
+  let db = Stage_engine.model prog in
+  Alcotest.(check bool) "a stable model" true (Stable.is_stable prog db);
+  Alcotest.(check int) "two assignments" 2 (List.length (facts db "a_st"))
+
+let test_enumerate_cap () =
+  let prog = Parser.parse_program "e(1). e(2). e(3). e(4). p(X) <- e(X), choice((), X)." in
+  Alcotest.(check int) "capped" 2 (List.length (Choice_fixpoint.enumerate ~max_models:2 prog));
+  Alcotest.(check int) "uncapped" 4 (List.length (Choice_fixpoint.enumerate prog))
+
+let test_preloaded_edb () =
+  let db = Database.create () in
+  ignore (Database.add_fact db "e" [| Value.Int 1; Value.Int 2 |]);
+  ignore (Database.add_fact db "e" [| Value.Int 2; Value.Int 3 |]);
+  let out, _ = Choice_fixpoint.run ~db (Parser.parse_program "tc(X,Y) <- e(X,Y). tc(X,Y) <- tc(X,Z), e(Z,Y).") in
+  Alcotest.(check int) "tc over preloaded edb" 3 (List.length (facts out "tc"))
+
+let test_rewrite_identity_on_flat_programs () =
+  let prog = Parser.parse_program "p(X) <- e(X), not q(X). q(X) <- f(X)." in
+  Alcotest.(check int) "no new rules" (List.length prog)
+    (List.length (Rewrite.expand_all prog))
+
+let test_stage_value_must_be_integer () =
+  let src = "p(nil, a). p(X, I) <- next(I), e(X). e(1)." in
+  Alcotest.(check bool) "non-integer stage rejected" true
+    (try
+       ignore (Choice_fixpoint.model (Parser.parse_program src));
+       false
+     with Choice_fixpoint.Unsupported _ -> true)
+
+let test_huffman_single_letter () =
+  let r = Huffman.run Runner.Staged [ ("only", 7) ] in
+  Alcotest.(check int) "no merges" 0 r.Huffman.merges;
+  Alcotest.(check int) "zero cost" 0 r.Huffman.internal_cost;
+  Alcotest.(check (list (pair string string))) "degenerate code"
+    [ ("only", "0") ]
+    (Huffman.codes r.Huffman.root)
+
+let test_prim_single_node () =
+  let g = { Graph_gen.nodes = 1; edges = [] } in
+  let r = Prim.run Runner.Staged g in
+  Alcotest.(check int) "no edges" 0 (List.length r.Prim.edges);
+  Alcotest.(check bool) "trivially spanning" true (Prim.is_spanning_tree g r)
+
+let test_disconnected_graph_partial_tree () =
+  (* Two components: Prim from node 0 spans only its own component. *)
+  let g = { Graph_gen.nodes = 4; edges = [ (0, 1, 1); (2, 3, 1) ] } in
+  let r = Prim.run Runner.Staged g in
+  Alcotest.(check int) "one edge reached" 1 (List.length r.Prim.edges);
+  (* Kruskal, by contrast, spans every component (a spanning forest). *)
+  let k = Kruskal.run Runner.Staged g in
+  Alcotest.(check int) "forest has both edges" 2 (List.length k.Kruskal.edges)
+
+let test_comparisons_across_types () =
+  (* The total order on values makes heterogeneous comparisons legal
+     and deterministic: Int < Sym. *)
+  let db = model "p(1). p(a). small(X) <- p(X), X < a." in
+  Alcotest.(check (list (list string))) "ints below syms" [ [ "1" ] ] (facts db "small")
+
+let test_choice_on_constant_groups () =
+  (* choice((), ()) is degenerate: no FD at all; the rule fires for
+     every tuple (one gamma step each). *)
+  let db = model "e(1). e(2). p(X) <- e(X), choice(X, ())." in
+  Alcotest.(check int) "everything selected" 2 (List.length (facts db "p"))
+
+let test_database_isolation_between_runs () =
+  let prog = Assignment.program Assignment.example1_source in
+  let a = Choice_fixpoint.model prog in
+  let b = Choice_fixpoint.model prog in
+  Alcotest.(check bool) "fresh databases" true (Database.equal_on a b [ "a_st" ])
+
+let () =
+  Alcotest.run "edge_cases"
+    [ ( "degenerate programs",
+        [ Alcotest.test_case "empty program" `Quick test_empty_program;
+          Alcotest.test_case "facts only" `Quick test_facts_only;
+          Alcotest.test_case "duplicate facts" `Quick test_duplicate_facts_set_semantics;
+          Alcotest.test_case "zero-arity predicates" `Quick test_zero_arity_predicates;
+          Alcotest.test_case "negative constants" `Quick test_negative_constants_via_arithmetic;
+          Alcotest.test_case "empty body relation" `Quick test_rule_with_empty_relation_body ] );
+      ( "scale",
+        [ Alcotest.test_case "1000-step recursion" `Quick test_long_chain_recursion;
+          Alcotest.test_case "1000 gamma steps staged" `Quick test_long_sorting_chain_staged ] );
+      ( "errors",
+        [ Alcotest.test_case "informative Unsupported" `Quick
+            test_unsupported_errors_are_informative;
+          Alcotest.test_case "Not_compilable fallback" `Quick test_stage_engine_not_compilable;
+          Alcotest.test_case "non-integer stage" `Quick test_stage_value_must_be_integer ] );
+      ( "behaviour",
+        [ Alcotest.test_case "staged on choice-only programs" `Quick
+            test_stage_engine_on_choice_only_program;
+          Alcotest.test_case "enumerate cap" `Quick test_enumerate_cap;
+          Alcotest.test_case "preloaded EDB" `Quick test_preloaded_edb;
+          Alcotest.test_case "rewrite identity on flat" `Quick
+            test_rewrite_identity_on_flat_programs;
+          Alcotest.test_case "huffman single letter" `Quick test_huffman_single_letter;
+          Alcotest.test_case "prim single node" `Quick test_prim_single_node;
+          Alcotest.test_case "disconnected graphs" `Quick test_disconnected_graph_partial_tree;
+          Alcotest.test_case "heterogeneous comparisons" `Quick test_comparisons_across_types;
+          Alcotest.test_case "degenerate choice groups" `Quick test_choice_on_constant_groups;
+          Alcotest.test_case "run isolation" `Quick test_database_isolation_between_runs ] ) ]

@@ -1,0 +1,242 @@
+(* Extension programs and the matroid framework from the conclusion. *)
+
+open Gbc
+
+let engines = [ ("reference", Runner.Reference); ("staged", Runner.Staged) ]
+
+(* ---------------- vertex cover ---------------- *)
+
+let test_vertex_cover_small () =
+  (* Path 0-1-2-3: greedy picks (0,1) then (2,3): cover size 4, optimum 2. *)
+  let g = { Graph_gen.nodes = 4; edges = [ (0, 1, 1); (1, 2, 1); (2, 3, 1) ] } in
+  List.iter
+    (fun (name, eng) ->
+      let r = Vertex_cover.run eng g in
+      Alcotest.(check bool) (name ^ " covers") true (Vertex_cover.is_cover g r);
+      Alcotest.(check (list (pair int int))) (name ^ " matching") [ (0, 1); (2, 3) ]
+        r.Vertex_cover.picked)
+    engines;
+  Alcotest.(check int) "optimum" 2 (Vertex_cover.optimal_cover_size g)
+
+let test_vertex_cover_agrees_with_procedural () =
+  List.iter
+    (fun seed ->
+      let g = Graph_gen.random_connected ~seed ~nodes:16 ~extra_edges:25 in
+      let expected = Vertex_cover.procedural g in
+      List.iter
+        (fun (name, eng) ->
+          let r = Vertex_cover.run eng g in
+          Alcotest.(check (list (pair int int))) (Printf.sprintf "%s seed %d" name seed)
+            expected.Vertex_cover.picked r.Vertex_cover.picked)
+        engines)
+    [ 2; 4; 8 ]
+
+let prop_vertex_cover_two_approx =
+  QCheck.Test.make ~name:"vertex cover is a 2-approximation" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = Graph_gen.random_connected ~seed ~nodes:12 ~extra_edges:10 in
+      let r = Vertex_cover.run Runner.Staged g in
+      Vertex_cover.is_cover g r
+      && List.length r.Vertex_cover.cover <= 2 * Vertex_cover.optimal_cover_size g)
+
+let test_vertex_cover_stable () =
+  let g = Graph_gen.random_connected ~seed:3 ~nodes:7 ~extra_edges:4 in
+  let prog = Vertex_cover.program g in
+  Alcotest.(check bool) "staged model stable" true
+    (Stable.is_stable prog (Stage_engine.model prog));
+  Alcotest.(check bool) "reference model stable" true
+    (Stable.is_stable prog (Choice_fixpoint.model prog))
+
+(* ---------------- set cover (aggregates) ---------------- *)
+
+let test_set_cover_small () =
+  let sets = [ (0, [ 1; 2; 3 ]); (1, [ 3; 4 ]); (2, [ 4; 5; 6; 7 ]); (3, [ 1; 5 ]) ] in
+  List.iter
+    (fun (name, eng) ->
+      let picked = Set_cover.run eng sets in
+      Alcotest.(check (list int)) name [ 2; 0 ] picked;
+      Alcotest.(check int) (name ^ " full coverage") (Set_cover.coverable sets)
+        (Set_cover.coverage sets picked))
+    engines;
+  Alcotest.(check int) "optimum" 2 (Set_cover.optimal_size sets)
+
+let test_set_cover_engines_agree () =
+  List.iter
+    (fun seed ->
+      let sets = Set_cover.random_instance ~seed ~sets:8 ~universe:20 in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d" seed)
+        (Set_cover.run Runner.Reference sets)
+        (Set_cover.run Runner.Staged sets))
+    [ 1; 2; 3; 4 ]
+
+let prop_set_cover_covers_and_approximates =
+  QCheck.Test.make ~name:"set cover: full coverage within the harmonic bound" ~count:15
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let sets = Set_cover.random_instance ~seed ~sets:7 ~universe:14 in
+      let picked = Set_cover.run Runner.Staged sets in
+      let opt = Set_cover.optimal_size sets in
+      (* H_14 < 3.3 *)
+      Set_cover.coverage sets picked = Set_cover.coverable sets
+      && float_of_int (List.length picked) <= (3.3 *. float_of_int opt) +. 0.001)
+
+let test_count_aggregate_basic () =
+  let db =
+    Choice_fixpoint.model
+      (Parser.parse_program
+         "elem(a, 1). elem(a, 2). elem(a, 2). elem(b, 5).
+          size(S, N) <- elem(S, E), count(N, E, S).")
+  in
+  let rows =
+    Database.facts_of db "size"
+    |> List.map (fun r -> (Value.to_string r.(0), Value.as_int r.(1)))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string int))) "distinct counts" [ ("a", 2); ("b", 1) ] rows
+
+let test_sum_aggregate_basic () =
+  let db =
+    Choice_fixpoint.model
+      (Parser.parse_program
+         "price(shop1, 10). price(shop1, 25). price(shop2, 40).
+          total(S, N) <- price(S, P), sum(N, P, S).")
+  in
+  let rows =
+    Database.facts_of db "total"
+    |> List.map (fun r -> (Value.to_string r.(0), Value.as_int r.(1)))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string int))) "sums" [ ("shop1", 35); ("shop2", 40) ] rows
+
+let test_aggregate_global_group () =
+  let db =
+    Choice_fixpoint.model
+      (Parser.parse_program "p(1). p(2). p(3). n(N) <- p(X), count(N, X).")
+  in
+  Alcotest.(check int) "global count" 3
+    (Value.as_int (List.hd (Database.facts_of db "n")).(0))
+
+let test_aggregate_rejected_in_rewriting () =
+  let prog = Parser.parse_program "size(S, N) <- elem(S, E), count(N, E, S). elem(a, 1)." in
+  Alcotest.(check bool) "no first-order expansion" true
+    (try
+       ignore (Rewrite.expand_all prog);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- matroids ---------------- *)
+
+let test_uniform_matroid () =
+  let m = Matroid.uniform ~k:2 [ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "independence system" true (Matroid.is_independence_system m);
+  Alcotest.(check bool) "exchange" true (Matroid.satisfies_exchange m);
+  Alcotest.(check bool) "size bound" false (Matroid.independent m [ 1; 2; 3 ])
+
+let test_partition_matroid () =
+  let m = Matroid.partition ~class_of:(fun x -> x mod 3) ~capacity:1 [ 0; 1; 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "independence system" true (Matroid.is_independence_system m);
+  Alcotest.(check bool) "exchange" true (Matroid.satisfies_exchange m);
+  Alcotest.(check bool) "one per class" false (Matroid.independent m [ 0; 3 ]);
+  Alcotest.(check bool) "distinct classes ok" true (Matroid.independent m [ 0; 1; 2 ])
+
+let test_graphic_matroid () =
+  let edges = [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  let m = Matroid.graphic ~nodes:4 edges in
+  Alcotest.(check bool) "independence system" true (Matroid.is_independence_system m);
+  Alcotest.(check bool) "exchange" true (Matroid.satisfies_exchange m);
+  Alcotest.(check bool) "forest ok" true (Matroid.independent m [ (0, 1); (1, 2); (2, 3) ]);
+  Alcotest.(check bool) "cycle dependent" false
+    (Matroid.independent m [ (0, 1); (1, 2); (0, 2) ])
+
+let test_greedy_optimal_on_matroids () =
+  (* Greedy basis weight = exhaustive optimum, for several matroids and
+     weightings. *)
+  let check name m weight =
+    let basis = Matroid.greedy ~weight m in
+    let w = List.fold_left (fun a x -> a + weight x) 0 basis in
+    Alcotest.(check int) name (Matroid.best_basis_weight ~weight m) w
+  in
+  check "uniform" (Matroid.uniform ~k:3 [ 1; 2; 3; 4; 5; 6 ]) (fun x -> x * x);
+  check "partition"
+    (Matroid.partition ~class_of:(fun x -> x mod 2) ~capacity:2 [ 1; 2; 3; 4; 5; 6 ])
+    (fun x -> 13 * x mod 7);
+  check "graphic"
+    (Matroid.graphic ~nodes:5 [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4); (1, 3) ])
+    (fun (u, v) -> ((u * 5) + v) mod 11)
+
+let test_kruskal_is_graphic_matroid_greedy () =
+  let g = Graph_gen.random_connected ~seed:17 ~nodes:10 ~extra_edges:12 in
+  let weight_of = Hashtbl.create 32 in
+  List.iter (fun (u, v, c) -> Hashtbl.replace weight_of (u, v) c) g.Graph_gen.edges;
+  let m = Matroid.graphic ~nodes:10 (List.map (fun (u, v, _) -> (u, v)) g.Graph_gen.edges) in
+  let basis = Matroid.greedy ~weight:(fun e -> Hashtbl.find weight_of e) m in
+  let basis_weight = List.fold_left (fun a e -> a + Hashtbl.find weight_of e) 0 basis in
+  Alcotest.(check int) "matroid greedy = declarative Kruskal"
+    (Kruskal.run Runner.Staged g).Kruskal.weight basis_weight
+
+let test_matching_is_not_a_matroid () =
+  (* Arc sets with per-column degree bounds = intersection of two
+     partition matroids; the intersection fails the exchange axiom, so
+     greedy maximality does not imply optimality — the paper's reason
+     for invoking matroid theory rather than claiming optimality. *)
+  let arcs = [ (0, 10); (0, 11); (1, 10) ] in
+  let matching_system =
+    Matroid.make ~ground:arcs ~independent:(fun s ->
+        let distinct f = List.length (List.sort_uniq compare (List.map f s)) = List.length s in
+        distinct fst && distinct snd)
+  in
+  Alcotest.(check bool) "downward closed" true
+    (Matroid.is_independence_system matching_system);
+  Alcotest.(check bool) "fails exchange" false
+    (Matroid.satisfies_exchange matching_system)
+
+let test_greedy_suboptimal_off_matroid () =
+  (* A concrete instance where greedy matching is maximal but not
+     minimum-cost-maximum-cardinality... weights chosen so that the
+     greedy (by min cost) picks the arc that blocks the cheap pair. *)
+  let arcs = [ (0, 10, 1); (0, 11, 2); (1, 10, 2) ] in
+  let greedy = Matching.run Runner.Staged arcs in
+  (* Greedy takes (0,10) for cost 1 and stops (all else blocked):
+     total 1 with 1 arc; the alternative {(0,11),(1,10)} has 2 arcs. *)
+  Alcotest.(check int) "greedy picks one arc" 1 (List.length greedy.Matching.arcs);
+  Alcotest.(check bool) "greedy is maximal" true (Matching.is_maximal_matching arcs greedy)
+
+let prop_graphic_matroid_random =
+  QCheck.Test.make ~name:"random graphic matroids satisfy exchange" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = Graph_gen.random_connected ~seed ~nodes:5 ~extra_edges:3 in
+      let m = Matroid.graphic ~nodes:5 (List.map (fun (u, v, _) -> (u, v)) g.Graph_gen.edges) in
+      Matroid.is_independence_system m && Matroid.satisfies_exchange m)
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "vertex cover",
+        [ Alcotest.test_case "path graph" `Quick test_vertex_cover_small;
+          Alcotest.test_case "agrees with procedural" `Quick
+            test_vertex_cover_agrees_with_procedural;
+          Alcotest.test_case "models stable" `Quick test_vertex_cover_stable;
+          QCheck_alcotest.to_alcotest prop_vertex_cover_two_approx ] );
+      ( "set cover and aggregates",
+        [ Alcotest.test_case "known instance" `Quick test_set_cover_small;
+          Alcotest.test_case "engines agree" `Quick test_set_cover_engines_agree;
+          Alcotest.test_case "count aggregate" `Quick test_count_aggregate_basic;
+          Alcotest.test_case "sum aggregate" `Quick test_sum_aggregate_basic;
+          Alcotest.test_case "global group" `Quick test_aggregate_global_group;
+          Alcotest.test_case "no expansion for aggregates" `Quick
+            test_aggregate_rejected_in_rewriting;
+          QCheck_alcotest.to_alcotest prop_set_cover_covers_and_approximates ] );
+      ( "matroids",
+        [ Alcotest.test_case "uniform" `Quick test_uniform_matroid;
+          Alcotest.test_case "partition" `Quick test_partition_matroid;
+          Alcotest.test_case "graphic" `Quick test_graphic_matroid;
+          Alcotest.test_case "greedy optimal on matroids" `Quick
+            test_greedy_optimal_on_matroids;
+          Alcotest.test_case "kruskal = graphic greedy" `Quick
+            test_kruskal_is_graphic_matroid_greedy;
+          Alcotest.test_case "matching is not a matroid" `Quick test_matching_is_not_a_matroid;
+          Alcotest.test_case "greedy suboptimal off matroid" `Quick
+            test_greedy_suboptimal_off_matroid;
+          QCheck_alcotest.to_alcotest prop_graphic_matroid_random ] ) ]

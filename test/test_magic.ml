@@ -1,0 +1,125 @@
+(* Magic-set rewriting: query equivalence and the work saved. *)
+
+open Gbc
+
+let tc_program n =
+  let buf = Buffer.create 1024 in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "e(%d, %d). " i (i + 1))
+  done;
+  Buffer.add_string buf "tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y).";
+  Parser.parse_program (Buffer.contents buf)
+
+let q src = match Parser.parse_rule ("query_goal <- " ^ src) with
+  | { Ast.body = [ Ast.Pos a ]; _ } -> a
+  | _ -> assert false
+
+let sorted rows = List.sort compare (List.map Array.to_list rows)
+
+let test_point_query_equivalence () =
+  let prog = tc_program 30 in
+  let query = q "tc(25, X)" in
+  Alcotest.(check bool) "same answers" true
+    (sorted (Magic.answers ~query prog) = sorted (Magic.answers_unoptimized ~query prog));
+  Alcotest.(check int) "five successors" 5 (List.length (Magic.answers ~query prog))
+
+let test_bound_bound_query () =
+  let prog = tc_program 20 in
+  let yes = q "tc(3, 17)" and no = q "tc(17, 3)" in
+  Alcotest.(check int) "reachable" 1 (List.length (Magic.answers ~query:yes prog));
+  Alcotest.(check int) "unreachable" 0 (List.length (Magic.answers ~query:no prog))
+
+let test_free_query_degenerates_to_full () =
+  let prog = tc_program 12 in
+  let query = q "tc(X, Y)" in
+  Alcotest.(check bool) "all pairs" true
+    (sorted (Magic.answers ~query prog) = sorted (Magic.answers_unoptimized ~query prog))
+
+let test_magic_saves_work () =
+  let prog = tc_program 200 in
+  let magic, full = Magic.facts_computed ~query:(q "tc(195, X)") prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "magic (%d) derives far fewer facts than full (%d)" magic full)
+    true
+    (magic * 10 < full)
+
+let test_same_generation_query () =
+  let prog =
+    Parser.parse_program
+      "par(rr, r). par(r, a). par(r, b). par(a, c). par(a, d). par(b, e).\n\
+       sg(X, X) <- par(_, X).\n\
+       sg(X, Y) <- par(P, X), sg(P, Q), par(Q, Y)."
+  in
+  let query = q "sg(c, X)" in
+  Alcotest.(check bool) "same answers" true
+    (sorted (Magic.answers ~query prog) = sorted (Magic.answers_unoptimized ~query prog));
+  (* c is same-generation with c, d and e. *)
+  Alcotest.(check int) "three answers" 3 (List.length (Magic.answers ~query prog))
+
+let test_multiple_adornments () =
+  (* A program where one predicate is demanded under two binding
+     patterns. *)
+  let prog =
+    Parser.parse_program
+      "e(1, 2). e(2, 3). e(3, 4).\n\
+       p(X, Y) <- e(X, Y).\n\
+       p(X, Y) <- p(X, Z), p(Z, Y).\n\
+       two_hop(X) <- p(1, X), p(X, 4)."
+  in
+  let query = q "two_hop(X)" in
+  Alcotest.(check bool) "same answers" true
+    (sorted (Magic.answers ~query prog) = sorted (Magic.answers_unoptimized ~query prog))
+
+let test_constants_inside_rules () =
+  let prog =
+    Parser.parse_program
+      "e(1, 2). e(2, 3).\n\
+       from_one(Y) <- reach(1, Y).\n\
+       reach(X, Y) <- e(X, Y).\n\
+       reach(X, Y) <- reach(X, Z), e(Z, Y)."
+  in
+  let query = q "from_one(Y)" in
+  Alcotest.(check int) "two reachable" 2 (List.length (Magic.answers ~query prog))
+
+let test_rejects_non_positive () =
+  let prog = Parser.parse_program "p(X) <- e(X), not q(X). q(1). e(1)." in
+  (match Magic.rewrite ~query:(q "p(X)") prog with
+  | Ok _ -> Alcotest.fail "accepted negation"
+  | Error _ -> ());
+  let prog = Parser.parse_program "p(X, C) <- e(X, C), least(C). e(1, 2)." in
+  match Magic.rewrite ~query:(q "p(X, C)") prog with
+  | Ok _ -> Alcotest.fail "accepted extremum"
+  | Error _ -> ()
+
+let test_rejects_edb_query () =
+  let prog = tc_program 5 in
+  match Magic.rewrite ~query:(q "e(1, X)") prog with
+  | Ok _ -> Alcotest.fail "accepted an EDB query"
+  | Error _ -> ()
+
+let prop_magic_equivalence =
+  QCheck.Test.make ~name:"magic = full on random graphs and queries" ~count:40
+    QCheck.(pair (int_bound 100_000) (int_bound 14))
+    (fun (seed, start) ->
+      let g = Graph_gen.random_connected ~seed ~nodes:15 ~extra_edges:10 in
+      let facts = Graph_gen.to_facts ~directed:true g in
+      let prog =
+        facts
+        @ Parser.parse_program "tc(X, Y) <- g(X, Y, _). tc(X, Y) <- g(X, Z, _), tc(Z, Y)."
+      in
+      let query = q (Printf.sprintf "tc(%d, X)" start) in
+      sorted (Magic.answers ~query prog) = sorted (Magic.answers_unoptimized ~query prog))
+
+let () =
+  Alcotest.run "magic"
+    [ ( "rewriting",
+        [ Alcotest.test_case "point query" `Quick test_point_query_equivalence;
+          Alcotest.test_case "bound-bound" `Quick test_bound_bound_query;
+          Alcotest.test_case "free query" `Quick test_free_query_degenerates_to_full;
+          Alcotest.test_case "saves work" `Quick test_magic_saves_work;
+          Alcotest.test_case "same generation" `Quick test_same_generation_query;
+          Alcotest.test_case "multiple adornments" `Quick test_multiple_adornments;
+          Alcotest.test_case "constants inside rules" `Quick test_constants_inside_rules;
+          Alcotest.test_case "rejects non-positive" `Quick test_rejects_non_positive;
+          Alcotest.test_case "rejects EDB queries" `Quick test_rejects_edb_query;
+          QCheck_alcotest.to_alcotest prop_magic_equivalence ] ) ]

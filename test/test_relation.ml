@@ -1,0 +1,155 @@
+(* Relation storage, indexes, and the database. *)
+
+open Gbc
+
+let row xs = Array.of_list (List.map (fun i -> Value.Int i) xs)
+
+let test_add_dedup () =
+  let r = Relation.create "p" 2 in
+  Alcotest.(check bool) "first insert" true (Relation.add r (row [ 1; 2 ]));
+  Alcotest.(check bool) "duplicate" false (Relation.add r (row [ 1; 2 ]));
+  Alcotest.(check bool) "other row" true (Relation.add r (row [ 2; 1 ]));
+  Alcotest.(check int) "cardinal" 2 (Relation.cardinal r);
+  Alcotest.(check bool) "mem" true (Relation.mem r (row [ 1; 2 ]));
+  Alcotest.(check bool) "not mem" false (Relation.mem r (row [ 3; 3 ]))
+
+let test_arity_check () =
+  let r = Relation.create "p" 2 in
+  Alcotest.(check bool) "raises on arity mismatch" true
+    (try
+       ignore (Relation.add r (row [ 1 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_insertion_order () =
+  let r = Relation.create "p" 1 in
+  List.iter (fun i -> ignore (Relation.add r (row [ i ]))) [ 5; 3; 9; 1 ];
+  let order = List.map (fun a -> Value.as_int a.(0)) (Relation.to_list r) in
+  Alcotest.(check (list int)) "insertion order preserved" [ 5; 3; 9; 1 ] order
+
+let test_iter_from () =
+  let r = Relation.create "p" 1 in
+  List.iter (fun i -> ignore (Relation.add r (row [ i ]))) [ 1; 2; 3; 4 ];
+  let acc = ref [] in
+  Relation.iter_from r 2 (fun a -> acc := Value.as_int a.(0) :: !acc);
+  Alcotest.(check (list int)) "delta window" [ 4; 3 ] !acc
+
+let test_index_lookup () =
+  let r = Relation.create "g" 3 in
+  for i = 0 to 99 do
+    ignore (Relation.add r (row [ i mod 10; i; i * 2 ]))
+  done;
+  let hits = ref 0 in
+  Relation.iter_matching r [| Some (Value.Int 3); None; None |] (fun _ -> incr hits);
+  Alcotest.(check int) "matches via index" 10 !hits;
+  (* Rows inserted after the index was built must be visible. *)
+  ignore (Relation.add r (row [ 3; 1000; 2000 ]));
+  hits := 0;
+  Relation.iter_matching r [| Some (Value.Int 3); None; None |] (fun _ -> incr hits);
+  Alcotest.(check int) "index maintained on insert" 11 !hits
+
+let test_index_multi_column () =
+  let r = Relation.create "g" 3 in
+  for i = 0 to 49 do
+    ignore (Relation.add r (row [ i mod 5; i mod 7; i ]))
+  done;
+  let hits = ref [] in
+  Relation.iter_matching r
+    [| Some (Value.Int 2); Some (Value.Int 3); None |]
+    (fun a -> hits := Value.as_int a.(2) :: !hits);
+  let expected =
+    List.filter (fun i -> i mod 5 = 2 && i mod 7 = 3) (List.init 50 Fun.id)
+  in
+  Alcotest.(check (list int)) "two-column index" expected (List.rev !hits)
+
+let test_full_scan_pattern () =
+  let r = Relation.create "p" 2 in
+  for i = 0 to 9 do
+    ignore (Relation.add r (row [ i; i ]))
+  done;
+  let hits = ref 0 in
+  Relation.iter_matching r [| None; None |] (fun _ -> incr hits);
+  Alcotest.(check int) "unbound pattern scans all" 10 !hits
+
+let test_copy_isolation () =
+  let r = Relation.create "p" 1 in
+  ignore (Relation.add r (row [ 1 ]));
+  let r' = Relation.copy r in
+  ignore (Relation.add r (row [ 2 ]));
+  ignore (Relation.add r' (row [ 3 ]));
+  Alcotest.(check int) "original" 2 (Relation.cardinal r);
+  Alcotest.(check int) "copy" 2 (Relation.cardinal r');
+  Alcotest.(check bool) "copy lacks original's new row" false (Relation.mem r' (row [ 2 ]))
+
+let test_database_basics () =
+  let db = Database.create () in
+  Alcotest.(check bool) "add" true (Database.add_fact db "p" (row [ 1; 2 ]));
+  Alcotest.(check bool) "dup" false (Database.add_fact db "p" (row [ 1; 2 ]));
+  Alcotest.(check bool) "mem" true (Database.mem_fact db "p" (row [ 1; 2 ]));
+  Alcotest.(check bool) "absent pred" false (Database.mem_fact db "q" (row [ 1 ]));
+  Alcotest.(check int) "cardinal" 1 (Database.cardinal db);
+  Alcotest.(check bool) "arity clash raises" true
+    (try
+       ignore (Database.relation db "p" 3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_copy_and_equal () =
+  let db = Database.create () in
+  ignore (Database.add_fact db "p" (row [ 1 ]));
+  ignore (Database.add_fact db "q" (row [ 2; 3 ]));
+  let db' = Database.copy db in
+  Alcotest.(check bool) "equal after copy" true (Database.equal_on db db' [ "p"; "q" ]);
+  ignore (Database.add_fact db' "p" (row [ 9 ]));
+  Alcotest.(check bool) "diverges" false (Database.equal_on db db' [ "p" ]);
+  Alcotest.(check bool) "other pred still equal" true (Database.equal_on db db' [ "q" ])
+
+let test_load_facts_rejects_rules () =
+  let db = Database.create () in
+  let prog = Parser.parse_program "p(X) <- q(X)." in
+  Alcotest.(check bool) "rejects non-fact" true
+    (try
+       Database.load_facts db prog;
+       false
+     with Invalid_argument _ -> true)
+
+let test_pp_stable_output () =
+  let db = Database.create () in
+  ignore (Database.add_fact db "b" (row [ 2 ]));
+  ignore (Database.add_fact db "a" (row [ 9 ]));
+  ignore (Database.add_fact db "b" (row [ 1 ]));
+  Alcotest.(check string) "sorted rendering" "a(9).\nb(1).\nb(2).\n"
+    (Format.asprintf "%a" Database.pp db)
+
+let prop_index_agrees_with_scan =
+  QCheck.Test.make ~name:"indexed lookup = filtered scan" ~count:200
+    QCheck.(pair (small_list (pair (int_bound 5) (int_bound 5))) (pair (int_bound 5) (int_bound 1)))
+    (fun (rows, (key, col)) ->
+      let r = Relation.create "p" 2 in
+      List.iter (fun (a, b) -> ignore (Relation.add r (row [ a; b ]))) rows;
+      let pattern = [| None; None |] in
+      pattern.(col) <- Some (Value.Int key);
+      let indexed = ref [] in
+      Relation.iter_matching r pattern (fun a -> indexed := Array.to_list a :: !indexed);
+      let scanned = ref [] in
+      Relation.iter r (fun a ->
+          if Value.equal a.(col) (Value.Int key) then scanned := Array.to_list a :: !scanned);
+      List.sort compare !indexed = List.sort compare !scanned)
+
+let () =
+  Alcotest.run "relation"
+    [ ( "relation",
+        [ Alcotest.test_case "add/mem/dedup" `Quick test_add_dedup;
+          Alcotest.test_case "arity check" `Quick test_arity_check;
+          Alcotest.test_case "insertion order" `Quick test_insertion_order;
+          Alcotest.test_case "iter_from (delta windows)" `Quick test_iter_from;
+          Alcotest.test_case "index lookup" `Quick test_index_lookup;
+          Alcotest.test_case "multi-column index" `Quick test_index_multi_column;
+          Alcotest.test_case "full scan" `Quick test_full_scan_pattern;
+          Alcotest.test_case "copy isolation" `Quick test_copy_isolation ] );
+      ( "database",
+        [ Alcotest.test_case "basics" `Quick test_database_basics;
+          Alcotest.test_case "copy and equal_on" `Quick test_database_copy_and_equal;
+          Alcotest.test_case "load_facts validation" `Quick test_load_facts_rejects_rules;
+          Alcotest.test_case "stable pp" `Quick test_pp_stable_output ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_index_agrees_with_scan ]) ]

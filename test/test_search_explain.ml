@@ -1,0 +1,122 @@
+(* Don't-know search over choice models, and the provenance explainer. *)
+
+open Gbc
+
+(* s1 takes c1 and c2; s2 takes only c1.  Greedy-first assigns (s1,c1)
+   and strands s2; a full assignment exists and [find] locates it. *)
+let strand_src = {|
+takes(s1, c1, 1).
+takes(s1, c2, 1).
+takes(s2, c1, 1).
+a_st(St, Crs) <- takes(St, Crs, _), choice(Crs, St), choice(St, Crs).
+|}
+
+let assignments db =
+  Database.facts_of db "a_st"
+  |> List.map (fun row -> (Value.to_string row.(0), Value.to_string row.(1)))
+  |> List.sort compare
+
+let test_greedy_first_strands () =
+  let prog = Parser.parse_program strand_src in
+  Alcotest.(check (list (pair string string))) "first gamma strands s2"
+    [ ("s1", "c1") ]
+    (assignments (Choice_fixpoint.model prog))
+
+let test_find_full_assignment () =
+  let prog = Parser.parse_program strand_src in
+  match
+    Choice_fixpoint.find prog ~accept:(fun db ->
+        List.length (Database.facts_of db "a_st") = 2)
+  with
+  | None -> Alcotest.fail "a full assignment exists"
+  | Some db ->
+    Alcotest.(check (list (pair string string))) "the full assignment"
+      [ ("s1", "c2"); ("s2", "c1") ]
+      (assignments db)
+
+let test_find_none_when_unsatisfiable () =
+  let prog = Parser.parse_program strand_src in
+  Alcotest.(check bool) "no 3-assignment" true
+    (Choice_fixpoint.find prog ~accept:(fun db ->
+         List.length (Database.facts_of db "a_st") >= 3)
+    = None)
+
+let test_find_on_positive_program () =
+  let prog = Parser.parse_program "e(1). p(X) <- e(X)." in
+  Alcotest.(check bool) "deterministic model found" true
+    (Choice_fixpoint.find prog ~accept:(fun db -> Database.mem_fact db "p" [| Value.Int 1 |])
+    <> None)
+
+(* ---------------- explain ---------------- *)
+
+let tc_prog =
+  Parser.parse_program
+    "e(1, 2). e(2, 3). tc(X, Y) <- e(X, Y). tc(X, Y) <- e(X, Z), tc(Z, Y)."
+
+let test_explain_fact_leaf () =
+  let db = Choice_fixpoint.model tc_prog in
+  match Explain.fact tc_prog db "e" [| Value.Int 1; Value.Int 2 |] with
+  | Some { Explain.reason = Explain.Extensional; children = []; _ } -> ()
+  | _ -> Alcotest.fail "expected an extensional leaf"
+
+let test_explain_derivation_depth () =
+  let db = Choice_fixpoint.model tc_prog in
+  match Explain.fact tc_prog db "tc" [| Value.Int 1; Value.Int 3 |] with
+  | Some node ->
+    let rec depth n =
+      1 + List.fold_left (fun acc c -> max acc (depth c)) 0 n.Explain.children
+    in
+    Alcotest.(check bool) "two-hop derivation" true (depth node >= 3);
+    (match node.Explain.reason with
+    | Explain.Rule _ -> ()
+    | _ -> Alcotest.fail "expected a rule node")
+  | None -> Alcotest.fail "tc(1,3) should be explained"
+
+let test_explain_absent_fact () =
+  let db = Choice_fixpoint.model tc_prog in
+  Alcotest.(check bool) "absent fact has no explanation" true
+    (Explain.fact tc_prog db "tc" [| Value.Int 3; Value.Int 1 |] = None)
+
+let test_explain_greedy_selection () =
+  let g = Graph_gen.random_connected ~seed:5 ~nodes:8 ~extra_edges:8 in
+  let prog = Prim.program ~root:0 g in
+  let db = Stage_engine.model prog in
+  let first_edge =
+    List.find (fun row -> Value.as_int row.(3) = 1) (Database.facts_of db "prm")
+  in
+  match Explain.fact prog db "prm" first_edge with
+  | Some { Explain.reason = Explain.Selected _; children; _ } ->
+    Alcotest.(check bool) "justified by a new_g subgoal" true
+      (List.exists (fun c -> c.Explain.pred = "new_g") children)
+  | _ -> Alcotest.fail "expected a selection node"
+
+let test_explain_renders () =
+  let db = Choice_fixpoint.model tc_prog in
+  match Explain.fact tc_prog db "tc" [| Value.Int 1; Value.Int 3 |] with
+  | Some node ->
+    let text = Format.asprintf "%a" Explain.pp node in
+    Alcotest.(check bool) "non-empty rendering" true (String.length text > 40)
+  | None -> Alcotest.fail "expected a derivation"
+
+let test_enumeration_dedup_still_complete () =
+  (* The state-memoized DFS must still find all models of Example 1. *)
+  let prog = Assignment.program Assignment.example1_source in
+  Alcotest.(check int) "three models" 3 (List.length (Choice_fixpoint.enumerate prog))
+
+let () =
+  Alcotest.run "search_explain"
+    [ ( "find",
+        [ Alcotest.test_case "greedy-first strands" `Quick test_greedy_first_strands;
+          Alcotest.test_case "find locates the full assignment" `Quick
+            test_find_full_assignment;
+          Alcotest.test_case "find returns None" `Quick test_find_none_when_unsatisfiable;
+          Alcotest.test_case "find on deterministic programs" `Quick
+            test_find_on_positive_program;
+          Alcotest.test_case "dedup keeps completeness" `Quick
+            test_enumeration_dedup_still_complete ] );
+      ( "explain",
+        [ Alcotest.test_case "extensional leaf" `Quick test_explain_fact_leaf;
+          Alcotest.test_case "recursive derivation" `Quick test_explain_derivation_depth;
+          Alcotest.test_case "absent fact" `Quick test_explain_absent_fact;
+          Alcotest.test_case "greedy selection node" `Quick test_explain_greedy_selection;
+          Alcotest.test_case "renders" `Quick test_explain_renders ] ) ]

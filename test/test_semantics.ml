@@ -1,0 +1,305 @@
+(* Engine semantics: naive/semi-naive evaluation, the Choice Fixpoint
+   (Lemmas 1-2), Theorem 1 (stability of produced models), and the
+   agreement between the reference and the staged engine. *)
+
+open Gbc
+
+let model src = Choice_fixpoint.model (Parser.parse_program src)
+
+let facts db pred =
+  Database.facts_of db pred
+  |> List.map (fun row -> List.map Value.to_string (Array.to_list row))
+  |> List.sort compare
+
+(* ---------------- stratified evaluation ---------------- *)
+
+let test_transitive_closure () =
+  let db = model "e(1,2). e(2,3). e(3,4). tc(X,Y) <- e(X,Y). tc(X,Y) <- tc(X,Z), e(Z,Y)." in
+  Alcotest.(check int) "6 pairs" 6 (List.length (facts db "tc"))
+
+let test_same_generation () =
+  let db =
+    model
+      "par(r, a). par(a, b). par(a, c). par(b, d). par(b, e). par(c, f).\n\
+       sg(X, X) <- par(_, X).\n\
+       sg(X, Y) <- par(P, X), sg(P, Q), par(Q, Y)."
+  in
+  let sg = facts db "sg" in
+  Alcotest.(check bool) "d ~ f" true (List.mem [ "d"; "f" ] sg);
+  Alcotest.(check bool) "b ~ c" true (List.mem [ "b"; "c" ] sg);
+  Alcotest.(check bool) "not b ~ d" false (List.mem [ "b"; "d" ] sg)
+
+let test_stratified_negation () =
+  let db =
+    model
+      "e(1,2). e(2,3). n(1). n(2). n(3).\n\
+       reach(1).\n\
+       reach(Y) <- reach(X), e(X, Y).\n\
+       unreach(X) <- n(X), not reach(X)."
+  in
+  Alcotest.(check (list (list string))) "unreachable" [] (facts db "unreach");
+  let db2 =
+    model
+      "e(1,2). n(1). n(2). n(3).\n\
+       reach(1).\n\
+       reach(Y) <- reach(X), e(X, Y).\n\
+       unreach(X) <- n(X), not reach(X)."
+  in
+  Alcotest.(check (list (list string))) "node 3 unreachable" [ [ "3" ] ] (facts db2 "unreach")
+
+let test_nonrecursive_extrema () =
+  let db = model "p(a, 3). p(b, 1). p(c, 1). m(X, C) <- p(X, C), least(C)." in
+  Alcotest.(check (list (list string))) "global min keeps ties"
+    [ [ "b"; "1" ]; [ "c"; "1" ] ]
+    (facts db "m");
+  let db = model "p(a, 3). p(a, 1). p(b, 2). m(X, C) <- p(X, C), least(C, X)." in
+  Alcotest.(check (list (list string))) "grouped min"
+    [ [ "a"; "1" ]; [ "b"; "2" ] ]
+    (facts db "m")
+
+let test_most_extremum () =
+  let db = model "p(a, 3). p(a, 1). m(X, C) <- p(X, C), most(C, X)." in
+  Alcotest.(check (list (list string))) "grouped max" [ [ "a"; "3" ] ] (facts db "m")
+
+let test_seminaive_equals_naive () =
+  let src =
+    "e(1,2). e(2,3). e(3,1). e(3,4). e(4,5).\n\
+     tc(X,Y) <- e(X,Y).\n\
+     tc(X,Y) <- tc(X,Z), tc(Z,Y)."
+  in
+  let prog = Parser.parse_program src in
+  let db1 = Choice_fixpoint.model prog in
+  let db2 = Database.create () in
+  Gbc_datalog.Naive.saturate db2 prog;
+  Alcotest.(check bool) "agree" true (Database.equal_on db1 db2 [ "tc" ])
+
+let test_unstratified_rejected () =
+  Alcotest.(check bool) "win/lose rejected" true
+    (try
+       ignore (model "m(a, b). win(X) <- m(X, Y), not win(Y).");
+       false
+     with Choice_fixpoint.Unsupported _ -> true)
+
+(* ---------------- choice fixpoint ---------------- *)
+
+let test_example1_models_exact () =
+  let prog = Assignment.program Assignment.example1_source in
+  let models = Choice_fixpoint.enumerate prog in
+  let exts =
+    List.sort compare
+      (List.map (fun db -> facts db "a_st") models)
+  in
+  Alcotest.(check (list (list (list string)))) "M1 M2 M3"
+    [ [ [ "andy"; "engl" ]; [ "ann"; "math" ] ];
+      [ [ "andy"; "engl" ]; [ "mark"; "math" ] ];
+      [ [ "ann"; "math" ]; [ "mark"; "engl" ] ] ]
+    exts
+
+let test_choice_fd_holds_in_every_model () =
+  let prog =
+    Assignment.random_takes ~seed:5 ~students:4 ~courses:4 ~enrollments:9
+    @ Parser.parse_program Assignment.example1_source
+  in
+  let models = Choice_fixpoint.enumerate prog in
+  Alcotest.(check bool) "at least one model" true (models <> []);
+  List.iter
+    (fun db ->
+      let rows = Database.facts_of db "a_st" in
+      let by i = List.map (fun r -> Value.to_string r.(i)) rows in
+      let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+      Alcotest.(check bool) "St -> Crs" true (distinct (by 0));
+      Alcotest.(check bool) "Crs -> St" true (distinct (by 1)))
+    models
+
+let test_choice_models_maximality () =
+  (* Each model is a maximal FD-respecting subset: no takes tuple can
+     be added without breaking a functional dependency. *)
+  let prog = Assignment.program Assignment.example1_source in
+  List.iter
+    (fun db ->
+      let chosen =
+        List.map (fun r -> (Value.to_string r.(0), Value.to_string r.(1)))
+          (Database.facts_of db "a_st")
+      in
+      List.iter
+        (fun row ->
+          let s = Value.to_string row.(0) and c = Value.to_string row.(1) in
+          let compatible =
+            (not (List.exists (fun (s', c') -> s = s' && c <> c') chosen))
+            && not (List.exists (fun (s', c') -> c = c' && s <> s') chosen)
+          in
+          Alcotest.(check bool) "maximal" true ((not compatible) || List.mem (s, c) chosen))
+        (Database.facts_of (Choice_fixpoint.model prog) "takes"))
+    (Choice_fixpoint.enumerate prog)
+
+let test_policy_random_reproducible () =
+  let prog = Assignment.program Assignment.example1_source in
+  let a = Choice_fixpoint.model ~policy:(Random 7) prog in
+  let b = Choice_fixpoint.model ~policy:(Random 7) prog in
+  Alcotest.(check bool) "same seed, same model" true (Database.equal_on a b [ "a_st" ]);
+  let models =
+    List.init 20 (fun seed -> facts (Choice_fixpoint.model ~policy:(Random seed) prog) "a_st")
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "different seeds reach several models" true (List.length models > 1)
+
+let test_lemma2_completeness_random_policy () =
+  (* Every model found by enumeration is reachable by some gamma
+     instantiation; conversely every random run lands in the
+     enumerated set. *)
+  let prog = Assignment.program Assignment.example1_source in
+  let enumerated =
+    List.sort compare (List.map (fun db -> facts db "a_st") (Choice_fixpoint.enumerate prog))
+  in
+  List.iter
+    (fun seed ->
+      let m = facts (Choice_fixpoint.model ~policy:(Random seed) prog) "a_st" in
+      Alcotest.(check bool) "random run is an enumerated model" true (List.mem m enumerated))
+    (List.init 15 Fun.id)
+
+(* ---------------- Theorem 1: stability ---------------- *)
+
+let paper_programs_small =
+  [ ("example1", Assignment.program Assignment.example1_source);
+    ("bi_st_c", Assignment.program Assignment.bi_st_c_source);
+    ( "sorting",
+      Sorting.program [ ("a", 3); ("b", 1); ("c", 2); ("d", 2) ] );
+    ( "prim",
+      Prim.program ~root:0 (Graph_gen.random_connected ~seed:1 ~nodes:6 ~extra_edges:5) );
+    ( "kruskal",
+      Kruskal.program (Graph_gen.random_connected ~seed:2 ~nodes:5 ~extra_edges:4) );
+    ( "matching",
+      Matching.program [ (0, 10, 3); (0, 11, 1); (1, 10, 2); (1, 11, 4); (2, 12, 5) ] );
+    ("tsp", Tsp.program (Graph_gen.complete ~seed:3 ~nodes:5));
+    ("huffman", Huffman.program [ ("a", 5); ("b", 2); ("c", 1); ("d", 1) ]);
+    ( "dijkstra",
+      Dijkstra.program ~root:0 (Graph_gen.random_connected ~seed:4 ~nodes:6 ~extra_edges:6) );
+    ("scheduling", Scheduling.program (Interval_gen.random ~seed:5 ~jobs:6 ~horizon:30)) ]
+
+let test_theorem1_reference_models_stable () =
+  List.iter
+    (fun (name, prog) ->
+      let db = Choice_fixpoint.model prog in
+      Alcotest.(check bool) (name ^ ": reference model stable") true (Stable.is_stable prog db))
+    paper_programs_small
+
+let test_theorem1_staged_models_stable () =
+  List.iter
+    (fun (name, prog) ->
+      let db = Stage_engine.model prog in
+      Alcotest.(check bool) (name ^ ": staged model stable") true (Stable.is_stable prog db))
+    paper_programs_small
+
+let test_non_models_fail_stability () =
+  let prog = Assignment.program Assignment.example1_source in
+  let db = Choice_fixpoint.model prog in
+  (* Adding an unjustified fact must break stability. *)
+  let tampered = Database.copy db in
+  ignore (Database.add_fact tampered "a_st" [| Value.Sym "ghost"; Value.Sym "phys" |]);
+  Alcotest.(check bool) "extra fact breaks stability" false (Stable.is_stable prog tampered);
+  (* Removing a derived fact must too: rebuild a db without one a_st row. *)
+  let pruned = Database.create () in
+  List.iter
+    (fun pred ->
+      let rows = Database.facts_of db pred in
+      let rows = if pred = "a_st" then List.tl rows else rows in
+      List.iter (fun row -> ignore (Database.add_fact pruned pred row)) rows)
+    (Database.preds db);
+  Alcotest.(check bool) "missing fact breaks stability" false (Stable.is_stable prog pruned)
+
+let test_brute_force_agrees_on_small_choice_programs () =
+  let check_program name src facts_src =
+    let prog = Parser.parse_program (facts_src ^ src) in
+    let brute = List.length (Stable.stable_models_brute prog) in
+    let enum = List.length (Choice_fixpoint.enumerate prog) in
+    Alcotest.(check int) (name ^ ": |brute| = |enumerate|") brute enum
+  in
+  check_program "single choice" "p(X) <- e(X), choice((), X)." "e(1). e(2). e(3).";
+  check_program "fd choice" "p(X, Y) <- e(X, Y), choice(X, Y)." "e(1, a). e(1, b). e(2, a)."
+
+let test_least_fixpoint_is_a_strict_subset () =
+  (* With an extremum inside the choice rule, the fixpoint commits to
+     greedy selections: its models are stable (Theorem 1) but they are
+     a strict subset of the stable models of the rewriting — choosing
+     the expensive tuple first is also stable under the footnote-2
+     reading (choice applied before least).  Lemma 2's completeness is
+     only claimed for pure choice programs. *)
+  let prog =
+    Parser.parse_program
+      "e(1, 5). e(2, 3). e(3, 3). p(X, C) <- e(X, C), least(C), choice((), X)."
+  in
+  let brute = Stable.stable_models_brute prog in
+  let enum = Choice_fixpoint.enumerate prog in
+  Alcotest.(check int) "three stable models of the rewriting" 3 (List.length brute);
+  Alcotest.(check int) "two greedy models" 2 (List.length enum);
+  List.iter
+    (fun db -> Alcotest.(check bool) "each greedy model is stable" true (Stable.is_stable prog db))
+    enum;
+  (* The greedy models are exactly the minimum-cost ones. *)
+  List.iter
+    (fun db ->
+      match Database.facts_of db "p" with
+      | [ row ] -> Alcotest.(check int) "greedy picks cost 3" 3 (Value.as_int row.(1))
+      | _ -> Alcotest.fail "expected a single p fact")
+    enum
+
+(* ---------------- engine agreement ---------------- *)
+
+let test_engines_agree_exactly_on_tie_free_programs () =
+  (* Unique costs make the stable model unique, so the two engines must
+     produce identical relations. *)
+  List.iter
+    (fun seed ->
+      let g = Graph_gen.random_connected ~seed ~nodes:12 ~extra_edges:20 in
+      let prog = Prim.program ~root:0 g in
+      let a = Choice_fixpoint.model prog and b = Stage_engine.model prog in
+      Alcotest.(check bool) "prim models identical" true (Database.equal_on a b [ "prm" ]))
+    [ 1; 2; 3; 4; 5 ]
+
+let prop_engines_agree_dijkstra =
+  QCheck.Test.make ~name:"engines agree on dijkstra (random graphs)" ~count:25
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = Graph_gen.random_connected ~seed ~nodes:10 ~extra_edges:12 in
+      List.sort compare (Dijkstra.run Runner.Reference g)
+      = List.sort compare (Dijkstra.run Runner.Staged g))
+
+let prop_staged_stable_sorting =
+  QCheck.Test.make ~name:"staged sorting model is stable" ~count:20
+    QCheck.(small_list (int_bound 50))
+    (fun costs ->
+      let items = List.mapi (fun i c -> (Printf.sprintf "x%d" i, c)) costs in
+      let prog = Sorting.program items in
+      Stable.is_stable prog (Stage_engine.model prog))
+
+let () =
+  Alcotest.run "semantics"
+    [ ( "stratified",
+        [ Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "same generation" `Quick test_same_generation;
+          Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
+          Alcotest.test_case "non-recursive extrema" `Quick test_nonrecursive_extrema;
+          Alcotest.test_case "most" `Quick test_most_extremum;
+          Alcotest.test_case "seminaive = naive" `Quick test_seminaive_equals_naive;
+          Alcotest.test_case "unstratified rejected" `Quick test_unstratified_rejected ] );
+      ( "choice fixpoint",
+        [ Alcotest.test_case "Example 1 models" `Quick test_example1_models_exact;
+          Alcotest.test_case "FDs hold in every model" `Quick test_choice_fd_holds_in_every_model;
+          Alcotest.test_case "maximality" `Quick test_choice_models_maximality;
+          Alcotest.test_case "random policy reproducible" `Quick test_policy_random_reproducible;
+          Alcotest.test_case "Lemma 2 completeness" `Quick test_lemma2_completeness_random_policy ] );
+      ( "theorem 1",
+        [ Alcotest.test_case "reference models stable (all programs)" `Slow
+            test_theorem1_reference_models_stable;
+          Alcotest.test_case "staged models stable (all programs)" `Slow
+            test_theorem1_staged_models_stable;
+          Alcotest.test_case "tampered models rejected" `Quick test_non_models_fail_stability;
+          Alcotest.test_case "brute force agrees" `Quick
+            test_brute_force_agrees_on_small_choice_programs;
+          Alcotest.test_case "least commits greedily (strict subset)" `Quick
+            test_least_fixpoint_is_a_strict_subset ] );
+      ( "agreement",
+        [ Alcotest.test_case "tie-free exact agreement" `Quick
+            test_engines_agree_exactly_on_tie_free_programs;
+          QCheck_alcotest.to_alcotest prop_engines_agree_dijkstra;
+          QCheck_alcotest.to_alcotest prop_staged_stable_sorting ] ) ]

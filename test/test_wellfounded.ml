@@ -1,0 +1,108 @@
+(* Well-founded semantics and its relationship to stable models and to
+   choice programs (the paper's Section 1/4 framing). *)
+
+open Gbc
+
+let wf ?edb src = Wellfounded.compute ?edb (Parser.parse_program src)
+
+let facts db pred =
+  Database.facts_of db pred
+  |> List.map (fun row -> List.map Value.to_string (Array.to_list row))
+  |> List.sort compare
+
+let test_stratified_total () =
+  let t =
+    wf
+      "e(1,2). e(2,3). n(1). n(2). n(3). n(4).\n\
+       reach(1).\n\
+       reach(Y) <- reach(X), e(X, Y).\n\
+       unreach(X) <- n(X), not reach(X)."
+  in
+  Alcotest.(check bool) "total" true (Wellfounded.is_total t);
+  Alcotest.(check (list (list string))) "unreach" [ [ "4" ] ] (facts t.Wellfounded.true_facts "unreach");
+  (* A stratified program's well-founded model equals the engine's. *)
+  let m =
+    Choice_fixpoint.model
+      (Parser.parse_program
+         "e(1,2). e(2,3). n(1). n(2). n(3). n(4).\n\
+          reach(1).\n\
+          reach(Y) <- reach(X), e(X, Y).\n\
+          unreach(X) <- n(X), not reach(X).")
+  in
+  Alcotest.(check bool) "equals engine model" true
+    (Database.equal_on t.Wellfounded.true_facts m [ "reach"; "unreach" ])
+
+let test_win_move_game () =
+  (* a -> b -> c (c stuck): win(b) true, win(a) false, win(c) false. *)
+  let t = wf "m(a, b). m(b, c). win(X) <- m(X, Y), not win(Y)." in
+  Alcotest.(check bool) "total" true (Wellfounded.is_total t);
+  Alcotest.(check (list (list string))) "only b wins" [ [ "b" ] ]
+    (facts t.Wellfounded.true_facts "win")
+
+let test_two_cycle_undefined () =
+  (* a <-> b: both win atoms undefined. *)
+  let t = wf "m(a, b). m(b, a). win(X) <- m(X, Y), not win(Y)." in
+  Alcotest.(check bool) "not total" false (Wellfounded.is_total t);
+  Alcotest.(check int) "two undefined atoms" 2 (List.length (Wellfounded.undefined t));
+  Alcotest.(check (list (list string))) "nothing definitely true" []
+    (facts t.Wellfounded.true_facts "win");
+  Alcotest.(check (list (list string))) "both possible"
+    [ [ "a" ]; [ "b" ] ]
+    (facts t.Wellfounded.possible "win")
+
+let test_mixed_cycle_and_tail () =
+  (* a <-> b, and d -> a: win(d) depends on undefined win(a): undefined;
+     e -> c (stuck): win(e) true. *)
+  let t =
+    wf "m(a, b). m(b, a). m(d, a). m(e, c). win(X) <- m(X, Y), not win(Y)."
+  in
+  let undef = List.map fst (Wellfounded.undefined t) in
+  Alcotest.(check int) "three undefined" 3 (List.length undef);
+  Alcotest.(check (list (list string))) "e wins for sure" [ [ "e" ] ]
+    (facts t.Wellfounded.true_facts "win")
+
+let test_choice_program_undefined_choices () =
+  (* The rewritten Example 1: the well-founded model cannot commit to
+     any assignment — every a_st and chosen atom is undefined — while
+     each choice model is a stable model sandwiched between the true
+     and possible sets. *)
+  let prog = Assignment.program Assignment.example1_source in
+  let rewritten = Rewrite.expand_all prog in
+  let t = Wellfounded.compute rewritten in
+  Alcotest.(check bool) "not total" false (Wellfounded.is_total t);
+  Alcotest.(check (list (list string))) "no committed assignment" []
+    (facts t.Wellfounded.true_facts "a_st");
+  Alcotest.(check int) "all four assignments possible" 4
+    (List.length (facts t.Wellfounded.possible "a_st"));
+  let models = Choice_fixpoint.enumerate prog in
+  List.iter
+    (fun m ->
+      let completed = Stable.complete prog m in
+      Alcotest.(check bool) "stable model within the WF bounds" true
+        (Wellfounded.agrees_with_stable t completed))
+    models
+
+let test_positive_program_is_its_least_model () =
+  let t = wf "e(1,2). e(2,3). tc(X,Y) <- e(X,Y). tc(X,Y) <- tc(X,Z), e(Z,Y)." in
+  Alcotest.(check bool) "total" true (Wellfounded.is_total t);
+  Alcotest.(check int) "tc size" 3 (List.length (facts t.Wellfounded.true_facts "tc"))
+
+let test_rejects_non_flat () =
+  Alcotest.(check bool) "choice goal rejected" true
+    (try
+       ignore (wf "p(X) <- e(X), choice((), X). e(1).");
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "wellfounded"
+    [ ( "alternating fixpoint",
+        [ Alcotest.test_case "stratified programs are total" `Quick test_stratified_total;
+          Alcotest.test_case "win-move chain" `Quick test_win_move_game;
+          Alcotest.test_case "two-cycle undefined" `Quick test_two_cycle_undefined;
+          Alcotest.test_case "mixed cycle and tail" `Quick test_mixed_cycle_and_tail;
+          Alcotest.test_case "choice stays undefined" `Quick
+            test_choice_program_undefined_choices;
+          Alcotest.test_case "positive = least model" `Quick
+            test_positive_program_is_its_least_model;
+          Alcotest.test_case "non-flat rejected" `Quick test_rejects_non_flat ] ) ]

@@ -1,0 +1,130 @@
+(* Workload generators: determinism, connectivity, uniqueness. *)
+
+open Gbc
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let seq r = List.init 50 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Rng.create 43 in
+  Alcotest.(check bool) "different seed diverges" true (seq (Rng.create 42) <> seq c)
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let a = Array.init 20 Fun.id in
+  let r = Rng.create 5 in
+  Rng.shuffle r a;
+  Alcotest.(check (list int)) "permutation" (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list a))
+
+let test_sample_distinct () =
+  let r = Rng.create 9 in
+  let s = Rng.sample_distinct r 10 15 in
+  Alcotest.(check int) "count" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 15)) s;
+  Alcotest.(check bool) "k > bound rejected" true
+    (try
+       ignore (Rng.sample_distinct r 5 3);
+       false
+     with Invalid_argument _ -> true)
+
+let connected (g : Graph_gen.t) =
+  let uf = Union_find.create g.Graph_gen.nodes in
+  List.iter (fun (u, v, _) -> ignore (Union_find.union uf u v)) g.Graph_gen.edges;
+  Union_find.count uf = 1
+
+let test_random_connected () =
+  List.iter
+    (fun seed ->
+      let g = Graph_gen.random_connected ~seed ~nodes:30 ~extra_edges:20 in
+      Alcotest.(check bool) "connected" true (connected g);
+      Alcotest.(check int) "edge count" (29 + 20) (List.length g.Graph_gen.edges);
+      let costs = List.map (fun (_, _, c) -> c) g.Graph_gen.edges in
+      Alcotest.(check int) "unique costs" (List.length costs)
+        (List.length (List.sort_uniq compare costs));
+      List.iter
+        (fun (u, v, _) ->
+          Alcotest.(check bool) "normalized" true (u < v && v < g.Graph_gen.nodes))
+        g.Graph_gen.edges)
+    [ 1; 2; 3 ]
+
+let test_random_connected_extra_edges_capped () =
+  (* Requesting more chords than the complete graph holds must not loop. *)
+  let g = Graph_gen.random_connected ~seed:4 ~nodes:5 ~extra_edges:1000 in
+  Alcotest.(check int) "complete graph" 10 (List.length g.Graph_gen.edges)
+
+let test_complete_graph () =
+  let g = Graph_gen.complete ~seed:8 ~nodes:12 in
+  Alcotest.(check int) "all pairs" 66 (List.length g.Graph_gen.edges);
+  let costs = List.map (fun (_, _, c) -> c) g.Graph_gen.edges in
+  Alcotest.(check int) "unique costs" 66 (List.length (List.sort_uniq compare costs))
+
+let test_grid_graph () =
+  let g = Graph_gen.grid ~width:4 ~height:3 in
+  Alcotest.(check int) "nodes" 12 g.Graph_gen.nodes;
+  (* 3 horizontal per row x 3 rows + 4 vertical per column x 2 = 17. *)
+  Alcotest.(check int) "edges" 17 (List.length g.Graph_gen.edges);
+  Alcotest.(check bool) "connected" true (connected g)
+
+let test_graph_facts () =
+  let g = { Graph_gen.nodes = 2; edges = [ (0, 1, 5) ] } in
+  Alcotest.(check int) "undirected doubles" 2 (List.length (Graph_gen.to_facts g));
+  Alcotest.(check int) "directed single" 1
+    (List.length (Graph_gen.to_facts ~directed:true g));
+  Alcotest.(check int) "node facts" 2 (List.length (Graph_gen.node_facts g))
+
+let test_mst_weight_oracle () =
+  let g = { Graph_gen.nodes = 3; edges = [ (0, 1, 1); (1, 2, 2); (0, 2, 10) ] } in
+  Alcotest.(check int) "triangle MST" 3 (Graph_gen.mst_weight g)
+
+let test_zipf_letters () =
+  let letters = Text_gen.zipf ~seed:2 ~letters:20 in
+  Alcotest.(check int) "count" 20 (List.length letters);
+  List.iter (fun (_, f) -> Alcotest.(check bool) "positive" true (f >= 1)) letters;
+  let first = snd (List.hd letters) and last = snd (List.nth letters 19) in
+  Alcotest.(check bool) "roughly decreasing" true (first > last)
+
+let test_of_string () =
+  let freqs = Text_gen.of_string "aab" in
+  Alcotest.(check int) "two symbols" 2 (List.length freqs);
+  Alcotest.(check (option int)) "a twice" (Some 2)
+    (List.assoc_opt (Printf.sprintf "c_%d" (Char.code 'a')) freqs)
+
+let test_intervals () =
+  let jobs = Interval_gen.random ~seed:3 ~jobs:15 ~horizon:100 in
+  Alcotest.(check int) "count" 15 (List.length jobs);
+  List.iter
+    (fun (_, s, f) -> Alcotest.(check bool) "well-formed" true (0 <= s && s < f && f <= 100))
+    jobs;
+  let finishes = List.map (fun (_, _, f) -> f) jobs in
+  Alcotest.(check int) "distinct finishes" 15 (List.length (List.sort_uniq compare finishes))
+
+let () =
+  Alcotest.run "workload"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_sample_distinct ] );
+      ( "graphs",
+        [ Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "extra edges capped" `Quick test_random_connected_extra_edges_capped;
+          Alcotest.test_case "complete" `Quick test_complete_graph;
+          Alcotest.test_case "grid" `Quick test_grid_graph;
+          Alcotest.test_case "fact encodings" `Quick test_graph_facts;
+          Alcotest.test_case "mst oracle" `Quick test_mst_weight_oracle ] );
+      ( "text and intervals",
+        [ Alcotest.test_case "zipf" `Quick test_zipf_letters;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "intervals" `Quick test_intervals ] ) ]
