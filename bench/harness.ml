@@ -58,3 +58,276 @@ let table ~title ~header rows =
 let sec t = Printf.sprintf "%.4f" t
 let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.1fx" (a /. b)
 let slope s = if Float.is_nan s then "-" else Printf.sprintf "%.2f" s
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_<exp>.json — machine-readable trajectory of the experiment    *)
+(* tables.  One file per experiment: the id, and one point per size    *)
+(* with the wall-clock time and a telemetry counter snapshot.  The     *)
+(* emitter below is hand-rolled (no JSON dependency in the image);     *)
+(* the minimal parser exists so the smoke run can prove the files it   *)
+(* just wrote are well-formed.                                         *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (json_escape s);
+    Buffer.add_char buf '"'
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        emit buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        emit buf (Str k);
+        Buffer.add_string buf ": ";
+        emit buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  emit buf j;
+  Buffer.contents buf
+
+exception Parse of string
+
+(* Recursive-descent JSON parser, just enough to round-trip what the
+   emitter (and Telemetry.to_json) produce. *)
+let parse_json src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub src !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub src !pos 4) in
+          pos := !pos + 4;
+          (* ASCII only; good enough for counter labels *)
+          if code < 128 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?';
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when numchar c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub src start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Arr [])
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elems (v :: acc)
+          | Some ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "empty input"
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error "trailing garbage" else Ok v
+  | exception Parse msg -> Error msg
+
+(* Record store: experiments push (n, wall, counters) points;
+   [flush_bench] writes one BENCH_<exp>.json per experiment and
+   returns the paths. *)
+
+let bench_points : (string, (int * float * (string * int) list) list) Hashtbl.t =
+  Hashtbl.create 16
+
+let bench_order : string list ref = ref []
+
+let record ~exp ~n ~wall counters =
+  if not (Hashtbl.mem bench_points exp) then bench_order := exp :: !bench_order;
+  let prev = try Hashtbl.find bench_points exp with Not_found -> [] in
+  Hashtbl.replace bench_points exp ((n, wall, counters) :: prev)
+
+let flush_bench () =
+  List.rev_map
+    (fun exp ->
+      let points = List.rev (Hashtbl.find bench_points exp) in
+      let doc =
+        Obj
+          [ ("experiment", Str exp);
+            ( "points",
+              Arr
+                (List.map
+                   (fun (n, wall, counters) ->
+                     Obj
+                       [ ("n", Num (float_of_int n));
+                         ("wall_s", Num wall);
+                         ( "counters",
+                           Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) counters)
+                         ) ])
+                   points) ) ]
+      in
+      let path = Printf.sprintf "BENCH_%s.json" exp in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (to_string doc);
+          output_char oc '\n');
+      path)
+    !bench_order
+
+(* Smoke validation: every written file must re-parse and carry at
+   least one point with the required fields. *)
+let validate_bench paths =
+  List.for_all
+    (fun path ->
+      let ic = open_in path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match parse_json src with
+      | Error msg ->
+        Printf.eprintf "bench-smoke: %s: %s\n" path msg;
+        false
+      | Ok (Obj fields) -> (
+        match (List.assoc_opt "experiment" fields, List.assoc_opt "points" fields) with
+        | Some (Str _), Some (Arr (_ :: _ as points)) ->
+          let point_ok = function
+            | Obj pf ->
+              List.mem_assoc "n" pf && List.mem_assoc "wall_s" pf
+              && List.mem_assoc "counters" pf
+            | _ -> false
+          in
+          if List.for_all point_ok points then true
+          else begin
+            Printf.eprintf "bench-smoke: %s: malformed point\n" path;
+            false
+          end
+        | _ ->
+          Printf.eprintf "bench-smoke: %s: missing experiment/points\n" path;
+          false)
+      | Ok _ ->
+        Printf.eprintf "bench-smoke: %s: not an object\n" path;
+        false)
+    paths

@@ -6,9 +6,27 @@
 
 open Gbc
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
+(* --smoke: tiniest instance per experiment, no bechamel; afterwards
+   the emitted BENCH_*.json files are parsed back and the process
+   exits nonzero if any is malformed (the `bench-smoke` dune alias). *)
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 
-let scale xs = if quick then List.filteri (fun i _ -> i < 2) xs else xs
+let scale xs =
+  let keep = if smoke then 1 else if quick then 2 else List.length xs in
+  List.filteri (fun i _ -> i < keep) xs
+
+(* Counter snapshot for a BENCH point: re-run the program once on the
+   staged engine with telemetry enabled (the timed runs stay
+   uninstrumented).  Programs outside the compiled class record no
+   counters. *)
+let counters_of prog =
+  let telemetry = Telemetry.create () in
+  match Stage_engine.run ~telemetry prog with
+  | _ -> Telemetry.totals telemetry
+  | exception (Stage_engine.Not_compilable _ | Choice_fixpoint.Unsupported _) -> []
+
+let record = Harness.record
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Prim (claim C1: O(e log e) vs procedural O(e log n))           *)
@@ -32,6 +50,7 @@ let e1 () =
         let r_proc, t_proc = Harness.time (fun () -> Prim.procedural g) in
         assert (r_staged.Prim.weight = oracle && r_proc.Prim.weight = oracle);
         Option.iter (fun r -> assert (r.Prim.weight = oracle)) r_ref;
+        record ~exp:"E1" ~n ~wall:t_staged (counters_of (Prim.program ~root:0 g));
         let row =
           [ string_of_int n; string_of_int (int_of_float e); Harness.sec t_staged;
             (match t_ref with Some t -> Harness.sec t | None -> "-");
@@ -67,6 +86,7 @@ let e2 () =
         assert (Sorting.is_sorted_permutation ~input:items out);
         let _, t_proc = Harness.time (fun () -> Sorting.procedural items) in
         let _, t_list = Harness.time (fun () -> List.sort (fun (_, a) (_, b) -> compare a b) items) in
+        record ~exp:"E2" ~n ~wall:t_staged (counters_of (Sorting.program items));
         let fn = float_of_int n in
         ( [ string_of_int n; Harness.sec t_staged; Harness.sec t_proc; Harness.sec t_list;
             Harness.ratio t_staged t_proc ]
@@ -111,6 +131,7 @@ let e3 () =
         let r_staged, t_staged = Harness.time (fun () -> Matching.run Runner.Staged arcs) in
         let r_proc, t_proc = Harness.time (fun () -> Matching.procedural arcs) in
         assert (r_staged.Matching.arcs = r_proc.Matching.arcs);
+        record ~exp:"E3" ~n:e ~wall:t_staged (counters_of (Matching.program arcs));
         ( [ string_of_int e; string_of_int (List.length r_staged.Matching.arcs);
             Harness.sec t_staged; Harness.sec t_proc; Harness.ratio t_staged t_proc ]
           :: rows,
@@ -137,6 +158,7 @@ let e4 () =
         let r_proc, t_proc = Harness.time (fun () -> Kruskal.procedural g) in
         let _, t_norank = Harness.time (fun () -> Kruskal.procedural ~by_rank:false g) in
         assert (r_staged.Kruskal.weight = oracle && r_proc.Kruskal.weight = oracle);
+        record ~exp:"E4" ~n ~wall:t_staged (counters_of (Kruskal.program g));
         let fn = float_of_int n in
         ( [ string_of_int n; string_of_int (4 * n); Harness.sec t_staged; Harness.sec t_proc;
             Harness.sec t_norank; Harness.ratio t_staged t_proc ]
@@ -171,6 +193,7 @@ let e5 () =
         let r_proc, t_proc = Harness.time (fun () -> Tsp.procedural g) in
         assert (Tsp.is_hamiltonian_path g r_staged);
         assert (r_staged.Tsp.chain = r_proc.Tsp.chain);
+        record ~exp:"E5" ~n ~wall:t_staged (counters_of (Tsp.program g));
         ( [ string_of_int n; string_of_int e; Harness.sec t_staged; Harness.sec t_proc;
             string_of_int r_staged.Tsp.cost ]
           :: rows,
@@ -196,6 +219,7 @@ let e6 () =
         let r_staged, t_staged = Harness.time ~repeat:1 (fun () -> Huffman.run Runner.Staged letters) in
         let optimal, t_proc = Harness.time (fun () -> Huffman.procedural_cost letters) in
         assert (r_staged.Huffman.internal_cost = optimal);
+        record ~exp:"E6" ~n ~wall:t_staged (counters_of (Huffman.program letters));
         ( [ string_of_int n; Harness.sec t_staged; Harness.sec t_proc;
             string_of_int r_staged.Huffman.internal_cost ]
           :: rows,
@@ -226,6 +250,7 @@ let e7 () =
         in
         let (db, stats), t = Harness.time ~repeat:1 (fun () -> Choice_fixpoint.run prog) in
         let chosen = List.length (Database.facts_of db "a_st") in
+        record ~exp:"E7" ~n:(4 * n) ~wall:t (counters_of prog);
         [ string_of_int (4 * n); string_of_int chosen;
           string_of_int stats.Choice_fixpoint.gamma_steps;
           string_of_int stats.Choice_fixpoint.candidates_examined; Harness.sec t ])
@@ -319,6 +344,7 @@ let e10 () =
         let jobs = Interval_gen.random ~seed:(700 + n) ~jobs:n ~horizon:(20 * n) in
         let s_staged, t_sched = Harness.time ~repeat:1 (fun () -> Scheduling.run Runner.Staged jobs) in
         assert (s_staged = Scheduling.procedural jobs);
+        record ~exp:"E10" ~n ~wall:t_dij (counters_of (Dijkstra.program ~root:0 g));
         ( [ string_of_int n; Harness.sec t_dij; Harness.sec t_dij_proc; Harness.sec t_sched ]
           :: rows,
           (float_of_int n, t_dij) :: dp ))
@@ -344,6 +370,7 @@ let e12 () =
         let sets = Set_cover.random_instance ~seed:(1300 + n) ~sets:(n / 4) ~universe:n in
         let sc, t_sc = Harness.time ~repeat:1 (fun () -> Set_cover.run Runner.Staged sets) in
         assert (Set_cover.coverage sets sc = Set_cover.coverable sets);
+        record ~exp:"E12" ~n ~wall:t_vc (counters_of (Vertex_cover.program g));
         [ string_of_int n; Harness.sec t_vc;
           string_of_int (List.length vc.Vertex_cover.cover);
           Harness.sec t_sc; string_of_int (List.length sc) ])
@@ -377,6 +404,7 @@ let e11 () =
           Harness.time ~repeat:1 (fun () -> Magic.answers_unoptimized ~query prog)
         in
         assert (List.length a = List.length b);
+        record ~exp:"E11" ~n ~wall:t_magic [];
         let m_facts, f_facts = Magic.facts_computed ~query prog in
         [ string_of_int n; Harness.sec t_magic; Harness.sec t_full;
           string_of_int m_facts; string_of_int f_facts; Harness.ratio t_full t_magic ])
@@ -401,6 +429,7 @@ let a1 () =
         let g = Graph_gen.random_connected ~seed:(800 + n) ~nodes:n ~extra_edges:(7 * n) in
         let _, t_ref = Harness.time ~repeat:1 (fun () -> Prim.run Runner.Reference g) in
         let _, t_staged = Harness.time (fun () -> Prim.run Runner.Staged g) in
+        record ~exp:"A1" ~n ~wall:t_staged (counters_of (Prim.program ~root:0 g));
         let fn = float_of_int n in
         ( [ string_of_int n; Harness.sec t_ref; Harness.sec t_staged;
             Harness.ratio t_ref t_staged ]
@@ -432,6 +461,9 @@ let a2 () =
         List.map
           (fun (label, shadow) ->
             let (_, stats), t = Harness.time ~repeat:1 (fun () -> Stage_engine.run ~shadow prog) in
+            let telemetry = Telemetry.create () in
+            ignore (Stage_engine.run ~shadow ~telemetry prog);
+            record ~exp:("A2_" ^ label) ~n ~wall:t (Telemetry.totals telemetry);
             [ string_of_int n; label; Harness.sec t;
               string_of_int stats.Stage_engine.max_queue;
               string_of_int stats.Stage_engine.shadowed;
@@ -551,7 +583,7 @@ let bechamel_suite () =
 
 let () =
   Printf.printf "Greedy by Choice — experiment harness%s\n"
-    (if quick then " (quick mode)" else "");
+    (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
   e1 ();
   e2 ();
   e3 ();
@@ -567,6 +599,15 @@ let () =
   a1 ();
   a2 ();
   a3 ();
-  bechamel_suite ();
+  if not smoke then bechamel_suite ();
+  let files = Harness.flush_bench () in
   print_newline ();
+  Printf.printf "wrote %d BENCH_*.json file(s): %s\n" (List.length files)
+    (String.concat ", " files);
+  if smoke then
+    if Harness.validate_bench files then print_endline "bench-smoke: all JSON well-formed"
+    else begin
+      print_endline "bench-smoke: FAILED";
+      exit 1
+    end;
   print_endline "done."

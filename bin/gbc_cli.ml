@@ -49,19 +49,28 @@ let seed_arg =
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
          ~doc:"Random gamma policy with this seed (reference engine only).")
 
+(* Evaluate with a telemetry sink threaded through the chosen engine. *)
+let evaluate_with ~telemetry ~engine ~seed prog =
+  match engine, seed with
+  | `Reference, Some s ->
+    fst (Choice_fixpoint.run ~policy:(Random s) ~telemetry prog)
+  | `Reference, None -> fst (Choice_fixpoint.run ~telemetry prog)
+  | `Staged, _ -> fst (Stage_engine.run ~telemetry prog)
+
 (* ---------------- run ---------------- *)
 
 let run_cmd =
-  let run file engine preds seed =
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Collect engine telemetry and print the per-rule counter table to stderr.")
+  in
+  let run file engine preds seed stats =
     Result.bind (parse_file file) (fun prog ->
         try
-          let db =
-            match engine, seed with
-            | `Reference, Some s -> Choice_fixpoint.model ~policy:(Random s) prog
-            | `Reference, None -> Choice_fixpoint.model prog
-            | `Staged, _ -> Stage_engine.model prog
-          in
+          let telemetry = if stats then Telemetry.create () else Telemetry.none in
+          let db = evaluate_with ~telemetry ~engine ~seed prog in
           print_model ?preds db;
+          if stats then Format.eprintf "%a@?" Telemetry.pp telemetry;
           Ok ()
         with
         | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
@@ -69,7 +78,37 @@ let run_cmd =
   in
   let doc = "Evaluate a choice program and print one stable model." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(term_result (const run $ file_arg $ engine_arg $ preds_arg $ seed_arg))
+    Term.(term_result (const run $ file_arg $ engine_arg $ preds_arg $ seed_arg $ stats_arg))
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the counter snapshot as JSON instead of the table.")
+  in
+  let run file engine seed json =
+    Result.bind (parse_file file) (fun prog ->
+        try
+          let telemetry = Telemetry.create () in
+          let _db =
+            Telemetry.span telemetry "total" (fun () ->
+                evaluate_with ~telemetry ~engine ~seed prog)
+          in
+          if json then print_string (Telemetry.to_json telemetry)
+          else Format.printf "%a@?" Telemetry.pp telemetry;
+          Ok ()
+        with
+        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
+          Error (`Msg msg))
+  in
+  let doc =
+    "Evaluate a choice program with telemetry enabled and print the per-rule \
+     counters (derivations, candidates, FD rejections, queue statistics), delta \
+     sizes, per-stratum spans and totals."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(term_result (const run $ file_arg $ engine_arg $ seed_arg $ json_arg))
 
 (* ---------------- check ---------------- *)
 
@@ -265,7 +304,11 @@ let explain_cmd =
 let repl_cmd =
   let run () =
     let program = ref [] in
-    let print_err msg = Format.printf "error: %s@." msg in
+    let errors = ref 0 in
+    let print_err msg =
+      incr errors;
+      Format.eprintf "error: %s@." msg
+    in
     let evaluate () =
       try Ok (Stage_engine.model !program) with
       | Stage_engine.Not_compilable _ -> (
@@ -360,7 +403,8 @@ let repl_cmd =
          end
        done
      with Exit -> ());
-    Ok ()
+    if !errors = 0 then Ok ()
+    else Error (`Msg (Printf.sprintf "%d error(s) during the session" !errors))
   in
   let doc = "Interactive session: enter clauses, ask '?-' queries, inspect analyses." in
   Cmd.v (Cmd.info "repl" ~doc) Term.(term_result (const run $ const ()))
@@ -459,5 +503,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; check_cmd; rewrite_cmd; models_cmd; stable_cmd; wellfounded_cmd;
-            query_cmd; explain_cmd; repl_cmd; demo_cmd ]))
+          [ run_cmd; profile_cmd; check_cmd; rewrite_cmd; models_cmd; stable_cmd;
+            wellfounded_cmd; query_cmd; explain_cmd; repl_cmd; demo_cmd ]))

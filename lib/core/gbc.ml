@@ -20,6 +20,7 @@ module Stage = Gbc_datalog.Stage
 module Rewrite = Gbc_datalog.Rewrite
 module Naive = Gbc_datalog.Naive
 module Seminaive = Gbc_datalog.Seminaive
+module Telemetry = Gbc_datalog.Telemetry
 module Choice_fixpoint = Gbc_datalog.Choice_fixpoint
 module Stage_engine = Gbc_datalog.Stage_engine
 module Stable = Gbc_datalog.Stable

@@ -39,9 +39,12 @@ exception Unsupported of string
 (** Raised when a clique cannot be evaluated: negation or extrema over
     a recursive clique with no choice rules, unsafe rules, etc. *)
 
-val run : ?policy:policy -> ?db:Database.t -> Ast.program -> Database.t * stats
+val run :
+  ?policy:policy -> ?telemetry:Telemetry.t -> ?db:Database.t -> Ast.program -> Database.t * stats
 (** Evaluate the program (facts included) on top of [db] (fresh when
-    omitted; mutated in place).  Returns one choice model. *)
+    omitted; mutated in place).  Returns one choice model.  When
+    [telemetry] is an enabled collector, per-rule counters, delta sizes
+    and per-stratum spans are recorded into it. *)
 
 val model : ?policy:policy -> ?db:Database.t -> Ast.program -> Database.t
 (** {!run} without the statistics. *)

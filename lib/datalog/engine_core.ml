@@ -13,6 +13,7 @@ type extremum = { minimize : bool; key : term; cost : term }
 
 type crule = {
   ridx : int;  (* index of chosen$ridx, matching Rewrite.expand_choice *)
+  label : string;  (* telemetry row of the original rule *)
   head : atom;
   vars : string list;  (* V: argument layout of chosen$ridx *)
   out_terms : term list;
@@ -74,7 +75,7 @@ let compile_crule ridx (r : Ast.rule) =
     with Eval.Unsafe msg ->
       raise (Unsupported (Printf.sprintf "unsafe rule '%s': %s" (Pretty.rule_to_string r) msg))
   in
-  { ridx; head = r.head; vars;
+  { ridx; label = Telemetry.rule_label r; head = r.head; vars;
     out_terms = List.map (fun v -> Var v) vars;
     fds; body; extrema = extrema_of r; stage }
 
@@ -103,13 +104,9 @@ let rec term_value lookup = function
   | Cmp ("", args) -> Value.Tup (List.map (term_value lookup) args)
   | Cmp (f, args) -> Value.App (f, List.map (term_value lookup) args)
   | Binop (op, a, b) -> (
-    match op, term_value lookup a, term_value lookup b with
-    | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
-    | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
-    | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
-    | Max, x, y -> if Value.compare x y >= 0 then x else y
-    | Min, x, y -> if Value.compare x y <= 0 then x else y
-    | (Add | Sub | Mul), _, _ -> raise (Unsupported "arithmetic on non-integers in choice goal"))
+    (* Shares the overflow-checked arithmetic of rule bodies. *)
+    try Eval.apply_binop op (term_value lookup a) (term_value lookup b)
+    with Eval.Unsafe msg -> raise (Unsupported (msg ^ " in choice goal")))
 
 type fd_state = {
   cr : crule;
@@ -176,12 +173,14 @@ let current_stage db tr =
 
 type candidate = {
   c_st : fd_state;
+  c_idx : int;  (* stable index of [c_st] in its clique's fd_states *)
   c_row : Value.t array;  (* the new chosen$i tuple *)
 }
 
-let collect_candidates db st tracker examined =
+let collect_candidates ?(idx = 0) db tele st tracker examined =
   let cr = st.cr in
   replay_chosen st;
+  let rc = Telemetry.rule tele cr.label in
   let env = Eval.fresh_env cr.body in
   (match cr.stage, tracker with
   | Some (v, _), Some tr ->
@@ -195,6 +194,7 @@ let collect_candidates db st tracker examined =
   let solutions = ref [] in
   Eval.run cr.body db env (fun env ->
       incr examined;
+      (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
       let row = Array.of_list (Eval.eval_terms cr.body env cr.out_terms) in
       let key = Value.Tup (Array.to_list row) in
       if not (Value.Tbl.mem seen key) then begin
@@ -214,6 +214,10 @@ let collect_candidates db st tracker examined =
           in
           solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
         end
+        else
+          match rc with
+          | Some rc -> rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + 1
+          | None -> ()
       end);
   let solutions = List.rev !solutions in
   (* Optimum per key for each extremum, over all compatible solutions. *)
@@ -238,7 +242,7 @@ let collect_candidates db st tracker examined =
       let optimal =
         List.for_all2 (fun tbl (k, c) -> Value.compare (Value.Tbl.find tbl k) c = 0) bests kcs
       in
-      if optimal && not existing then Some { c_st = st; c_row = row } else None)
+      if optimal && not existing then Some { c_st = st; c_idx = idx; c_row = row } else None)
     solutions
 
 (* ------------------------------------------------------------------ *)
@@ -269,11 +273,11 @@ type clique_state = {
 let saturate_flat state =
   wrap_invalid (fun () -> List.iter Seminaive.step state.saturators)
 
-let make_state db plan =
+let make_state ?telemetry db plan =
   let saturators =
     wrap_invalid (fun () ->
         List.map
-          (fun sub -> Seminaive.make ~allow_clique_negation:true db ~clique:sub plan.flat)
+          (fun sub -> Seminaive.make ~allow_clique_negation:true ?telemetry db ~clique:sub plan.flat)
           plan.sub_cliques)
   in
   let fd_states = List.map (fun (cr, _) -> make_fd_state db cr) plan.crules in
@@ -289,24 +293,25 @@ let make_state db plan =
   in
   { plan; fd_states; trackers; saturators }
 
-let all_candidates db state examined =
+let all_candidates db tele state examined =
   List.concat
-    (List.map2
-       (fun st tr -> collect_candidates db st tr examined)
-       state.fd_states state.trackers)
+    (List.mapi
+       (fun i (st, tr) -> collect_candidates ~idx:i db tele st tr examined)
+       (List.combine state.fd_states state.trackers))
 
-let fire db cand =
+let fire ?(telemetry = Telemetry.none) db cand =
   ignore (Relation.add cand.c_st.rel cand.c_row);
+  Telemetry.fired telemetry cand.c_st.cr.label;
   ignore db
 
-let eval_choice_clique ~policy db plan stats_steps stats_examined =
-  let state = make_state db plan in
+let eval_choice_clique ~policy ~telemetry db plan stats_steps stats_examined =
+  let state = make_state ~telemetry db plan in
   let rng =
     match policy with First -> None | Random seed -> Some (Random.State.make [| seed |])
   in
   saturate_flat state;
   let rec loop () =
-    let cands = all_candidates db state stats_examined in
+    let cands = all_candidates db telemetry state stats_examined in
     match cands with
     | [] -> ()
     | _ ->
@@ -315,12 +320,21 @@ let eval_choice_clique ~policy db plan stats_steps stats_examined =
         | None -> List.hd cands
         | Some st -> List.nth cands (Random.State.int st (List.length cands))
       in
-      fire db cand;
+      fire ~telemetry db cand;
       incr stats_steps;
       saturate_flat state;
       loop ()
   in
-  loop ()
+  loop ();
+  (* Final stage values: the trackers are fresh — the loop only ends
+     after a candidate collection, which replays every head relation. *)
+  if Telemetry.enabled telemetry then
+    List.iter2
+      (fun st tr ->
+        match tr with
+        | Some tr -> Telemetry.set_last_stage telemetry st.cr.label tr.maxv
+        | None -> ())
+      state.fd_states state.trackers
 
 (* ------------------------------------------------------------------ *)
 (* Program driver                                                      *)
@@ -370,19 +384,31 @@ let plan_program program =
   in
   { facts; cliques }
 
-let run ?(policy = First) ?db program =
+let clique_preds = function
+  | `Plain preds -> preds
+  | `Choice cplan -> List.map (fun ((cr : crule), _) -> cr.head.pred) cplan.crules
+
+let stratum_label i clique =
+  Printf.sprintf "stratum %d: %s" i (String.concat "," (clique_preds clique))
+
+let run ?(policy = First) ?(telemetry = Telemetry.none) ?db program =
   let db = match db with Some db -> db | None -> Database.create () in
   let plan = plan_program program in
   Database.load_facts db plan.facts;
   let steps = ref 0 and examined = ref 0 in
-  List.iter
-    (fun clique ->
-      match clique with
-      | `Plain preds ->
-        wrap_invalid (fun () ->
-            try Seminaive.eval_clique db ~clique:preds (List.filter (fun r -> not (Ast.is_fact r)) program)
-            with Eval.Unsafe msg -> raise (Unsupported msg))
-      | `Choice cplan -> eval_choice_clique ~policy db cplan steps examined)
+  List.iteri
+    (fun i clique ->
+      let label = stratum_label i clique in
+      Telemetry.stratum telemetry label;
+      Telemetry.span telemetry label (fun () ->
+          match clique with
+          | `Plain preds ->
+            wrap_invalid (fun () ->
+                try
+                  Seminaive.eval_clique ~telemetry db ~clique:preds
+                    (List.filter (fun r -> not (Ast.is_fact r)) program)
+                with Eval.Unsafe msg -> raise (Unsupported msg))
+          | `Choice cplan -> eval_choice_clique ~policy ~telemetry db cplan steps examined))
     plan.cliques;
   (db, { gamma_steps = !steps; candidates_examined = !examined })
 
@@ -413,24 +439,16 @@ let explore ?(max_models = 10_000) ?db ~accept program =
     let visited = Hashtbl.create 64 in
     let leaves = ref [] in
     let rec go db state =
-      match all_candidates db state examined with
+      match all_candidates db Telemetry.none state examined with
       | [] -> leaves := db :: !leaves
       | cands ->
         List.iter
           (fun cand ->
             let db' = Database.copy db in
             let state' = make_state db' cplan in
-            let cand' =
-              { cand with
-                c_st =
-                  List.nth state'.fd_states
-                    (let rec idx i = function
-                       | [] -> assert false
-                       | st :: _ when st == cand.c_st -> i
-                       | _ :: rest -> idx (i + 1) rest
-                     in
-                     idx 0 state.fd_states) }
-            in
+            (* The candidate's fd_state belongs to the parent branch;
+               rebind it by its stable index in the rebuilt state. *)
+            let cand' = { cand with c_st = List.nth state'.fd_states cand.c_idx } in
             fire db' cand';
             saturate_flat state';
             let s = signature db' in

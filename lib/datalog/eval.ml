@@ -29,11 +29,31 @@ type body = {
 (* Term runtime                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Native ints wrap silently; greedy cost accumulation must not return
+   a wrong model quietly, so every overflow raises [Unsafe] naming the
+   offending operation. *)
+let overflow op x y =
+  raise (Unsafe (Printf.sprintf "integer overflow in %d %s %d" x op y))
+
+let checked_add x y =
+  let s = x + y in
+  if (x lxor s) land (y lxor s) < 0 then overflow "+" x y else s
+
+let checked_sub x y =
+  let d = x - y in
+  if (x lxor y) land (x lxor d) < 0 then overflow "-" x y else d
+
+let checked_mul x y =
+  if (x = -1 && y = min_int) || (y = -1 && x = min_int) then overflow "*" x y
+  else
+    let p = x * y in
+    if x <> 0 && p / x <> y then overflow "*" x y else p
+
 let apply_binop op a b =
   match op, a, b with
-  | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
-  | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
-  | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | Add, Value.Int x, Value.Int y -> Value.Int (checked_add x y)
+  | Sub, Value.Int x, Value.Int y -> Value.Int (checked_sub x y)
+  | Mul, Value.Int x, Value.Int y -> Value.Int (checked_mul x y)
   | Max, x, y -> if Value.compare x y >= 0 then x else y
   | Min, x, y -> if Value.compare x y <= 0 then x else y
   | (Add | Sub | Mul), _, _ ->

@@ -23,6 +23,11 @@ exception Unsafe of string
     (e.g. a comparison or negation over variables never bound by a
     positive literal). *)
 
+val apply_binop : Ast.binop -> Value.t -> Value.t -> Value.t
+(** Integer arithmetic plus [max]/[min].  @raise Unsafe on arithmetic
+    over non-integers and on native-int overflow ([Add]/[Sub]/[Mul]
+    never wrap silently — the message names the offending operation). *)
+
 val compile_body : ?extra_bound:string list -> Ast.literal list -> body
 (** [extra_bound] names variables the engine binds before {!run}
     (typically the stage variable of a [next] rule). *)

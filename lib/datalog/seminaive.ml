@@ -19,7 +19,7 @@ let extrema_of rule =
 let flat_body rule =
   List.filter (function Least _ | Most _ | Agg _ -> false | _ -> true) rule.body
 
-let eval_extrema_rule db rule =
+let eval_extrema_rule ?(telemetry = Telemetry.none) db rule =
   let extrema = extrema_of rule in
   let body = Eval.compile_body (flat_body rule) in
   let env = Eval.fresh_env body in
@@ -47,7 +47,7 @@ let eval_extrema_rule db rule =
             if better then Value.Tbl.replace tbl k c)
         kcs)
     solutions;
-  let changed = ref false in
+  let added = ref 0 in
   List.iter
     (fun (head, kcs) ->
       let optimal =
@@ -55,9 +55,10 @@ let eval_extrema_rule db rule =
           (fun i_best (k, c) -> Value.compare (Value.Tbl.find i_best k) c = 0)
           bests kcs
       in
-      if optimal then changed := Database.add_fact db rule.head.pred head || !changed)
+      if optimal && Database.add_fact db rule.head.pred head then incr added)
     solutions;
-  !changed
+  Telemetry.add_derived telemetry (Telemetry.rule_label rule) !added;
+  !added > 0
 
 (* ------------------------------------------------------------------ *)
 (* Aggregate rules                                                     *)
@@ -66,7 +67,7 @@ let eval_extrema_rule db rule =
 (* One [count]/[sum] goal per rule: group the flat-body solutions by
    the (evaluated) keys, aggregate the distinct counted values of each
    group, bind the output variable and emit the heads. *)
-let eval_agg_rule db rule =
+let eval_agg_rule ?(telemetry = Telemetry.none) db rule =
   let op, out, counted, keys =
     match List.filter_map (function Agg (o, v, c, k) -> Some (o, v, c, k) | _ -> None) rule.body with
     | [ x ] -> x
@@ -101,7 +102,7 @@ let eval_agg_rule db rule =
         in
         Value.Tbl.add head_parts key partial
       end);
-  let changed = ref false in
+  let added = ref 0 in
   Value.Tbl.iter
     (fun key set ->
       let aggregate =
@@ -117,9 +118,10 @@ let eval_agg_rule db rule =
              (function Some v -> v | None -> aggregate)
              (Value.Tbl.find head_parts key))
       in
-      changed := Database.add_fact db rule.head.pred row || !changed)
+      if Database.add_fact db rule.head.pred row then incr added)
     groups;
-  !changed
+  Telemetry.add_derived telemetry (Telemetry.rule_label rule) !added;
+  !added > 0
 
 (* ------------------------------------------------------------------ *)
 (* Rule checks                                                         *)
@@ -150,7 +152,7 @@ let check_clique_rule ~allow_clique_negation clique rule =
 (* Incremental semi-naive saturation                                   *)
 (* ------------------------------------------------------------------ *)
 
-type variant = { v_head : Ast.atom; v_body : Eval.body }
+type variant = { v_label : string; v_head : Ast.atom; v_body : Eval.body }
 
 (* Delta variants of a rule: one per positive occurrence of a tracked
    predicate, reading that occurrence from [pred$delta]. *)
@@ -179,7 +181,7 @@ let variants_of_rule tracked (rule : Ast.rule) =
        the join planner makes it the outer loop and a variant whose
        delta is empty costs O(1). *)
     let body = match !delta with Some d -> d :: rest | None -> assert false in
-    { v_head = rule.head; v_body = Eval.compile_body body }
+    { v_label = Telemetry.rule_label rule; v_head = rule.head; v_body = Eval.compile_body body }
   in
   List.init (List.length occurrences) make
 
@@ -189,9 +191,11 @@ type incremental = {
   variants : variant list;
   extrema_rules : Ast.rule list;
   watermarks : (string, int) Hashtbl.t;
+  tele : Telemetry.t;
+  clique_label : string;
 }
 
-let make ?(allow_clique_negation = false) db ~clique program =
+let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none) db ~clique program =
   let rules =
     List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (head_pred r) clique) program
   in
@@ -219,7 +223,8 @@ let make ?(allow_clique_negation = false) db ~clique program =
   let variants = List.concat_map (variants_of_rule tracked) plain in
   let watermarks = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace watermarks p 0) tracked;
-  { db; tracked; variants; extrema_rules; watermarks }
+  { db; tracked; variants; extrema_rules; watermarks; tele = telemetry;
+    clique_label = String.concat "," clique }
 
 let publish_deltas t =
   List.fold_left
@@ -233,30 +238,38 @@ let publish_deltas t =
         let delta = Relation.create (p ^ delta_suffix) (Relation.arity rel) in
         Relation.iter_from rel from (fun row -> ignore (Relation.add delta row));
         Database.set_relation t.db (p ^ delta_suffix) delta;
+        Telemetry.add_delta t.tele p (count - from);
         any || count > from)
     false t.tracked
 
-let fire db variant =
+let fire tele db variant =
   let env = Eval.fresh_env variant.v_body in
   let additions = ref [] in
   Eval.run variant.v_body db env (fun env ->
       additions :=
         Array.of_list (Eval.eval_terms variant.v_body env variant.v_head.args) :: !additions);
-  List.fold_left
-    (fun changed row -> Database.add_fact db variant.v_head.pred row || changed)
-    false !additions
+  let added =
+    List.fold_left
+      (fun n row -> if Database.add_fact db variant.v_head.pred row then n + 1 else n)
+      0 !additions
+  in
+  Telemetry.add_derived tele variant.v_label added;
+  added > 0
 
 let step t =
   let progressed = ref (publish_deltas t) in
   while !progressed do
-    List.iter (fun v -> ignore (fire t.db v)) t.variants;
+    Telemetry.iteration t.tele t.clique_label;
+    List.iter (fun v -> ignore (fire t.tele t.db v)) t.variants;
     List.iter
       (fun r ->
-        ignore (if Ast.has_agg r then eval_agg_rule t.db r else eval_extrema_rule t.db r))
+        ignore
+          (if Ast.has_agg r then eval_agg_rule ~telemetry:t.tele t.db r
+           else eval_extrema_rule ~telemetry:t.tele t.db r))
       t.extrema_rules;
     progressed := publish_deltas t
   done;
   List.iter (fun p -> Database.remove_relation t.db (p ^ delta_suffix)) t.tracked
 
-let eval_clique ?allow_clique_negation db ~clique program =
-  step (make ?allow_clique_negation db ~clique program)
+let eval_clique ?allow_clique_negation ?telemetry db ~clique program =
+  step (make ?allow_clique_negation ?telemetry db ~clique program)

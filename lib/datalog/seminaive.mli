@@ -19,6 +19,7 @@ type incremental
 
 val make :
   ?allow_clique_negation:bool ->
+  ?telemetry:Telemetry.t ->
   Database.t ->
   clique:string list ->
   Ast.program ->
@@ -36,10 +37,15 @@ val step : incremental -> unit
     re-evaluated whenever the iteration makes progress. *)
 
 val eval_clique :
-  ?allow_clique_negation:bool -> Database.t -> clique:string list -> Ast.program -> unit
+  ?allow_clique_negation:bool ->
+  ?telemetry:Telemetry.t ->
+  Database.t ->
+  clique:string list ->
+  Ast.program ->
+  unit
 (** One-shot: [make] followed by a single [step]. *)
 
-val eval_extrema_rule : Database.t -> Ast.rule -> bool
+val eval_extrema_rule : ?telemetry:Telemetry.t -> Database.t -> Ast.rule -> bool
 (** Fire a rule containing [least]/[most] goals once: enumerate the
     flat-body solutions, group each extremum by its (evaluated) keys,
     keep the solutions achieving the optimum of {e every} extremum, and

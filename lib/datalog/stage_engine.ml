@@ -244,7 +244,7 @@ type staged = {
 
 exception Fired of Value.t array * Value.t array (* chosen row, head row *)
 
-let eval_choice_clique ~backend ~shadow_mode db crules flat_rules gamma =
+let eval_choice_clique ~backend ~shadow_mode ~telemetry db crules flat_rules gamma =
   let exits, nexts = List.partition (fun ((cr : EC.crule), _) -> cr.EC.stage = None) crules in
   let srules = List.map (fun (cr, r) -> compile_srule cr r) nexts in
   let flat =
@@ -254,7 +254,7 @@ let eval_choice_clique ~backend ~shadow_mode db crules flat_rules gamma =
   let saturators =
     try
       List.map
-        (fun sub -> Seminaive.make ~allow_clique_negation:true db ~clique:sub flat)
+        (fun sub -> Seminaive.make ~allow_clique_negation:true ~telemetry db ~clique:sub flat)
         sub_cliques
     with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
   in
@@ -323,23 +323,26 @@ let eval_choice_clique ~backend ~shadow_mode db crules flat_rules gamma =
   in
   let examined = ref 0 in
   let fire_exit () =
-    let rec try_exits = function
+    let rec try_exits i = function
       | [] -> false
       | st :: rest -> (
-        match EC.collect_candidates db st None examined with
-        | [] -> try_exits rest
+        match EC.collect_candidates ~idx:i db telemetry st None examined with
+        | [] -> try_exits (i + 1) rest
         | cand :: _ ->
-          EC.fire db cand;
+          EC.fire ~telemetry db cand;
           incr gamma;
           true)
     in
-    try_exits exit_states
+    try_exits 0 exit_states
   in
   (* Pop-validate-fire for one staged rule; returns true if fired. *)
   let fire_staged st =
     EC.replay_chosen st.fd;
+    let rc = Telemetry.rule telemetry st.sr.cr.EC.label in
     let stage = EC.current_stage db st.tracker + 1 in
     let valid row =
+      (* Every popped source fact is a candidate the engine examines. *)
+      (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
       let env = Eval.fresh_env st.sr.residual in
       env.(Eval.slot st.sr.residual st.sr.stage_var) <- Some (Value.Int stage);
       if not (bind_source st.sr env row) then false
@@ -375,6 +378,7 @@ let eval_choice_clique ~backend ~shadow_mode db crules flat_rules gamma =
     match Rql.retrieve_least st.rql ~valid with
     | Some _ ->
       incr gamma;
+      Telemetry.fired telemetry ~stage st.sr.cr.EC.label;
       true
     | None -> false
   in
@@ -397,6 +401,8 @@ let eval_choice_clique ~backend ~shadow_mode db crules flat_rules gamma =
     end
   in
   loop ();
+  if Telemetry.enabled telemetry then
+    List.iter (fun st -> Telemetry.queue telemetry st.sr.cr.EC.label (Rql.stats st.rql)) staged;
   List.map (fun st -> Rql.stats st.rql) staged
 
 (* ------------------------------------------------------------------ *)
@@ -434,22 +440,26 @@ let plan_cliques rules =
       (clique, crules_in, flat_in))
     (Depgraph.cliques graph)
 
-let run ?(backend = `Binary) ?(shadow = `Auto) ?db program =
+let run ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.none) ?db program =
   let db = match db with Some db -> db | None -> Database.create () in
   let facts, rules = List.partition Ast.is_fact program in
   Database.load_facts db facts;
   let gamma = ref 0 in
   let rql_stats = ref [] in
-  List.iter
-    (fun (clique, crules_in, flat_in) ->
-      if crules_in = [] then begin
-        try Seminaive.eval_clique db ~clique rules
-        with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
-      end
-      else
-        rql_stats :=
-          eval_choice_clique ~backend ~shadow_mode:shadow db crules_in flat_in gamma
-          @ !rql_stats)
+  List.iteri
+    (fun i (clique, crules_in, flat_in) ->
+      let label = Printf.sprintf "stratum %d: %s" i (String.concat "," clique) in
+      Telemetry.stratum telemetry label;
+      Telemetry.span telemetry label (fun () ->
+          if crules_in = [] then begin
+            try Seminaive.eval_clique ~telemetry db ~clique rules
+            with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
+          end
+          else
+            rql_stats :=
+              eval_choice_clique ~backend ~shadow_mode:shadow ~telemetry db crules_in flat_in
+                gamma
+              @ !rql_stats))
     (plan_cliques rules);
   let sum f = List.fold_left (fun acc (s : Rql.stats) -> acc + f s) 0 !rql_stats in
   let maxq =

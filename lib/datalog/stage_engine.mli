@@ -52,9 +52,13 @@ type shadow_mode =
 val run :
   ?backend:[ `Binary | `Pairing ] ->
   ?shadow:shadow_mode ->
+  ?telemetry:Telemetry.t ->
   ?db:Database.t ->
   Ast.program ->
   Database.t * stats
+(** When [telemetry] is an enabled collector, per-rule counters
+    (candidates, firings, queue statistics), delta sizes and
+    per-stratum spans are recorded into it. *)
 
 val model : ?db:Database.t -> Ast.program -> Database.t
 

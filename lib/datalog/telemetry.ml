@@ -1,0 +1,292 @@
+(* Engine telemetry: per-rule counters, per-stratum wall-clock spans
+   and fixpoint iteration traces.  Both engines feed one [t]; the
+   default sink [none] is disabled and shared, so instrumentation on
+   the hot paths costs one mutable-bool test and no allocation. *)
+
+let log_src = Logs.Src.create "gbc.engine" ~doc:"Greedy-by-Choice engine traces"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type rule_counters = {
+  mutable derived : int;
+  mutable candidates : int;
+  mutable fd_rejections : int;
+  mutable fired : int;
+  mutable last_stage : int;
+  mutable pushes : int;
+  mutable pops : int;
+  mutable shadowed : int;
+  mutable stale : int;
+  mutable revalidations : int;
+  mutable max_queue : int;
+}
+
+type span = { mutable wall : float; mutable entries : int }
+
+type t = {
+  enabled : bool;
+  rules : (string, rule_counters) Hashtbl.t;
+  deltas : (string, int ref) Hashtbl.t;
+  spans : (string, span) Hashtbl.t;
+  mutable span_order : string list;  (* first-entry order, for reporting *)
+  mutable rule_order : string list;
+  mutable iterations : int;
+  mutable gamma_steps : int;
+  mutable strata : int;
+}
+
+let create_internal enabled =
+  { enabled;
+    rules = Hashtbl.create 16;
+    deltas = Hashtbl.create 16;
+    spans = Hashtbl.create 8;
+    span_order = [];
+    rule_order = [];
+    iterations = 0;
+    gamma_steps = 0;
+    strata = 0 }
+
+let none = create_internal false
+let create () = create_internal true
+let enabled t = t.enabled
+
+(* ------------------------------------------------------------------ *)
+(* Rule labels and counters                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Stable, human-readable label of a rule: head predicate plus a
+   truncated rendering of the whole clause.  Distinct rules that render
+   identically share one row, which is what a reader wants anyway. *)
+let rule_label (r : Ast.rule) =
+  let s = Pretty.rule_to_string r in
+  if String.length s <= 56 then s else String.sub s 0 53 ^ "..."
+
+let rule t label =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.rules label with
+    | Some rc -> Some rc
+    | None ->
+      let rc =
+        { derived = 0; candidates = 0; fd_rejections = 0; fired = 0;
+          last_stage = 0; pushes = 0; pops = 0; shadowed = 0; stale = 0;
+          revalidations = 0; max_queue = 0 }
+      in
+      Hashtbl.add t.rules label rc;
+      t.rule_order <- label :: t.rule_order;
+      Some rc
+
+let add_derived t label n =
+  if t.enabled && n > 0 then
+    match rule t label with Some rc -> rc.derived <- rc.derived + n | None -> ()
+
+let fired t ?stage label =
+  if t.enabled then begin
+    t.gamma_steps <- t.gamma_steps + 1;
+    match rule t label with
+    | Some rc ->
+      rc.fired <- rc.fired + 1;
+      (match stage with Some s -> rc.last_stage <- max rc.last_stage s | None -> ())
+    | None -> ()
+  end
+
+let set_last_stage t label stage =
+  if t.enabled then
+    match rule t label with
+    | Some rc -> rc.last_stage <- max rc.last_stage stage
+    | None -> ()
+
+(* Absolute snapshot of a rule's (R,Q,L) statistics; called once per
+   clique evaluation, so [max]-merging keeps re-runs idempotent. *)
+let queue t label (s : Gbc_ordered.Rql.stats) =
+  if t.enabled then
+    match rule t label with
+    | Some rc ->
+      rc.pushes <- rc.pushes + s.Gbc_ordered.Rql.inserted;
+      rc.pops <- rc.pops + s.Gbc_ordered.Rql.stale + s.Gbc_ordered.Rql.invalid + s.Gbc_ordered.Rql.used;
+      rc.shadowed <- rc.shadowed + s.Gbc_ordered.Rql.shadowed;
+      rc.stale <- rc.stale + s.Gbc_ordered.Rql.stale;
+      rc.revalidations <- rc.revalidations + s.Gbc_ordered.Rql.invalid;
+      rc.max_queue <- max rc.max_queue s.Gbc_ordered.Rql.max_queue
+    | None -> ()
+
+let add_delta t pred n =
+  if t.enabled && n > 0 then
+    match Hashtbl.find_opt t.deltas pred with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t.deltas pred (ref n)
+
+(* ------------------------------------------------------------------ *)
+(* Iterations, strata, spans                                           *)
+(* ------------------------------------------------------------------ *)
+
+let iteration t label =
+  if t.enabled then t.iterations <- t.iterations + 1;
+  Log.debug (fun m -> m "fixpoint iteration (%s)" label)
+
+let stratum t label =
+  if t.enabled then t.strata <- t.strata + 1;
+  Log.debug (fun m -> m "entering stratum %s" label)
+
+let span t label f =
+  if not t.enabled then f ()
+  else begin
+    let sp =
+      match Hashtbl.find_opt t.spans label with
+      | Some sp -> sp
+      | None ->
+        let sp = { wall = 0.0; entries = 0 } in
+        Hashtbl.add t.spans label sp;
+        t.span_order <- label :: t.span_order;
+        sp
+    in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        sp.wall <- sp.wall +. (Unix.gettimeofday () -. t0);
+        sp.entries <- sp.entries + 1)
+      f
+  end
+
+let iterations t = t.iterations
+let gamma_steps t = t.gamma_steps
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rules_in_order t = List.rev t.rule_order
+let spans_in_order t = List.rev t.span_order
+
+let rules t =
+  List.map (fun label -> (label, Hashtbl.find t.rules label)) (rules_in_order t)
+
+let totals t =
+  let sum f = Hashtbl.fold (fun _ rc acc -> acc + f rc) t.rules 0 in
+  [ ("gamma_steps", t.gamma_steps);
+    ("iterations", t.iterations);
+    ("strata", t.strata);
+    ("derived", sum (fun rc -> rc.derived));
+    ("candidates", sum (fun rc -> rc.candidates));
+    ("fd_rejections", sum (fun rc -> rc.fd_rejections));
+    ("fired", sum (fun rc -> rc.fired));
+    ("pushes", sum (fun rc -> rc.pushes));
+    ("pops", sum (fun rc -> rc.pops));
+    ("shadowed", sum (fun rc -> rc.shadowed));
+    ("stale", sum (fun rc -> rc.stale));
+    ("revalidations", sum (fun rc -> rc.revalidations));
+    ("delta_tuples", Hashtbl.fold (fun _ r acc -> acc + !r) t.deltas 0) ]
+
+let pp ppf t =
+  if not t.enabled then Format.fprintf ppf "telemetry disabled@."
+  else begin
+    let header =
+      [ "rule"; "derived"; "cand"; "fd_rej"; "fired"; "stage"; "push"; "pop";
+        "shadow"; "stale"; "reval"; "maxq" ]
+    in
+    let rows =
+      List.map
+        (fun label ->
+          let rc = Hashtbl.find t.rules label in
+          label
+          :: List.map string_of_int
+               [ rc.derived; rc.candidates; rc.fd_rejections; rc.fired;
+                 rc.last_stage; rc.pushes; rc.pops; rc.shadowed; rc.stale;
+                 rc.revalidations; rc.max_queue ])
+        (rules_in_order t)
+    in
+    let widths =
+      List.fold_left
+        (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+        (List.map String.length header)
+        rows
+    in
+    let render row =
+      String.concat "  " (List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths row)
+    in
+    Format.fprintf ppf "per-rule counters@.";
+    Format.fprintf ppf "%s@." (render header);
+    List.iter (fun row -> Format.fprintf ppf "%s@." (render row)) rows;
+    if Hashtbl.length t.deltas > 0 then begin
+      Format.fprintf ppf "@.delta tuples published@.";
+      Hashtbl.fold (fun p r acc -> (p, !r) :: acc) t.deltas []
+      |> List.sort compare
+      |> List.iter (fun (p, n) -> Format.fprintf ppf "  %-24s %d@." p n)
+    end;
+    if t.span_order <> [] then begin
+      Format.fprintf ppf "@.wall-clock spans@.";
+      List.iter
+        (fun label ->
+          let sp = Hashtbl.find t.spans label in
+          Format.fprintf ppf "  %-40s %.6fs  (%d entr%s)@." label sp.wall sp.entries
+            (if sp.entries = 1 then "y" else "ies"))
+        (spans_in_order t)
+    end;
+    Format.fprintf ppf "@.totals@.";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-16s %d@." k v) (totals t)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  let obj fields =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) v) fields)
+    ^ "}"
+  in
+  let rule_json rc =
+    obj
+      [ ("derived", string_of_int rc.derived);
+        ("candidates", string_of_int rc.candidates);
+        ("fd_rejections", string_of_int rc.fd_rejections);
+        ("fired", string_of_int rc.fired);
+        ("last_stage", string_of_int rc.last_stage);
+        ("pushes", string_of_int rc.pushes);
+        ("pops", string_of_int rc.pops);
+        ("shadowed", string_of_int rc.shadowed);
+        ("stale", string_of_int rc.stale);
+        ("revalidations", string_of_int rc.revalidations);
+        ("max_queue", string_of_int rc.max_queue) ]
+  in
+  let rules =
+    obj
+      (List.map
+         (fun label -> (label, rule_json (Hashtbl.find t.rules label)))
+         (rules_in_order t))
+  in
+  let deltas =
+    obj
+      (Hashtbl.fold (fun p r acc -> (p, string_of_int !r) :: acc) t.deltas []
+      |> List.sort compare)
+  in
+  let spans =
+    obj
+      (List.map
+         (fun label ->
+           let sp = Hashtbl.find t.spans label in
+           (label, Printf.sprintf "%.6f" sp.wall))
+         (spans_in_order t))
+  in
+  let totals = obj (List.map (fun (k, v) -> (k, string_of_int v)) (totals t)) in
+  Buffer.add_string buf
+    (obj [ ("totals", totals); ("rules", rules); ("deltas", deltas); ("spans_s", spans) ]);
+  Buffer.contents buf

@@ -118,6 +118,69 @@ let test_tuple_equality_unification () =
   let rows = solutions "p(1, 2)." "p(A, B), (X, Y) = (B, A)" [ "X"; "Y" ] in
   Alcotest.(check (list (list int))) "tuple unification" [ [ 2; 1 ] ] (ints rows)
 
+let test_overflow_detected () =
+  let raises_overflow op a b =
+    match Eval.apply_binop op (Value.Int a) (Value.Int b) with
+    | _ -> false
+    | exception Eval.Unsafe msg ->
+      (* The message names the offending operation. *)
+      let has_sub needle hay =
+        let n = String.length needle in
+        let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      has_sub "overflow" msg
+      && has_sub (match op with Ast.Add -> "+" | Ast.Sub -> "-" | _ -> "*") msg
+  in
+  Alcotest.(check bool) "max_int + 1" true (raises_overflow Ast.Add max_int 1);
+  Alcotest.(check bool) "min_int + (-1)" true (raises_overflow Ast.Add min_int (-1));
+  Alcotest.(check bool) "min_int - 1" true (raises_overflow Ast.Sub min_int 1);
+  Alcotest.(check bool) "max_int - (-1)" true (raises_overflow Ast.Sub max_int (-1));
+  Alcotest.(check bool) "max_int * 2" true (raises_overflow Ast.Mul max_int 2);
+  Alcotest.(check bool) "min_int * -1" true (raises_overflow Ast.Mul min_int (-1));
+  Alcotest.(check bool) "-1 * min_int" true (raises_overflow Ast.Mul (-1) min_int)
+
+let test_overflow_boundaries_ok () =
+  let eval op a b = Value.as_int (Eval.apply_binop op (Value.Int a) (Value.Int b)) in
+  Alcotest.(check int) "max_int + 0" max_int (eval Ast.Add max_int 0);
+  Alcotest.(check int) "min_int + 1" (min_int + 1) (eval Ast.Add min_int 1);
+  Alcotest.(check int) "max_int - 1" (max_int - 1) (eval Ast.Sub max_int 1);
+  Alcotest.(check int) "min_int - 0" min_int (eval Ast.Sub min_int 0);
+  Alcotest.(check int) "min_int * 1" min_int (eval Ast.Mul min_int 1);
+  Alcotest.(check int) "0 * min_int" 0 (eval Ast.Mul 0 min_int);
+  Alcotest.(check int) "negatives" 12 (eval Ast.Mul (-3) (-4))
+
+let test_overflow_in_body () =
+  (* Reaching the overflow through a rule body: the evaluator's guard
+     raises rather than silently wrapping. *)
+  let facts = Printf.sprintf "f(%d)." max_int in
+  Alcotest.(check bool) "body arithmetic overflows loudly" true
+    (try
+       ignore (solutions facts "f(A), X = A + A" [ "X" ]);
+       false
+     with Eval.Unsafe _ -> true)
+
+let prop_mul_overflow_guard =
+  (* The multiplication guard agrees with a widening oracle computed
+     via division: for random 62-bit operands it either raises exactly
+     when the true product leaves the int range, or returns it. *)
+  QCheck.Test.make ~name:"checked mul = oracle" ~count:500
+    QCheck.(pair int int)
+    (fun (x, y) ->
+      (* Exact representability test by integer division; truncation
+         toward zero gives ceil for negative and floor for positive
+         quotients, which is what each sign case needs. *)
+      let fits =
+        if x = 0 || y = 0 then true
+        else if x > 0 && y > 0 then x <= max_int / y
+        else if x < 0 && y < 0 then x >= max_int / y
+        else if x < 0 then x >= min_int / y
+        else x <= min_int / y
+      in
+      match Eval.apply_binop Ast.Mul (Value.Int x) (Value.Int y) with
+      | v -> fits && Value.as_int v = x * y
+      | exception Eval.Unsafe _ -> not fits)
+
 let test_filters_run_before_scans () =
   (* Just a behavioural check: both orders give the same solutions. *)
   let facts = "p(1). p(2). q(1). q(2)." in
@@ -167,7 +230,11 @@ let () =
           Alcotest.test_case "inversion of I = J + 1" `Quick test_arithmetic_inversion;
           Alcotest.test_case "max/min" `Quick test_max_min;
           Alcotest.test_case "comparisons" `Quick test_comparisons;
-          Alcotest.test_case "tuple unification" `Quick test_tuple_equality_unification ] );
+          Alcotest.test_case "tuple unification" `Quick test_tuple_equality_unification;
+          Alcotest.test_case "overflow detected" `Quick test_overflow_detected;
+          Alcotest.test_case "overflow boundaries ok" `Quick test_overflow_boundaries_ok;
+          Alcotest.test_case "overflow in rule body" `Quick test_overflow_in_body;
+          QCheck_alcotest.to_alcotest prop_mul_overflow_guard ] );
       ( "negation",
         [ Alcotest.test_case "plain" `Quick test_negation_simple;
           Alcotest.test_case "missing predicate" `Quick test_negation_missing_pred;

@@ -22,6 +22,25 @@ let test_comments_and_arrows () =
   check_rule_count "comments"
     "% a comment\np(X) <- q(X). # another\nr(X) :- p(X).\n" 2
 
+let test_comments_at_eof () =
+  (* No trailing newline after the comment. *)
+  check_rule_count "percent comment at eof" "p(1). % trailing" 1;
+  check_rule_count "hash comment at eof" "p(1). # trailing" 1;
+  check_rule_count "comment-only program" "% nothing here" 0;
+  check_rule_count "empty program" "" 0
+
+let test_malformed_arrow () =
+  List.iter
+    (fun src ->
+      match parse_ok src with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ src)
+      | Error _ -> ())
+    [ "p(X) : q(X)."; "p(X) :q(X)."; "p(X) :- ."; "p(X) <-." ];
+  (* ':-' and '<-' parse to the same rule. *)
+  Alcotest.(check string) "arrow spellings agree"
+    (Pretty.rule_to_string (Parser.parse_rule "p(X) :- q(X)"))
+    (Pretty.rule_to_string (Parser.parse_rule "p(X) <- q(X)"))
+
 let test_literals () =
   let r =
     Parser.parse_rule
@@ -172,6 +191,8 @@ let () =
     [ ( "clauses",
         [ Alcotest.test_case "facts" `Quick test_facts;
           Alcotest.test_case "comments and arrows" `Quick test_comments_and_arrows;
+          Alcotest.test_case "comments at eof" `Quick test_comments_at_eof;
+          Alcotest.test_case "malformed arrows rejected" `Quick test_malformed_arrow;
           Alcotest.test_case "literal kinds" `Quick test_literals;
           Alcotest.test_case "choice groups" `Quick test_choice_groups;
           Alcotest.test_case "least key forms" `Quick test_least_forms;

@@ -1,0 +1,151 @@
+(* Telemetry: both engines feed the same collector shape, the counters
+   satisfy the structural invariants, and on tie-free programs the two
+   engines agree on the model and on the number of gamma firings. *)
+
+open Gbc
+
+let run_reference prog =
+  let telemetry = Telemetry.create () in
+  let db, stats = Choice_fixpoint.run ~telemetry prog in
+  (db, stats.Choice_fixpoint.gamma_steps, telemetry)
+
+let run_staged prog =
+  let telemetry = Telemetry.create () in
+  let db, stats = Stage_engine.run ~telemetry prog in
+  (db, stats.Stage_engine.gamma_steps, telemetry)
+
+(* Structural invariants every collector must satisfy, whichever
+   engine filled it. *)
+let check_invariants name telemetry =
+  List.iter
+    (fun (label, rc) ->
+      let ck msg cond = Alcotest.(check bool) (name ^ "/" ^ label ^ ": " ^ msg) true cond in
+      ck "derived >= 0" (rc.Telemetry.derived >= 0);
+      ck "candidates >= fired" (rc.Telemetry.candidates >= rc.Telemetry.fired);
+      ck "fd_rejections <= candidates" (rc.Telemetry.fd_rejections <= rc.Telemetry.candidates);
+      ck "pops <= pushes" (rc.Telemetry.pops <= rc.Telemetry.pushes);
+      ck "shadowed <= pushes" (rc.Telemetry.shadowed <= rc.Telemetry.pushes);
+      ck "stale + revalidations <= pops"
+        (rc.Telemetry.stale + rc.Telemetry.revalidations <= rc.Telemetry.pops);
+      ck "max_queue >= 0" (rc.Telemetry.max_queue >= 0);
+      (* A [next] rule fires exactly once per stage, so the firing
+         count must match the final stage value it reached. *)
+      if rc.Telemetry.last_stage > 0 then
+        ck "fired = last_stage" (rc.Telemetry.fired = rc.Telemetry.last_stage))
+    (Telemetry.rules telemetry);
+  let totals = Telemetry.totals telemetry in
+  let total k = List.assoc k totals in
+  Alcotest.(check bool) (name ^ ": totals pops <= pushes") true (total "pops" <= total "pushes");
+  Alcotest.(check bool) (name ^ ": derived >= 0") true (total "derived" >= 0)
+
+(* Tie-free instances: distinct costs force both engines onto the same
+   greedy trajectory. *)
+let prim_prog =
+  let g = Gbc_workload.Graph_gen.random_connected ~seed:11 ~nodes:12 ~extra_edges:14 in
+  Prim.program ~root:0 g
+
+let sorting_prog =
+  Sorting.program (List.init 16 (fun i -> (Printf.sprintf "x%d" i, (i * 37) mod 101)))
+
+let matching_prog =
+  Matching.program [ (0, 10, 7); (0, 11, 3); (1, 10, 5); (1, 12, 9); (2, 11, 1); (2, 12, 4) ]
+
+let programs = [ ("prim", prim_prog); ("sorting", sorting_prog); ("matching", matching_prog) ]
+
+let test_invariants_reference () =
+  List.iter
+    (fun (name, prog) ->
+      let _, gamma, telemetry = run_reference prog in
+      check_invariants ("reference/" ^ name) telemetry;
+      Alcotest.(check int)
+        (name ^ ": telemetry gamma = stats gamma") gamma (Telemetry.gamma_steps telemetry))
+    programs
+
+let test_invariants_staged () =
+  List.iter
+    (fun (name, prog) ->
+      let _, gamma, telemetry = run_staged prog in
+      check_invariants ("staged/" ^ name) telemetry;
+      Alcotest.(check int)
+        (name ^ ": telemetry gamma = stats gamma") gamma (Telemetry.gamma_steps telemetry))
+    programs
+
+let test_engines_agree () =
+  List.iter
+    (fun (name, prog) ->
+      let db_ref, gamma_ref, t_ref = run_reference prog in
+      let db_st, gamma_st, t_st = run_staged prog in
+      Alcotest.(check int) (name ^ ": same gamma firings") gamma_ref gamma_st;
+      Alcotest.(check int)
+        (name ^ ": same gamma firings (telemetry)")
+        (Telemetry.gamma_steps t_ref) (Telemetry.gamma_steps t_st);
+      (* Tie-free extrema: the models coincide on every predicate the
+         reference model mentions. *)
+      Alcotest.(check bool) (name ^ ": models agree") true
+        (Database.equal_on db_ref db_st (Database.preds db_ref)))
+    programs
+
+let test_disabled_sink_records_nothing () =
+  let t = Telemetry.none in
+  Alcotest.(check bool) "none is disabled" false (Telemetry.enabled t);
+  Telemetry.add_derived t "r" 3;
+  Telemetry.fired t ~stage:1 "r";
+  Telemetry.iteration t "c";
+  Telemetry.stratum t "s";
+  Alcotest.(check int) "no rules" 0 (List.length (Telemetry.rules t));
+  Alcotest.(check int) "no gamma" 0 (Telemetry.gamma_steps t);
+  Alcotest.(check int) "no iterations" 0 (Telemetry.iterations t);
+  Alcotest.(check (option unit)) "rule lookup is None" None
+    (Option.map ignore (Telemetry.rule t "r"));
+  (* And the engines run fine against it (the default). *)
+  let _, stats = Stage_engine.run prim_prog in
+  Alcotest.(check bool) "engine ran" true (stats.Stage_engine.gamma_steps > 0)
+
+let test_stage_engine_iterations_and_strata () =
+  let _, _, telemetry = run_staged prim_prog in
+  Alcotest.(check bool) "iterations counted" true (Telemetry.iterations telemetry > 0);
+  Alcotest.(check bool) "strata counted" true
+    (List.assoc "strata" (Telemetry.totals telemetry) > 0)
+
+let test_json_roundtrippable () =
+  (* The JSON snapshot must escape rule labels (they contain quotes
+     when the program does) into something structurally sane. *)
+  let prog =
+    Parser.parse_program
+      "p(\"he \\\"quoted\\\" me\", 1).\nbest(X, C) <- p(X, C), least(C), choice((), X)."
+  in
+  let _, _, telemetry = run_reference prog in
+  let json = Telemetry.to_json telemetry in
+  Alcotest.(check bool) "nonempty" true (String.length json > 2);
+  (* Balanced braces and quotes outside escapes. *)
+  let depth = ref 0 and in_str = ref false and escaped = ref false and ok = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_str then begin
+        if c = '\\' then escaped := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    json;
+  Alcotest.(check bool) "balanced" true (!ok && !depth = 0 && not !in_str)
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "invariants",
+        [ Alcotest.test_case "reference engine" `Quick test_invariants_reference;
+          Alcotest.test_case "staged engine" `Quick test_invariants_staged;
+          Alcotest.test_case "iterations and strata" `Quick
+            test_stage_engine_iterations_and_strata ] );
+      ( "agreement",
+        [ Alcotest.test_case "engines agree on tie-free programs" `Quick test_engines_agree ] );
+      ( "plumbing",
+        [ Alcotest.test_case "disabled sink records nothing" `Quick
+            test_disabled_sink_records_nothing;
+          Alcotest.test_case "json snapshot well-formed" `Quick test_json_roundtrippable ] ) ]
