@@ -384,6 +384,56 @@ let e12 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E13 — resource governor on the adversarial corpus                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-terminating programs under a max-facts budget: every governed
+   run must come back Partial, and the per-budget exhaustion count is
+   recorded into BENCH_E13.json (the smoke run checks it like every
+   other counter). *)
+let e13 () =
+  let nat = Parser.parse_program "nat(z). nat(s(X)) <- nat(X)." in
+  let blowup =
+    Parser.parse_program "p(z, z). p(s(X), Y) <- p(X, Y). p(X, s(Y)) <- p(X, Y)."
+  in
+  let choice =
+    Parser.parse_program
+      "grow(z). grow(s(X)) <- pick(X, I). pick(X, I) <- grow(X), next(I)."
+  in
+  let partial = function Limits.Partial _ -> true | Limits.Complete _ -> false in
+  let runs : (string * (Limits.t -> bool)) list =
+    [ ("nat/ref", fun l -> partial (Choice_fixpoint.run_governed ~limits:l nat));
+      ("nat/staged", fun l -> partial (Stage_engine.run_governed ~limits:l nat));
+      ("blowup/staged", fun l -> partial (Stage_engine.run_governed ~limits:l blowup));
+      ("choice/ref", fun l -> partial (Choice_fixpoint.run_governed ~limits:l choice));
+      ("choice/staged", fun l -> partial (Stage_engine.run_governed ~limits:l choice)) ]
+  in
+  let rows =
+    List.map
+      (fun budget ->
+        let exhausted = ref 0 in
+        let (), t =
+          Harness.time ~repeat:1 (fun () ->
+              List.iter
+                (fun (_, run) ->
+                  if run (Limits.create ~max_facts:budget ()) then incr exhausted)
+                runs)
+        in
+        assert (!exhausted = List.length runs);
+        record ~exp:"E13" ~n:budget ~wall:t
+          [ ("budget_exhausted", !exhausted); ("governed_runs", List.length runs) ];
+        [ string_of_int budget; Harness.sec t;
+          Printf.sprintf "%d/%d" !exhausted (List.length runs) ])
+      (scale [ 500; 2_000; 8_000 ])
+  in
+  Harness.table
+    ~title:
+      "E13  Resource governor: adversarial (non-terminating) programs under a max-facts \
+       budget — every governed run stops with a Partial outcome"
+    ~header:[ "max_facts"; "wall(s)"; "exhausted/runs" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* E11 — magic sets: goal-directed vs full bottom-up evaluation        *)
 (* ------------------------------------------------------------------ *)
 
@@ -596,6 +646,7 @@ let () =
   e10 ();
   e11 ();
   e12 ();
+  e13 ();
   a1 ();
   a2 ();
   a3 ();

@@ -1,9 +1,26 @@
 (* gbc — command-line front end: run choice programs, inspect the
    compile-time stage analysis, print rewritings, enumerate models,
-   check stability, and run the built-in greedy demos. *)
+   check stability, and run the built-in greedy demos.
+
+   Exit codes: 0 on success, 2 on a structured diagnostic (syntax
+   error, unsupported program, unreadable file, ...), 3 when a resource
+   budget was exhausted and only a partial model was printed.  Usage
+   errors keep cmdliner's defaults. *)
 
 open Gbc
 open Cmdliner
+
+let err_exit = 2
+let partial_exit = 3
+
+(* Every user-facing failure is classified into Gbc_error and rendered
+   as one line on stderr — no raw exception backtraces. *)
+let handle f =
+  match Gbc_error.protect f with
+  | Ok () -> ()
+  | Error e ->
+    Format.eprintf "gbc: %s@." (Gbc_error.to_string e);
+    exit err_exit
 
 let read_file path =
   let ic = open_in_bin path in
@@ -11,11 +28,11 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_file path =
-  match Parser.parse_program (read_file path) with
-  | prog -> Ok prog
-  | exception Parser.Error msg -> Error (`Msg (path ^ ": " ^ msg))
-  | exception Sys_error msg -> Error (`Msg msg)
+(* Raises Sys_error / Lexer.Error / Parser.Error; callers run under
+   [handle] (or classify explicitly, as the repl's :load does). *)
+let parse_file path = Parser.parse_program (read_file path)
+
+let nowhere = { Lexer.line = 0; col = 0 }
 
 let print_model ?preds db =
   match preds with
@@ -49,13 +66,41 @@ let seed_arg =
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
          ~doc:"Random gamma policy with this seed (reference engine only).")
 
-(* Evaluate with a telemetry sink threaded through the chosen engine. *)
-let evaluate_with ~telemetry ~engine ~seed prog =
-  match engine, seed with
+(* ---------------- resource budgets ---------------- *)
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC"
+         ~doc:"Wall-clock budget in seconds; on exhaustion the partial model is printed and the exit code is 3.")
+
+let max_facts_arg =
+  Arg.(value & opt (some int) None & info [ "max-facts" ] ~docv:"N"
+         ~doc:"Stop after more than N facts have been derived (loaded facts are not counted).")
+
+let max_steps_arg =
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
+         ~doc:"Stop after more than N fixpoint iterations / gamma firings.")
+
+let max_candidates_arg =
+  Arg.(value & opt (some int) None & info [ "max-candidates" ] ~docv:"N"
+         ~doc:"Stop after more than N choice-candidate examinations.")
+
+let limits_of ?timeout_s ?max_facts ?max_steps ?max_candidates () =
+  match (timeout_s, max_facts, max_steps, max_candidates) with
+  | None, None, None, None -> Limits.unlimited
+  | _ -> Limits.create ?timeout_s ?max_facts ?max_steps ?max_candidates ()
+
+let map_outcome f = function
+  | Limits.Complete x -> Limits.Complete (f x)
+  | Limits.Partial (x, d) -> Limits.Partial (f x, d)
+
+(* Evaluate with telemetry and a governor threaded through the chosen
+   engine; the outcome carries just the database. *)
+let evaluate_with ~telemetry ~limits ~engine ~seed prog =
+  match (engine, seed) with
   | `Reference, Some s ->
-    fst (Choice_fixpoint.run ~policy:(Random s) ~telemetry prog)
-  | `Reference, None -> fst (Choice_fixpoint.run ~telemetry prog)
-  | `Staged, _ -> fst (Stage_engine.run ~telemetry prog)
+    map_outcome fst (Choice_fixpoint.run_governed ~policy:(Random s) ~telemetry ~limits prog)
+  | `Reference, None -> map_outcome fst (Choice_fixpoint.run_governed ~telemetry ~limits prog)
+  | `Staged, _ -> map_outcome fst (Stage_engine.run_governed ~telemetry ~limits prog)
 
 (* ---------------- run ---------------- *)
 
@@ -64,21 +109,30 @@ let run_cmd =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Collect engine telemetry and print the per-rule counter table to stderr.")
   in
-  let run file engine preds seed stats =
-    Result.bind (parse_file file) (fun prog ->
-        try
-          let telemetry = if stats then Telemetry.create () else Telemetry.none in
-          let db = evaluate_with ~telemetry ~engine ~seed prog in
+  let run file engine preds seed stats timeout_s max_facts max_steps max_candidates =
+    handle (fun () ->
+        let prog = parse_file file in
+        let telemetry = if stats then Telemetry.create () else Telemetry.none in
+        let limits = limits_of ?timeout_s ?max_facts ?max_steps ?max_candidates () in
+        match evaluate_with ~telemetry ~limits ~engine ~seed prog with
+        | Limits.Complete db ->
           print_model ?preds db;
+          if stats then Format.eprintf "%a@?" Telemetry.pp telemetry
+        | Limits.Partial (db, d) ->
+          print_model ?preds db;
+          Format.eprintf "gbc: %a" Limits.pp_diagnostics d;
+          Format.eprintf "gbc: the model above is partial@.";
           if stats then Format.eprintf "%a@?" Telemetry.pp telemetry;
-          Ok ()
-        with
-        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
-          Error (`Msg msg))
+          exit partial_exit)
   in
-  let doc = "Evaluate a choice program and print one stable model." in
+  let doc =
+    "Evaluate a choice program and print one stable model.  With a budget \
+     ($(b,--timeout), $(b,--max-facts), $(b,--max-steps), $(b,--max-candidates)) \
+     exhaustion prints the partial model, a diagnostic on stderr, and exits with code 3."
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(term_result (const run $ file_arg $ engine_arg $ preds_arg $ seed_arg $ stats_arg))
+    Term.(const run $ file_arg $ engine_arg $ preds_arg $ seed_arg $ stats_arg
+          $ timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -88,19 +142,16 @@ let profile_cmd =
            ~doc:"Emit the counter snapshot as JSON instead of the table.")
   in
   let run file engine seed json =
-    Result.bind (parse_file file) (fun prog ->
-        try
-          let telemetry = Telemetry.create () in
-          let _db =
-            Telemetry.span telemetry "total" (fun () ->
-                evaluate_with ~telemetry ~engine ~seed prog)
-          in
-          if json then print_string (Telemetry.to_json telemetry)
-          else Format.printf "%a@?" Telemetry.pp telemetry;
-          Ok ()
-        with
-        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
-          Error (`Msg msg))
+    handle (fun () ->
+        let prog = parse_file file in
+        let telemetry = Telemetry.create () in
+        let _db =
+          Telemetry.span telemetry "total" (fun () ->
+              Limits.value
+                (evaluate_with ~telemetry ~limits:Limits.unlimited ~engine ~seed prog))
+        in
+        if json then print_string (Telemetry.to_json telemetry)
+        else Format.printf "%a@?" Telemetry.pp telemetry)
   in
   let doc =
     "Evaluate a choice program with telemetry enabled and print the per-rule \
@@ -108,30 +159,28 @@ let profile_cmd =
      sizes, per-stratum spans and totals."
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(term_result (const run $ file_arg $ engine_arg $ seed_arg $ json_arg))
+    Term.(const run $ file_arg $ engine_arg $ seed_arg $ json_arg)
 
 (* ---------------- check ---------------- *)
 
 let check_cmd =
   let run file =
-    Result.bind (parse_file file) (fun prog ->
-        let report = Stage.analyze prog in
-        Format.printf "%a@?" Stage.pp_report report;
-        Ok ())
+    handle (fun () ->
+        let report = Stage.analyze (parse_file file) in
+        Format.printf "%a@?" Stage.pp_report report)
   in
   let doc = "Compile-time analysis: cliques, stage arguments, stage-stratification." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(term_result (const run $ file_arg))
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
 
 (* ---------------- rewrite ---------------- *)
 
 let rewrite_cmd =
   let run file =
-    Result.bind (parse_file file) (fun prog ->
-        Format.printf "%a@." Pretty.pp_program (Rewrite.expand_all prog);
-        Ok ())
+    handle (fun () ->
+        Format.printf "%a@." Pretty.pp_program (Rewrite.expand_all (parse_file file)))
   in
   let doc = "Print the first-order rewriting (next, choice, extrema expanded to negation)." in
-  Cmd.v (Cmd.info "rewrite" ~doc) Term.(term_result (const run $ file_arg))
+  Cmd.v (Cmd.info "rewrite" ~doc) Term.(const run $ file_arg)
 
 (* ---------------- models ---------------- *)
 
@@ -140,50 +189,47 @@ let models_cmd =
     Arg.(value & opt int 100 & info [ "max" ] ~docv:"N" ~doc:"Stop after N distinct models.")
   in
   let run file preds max_models =
-    Result.bind (parse_file file) (fun prog ->
-        try
-          let models = Choice_fixpoint.enumerate ~max_models prog in
-          Format.printf "%d model(s)@." (List.length models);
-          List.iteri
-            (fun i db ->
-              Format.printf "--- model %d ---@." (i + 1);
-              print_model ?preds db)
-            models;
-          Ok ()
-        with Choice_fixpoint.Unsupported msg -> Error (`Msg msg))
+    handle (fun () ->
+        let models = Choice_fixpoint.enumerate ~max_models (parse_file file) in
+        Format.printf "%d model(s)@." (List.length models);
+        List.iteri
+          (fun i db ->
+            Format.printf "--- model %d ---@." (i + 1);
+            print_model ?preds db)
+          models)
   in
   let doc = "Enumerate all choice models (small programs only)." in
-  Cmd.v (Cmd.info "models" ~doc)
-    Term.(term_result (const run $ file_arg $ preds_arg $ max_arg))
+  Cmd.v (Cmd.info "models" ~doc) Term.(const run $ file_arg $ preds_arg $ max_arg)
 
 (* ---------------- stable ---------------- *)
 
 let stable_cmd =
   let run file engine =
-    Result.bind (parse_file file) (fun prog ->
-        try
-          let db =
-            match engine with
-            | `Reference -> Choice_fixpoint.model prog
-            | `Staged -> Stage_engine.model prog
-          in
-          let ok = Stable.is_stable prog db in
-          Format.printf "stable: %b@." ok;
-          if ok then Ok () else Error (`Msg "produced model is not stable")
-        with
-        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
-          Error (`Msg msg))
+    handle (fun () ->
+        let prog = parse_file file in
+        let db =
+          match engine with
+          | `Reference -> Choice_fixpoint.model prog
+          | `Staged -> Stage_engine.model prog
+        in
+        let ok = Stable.is_stable prog db in
+        Format.printf "stable: %b@." ok;
+        if not ok then begin
+          Format.eprintf "gbc: produced model is not stable@.";
+          exit err_exit
+        end)
   in
   let doc = "Evaluate and verify the result against the Gelfond-Lifschitz reduct (Theorem 1)." in
-  Cmd.v (Cmd.info "stable" ~doc) Term.(term_result (const run $ file_arg $ engine_arg))
+  Cmd.v (Cmd.info "stable" ~doc) Term.(const run $ file_arg $ engine_arg)
 
 (* ---------------- wellfounded ---------------- *)
 
 let wellfounded_cmd =
   let run file =
-    Result.bind (parse_file file) (fun prog ->
-        try
-          let t = Wellfounded.compute (Rewrite.expand_all prog) in
+    handle (fun () ->
+        let prog = parse_file file in
+        match Wellfounded.compute (Rewrite.expand_all prog) with
+        | t ->
           Format.printf "total: %b@." (Wellfounded.is_total t);
           let undef = Wellfounded.undefined t in
           Format.printf "%d undefined atom(s)@." (List.length undef);
@@ -191,16 +237,22 @@ let wellfounded_cmd =
             (fun (pred, row) ->
               Format.printf "  undefined: %s(%s)@." pred
                 (String.concat ", " (List.map Value.to_string (Array.to_list row))))
-            undef;
-          Ok ()
-        with Invalid_argument msg -> Error (`Msg msg))
+            undef
+        | exception Invalid_argument msg ->
+          Format.eprintf "gbc: %s@." msg;
+          exit err_exit)
   in
   let doc =
     "Well-founded model of the rewritten program (choices show up as undefined atoms)."
   in
-  Cmd.v (Cmd.info "wellfounded" ~doc) Term.(term_result (const run $ file_arg))
+  Cmd.v (Cmd.info "wellfounded" ~doc) Term.(const run $ file_arg)
 
 (* ---------------- query ---------------- *)
+
+let parse_goal text =
+  match Parser.parse_rule ("query_goal <- " ^ text) with
+  | { Ast.body = [ Ast.Pos a ]; _ } -> a
+  | _ -> raise (Parser.Error ("expected a single positive atom", nowhere))
 
 let query_cmd =
   let query_arg =
@@ -212,25 +264,22 @@ let query_cmd =
            ~doc:"Use the magic-set rewriting (positive programs only).")
   in
   let run file engine q magic =
-    Result.bind (parse_file file) (fun prog ->
+    handle (fun () ->
+        let prog = parse_file file in
+        let goal = parse_goal q in
+        let vars = Ast.atom_vars goal in
+        let print_rows rows =
+          List.iter
+            (fun row ->
+              Format.printf "%s@."
+                (String.concat ", "
+                   (List.map2
+                      (fun v x -> v ^ " = " ^ Value.to_string x)
+                      vars row)))
+            rows;
+          Format.printf "%d answer(s)@." (List.length rows)
+        in
         try
-          let goal =
-            match Parser.parse_rule ("query_goal <- " ^ q) with
-            | { Ast.body = [ Ast.Pos a ]; _ } -> a
-            | _ -> raise (Parser.Error "expected a single positive atom")
-          in
-          let vars = Ast.atom_vars goal in
-          let print_rows rows =
-            List.iter
-              (fun row ->
-                Format.printf "%s@."
-                  (String.concat ", "
-                     (List.map2
-                        (fun v x -> v ^ " = " ^ Value.to_string x)
-                        vars row)))
-              rows;
-            Format.printf "%d answer(s)@." (List.length rows)
-          in
           if magic then begin
             let var_positions =
               List.mapi (fun i t -> (i, t)) goal.Ast.args
@@ -239,8 +288,7 @@ let query_cmd =
             in
             let rows = Magic.answers ~query:goal prog in
             print_rows
-              (List.map (fun row -> List.map (fun i -> row.(i)) var_positions) rows);
-            Ok ()
+              (List.map (fun row -> List.map (fun i -> row.(i)) var_positions) rows)
           end
           else begin
             let db =
@@ -250,18 +298,15 @@ let query_cmd =
             in
             let body = Eval.compile_body [ Ast.Pos goal ] in
             let outs = List.map (fun v -> Ast.Var v) vars in
-            print_rows (Eval.solutions body db outs);
-            Ok ()
+            print_rows (Eval.solutions body db outs)
           end
-        with
-        | Parser.Error msg -> Error (`Msg msg)
-        | Invalid_argument msg -> Error (`Msg msg)
-        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
-          Error (`Msg msg))
+        with Invalid_argument msg ->
+          Format.eprintf "gbc: %s@." msg;
+          exit err_exit)
   in
   let doc = "Evaluate the program, then answer a query atom against the model." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(term_result (const run $ file_arg $ engine_arg $ query_arg $ magic_flag))
+    Term.(const run $ file_arg $ engine_arg $ query_arg $ magic_flag)
 
 (* ---------------- explain ---------------- *)
 
@@ -271,38 +316,44 @@ let explain_cmd =
            ~doc:"Ground fact to explain, e.g. 'prm(0, 3, 5, 2)'.")
   in
   let run file engine text =
-    Result.bind (parse_file file) (fun prog ->
+    handle (fun () ->
+        let prog = parse_file file in
+        let goal = parse_goal text in
         try
-          let goal =
-            match Parser.parse_rule ("query_goal <- " ^ text) with
-            | { Ast.body = [ Ast.Pos a ]; _ } -> a
-            | _ -> raise (Parser.Error "expected a single positive atom")
-          in
-          let row =
-            Array.of_list (List.map Ast.term_to_value goal.Ast.args)
-          in
+          let row = Array.of_list (List.map Ast.term_to_value goal.Ast.args) in
           let db =
             match engine with
             | `Reference -> Choice_fixpoint.model prog
             | `Staged -> Stage_engine.model prog
           in
-          (match Explain.fact prog db goal.Ast.pred row with
+          match Explain.fact prog db goal.Ast.pred row with
           | Some node -> Format.printf "%a@?" Explain.pp node
-          | None -> Format.printf "not in the model@.");
-          Ok ()
-        with
-        | Parser.Error msg | Invalid_argument msg -> Error (`Msg msg)
-        | Choice_fixpoint.Unsupported msg | Stage_engine.Not_compilable msg ->
-          Error (`Msg msg))
+          | None -> Format.printf "not in the model@."
+        with Invalid_argument msg ->
+          Format.eprintf "gbc: %s@." msg;
+          exit err_exit)
   in
   let doc = "Evaluate the program and print a derivation of a ground fact." in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(term_result (const run $ file_arg $ engine_arg $ atom_arg))
+    Term.(const run $ file_arg $ engine_arg $ atom_arg)
 
 (* ---------------- repl ---------------- *)
 
 let repl_cmd =
   let run () =
+    (* Ctrl-C at the prompt raises Sys.Break (caught by the loop);
+       during evaluation the handler is swapped for one that only sets
+       the cancellation token, so the engines stop at the next poll and
+       the session survives with the program intact. *)
+    Sys.catch_break true;
+    let cancel = ref false in
+    let with_interrupt f =
+      cancel := false;
+      let previous =
+        Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel := true))
+      in
+      Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint previous) f
+    in
     let program = ref [] in
     let errors = ref 0 in
     let print_err msg =
@@ -310,15 +361,24 @@ let repl_cmd =
       Format.eprintf "error: %s@." msg
     in
     let evaluate () =
-      try Ok (Stage_engine.model !program) with
-      | Stage_engine.Not_compilable _ -> (
-        try Ok (Choice_fixpoint.model !program)
-        with Choice_fixpoint.Unsupported msg -> Error msg)
-      | Choice_fixpoint.Unsupported msg -> Error msg
+      let limits = Limits.create ~cancel () in
+      let unwrap = function
+        | Limits.Complete (db, _) -> Ok db
+        | Limits.Partial ((_ : Database.t * _), d) ->
+          Error ("query interrupted (" ^ Limits.violation_to_string d.Limits.violated ^ ")")
+      in
+      with_interrupt (fun () ->
+          match Stage_engine.run_governed ~limits !program with
+          | outcome -> unwrap outcome
+          | exception Stage_engine.Not_compilable _ -> (
+            match Choice_fixpoint.run_governed ~limits !program with
+            | outcome -> unwrap outcome
+            | exception Choice_fixpoint.Unsupported msg -> Error msg)
+          | exception Choice_fixpoint.Unsupported msg -> Error msg)
     in
     let answer_query text =
       match Parser.parse_rule ("query_goal <- " ^ text) with
-      | exception Parser.Error msg -> print_err msg
+      | exception Parser.Error (msg, _) -> print_err msg
       | { Ast.body = [ Ast.Pos goal ]; _ } -> (
         match evaluate () with
         | Error msg -> print_err msg
@@ -362,45 +422,49 @@ let repl_cmd =
           with Invalid_argument msg -> print_err msg)
         | Error msg -> print_err msg)
       | [ ":load"; path ] -> (
-        match parse_file path with
+        match Gbc_error.protect (fun () -> parse_file path) with
         | Ok prog ->
           program := !program @ prog;
           Format.printf "loaded %d clause(s)@." (List.length prog)
-        | Error (`Msg msg) -> print_err msg)
+        | Error e -> print_err (Gbc_error.to_string e))
       | [ ":help" ] | [ ":h" ] ->
         Format.printf
-          "clauses end with '.'; queries start with '?-'.@.commands: :model :models            :check :stable :list :load FILE :clear :quit@."
+          "clauses end with '.'; queries start with '?-'.@.commands: :model :models            :check :stable :list :load FILE :clear :quit@.Ctrl-C interrupts a running query (the session and the program survive).@."
       | _ -> print_err ("unknown command: " ^ line)
     in
     Format.printf "gbc repl — :help for commands, :quit to leave@.";
     let buffer = Buffer.create 256 in
     (try
        while true do
-         Format.printf "%s @?" (if Buffer.length buffer = 0 then "gbc>" else "...>");
-         let line = try input_line stdin with End_of_file -> raise Exit in
-         let trimmed = String.trim line in
-         if Buffer.length buffer = 0 && String.length trimmed > 0 && trimmed.[0] = ':' then
-           handle_command trimmed
-         else if String.length trimmed >= 2 && String.sub trimmed 0 2 = "?-" then begin
-           let q = String.trim (String.sub trimmed 2 (String.length trimmed - 2)) in
-           let q =
-             if String.length q > 0 && q.[String.length q - 1] = '.' then
-               String.sub q 0 (String.length q - 1)
-             else q
-           in
-           answer_query q
-         end
-         else begin
-           Buffer.add_string buffer line;
-           Buffer.add_char buffer '\n';
-           if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = '.' then begin
-             let text = Buffer.contents buffer in
-             Buffer.clear buffer;
-             match Parser.parse_program text with
-             | clauses -> program := !program @ clauses
-             | exception Parser.Error msg -> print_err msg
+         try
+           Format.printf "%s @?" (if Buffer.length buffer = 0 then "gbc>" else "...>");
+           let line = try input_line stdin with End_of_file -> raise Exit in
+           let trimmed = String.trim line in
+           if Buffer.length buffer = 0 && String.length trimmed > 0 && trimmed.[0] = ':' then
+             handle_command trimmed
+           else if String.length trimmed >= 2 && String.sub trimmed 0 2 = "?-" then begin
+             let q = String.trim (String.sub trimmed 2 (String.length trimmed - 2)) in
+             let q =
+               if String.length q > 0 && q.[String.length q - 1] = '.' then
+                 String.sub q 0 (String.length q - 1)
+               else q
+             in
+             answer_query q
            end
-         end
+           else begin
+             Buffer.add_string buffer line;
+             Buffer.add_char buffer '\n';
+             if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = '.' then begin
+               let text = Buffer.contents buffer in
+               Buffer.clear buffer;
+               match Parser.parse_program text with
+               | clauses -> program := !program @ clauses
+               | exception Parser.Error (msg, _) -> print_err msg
+             end
+           end
+         with Sys.Break ->
+           Buffer.clear buffer;
+           Format.printf "@.interrupted@."
        done
      with Exit -> ());
     if !errors = 0 then Ok ()

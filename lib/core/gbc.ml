@@ -21,6 +21,8 @@ module Rewrite = Gbc_datalog.Rewrite
 module Naive = Gbc_datalog.Naive
 module Seminaive = Gbc_datalog.Seminaive
 module Telemetry = Gbc_datalog.Telemetry
+module Limits = Gbc_datalog.Limits
+module Gbc_error = Gbc_datalog.Gbc_error
 module Choice_fixpoint = Gbc_datalog.Choice_fixpoint
 module Stage_engine = Gbc_datalog.Stage_engine
 module Stable = Gbc_datalog.Stable

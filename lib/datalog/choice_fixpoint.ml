@@ -4,6 +4,7 @@ type stats = Engine_core.stats = { gamma_steps : int; candidates_examined : int 
 exception Unsupported = Engine_core.Unsupported
 
 let run = Engine_core.run
+let run_governed = Engine_core.run_governed
 let model = Engine_core.model
 let enumerate = Engine_core.enumerate
 let find = Engine_core.find

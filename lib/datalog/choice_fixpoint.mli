@@ -40,16 +40,35 @@ exception Unsupported of string
     a recursive clique with no choice rules, unsafe rules, etc. *)
 
 val run :
-  ?policy:policy -> ?telemetry:Telemetry.t -> ?db:Database.t -> Ast.program -> Database.t * stats
+  ?policy:policy ->
+  ?telemetry:Telemetry.t ->
+  ?limits:Limits.t ->
+  ?db:Database.t ->
+  Ast.program ->
+  Database.t * stats
 (** Evaluate the program (facts included) on top of [db] (fresh when
     omitted; mutated in place).  Returns one choice model.  When
     [telemetry] is an enabled collector, per-rule counters, delta sizes
-    and per-stratum spans are recorded into it. *)
+    and per-stratum spans are recorded into it.
+    @raise Limits.Exhausted when [limits] trips a budget; use
+    {!run_governed} to receive the partial database instead. *)
+
+val run_governed :
+  ?policy:policy ->
+  ?telemetry:Telemetry.t ->
+  ?limits:Limits.t ->
+  ?db:Database.t ->
+  Ast.program ->
+  (Database.t * stats) Limits.outcome
+(** Like {!run}, but budget exhaustion and cancellation are returned as
+    {!Limits.Partial} carrying the consistent partial database derived
+    so far plus a diagnostics snapshot, instead of an exception. *)
 
 val model : ?policy:policy -> ?db:Database.t -> Ast.program -> Database.t
 (** {!run} without the statistics. *)
 
-val enumerate : ?max_models:int -> ?db:Database.t -> Ast.program -> Database.t list
+val enumerate :
+  ?max_models:int -> ?limits:Limits.t -> ?db:Database.t -> Ast.program -> Database.t list
 (** All choice models, by depth-first search over the gamma choices
     with intermediate-state deduplication (different firing orders
     reaching the same database are explored once).  Still exponential
@@ -57,7 +76,12 @@ val enumerate : ?max_models:int -> ?db:Database.t -> Ast.program -> Database.t l
     (Lemma 2's non-deterministic completeness).  Stops early after
     [max_models] distinct models (default 10_000). *)
 
-val find : ?db:Database.t -> accept:(Database.t -> bool) -> Ast.program -> Database.t option
+val find :
+  ?limits:Limits.t ->
+  ?db:Database.t ->
+  accept:(Database.t -> bool) ->
+  Ast.program ->
+  Database.t option
 (** Don't-know non-determinism: search the choice models depth-first
     and return the first one satisfying [accept] — e.g. "an assignment
     covering every student", which greedy-first gamma may miss. *)

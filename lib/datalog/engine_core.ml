@@ -177,7 +177,7 @@ type candidate = {
   c_row : Value.t array;  (* the new chosen$i tuple *)
 }
 
-let collect_candidates ?(idx = 0) db tele st tracker examined =
+let collect_candidates ?(idx = 0) ?(limits = Limits.unlimited) db tele st tracker examined =
   let cr = st.cr in
   replay_chosen st;
   let rc = Telemetry.rule tele cr.label in
@@ -194,6 +194,7 @@ let collect_candidates ?(idx = 0) db tele st tracker examined =
   let solutions = ref [] in
   Eval.run cr.body db env (fun env ->
       incr examined;
+      Limits.tick_candidates limits 1;
       (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
       let row = Array.of_list (Eval.eval_terms cr.body env cr.out_terms) in
       let key = Value.Tup (Array.to_list row) in
@@ -273,11 +274,13 @@ type clique_state = {
 let saturate_flat state =
   wrap_invalid (fun () -> List.iter Seminaive.step state.saturators)
 
-let make_state ?telemetry db plan =
+let make_state ?telemetry ?limits db plan =
   let saturators =
     wrap_invalid (fun () ->
         List.map
-          (fun sub -> Seminaive.make ~allow_clique_negation:true ?telemetry db ~clique:sub plan.flat)
+          (fun sub ->
+            Seminaive.make ~allow_clique_negation:true ?telemetry ?limits db ~clique:sub
+              plan.flat)
           plan.sub_cliques)
   in
   let fd_states = List.map (fun (cr, _) -> make_fd_state db cr) plan.crules in
@@ -293,25 +296,26 @@ let make_state ?telemetry db plan =
   in
   { plan; fd_states; trackers; saturators }
 
-let all_candidates db tele state examined =
+let all_candidates ?limits db tele state examined =
   List.concat
     (List.mapi
-       (fun i (st, tr) -> collect_candidates ~idx:i db tele st tr examined)
+       (fun i (st, tr) -> collect_candidates ~idx:i ?limits db tele st tr examined)
        (List.combine state.fd_states state.trackers))
 
-let fire ?(telemetry = Telemetry.none) db cand =
+let fire ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db cand =
   ignore (Relation.add cand.c_st.rel cand.c_row);
+  Limits.tick_derived limits 1;
   Telemetry.fired telemetry cand.c_st.cr.label;
   ignore db
 
-let eval_choice_clique ~policy ~telemetry db plan stats_steps stats_examined =
-  let state = make_state ~telemetry db plan in
+let eval_choice_clique ~policy ~telemetry ~limits db plan stats_steps stats_examined =
+  let state = make_state ~telemetry ~limits db plan in
   let rng =
     match policy with First -> None | Random seed -> Some (Random.State.make [| seed |])
   in
   saturate_flat state;
   let rec loop () =
-    let cands = all_candidates db telemetry state stats_examined in
+    let cands = all_candidates ~limits db telemetry state stats_examined in
     match cands with
     | [] -> ()
     | _ ->
@@ -320,7 +324,8 @@ let eval_choice_clique ~policy ~telemetry db plan stats_steps stats_examined =
         | None -> List.hd cands
         | Some st -> List.nth cands (Random.State.int st (List.length cands))
       in
-      fire ~telemetry db cand;
+      Limits.tick_step limits;
+      fire ~telemetry ~limits db cand;
       incr stats_steps;
       saturate_flat state;
       loop ()
@@ -391,26 +396,40 @@ let clique_preds = function
 let stratum_label i clique =
   Printf.sprintf "stratum %d: %s" i (String.concat "," (clique_preds clique))
 
-let run ?(policy = First) ?(telemetry = Telemetry.none) ?db program =
+let run_governed ?(policy = First) ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited)
+    ?db program =
   let db = match db with Some db -> db | None -> Database.create () in
-  let plan = plan_program program in
-  Database.load_facts db plan.facts;
   let steps = ref 0 and examined = ref 0 in
-  List.iteri
-    (fun i clique ->
-      let label = stratum_label i clique in
-      Telemetry.stratum telemetry label;
-      Telemetry.span telemetry label (fun () ->
-          match clique with
-          | `Plain preds ->
-            wrap_invalid (fun () ->
-                try
-                  Seminaive.eval_clique ~telemetry db ~clique:preds
-                    (List.filter (fun r -> not (Ast.is_fact r)) program)
-                with Eval.Unsafe msg -> raise (Unsupported msg))
-          | `Choice cplan -> eval_choice_clique ~policy ~telemetry db cplan steps examined))
-    plan.cliques;
-  (db, { gamma_steps = !steps; candidates_examined = !examined })
+  let stats () = { gamma_steps = !steps; candidates_examined = !examined } in
+  Limits.govern ~telemetry limits
+    ~partial:(fun () -> (db, stats ()))
+    (fun () ->
+      let plan = plan_program program in
+      Database.load_facts db plan.facts;
+      List.iteri
+        (fun i clique ->
+          let label = stratum_label i clique in
+          Limits.set_active limits label;
+          Telemetry.stratum telemetry label;
+          Telemetry.span telemetry label (fun () ->
+              match clique with
+              | `Plain preds ->
+                wrap_invalid (fun () ->
+                    try
+                      Seminaive.eval_clique ~telemetry ~limits db ~clique:preds
+                        (List.filter (fun r -> not (Ast.is_fact r)) program)
+                    with Eval.Unsafe msg -> raise (Unsupported msg))
+              | `Choice cplan ->
+                eval_choice_clique ~policy ~telemetry ~limits db cplan steps examined))
+        plan.cliques;
+      (db, stats ()))
+
+(* The ungoverned entry points re-raise: callers that pass a governor
+   and want the partial database use [run_governed]. *)
+let run ?policy ?telemetry ?limits ?db program =
+  match run_governed ?policy ?telemetry ?limits ?db program with
+  | Limits.Complete x -> x
+  | Limits.Partial (_, d) -> raise (Limits.Exhausted d.Limits.violated)
 
 let model ?policy ?db program = fst (run ?policy ?db program)
 
@@ -422,14 +441,15 @@ let model ?policy ?db program = fst (run ?policy ?db program)
    and [find].  Intermediate states are deduplicated by signature —
    different firing orders converge on the same database, so without
    the memo the search would pay once per permutation. *)
-let explore ?(max_models = 10_000) ?db ~accept program =
+let explore ?(max_models = 10_000) ?(limits = Limits.unlimited) ?db ~accept program =
   let base = match db with Some db -> Database.copy db | None -> Database.create () in
+  Limits.check_now limits;
   let plan = plan_program program in
   Database.load_facts base plan.facts;
   let examined = ref 0 in
   let rules = List.filter (fun r -> not (Ast.is_fact r)) program in
   let eval_plain preds db =
-    wrap_invalid (fun () -> Seminaive.eval_clique db ~clique:preds rules);
+    wrap_invalid (fun () -> Seminaive.eval_clique ~limits db ~clique:preds rules);
     [ db ]
   in
   let signature db = Format.asprintf "%a" Database.pp db in
@@ -439,17 +459,18 @@ let explore ?(max_models = 10_000) ?db ~accept program =
     let visited = Hashtbl.create 64 in
     let leaves = ref [] in
     let rec go db state =
-      match all_candidates db Telemetry.none state examined with
+      match all_candidates ~limits db Telemetry.none state examined with
       | [] -> leaves := db :: !leaves
       | cands ->
         List.iter
           (fun cand ->
             let db' = Database.copy db in
-            let state' = make_state db' cplan in
+            let state' = make_state ~limits db' cplan in
             (* The candidate's fd_state belongs to the parent branch;
                rebind it by its stable index in the rebuilt state. *)
             let cand' = { cand with c_st = List.nth state'.fd_states cand.c_idx } in
-            fire db' cand';
+            Limits.tick_step limits;
+            fire ~limits db' cand';
             saturate_flat state';
             let s = signature db' in
             if not (Hashtbl.mem visited s) then begin
@@ -458,7 +479,7 @@ let explore ?(max_models = 10_000) ?db ~accept program =
             end)
           cands
     in
-    let state = make_state db cplan in
+    let state = make_state ~limits db cplan in
     saturate_flat state;
     go db state;
     List.rev !leaves
@@ -491,7 +512,8 @@ let explore ?(max_models = 10_000) ?db ~accept program =
    with Done.Done -> ());
   List.rev !found
 
-let enumerate ?max_models ?db program = explore ?max_models ?db ~accept:(fun _ -> true) program
+let enumerate ?max_models ?limits ?db program =
+  explore ?max_models ?limits ?db ~accept:(fun _ -> true) program
 
-let find ?db ~accept program =
-  match explore ~max_models:1 ?db ~accept program with [] -> None | db :: _ -> Some db
+let find ?limits ?db ~accept program =
+  match explore ~max_models:1 ?limits ?db ~accept program with [] -> None | db :: _ -> Some db

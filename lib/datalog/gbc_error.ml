@@ -1,0 +1,44 @@
+type pos = Lexer.pos = { line : int; col : int }
+
+type t =
+  | Lex of string * pos
+  | Parse of string * pos
+  | Unsafe of string
+  | Unsupported of string
+  | Not_compilable of string
+  | Io of string
+
+(* [Parser.Error] wraps lexical failures with a "lexical error: "
+   prefix so pre-existing catch sites keep their one-exception
+   interface; split them back out here for classification. *)
+let lex_prefix = "lexical error: "
+
+let of_exn = function
+  | Parser.Error (msg, pos) ->
+    let n = String.length lex_prefix in
+    if String.length msg >= n && String.sub msg 0 n = lex_prefix then
+      Some (Lex (String.sub msg n (String.length msg - n), pos))
+    else Some (Parse (msg, pos))
+  | Lexer.Error (msg, pos) -> Some (Lex (msg, pos))
+  | Eval.Unsafe msg -> Some (Unsafe msg)
+  | Engine_core.Unsupported msg -> Some (Unsupported msg)
+  | Stage_engine.Not_compilable msg -> Some (Not_compilable msg)
+  | Sys_error msg -> Some (Io msg)
+  | _ -> None
+
+let protect f =
+  match f () with
+  | x -> Ok x
+  | exception e -> ( match of_exn e with Some t -> Error t | None -> raise e)
+
+let at pos = if pos.line = 0 then "" else Printf.sprintf " at line %d, column %d" pos.line pos.col
+
+let to_string = function
+  | Lex (msg, pos) -> Printf.sprintf "lexical error%s: %s" (at pos) msg
+  | Parse (msg, pos) -> Printf.sprintf "parse error%s: %s" (at pos) msg
+  | Unsafe msg -> "unsafe evaluation: " ^ msg
+  | Unsupported msg -> "unsupported program (reference engine): " ^ msg
+  | Not_compilable msg -> "not compilable (staged engine): " ^ msg
+  | Io msg -> msg
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,36 @@
+(** Structured diagnostics: one type behind the five scattered
+    exceptions the substrate can raise.
+
+    Every user-facing failure — lexing, parsing, unsafe rules, a
+    program outside an engine's class, an unreadable file — is
+    classified into a {!t} carrying its source position when one
+    exists, so the CLI and the repl render all of them uniformly
+    ([line L, column C: message]) instead of leaking raw exception
+    backtraces. *)
+
+type pos = Lexer.pos = { line : int; col : int }
+
+type t =
+  | Lex of string * pos  (** unrecognizable input *)
+  | Parse of string * pos  (** syntax error *)
+  | Unsafe of string  (** {!Eval.Unsafe}: unorderable body, overflow *)
+  | Unsupported of string  (** reference engine: outside the evaluable class *)
+  | Not_compilable of string  (** staged engine: outside the compiled class *)
+  | Io of string  (** file-system failure ([Sys_error]) *)
+
+val of_exn : exn -> t option
+(** Classify one of the known exceptions ({!Lexer.Error},
+    {!Parser.Error}, {!Eval.Unsafe}, {!Engine_core.Unsupported} — the
+    identity of [Choice_fixpoint.Unsupported] — ,
+    {!Stage_engine.Not_compilable}, [Sys_error]); [None] for anything
+    else. *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, classifying known exceptions into [Error]; unknown
+    exceptions propagate. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: an error-class prefix, the position when the
+    failure has one ([line 0] positions are omitted), and the
+    message. *)

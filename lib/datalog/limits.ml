@@ -1,0 +1,171 @@
+(* The resource governor threaded through every fixpoint loop.  Budget
+   counters are plain integer compares; the wall clock and the
+   cancellation token are polled on step ticks and otherwise every
+   [poll_interval] events, so the hot derivation paths pay one branch
+   when unlimited and a handful of integer operations when governed. *)
+
+type violation = Deadline | Max_facts | Max_steps | Max_candidates | Cancelled
+
+exception Exhausted of violation
+
+type fault = Trip of violation | Raise of exn
+
+type t = {
+  limited : bool;  (* false only for [unlimited]: ticks are one branch *)
+  started : float;
+  deadline : float option;
+  max_facts : int;
+  max_steps : int;
+  max_candidates : int;
+  cancel : bool ref;
+  mutable facts : int;
+  mutable steps : int;
+  mutable candidates : int;
+  mutable countdown : int;  (* events until the next clock/token poll *)
+  mutable active : string option;
+  mutable fault : (int * fault) option;
+}
+
+let poll_interval = 256
+
+let make limited ~deadline ~max_facts ~max_steps ~max_candidates ~cancel =
+  { limited;
+    started = Unix.gettimeofday ();
+    deadline;
+    max_facts;
+    max_steps;
+    max_candidates;
+    cancel;
+    facts = 0;
+    steps = 0;
+    candidates = 0;
+    countdown = poll_interval;
+    active = None;
+    fault = None }
+
+let unlimited =
+  make false ~deadline:None ~max_facts:max_int ~max_steps:max_int
+    ~max_candidates:max_int ~cancel:(ref false)
+
+let create ?timeout_s ?max_facts ?max_steps ?max_candidates ?cancel () =
+  let bound = function Some n -> n | None -> max_int in
+  let t =
+    make true ~deadline:None ~max_facts:(bound max_facts) ~max_steps:(bound max_steps)
+      ~max_candidates:(bound max_candidates)
+      ~cancel:(match cancel with Some r -> r | None -> ref false)
+  in
+  match timeout_s with
+  | None -> t
+  | Some s -> { t with deadline = Some (t.started +. s) }
+
+let is_unlimited t = not t.limited
+
+let set_active t label = if t.limited then t.active <- Some label
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_clock_and_token t =
+  if !(t.cancel) then raise (Exhausted Cancelled);
+  match t.deadline with
+  | Some d when Unix.gettimeofday () >= d -> raise (Exhausted Deadline)
+  | _ -> ()
+
+let check_now t = if t.limited then check_clock_and_token t
+
+let poll t =
+  if t.limited then begin
+    t.countdown <- t.countdown - 1;
+    if t.countdown <= 0 then begin
+      t.countdown <- poll_interval;
+      check_clock_and_token t
+    end
+  end
+
+let fire_fault t =
+  match t.fault with
+  | Some (k, f) when t.facts >= k ->
+    t.fault <- None;
+    (match f with Trip v -> raise (Exhausted v) | Raise e -> raise e)
+  | _ -> ()
+
+let tick_derived t n =
+  if t.limited && n > 0 then begin
+    t.facts <- t.facts + n;
+    if t.fault <> None then fire_fault t;
+    if t.facts > t.max_facts then raise (Exhausted Max_facts);
+    poll t
+  end
+
+let tick_step t =
+  if t.limited then begin
+    t.steps <- t.steps + 1;
+    if t.steps > t.max_steps then raise (Exhausted Max_steps);
+    check_clock_and_token t
+  end
+
+let tick_candidates t n =
+  if t.limited && n > 0 then begin
+    t.candidates <- t.candidates + n;
+    if t.candidates > t.max_candidates then raise (Exhausted Max_candidates);
+    poll t
+  end
+
+let fault_at t ~k f = if t.limited then t.fault <- Some (k, f)
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes and diagnostics                                            *)
+(* ------------------------------------------------------------------ *)
+
+type diagnostics = {
+  violated : violation;
+  active : string option;
+  elapsed_s : float;
+  facts : int;
+  steps : int;
+  candidates : int;
+  max_queue : int;
+}
+
+type 'a outcome = Complete of 'a | Partial of 'a * diagnostics
+
+let value = function Complete x -> x | Partial (x, _) -> x
+
+let diagnostics ?(telemetry = Telemetry.none) (t : t) violated =
+  let max_queue =
+    List.fold_left
+      (fun acc (_, rc) -> max acc rc.Telemetry.max_queue)
+      0 (Telemetry.rules telemetry)
+  in
+  { violated;
+    active = t.active;
+    elapsed_s = Unix.gettimeofday () -. t.started;
+    facts = t.facts;
+    steps = t.steps;
+    candidates = t.candidates;
+    max_queue }
+
+let govern ?telemetry t ~partial f =
+  match
+    check_now t;
+    f ()
+  with
+  | x -> Complete x
+  | exception Exhausted v -> Partial (partial (), diagnostics ?telemetry t v)
+
+let violation_to_string = function
+  | Deadline -> "wall-clock deadline"
+  | Max_facts -> "max-facts budget"
+  | Max_steps -> "max-steps budget"
+  | Max_candidates -> "max-candidates budget"
+  | Cancelled -> "cancelled"
+
+let pp_diagnostics ppf d =
+  Format.fprintf ppf "resource limit hit: %s@." (violation_to_string d.violated);
+  (match d.active with
+  | Some label -> Format.fprintf ppf "  active: %s@." label
+  | None -> ());
+  Format.fprintf ppf
+    "  elapsed %.3fs; facts derived %d; steps %d; candidates examined %d; max queue %d@."
+    d.elapsed_s d.facts d.steps d.candidates d.max_queue

@@ -1,0 +1,140 @@
+(** The resource governor: budgets and cancellation for every fixpoint
+    loop.
+
+    Theorem 2 guarantees polynomial termination only for the
+    stage-stratified fragment; outside it (and on adversarial inputs —
+    successor-term generators, exponential joins, runaway recursion)
+    the saturation loops of {!Naive}, {!Seminaive}, {!Choice_fixpoint},
+    {!Stage_engine}, {!Stable} and {!Wellfounded} are unbounded.  A
+    [Limits.t] carries the budgets and a polled cancellation token; the
+    engines tick it as they derive, and when any budget is exhausted
+    evaluation exits through a single structured path — the internal
+    {!Exhausted} exception — which the governed entry points
+    ([run_governed] on each engine, {!govern} here) convert into a
+    {!Partial} outcome carrying the database built so far and a
+    {!diagnostics} snapshot.
+
+    The engines only ever add facts that are genuinely derivable and
+    every database mutation is atomic per fact, so a partial database
+    interrupted at any tick is a consistent under-approximation of the
+    model.
+
+    The default {!unlimited} instance is shared and permanently
+    disabled: every tick costs one branch and no allocation, mirroring
+    {!Telemetry.none}. *)
+
+type violation =
+  | Deadline  (** wall-clock deadline passed *)
+  | Max_facts  (** derived-fact budget exhausted *)
+  | Max_steps  (** iteration / gamma-firing budget exhausted *)
+  | Max_candidates  (** choice-candidate examination budget exhausted *)
+  | Cancelled  (** the cancellation token was set *)
+
+exception Exhausted of violation
+(** The single structured exit path out of a governed fixpoint loop.
+    Raised by the tick functions below; engine drivers catch it at the
+    [run_governed] boundary (via {!govern}) and never let it escape to
+    callers of the governed entry points.  Ungoverned entry points that
+    accept a [?limits] argument document that they may raise it. *)
+
+type t
+
+val unlimited : t
+(** The shared disabled governor — the default of every engine entry
+    point.  Never trips. *)
+
+val create :
+  ?timeout_s:float ->
+  ?max_facts:int ->
+  ?max_steps:int ->
+  ?max_candidates:int ->
+  ?cancel:bool ref ->
+  unit ->
+  t
+(** A fresh governor.  [timeout_s] is a relative wall-clock deadline
+    measured from this call ([0.] fails fast: the first check trips
+    before any iteration runs).  [max_facts] bounds facts derived by
+    rules (loaded EDB facts are not counted), [max_steps] bounds
+    fixpoint iterations plus gamma firings, [max_candidates] bounds
+    choice-candidate examinations.  [cancel] is a polled token: setting
+    it to [true] (e.g. from a signal handler) stops the run at the next
+    check with {!Cancelled}. *)
+
+val is_unlimited : t -> bool
+
+(** {2 Engine-facing ticks}
+
+    Budget-counter updates are exact integer compares on every call;
+    the clock and the cancellation token are polled on every
+    {!tick_step} and otherwise amortized (once every 256 ticks), so a
+    hot derivation loop pays one branch per event. *)
+
+val set_active : t -> string -> unit
+(** Record the stratum/rule label currently evaluating, for the
+    diagnostics snapshot.  O(1), no allocation. *)
+
+val tick_derived : t -> int -> unit
+(** [n] more facts were derived.  Also drives the fault hook. *)
+
+val tick_step : t -> unit
+(** One fixpoint iteration or gamma firing; polls clock and token. *)
+
+val tick_candidates : t -> int -> unit
+(** [n] more choice candidates were examined. *)
+
+val poll : t -> unit
+(** Amortized clock/token check for hot enumeration callbacks that
+    derive nothing (e.g. solutions rejected by a filter). *)
+
+val check_now : t -> unit
+(** Unconditional clock/token check — loop heads and entry points. *)
+
+(** {2 Outcomes and diagnostics} *)
+
+type diagnostics = {
+  violated : violation;
+  active : string option;  (** stratum/rule label active when tripped *)
+  elapsed_s : float;
+  facts : int;  (** facts derived when the run stopped *)
+  steps : int;  (** iterations + gamma firings *)
+  candidates : int;  (** choice candidates examined *)
+  max_queue : int;  (** Rql high-water mark (telemetry-enabled runs) *)
+}
+
+type 'a outcome =
+  | Complete of 'a
+  | Partial of 'a * diagnostics
+      (** Graceful degradation: the result built so far plus what
+          stopped the run. *)
+
+val value : 'a outcome -> 'a
+(** The carried result, whether complete or partial. *)
+
+val diagnostics : ?telemetry:Telemetry.t -> t -> violation -> diagnostics
+(** Snapshot the governor's counters; [max_queue] is read from the
+    telemetry collector's per-rule queue counters when enabled. *)
+
+val govern : ?telemetry:Telemetry.t -> t -> partial:(unit -> 'a) -> (unit -> 'a) -> 'a outcome
+(** [govern t ~partial f] checks the clock/token once, runs [f], and
+    wraps the result in {!Complete}; if [f] exits through {!Exhausted},
+    the partial result is recovered with [partial] and wrapped in
+    {!Partial} together with the diagnostics.  Other exceptions pass
+    through untouched. *)
+
+val violation_to_string : violation -> string
+val pp_diagnostics : Format.formatter -> diagnostics -> unit
+(** Multi-line rendering: the violated budget, the active label, and
+    the counter snapshot — what `gbc run` prints on exhaustion. *)
+
+(** {2 Fault injection (tests only)}
+
+    Deterministic failure points for the harness in
+    [test/test_limits.ml]: trip a budget or raise an arbitrary
+    exception when the cumulative derived-fact count first reaches [k].
+    The hook fires at most once. *)
+
+type fault =
+  | Trip of violation  (** exit through the structured path *)
+  | Raise of exn  (** simulate an engine crash: escapes {!govern} *)
+
+val fault_at : t -> k:int -> fault -> unit

@@ -24,23 +24,33 @@ let head_row cr env =
 
 (* One naive round: fire every rule once against the current database.
    Returns whether any new fact was derived. *)
-let round db compiled =
+let round ?(limits = Limits.unlimited) db compiled =
   List.fold_left
     (fun changed cr ->
       let additions = ref [] in
       let env = Eval.fresh_env cr.body in
-      Eval.run cr.body db env (fun env -> additions := head_row cr env :: !additions);
-      List.fold_left
-        (fun changed row -> Database.add_fact db cr.rule.Ast.head.Ast.pred row || changed)
-        changed !additions)
+      Eval.run cr.body db env (fun env ->
+          Limits.poll limits;
+          additions := head_row cr env :: !additions);
+      let added =
+        List.fold_left
+          (fun n row -> if Database.add_fact db cr.rule.Ast.head.Ast.pred row then n + 1 else n)
+          0 !additions
+      in
+      Limits.tick_derived limits added;
+      added > 0 || changed)
     false compiled
 
-let saturate db program =
+let saturate ?(limits = Limits.unlimited) db program =
   let facts, rules = List.partition Ast.is_fact program in
   check_plain rules;
+  Limits.check_now limits;
   Database.load_facts db facts;
   let compiled = compile_rules rules in
-  while round db compiled do
+  while
+    Limits.tick_step limits;
+    round ~limits db compiled
+  do
     ()
   done
 
@@ -56,9 +66,10 @@ let redirect_negations rule =
   in
   { rule with Ast.body }
 
-let least_model_under ~model ~edb program =
+let least_model_under ?(limits = Limits.unlimited) ~model ~edb program =
   let facts, rules = List.partition Ast.is_fact program in
   check_plain rules;
+  Limits.check_now limits;
   let db = Database.copy edb in
   Database.load_facts db facts;
   (* Alias every negated predicate to the model's relation (an empty
@@ -77,7 +88,10 @@ let least_model_under ~model ~edb program =
         (Ast.negative_body_atoms r))
     rules;
   let compiled = compile_rules (List.map redirect_negations rules) in
-  while round db compiled do
+  while
+    Limits.tick_step limits;
+    round ~limits db compiled
+  do
     ()
   done;
   (* Drop the alias relations from the result view. *)

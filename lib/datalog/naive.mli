@@ -5,15 +5,18 @@
     reduct, where negated atoms are tested against a {e fixed} model
     database rather than the growing one. *)
 
-val saturate : Database.t -> Ast.program -> unit
+val saturate : ?limits:Limits.t -> Database.t -> Ast.program -> unit
 (** Fire all non-fact rules to fixpoint against (and into) [db].
+    @raise Limits.Exhausted when a governed run trips a budget; [db]
+    then holds the consistent partial model derived so far.
     Negation is tested against the growing database — the caller must
     guarantee this is sound (e.g. negated predicates already saturated).
     Extrema goals are evaluated as per-round group filters, which is
     only meaningful for non-recursive extrema rules.  Facts in the
     program are loaded first. *)
 
-val least_model_under : model:Database.t -> edb:Database.t -> Ast.program -> Database.t
+val least_model_under :
+  ?limits:Limits.t -> model:Database.t -> edb:Database.t -> Ast.program -> Database.t
 (** The least model of the reduct of [program] with respect to [model]:
     start from a copy of [edb], fire rules to fixpoint, and evaluate
     every negated goal against [model] (never against the growing

@@ -1,11 +1,14 @@
 open Ast
 
-exception Error of string
+exception Error of string * Lexer.pos
+
+(* For failures with no meaningful source location (e.g. clause-count
+   mismatches); renderers omit positions with line 0. *)
+let nowhere = { Lexer.line = 0; col = 0 }
 
 type state = { mutable toks : (Lexer.token * Lexer.pos) list }
 
-let fail_at (pos : Lexer.pos) msg =
-  raise (Error (Printf.sprintf "parse error at line %d, column %d: %s" pos.line pos.col msg))
+let fail_at (pos : Lexer.pos) msg = raise (Error (msg, pos))
 
 let peek st = match st.toks with [] -> (Lexer.EOF, { Lexer.line = 0; col = 0 }) | t :: _ -> t
 
@@ -248,8 +251,7 @@ let parse_clause st =
 
 let wrap_lex f src =
   match f src with
-  | exception Lexer.Error (msg, pos) ->
-    raise (Error (Printf.sprintf "lexical error at line %d, column %d: %s" pos.line pos.col msg))
+  | exception Lexer.Error (msg, pos) -> raise (Error ("lexical error: " ^ msg, pos))
   | x -> x
 
 let parse_program src =
@@ -264,7 +266,8 @@ let parse_rule src =
   let src = if String.length src > 0 && src.[String.length src - 1] = '.' then src else src ^ "." in
   match parse_program src with
   | [ r ] -> r
-  | rs -> raise (Error (Printf.sprintf "expected a single clause, found %d" (List.length rs)))
+  | rs ->
+    raise (Error (Printf.sprintf "expected a single clause, found %d" (List.length rs), nowhere))
 
 let parse_term src =
   let st = { toks = wrap_lex Lexer.tokenize src } in

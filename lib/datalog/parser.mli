@@ -17,8 +17,10 @@
 
     Anonymous variables [_] are expanded to fresh variables. *)
 
-exception Error of string
-(** Raised with a message including line/column. *)
+exception Error of string * Lexer.pos
+(** Parse (and wrapped lexical) failures, with the source position of
+    the offending token.  Failures with no meaningful location carry
+    line 0; {!Gbc_error} renders both forms uniformly. *)
 
 val parse_program : string -> Ast.program
 val parse_rule : string -> Ast.rule

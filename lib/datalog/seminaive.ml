@@ -19,13 +19,14 @@ let extrema_of rule =
 let flat_body rule =
   List.filter (function Least _ | Most _ | Agg _ -> false | _ -> true) rule.body
 
-let eval_extrema_rule ?(telemetry = Telemetry.none) db rule =
+let eval_extrema_rule ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db rule =
   let extrema = extrema_of rule in
   let body = Eval.compile_body (flat_body rule) in
   let env = Eval.fresh_env body in
   (* Solution: head row + per-extremum (key, cost). *)
   let solutions = ref [] in
   Eval.run body db env (fun env ->
+      Limits.poll limits;
       let head = Array.of_list (Eval.eval_terms body env rule.head.args) in
       let kcs =
         List.map (fun e -> (Eval.eval_term body env e.key, Eval.eval_term body env e.cost)) extrema
@@ -58,6 +59,7 @@ let eval_extrema_rule ?(telemetry = Telemetry.none) db rule =
       if optimal && Database.add_fact db rule.head.pred head then incr added)
     solutions;
   Telemetry.add_derived telemetry (Telemetry.rule_label rule) !added;
+  Limits.tick_derived limits !added;
   !added > 0
 
 (* ------------------------------------------------------------------ *)
@@ -67,7 +69,7 @@ let eval_extrema_rule ?(telemetry = Telemetry.none) db rule =
 (* One [count]/[sum] goal per rule: group the flat-body solutions by
    the (evaluated) keys, aggregate the distinct counted values of each
    group, bind the output variable and emit the heads. *)
-let eval_agg_rule ?(telemetry = Telemetry.none) db rule =
+let eval_agg_rule ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db rule =
   let op, out, counted, keys =
     match List.filter_map (function Agg (o, v, c, k) -> Some (o, v, c, k) | _ -> None) rule.body with
     | [ x ] -> x
@@ -86,6 +88,7 @@ let eval_agg_rule ?(telemetry = Telemetry.none) db rule =
   let head_parts = Value.Tbl.create 16 in
   let groups = Value.Tbl.create 16 in
   Eval.run body db env (fun env ->
+      Limits.poll limits;
       let key = Eval.eval_term body env key_term in
       let v = Eval.eval_term body env counted in
       (match Value.Tbl.find_opt groups key with
@@ -121,6 +124,7 @@ let eval_agg_rule ?(telemetry = Telemetry.none) db rule =
       if Database.add_fact db rule.head.pred row then incr added)
     groups;
   Telemetry.add_derived telemetry (Telemetry.rule_label rule) !added;
+  Limits.tick_derived limits !added;
   !added > 0
 
 (* ------------------------------------------------------------------ *)
@@ -192,10 +196,12 @@ type incremental = {
   extrema_rules : Ast.rule list;
   watermarks : (string, int) Hashtbl.t;
   tele : Telemetry.t;
+  limits : Limits.t;
   clique_label : string;
 }
 
-let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none) db ~clique program =
+let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none)
+    ?(limits = Limits.unlimited) db ~clique program =
   let rules =
     List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (head_pred r) clique) program
   in
@@ -223,7 +229,7 @@ let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none) db ~cliq
   let variants = List.concat_map (variants_of_rule tracked) plain in
   let watermarks = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace watermarks p 0) tracked;
-  { db; tracked; variants; extrema_rules; watermarks; tele = telemetry;
+  { db; tracked; variants; extrema_rules; watermarks; tele = telemetry; limits;
     clique_label = String.concat "," clique }
 
 let publish_deltas t =
@@ -242,10 +248,11 @@ let publish_deltas t =
         any || count > from)
     false t.tracked
 
-let fire tele db variant =
+let fire tele limits db variant =
   let env = Eval.fresh_env variant.v_body in
   let additions = ref [] in
   Eval.run variant.v_body db env (fun env ->
+      Limits.poll limits;
       additions :=
         Array.of_list (Eval.eval_terms variant.v_body env variant.v_head.args) :: !additions);
   let added =
@@ -254,22 +261,30 @@ let fire tele db variant =
       0 !additions
   in
   Telemetry.add_derived tele variant.v_label added;
+  Limits.tick_derived limits added;
   added > 0
 
 let step t =
-  let progressed = ref (publish_deltas t) in
-  while !progressed do
-    Telemetry.iteration t.tele t.clique_label;
-    List.iter (fun v -> ignore (fire t.tele t.db v)) t.variants;
-    List.iter
-      (fun r ->
-        ignore
-          (if Ast.has_agg r then eval_agg_rule ~telemetry:t.tele t.db r
-           else eval_extrema_rule ~telemetry:t.tele t.db r))
-      t.extrema_rules;
-    progressed := publish_deltas t
-  done;
-  List.iter (fun p -> Database.remove_relation t.db (p ^ delta_suffix)) t.tracked
+  (* The delta relations are scratch state: drop them even when a
+     governor aborts the loop, so a Partial database never leaks
+     [pred$delta] relations. *)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> Database.remove_relation t.db (p ^ delta_suffix)) t.tracked)
+    (fun () ->
+      let progressed = ref (publish_deltas t) in
+      while !progressed do
+        Limits.tick_step t.limits;
+        Telemetry.iteration t.tele t.clique_label;
+        List.iter (fun v -> ignore (fire t.tele t.limits t.db v)) t.variants;
+        List.iter
+          (fun r ->
+            ignore
+              (if Ast.has_agg r then eval_agg_rule ~telemetry:t.tele ~limits:t.limits t.db r
+               else eval_extrema_rule ~telemetry:t.tele ~limits:t.limits t.db r))
+          t.extrema_rules;
+        progressed := publish_deltas t
+      done)
 
-let eval_clique ?allow_clique_negation ?telemetry db ~clique program =
-  step (make ?allow_clique_negation ?telemetry db ~clique program)
+let eval_clique ?allow_clique_negation ?telemetry ?limits db ~clique program =
+  step (make ?allow_clique_negation ?telemetry ?limits db ~clique program)

@@ -20,6 +20,7 @@ type incremental
 val make :
   ?allow_clique_negation:bool ->
   ?telemetry:Telemetry.t ->
+  ?limits:Limits.t ->
   Database.t ->
   clique:string list ->
   Ast.program ->
@@ -34,18 +35,22 @@ val make :
 val step : incremental -> unit
 (** Saturate to fixpoint given everything that is new since the last
     call.  Extrema rules (non-recursive w.r.t. the clique) are
-    re-evaluated whenever the iteration makes progress. *)
+    re-evaluated whenever the iteration makes progress.
+    @raise Limits.Exhausted when the governor passed to {!make} trips;
+    the database keeps the consistent prefix derived so far. *)
 
 val eval_clique :
   ?allow_clique_negation:bool ->
   ?telemetry:Telemetry.t ->
+  ?limits:Limits.t ->
   Database.t ->
   clique:string list ->
   Ast.program ->
   unit
 (** One-shot: [make] followed by a single [step]. *)
 
-val eval_extrema_rule : ?telemetry:Telemetry.t -> Database.t -> Ast.rule -> bool
+val eval_extrema_rule :
+  ?telemetry:Telemetry.t -> ?limits:Limits.t -> Database.t -> Ast.rule -> bool
 (** Fire a rule containing [least]/[most] goals once: enumerate the
     flat-body solutions, group each extremum by its (evaluated) keys,
     keep the solutions achieving the optimum of {e every} extremum, and

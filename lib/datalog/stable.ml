@@ -7,7 +7,7 @@ let is_witness p = has_prefix witness_prefix p
 
 let empty_db () = Database.create ()
 
-let complete ?edb program m =
+let complete ?(limits = Limits.unlimited) ?edb program m =
   let rewritten = Rewrite.expand_all program in
   let witness_rules =
     List.filter (fun r -> is_witness (Ast.head_pred r)) rewritten
@@ -27,7 +27,7 @@ let complete ?edb program m =
         (Database.preds edb);
       db
   in
-  Naive.least_model_under ~model:base ~edb:base witness_rules
+  Naive.least_model_under ~limits ~model:base ~edb:base witness_rules
 
 let all_preds a b =
   let seen = Hashtbl.create 16 in
@@ -40,29 +40,29 @@ let all_preds a b =
       end)
     (Database.preds a @ Database.preds b)
 
-let reduct_model ?edb program m =
+let reduct_model ?limits ?edb program m =
   let rewritten = Rewrite.expand_all program in
-  let completed = complete ?edb program m in
+  let completed = complete ?limits ?edb program m in
   let base = match edb with None -> empty_db () | Some edb -> Database.copy edb in
-  Naive.least_model_under ~model:completed ~edb:base rewritten
+  Naive.least_model_under ?limits ~model:completed ~edb:base rewritten
 
-let is_stable ?edb program m =
-  let completed = complete ?edb program m in
+let is_stable ?limits ?edb program m =
+  let completed = complete ?limits ?edb program m in
   let rewritten = Rewrite.expand_all program in
   let base = match edb with None -> empty_db () | Some edb -> Database.copy edb in
-  let reduct = Naive.least_model_under ~model:completed ~edb:base rewritten in
+  let reduct = Naive.least_model_under ?limits ~model:completed ~edb:base rewritten in
   Database.equal_on reduct completed (all_preds reduct completed)
 
 (* ------------------------------------------------------------------ *)
 (* Brute-force enumeration                                             *)
 (* ------------------------------------------------------------------ *)
 
-let stable_models_brute ?edb ?(max_atoms = 16) program =
+let stable_models_brute ?limits ?edb ?(max_atoms = 16) program =
   let rewritten = Rewrite.expand_all program in
   let base = match edb with None -> empty_db () | Some edb -> Database.copy edb in
   (* Upper bound on derivable atoms: least model with every negation
      assumed to hold (negations evaluated against an empty model). *)
-  let upper = Naive.least_model_under ~model:(empty_db ()) ~edb:base rewritten in
+  let upper = Naive.least_model_under ?limits ~model:(empty_db ()) ~edb:base rewritten in
   let edb_facts = Database.copy base in
   Database.load_facts edb_facts (List.filter Ast.is_fact rewritten);
   let candidates =
@@ -84,7 +84,7 @@ let stable_models_brute ?edb ?(max_atoms = 16) program =
     List.iteri
       (fun i (pred, row) -> if mask land (1 lsl i) <> 0 then ignore (Database.add_fact m pred row))
       candidates;
-    let reduct = Naive.least_model_under ~model:m ~edb:base rewritten in
+    let reduct = Naive.least_model_under ?limits ~model:m ~edb:base rewritten in
     if Database.equal_on reduct m (all_preds reduct m) then models := m :: !models
   done;
   List.rev !models

@@ -12,21 +12,25 @@
     the Theorem-1 tests ("every set of facts produced by the Choice
     Fixpoint is a stable model") and the Lemma-2 completeness tests. *)
 
-val complete : ?edb:Database.t -> Ast.program -> Database.t -> Database.t
+val complete : ?limits:Limits.t -> ?edb:Database.t -> Ast.program -> Database.t -> Database.t
 (** [complete program m] extends a copy of [m] with the [witness$m]
     facts the rewritten program derives under [m].  [edb] supplies
-    extensional facts that are not part of the program text. *)
+    extensional facts that are not part of the program text.
+    All functions in this module accept a [limits] governor and raise
+    {!Limits.Exhausted} when it trips. *)
 
-val reduct_model : ?edb:Database.t -> Ast.program -> Database.t -> Database.t
+val reduct_model :
+  ?limits:Limits.t -> ?edb:Database.t -> Ast.program -> Database.t -> Database.t
 (** Least model of the Gelfond–Lifschitz reduct of the rewritten
     program with respect to [complete program m]. *)
 
-val is_stable : ?edb:Database.t -> Ast.program -> Database.t -> bool
+val is_stable : ?limits:Limits.t -> ?edb:Database.t -> Ast.program -> Database.t -> bool
 (** [is_stable program m]: is [complete program m] a stable model of
     the rewritten program?  [m] is typically {!Choice_fixpoint.model}
     output. *)
 
-val stable_models_brute : ?edb:Database.t -> ?max_atoms:int -> Ast.program -> Database.t list
+val stable_models_brute :
+  ?limits:Limits.t -> ?edb:Database.t -> ?max_atoms:int -> Ast.program -> Database.t list
 (** All stable models of the rewritten program, by exhaustive search
     over subsets of the derivable-atom upper bound (the least model
     with every negation assumed true).  Exponential: refuses to run

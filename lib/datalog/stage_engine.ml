@@ -244,7 +244,7 @@ type staged = {
 
 exception Fired of Value.t array * Value.t array (* chosen row, head row *)
 
-let eval_choice_clique ~backend ~shadow_mode ~telemetry db crules flat_rules gamma =
+let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits db crules flat_rules gamma =
   let exits, nexts = List.partition (fun ((cr : EC.crule), _) -> cr.EC.stage = None) crules in
   let srules = List.map (fun (cr, r) -> compile_srule cr r) nexts in
   let flat =
@@ -254,7 +254,8 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry db crules flat_rules gam
   let saturators =
     try
       List.map
-        (fun sub -> Seminaive.make ~allow_clique_negation:true ~telemetry db ~clique:sub flat)
+        (fun sub ->
+          Seminaive.make ~allow_clique_negation:true ~telemetry ~limits db ~clique:sub flat)
         sub_cliques
     with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
   in
@@ -326,10 +327,10 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry db crules flat_rules gam
     let rec try_exits i = function
       | [] -> false
       | st :: rest -> (
-        match EC.collect_candidates ~idx:i db telemetry st None examined with
+        match EC.collect_candidates ~idx:i ~limits db telemetry st None examined with
         | [] -> try_exits (i + 1) rest
         | cand :: _ ->
-          EC.fire ~telemetry db cand;
+          EC.fire ~telemetry ~limits db cand;
           incr gamma;
           true)
     in
@@ -342,6 +343,7 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry db crules flat_rules gam
     let stage = EC.current_stage db st.tracker + 1 in
     let valid row =
       (* Every popped source fact is a candidate the engine examines. *)
+      Limits.tick_candidates limits 1;
       (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
       let env = Eval.fresh_env st.sr.residual in
       env.(Eval.slot st.sr.residual st.sr.stage_var) <- Some (Value.Int stage);
@@ -371,7 +373,9 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry db crules flat_rules gam
         | () -> false
         | exception Fired (chosen_row, head_row) ->
           ignore (Relation.add st.fd.EC.rel chosen_row);
-          ignore (Database.add_fact db st.sr.cr.EC.head.pred head_row);
+          Limits.tick_derived limits 1;
+          if Database.add_fact db st.sr.cr.EC.head.pred head_row then
+            Limits.tick_derived limits 1;
           true
       end
     in
@@ -384,6 +388,7 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry db crules flat_rules gam
   in
   saturate ();
   let rec loop () =
+    Limits.tick_step limits;
     if fire_exit () then begin
       saturate ();
       loop ()
@@ -440,38 +445,50 @@ let plan_cliques rules =
       (clique, crules_in, flat_in))
     (Depgraph.cliques graph)
 
-let run ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.none) ?db program =
+let run_governed ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.none)
+    ?(limits = Limits.unlimited) ?db program =
   let db = match db with Some db -> db | None -> Database.create () in
-  let facts, rules = List.partition Ast.is_fact program in
-  Database.load_facts db facts;
   let gamma = ref 0 in
   let rql_stats = ref [] in
-  List.iteri
-    (fun i (clique, crules_in, flat_in) ->
-      let label = Printf.sprintf "stratum %d: %s" i (String.concat "," clique) in
-      Telemetry.stratum telemetry label;
-      Telemetry.span telemetry label (fun () ->
-          if crules_in = [] then begin
-            try Seminaive.eval_clique ~telemetry db ~clique rules
-            with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
-          end
-          else
-            rql_stats :=
-              eval_choice_clique ~backend ~shadow_mode:shadow ~telemetry db crules_in flat_in
-                gamma
-              @ !rql_stats))
-    (plan_cliques rules);
-  let sum f = List.fold_left (fun acc (s : Rql.stats) -> acc + f s) 0 !rql_stats in
-  let maxq =
-    List.fold_left (fun acc (s : Rql.stats) -> max acc s.Rql.max_queue) 0 !rql_stats
-  in
-  ( db,
+  let stats () =
+    let sum f = List.fold_left (fun acc (s : Rql.stats) -> acc + f s) 0 !rql_stats in
+    let maxq =
+      List.fold_left (fun acc (s : Rql.stats) -> max acc s.Rql.max_queue) 0 !rql_stats
+    in
     { gamma_steps = !gamma;
       inserted = sum (fun s -> s.Rql.inserted);
       shadowed = sum (fun s -> s.Rql.shadowed);
       stale = sum (fun s -> s.Rql.stale);
       invalid_pops = sum (fun s -> s.Rql.invalid);
-      max_queue = maxq } )
+      max_queue = maxq }
+  in
+  Limits.govern ~telemetry limits
+    ~partial:(fun () -> (db, stats ()))
+    (fun () ->
+      let facts, rules = List.partition Ast.is_fact program in
+      Database.load_facts db facts;
+      List.iteri
+        (fun i (clique, crules_in, flat_in) ->
+          let label = Printf.sprintf "stratum %d: %s" i (String.concat "," clique) in
+          Limits.set_active limits label;
+          Telemetry.stratum telemetry label;
+          Telemetry.span telemetry label (fun () ->
+              if crules_in = [] then begin
+                try Seminaive.eval_clique ~telemetry ~limits db ~clique rules
+                with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
+              end
+              else
+                rql_stats :=
+                  eval_choice_clique ~backend ~shadow_mode:shadow ~telemetry ~limits db
+                    crules_in flat_in gamma
+                  @ !rql_stats))
+        (plan_cliques rules);
+      (db, stats ()))
+
+let run ?backend ?shadow ?telemetry ?limits ?db program =
+  match run_governed ?backend ?shadow ?telemetry ?limits ?db program with
+  | Limits.Complete x -> x
+  | Limits.Partial (_, d) -> raise (Limits.Exhausted d.Limits.violated)
 
 let model ?db program = fst (run ?db program)
 

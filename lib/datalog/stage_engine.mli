@@ -53,12 +53,27 @@ val run :
   ?backend:[ `Binary | `Pairing ] ->
   ?shadow:shadow_mode ->
   ?telemetry:Telemetry.t ->
+  ?limits:Limits.t ->
   ?db:Database.t ->
   Ast.program ->
   Database.t * stats
 (** When [telemetry] is an enabled collector, per-rule counters
     (candidates, firings, queue statistics), delta sizes and
-    per-stratum spans are recorded into it. *)
+    per-stratum spans are recorded into it.
+    @raise Limits.Exhausted when [limits] trips a budget; use
+    {!run_governed} to receive the partial database instead. *)
+
+val run_governed :
+  ?backend:[ `Binary | `Pairing ] ->
+  ?shadow:shadow_mode ->
+  ?telemetry:Telemetry.t ->
+  ?limits:Limits.t ->
+  ?db:Database.t ->
+  Ast.program ->
+  (Database.t * stats) Limits.outcome
+(** Like {!run}, but budget exhaustion and cancellation are returned as
+    {!Limits.Partial} carrying the consistent partial database derived
+    so far plus a diagnostics snapshot, instead of an exception. *)
 
 val model : ?db:Database.t -> Ast.program -> Database.t
 

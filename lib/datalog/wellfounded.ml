@@ -1,7 +1,7 @@
 type t = { true_facts : Database.t; possible : Database.t }
 
-let gamma ~edb program interpretation =
-  Naive.least_model_under ~model:interpretation ~edb program
+let gamma ?limits ~edb program interpretation =
+  Naive.least_model_under ?limits ~model:interpretation ~edb program
 
 let preds_of a b =
   let seen = Hashtbl.create 16 in
@@ -16,14 +16,16 @@ let preds_of a b =
 
 let equal a b = Database.equal_on a b (preds_of a b)
 
-let compute ?edb ?(max_rounds = 1000) program =
+let compute ?(limits = Limits.unlimited) ?edb ?(max_rounds = 1000) program =
   let edb = match edb with Some db -> Database.copy db | None -> Database.create () in
-  let gamma = gamma ~edb program in
+  Limits.check_now limits;
+  let gamma = gamma ~limits ~edb program in
   (* K underestimates the true atoms, U overestimates; both improve
      monotonically under the squared operator. *)
   let rec alternate k round =
     if round > max_rounds then
       invalid_arg "Wellfounded.compute: alternation did not converge";
+    Limits.tick_step limits;
     let u = gamma k in
     let k' = gamma u in
     if equal k k' then { true_facts = k; possible = u } else alternate k' (round + 1)

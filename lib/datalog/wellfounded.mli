@@ -22,11 +22,13 @@ type t = {
   possible : Database.t;  (** atoms true or undefined *)
 }
 
-val compute : ?edb:Database.t -> ?max_rounds:int -> Ast.program -> t
+val compute : ?limits:Limits.t -> ?edb:Database.t -> ?max_rounds:int -> Ast.program -> t
 (** Alternating fixpoint.  [max_rounds] (default 1000) is a safety
     bound; the alternation converges in at most [|Herbrand base|]
-    rounds.
-    @raise Invalid_argument on non-flat programs or non-convergence. *)
+    rounds.  The [limits] governor ticks one step per alternation round
+    and governs the inner least-model computations.
+    @raise Invalid_argument on non-flat programs or non-convergence.
+    @raise Limits.Exhausted when [limits] trips a budget. *)
 
 val is_total : t -> bool
 (** No undefined atoms: [true_facts = possible]. *)

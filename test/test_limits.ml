@@ -1,0 +1,339 @@
+(* The resource governor: every engine terminates under budget on the
+   adversarial corpus, reports the violated limit, and leaves a
+   consistent partial database; plus the deterministic fault-injection
+   harness and the structured Gbc_error type. *)
+
+open Gbc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load name = Parser.parse_program (read_file ("../programs/" ^ name))
+let nat_prog () = load "adversarial_nat.dl"
+let blowup_prog () = load "adversarial_blowup.dl"
+let choice_prog () = load "adversarial_choice.dl"
+
+(* Deep recursion: r(0) plus a chain of [n] edges derives exactly [n]
+   facts r(1) .. r(n), one per semi-naive iteration. *)
+let chain_prog n =
+  let facts = List.init n (fun i -> Printf.sprintf "e(%d, %d)." i (i + 1)) in
+  Parser.parse_program
+    (String.concat "\n" facts ^ "\nr(0).\nr(Y) <- r(X), e(X, Y).\n")
+
+let map_outcome f = function
+  | Limits.Complete x -> Limits.Complete (f x)
+  | Limits.Partial (x, d) -> Limits.Partial (f x, d)
+
+(* Both engines behind one governed signature returning the database. *)
+let engines =
+  [ ( "reference",
+      fun ~limits prog -> map_outcome fst (Choice_fixpoint.run_governed ~limits prog) );
+    ( "staged",
+      fun ~limits prog -> map_outcome fst (Stage_engine.run_governed ~limits prog) ) ]
+
+let violation = Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Limits.violation_to_string v))
+    (fun a b -> a = b)
+
+let expect_partial name outcome =
+  match outcome with
+  | Limits.Complete _ -> Alcotest.failf "%s: expected a Partial outcome" name
+  | Limits.Partial (db, d) -> (db, d)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial corpus: termination + the right violation              *)
+(* ------------------------------------------------------------------ *)
+
+let test_adversarial_terminates () =
+  List.iter
+    (fun (ename, run) ->
+      (* Non-terminating plain programs stopped by the fact budget. *)
+      List.iter
+        (fun (pname, prog, pred) ->
+          let limits = Limits.create ~max_facts:500 () in
+          let name = Printf.sprintf "%s/%s" ename pname in
+          let db, d = expect_partial name (run ~limits prog) in
+          Alcotest.check violation (name ^ " violation") Limits.Max_facts d.Limits.violated;
+          Alcotest.(check bool) (name ^ " made progress") true (d.Limits.facts > 0);
+          Alcotest.(check bool)
+            (name ^ " partial db non-empty") true
+            (Database.facts_of db pred <> []))
+        [ ("nat", nat_prog (), "nat"); ("blowup", blowup_prog (), "p") ];
+      (* The non-stage-stratified choice program stopped by the step
+         budget (gamma never runs dry). *)
+      let limits = Limits.create ~max_steps:100 () in
+      let name = ename ^ "/choice" in
+      let _db, d = expect_partial name (run ~limits (choice_prog ())) in
+      Alcotest.check violation (name ^ " violation") Limits.Max_steps d.Limits.violated;
+      Alcotest.(check bool) (name ^ " steps counted") true (d.Limits.steps > 100 - 1);
+      (* Wall clock: the successor generator against a tiny deadline. *)
+      let limits = Limits.create ~timeout_s:0.05 () in
+      let name = ename ^ "/nat-deadline" in
+      let _db, d = expect_partial name (run ~limits (nat_prog ())) in
+      Alcotest.check violation (name ^ " violation") Limits.Deadline d.Limits.violated;
+      Alcotest.(check bool) (name ^ " elapsed recorded") true (d.Limits.elapsed_s >= 0.05))
+    engines
+
+let test_diagnostics_fields () =
+  List.iter
+    (fun (ename, run) ->
+      let limits = Limits.create ~max_facts:100 () in
+      let _db, d = expect_partial ename (run ~limits (nat_prog ())) in
+      Alcotest.(check bool) (ename ^ " active stratum recorded") true
+        (match d.Limits.active with Some s -> String.length s > 0 | None -> false);
+      Alcotest.(check bool) (ename ^ " facts counted") true (d.Limits.facts > 100 - 1);
+      Alcotest.(check bool) (ename ^ " elapsed non-negative") true (d.Limits.elapsed_s >= 0.);
+      (* The renderer mentions the violated budget. *)
+      let text = Format.asprintf "%a" Limits.pp_diagnostics d in
+      Alcotest.(check bool) (ename ^ " renderer names the budget") true
+        (let sub = "max-facts" in
+         let rec find i =
+           i + String.length sub <= String.length text
+           && (String.sub text i (String.length sub) = sub || find (i + 1))
+         in
+         find 0))
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Partial-database consistency                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec is_tower = function
+  | Value.Sym "z" -> true
+  | Value.App ("s", [ v ]) -> is_tower v
+  | _ -> false
+
+let test_partial_consistency_infinite () =
+  List.iter
+    (fun (ename, run) ->
+      let limits = Limits.create ~max_facts:200 () in
+      let db, _ = expect_partial ename (run ~limits (nat_prog ())) in
+      let rows = Database.facts_of db "nat" in
+      Alcotest.(check bool) (ename ^ " all facts are s-towers") true
+        (List.for_all (fun row -> Array.length row = 1 && is_tower row.(0)) rows);
+      (* Downward closed: nat(s(t)) only ever derives from nat(t). *)
+      Alcotest.(check bool) (ename ^ " downward closed") true
+        (List.for_all
+           (fun row ->
+             match row.(0) with
+             | Value.App ("s", [ v ]) -> Database.mem_fact db "nat" [| v |]
+             | _ -> true)
+           rows))
+    engines
+
+let test_partial_subset_of_full () =
+  let prog = chain_prog 100 in
+  List.iter
+    (fun (ename, run) ->
+      let full = Limits.value (run ~limits:Limits.unlimited prog) in
+      let limits = Limits.create ~max_facts:50 () in
+      let partial, d = expect_partial ename (run ~limits prog) in
+      Alcotest.check violation (ename ^ " violation") Limits.Max_facts d.Limits.violated;
+      Alcotest.(check bool) (ename ^ " partial subset of full model") true
+        (List.for_all
+           (fun pred ->
+             List.for_all
+               (fun row -> Database.mem_fact full pred row)
+               (Database.facts_of partial pred))
+           (Database.preds partial));
+      Alcotest.(check bool) (ename ^ " partial strictly smaller") true
+        (List.length (Database.facts_of partial "r") < List.length (Database.facts_of full "r")))
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Budget boundaries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_boundary_exact_budget () =
+  (* chain_prog 10 derives exactly 10 facts: a budget of 10 completes,
+     9 trips. *)
+  let prog = chain_prog 10 in
+  List.iter
+    (fun (ename, run) ->
+      (match run ~limits:(Limits.create ~max_facts:10 ()) prog with
+      | Limits.Complete db ->
+        Alcotest.(check int) (ename ^ " complete model size") 11
+          (List.length (Database.facts_of db "r"))
+      | Limits.Partial _ -> Alcotest.failf "%s: budget == derivations must complete" ename);
+      let _db, d =
+        expect_partial ename (run ~limits:(Limits.create ~max_facts:9 ()) prog)
+      in
+      Alcotest.check violation (ename ^ " one-less trips") Limits.Max_facts d.Limits.violated)
+    engines
+
+let test_deadline_zero_fails_fast () =
+  let prog = chain_prog 10 in
+  List.iter
+    (fun (ename, run) ->
+      let _db, d =
+        expect_partial ename (run ~limits:(Limits.create ~timeout_s:0. ()) prog)
+      in
+      Alcotest.check violation (ename ^ " deadline 0") Limits.Deadline d.Limits.violated;
+      Alcotest.(check int) (ename ^ " no facts derived") 0 d.Limits.facts;
+      Alcotest.(check int) (ename ^ " no steps taken") 0 d.Limits.steps)
+    engines;
+  (* The saturators and semantic checkers raise through the same path. *)
+  let flat = chain_prog 10 in
+  let dead () = Limits.create ~timeout_s:0. () in
+  Alcotest.check_raises "naive saturate" (Limits.Exhausted Limits.Deadline) (fun () ->
+      Naive.saturate ~limits:(dead ()) (Database.create ()) flat);
+  Alcotest.check_raises "wellfounded" (Limits.Exhausted Limits.Deadline) (fun () ->
+      ignore (Wellfounded.compute ~limits:(dead ()) (Rewrite.expand_all flat)));
+  Alcotest.check_raises "stable check" (Limits.Exhausted Limits.Deadline) (fun () ->
+      let db = Stage_engine.model flat in
+      ignore (Stable.is_stable ~limits:(dead ()) flat db))
+
+let test_cancellation_token () =
+  let prog = chain_prog 10 in
+  List.iter
+    (fun (ename, run) ->
+      let cancel = ref true in
+      let _db, d =
+        expect_partial ename (run ~limits:(Limits.create ~cancel ()) prog)
+      in
+      Alcotest.check violation (ename ^ " pre-set token") Limits.Cancelled d.Limits.violated)
+    engines
+
+let test_max_candidates () =
+  List.iter
+    (fun (ename, run) ->
+      let limits = Limits.create ~max_candidates:5 () in
+      let _db, d = expect_partial ename (run ~limits (choice_prog ())) in
+      Alcotest.check violation (ename ^ " candidate budget") Limits.Max_candidates
+        d.Limits.violated;
+      Alcotest.(check bool) (ename ^ " candidates counted") true (d.Limits.candidates > 5 - 1))
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom
+
+let test_fault_trip () =
+  let prog = chain_prog 100 in
+  List.iter
+    (fun (ename, run) ->
+      let limits = Limits.create ~max_facts:1000 () in
+      Limits.fault_at limits ~k:5 (Limits.Trip Limits.Max_candidates);
+      let db, d = expect_partial ename (run ~limits prog) in
+      Alcotest.check violation (ename ^ " injected violation surfaces")
+        Limits.Max_candidates d.Limits.violated;
+      Alcotest.(check bool) (ename ^ " tripped at the k-th derivation") true
+        (d.Limits.facts >= 5 && d.Limits.facts < 100);
+      (* The structured exit leaves a consistent prefix. *)
+      let full = Limits.value (run ~limits:Limits.unlimited prog) in
+      Alcotest.(check bool) (ename ^ " prefix consistent") true
+        (List.for_all
+           (fun row -> Database.mem_fact full "r" row)
+           (Database.facts_of db "r")))
+    engines
+
+let test_fault_raise () =
+  let prog = chain_prog 100 in
+  List.iter
+    (fun (ename, run) ->
+      let limits = Limits.create ~max_facts:1000 () in
+      Limits.fault_at limits ~k:5 (Limits.Raise Boom);
+      Alcotest.check_raises (ename ^ " engine crash escapes govern") Boom (fun () ->
+          ignore (run ~limits prog)))
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* The corpus really is what it claims to be                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_choice_prog_not_stage_stratified () =
+  let report = Stage.analyze (choice_prog ()) in
+  Alcotest.(check bool) "adversarial_choice is non-stage-stratified" false
+    report.Stage.stage_stratified
+
+(* ------------------------------------------------------------------ *)
+(* Structured errors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_gbc_error_classification () =
+  let pos = { Gbc_error.line = 3; col = 7 } in
+  let cases =
+    [ (Lexer.Error ("bad char", pos), Gbc_error.Lex ("bad char", pos));
+      (Parser.Error ("lexical error: bad char", pos), Gbc_error.Lex ("bad char", pos));
+      (Parser.Error ("expected '.'", pos), Gbc_error.Parse ("expected '.'", pos));
+      (Eval.Unsafe "unbound var", Gbc_error.Unsafe "unbound var");
+      (Choice_fixpoint.Unsupported "bad clique", Gbc_error.Unsupported "bad clique");
+      (Stage_engine.Not_compilable "no source", Gbc_error.Not_compilable "no source");
+      (Sys_error "nope.dl: No such file or directory",
+       Gbc_error.Io "nope.dl: No such file or directory") ]
+  in
+  List.iter
+    (fun (exn, expected) ->
+      match Gbc_error.of_exn exn with
+      | Some got ->
+        Alcotest.(check bool)
+          (Printexc.to_string exn ^ " classified") true (got = expected)
+      | None -> Alcotest.failf "%s not classified" (Printexc.to_string exn))
+    cases;
+  Alcotest.(check bool) "unknown exceptions pass through" true
+    (Gbc_error.of_exn Boom = None)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_gbc_error_rendering () =
+  (match Gbc_error.protect (fun () -> Parser.parse_program "p(X <- q(X).") with
+  | Ok _ -> Alcotest.fail "garbage parsed"
+  | Error e ->
+    let s = Gbc_error.to_string e in
+    Alcotest.(check bool) "parse error carries a position" true
+      (contains s "line" && contains s "column"));
+  (match Gbc_error.protect (fun () -> read_file "does_not_exist.dl") with
+  | Ok _ -> Alcotest.fail "missing file read"
+  | Error e ->
+    Alcotest.(check bool) "io errors are classified" true
+      (match e with Gbc_error.Io _ -> true | _ -> false));
+  (* Positions at line 0 (synthetic) are omitted from the rendering. *)
+  let s = Gbc_error.to_string (Gbc_error.Parse ("boom", { Gbc_error.line = 0; col = 0 })) in
+  Alcotest.(check string) "synthetic position omitted" "parse error: boom" s
+
+let test_unlimited_is_shared_noop () =
+  Alcotest.(check bool) "unlimited" true (Limits.is_unlimited Limits.unlimited);
+  Alcotest.(check bool) "created governors are limited" false
+    (Limits.is_unlimited (Limits.create ()));
+  (* Ticking the shared instance forever never trips. *)
+  for _ = 1 to 10_000 do
+    Limits.tick_derived Limits.unlimited 1;
+    Limits.tick_step Limits.unlimited;
+    Limits.tick_candidates Limits.unlimited 1
+  done;
+  Limits.check_now Limits.unlimited
+
+let () =
+  Alcotest.run "limits"
+    [ ( "adversarial",
+        [ Alcotest.test_case "every engine terminates under budget" `Quick
+            test_adversarial_terminates;
+          Alcotest.test_case "diagnostics snapshot" `Quick test_diagnostics_fields;
+          Alcotest.test_case "corpus is non-stage-stratified" `Quick
+            test_choice_prog_not_stage_stratified ] );
+      ( "consistency",
+        [ Alcotest.test_case "partial db of an infinite program" `Quick
+            test_partial_consistency_infinite;
+          Alcotest.test_case "partial db is a subset of the model" `Quick
+            test_partial_subset_of_full ] );
+      ( "boundaries",
+        [ Alcotest.test_case "budget == derivations completes" `Quick
+            test_boundary_exact_budget;
+          Alcotest.test_case "deadline 0 fails fast" `Quick test_deadline_zero_fails_fast;
+          Alcotest.test_case "cancellation token" `Quick test_cancellation_token;
+          Alcotest.test_case "candidate budget" `Quick test_max_candidates ] );
+      ( "faults",
+        [ Alcotest.test_case "injected trip exits structurally" `Quick test_fault_trip;
+          Alcotest.test_case "injected crash escapes govern" `Quick test_fault_raise ] );
+      ( "errors",
+        [ Alcotest.test_case "classification" `Quick test_gbc_error_classification;
+          Alcotest.test_case "rendering" `Quick test_gbc_error_rendering;
+          Alcotest.test_case "unlimited is a no-op" `Quick test_unlimited_is_shared_noop ] ) ]

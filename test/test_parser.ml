@@ -2,7 +2,7 @@
 
 open Gbc
 
-let parse_ok src = try Ok (Parser.parse_program src) with Parser.Error m -> Error m
+let parse_ok src = try Ok (Parser.parse_program src) with Parser.Error (m, _) -> Error m
 
 let check_rule_count name src n =
   match parse_ok src with
