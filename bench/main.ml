@@ -9,7 +9,11 @@ open Gbc
 (* --smoke: tiniest instance per experiment, no bechamel; afterwards
    the emitted BENCH_*.json files are parsed back and the process
    exits nonzero if any is malformed (the `bench-smoke` dune alias). *)
-let smoke = Array.exists (( = ) "--smoke") Sys.argv
+(* --perf-smoke: run only the E14 allocation kernels at their smallest
+   size, validate the emitted BENCH_E14.json and fail on a words-per-
+   fact regression (the `perf-smoke` dune alias). *)
+let perf_smoke = Array.exists (( = ) "--perf-smoke") Sys.argv
+let smoke = perf_smoke || Array.exists (( = ) "--smoke") Sys.argv
 let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 
 let scale xs =
@@ -424,7 +428,12 @@ let e13 () =
           [ ("budget_exhausted", !exhausted); ("governed_runs", List.length runs) ];
         [ string_of_int budget; Harness.sec t;
           Printf.sprintf "%d/%d" !exhausted (List.length runs) ])
-      (scale [ 500; 2_000; 8_000 ])
+      (* The adversarial values are deep [s(...)] chains, so hashing a
+         fact costs O(depth) and the reference gamma loop is ~O(n^3) in
+         the budget — 8_000 took over an hour, which made the full
+         suite unrunnable.  2_000 still exercises every governed path
+         for minutes of derivation. *)
+      (scale [ 500; 1_000; 2_000 ])
   in
   Harness.table
     ~title:
@@ -466,6 +475,62 @@ let e11 () =
        evaluation (substrate feature; not a claim of the paper)"
     ~header:[ "n"; "magic(s)"; "full(s)"; "magic facts"; "full facts"; "speedup" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* E14 — allocation kernels: minor-heap words per derived fact         *)
+(* ------------------------------------------------------------------ *)
+
+(* The join-kernel claim: with interned symbols, array-backed indexes
+   and precompiled terms, a staged run allocates a small bounded number
+   of minor-heap words per derived fact.  GC counters bracket a single
+   uninstrumented run (telemetry itself allocates), so these points are
+   directly comparable across commits.  Returns the worst words/fact
+   seen, which the perf-smoke gate bounds. *)
+let e14 () =
+  let mk_sort n =
+    let rng = Rng.create 7 in
+    Sorting.program (List.init n (fun i -> (Printf.sprintf "x%d" i, Rng.int rng 1_000_000)))
+  in
+  let mk_prim n =
+    Prim.program ~root:0 (Graph_gen.random_connected ~seed:(100 + n) ~nodes:n ~extra_edges:(7 * n))
+  in
+  let mk_matching e = Matching.program (matching_arcs (3 * e) e) in
+  let kernels =
+    [ ("sort", mk_sort, scale [ 4096; 16384 ]);
+      ("prim", mk_prim, scale [ 256; 1024 ]);
+      ("matching", mk_matching, scale [ 2048; 8192 ]) ]
+  in
+  let worst = ref 0.0 in
+  let rows =
+    List.concat_map
+      (fun (name, mk, sizes) ->
+        List.map
+          (fun n ->
+            let prog = mk n in
+            Gc.compact ();
+            let w0 = Gc.minor_words () in
+            let t0 = Unix.gettimeofday () in
+            let db, _ = Stage_engine.run prog in
+            let wall = Unix.gettimeofday () -. t0 in
+            let dw = Gc.minor_words () -. w0 in
+            let facts = Database.cardinal db in
+            let wpf = dw /. float_of_int facts in
+            if wpf > !worst then worst := wpf;
+            record ~exp:"E14" ~n ~wall
+              [ ("minor_words", int_of_float dw); ("facts", facts);
+                ("words_per_fact", int_of_float (Float.round wpf)) ];
+            [ name; string_of_int n; Harness.sec wall; Printf.sprintf "%.0f" dw;
+              string_of_int facts; Printf.sprintf "%.1f" wpf ])
+          sizes)
+      kernels
+  in
+  Harness.table
+    ~title:
+      "E14  Allocation kernels: minor-heap words per derived fact, staged engine \
+       (interned symbols + array-backed indexes + precompiled terms)"
+    ~header:[ "kernel"; "n"; "staged(s)"; "minor words"; "facts"; "words/fact" ]
+    rows;
+  !worst
 
 (* ------------------------------------------------------------------ *)
 (* A1 — (R,Q,L) vs recompute-least (reference engine)                  *)
@@ -631,7 +696,29 @@ let bechamel_suite () =
          in
          Printf.printf "%-40s %s\n" name est)
 
+(* Regression gate for the perf-smoke alias: smoke-size kernels sit
+   around 120–260 minor words per derived fact on the current engine
+   (pre-optimization they were 230–630), so 400 words/fact means the
+   allocation discipline has been lost somewhere. *)
+let perf_smoke_budget = 400.0
+
 let () =
+  if perf_smoke then begin
+    Printf.printf "Greedy by Choice — perf smoke (E14 allocation kernels)\n";
+    let worst = e14 () in
+    let files = Harness.flush_bench () in
+    if not (Harness.validate_bench files) then begin
+      print_endline "perf-smoke: BENCH JSON malformed";
+      exit 1
+    end;
+    Printf.printf "perf-smoke: worst %.1f words/fact (budget %.0f)\n" worst perf_smoke_budget;
+    if worst > perf_smoke_budget then begin
+      print_endline "perf-smoke: FAILED — allocation regression";
+      exit 1
+    end;
+    print_endline "perf-smoke: ok";
+    exit 0
+  end;
   Printf.printf "Greedy by Choice — experiment harness%s\n"
     (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
   e1 ();
@@ -647,6 +734,7 @@ let () =
   e11 ();
   e12 ();
   e13 ();
+  ignore (e14 ());
   a1 ();
   a2 ();
   a3 ();

@@ -7,6 +7,7 @@
     from the paper to the code. *)
 
 (* Datalog substrate *)
+module Interner = Gbc_datalog.Interner
 module Value = Gbc_datalog.Value
 module Ast = Gbc_datalog.Ast
 module Lexer = Gbc_datalog.Lexer

@@ -29,7 +29,7 @@ let rule head body = { head; body }
 
 let var v = Var v
 let int n = Cst (Value.Int n)
-let sym s = Cst (Value.Sym s)
+let sym s = Cst (Value.sym s)
 
 let rec term_is_ground = function
   | Var _ -> false

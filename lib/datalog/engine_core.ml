@@ -11,6 +11,15 @@ exception Unsupported of string
 
 type extremum = { minimize : bool; key : term; cost : term }
 
+(* Choice-goal terms resolved against the V layout of chosen$i rows:
+   variables become row positions, so FD replay does no per-row name
+   lookup. *)
+type vterm =
+  | VPos of int
+  | VCst of Value.t
+  | VCmp of string * vterm list
+  | VBinop of binop * vterm * vterm
+
 type crule = {
   ridx : int;  (* index of chosen$ridx, matching Rewrite.expand_choice *)
   label : string;  (* telemetry row of the original rule *)
@@ -21,6 +30,12 @@ type crule = {
   body : Eval.body;
   extrema : extremum list;
   stage : (string * int) option;  (* next rules: stage var and head position *)
+  (* Hot-path forms, resolved once at compile time. *)
+  c_out : Eval.cterm array;  (* [out_terms] against [body] *)
+  c_fds : (Eval.cterm list * Eval.cterm list) list;  (* [fds] against [body] *)
+  c_ext : (Eval.cterm * Eval.cterm) array;  (* (key, cost) per extremum *)
+  c_min : bool array;  (* minimize flag per extremum *)
+  v_fds : (vterm list * vterm list) list;  (* [fds] against the V layout *)
 }
 
 let is_choice_rule r = has_next r || has_choice r
@@ -59,6 +74,18 @@ let extrema_of (r : Ast.rule) =
       | _ -> None)
     r.body
 
+let rec compile_vterm vars = function
+  | Var v ->
+    let rec idx i = function
+      | [] -> invalid_arg ("choice variable not in V: " ^ v)
+      | x :: _ when String.equal x v -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    VPos (idx 0 vars)
+  | Cst v -> VCst v
+  | Cmp (f, args) -> VCmp (f, List.map (compile_vterm vars) args)
+  | Binop (op, a, b) -> VBinop (op, compile_vterm vars a, compile_vterm vars b)
+
 let compile_crule ridx (r : Ast.rule) =
   let stage = stage_of_rule r in
   let fds =
@@ -70,14 +97,22 @@ let compile_crule ridx (r : Ast.rule) =
   in
   let vars = Rewrite.choice_vars fds in
   let extra_bound = match stage with Some (v, _) -> [ v ] | None -> [] in
-  let body =
-    try Eval.compile_body ~extra_bound (flat_literals r)
-    with Eval.Unsafe msg ->
-      raise (Unsupported (Printf.sprintf "unsafe rule '%s': %s" (Pretty.rule_to_string r) msg))
+  let unsafe msg =
+    raise (Unsupported (Printf.sprintf "unsafe rule '%s': %s" (Pretty.rule_to_string r) msg))
   in
-  { ridx; label = Telemetry.rule_label r; head = r.head; vars;
-    out_terms = List.map (fun v -> Var v) vars;
-    fds; body; extrema = extrema_of r; stage }
+  let body =
+    try Eval.compile_body ~extra_bound (flat_literals r) with Eval.Unsafe msg -> unsafe msg
+  in
+  let out_terms = List.map (fun v -> Var v) vars in
+  let extrema = extrema_of r in
+  let compile_t t = try Eval.compile_term body t with Eval.Unsafe msg -> unsafe msg in
+  { ridx; label = Telemetry.rule_label r; head = r.head; vars; out_terms;
+    fds; body; extrema; stage;
+    c_out = Array.of_list (List.map compile_t out_terms);
+    c_fds = List.map (fun (l, rr) -> (List.map compile_t l, List.map compile_t rr)) fds;
+    c_ext = Array.of_list (List.map (fun e -> (compile_t e.key, compile_t e.cost)) extrema);
+    c_min = Array.of_list (List.map (fun e -> e.minimize) extrema);
+    v_fds = List.map (fun (l, rr) -> (List.map (compile_vterm vars) l, List.map (compile_vterm vars) rr)) fds }
 
 (* The rewritten positive rule: head <- flat body, chosen$i(V).  The
    extrema are dropped when the head is fully determined by V (always
@@ -97,15 +132,15 @@ let positive_rule cr (r : Ast.rule) =
 (* FD bookkeeping                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Evaluate a choice-goal term under an assignment of V. *)
-let rec term_value lookup = function
-  | Var v -> lookup v
-  | Cst v -> v
-  | Cmp ("", args) -> Value.Tup (List.map (term_value lookup) args)
-  | Cmp (f, args) -> Value.App (f, List.map (term_value lookup) args)
-  | Binop (op, a, b) -> (
+(* Evaluate a compiled choice-goal term against a chosen$i row. *)
+let rec vterm_value row = function
+  | VPos i -> row.(i)
+  | VCst v -> v
+  | VCmp ("", args) -> Value.Tup (List.map (vterm_value row) args)
+  | VCmp (f, args) -> Value.App (f, List.map (vterm_value row) args)
+  | VBinop (op, a, b) -> (
     (* Shares the overflow-checked arithmetic of rule bodies. *)
-    try Eval.apply_binop op (term_value lookup a) (term_value lookup b)
+    try Eval.apply_binop op (vterm_value row a) (vterm_value row b)
     with Eval.Unsafe msg -> raise (Unsupported (msg ^ " in choice goal")))
 
 type fd_state = {
@@ -115,16 +150,8 @@ type fd_state = {
   mutable mark : int;  (* replay watermark on [rel] *)
 }
 
-let fd_projections cr row (l, r) =
-  let lookup v =
-    let rec idx i = function
-      | [] -> invalid_arg ("choice variable not in V: " ^ v)
-      | x :: _ when String.equal x v -> i
-      | _ :: rest -> idx (i + 1) rest
-    in
-    row.(idx 0 cr.vars)
-  in
-  (Value.Tup (List.map (term_value lookup) l), Value.Tup (List.map (term_value lookup) r))
+let fd_projections row (l, r) =
+  (Value.Tup (List.map (vterm_value row) l), Value.Tup (List.map (vterm_value row) r))
 
 let make_fd_state db cr =
   let rel = Database.relation db (Rewrite.chosen_pred cr.ridx) (List.length cr.vars) in
@@ -134,9 +161,9 @@ let replay_chosen st =
   Relation.iter_from st.rel st.mark (fun row ->
       List.iter2
         (fun fd tbl ->
-          let l, r = fd_projections st.cr row fd in
+          let l, r = fd_projections row fd in
           Value.Tbl.replace tbl l r)
-        st.cr.fds st.tables);
+        st.cr.v_fds st.tables);
   st.mark <- Relation.cardinal st.rel
 
 (* FD-compatibility of a solution (projections computed from the
@@ -190,28 +217,25 @@ let collect_candidates ?(idx = 0) ?(limits = Limits.unlimited) db tele st tracke
   (* All FD-compatible solutions, existing chosen rows included: the
      existing rows act as witnesses that suppress costlier candidates
      (cf. the bi_st_c example), while only new rows are candidates. *)
-  let seen = Value.Tbl.create 64 in
+  let seen = Relation.Row_tbl.create 64 in
   let solutions = ref [] in
   Eval.run cr.body db env (fun env ->
       incr examined;
       Limits.tick_candidates limits 1;
       (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
-      let row = Array.of_list (Eval.eval_terms cr.body env cr.out_terms) in
-      let key = Value.Tup (Array.to_list row) in
-      if not (Value.Tbl.mem seen key) then begin
+      let row = Eval.eval_row env cr.c_out in
+      if not (Relation.Row_tbl.mem seen row) then begin
         let projections =
           List.map
             (fun (l, r) ->
-              ( Value.Tup (List.map (fun t -> Eval.eval_term cr.body env t) l),
-                Value.Tup (List.map (fun t -> Eval.eval_term cr.body env t) r) ))
-            cr.fds
+              ( Value.Tup (List.map (Eval.eval_cterm env) l),
+                Value.Tup (List.map (Eval.eval_cterm env) r) ))
+            cr.c_fds
         in
         if compatible st projections then begin
-          Value.Tbl.add seen key ();
+          Relation.Row_tbl.add seen row ();
           let kcs =
-            List.map
-              (fun e -> (Eval.eval_term cr.body env e.key, Eval.eval_term cr.body env e.cost))
-              cr.extrema
+            Array.map (fun (k, c) -> (Eval.eval_cterm env k, Eval.eval_cterm env c)) cr.c_ext
           in
           solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
         end
@@ -222,28 +246,29 @@ let collect_candidates ?(idx = 0) ?(limits = Limits.unlimited) db tele st tracke
       end);
   let solutions = List.rev !solutions in
   (* Optimum per key for each extremum, over all compatible solutions. *)
-  let bests = List.map (fun _ -> Value.Tbl.create 16) cr.extrema in
+  let bests = Array.map (fun _ -> Value.Tbl.create 16) cr.c_ext in
   List.iter
     (fun (_, _, kcs) ->
-      List.iteri
+      Array.iteri
         (fun i (k, c) ->
-          let tbl = List.nth bests i in
-          let e = List.nth cr.extrema i in
+          let tbl = bests.(i) in
           match Value.Tbl.find_opt tbl k with
           | None -> Value.Tbl.replace tbl k c
           | Some best ->
             let better =
-              if e.minimize then Value.compare c best < 0 else Value.compare c best > 0
+              if cr.c_min.(i) then Value.compare c best < 0 else Value.compare c best > 0
             in
             if better then Value.Tbl.replace tbl k c)
         kcs)
     solutions;
   List.filter_map
     (fun (row, existing, kcs) ->
-      let optimal =
-        List.for_all2 (fun tbl (k, c) -> Value.compare (Value.Tbl.find tbl k) c = 0) bests kcs
-      in
-      if optimal && not existing then Some { c_st = st; c_idx = idx; c_row = row } else None)
+      let optimal = ref true in
+      Array.iteri
+        (fun i (k, c) ->
+          if Value.compare (Value.Tbl.find bests.(i) k) c <> 0 then optimal := false)
+        kcs;
+      if !optimal && not existing then Some { c_st = st; c_idx = idx; c_row = row } else None)
     solutions
 
 (* ------------------------------------------------------------------ *)

@@ -4,18 +4,48 @@ type env = Value.t option array
 
 exception Unsafe of string
 
-(* Slot-resolved terms. *)
+(* Slot-resolved terms.  [PAny] only arises from [compile_term] on a
+   wildcard — the body compiler gives every [_] its own fresh slot. *)
 type pterm =
   | PVar of int
   | PCst of Value.t
   | PCmp of string * pterm array
   | PBinop of binop * pterm * pterm
+  | PAny
+
+type cterm = pterm
 
 type guard = cmp_op * pterm * pterm
 
+(* A compiled scan of one atom.  [sc_pattern] is a scratch probe buffer
+   reused across invocations: constant positions are prefilled at
+   compile time, the rest ([sc_fill]) are refreshed from the
+   environment on every execution.  This is safe because
+   [Relation.iter_matching] consumes the pattern before invoking the
+   row callback.
+
+   When every argument is a constant or a first-occurrence variable the
+   scan runs as a kernel: [sc_writes] lists (row position, slot) pairs
+   written directly into [env] per row — no trail, no structural match,
+   no per-row allocation beyond the bindings themselves.  [sc_reads]
+   lists the pattern positions of statically-bound variables; the
+   kernel only applies when the runtime environment agrees with the
+   static binding analysis (see [fast_applicable]), otherwise the scan
+   falls back to generic matching for that invocation. *)
+type scan = {
+  sc_pred : string;
+  sc_arity : int;
+  sc_args : pterm array;
+  sc_pattern : Value.t option array;
+  sc_fill : (int * pterm) array;
+  sc_writes : (int * int) array;
+  sc_reads : int array;
+  sc_fast : bool;
+}
+
 type step =
-  | SScan of string * int * pterm array
-  | SNeg of string * int * pterm array * guard list
+  | SScan of scan
+  | SNeg of scan * guard list
   | STest of cmp_op * pterm * pterm
   | SUnify of pterm * pterm
 
@@ -78,11 +108,13 @@ let rec eval_pterm (env : env) = function
     match eval_pterm env a, eval_pterm env b with
     | Some x, Some y -> Some (apply_binop op x y)
     | _ -> None)
+  | PAny -> None
 
 (* Structural match of a pattern term against a ground value, binding
    unbound variables into [env] and recording them on [trail]. *)
 let rec match_pterm env trail t v =
   match t with
+  | PAny -> true
   | PVar s -> (
     match env.(s) with
     | Some v' -> Value.equal v v'
@@ -126,6 +158,16 @@ and match_args env trail args vs =
     | v :: rest -> match_pterm env trail args.(i) v && go (i + 1) rest
   in
   go 0 vs
+
+(* Top-level row match: a direct array walk, no [Array.to_list].  The
+   loop is a toplevel function — a nested [let rec] would allocate a
+   closure per call (no flambda). *)
+let rec match_row_from env trail args (row : Value.t array) i =
+  i = Array.length args
+  || (match_pterm env trail args.(i) row.(i) && match_row_from env trail args row (i + 1))
+
+let match_row env trail args (row : Value.t array) =
+  Array.length row = Array.length args && match_row_from env trail args row 0
 
 let undo env trail = List.iter (fun s -> env.(s) <- None) !trail
 
@@ -267,7 +309,45 @@ let compile_body ?(extra_bound = []) lits =
         else acc)
       guards []
   in
-  let emit_atom a = (a.pred, List.length a.args, Array.of_list (List.map (resolve ctx) a.args)) in
+  let emit_scan ~fast a =
+    let ast_args = Array.of_list a.args in
+    let n = Array.length ast_args in
+    let args = Array.map (resolve ctx) ast_args in
+    let pattern = Array.make n None in
+    let fill = ref [] and writes = ref [] and reads = ref [] in
+    let written = Hashtbl.create 4 in
+    let all_fast = ref fast in
+    for p = n - 1 downto 0 do
+      match args.(p) with
+      | PCst c -> pattern.(p) <- Some c
+      | PVar s ->
+        fill := (p, args.(p)) :: !fill;
+        let statically_bound =
+          match ast_args.(p) with Var v when v <> "_" -> SSet.mem v !bound | _ -> false
+        in
+        if statically_bound then reads := p :: !reads
+        else if Hashtbl.mem written s then
+          (* Repeated unbound variable within one atom, e.g. [e(X, X)]:
+             needs an equality check, so no kernel. *)
+          all_fast := false
+        else begin
+          Hashtbl.add written s ();
+          writes := (p, s) :: !writes
+        end
+      | PCmp _ | PBinop _ ->
+        fill := (p, args.(p)) :: !fill;
+        all_fast := false
+      | PAny -> assert false (* [resolve] gives wildcards fresh slots *)
+    done;
+    { sc_pred = a.pred;
+      sc_arity = n;
+      sc_args = args;
+      sc_pattern = pattern;
+      sc_fill = Array.of_list !fill;
+      sc_writes = Array.of_list !writes;
+      sc_reads = Array.of_list !reads;
+      sc_fast = !all_fast }
+  in
   let ready (j, l) =
     match l with
     | `Pos _ -> true
@@ -317,8 +397,7 @@ let compile_body ?(extra_bound = []) lits =
         remaining := List.filter (fun (i, _) -> i <> j) !remaining;
         (match l with
         | `Pos a ->
-          let pred, arity, args = emit_atom a in
-          steps := SScan (pred, arity, args) :: !steps;
+          steps := SScan (emit_scan ~fast:true a) :: !steps;
           List.iter (fun v -> bound := SSet.add v !bound) (atom_vars a)
         | `Rel (Eq, x, y) when not (all_bound x && all_bound y) ->
           let ground, pat = if all_bound x then (x, y) else (y, x) in
@@ -326,8 +405,7 @@ let compile_body ?(extra_bound = []) lits =
           List.iter (fun v -> bound := SSet.add v !bound) (term_vars pat)
         | `Rel (op, x, y) -> steps := STest (op, resolve ctx x, resolve ctx y) :: !steps
         | `Neg (a, _) ->
-          let pred, arity, args = emit_atom a in
-          steps := SNeg (pred, arity, args, resolve_guards j) :: !steps);
+          steps := SNeg (emit_scan ~fast:false a, resolve_guards j) :: !steps);
         plan ())
   in
   plan ();
@@ -341,24 +419,55 @@ let fresh_env b = Array.make (max 1 b.nvars) None
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let scan_pattern env args =
-  Array.map
-    (fun t -> match eval_pterm env t with Some v -> Some v | None -> None)
-    args
+(* Refresh the scratch probe pattern from the environment.  Constant
+   positions were prefilled at compile time; variable positions read
+   straight out of [env] with no allocation. *)
+let fill_pattern env sc =
+  let fl = sc.sc_fill in
+  for j = 0 to Array.length fl - 1 do
+    let p, t = fl.(j) in
+    sc.sc_pattern.(p) <- eval_pterm env t
+  done
 
-let neg_holds db env pred arity args guards =
-  match Database.find db pred with
+(* The kernel assumes statically-bound variables are bound and
+   statically-unbound ones are not.  [Eval.solutions ~bindings] (and an
+   engine running without binding its [extra_bound] variables) can
+   violate either assumption, in which case this invocation falls back
+   to generic matching. *)
+let fast_applicable sc =
+  let ok = ref true in
+  let writes = sc.sc_writes in
+  for j = 0 to Array.length writes - 1 do
+    let p, _ = writes.(j) in
+    match sc.sc_pattern.(p) with None -> () | Some _ -> ok := false
+  done;
+  let reads = sc.sc_reads in
+  for j = 0 to Array.length reads - 1 do
+    match sc.sc_pattern.(reads.(j)) with None -> ok := false | Some _ -> ()
+  done;
+  !ok
+
+let find_rel db sc =
+  match Database.find db sc.sc_pred with
+  | None -> None
+  | Some rel ->
+    if Relation.arity rel <> sc.sc_arity then
+      invalid_arg
+        (Printf.sprintf "predicate %s used with arity %d and %d" sc.sc_pred
+           (Relation.arity rel) sc.sc_arity);
+    Some rel
+
+let neg_holds db env sc guards =
+  match find_rel db sc with
   | None -> true
   | Some rel ->
-    if Relation.arity rel <> arity then
-      invalid_arg (Printf.sprintf "predicate %s used with arity %d and %d" pred (Relation.arity rel) arity);
-    let pattern = scan_pattern env args in
+    fill_pattern env sc;
     let found = ref false in
     (try
-       Relation.iter_matching rel pattern (fun row ->
+       Relation.iter_matching rel sc.sc_pattern (fun row ->
            let trail = ref [] in
            let matched =
-             match_args env trail args (Array.to_list row)
+             match_row env trail sc.sc_args row
              && List.for_all
                   (fun (op, x, y) ->
                     match eval_pterm env x, eval_pterm env y with
@@ -380,21 +489,31 @@ let run body db env k =
     if i = nsteps then k env
     else
       match body.steps.(i) with
-      | SScan (pred, arity, args) -> (
-        match Database.find db pred with
+      | SScan sc -> (
+        match find_rel db sc with
         | None -> ()
         | Some rel ->
-          if Relation.arity rel <> arity then
-            invalid_arg
-              (Printf.sprintf "predicate %s used with arity %d and %d" pred (Relation.arity rel)
-                 arity);
-          let pattern = scan_pattern env args in
-          Relation.iter_matching rel pattern (fun row ->
-              let trail = ref [] in
-              if match_args env trail args (Array.to_list row) then exec (i + 1);
-              undo env trail))
-      | SNeg (pred, arity, args, guards) ->
-        if neg_holds db env pred arity args guards then exec (i + 1)
+          fill_pattern env sc;
+          if sc.sc_fast && fast_applicable sc then begin
+            let writes = sc.sc_writes in
+            let nw = Array.length writes in
+            Relation.iter_matching rel sc.sc_pattern (fun row ->
+                for j = 0 to nw - 1 do
+                  let p, s = writes.(j) in
+                  env.(s) <- Some row.(p)
+                done;
+                exec (i + 1));
+            for j = 0 to nw - 1 do
+              let _, s = writes.(j) in
+              env.(s) <- None
+            done
+          end
+          else
+            Relation.iter_matching rel sc.sc_pattern (fun row ->
+                let trail = ref [] in
+                if match_row env trail sc.sc_args row then exec (i + 1);
+                undo env trail))
+      | SNeg (sc, guards) -> if neg_holds db env sc guards then exec (i + 1)
       | STest (op, x, y) -> (
         match eval_pterm env x, eval_pterm env y with
         | Some a, Some b -> if test_cmp op a b then exec (i + 1)
@@ -409,20 +528,83 @@ let run body db env k =
   in
   exec 0
 
-let eval_term body env t =
-  let ctx_resolve t =
-    let rec go = function
-      | Var v -> (
-        match Hashtbl.find_opt body.slots v with
-        | Some s -> PVar s
-        | None -> raise (Unsafe ("variable " ^ v ^ " does not occur in the body")))
-      | Cst v -> PCst v
-      | Cmp (f, args) -> PCmp (f, Array.of_list (List.map go args))
-      | Binop (op, a, b) -> PBinop (op, go a, go b)
-    in
-    go t
+(* Resolve an AST term once against a compiled body's slot table.  Do
+   this at rule-compile time and evaluate/bind the result per solution:
+   re-resolving on every call is the dominant allocation of the greedy
+   engines' hot loop. *)
+let compile_term body t =
+  let rec go = function
+    | Var "_" -> PAny
+    | Var v -> (
+      match Hashtbl.find_opt body.slots v with
+      | Some s -> PVar s
+      | None -> raise (Unsafe ("variable " ^ v ^ " does not occur in the body")))
+    | Cst v -> PCst v
+    | Cmp (f, args) -> PCmp (f, Array.of_list (List.map go args))
+    | Binop (op, a, b) -> PBinop (op, go a, go b)
   in
-  match eval_pterm env (ctx_resolve t) with
+  go t
+
+let compile_terms body ts = Array.of_list (List.map (compile_term body) ts)
+
+let eval_cterm env ct =
+  match eval_pterm env ct with
+  | Some v -> v
+  | None -> raise (Unsafe "unbound variable in compiled term")
+
+(* Manual loop: [Array.map] with a partial application would allocate
+   a closure per call on top of the (wanted) result row. *)
+let eval_row env cts =
+  let n = Array.length cts in
+  let out = Array.make n Value.unit in
+  for i = 0 to n - 1 do
+    out.(i) <- eval_cterm env cts.(i)
+  done;
+  out
+
+(* Match compiled argument terms against a ground row, binding unbound
+   variable slots in place.  No trail: the caller owns [env] and resets
+   it (or discards it) between rows. *)
+let rec bind_cterm env t v =
+  match t with
+  | PAny -> true
+  | PVar s -> (
+    match env.(s) with
+    | Some v' -> Value.equal v v'
+    | None ->
+      env.(s) <- Some v;
+      true)
+  | PCst c -> Value.equal c v
+  | PCmp ("", args) -> (
+    match v with
+    | Value.Tup vs -> bind_args env args vs
+    | _ -> false)
+  | PCmp (f, args) -> (
+    match v with
+    | Value.App (g, vs) when String.equal f g -> bind_args env args vs
+    | _ -> false)
+  | PBinop _ -> (
+    match eval_pterm env t with
+    | Some v' -> Value.equal v v'
+    | None -> false)
+
+and bind_args env args vs =
+  Array.length args = List.length vs
+  &&
+  let rec go i = function
+    | [] -> true
+    | v :: rest -> bind_cterm env args.(i) v && go (i + 1) rest
+  in
+  go 0 vs
+
+let rec bind_row_from env cts (row : Value.t array) i =
+  i = Array.length cts || (bind_cterm env cts.(i) row.(i) && bind_row_from env cts row (i + 1))
+
+let bind_row env cts (row : Value.t array) =
+  Array.length row = Array.length cts && bind_row_from env cts row 0
+
+let eval_term body env t =
+  match eval_pterm env (compile_term body t) with
   | Some v -> v
   | None -> raise (Unsafe ("unbound variable in term " ^ Pretty.term_to_string t))
 

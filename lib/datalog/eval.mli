@@ -49,6 +49,33 @@ val eval_term : body -> env -> Ast.term -> Value.t
 
 val eval_terms : body -> env -> Ast.term list -> Value.t list
 
+(** {2 Precompiled terms}
+
+    [eval_term] re-resolves its AST argument against the slot table on
+    every call.  Hot paths (the greedy engines evaluate heads, costs,
+    keys and FD projections once per candidate row) should instead
+    resolve once with {!compile_term} and evaluate the compiled form. *)
+
+type cterm
+
+val compile_term : body -> Ast.term -> cterm
+(** Resolve a term's variables to slots once.  Wildcards ([_]) compile
+    to a match-anything pattern (they evaluate as unbound).
+    @raise Unsafe when a named variable does not occur in the body. *)
+
+val compile_terms : body -> Ast.term list -> cterm array
+
+val eval_cterm : env -> cterm -> Value.t
+(** @raise Unsafe when a variable is unbound. *)
+
+val eval_row : env -> cterm array -> Value.t array
+
+val bind_row : env -> cterm array -> Value.t array -> bool
+(** [bind_row env cts row] matches compiled argument terms against a
+    ground row, binding unbound variable slots of [env] in place.  On
+    [false], [env] may be partially written: the caller owns the
+    environment and must reset (or discard) it between rows. *)
+
 val solutions :
   body -> Database.t -> ?bindings:(string * Value.t) list -> Ast.term list -> Value.t list list
 (** [solutions body db ~bindings outs] runs the body with the given

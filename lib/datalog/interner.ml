@@ -1,0 +1,67 @@
+(* Global hash-consing of symbol and string payloads.
+
+   Every [Value.Sym]/[Value.Str] payload is an id into this table, so
+   equality and hashing on symbols are integer operations on the hot
+   path.  String order is preserved through a rank table: [compare]
+   looks ids up in [order], a permutation sorted by [String.compare]
+   that is rebuilt lazily whenever a comparison touches an id interned
+   after the last rebuild.  A stale ranking is still correct for the
+   ids it covers — inserting new strings never reorders old ones
+   relative to each other — so rebuilds only trigger on comparisons
+   against fresh symbols, which in practice means at most once after
+   each parse/load phase. *)
+
+let initial = 1024
+
+let strings = ref (Array.make initial "")
+let count = ref 0
+let tbl : (string, int) Hashtbl.t = Hashtbl.create initial
+
+(* [order.(id)] ranks [strings.(id)] by [String.compare]; valid for
+   ids below [covered]. *)
+let order = ref [||]
+let covered = ref 0
+
+let size () = !count
+
+let intern s =
+  match Hashtbl.find_opt tbl s with
+  | Some id -> id
+  | None ->
+    let id = !count in
+    if id = Array.length !strings then begin
+      let bigger = Array.make (2 * id) "" in
+      Array.blit !strings 0 bigger 0 id;
+      strings := bigger
+    end;
+    !strings.(id) <- s;
+    count := id + 1;
+    Hashtbl.add tbl s id;
+    id
+
+let resolve id =
+  if id < 0 || id >= !count then
+    invalid_arg (Printf.sprintf "Interner.resolve: unknown id %d" id);
+  !strings.(id)
+
+(* The canonical (first-interned) copy of [s]: token streams share one
+   string per distinct identifier instead of one fresh [String.sub]
+   per occurrence. *)
+let canonical s = resolve (intern s)
+
+let rebuild_order () =
+  let n = !count in
+  let ss = !strings in
+  let ids = Array.init n Fun.id in
+  Array.sort (fun a b -> String.compare ss.(a) ss.(b)) ids;
+  let ord = Array.make n 0 in
+  Array.iteri (fun rank id -> ord.(id) <- rank) ids;
+  order := ord;
+  covered := n
+
+let compare_ids a b =
+  if a = b then 0
+  else begin
+    if a >= !covered || b >= !covered then rebuild_order ();
+    Int.compare !order.(a) !order.(b)
+  end

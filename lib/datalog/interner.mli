@@ -1,0 +1,27 @@
+(** Global hash-consing of symbol and string payloads.
+
+    [Value.Sym] and [Value.Str] carry ids into this table rather than
+    strings, making symbol equality and hashing integer operations.
+    [compare_ids] preserves [String.compare] order through a lazily
+    rebuilt rank table, so [least]/[most] tie-breaks and [Value.Set]
+    orders are unchanged by interning. *)
+
+val intern : string -> int
+(** The id of [s], allocating one on first sight.  Total and
+    idempotent: [intern s = intern s], and [resolve (intern s) = s]. *)
+
+val resolve : int -> string
+(** The string behind an id.
+    @raise Invalid_argument on an id never returned by {!intern}. *)
+
+val canonical : string -> string
+(** [resolve (intern s)]: the shared first-interned copy of [s]. *)
+
+val compare_ids : int -> int -> int
+(** Agrees with [String.compare (resolve a) (resolve b)], but costs
+    two array reads once the rank table covers both ids.  Rebuilding
+    the table is O(n log n) amortized over the interns since the last
+    comparison against a fresh id. *)
+
+val size : unit -> int
+(** Number of distinct strings interned so far. *)

@@ -69,7 +69,9 @@ let lex_ident st =
   while (match peek st with Some c -> is_ident_char c | None -> false) do
     advance st
   done;
-  String.sub st.src start (st.i - start)
+  (* Canonicalize through the interner: every occurrence of an
+     identifier in a token stream shares one string. *)
+  Interner.canonical (String.sub st.src start (st.i - start))
 
 let lex_int st =
   let start = st.i in

@@ -70,7 +70,7 @@ and parse_factor st =
     | t -> Binop (Sub, Cst (Value.Int 0), t))
   | Lexer.STRING s ->
     advance st;
-    Cst (Value.Str s)
+    Cst (Value.str s)
   | Lexer.UIDENT v ->
     advance st;
     Var v
@@ -94,7 +94,7 @@ and parse_factor st =
       expect st Lexer.RPAREN;
       Cmp (f, args)
     end
-    else Cst (Value.Sym f)
+    else Cst (Value.sym f)
   | Lexer.LPAREN ->
     advance st;
     if fst (peek st) = Lexer.RPAREN then begin
@@ -155,7 +155,7 @@ let cmp_of_token = function
 
 let term_to_atom pos t =
   match t with
-  | Cst (Value.Sym p) -> { pred = p; args = [] }
+  | Cst (Value.Sym p) -> { pred = Value.resolve p; args = [] }
   | Cmp (p, args) when p <> "" -> { pred = p; args }
   | _ -> fail_at pos "expected a predicate atom"
 

@@ -1,47 +1,84 @@
 type tuple = Value.t array
 
+(* Top-level loops with explicit arguments: without flambda, a nested
+   [let rec] capturing its surroundings allocates a closure — and rows
+   are hashed and compared on every membership test, index probe and
+   cost-cache lookup. *)
+let rec eq_from a b i =
+  i = Array.length a || (Value.equal a.(i) b.(i) && eq_from a b (i + 1))
+
+let rec hash_from row h i =
+  if i = Array.length row then h
+  else hash_from row ((h * 1000003) lxor Value.hash row.(i)) (i + 1)
+
 module Row_key = struct
   type t = tuple
 
-  let equal a b =
-    Array.length a = Array.length b
-    &&
-    let rec go i = i = Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
-    go 0
-
-  let hash row = Array.fold_left (fun h v -> (h * 1000003) lxor Value.hash v) 17 row
+  let equal a b = Array.length a = Array.length b && eq_from a b 0
+  let hash row = hash_from row 17 0
 end
 
 module Row_tbl = Hashtbl.Make (Row_key)
 
+(* Row ids for one projection key, in insertion order.  A growable int
+   array rather than a list: probes walk it front-to-back with no
+   [List.rev] and no per-probe allocation. *)
+type bucket = { mutable ids : int array; mutable n : int }
+
+let bucket_push b id =
+  let cap = Array.length b.ids in
+  if b.n = cap then begin
+    let nids = Array.make (if cap = 0 then 4 else 2 * cap) 0 in
+    Array.blit b.ids 0 nids 0 b.n;
+    b.ids <- nids
+  end;
+  b.ids.(b.n) <- id;
+  b.n <- b.n + 1
+
 (* An index for a set of bound columns: projection of the row on those
-   columns (as a [Value.Tup]) -> row ids, most recent first. *)
-type index = { columns : int list; buckets : int list ref Value.Tbl.t }
+   columns -> bucket of row ids.  [scratch] is the reusable probe key;
+   it is copied only when a projection is stored for the first time. *)
+type index = { columns : int array; buckets : bucket Row_tbl.t; scratch : Value.t array }
 
 type t = {
   rel_name : string;
   rel_arity : int;
   mutable rows : tuple array;
   mutable count : int;
-  seen : unit Row_tbl.t;
+  mutable seen : unit Row_tbl.t;
+  mutable shared : bool; (* rows/seen shared with a copy; privatize before add *)
   indexes : (int, index) Hashtbl.t; (* bitmask of bound columns -> index *)
 }
 
 let create rel_name rel_arity =
   { rel_name; rel_arity; rows = [||]; count = 0; seen = Row_tbl.create 64;
-    indexes = Hashtbl.create 4 }
+    shared = false; indexes = Hashtbl.create 4 }
 
 let name r = r.rel_name
 let arity r = r.rel_arity
 let cardinal r = r.count
 
-let project row columns = Value.Tup (List.map (fun c -> row.(c)) columns)
-
 let index_add idx row_id row =
-  let key = project row idx.columns in
-  match Value.Tbl.find_opt idx.buckets key with
-  | Some ids -> ids := row_id :: !ids
-  | None -> Value.Tbl.add idx.buckets key (ref [ row_id ])
+  let k = Array.length idx.columns in
+  for j = 0 to k - 1 do
+    idx.scratch.(j) <- row.(idx.columns.(j))
+  done;
+  match Row_tbl.find_opt idx.buckets idx.scratch with
+  | Some b -> bucket_push b row_id
+  | None ->
+    let b = { ids = Array.make 4 0; n = 0 } in
+    bucket_push b row_id;
+    Row_tbl.add idx.buckets (Array.copy idx.scratch) b
+
+(* The rows array and [seen] set are shared with a copy until either
+   side first mutates; the frozen prefix itself never changes, so
+   sharing is safe for all read paths. *)
+let privatize r =
+  if r.shared then begin
+    r.rows <- Array.copy r.rows;
+    r.seen <- Row_tbl.copy r.seen;
+    r.shared <- false
+  end
 
 let grow r row =
   let cap = Array.length r.rows in
@@ -59,6 +96,7 @@ let add r row =
          (Array.length row));
   if Row_tbl.mem r.seen row then false
   else begin
+    privatize r;
     Row_tbl.add r.seen row ();
     grow r row;
     r.rows.(r.count) <- row;
@@ -79,14 +117,19 @@ let iter_from r k f =
     f r.rows.(i)
   done
 
-let mask_of_columns columns = List.fold_left (fun m c -> m lor (1 lsl c)) 0 columns
-
-let get_index r columns =
-  let mask = mask_of_columns columns in
+let get_index r mask nbound =
   match Hashtbl.find_opt r.indexes mask with
   | Some idx -> idx
   | None ->
-    let idx = { columns; buckets = Value.Tbl.create 64 } in
+    let columns = Array.make nbound 0 in
+    let j = ref 0 in
+    for c = 0 to r.rel_arity - 1 do
+      if mask land (1 lsl c) <> 0 then begin
+        columns.(!j) <- c;
+        incr j
+      end
+    done;
+    let idx = { columns; buckets = Row_tbl.create 64; scratch = Array.make nbound Value.unit } in
     for i = 0 to r.count - 1 do
       index_add idx i r.rows.(i)
     done;
@@ -96,20 +139,30 @@ let get_index r columns =
 let iter_matching r pattern f =
   if Array.length pattern <> r.rel_arity then
     invalid_arg (Printf.sprintf "Relation.iter_matching: bad pattern arity for %s" r.rel_name);
-  let columns = ref [] in
-  for i = r.rel_arity - 1 downto 0 do
-    if pattern.(i) <> None then columns := i :: !columns
+  let mask = ref 0 and nbound = ref 0 in
+  for i = 0 to r.rel_arity - 1 do
+    if pattern.(i) <> None then begin
+      mask := !mask lor (1 lsl i);
+      incr nbound
+    end
   done;
-  match !columns with
-  | [] -> iter r f
-  | columns ->
-    let idx = get_index r columns in
-    let key = Value.Tup (List.map (fun c -> match pattern.(c) with Some v -> v | None -> assert false) columns) in
-    (match Value.Tbl.find_opt idx.buckets key with
+  if !mask = 0 then iter r f
+  else begin
+    let idx = get_index r !mask !nbound in
+    for j = 0 to !nbound - 1 do
+      idx.scratch.(j) <-
+        (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
+    done;
+    match Row_tbl.find_opt idx.buckets idx.scratch with
     | None -> ()
-    | Some ids ->
-      (* Reverse for insertion order: determinism of candidate choice. *)
-      List.iter (fun i -> f r.rows.(i)) (List.rev !ids))
+    | Some b ->
+      (* Snapshot semantics: the bound is read once, and ids only ever
+         append, so rows inserted by [f] are not visited. *)
+      let stop = b.n - 1 in
+      for i = 0 to stop do
+        f r.rows.(b.ids.(i))
+      done
+  end
 
 let fold r ~init ~f =
   let acc = ref init in
@@ -119,9 +172,11 @@ let fold r ~init ~f =
 let to_list r = List.rev (fold r ~init:[] ~f:(fun acc row -> row :: acc))
 
 let copy r =
+  r.shared <- true;
   { rel_name = r.rel_name;
     rel_arity = r.rel_arity;
-    rows = Array.sub r.rows 0 r.count;
+    rows = r.rows;
     count = r.count;
-    seen = Row_tbl.copy r.seen;
-    indexes = Hashtbl.create 4 (* rebuilt lazily *) }
+    seen = r.seen;
+    shared = true;
+    indexes = Hashtbl.create 4 (* rebuilt lazily; never shared *) }

@@ -8,9 +8,17 @@
 
     Relations only grow — the semantics never retracts a fact — which is
     what makes the watermark-based semi-naive deltas ({!cardinal} +
-    {!iter_from}) sound. *)
+    {!iter_from}) sound, and what lets {!copy} share the frozen prefix
+    copy-on-write instead of re-hashing every row. *)
 
 type tuple = Value.t array
+
+module Row_key : Hashtbl.HashedType with type t = tuple
+(** Structural equality and deep hash over whole rows. *)
+
+module Row_tbl : Hashtbl.S with type key = tuple
+(** Hash tables keyed by rows — use this instead of a polymorphic
+    [Hashtbl] so keys hash via {!Value.hash} (never truncated). *)
 
 type t
 
@@ -36,11 +44,17 @@ val iter_from : t -> int -> (tuple -> unit) -> unit
 
 val iter_matching : t -> Value.t option array -> (tuple -> unit) -> unit
 (** [iter_matching r pattern f]: rows agreeing with every [Some v]
-    position of [pattern].  Uses (and if needed builds) the index for
-    the pattern's bound-column set. *)
+    position of [pattern], in insertion order.  Uses (and if needed
+    builds) the index for the pattern's bound-column set.  The pattern
+    is consumed before [f] is first called, so callers may reuse a
+    scratch pattern buffer across calls.  Rows inserted by [f] itself
+    are not visited. *)
 
 val fold : t -> init:'a -> f:('a -> tuple -> 'a) -> 'a
 val to_list : t -> tuple list
+
 val copy : t -> t
-(** Deep enough a copy that further [add]s to either side are invisible
-    to the other (rows themselves are immutable values). *)
+(** An independent snapshot: further [add]s to either side are invisible
+    to the other.  O(1) — the row array and membership set are shared
+    until one side next mutates (rows themselves are immutable
+    values). *)

@@ -22,41 +22,44 @@ let flat_body rule =
 let eval_extrema_rule ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db rule =
   let extrema = extrema_of rule in
   let body = Eval.compile_body (flat_body rule) in
+  let c_head = Eval.compile_terms body rule.head.args in
+  let c_ext =
+    Array.of_list
+      (List.map (fun e -> (Eval.compile_term body e.key, Eval.compile_term body e.cost)) extrema)
+  in
+  let c_min = Array.of_list (List.map (fun e -> e.minimize) extrema) in
   let env = Eval.fresh_env body in
   (* Solution: head row + per-extremum (key, cost). *)
   let solutions = ref [] in
   Eval.run body db env (fun env ->
       Limits.poll limits;
-      let head = Array.of_list (Eval.eval_terms body env rule.head.args) in
-      let kcs =
-        List.map (fun e -> (Eval.eval_term body env e.key, Eval.eval_term body env e.cost)) extrema
-      in
+      let head = Eval.eval_row env c_head in
+      let kcs = Array.map (fun (k, c) -> (Eval.eval_cterm env k, Eval.eval_cterm env c)) c_ext in
       solutions := (head, kcs) :: !solutions);
   let solutions = List.rev !solutions in
   (* Optimum per key, per extremum. *)
-  let bests = List.map (fun _ -> Value.Tbl.create 16) extrema in
+  let bests = Array.map (fun _ -> Value.Tbl.create 16) c_ext in
   List.iter
     (fun (_, kcs) ->
-      List.iteri
+      Array.iteri
         (fun i (k, c) ->
-          let tbl = List.nth bests i in
-          let e = List.nth extrema i in
+          let tbl = bests.(i) in
           match Value.Tbl.find_opt tbl k with
           | None -> Value.Tbl.replace tbl k c
           | Some best ->
-            let better = if e.minimize then Value.compare c best < 0 else Value.compare c best > 0 in
+            let better = if c_min.(i) then Value.compare c best < 0 else Value.compare c best > 0 in
             if better then Value.Tbl.replace tbl k c)
         kcs)
     solutions;
   let added = ref 0 in
   List.iter
     (fun (head, kcs) ->
-      let optimal =
-        List.for_all2
-          (fun i_best (k, c) -> Value.compare (Value.Tbl.find i_best k) c = 0)
-          bests kcs
-      in
-      if optimal && Database.add_fact db rule.head.pred head then incr added)
+      let optimal = ref true in
+      Array.iteri
+        (fun i (k, c) ->
+          if Value.compare (Value.Tbl.find bests.(i) k) c <> 0 then optimal := false)
+        kcs;
+      if !optimal && Database.add_fact db rule.head.pred head then incr added)
     solutions;
   Telemetry.add_derived telemetry (Telemetry.rule_label rule) !added;
   Limits.tick_derived limits !added;
@@ -80,28 +83,33 @@ let eval_agg_rule ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db 
     invalid_arg ("Seminaive: aggregate mixed with extremum: " ^ Pretty.rule_to_string rule);
   let key_term = Cmp ("", keys) in
   let body = Eval.compile_body (flat_body rule) in
+  let c_key = Eval.compile_term body key_term in
+  let c_counted = Eval.compile_term body counted in
+  (* Head arguments: the output variable passes through ([None]),
+     everything else must be determined by the group (evaluated per
+     solution, first solution of the group wins — sound when head vars
+     are key vars, which the programs we accept satisfy). *)
+  let c_head =
+    List.map
+      (fun t ->
+        match t with
+        | Var v when String.equal v out -> None
+        | t -> Some (Eval.compile_term body t))
+      rule.head.args
+  in
   let env = Eval.fresh_env body in
-  (* Head arguments: the output variable passes through, everything
-     else must be determined by the group (evaluated per solution,
-     first solution of the group wins — sound when head vars are key
-     vars, which the programs we accept satisfy). *)
   let head_parts = Value.Tbl.create 16 in
   let groups = Value.Tbl.create 16 in
   Eval.run body db env (fun env ->
       Limits.poll limits;
-      let key = Eval.eval_term body env key_term in
-      let v = Eval.eval_term body env counted in
+      let key = Eval.eval_cterm env c_key in
+      let v = Eval.eval_cterm env c_counted in
       (match Value.Tbl.find_opt groups key with
       | Some set -> set := Value.Set.add v !set
       | None -> Value.Tbl.add groups key (ref (Value.Set.singleton v)));
       if not (Value.Tbl.mem head_parts key) then begin
         let partial =
-          List.map
-            (fun t ->
-              match t with
-              | Var v when String.equal v out -> None
-              | t -> Some (Eval.eval_term body env t))
-            rule.head.args
+          List.map (Option.map (Eval.eval_cterm env)) c_head
         in
         Value.Tbl.add head_parts key partial
       end);
@@ -156,7 +164,12 @@ let check_clique_rule ~allow_clique_negation clique rule =
 (* Incremental semi-naive saturation                                   *)
 (* ------------------------------------------------------------------ *)
 
-type variant = { v_label : string; v_head : Ast.atom; v_body : Eval.body }
+type variant = {
+  v_label : string;
+  v_head : Ast.atom;
+  v_body : Eval.body;
+  v_chead : Eval.cterm array;  (* head arguments against [v_body] *)
+}
 
 (* Delta variants of a rule: one per positive occurrence of a tracked
    predicate, reading that occurrence from [pred$delta]. *)
@@ -185,7 +198,9 @@ let variants_of_rule tracked (rule : Ast.rule) =
        the join planner makes it the outer loop and a variant whose
        delta is empty costs O(1). *)
     let body = match !delta with Some d -> d :: rest | None -> assert false in
-    { v_label = Telemetry.rule_label rule; v_head = rule.head; v_body = Eval.compile_body body }
+    let v_body = Eval.compile_body body in
+    { v_label = Telemetry.rule_label rule; v_head = rule.head; v_body;
+      v_chead = Eval.compile_terms v_body rule.head.args }
   in
   List.init (List.length occurrences) make
 
@@ -253,8 +268,7 @@ let fire tele limits db variant =
   let additions = ref [] in
   Eval.run variant.v_body db env (fun env ->
       Limits.poll limits;
-      additions :=
-        Array.of_list (Eval.eval_terms variant.v_body env variant.v_head.args) :: !additions);
+      additions := Eval.eval_row env variant.v_chead :: !additions);
   let added =
     List.fold_left
       (fun n row -> if Database.add_fact db variant.v_head.pred row then n + 1 else n)

@@ -103,6 +103,15 @@ type srule = {
   shadow : bool;
   newer_wins : bool;
   stage_var : string;
+  (* Hot-path forms, resolved against [residual] once at compile time:
+     the pop-validate loop binds and evaluates these per candidate row,
+     with no per-call AST re-resolution. *)
+  stage_slot : int;
+  src_pats : Eval.cterm array;  (* source argument terms *)
+  c_out : Eval.cterm array;  (* chosen$i tuple terms *)
+  c_head : Eval.cterm array;  (* head argument terms *)
+  c_fds : (Eval.cterm list * Eval.cterm list) list;
+  c_cost : Eval.cterm option;
 }
 
 let compile_srule (cr : EC.crule) (r : Ast.rule) =
@@ -157,8 +166,7 @@ let compile_srule (cr : EC.crule) (r : Ast.rule) =
     | _ -> false
   in
   let stage_positions =
-    List.filteri (fun _ _ -> true) source.args
-    |> List.mapi (fun i t -> (i, t))
+    List.mapi (fun i t -> (i, t)) source.args
     |> List.filter_map (fun (i, t) -> if is_stage_term t then Some i else None)
   in
   let newer_wins =
@@ -194,41 +202,33 @@ let compile_srule (cr : EC.crule) (r : Ast.rule) =
              else if List.exists (fun v -> SS.mem v key) vs then Some i
              else None)
   in
+  let compile_t t =
+    try Eval.compile_term residual t
+    with Eval.Unsafe msg -> fail ("unsafe residual: " ^ msg)
+  in
   { cr; rule = r; source; residual; minimize; has_extremum; cost; key_positions;
-    stage_positions; shadow; newer_wins; stage_var }
+    stage_positions; shadow; newer_wins; stage_var;
+    stage_slot = Eval.slot residual stage_var;
+    src_pats = Array.of_list (List.map compile_t source.args);
+    c_out = Array.of_list (List.map compile_t cr.EC.out_terms);
+    c_head = Array.of_list (List.map compile_t cr.EC.head.args);
+    c_fds =
+      List.map
+        (fun (l, rr) -> (List.map compile_t l, List.map compile_t rr))
+        cr.EC.fds;
+    c_cost = Option.map compile_t cost }
 
 (* ------------------------------------------------------------------ *)
 (* Matching a source row                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Bind the source atom's argument terms against a stored row, writing
-   variable bindings into the residual's environment. *)
-let bind_source sr (env : Eval.env) row =
-  let rec match_term t v =
-    match t with
-    | Var "_" -> true
-    | Var x -> (
-      let s = Eval.slot sr.residual x in
-      match env.(s) with
-      | None ->
-        env.(s) <- Some v;
-        true
-      | Some v' -> Value.equal v v')
-    | Cst c -> Value.equal c v
-    | Cmp ("", args) -> (
-      match v with Value.Tup vs -> match_all args vs | _ -> false)
-    | Cmp (f, args) -> (
-      match v with Value.App (g, vs) when String.equal f g -> match_all args vs | _ -> false)
-    | Binop _ -> false
-  and match_all args vs =
-    List.length args = List.length vs && List.for_all2 match_term args vs
-  in
-  List.for_all2 match_term sr.source.args (Array.to_list row)
+(* Bind the source atom's compiled argument terms against a stored row,
+   writing variable bindings into the residual's environment.  The
+   caller owns [env] and resets it between rows. *)
+let bind_source sr (env : Eval.env) row = Eval.bind_row env sr.src_pats row
 
 let row_cost sr env =
-  match sr.cost with
-  | None -> Value.Int 0
-  | Some t -> Eval.eval_term sr.residual env t
+  match sr.c_cost with None -> Value.Int 0 | Some ct -> Eval.eval_cterm env ct
 
 (* ------------------------------------------------------------------ *)
 (* Clique evaluation                                                   *)
@@ -239,8 +239,11 @@ type staged = {
   rql : (Value.t array, Value.t) Rql.t;
   fd : EC.fd_state;
   tracker : EC.tracker;
+  scratch : Eval.env;  (* reusable residual environment for [valid] *)
   mutable src_mark : int;
 }
+
+let reset_env (env : Eval.env) = Array.fill env 0 (Array.length env) None
 
 exception Fired of Value.t array * Value.t array (* chosen row, head row *)
 
@@ -268,23 +271,23 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits db crules flat_r
     List.map
       (fun sr ->
         let key_of row = Value.Tup (List.map (fun p -> row.(p)) sr.key_positions) in
-        (* Cost is computed at insertion and cached in a side table?  No:
-           recompute via a tiny env-free evaluation — cost variables live
-           in the source args, so evaluate by matching into a scratch
-           environment. *)
+        (* Cost of a source row: bind its terms into a scratch residual
+           environment and evaluate the compiled cost term. *)
+        let cost_env = Eval.fresh_env sr.residual in
         let cost_of row =
-          let env = Eval.fresh_env sr.residual in
-          if bind_source sr env row then row_cost sr env
+          reset_env cost_env;
+          if bind_source sr cost_env row then row_cost sr cost_env
           else invalid_arg "Stage_engine: source row does not match its own atom"
         in
-        let cost_tbl = Hashtbl.create 256 in
+        let cost_tbl = Relation.Row_tbl.create 256 in
         let cost_cached row =
-          let key = row in
-          match Hashtbl.find_opt cost_tbl key with
-          | Some c -> c
-          | None ->
+          (* [find]/[Not_found] rather than [find_opt]: the heap calls
+             this O(log n) times per pop, and the [Some] boxes add up. *)
+          match Relation.Row_tbl.find cost_tbl row with
+          | c -> c
+          | exception Not_found ->
             let c = cost_of row in
-            Hashtbl.add cost_tbl key c;
+            Relation.Row_tbl.add cost_tbl row c;
             c
         in
         let cost_cmp a b =
@@ -305,6 +308,7 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits db crules flat_r
         in
         ignore (Database.relation db sr.source.pred (List.length sr.source.args));
         { sr; rql; fd = EC.make_fd_state db sr.cr;
+          scratch = Eval.fresh_env sr.residual;
           tracker =
             (let pos = match sr.cr.EC.stage with Some (_, p) -> p | None -> assert false in
              ignore (Database.relation db sr.cr.EC.head.pred (List.length sr.cr.EC.head.args));
@@ -341,33 +345,29 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits db crules flat_r
     EC.replay_chosen st.fd;
     let rc = Telemetry.rule telemetry st.sr.cr.EC.label in
     let stage = EC.current_stage db st.tracker + 1 in
+    let stage_value = Some (Value.Int stage) in
     let valid row =
       (* Every popped source fact is a candidate the engine examines. *)
       Limits.tick_candidates limits 1;
       (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
-      let env = Eval.fresh_env st.sr.residual in
-      env.(Eval.slot st.sr.residual st.sr.stage_var) <- Some (Value.Int stage);
+      let env = st.scratch in
+      reset_env env;
+      env.(st.sr.stage_slot) <- stage_value;
       if not (bind_source st.sr env row) then false
       else begin
         match
           Eval.run st.sr.residual db env (fun env ->
-              let chosen_row =
-                Array.of_list (Eval.eval_terms st.sr.residual env st.sr.cr.EC.out_terms)
-              in
+              let chosen_row = Eval.eval_row env st.sr.c_out in
               if not (Relation.mem st.fd.EC.rel chosen_row) then begin
                 let projections =
                   List.map
                     (fun (l, r) ->
-                      ( Value.Tup (List.map (Eval.eval_term st.sr.residual env) l),
-                        Value.Tup (List.map (Eval.eval_term st.sr.residual env) r) ))
-                    st.sr.cr.EC.fds
+                      ( Value.Tup (List.map (Eval.eval_cterm env) l),
+                        Value.Tup (List.map (Eval.eval_cterm env) r) ))
+                    st.sr.c_fds
                 in
                 if EC.compatible st.fd projections then
-                  let head_row =
-                    Array.of_list
-                      (Eval.eval_terms st.sr.residual env st.sr.cr.EC.head.args)
-                  in
-                  raise (Fired (chosen_row, head_row))
+                  raise (Fired (chosen_row, Eval.eval_row env st.sr.c_head))
               end)
         with
         | () -> false

@@ -1,19 +1,23 @@
 type t =
   | Int of int
-  | Sym of string
-  | Str of string
+  | Sym of int
+  | Str of int
   | Tup of t list
   | App of string * t list
 
+let sym s = Sym (Interner.intern s)
+let str s = Str (Interner.intern s)
+let resolve = Interner.resolve
+
 let unit = Tup []
-let nil = Sym "nil"
+let nil = sym "nil"
 
 let tag = function Int _ -> 0 | Sym _ -> 1 | Str _ -> 2 | Tup _ -> 3 | App _ -> 4
 
 let rec compare a b =
   match a, b with
   | Int x, Int y -> Stdlib.compare x y
-  | Sym x, Sym y | Str x, Str y -> String.compare x y
+  | Sym x, Sym y | Str x, Str y -> Interner.compare_ids x y
   | Tup xs, Tup ys -> compare_list xs ys
   | App (f, xs), App (g, ys) ->
     let c = String.compare f g in
@@ -29,21 +33,33 @@ and compare_list xs ys =
     let c = compare x y in
     if c <> 0 then c else compare_list xs' ys'
 
-let equal a b = compare a b = 0
+let rec equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Sym x, Sym y | Str x, Str y -> x = y
+  | Tup xs, Tup ys -> equal_list xs ys
+  | App (f, xs), App (g, ys) -> String.equal f g && equal_list xs ys
+  | _ -> false
+
+and equal_list xs ys =
+  match xs, ys with
+  | [], [] -> true
+  | x :: xs', y :: ys' -> equal x y && equal_list xs' ys'
+  | _ -> false
 
 let combine h x = (h * 1000003) lxor x
 
 let rec hash = function
   | Int x -> combine 3 (Hashtbl.hash x)
-  | Sym s -> combine 5 (Hashtbl.hash s)
-  | Str s -> combine 7 (Hashtbl.hash s)
+  | Sym id -> combine 5 id
+  | Str id -> combine 7 id
   | Tup xs -> List.fold_left (fun h x -> combine h (hash x)) 11 xs
   | App (f, xs) -> List.fold_left (fun h x -> combine h (hash x)) (combine 13 (Hashtbl.hash f)) xs
 
 let rec pp fmt = function
   | Int x -> Format.pp_print_int fmt x
-  | Sym s -> Format.pp_print_string fmt s
-  | Str s -> Format.fprintf fmt "%S" s
+  | Sym id -> Format.pp_print_string fmt (Interner.resolve id)
+  | Str id -> Format.fprintf fmt "%S" (Interner.resolve id)
   | Tup xs -> Format.fprintf fmt "(%a)" pp_args xs
   | App (f, xs) -> Format.fprintf fmt "%s(%a)" f pp_args xs
 

@@ -2,23 +2,40 @@
 
     Function symbols are restricted, as in the paper's next-Datalog
     programs, to those the programs themselves build — e.g. Huffman's
-    tree constructor [t(X, Y)] — plus tuples used by [choice] goals. *)
+    tree constructor [t(X, Y)] — plus tuples used by [choice] goals.
+
+    [Sym]/[Str] payloads are {!Interner} ids, not strings: build them
+    with {!sym}/{!str} and read them back with {!resolve}.  Equality
+    and hashing on symbols are therefore integer operations, while
+    {!compare} still agrees with [String.compare] on the underlying
+    text. *)
 
 type t =
   | Int of int  (** integers: costs, grades, stage values *)
-  | Sym of string  (** lowercase constants: [a], [nil], [engl] *)
-  | Str of string  (** quoted strings *)
+  | Sym of int  (** lowercase constants: [a], [nil], [engl] — interned *)
+  | Str of int  (** quoted strings — interned *)
   | Tup of t list  (** tuples [(a, b)]; [Tup []] is the unit [()] *)
   | App of string * t list  (** compound terms such as [t(l1, l2)] *)
+
+val sym : string -> t
+(** The interned symbol for [s]: [sym s = sym s] physically on ids. *)
+
+val str : string -> t
+(** The interned quoted string for [s]. *)
+
+val resolve : int -> string
+(** The text behind a [Sym]/[Str] id; see {!Interner.resolve}. *)
 
 val unit : t
 val nil : t
 
 val compare : t -> t -> int
-(** Total order: [Int < Sym < Str < Tup < App], contents lexicographic.
-    [least]/[most] and deterministic tie-breaking rely on it. *)
+(** Total order: [Int < Sym < Str < Tup < App], contents lexicographic
+    ([Sym]/[Str] by their resolved strings, not by id).  [least]/[most]
+    and deterministic tie-breaking rely on it. *)
 
 val equal : t -> t -> bool
+(** Structural equality; on symbols a single integer comparison. *)
 
 val hash : t -> int
 (** Deep structural hash (unlike [Hashtbl.hash], never truncates deep

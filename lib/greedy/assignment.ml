@@ -32,7 +32,7 @@ let models ?facts source =
          Runner.rows db pred
          |> List.map (fun row ->
                 match row.(0), row.(1) with
-                | Value.Sym s, Value.Sym c -> (s, c)
+                | Value.Sym s, Value.Sym c -> (Value.resolve s, Value.resolve c)
                 | _ -> invalid_arg "Assignment.models: non-symbolic assignment")
          |> List.sort compare)
   |> List.sort_uniq compare
@@ -50,8 +50,8 @@ let random_takes ~seed ~students ~courses ~enrollments =
         let g = 1 + Gbc_workload.Rng.int rng 4 in
         let fact =
           Ast.fact "takes"
-            [ Value.Sym (Printf.sprintf "s%d" s);
-              Value.Sym (Printf.sprintf "c%d" c);
+            [ Value.sym (Printf.sprintf "s%d" s);
+              Value.sym (Printf.sprintf "c%d" c);
               Value.Int g ]
         in
         draw (fact :: acc) (n - 1) guard

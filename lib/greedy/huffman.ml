@@ -28,7 +28,7 @@ let decode letters db =
     | [] ->
       (* Degenerate single-letter alphabet: the root is the leaf. *)
       (match letters with
-      | [ (sym, _) ] -> Value.Sym sym
+      | [ (sym, _) ] -> Value.sym sym
       | _ -> invalid_arg "Huffman.decode: no merges on a multi-letter alphabet")
     | rows -> (List.nth rows (List.length rows - 1)).(0)
   in
@@ -69,7 +69,7 @@ let encode root symbols =
       | Value.App ("t", [ l; r ]) ->
         walk (prefix ^ "0") l;
         walk (prefix ^ "1") r
-      | Value.Sym s -> Hashtbl.replace tbl s (if prefix = "" then "0" else prefix)
+      | Value.Sym id -> Hashtbl.replace tbl (Value.resolve id) (if prefix = "" then "0" else prefix)
       | v -> invalid_arg ("Huffman.encode: unexpected node " ^ Value.to_string v)
     in
     walk "" root;
@@ -85,16 +85,16 @@ let decode root bits =
     node := root
   in
   (match root with
-  | Value.Sym s ->
+  | Value.Sym id ->
     (* Single-letter alphabet: every bit is that letter. *)
-    String.iter (fun _ -> consume_leaf s) bits
+    String.iter (fun _ -> consume_leaf (Value.resolve id)) bits
   | _ ->
     String.iter
       (fun bit ->
         (match !node with
         | Value.App ("t", [ l; r ]) -> node := (if bit = '0' then l else r)
         | v -> invalid_arg ("Huffman.decode: unexpected node " ^ Value.to_string v));
-        match !node with Value.Sym s -> consume_leaf s | _ -> ())
+        match !node with Value.Sym id -> consume_leaf (Value.resolve id) | _ -> ())
       bits;
     if !node != root then invalid_arg "Huffman.decode: truncated codeword");
   List.rev !out
@@ -102,7 +102,7 @@ let decode root bits =
 let codes root =
   let rec walk prefix acc = function
     | Value.App ("t", [ l; r ]) -> walk (prefix ^ "0") (walk (prefix ^ "1") acc r) l
-    | Value.Sym s -> (s, if prefix = "" then "0" else prefix) :: acc
+    | Value.Sym id -> (Value.resolve id, if prefix = "" then "0" else prefix) :: acc
     | v -> invalid_arg ("Huffman.codes: unexpected node " ^ Value.to_string v)
   in
   walk "" [] root

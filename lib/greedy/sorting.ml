@@ -6,7 +6,7 @@ sp(X, C, I) <- next(I), p(X, C), least(C, I).
 |}
 
 let item_facts items =
-  List.map (fun (x, c) -> Ast.fact "p" [ Value.Sym x; Value.Int c ]) items
+  List.map (fun (x, c) -> Ast.fact "p" [ Value.sym x; Value.Int c ]) items
 
 let program items = item_facts items @ Parser.parse_program source
 
@@ -17,7 +17,7 @@ let run engine items =
   |> Runner.sort_by_stage ~stage_col:2
   |> List.map (fun row ->
          match row.(0) with
-         | Value.Sym x -> (x, Runner.int_at row 1)
+         | Value.Sym x -> (Value.resolve x, Runner.int_at row 1)
          | v -> invalid_arg ("Sorting.run: unexpected item " ^ Value.to_string v))
 
 let procedural items =

@@ -16,4 +16,4 @@ let of_string s =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let letter_facts ?(pred = "letter") freqs =
-  List.map (fun (sym, freq) -> Gbc_datalog.Ast.fact pred [ Gbc_datalog.Value.Sym sym; Gbc_datalog.Value.Int freq ]) freqs
+  List.map (fun (sym, freq) -> Gbc_datalog.Ast.fact pred [ Gbc_datalog.Value.sym sym; Gbc_datalog.Value.Int freq ]) freqs

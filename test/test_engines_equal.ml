@@ -1,0 +1,146 @@
+(* Cross-engine model equality after symbol interning.
+
+   Interning replaced string payloads in [Value.Sym]/[Value.Str] with
+   table ids, and the hot-path rewrite replaced term-by-term matching
+   with precompiled kernels — in four engines (naive, seminaive,
+   staged, reference) that must all still compute the same models.
+   These tests pin that down over every shipped exemplar program, and
+   QCheck properties pin the interner laws the engines rely on:
+   intern/resolve round-trip and preservation of string order. *)
+
+open Gbc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load name = Parser.parse_program (read_file ("../programs/" ^ name))
+
+let exemplars =
+  [ "example1.dl"; "bi_st_c.dl"; "sorting.dl"; "prim.dl"; "kruskal.dl";
+    "matching.dl"; "huffman.dl"; "tsp.dl"; "dijkstra.dl"; "scheduling.dl";
+    "vertex_cover.dl"; "set_cover.dl"; "transitive_closure.dl" ]
+
+let all_preds dbs =
+  List.sort_uniq String.compare (List.concat_map Database.preds dbs)
+
+let check_same_model file a b name_a name_b =
+  let preds = all_preds [ a; b ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s and %s agree on %s" file name_a name_b p)
+        true
+        (Database.equal_on a b [ p ]))
+    preds
+
+(* Every exemplar, reference vs staged, every predicate — including the
+   [chosen$i] memo relations, whose layouts the two engines must share. *)
+let test_reference_vs_staged () =
+  List.iter
+    (fun file ->
+      let prog = load file in
+      let reference = Choice_fixpoint.model prog in
+      let staged = Stage_engine.model prog in
+      check_same_model file reference staged "reference" "staged")
+    exemplars
+
+(* Horn programs run on all four engines.  [transitive_closure.dl] is
+   the shipped Horn exemplar; the inline programs add a second clique
+   and a join through a compound value, exercising interned symbols as
+   join keys. *)
+let horn_programs =
+  [ ("transitive_closure.dl (file)", lazy (load "transitive_closure.dl"));
+    ( "same-generation",
+      lazy
+        (Parser.parse_program
+           "par(a, c). par(b, c). par(c, e). par(d, e).\n\
+            sg(X, X) :- par(X, _).\n\
+            sg(X, Y) :- par(X, P), sg(P, Q), par(Y, Q).") );
+    ( "two cliques",
+      lazy
+        (Parser.parse_program
+           "edge(a, b). edge(b, c). edge(c, d).\n\
+            path(X, Y) :- edge(X, Y).\n\
+            path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+            far(X) :- path(a, X).") ) ]
+
+let idb_preds prog =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun r -> if Ast.is_fact r then None else Some (Ast.head_pred r))
+       prog)
+
+let run_naive prog =
+  let db = Database.create () in
+  Naive.saturate db prog;
+  db
+
+let run_seminaive prog =
+  let db = Database.create () in
+  Database.load_facts db (List.filter Ast.is_fact prog);
+  Seminaive.eval_clique db ~clique:(idb_preds prog) prog;
+  db
+
+let test_four_engines_on_horn () =
+  List.iter
+    (fun (name, prog) ->
+      let prog = Lazy.force prog in
+      let reference = Choice_fixpoint.model prog in
+      let staged = Stage_engine.model prog in
+      let naive = run_naive prog in
+      let seminaive = run_seminaive prog in
+      check_same_model name naive reference "naive" "reference";
+      check_same_model name seminaive reference "seminaive" "reference";
+      check_same_model name staged reference "staged" "reference")
+    horn_programs
+
+(* ------------------------------------------------------------------ *)
+(* Interner properties                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Printable strings, biased toward collisions: short alphabet plus a
+   few fixed names the engines themselves intern. *)
+let gen_name =
+  QCheck.Gen.(
+    oneof
+      [ map (fun s -> "s" ^ string_of_int s) small_nat;
+        oneofl [ "a"; "b"; "nil"; "edge"; "x0"; ""; "zz" ];
+        string_size ~gen:(char_range 'a' 'e') (int_range 0 4) ])
+
+let arb_name = QCheck.make ~print:(fun s -> "\"" ^ s ^ "\"") gen_name
+
+let sign x = compare x 0
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"intern -> resolve round-trips" ~count:1000 arb_name
+    (fun s ->
+      Interner.resolve (Interner.intern s) = s
+      && Interner.intern s = Interner.intern s)
+
+let prop_order_preserved =
+  QCheck.Test.make ~name:"compare_ids and Value.compare preserve string order"
+    ~count:1000 (QCheck.pair arb_name arb_name) (fun (a, b) ->
+      sign (Interner.compare_ids (Interner.intern a) (Interner.intern b))
+      = sign (String.compare a b)
+      && sign (Value.compare (Value.sym a) (Value.sym b)) = sign (String.compare a b)
+      && sign (Value.compare (Value.str a) (Value.str b)) = sign (String.compare a b))
+
+let prop_equal_iff_same_string =
+  QCheck.Test.make ~name:"interned equality is string equality" ~count:1000
+    (QCheck.pair arb_name arb_name) (fun (a, b) ->
+      Value.equal (Value.sym a) (Value.sym b) = String.equal a b)
+
+let () =
+  Alcotest.run "engines-equal"
+    [ ( "models",
+        [ Alcotest.test_case "reference = staged on every exemplar" `Slow
+            test_reference_vs_staged;
+          Alcotest.test_case "naive = seminaive = staged = reference on Horn" `Quick
+            test_four_engines_on_horn ] );
+      ( "interner",
+        [ QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_order_preserved;
+          QCheck_alcotest.to_alcotest prop_equal_iff_same_string ] ) ]

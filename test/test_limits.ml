@@ -102,7 +102,7 @@ let test_diagnostics_fields () =
 (* ------------------------------------------------------------------ *)
 
 let rec is_tower = function
-  | Value.Sym "z" -> true
+  | Value.Sym id -> Value.resolve id = "z"
   | Value.App ("s", [ v ]) -> is_tower v
   | _ -> false
 

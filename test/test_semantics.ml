@@ -195,7 +195,7 @@ let test_non_models_fail_stability () =
   let db = Choice_fixpoint.model prog in
   (* Adding an unjustified fact must break stability. *)
   let tampered = Database.copy db in
-  ignore (Database.add_fact tampered "a_st" [| Value.Sym "ghost"; Value.Sym "phys" |]);
+  ignore (Database.add_fact tampered "a_st" [| Value.sym "ghost"; Value.sym "phys" |]);
   Alcotest.(check bool) "extra fact breaks stability" false (Stable.is_stable prog tampered);
   (* Removing a derived fact must too: rebuild a db without one a_st row. *)
   let pruned = Database.create () in

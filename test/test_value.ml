@@ -6,9 +6,9 @@ let v = Alcotest.testable Value.pp Value.equal
 
 let test_compare_total_order () =
   let values =
-    [ Value.Int (-3); Value.Int 0; Value.Int 7; Value.Sym "a"; Value.Sym "b";
-      Value.Str "a"; Value.Tup []; Value.Tup [ Value.Int 1 ];
-      Value.App ("t", [ Value.Sym "a" ]) ]
+    [ Value.Int (-3); Value.Int 0; Value.Int 7; Value.sym "a"; Value.sym "b";
+      Value.str "a"; Value.Tup []; Value.Tup [ Value.Int 1 ];
+      Value.App ("t", [ Value.sym "a" ]) ]
   in
   (* compare is a strict total order on this list as given. *)
   let rec check = function
@@ -39,7 +39,7 @@ let test_app_order () =
 let test_equal_hash_consistent () =
   let deep n =
     let rec go n acc = if n = 0 then acc else go (n - 1) (Value.App ("t", [ acc; Value.Int n ])) in
-    go n (Value.Sym "leaf")
+    go n (Value.sym "leaf")
   in
   let a = deep 50 and b = deep 50 in
   Alcotest.check v "structural equality" a b;
@@ -50,7 +50,7 @@ let test_hash_sees_deep_differences () =
   let rec deep n leaf =
     if n = 0 then leaf else Value.App ("t", [ deep (n - 1) leaf; Value.Int 0 ])
   in
-  let a = deep 40 (Value.Sym "x") and b = deep 40 (Value.Sym "y") in
+  let a = deep 40 (Value.sym "x") and b = deep 40 (Value.sym "y") in
   Alcotest.(check bool) "distinct leaves, distinct hashes" true (Value.hash a <> Value.hash b)
 
 let test_pp () =
@@ -58,23 +58,23 @@ let test_pp () =
   check "42" (Value.Int 42);
   check "nil" Value.nil;
   check "()" Value.unit;
-  check "(1, a)" (Value.Tup [ Value.Int 1; Value.Sym "a" ]);
+  check "(1, a)" (Value.Tup [ Value.Int 1; Value.sym "a" ]);
   check "t(a, t(b, c))"
-    (Value.App ("t", [ Value.Sym "a"; Value.App ("t", [ Value.Sym "b"; Value.Sym "c" ]) ]));
-  check "\"hi\"" (Value.Str "hi")
+    (Value.App ("t", [ Value.sym "a"; Value.App ("t", [ Value.sym "b"; Value.sym "c" ]) ]));
+  check "\"hi\"" (Value.str "hi")
 
 let test_as_int () =
   Alcotest.(check int) "as_int" 7 (Value.as_int (Value.Int 7));
   Alcotest.check_raises "as_int on sym" (Invalid_argument "Value.as_int: a") (fun () ->
-      ignore (Value.as_int (Value.Sym "a")))
+      ignore (Value.as_int (Value.sym "a")))
 
 let test_tbl () =
   let tbl = Value.Tbl.create 4 in
-  Value.Tbl.replace tbl (Value.Tup [ Value.Int 1; Value.Sym "a" ]) 1;
-  Value.Tbl.replace tbl (Value.Tup [ Value.Int 1; Value.Sym "a" ]) 2;
+  Value.Tbl.replace tbl (Value.Tup [ Value.Int 1; Value.sym "a" ]) 1;
+  Value.Tbl.replace tbl (Value.Tup [ Value.Int 1; Value.sym "a" ]) 2;
   Alcotest.(check int) "replace dedups structurally" 1 (Value.Tbl.length tbl);
   Alcotest.(check (option int)) "lookup" (Some 2)
-    (Value.Tbl.find_opt tbl (Value.Tup [ Value.Int 1; Value.Sym "a" ]))
+    (Value.Tbl.find_opt tbl (Value.Tup [ Value.Int 1; Value.sym "a" ]))
 
 let prop_compare_antisymmetric =
   let gen_value =
@@ -83,7 +83,7 @@ let prop_compare_antisymmetric =
           if n = 0 then
             oneof
               [ map (fun i -> Value.Int i) small_signed_int;
-                map (fun s -> Value.Sym ("s" ^ string_of_int s)) small_nat ]
+                map (fun s -> Value.sym ("s" ^ string_of_int s)) small_nat ]
           else
             frequency
               [ (2, map (fun i -> Value.Int i) small_signed_int);
