@@ -12,6 +12,9 @@ open Gbc
 (* --perf-smoke: run only the E14 allocation kernels at their smallest
    size, validate the emitted BENCH_E14.json and fail on a words-per-
    fact regression (the `perf-smoke` dune alias). *)
+(* --e15: run only the daemon throughput/latency experiment at full
+   scale (8 sessions, 3 rounds) and write BENCH_E15.json. *)
+let only_e15 = Array.exists (( = ) "--e15") Sys.argv
 let perf_smoke = Array.exists (( = ) "--perf-smoke") Sys.argv
 let smoke = perf_smoke || Array.exists (( = ) "--smoke") Sys.argv
 let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
@@ -533,6 +536,104 @@ let e14 () =
   !worst
 
 (* ------------------------------------------------------------------ *)
+(* E15 — gbcd daemon throughput and latency                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process 4-worker gbcd on a Unix-domain socket, loaded by N
+   concurrent client sessions each replaying the 13 shipped exemplar
+   programs (Load + Run per program, several rounds).  Records
+   requests/s and the p50/p99 request latency into BENCH_E15.json;
+   every response is checked — a served error or partial counts as a
+   failure, keeping the numbers honest. *)
+
+let e15_exemplars =
+  [ "example1.dl"; "bi_st_c.dl"; "sorting.dl"; "prim.dl"; "kruskal.dl";
+    "matching.dl"; "huffman.dl"; "tsp.dl"; "dijkstra.dl"; "scheduling.dl";
+    "vertex_cover.dl"; "set_cover.dl"; "transitive_closure.dl" ]
+
+let e15 () =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let sources = List.map (fun n -> read_file ("../programs/" ^ n)) e15_exemplars in
+  let sessions = if smoke then 2 else 8 in
+  let rounds = if smoke then 1 else 3 in
+  let sock = Printf.sprintf "gbcd_e15_%d.sock" (Unix.getpid ()) in
+  let cfg =
+    { Server.default_config with port = None; unix_path = Some sock; workers = 4 }
+  in
+  match Server.create cfg with
+  | Error msg ->
+    Printf.eprintf "E15: server create failed: %s\n" msg
+  | Ok srv ->
+    let runner = Domain.spawn (fun () -> Server.run srv) in
+    let errors = Atomic.make 0 in
+    let lat_m = Mutex.create () in
+    let latencies = ref [] in
+    let session _i =
+      let rec conn tries =
+        match Client.connect_unix sock with
+        | c -> c
+        | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+          when tries > 0 ->
+          Unix.sleepf 0.02;
+          conn (tries - 1)
+      in
+      let c = conn 100 in
+      let mine = ref [] in
+      let timed req check =
+        let t0 = Unix.gettimeofday () in
+        let resp = Client.rpc c req in
+        mine := (Unix.gettimeofday () -. t0) :: !mine;
+        if not (check resp) then Atomic.incr errors
+      in
+      for _ = 1 to rounds do
+        List.iter
+          (fun src ->
+            timed (Protocol.Load src) (function Protocol.Loaded _ -> true | _ -> false);
+            timed
+              (Protocol.Run
+                 { engine = Protocol.Staged; seed = None; preds = None;
+                   budget = Protocol.no_budget })
+              (function Protocol.Model { complete; _ } -> complete | _ -> false))
+          sources
+      done;
+      Client.close c;
+      Mutex.protect lat_m (fun () -> latencies := !mine @ !latencies)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init sessions (fun i -> Thread.create session i) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Server.shutdown srv;
+    Domain.join runner;
+    (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
+    let lats = Array.of_list !latencies in
+    Array.sort compare lats;
+    let n_req = Array.length lats in
+    let pct p =
+      if n_req = 0 then 0.0
+      else lats.(min (n_req - 1) (int_of_float (p *. float_of_int n_req)))
+    in
+    let us t = int_of_float (t *. 1e6) in
+    let rps = if wall > 0.0 then float_of_int n_req /. wall else 0.0 in
+    record ~exp:"E15" ~n:sessions ~wall
+      [ ("requests", n_req); ("errors", Atomic.get errors); ("workers", 4);
+        ("rounds", rounds); ("rps", int_of_float rps); ("p50_us", us (pct 0.50));
+        ("p99_us", us (pct 0.99)) ];
+    Harness.table
+      ~title:
+        "E15  gbcd daemon: concurrent sessions replaying the exemplar corpus \
+         (4 workers, Unix-domain socket, Load+Run per program)"
+      ~header:[ "sessions"; "requests"; "errors"; "wall(s)"; "req/s"; "p50(us)"; "p99(us)" ]
+      [ [ string_of_int sessions; string_of_int n_req; string_of_int (Atomic.get errors);
+          Harness.sec wall; Printf.sprintf "%.0f" rps; string_of_int (us (pct 0.50));
+          string_of_int (us (pct 0.99)) ] ]
+
+(* ------------------------------------------------------------------ *)
 (* A1 — (R,Q,L) vs recompute-least (reference engine)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -703,6 +804,19 @@ let bechamel_suite () =
 let perf_smoke_budget = 400.0
 
 let () =
+  if only_e15 then begin
+    Printf.printf "Greedy by Choice — E15 (gbcd daemon)\n";
+    e15 ();
+    let files = Harness.flush_bench () in
+    if Harness.validate_bench files then begin
+      Printf.printf "wrote %s\n" (String.concat ", " files);
+      exit 0
+    end
+    else begin
+      print_endline "E15: BENCH JSON malformed";
+      exit 1
+    end
+  end;
   if perf_smoke then begin
     Printf.printf "Greedy by Choice — perf smoke (E14 allocation kernels)\n";
     let worst = e14 () in
@@ -735,6 +849,7 @@ let () =
   e12 ();
   e13 ();
   ignore (e14 ());
+  e15 ();
   a1 ();
   a2 ();
   a3 ();

@@ -1,0 +1,92 @@
+(* The serve command, shared between `gbc serve` and the standalone
+   `gbcd` binary: parse listener/worker/governor options, bind, print
+   where we are listening, and run until drained.
+
+   SIGINT/SIGTERM begin a graceful drain (finish in-flight requests,
+   flush, close) rather than killing the process. *)
+
+open Cmdliner
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Address to bind the TCP listener on.")
+
+let port_arg =
+  Arg.(value & opt int 7411 & info [ "port"; "p" ] ~docv:"PORT"
+         ~doc:"TCP port (0 picks a free one; the bound port is printed).")
+
+let no_tcp_arg =
+  Arg.(value & flag & info [ "no-tcp" ] ~doc:"Do not open a TCP listener (use with $(b,--unix)).")
+
+let unix_arg =
+  Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH"
+         ~doc:"Also listen on a Unix-domain socket at PATH.")
+
+let workers_arg =
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker domains evaluating requests (at least 1).")
+
+let default_timeout_arg =
+  Arg.(value & opt float 30.0 & info [ "default-timeout" ] ~docv:"SEC"
+         ~doc:"Per-request wall-clock cap; 0 disables.  Clients can only tighten it.")
+
+let smax name doc =
+  Arg.(value & opt (some int) None & info [ name ] ~docv:"N" ~doc)
+
+let max_facts_arg = smax "max-facts" "Server-side per-request cap on derived facts."
+let max_steps_arg = smax "max-steps" "Server-side per-request cap on fixpoint steps / gamma firings."
+let max_candidates_arg = smax "max-candidates" "Server-side per-request cap on choice-candidate examinations."
+
+let max_frame_arg =
+  Arg.(value & opt int Gbc.Protocol.max_frame_default & info [ "max-frame" ] ~docv:"BYTES"
+         ~doc:"Largest accepted frame payload.")
+
+let cache_arg =
+  Arg.(value & opt int 64 & info [ "cache-capacity" ] ~docv:"N"
+         ~doc:"Compiled-program cache entries (LRU beyond that).")
+
+let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
+    max_candidates max_frame cache_capacity =
+  let cfg =
+    { Gbc.Server.host;
+      port = (if no_tcp then None else Some port);
+      unix_path;
+      backlog = 64;
+      workers = max 1 workers;
+      default_timeout_s = (if default_timeout > 0.0 then Some default_timeout else None);
+      max_facts;
+      max_steps;
+      max_candidates;
+      max_frame;
+      cache_capacity }
+  in
+  match Gbc.Server.create cfg with
+  | Error msg ->
+    Format.eprintf "gbcd: %s@." msg;
+    exit 2
+  | Ok srv ->
+    let drain _ = Gbc.Server.shutdown srv in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle drain) with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle drain) with Invalid_argument _ -> ());
+    Option.iter
+      (fun p -> Format.printf "gbcd: listening on %s:%d@." cfg.Gbc.Server.host p)
+      (Gbc.Server.port srv);
+    Option.iter (fun p -> Format.printf "gbcd: listening on %s@." p) unix_path;
+    Format.printf "gbcd: %d worker(s), default timeout %s@?"
+      cfg.Gbc.Server.workers
+      (match cfg.Gbc.Server.default_timeout_s with
+       | Some s -> Printf.sprintf "%gs" s
+       | None -> "none");
+    Gbc.Server.run srv;
+    Format.printf "gbcd: drained, goodbye@."
+
+let serve_term =
+  Term.(const serve $ host_arg $ port_arg $ no_tcp_arg $ unix_arg $ workers_arg
+        $ default_timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg
+        $ max_frame_arg $ cache_arg)
+
+let serve_doc =
+  "Serve programs over the gbcd wire protocol: a worker pool of OCaml domains, \
+   per-connection sessions with copy-on-write isolation, a compiled-program cache, \
+   and a per-request resource governor.  SIGINT/SIGTERM (or a client's shutdown \
+   frame) drain gracefully."

@@ -22,11 +22,15 @@ let handle f =
     Format.eprintf "gbc: %s@." (Gbc_error.to_string e);
     exit err_exit
 
+(* [-] reads the program from stdin, as in `gbc run -`. *)
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  if String.equal path "-" then In_channel.input_all stdin
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
 
 (* Raises Sys_error / Lexer.Error / Parser.Error; callers run under
    [handle] (or classify explicitly, as the repl's :load does). *)
@@ -50,7 +54,8 @@ let print_model ?preds db =
 (* ---------------- common options ---------------- *)
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Program file, or $(b,-) for stdin.")
 
 let engine_conv = Arg.enum [ ("reference", `Reference); ("staged", `Staged) ]
 
@@ -171,6 +176,17 @@ let check_cmd =
   in
   let doc = "Compile-time analysis: cliques, stage arguments, stage-stratification." in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+
+(* `analyze` is `check` under the name the daemon docs use; both read
+   from stdin with [-]. *)
+let analyze_cmd =
+  let run file =
+    handle (fun () ->
+        let report = Stage.analyze (parse_file file) in
+        Format.printf "%a@?" Stage.pp_report report)
+  in
+  let doc = "Alias of $(b,check): cliques, stage arguments, stage-stratification." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg)
 
 (* ---------------- rewrite ---------------- *)
 
@@ -561,11 +577,187 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(term_result (const run $ algo_arg $ size_arg $ dseed_arg $ engine_arg))
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  Cmd.v (Cmd.info "serve" ~doc:Daemon_cli.serve_doc) Daemon_cli.serve_term
+
+(* ---------------- client ---------------- *)
+
+(* A one-shot client for a running gbcd: connect, (optionally) load a
+   program, perform one request, print the response, exit.  Exit codes
+   mirror the local commands: 2 on a structured error frame, 3 when
+   the server returned a partial model. *)
+
+let chost_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let cport_arg =
+  Arg.(value & opt int 7411 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server TCP port.")
+
+let cunix_arg =
+  Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH"
+         ~doc:"Connect over a Unix-domain socket instead of TCP.")
+
+let with_client host port unix_path f =
+  let conn () =
+    match unix_path with
+    | Some path -> Client.connect_unix path
+    | None -> Client.connect_tcp ~host ~port ()
+  in
+  match conn () with
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "gbc: cannot connect: %s@." (Unix.error_message e);
+    exit err_exit
+  | c ->
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+        try f c
+        with Client.Protocol_error msg ->
+          Format.eprintf "gbc: protocol error: %s@." msg;
+          exit err_exit)
+
+let print_response = function
+  | Protocol.Pong -> Format.printf "pong@."
+  | Protocol.Bye -> Format.printf "bye (server draining)@."
+  | Protocol.Loaded { clauses; cache_hit; digest; stage_stratified } ->
+    Format.printf "loaded %d clause(s), digest %s, cache %s, stage-stratified %b@." clauses
+      digest
+      (if cache_hit then "hit" else "miss")
+      stage_stratified
+  | Protocol.Asserted { added } -> Format.printf "asserted %d new fact(s)@." added
+  | Protocol.Retracted { removed } -> Format.printf "retracted %d fact(s)@." removed
+  | Protocol.Model { complete; text; diagnostic } ->
+    print_string text;
+    if not complete then begin
+      Option.iter (fun d -> Format.eprintf "gbc: %s@?" d) diagnostic;
+      Format.eprintf "gbc: the model above is partial@.";
+      exit partial_exit
+    end
+  | Protocol.Model_set { total; models } ->
+    Format.printf "%d model(s)@." total;
+    List.iteri
+      (fun i m ->
+        Format.printf "--- model %d ---@." (i + 1);
+        print_string m)
+      models
+  | Protocol.Answers { complete; vars = _; rows } ->
+    List.iter (fun r -> Format.printf "%s@." r) rows;
+    Format.printf "%d answer(s)@." (List.length rows);
+    if not complete then begin
+      Format.eprintf "gbc: answers computed against a partial model@.";
+      exit partial_exit
+    end
+  | Protocol.Stats_json json -> Format.printf "%s@." json
+  | Protocol.Error { code; message } ->
+    Format.eprintf "gbc: %s: %s@." (Protocol.error_code_to_string code) message;
+    exit err_exit
+
+let load_or_die c file =
+  match Client.rpc c (Protocol.Load (read_file file)) with
+  | Protocol.Loaded _ as r -> r
+  | Protocol.Error _ as r ->
+    print_response r;
+    assert false
+  | r -> r
+
+let budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates () =
+  { Protocol.timeout_ms = Option.map (fun s -> int_of_float (s *. 1000.0)) timeout_s;
+    max_facts;
+    max_steps;
+    max_candidates }
+
+let wire_engine = function `Staged -> Protocol.Staged | `Reference -> Protocol.Reference
+
+let client_ping_cmd =
+  let run host port unix = with_client host port unix (fun c -> print_response (Client.rpc c Protocol.Ping)) in
+  Cmd.v (Cmd.info "ping" ~doc:"Round-trip a ping frame.")
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg)
+
+let client_run_cmd =
+  let facts_arg =
+    Arg.(value & opt (some string) None & info [ "assert" ] ~docv:"FACTS"
+           ~doc:"Ground facts (surface syntax) asserted into the session before running.")
+  in
+  let run host port unix file engine preds seed facts timeout_s max_facts max_steps max_candidates =
+    with_client host port unix (fun c ->
+        ignore (load_or_die c file);
+        Option.iter
+          (fun fs ->
+            match Client.rpc c (Protocol.Assert_facts fs) with
+            | Protocol.Asserted _ -> ()
+            | r -> print_response r)
+          facts;
+        print_response
+          (Client.rpc c
+             (Protocol.Run
+                { engine = wire_engine engine;
+                  seed;
+                  preds;
+                  budget = budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates () })))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Load FILE (or stdin with $(b,-)) into a server session and print one stable model.")
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ engine_arg $ preds_arg
+          $ seed_arg $ facts_arg $ timeout_arg $ max_facts_arg $ max_steps_arg
+          $ max_candidates_arg)
+
+let client_models_cmd =
+  let max_arg =
+    Arg.(value & opt int 100 & info [ "max" ] ~docv:"N" ~doc:"Stop after N distinct models.")
+  in
+  let run host port unix file preds max_models =
+    with_client host port unix (fun c ->
+        ignore (load_or_die c file);
+        print_response (Client.rpc c (Protocol.Enumerate { max_models; preds })))
+  in
+  Cmd.v (Cmd.info "models" ~doc:"Enumerate the choice models of FILE on the server.")
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ preds_arg $ max_arg)
+
+let client_query_cmd =
+  let atom_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ATOM"
+           ~doc:"Query atom, e.g. 'prm(X, Y, C, _)'.")
+  in
+  let run host port unix file engine text timeout_s max_facts max_steps max_candidates =
+    with_client host port unix (fun c ->
+        ignore (load_or_die c file);
+        print_response
+          (Client.rpc c
+             (Protocol.Query
+                { engine = wire_engine engine;
+                  text;
+                  budget = budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates () })))
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Load FILE on the server and answer one query atom.")
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ engine_arg $ atom_arg
+          $ timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg)
+
+let client_stats_cmd =
+  let run host port unix =
+    with_client host port unix (fun c -> print_response (Client.rpc c Protocol.Stats))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print the server's aggregated telemetry as JSON.")
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg)
+
+let client_shutdown_cmd =
+  let run host port unix =
+    with_client host port unix (fun c -> print_response (Client.rpc c Protocol.Shutdown))
+  in
+  Cmd.v (Cmd.info "shutdown" ~doc:"Ask the server to drain and exit gracefully.")
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg)
+
+let client_cmd =
+  let doc = "Talk to a running gbcd (see $(b,gbc serve))." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [ client_ping_cmd; client_run_cmd; client_models_cmd; client_query_cmd;
+      client_stats_cmd; client_shutdown_cmd ]
+
 let () =
   let doc = "Greedy by Choice: Datalog with choice, least/most and next (PODS'92)." in
   let info = Cmd.info "gbc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; profile_cmd; check_cmd; rewrite_cmd; models_cmd; stable_cmd;
-            wellfounded_cmd; query_cmd; explain_cmd; repl_cmd; demo_cmd ]))
+          [ run_cmd; profile_cmd; check_cmd; analyze_cmd; rewrite_cmd; models_cmd; stable_cmd;
+            wellfounded_cmd; query_cmd; explain_cmd; repl_cmd; demo_cmd; serve_cmd; client_cmd ]))

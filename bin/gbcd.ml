@@ -1,0 +1,7 @@
+(* gbcd — the standalone daemon entry point.  `gbcd --port 7411` is
+   `gbc serve --port 7411`; both share Daemon_cli. *)
+
+let () =
+  let open Cmdliner in
+  let info = Cmd.info "gbcd" ~version:"1.0.0" ~doc:Daemon_cli.serve_doc in
+  exit (Cmd.eval (Cmd.v info Daemon_cli.serve_term))

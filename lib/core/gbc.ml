@@ -32,6 +32,13 @@ module Transform = Gbc_datalog.Transform
 module Magic = Gbc_datalog.Magic
 module Explain = Gbc_datalog.Explain
 
+(* Query-serving daemon (gbcd) *)
+module Protocol = Gbc_server.Protocol
+module Program_cache = Gbc_server.Program_cache
+module Session = Gbc_server.Session
+module Server = Gbc_server.Server
+module Client = Gbc_server.Client
+
 (* Ordered structures (Section 6) *)
 module Binary_heap = Gbc_ordered.Binary_heap
 module Pairing_heap = Gbc_ordered.Pairing_heap

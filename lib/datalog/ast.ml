@@ -132,8 +132,9 @@ let rename_rule f r =
 let choice_fds r =
   List.filter_map (function Choice (l, rhs) -> Some (l, rhs) | _ -> None) r.body
 
-let fresh_counter = ref 0
+(* Atomic: rewrite/compile phases on distinct server domains draw
+   fresh variables concurrently (names are rule-local, but two calls
+   must never return the same name to one caller's rule). *)
+let fresh_counter = Atomic.make 0
 
-let fresh_var () =
-  incr fresh_counter;
-  Printf.sprintf "_G%d" !fresh_counter
+let fresh_var () = Printf.sprintf "_G%d" (1 + Atomic.fetch_and_add fresh_counter 1)

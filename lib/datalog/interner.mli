@@ -4,7 +4,13 @@
     strings, making symbol equality and hashing integer operations.
     [compare_ids] preserves [String.compare] order through a lazily
     rebuilt rank table, so [least]/[most] tie-breaks and [Value.Set]
-    orders are unchanged by interning. *)
+    orders are unchanged by interning.
+
+    The table is domain-safe: insertions are serialized behind a
+    mutex, while {!resolve} and {!compare_ids} stay lock-free (ids are
+    published through an atomic frontier).  The worker domains of the
+    gbcd server intern and resolve concurrently through this one
+    table. *)
 
 val intern : string -> int
 (** The id of [s], allocating one on first sight.  Total and

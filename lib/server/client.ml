@@ -1,0 +1,63 @@
+(* A small blocking client for the gbcd wire protocol: connect, frame
+   requests out, read response frames back.  Used by `gbc client`, the
+   server tests and bench E15. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;  (* unconsumed response bytes *)
+  max_frame : int;
+}
+
+exception Protocol_error of string
+
+let connect_fd ?(max_frame = Protocol.max_frame_default) fd = { fd; inbuf = ""; max_frame }
+
+let connect_tcp ?max_frame ~host ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  connect_fd ?max_frame fd
+
+let connect_unix ?max_frame path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  connect_fd ?max_frame fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t bytes =
+  let n = String.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write_substring t.fd bytes !off (n - !off) in
+    if w = 0 then raise (Protocol_error "connection closed while sending");
+    off := !off + w
+  done
+
+let send t req = send_raw t (Protocol.encode_request req)
+
+let chunk = 65536
+
+let recv t =
+  let buf = Bytes.create chunk in
+  let rec go () =
+    match Protocol.extract_frame ~max_frame:t.max_frame t.inbuf 0 with
+    | Protocol.Frame (body, next) ->
+      t.inbuf <- String.sub t.inbuf next (String.length t.inbuf - next);
+      (match Protocol.decode_response body with
+       | Ok resp -> resp
+       | Error msg -> raise (Protocol_error msg))
+    | Protocol.Bad_length n ->
+      raise (Protocol_error (Printf.sprintf "unacceptable frame length %d" n))
+    | Protocol.Need_more ->
+      let n = Unix.read t.fd buf 0 chunk in
+      if n = 0 then raise (Protocol_error "connection closed by server");
+      t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
+      go ()
+  in
+  go ()
+
+let rpc t req =
+  send t req;
+  recv t

@@ -1,0 +1,21 @@
+(** A blocking client for the gbcd wire protocol. *)
+
+type t
+
+exception Protocol_error of string
+(** Framing or decoding failure, or the server closed mid-exchange.
+    Socket-level failures raise [Unix.Unix_error] as usual. *)
+
+val connect_tcp : ?max_frame:int -> host:string -> port:int -> unit -> t
+val connect_unix : ?max_frame:int -> string -> t
+
+val connect_fd : ?max_frame:int -> Unix.file_descr -> t
+(** Wrap an already-connected socket. *)
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> unit
+val recv : t -> Protocol.response
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** [send] then [recv] — the one-in-flight round trip gbcd expects. *)

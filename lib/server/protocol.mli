@@ -1,0 +1,92 @@
+(** The gbcd wire protocol: length-prefixed binary frames.
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload; the payload's first byte is the message tag (requests
+    below [0x80], responses at or above it).  See docs/SERVER.md for
+    the full field layout of every frame.
+
+    Decoding is total: malformed input of any shape — truncated
+    payloads, unknown tags, inconsistent lengths, trailing bytes —
+    comes back as [Error msg], never an exception, so a server can
+    always answer garbage with a structured error frame. *)
+
+val max_frame_default : int
+(** Default payload-size cap (16 MiB). *)
+
+type engine = Staged | Reference
+
+type budget = {
+  timeout_ms : int option;
+  max_facts : int option;
+  max_steps : int option;
+  max_candidates : int option;
+}
+(** Client-requested resource caps for one evaluation.  The server
+    clamps each against its own configured cap (the effective budget
+    is the pointwise minimum), so a client can tighten but never
+    loosen the server's governor. *)
+
+val no_budget : budget
+
+type request =
+  | Ping
+  | Load of string  (** program source text; compiled through the cache *)
+  | Assert_facts of string  (** ground facts in surface syntax *)
+  | Retract_facts of string  (** ground facts in surface syntax *)
+  | Run of { engine : engine; seed : int option; preds : string list option; budget : budget }
+  | Enumerate of { max_models : int; preds : string list option }
+  | Query of { engine : engine; text : string; budget : budget }
+  | Stats
+  | Shutdown  (** graceful drain: in-flight queries finish first *)
+
+type error_code =
+  | Lex_error
+  | Parse_error
+  | Unsafe
+  | Unsupported
+  | Not_compilable
+  | Io_error
+  | Protocol_violation
+  | No_program  (** session has no loaded program *)
+  | Budget_exhausted  (** enumeration budget tripped (runs return a partial {!Model} instead) *)
+  | Draining  (** request arrived after shutdown began *)
+  | Server_error  (** unclassified server-side exception *)
+
+type response =
+  | Pong
+  | Loaded of { clauses : int; cache_hit : bool; digest : string; stage_stratified : bool }
+  | Asserted of { added : int }
+  | Retracted of { removed : int }
+  | Model of { complete : bool; text : string; diagnostic : string option }
+      (** [complete = false] carries the consistent partial model plus
+          the governor's diagnostics — budget exhaustion is an answer,
+          not a dropped connection. *)
+  | Model_set of { total : int; models : string list }
+  | Answers of { complete : bool; vars : string list; rows : string list }
+  | Stats_json of string
+  | Error of { code : error_code; message : string }
+  | Bye
+
+val error_code_to_int : error_code -> int
+val error_code_of_int : int -> error_code option
+val error_code_to_string : error_code -> string
+
+val encode_request : request -> string
+(** The full frame, length prefix included. *)
+
+val encode_response : response -> string
+
+type extracted =
+  | Need_more  (** not yet a whole frame *)
+  | Bad_length of int  (** length prefix negative, zero or over the cap *)
+  | Frame of string * int  (** payload and the offset just past the frame *)
+
+val extract_frame : ?max_frame:int -> string -> int -> extracted
+(** [extract_frame buf start] splits the first frame out of a byte
+    accumulation starting at [start]. *)
+
+val decode_request : string -> (request, string) result
+(** Decode a frame payload.  Response tags, unknown tags and every
+    malformation are [Error]. *)
+
+val decode_response : string -> (response, string) result

@@ -1,0 +1,547 @@
+(* gbcd: the concurrent query-serving daemon.
+
+   Architecture — one event-loop domain plus a pool of worker domains:
+
+   - The event loop owns every socket.  It accepts connections, reads
+     bytes, splits frames (Protocol.extract_frame), decodes requests,
+     and queues at most one in-flight request per connection on the
+     shared work queue (per-connection FIFO order is what makes
+     assert-then-run meaningful).  It also owns all outbound buffers
+     and flushes them as sockets become writable.
+
+   - Worker domains block on the work queue, evaluate the request
+     against the connection's session under a per-request Limits
+     governor, and push the encoded response onto the completion
+     queue, waking the loop through a self-pipe.  Workers never touch
+     sockets or connection state — only the session they were handed.
+
+   - Client disconnects flip the session's cancellation token, so a
+     runaway evaluation for a dead client stops at the governor's next
+     poll; the orphaned response is discarded.
+
+   - Shutdown is a graceful drain: stop accepting, finish in-flight
+     evaluations and flush their responses, answer queued-but-unstarted
+     requests with a Draining error, then join the workers and close.
+
+   Every server-side failure is classified (Session.protect /
+   Gbc_error) and returned as a structured Error frame; a connection
+   is only ever closed by the client, by a framing violation, or by
+   drain. *)
+
+module Limits = Gbc_datalog.Limits
+module Telemetry = Gbc_datalog.Telemetry
+
+type config = {
+  host : string;
+  port : int option;  (* None: no TCP listener *)
+  unix_path : string option;  (* None: no Unix-domain listener *)
+  backlog : int;
+  workers : int;
+  default_timeout_s : float option;  (* per-request governor caps *)
+  max_facts : int option;
+  max_steps : int option;
+  max_candidates : int option;
+  max_frame : int;
+  cache_capacity : int;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = Some 7411;
+    unix_path = None;
+    backlog = 64;
+    workers = 4;
+    default_timeout_s = Some 30.0;
+    max_facts = None;
+    max_steps = None;
+    max_candidates = None;
+    max_frame = Protocol.max_frame_default;
+    cache_capacity = 64 }
+
+type conn = {
+  fd : Unix.file_descr;
+  session : Session.t;
+  inbuf : Buffer.t;  (* unconsumed inbound bytes *)
+  out : Buffer.t;  (* outbound bytes; [out_off] already written *)
+  mutable out_off : int;
+  pending : Protocol.request Queue.t;
+  mutable busy : bool;  (* a request is with a worker *)
+  mutable alive : bool;  (* fd open *)
+  mutable peer_gone : bool;  (* EOF/error seen; stop reading *)
+  mutable close_after_flush : bool;
+}
+
+type post = Keep | Start_drain
+
+type work_item = Job of conn * Protocol.request | Quit
+
+type t = {
+  cfg : config;
+  listeners : Unix.file_descr list;
+  tcp_port : int option;  (* actual bound port (for port 0) *)
+  cache : Program_cache.t;
+  work_m : Mutex.t;
+  work_c : Condition.t;
+  work : work_item Queue.t;
+  done_m : Mutex.t;
+  done_q : (conn * string * post) Queue.t;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  draining : bool Atomic.t;
+  started_at : float;
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  partials : int Atomic.t;
+  sessions_total : int Atomic.t;
+  totals_m : Mutex.t;
+  engine_totals : (string, int) Hashtbl.t;
+  mutable conns : conn list;  (* event-loop owned *)
+}
+
+(* ---------------- creation ---------------- *)
+
+let bind_tcp host port backlog =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = try Unix.inet_addr_of_string host with Failure _ -> failwith ("bad host " ^ host) in
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd backlog;
+  let actual =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (fd, actual)
+
+let bind_unix path backlog =
+  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd backlog;
+  fd
+
+let create cfg =
+  (* writes to sockets whose peer vanished must surface as EPIPE, not
+     kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match
+    let tcp = Option.map (fun p -> bind_tcp cfg.host p cfg.backlog) cfg.port in
+    let uds = Option.map (fun p -> bind_unix p cfg.backlog) cfg.unix_path in
+    let listeners =
+      List.filter_map Fun.id [ Option.map fst tcp; uds ]
+    in
+    if listeners = [] then failwith "no listener configured (need a port or a unix path)";
+    List.iter Unix.set_nonblock listeners;
+    let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock pipe_r;
+    Unix.set_nonblock pipe_w;
+    { cfg;
+      listeners;
+      tcp_port = Option.map snd tcp;
+      cache = Program_cache.create ~capacity:cfg.cache_capacity ();
+      work_m = Mutex.create ();
+      work_c = Condition.create ();
+      work = Queue.create ();
+      done_m = Mutex.create ();
+      done_q = Queue.create ();
+      pipe_r;
+      pipe_w;
+      draining = Atomic.make false;
+      started_at = Unix.gettimeofday ();
+      requests = Atomic.make 0;
+      errors = Atomic.make 0;
+      partials = Atomic.make 0;
+      sessions_total = Atomic.make 0;
+      totals_m = Mutex.create ();
+      engine_totals = Hashtbl.create 32;
+      conns = [] }
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Failure msg -> Error msg
+
+let port t = t.tcp_port
+
+let wake t =
+  try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
+
+let shutdown t =
+  Atomic.set t.draining true;
+  wake t
+
+(* ---------------- per-request governance ---------------- *)
+
+let opt_min a b = match (a, b) with None, x | x, None -> x | Some a, Some b -> Some (min a b)
+
+(* The effective budget is the pointwise minimum of the server's caps
+   and whatever the client asked for — clients tighten, never loosen.
+   The cancellation token is always wired in, so a disconnect stops
+   even a budget-less run. *)
+let effective_limits t (session : Session.t) (b : Protocol.budget) =
+  let ms_to_s ms = float_of_int ms /. 1000.0 in
+  Limits.create
+    ?timeout_s:(opt_min t.cfg.default_timeout_s (Option.map ms_to_s b.Protocol.timeout_ms))
+    ?max_facts:(opt_min t.cfg.max_facts b.Protocol.max_facts)
+    ?max_steps:(opt_min t.cfg.max_steps b.Protocol.max_steps)
+    ?max_candidates:(opt_min t.cfg.max_candidates b.Protocol.max_candidates)
+    ~cancel:session.Session.cancel ()
+
+(* ---------------- stats ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let totals_json tbl =
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) entries)
+  ^ "}"
+
+let stats_json t (session : Session.t) =
+  let cache = Program_cache.stats t.cache in
+  let c = session.Session.counters in
+  let global_totals = Mutex.protect t.totals_m (fun () -> totals_json t.engine_totals) in
+  Printf.sprintf
+    "{\"server\": {\"workers\": %d, \"uptime_s\": %.3f, \"draining\": %b, \"requests\": %d, \
+     \"errors\": %d, \"partials\": %d, \"sessions_total\": %d, \"cache\": {\"hits\": %d, \
+     \"misses\": %d, \"evictions\": %d, \"entries\": %d}, \"engine\": %s}, \"session\": \
+     {\"id\": %d, \"requests\": %d, \"evaluations\": %d, \"partials\": %d, \"errors\": %d, \
+     \"facts_asserted\": %d, \"facts_retracted\": %d, \"eval_wall_s\": %.6f, \"engine\": %s}}"
+    t.cfg.workers
+    (Unix.gettimeofday () -. t.started_at)
+    (Atomic.get t.draining) (Atomic.get t.requests) (Atomic.get t.errors)
+    (Atomic.get t.partials)
+    (Atomic.get t.sessions_total)
+    cache.Program_cache.hits cache.Program_cache.misses cache.Program_cache.evictions
+    cache.Program_cache.entries global_totals session.Session.id c.Session.requests
+    c.Session.evaluations c.Session.partials c.Session.errors c.Session.facts_asserted
+    c.Session.facts_retracted c.Session.eval_wall_s
+    (totals_json c.Session.engine_totals)
+
+(* ---------------- request handling (worker side) ---------------- *)
+
+let merge_global_totals t telemetry =
+  match Telemetry.totals telemetry with
+  | [] -> ()
+  | totals ->
+    Mutex.protect t.totals_m (fun () ->
+        List.iter
+          (fun (k, v) ->
+            let prev = try Hashtbl.find t.engine_totals k with Not_found -> 0 in
+            Hashtbl.replace t.engine_totals k (prev + v))
+          totals)
+
+let handle_request t (session : Session.t) req : Protocol.response * post =
+  Atomic.incr t.requests;
+  session.Session.counters.Session.requests <-
+    session.Session.counters.Session.requests + 1;
+  let err (code, message) =
+    Atomic.incr t.errors;
+    session.Session.counters.Session.errors <- session.Session.counters.Session.errors + 1;
+    (Protocol.Error { code; message }, Keep)
+  in
+  try
+    match req with
+    | Protocol.Ping -> (Protocol.Pong, Keep)
+    | Protocol.Shutdown -> (Protocol.Bye, Start_drain)
+    | Protocol.Stats -> (Protocol.Stats_json (stats_json t session), Keep)
+    | Protocol.Load src -> (
+      match Session.load session src with
+      | Ok (entry, cache_hit) ->
+        ( Protocol.Loaded
+            { clauses = List.length entry.Program_cache.program;
+              cache_hit;
+              digest = entry.Program_cache.digest;
+              stage_stratified = entry.Program_cache.report.Gbc_datalog.Stage.stage_stratified },
+          Keep )
+      | Error e -> err e)
+    | Protocol.Assert_facts text -> (
+      match Session.assert_facts session text with
+      | Ok added -> (Protocol.Asserted { added }, Keep)
+      | Error e -> err e)
+    | Protocol.Retract_facts text -> (
+      match Session.retract_facts session text with
+      | Ok removed -> (Protocol.Retracted { removed }, Keep)
+      | Error e -> err e)
+    | Protocol.Run { engine; seed; preds; budget } -> (
+      let limits = effective_limits t session budget in
+      let telemetry = Telemetry.create () in
+      let result = Session.run session ~engine ~seed ~limits ~telemetry in
+      merge_global_totals t telemetry;
+      match result with
+      | Ok (Limits.Complete db) ->
+        (Protocol.Model { complete = true; text = Session.render_model ?preds db; diagnostic = None }, Keep)
+      | Ok (Limits.Partial (db, d)) ->
+        Atomic.incr t.partials;
+        ( Protocol.Model
+            { complete = false;
+              text = Session.render_model ?preds db;
+              diagnostic = Some (Format.asprintf "%a" Limits.pp_diagnostics d) },
+          Keep )
+      | Error e -> err e)
+    | Protocol.Enumerate { max_models; preds } -> (
+      let limits = effective_limits t session Protocol.no_budget in
+      match Session.enumerate session ~max_models:(max 1 max_models) ~limits with
+      | Ok models ->
+        ( Protocol.Model_set
+            { total = List.length models;
+              models = List.map (fun db -> Session.render_model ?preds db) models },
+          Keep )
+      | Error e -> err e)
+    | Protocol.Query { engine; text; budget } -> (
+      let limits = effective_limits t session budget in
+      let telemetry = Telemetry.create () in
+      let result = Session.query session ~engine ~text ~limits ~telemetry in
+      merge_global_totals t telemetry;
+      match result with
+      | Ok (complete, vars, rows) ->
+        if not complete then Atomic.incr t.partials;
+        (Protocol.Answers { complete; vars; rows }, Keep)
+      | Error e -> err e)
+  with e ->
+    (* last-resort classification: a worker must survive anything *)
+    err (Protocol.Server_error, Printexc.to_string e)
+
+let worker t =
+  let pop () =
+    Mutex.lock t.work_m;
+    while Queue.is_empty t.work do
+      Condition.wait t.work_c t.work_m
+    done;
+    let item = Queue.pop t.work in
+    Mutex.unlock t.work_m;
+    item
+  in
+  let rec go () =
+    match pop () with
+    | Quit -> ()
+    | Job (conn, req) ->
+      let resp, post = handle_request t conn.session req in
+      let bytes = Protocol.encode_response resp in
+      Mutex.protect t.done_m (fun () -> Queue.push (conn, bytes, post) t.done_q);
+      wake t;
+      go ()
+  in
+  go ()
+
+(* ---------------- event loop ---------------- *)
+
+let close_conn t c =
+  if c.alive then begin
+    c.alive <- false;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  end;
+  ignore t
+
+let on_peer_gone t c =
+  if not c.peer_gone then begin
+    c.peer_gone <- true;
+    (* stop any in-flight evaluation for this client at the governor's
+       next poll *)
+    c.session.Session.cancel := true;
+    Queue.clear c.pending
+  end;
+  if not c.busy then close_conn t c
+
+let respond_now c resp = Buffer.add_string c.out (Protocol.encode_response resp)
+
+let enqueue_job t c req =
+  c.busy <- true;
+  Mutex.protect t.work_m (fun () -> Queue.push (Job (c, req)) t.work);
+  Condition.signal t.work_c
+
+let dispatch t c =
+  if c.alive && (not c.busy) && not (Queue.is_empty c.pending) then begin
+    if Atomic.get t.draining then begin
+      (* drain answers queued-but-unstarted work without evaluating *)
+      Queue.iter
+        (fun _ ->
+          respond_now c
+            (Protocol.Error { code = Protocol.Draining; message = "server is draining" }))
+        c.pending;
+      Queue.clear c.pending;
+      c.close_after_flush <- true
+    end
+    else enqueue_job t c (Queue.pop c.pending)
+  end
+
+let parse_frames t c =
+  let data = Buffer.contents c.inbuf in
+  let off = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match Protocol.extract_frame ~max_frame:t.cfg.max_frame data !off with
+    | Protocol.Need_more -> stop := true
+    | Protocol.Bad_length n ->
+      respond_now c
+        (Protocol.Error
+           { code = Protocol.Protocol_violation;
+             message = Printf.sprintf "unacceptable frame length %d" n });
+      (* framing is desynchronized beyond repair; stop reading *)
+      c.peer_gone <- true;
+      c.close_after_flush <- true;
+      stop := true
+    | Protocol.Frame (body, next) -> (
+      off := next;
+      match Protocol.decode_request body with
+      | Ok req -> Queue.push req c.pending
+      | Error msg ->
+        respond_now c
+          (Protocol.Error { code = Protocol.Protocol_violation; message = msg });
+        c.peer_gone <- true;
+        c.close_after_flush <- true;
+        stop := true)
+  done;
+  if !off > 0 then begin
+    let rest = String.sub data !off (String.length data - !off) in
+    Buffer.clear c.inbuf;
+    Buffer.add_string c.inbuf rest
+  end;
+  dispatch t c
+
+let accept_conn t lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> ()
+  | fd, _addr ->
+    Unix.set_nonblock fd;
+    let id = 1 + Atomic.fetch_and_add t.sessions_total 1 in
+    let c =
+      { fd;
+        session = Session.create ~cache:t.cache ~id;
+        inbuf = Buffer.create 1024;
+        out = Buffer.create 1024;
+        out_off = 0;
+        pending = Queue.create ();
+        busy = false;
+        alive = true;
+        peer_gone = false;
+        close_after_flush = false }
+    in
+    t.conns <- c :: t.conns
+
+let read_chunk = Bytes.create 65536
+
+let on_readable t c =
+  match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> on_peer_gone t c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> on_peer_gone t c
+  | n ->
+    Buffer.add_subbytes c.inbuf read_chunk 0 n;
+    parse_frames t c
+
+let out_pending c = Buffer.length c.out - c.out_off
+
+let on_writable t c =
+  let len = out_pending c in
+  if len > 0 then begin
+    match Unix.write_substring c.fd (Buffer.contents c.out) c.out_off len with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      Buffer.clear c.out;
+      c.out_off <- 0;
+      on_peer_gone t c
+    | n ->
+      c.out_off <- c.out_off + n;
+      if out_pending c = 0 then begin
+        Buffer.clear c.out;
+        c.out_off <- 0
+      end
+  end;
+  if out_pending c = 0 && c.close_after_flush && (not c.busy) && Queue.is_empty c.pending
+  then close_conn t c
+
+let drain_completions t =
+  let items =
+    Mutex.protect t.done_m (fun () ->
+        let xs = List.of_seq (Queue.to_seq t.done_q) in
+        Queue.clear t.done_q;
+        xs)
+  in
+  List.iter
+    (fun (c, bytes, post) ->
+      c.busy <- false;
+      (match post with
+       | Start_drain -> Atomic.set t.draining true
+       | Keep -> ());
+      if c.alive && not c.peer_gone then Buffer.add_string c.out bytes
+      else if c.alive then close_conn t c;
+      dispatch t c)
+    items
+
+let drain_pipe t =
+  let b = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.pipe_r b 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  go ()
+
+let finished t =
+  Atomic.get t.draining
+  && List.for_all (fun c -> (not c.busy) && ((not c.alive) || out_pending c = 0)) t.conns
+
+let run t =
+  let workers = List.init t.cfg.workers (fun _ -> Domain.spawn (fun () -> worker t)) in
+  let rec loop () =
+    t.conns <- List.filter (fun c -> c.alive || c.busy) t.conns;
+    if finished t then ()
+    else begin
+      let accepting = not (Atomic.get t.draining) in
+      let rds =
+        (t.pipe_r :: (if accepting then t.listeners else []))
+        @ List.filter_map
+            (fun c -> if c.alive && not c.peer_gone then Some c.fd else None)
+            t.conns
+      in
+      let wrs =
+        List.filter_map (fun c -> if c.alive && out_pending c > 0 then Some c.fd else None) t.conns
+      in
+      (match Unix.select rds wrs [] 0.25 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | readable, writable, _ ->
+         if List.mem t.pipe_r readable then drain_pipe t;
+         List.iter (fun lfd -> if List.mem lfd readable then accept_conn t lfd) t.listeners;
+         List.iter
+           (fun c -> if c.alive && List.mem c.fd readable then on_readable t c)
+           t.conns;
+         List.iter
+           (fun c -> if c.alive && List.mem c.fd writable then on_writable t c)
+           t.conns);
+      drain_completions t;
+      (* drain mode: flush Draining errors to idle connections *)
+      if Atomic.get t.draining then List.iter (fun c -> dispatch t c) t.conns;
+      loop ()
+    end
+  in
+  loop ();
+  (* drained: release everything *)
+  List.iter (fun c -> close_conn t c) t.conns;
+  t.conns <- [];
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  Mutex.protect t.work_m (fun () ->
+      List.iter (fun _ -> Queue.push Quit t.work) workers);
+  Condition.broadcast t.work_c;
+  List.iter Domain.join workers;
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  Option.iter
+    (fun p -> try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    t.cfg.unix_path

@@ -1,0 +1,54 @@
+(** gbcd: a concurrent query-serving daemon.
+
+    One event-loop domain owns the sockets (accept, frame splitting,
+    response flushing); [workers] worker domains pull decoded requests
+    from a shared queue and evaluate them against per-connection
+    {!Session.t}s.  At most one request per connection is in flight at
+    a time, so a client's assert-then-run sequence is meaningful.
+
+    Every request runs under a per-request [Limits] governor — the
+    pointwise minimum of the server's configured caps and the client's
+    requested budget — with the session's cancellation token wired in,
+    so a client disconnect stops its in-flight evaluation at the next
+    governor poll.  All failures come back as structured [Error]
+    frames; the server never drops a connection in response to a
+    well-framed request.
+
+    Shutdown (the [Shutdown] request, or {!shutdown} from another
+    domain) drains gracefully: stop accepting, finish in-flight work,
+    answer queued requests with [Draining], flush, join workers. *)
+
+type config = {
+  host : string;
+  port : int option;  (** TCP listener; [None] disables.  0 picks a free port. *)
+  unix_path : string option;  (** Unix-domain listener; [None] disables. *)
+  backlog : int;
+  workers : int;
+  default_timeout_s : float option;  (** server-side per-request caps … *)
+  max_facts : int option;
+  max_steps : int option;
+  max_candidates : int option;
+  max_frame : int;  (** frames above this are a protocol violation *)
+  cache_capacity : int;  (** compiled-program cache entries *)
+}
+
+val default_config : config
+(** 127.0.0.1:7411, 4 workers, 30s default timeout, 16 MiB max frame,
+    64 cache entries. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Bind the configured listeners (SO_REUSEADDR; a stale Unix-socket
+    path is unlinked) and build the server.  Ignores SIGPIPE. *)
+
+val port : t -> int option
+(** The actually-bound TCP port (useful with [port = Some 0]). *)
+
+val run : t -> unit
+(** Spawn the worker domains and serve until drained.  Blocks; returns
+    only after a graceful shutdown has closed every socket and joined
+    every worker. *)
+
+val shutdown : t -> unit
+(** Begin a graceful drain from another domain.  Idempotent. *)

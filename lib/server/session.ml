@@ -1,0 +1,284 @@
+(* A session: one connected client's private view of the engine.
+
+   A session owns a reference to an immutable cache entry (the
+   compiled program) and a private database snapshot taken from the
+   entry's frozen fact base with [Database.copy] — copy-on-write at
+   the relation level, so isolation between sessions sharing a cached
+   program costs O(#relations) until a session actually asserts.
+
+   Lifecycle:
+     Load        -> snapshot := copy(entry.base); asserted := []
+     Assert      -> facts added to the snapshot (and remembered)
+     Retract     -> snapshot rebuilt from base + remaining asserts
+     Run/Query/
+     Enumerate   -> evaluate on copy(snapshot); the snapshot itself
+                    never sees derived facts, so runs are repeatable
+
+   A session is driven by at most one worker at a time (the server
+   dispatches one request per connection), so nothing here needs a
+   lock; the only cross-domain touch is [cancel], which the event loop
+   sets when the client disconnects and the governor polls. *)
+
+module Ast = Gbc_datalog.Ast
+module Database = Gbc_datalog.Database
+module Value = Gbc_datalog.Value
+module Parser = Gbc_datalog.Parser
+module Eval = Gbc_datalog.Eval
+module Limits = Gbc_datalog.Limits
+module Telemetry = Gbc_datalog.Telemetry
+module Gbc_error = Gbc_datalog.Gbc_error
+module Choice_fixpoint = Gbc_datalog.Choice_fixpoint
+module Stage_engine = Gbc_datalog.Stage_engine
+module Lexer = Gbc_datalog.Lexer
+
+type counters = {
+  mutable requests : int;
+  mutable evaluations : int;  (* Run + Enumerate + Query *)
+  mutable partials : int;
+  mutable errors : int;
+  mutable facts_asserted : int;
+  mutable facts_retracted : int;
+  mutable eval_wall_s : float;
+  engine_totals : (string, int) Hashtbl.t;  (* summed Telemetry.totals *)
+}
+
+type t = {
+  id : int;
+  cache : Program_cache.t;
+  cancel : bool ref;
+  mutable entry : Program_cache.entry option;
+  mutable db : Database.t option;  (* base snapshot + asserted facts *)
+  mutable asserted : (string * Value.t array) list;  (* newest first *)
+  counters : counters;
+}
+
+type error = Protocol.error_code * string
+
+let create ~cache ~id =
+  { id;
+    cache;
+    cancel = ref false;
+    entry = None;
+    db = None;
+    asserted = [];
+    counters =
+      { requests = 0; evaluations = 0; partials = 0; errors = 0; facts_asserted = 0;
+        facts_retracted = 0; eval_wall_s = 0.0; engine_totals = Hashtbl.create 16 } }
+
+let of_gbc_error (e : Gbc_error.t) : error =
+  let code =
+    match e with
+    | Gbc_error.Lex _ -> Protocol.Lex_error
+    | Gbc_error.Parse _ -> Protocol.Parse_error
+    | Gbc_error.Unsafe _ -> Protocol.Unsafe
+    | Gbc_error.Unsupported _ -> Protocol.Unsupported
+    | Gbc_error.Not_compilable _ -> Protocol.Not_compilable
+    | Gbc_error.Io _ -> Protocol.Io_error
+  in
+  (code, Gbc_error.to_string e)
+
+(* Classify like Gbc_error.protect, but also absorb the
+   [Invalid_argument]s the substrate raises on arity clashes and
+   rule-shape violations — a client must never crash a worker. *)
+let protect f =
+  match Gbc_error.protect f with
+  | Ok v -> Ok v
+  | Error e -> Error (of_gbc_error e)
+  | exception Invalid_argument msg -> Error (Protocol.Unsupported, msg)
+
+(* ---------------- load / assert / retract ---------------- *)
+
+let load t source =
+  match Program_cache.find_or_compile t.cache source with
+  | Error e -> Error (of_gbc_error e)
+  | Ok (entry, hit) ->
+    t.entry <- Some entry;
+    t.db <- Some (Database.copy entry.Program_cache.base);
+    t.asserted <- [];
+    Ok (entry, hit)
+
+let parse_ground_facts text =
+  protect (fun () ->
+      let clauses = Parser.parse_program text in
+      List.map
+        (fun r ->
+          if not (Ast.is_fact r) then
+            raise (Parser.Error ("expected ground facts only", { Lexer.line = 0; col = 0 }));
+          (r.Ast.head.Ast.pred, Array.of_list (List.map Ast.term_to_value r.Ast.head.Ast.args)))
+        clauses)
+
+let with_db t f =
+  match t.db with
+  | None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
+  | Some db -> f db
+
+let assert_facts t text =
+  with_db t (fun db ->
+      match parse_ground_facts text with
+      | Error e -> Error e
+      | Ok facts ->
+        protect (fun () ->
+            let added =
+              List.fold_left
+                (fun added (pred, row) ->
+                  if Database.add_fact db pred row then begin
+                    t.asserted <- (pred, row) :: t.asserted;
+                    added + 1
+                  end
+                  else added)
+                0 facts
+            in
+            t.counters.facts_asserted <- t.counters.facts_asserted + added;
+            added))
+
+let row_equal (p1, (r1 : Value.t array)) (p2, r2) =
+  String.equal p1 p2 && Array.length r1 = Array.length r2
+  && (let ok = ref true in
+      Array.iteri (fun i v -> if not (Value.equal v r2.(i)) then ok := false) r1;
+      !ok)
+
+(* Relations are append-only, so retraction rebuilds the snapshot from
+   the frozen base plus the surviving asserts.  Only session-asserted
+   facts are retractable; the loaded program's own facts are part of
+   the compiled entry and immutable. *)
+let retract_facts t text =
+  match t.entry with
+  | None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
+  | Some entry -> (
+    match parse_ground_facts text with
+    | Error e -> Error e
+    | Ok facts ->
+      protect (fun () ->
+          let removed = ref 0 in
+          let survivors =
+            List.filter
+              (fun kept ->
+                if List.exists (row_equal kept) facts then begin
+                  incr removed;
+                  false
+                end
+                else true)
+              t.asserted
+          in
+          if !removed > 0 then begin
+            let db = Database.copy entry.Program_cache.base in
+            List.iter (fun (pred, row) -> ignore (Database.add_fact db pred row))
+              (List.rev survivors);
+            t.asserted <- survivors;
+            t.db <- Some db
+          end;
+          t.counters.facts_retracted <- t.counters.facts_retracted + !removed;
+          !removed))
+
+(* ---------------- evaluation ---------------- *)
+
+let map_outcome f = function
+  | Limits.Complete x -> Limits.Complete (f x)
+  | Limits.Partial (x, d) -> Limits.Partial (f x, d)
+
+let note_eval t telemetry t0 =
+  t.counters.evaluations <- t.counters.evaluations + 1;
+  t.counters.eval_wall_s <- t.counters.eval_wall_s +. (Unix.gettimeofday () -. t0);
+  List.iter
+    (fun (k, v) ->
+      let prev = try Hashtbl.find t.counters.engine_totals k with Not_found -> 0 in
+      Hashtbl.replace t.counters.engine_totals k (prev + v))
+    (Telemetry.totals telemetry)
+
+let run t ~engine ~seed ~limits ~telemetry =
+  match (t.entry, t.db) with
+  | None, _ | _, None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
+  | Some entry, Some db ->
+    let work = Database.copy db in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      protect (fun () ->
+          match engine with
+          | Protocol.Staged ->
+            map_outcome fst
+              (Stage_engine.run_governed ~telemetry ~limits ~db:work entry.Program_cache.rules)
+          | Protocol.Reference ->
+            let policy =
+              match seed with Some s -> Choice_fixpoint.Random s | None -> Choice_fixpoint.First
+            in
+            map_outcome fst
+              (Choice_fixpoint.run_governed ~policy ~telemetry ~limits ~db:work
+                 entry.Program_cache.rules))
+    in
+    note_eval t telemetry t0;
+    (match result with
+     | Ok (Limits.Partial _) -> t.counters.partials <- t.counters.partials + 1
+     | _ -> ());
+    result
+
+let enumerate t ~max_models ~limits =
+  match (t.entry, t.db) with
+  | None, _ | _, None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
+  | Some entry, Some db -> (
+    let t0 = Unix.gettimeofday () in
+    let result =
+      protect (fun () ->
+          (* [enumerate] snapshots the db itself; [Exhausted] escapes
+             it (there is no governed variant of a model set), so it
+             becomes a structured error frame here. *)
+          try Ok (Choice_fixpoint.enumerate ~max_models ~limits ~db entry.Program_cache.rules)
+          with Limits.Exhausted v ->
+            Error
+              ( Protocol.Budget_exhausted,
+                "enumeration stopped: " ^ Limits.violation_to_string v ))
+    in
+    t.counters.evaluations <- t.counters.evaluations + 1;
+    t.counters.eval_wall_s <- t.counters.eval_wall_s +. (Unix.gettimeofday () -. t0);
+    match result with Ok r -> r | Error e -> Error e)
+
+let nowhere = { Lexer.line = 0; col = 0 }
+
+let parse_goal text =
+  match Parser.parse_rule ("query_goal <- " ^ text) with
+  | { Ast.body = [ Ast.Pos a ]; _ } -> a
+  | _ -> raise (Parser.Error ("queries take a single positive atom", nowhere))
+
+let query t ~engine ~text ~limits ~telemetry =
+  match parse_goal text with
+  | exception Parser.Error (msg, pos) -> Error (of_gbc_error (Gbc_error.Parse (msg, pos)))
+  | goal -> (
+    match run t ~engine ~seed:None ~limits ~telemetry with
+    | Error e -> Error e
+    | Ok outcome ->
+      let complete = match outcome with Limits.Complete _ -> true | _ -> false in
+      let db = Limits.value outcome in
+      protect (fun () ->
+          let body = Eval.compile_body [ Ast.Pos goal ] in
+          let vars = Ast.atom_vars goal in
+          let rows = Eval.solutions body db (List.map (fun v -> Ast.Var v) vars) in
+          let rendered =
+            List.map
+              (fun row ->
+                if vars = [] then "true"
+                else
+                  String.concat ", "
+                    (List.map2 (fun v x -> v ^ " = " ^ Value.to_string x) vars row))
+              rows
+          in
+          (complete, vars, rendered)))
+
+(* ---------------- rendering ---------------- *)
+
+(* Identical to the CLI's print_model: the whole model through
+   [Database.pp] (sorted, one fact per line), or the chosen predicates
+   in insertion order. *)
+let render_model ?preds db =
+  match preds with
+  | None -> Format.asprintf "%a" Database.pp db
+  | Some preds ->
+    let b = Buffer.create 256 in
+    List.iter
+      (fun pred ->
+        List.iter
+          (fun row ->
+            Buffer.add_string b
+              (Printf.sprintf "%s(%s).\n" pred
+                 (String.concat ", " (List.map Value.to_string (Array.to_list row)))))
+          (Database.facts_of db pred))
+      preds;
+    Buffer.contents b

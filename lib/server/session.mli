@@ -1,0 +1,86 @@
+(** One connected client's private view of the engine.
+
+    A session pairs an immutable {!Program_cache.entry} (the compiled
+    program, shared by every session that loaded the same text) with a
+    private database snapshot taken via the copy-on-write
+    [Database.copy], so concurrently connected sessions asserting
+    different facts see disjoint models at O(#relations) isolation
+    cost.  Every evaluation runs on a fresh copy of the snapshot —
+    derived facts never leak back into the session's EDB, so repeated
+    runs are repeatable.
+
+    A session is driven by at most one server worker at a time; the
+    only cross-domain field is {!val-cancel}, set by the event loop on
+    client disconnect and polled by the governor. *)
+
+module Database = Gbc_datalog.Database
+module Limits = Gbc_datalog.Limits
+module Telemetry = Gbc_datalog.Telemetry
+
+type counters = {
+  mutable requests : int;
+  mutable evaluations : int;
+  mutable partials : int;
+  mutable errors : int;
+  mutable facts_asserted : int;
+  mutable facts_retracted : int;
+  mutable eval_wall_s : float;
+  engine_totals : (string, int) Hashtbl.t;  (** summed [Telemetry.totals] *)
+}
+
+type t = {
+  id : int;
+  cache : Program_cache.t;
+  cancel : bool ref;  (** wire into [Limits.create ~cancel]; set on disconnect *)
+  mutable entry : Program_cache.entry option;
+  mutable db : Database.t option;
+  mutable asserted : (string * Gbc_datalog.Value.t array) list;
+  counters : counters;
+}
+
+type error = Protocol.error_code * string
+
+val create : cache:Program_cache.t -> id:int -> t
+
+val load : t -> string -> (Program_cache.entry * bool, error) result
+(** Compile (through the cache) and make this the session's program;
+    resets the snapshot and the assert set.  The flag is [true] on a
+    cache hit. *)
+
+val assert_facts : t -> string -> (int, error) result
+(** Parse ground facts and add them to the private snapshot; returns
+    how many were new. *)
+
+val retract_facts : t -> string -> (int, error) result
+(** Remove previously asserted facts (exact matches) and rebuild the
+    snapshot from the frozen base; returns how many were removed.  The
+    loaded program's own facts are immutable. *)
+
+val run :
+  t ->
+  engine:Protocol.engine ->
+  seed:int option ->
+  limits:Limits.t ->
+  telemetry:Telemetry.t ->
+  (Database.t Limits.outcome, error) result
+(** Evaluate on a fresh copy of the snapshot.  Budget exhaustion and
+    cancellation come back as [Limits.Partial] — a consistent partial
+    model, never a crash. *)
+
+val enumerate : t -> max_models:int -> limits:Limits.t -> (Database.t list, error) result
+(** All choice models (small programs); a tripped budget is a
+    [Budget_exhausted] error. *)
+
+val query :
+  t ->
+  engine:Protocol.engine ->
+  text:string ->
+  limits:Limits.t ->
+  telemetry:Telemetry.t ->
+  (bool * string list * string list, error) result
+(** Evaluate, then answer one positive query atom against the model:
+    (model was complete, variable names, rendered rows). *)
+
+val render_model : ?preds:string list -> Database.t -> string
+(** Same text as [gbc run] prints: the whole model via [Database.pp],
+    or the chosen predicates in insertion order. *)

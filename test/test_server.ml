@@ -1,0 +1,340 @@
+(* gbcd end to end: an in-process server on a Unix-domain socket,
+   exercised by real client connections.
+
+   Covers the acceptance criteria for the daemon:
+   - models served over the wire are byte-identical to single-shot
+     evaluation, including under 8 concurrent sessions replaying all
+     13 exemplar programs against a 4-worker pool;
+   - two sessions loading the same cached program and asserting
+     different facts get disjoint models (copy-on-write isolation);
+   - budget exhaustion returns a structured partial frame and the
+     connection stays usable;
+   - malformed bytes get a structured error frame, not a dropped
+     connection or a crash;
+   - shutdown drains gracefully (Bye, then the server's run returns). *)
+
+open Gbc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let exemplars =
+  [ "example1.dl"; "bi_st_c.dl"; "sorting.dl"; "prim.dl"; "kruskal.dl";
+    "matching.dl"; "huffman.dl"; "tsp.dl"; "dijkstra.dl"; "scheduling.dl";
+    "vertex_cover.dl"; "set_cover.dl"; "transitive_closure.dl" ]
+
+let source name = read_file ("../programs/" ^ name)
+
+(* ---------------- in-process server fixture ---------------- *)
+
+let sock_counter = ref 0
+
+let with_server ?(workers = 4) ?default_timeout_s ?max_facts f =
+  incr sock_counter;
+  let path = Printf.sprintf "gbcd_test_%d_%d.sock" (Unix.getpid ()) !sock_counter in
+  let cfg =
+    { Server.default_config with
+      port = None;
+      unix_path = Some path;
+      workers;
+      default_timeout_s;
+      max_facts }
+  in
+  match Server.create cfg with
+  | Error msg -> Alcotest.fail ("server create: " ^ msg)
+  | Ok srv ->
+    let runner = Domain.spawn (fun () -> Server.run srv) in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.shutdown srv;
+        Domain.join runner;
+        (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()))
+      (fun () -> f path)
+
+let rec connect ?(tries = 50) path =
+  match Client.connect_unix path with
+  | c -> c
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+    Unix.sleepf 0.02;
+    connect ~tries:(tries - 1) path
+
+let with_conn path f =
+  let c = connect path in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* inline records cannot escape their constructor, so project to tuples *)
+let expect_loaded = function
+  | Protocol.Loaded { clauses; cache_hit; digest; stage_stratified } ->
+    (clauses, cache_hit, digest, stage_stratified)
+  | Protocol.Error { message; _ } -> Alcotest.fail ("load failed: " ^ message)
+  | _ -> Alcotest.fail "expected a Loaded frame"
+
+let expect_model = function
+  | Protocol.Model { complete; text; diagnostic } -> (complete, text, diagnostic)
+  | Protocol.Error { message; _ } -> Alcotest.fail ("run failed: " ^ message)
+  | _ -> Alcotest.fail "expected a Model frame"
+
+let run_req =
+  Protocol.Run { engine = Protocol.Staged; seed = None; preds = None; budget = Protocol.no_budget }
+
+(* single-shot reference output, same rendering as the server's *)
+let local_model name =
+  Format.asprintf "%a" Database.pp (Stage_engine.model (Parser.parse_program (source name)))
+
+(* ---------------- basics ---------------- *)
+
+let test_ping () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          match Client.rpc c Protocol.Ping with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong"))
+
+let test_run_matches_single_shot () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          List.iter
+            (fun name ->
+              let _ = expect_loaded (Client.rpc c (Protocol.Load (source name))) in
+              let complete, text, _ = expect_model (Client.rpc c run_req) in
+              Alcotest.(check bool) (name ^ " complete") true complete;
+              Alcotest.(check string) (name ^ " model") (local_model name) text)
+            [ "example1.dl"; "prim.dl"; "transitive_closure.dl" ]))
+
+let test_cache_hit () =
+  with_server (fun path ->
+      let src = source "prim.dl" in
+      with_conn path (fun c1 ->
+          let _, hit1, digest1, _ = expect_loaded (Client.rpc c1 (Protocol.Load src)) in
+          Alcotest.(check bool) "first load is a miss" false hit1;
+          with_conn path (fun c2 ->
+              let _, hit2, digest2, _ = expect_loaded (Client.rpc c2 (Protocol.Load src)) in
+              Alcotest.(check bool) "second load hits" true hit2;
+              Alcotest.(check string) "same digest" digest1 digest2)))
+
+let test_run_without_load () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          match Client.rpc c run_req with
+          | Protocol.Error { code = Protocol.No_program; _ } -> ()
+          | _ -> Alcotest.fail "expected a No_program error"))
+
+(* ---------------- session isolation ---------------- *)
+
+(* two sessions share one cached program, assert different facts, and
+   must see disjoint models — the copy-on-write snapshot is the
+   isolation boundary *)
+let test_session_isolation () =
+  with_server (fun path ->
+      let src = "path(X, Y) <- edge(X, Y).\npath(X, Z) <- path(X, Y), edge(Y, Z).\nedge(1, 2).\n" in
+      with_conn path (fun c1 ->
+          with_conn path (fun c2 ->
+              let _, _, digest1, _ = expect_loaded (Client.rpc c1 (Protocol.Load src)) in
+              let _, hit2, digest2, _ = expect_loaded (Client.rpc c2 (Protocol.Load src)) in
+              Alcotest.(check string) "shared entry" digest1 digest2;
+              Alcotest.(check bool) "second session hit the cache" true hit2;
+              (match Client.rpc c1 (Protocol.Assert_facts "edge(2, 31).") with
+               | Protocol.Asserted { added = 1 } -> ()
+               | _ -> Alcotest.fail "assert in session 1");
+              (match Client.rpc c2 (Protocol.Assert_facts "edge(2, 32).") with
+               | Protocol.Asserted { added = 1 } -> ()
+               | _ -> Alcotest.fail "assert in session 2");
+              let _, m1, _ = expect_model (Client.rpc c1 run_req) in
+              let _, m2, _ = expect_model (Client.rpc c2 run_req) in
+              let contains s sub =
+                let n = String.length sub in
+                let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+                go 0
+              in
+              Alcotest.(check bool) "s1 sees its own fact" true (contains m1 "path(1, 31)");
+              Alcotest.(check bool) "s1 does not see s2's fact" false (contains m1 "path(1, 32)");
+              Alcotest.(check bool) "s2 sees its own fact" true (contains m2 "path(1, 32)");
+              Alcotest.(check bool) "s2 does not see s1's fact" false (contains m2 "path(1, 31)"))))
+
+let test_retract () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          let src = "q(X) <- p(X).\np(1).\n" in
+          let _ = expect_loaded (Client.rpc c (Protocol.Load src)) in
+          (match Client.rpc c (Protocol.Assert_facts "p(2). p(3).") with
+           | Protocol.Asserted { added = 2 } -> ()
+           | _ -> Alcotest.fail "assert two");
+          (match Client.rpc c (Protocol.Retract_facts "p(3).") with
+           | Protocol.Retracted { removed = 1 } -> ()
+           | _ -> Alcotest.fail "retract one");
+          (* the program's own facts are not retractable *)
+          (match Client.rpc c (Protocol.Retract_facts "p(1).") with
+           | Protocol.Retracted { removed = 0 } -> ()
+           | _ -> Alcotest.fail "program facts must survive retraction");
+          let _, text, _ = expect_model (Client.rpc c run_req) in
+          Alcotest.(check string) "model after retract" "p(1).\np(2).\nq(1).\nq(2).\n" text))
+
+(* ---------------- governance ---------------- *)
+
+let test_budget_partial_keeps_connection () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          let _ = expect_loaded (Client.rpc c (Protocol.Load (source "adversarial_nat.dl"))) in
+          let budget =
+            { Protocol.no_budget with Protocol.max_facts = Some 50 }
+          in
+          let complete, _, diagnostic =
+            expect_model
+              (Client.rpc c
+                 (Protocol.Run
+                    { engine = Protocol.Staged; seed = None; preds = None; budget }))
+          in
+          Alcotest.(check bool) "partial" false complete;
+          (match diagnostic with
+           | Some d -> Alcotest.(check bool) "diagnostic names the budget" true
+                         (String.length d > 0)
+           | None -> Alcotest.fail "partial model must carry diagnostics");
+          (* the connection survives the exhausted budget *)
+          match Client.rpc c Protocol.Ping with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "connection must stay usable after a partial"))
+
+let test_server_side_cap () =
+  (* the server's own cap applies even when the client asks for nothing *)
+  with_server ~max_facts:50 (fun path ->
+      with_conn path (fun c ->
+          let _ = expect_loaded (Client.rpc c (Protocol.Load (source "adversarial_nat.dl"))) in
+          let complete, _, _ = expect_model (Client.rpc c run_req) in
+          Alcotest.(check bool) "server cap produced a partial" false complete))
+
+(* ---------------- protocol robustness over the wire ---------------- *)
+
+let test_malformed_frame_gets_error () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          (* valid length prefix, garbage payload: unknown tag 0x7f *)
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          let raw = Client.connect_fd fd in
+          let frame = "\x00\x00\x00\x01\x7f" in
+          let _ = Unix.write_substring fd frame 0 (String.length frame) in
+          (match Client.recv raw with
+           | Protocol.Error { code = Protocol.Protocol_violation; _ } -> ()
+           | _ -> Alcotest.fail "garbage must come back as Protocol_violation");
+          Client.close raw;
+          (* ... and the rest of the server is unaffected *)
+          match Client.rpc c Protocol.Ping with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "server must survive a malformed client"))
+
+let test_query_and_enumerate () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          let _ = expect_loaded (Client.rpc c (Protocol.Load (source "example1.dl"))) in
+          (match
+             Client.rpc c
+               (Protocol.Query
+                  { engine = Protocol.Staged; text = "a_st(X, Y)"; budget = Protocol.no_budget })
+           with
+           | Protocol.Answers { complete = true; vars = [ "X"; "Y" ]; rows } ->
+             Alcotest.(check bool) "some answers" true (rows <> [])
+           | _ -> Alcotest.fail "expected Answers");
+          match Client.rpc c (Protocol.Enumerate { max_models = 50; preds = None }) with
+          | Protocol.Model_set { total; models } ->
+            Alcotest.(check int) "one model per listed text" total (List.length models);
+            Alcotest.(check bool) "at least one model" true (total >= 1)
+          | Protocol.Error { message; _ } -> Alcotest.fail ("enumerate: " ^ message)
+          | _ -> Alcotest.fail "expected Model_set"))
+
+let test_stats () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          let _ = Client.rpc c Protocol.Ping in
+          match Client.rpc c Protocol.Stats with
+          | Protocol.Stats_json json ->
+            let contains s sub =
+              let n = String.length sub in
+              let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) "has requests" true (contains json "\"requests\"");
+            Alcotest.(check bool) "has cache" true (contains json "\"cache\"");
+            Alcotest.(check bool) "has session" true (contains json "\"session\"")
+          | _ -> Alcotest.fail "expected Stats_json"))
+
+(* ---------------- shutdown ---------------- *)
+
+let test_shutdown_drains () =
+  incr sock_counter;
+  let path = Printf.sprintf "gbcd_test_%d_%d.sock" (Unix.getpid ()) !sock_counter in
+  let cfg = { Server.default_config with port = None; unix_path = Some path; workers = 2 } in
+  (match Server.create cfg with
+   | Error msg -> Alcotest.fail msg
+   | Ok srv ->
+     let runner = Domain.spawn (fun () -> Server.run srv) in
+     let c = connect path in
+     (match Client.rpc c Protocol.Shutdown with
+      | Protocol.Bye -> ()
+      | _ -> Alcotest.fail "expected Bye");
+     Client.close c;
+     (* run returns once drained; joining must not hang *)
+     Domain.join runner);
+  try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* ---------------- the acceptance load test ---------------- *)
+
+(* 8 concurrent sessions each replay all 13 exemplars against a
+   4-worker pool; every served model must be byte-identical to the
+   single-shot staged run. *)
+let test_concurrent_sessions () =
+  let expected = List.map (fun name -> (name, local_model name)) exemplars in
+  with_server ~workers:4 (fun path ->
+      let failures = Atomic.make 0 in
+      let session i =
+        with_conn path (fun c ->
+            (* stagger the replay so sessions interleave differently *)
+            let progs =
+              let rec rot n = function
+                | [] -> []
+                | x :: tl when n > 0 -> rot (n - 1) tl @ [ x ]
+                | l -> l
+              in
+              rot (i mod List.length expected) expected
+            in
+            List.iter
+              (fun (name, want) ->
+                let _ = expect_loaded (Client.rpc c (Protocol.Load (source name))) in
+                match Client.rpc c run_req with
+                | Protocol.Model { complete = true; text; _ } when text = want -> ()
+                | Protocol.Model { complete; text; _ } ->
+                  Printf.eprintf "session %d %s: complete=%b, %d vs %d bytes\n%!" i name
+                    complete (String.length text) (String.length want);
+                  Atomic.incr failures
+                | _ -> Atomic.incr failures)
+              progs)
+      in
+      let threads = List.init 8 (fun i -> Thread.create session i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "every session saw every exact model" 0 (Atomic.get failures))
+
+let () =
+  Alcotest.run "server"
+    [ ( "basics",
+        [ Alcotest.test_case "ping" `Quick test_ping;
+          Alcotest.test_case "run matches single-shot" `Quick test_run_matches_single_shot;
+          Alcotest.test_case "program cache hit" `Quick test_cache_hit;
+          Alcotest.test_case "run without load" `Quick test_run_without_load ] );
+      ( "sessions",
+        [ Alcotest.test_case "copy-on-write isolation" `Quick test_session_isolation;
+          Alcotest.test_case "retract" `Quick test_retract ] );
+      ( "governance",
+        [ Alcotest.test_case "client budget partial keeps connection" `Quick
+            test_budget_partial_keeps_connection;
+          Alcotest.test_case "server-side cap" `Quick test_server_side_cap ] );
+      ( "robustness",
+        [ Alcotest.test_case "malformed frame gets a structured error" `Quick
+            test_malformed_frame_gets_error;
+          Alcotest.test_case "query and enumerate" `Quick test_query_and_enumerate;
+          Alcotest.test_case "stats" `Quick test_stats ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
+          Alcotest.test_case "8 sessions x 13 exemplars x 4 workers" `Slow
+            test_concurrent_sessions ] ) ]
