@@ -1,18 +1,39 @@
 (* Timing, slope fitting and table rendering for the experiment
    harness.  Wall-clock times; each point is the best of [repeat]
-   runs so that one-off GC pauses do not distort the scaling fit. *)
+   runs so that one-off GC pauses do not distort the scaling fit —
+   the median is kept alongside as the robust central estimate. *)
 
-let time ?(repeat = 2) f =
-  let best = ref infinity in
+(* --repeat N raises the repetition count for every call site that
+   uses the default (main.ml sets this from the command line).  Sites
+   passing an explicit [~repeat] — single-run timings of expensive or
+   side-effecting closures — are left alone. *)
+let repeat_override : int option ref = ref None
+
+type timing = { best_s : float; median_s : float; runs : int }
+
+let time_stats ?repeat f =
+  let repeat =
+    max 1 (match repeat with Some r -> r | None -> Option.value !repeat_override ~default:2)
+  in
+  let samples = Array.make repeat 0.0 in
   let result = ref None in
-  for _ = 1 to repeat do
+  for i = 0 to repeat - 1 do
     let t0 = Unix.gettimeofday () in
     let r = f () in
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt;
+    samples.(i) <- Unix.gettimeofday () -. t0;
     result := Some r
   done;
-  (Option.get !result, !best)
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let median =
+    if repeat mod 2 = 1 then sorted.(repeat / 2)
+    else (sorted.((repeat / 2) - 1) +. sorted.(repeat / 2)) /. 2.0
+  in
+  (Option.get !result, { best_s = sorted.(0); median_s = median; runs = repeat })
+
+let time ?repeat f =
+  let r, t = time_stats ?repeat f in
+  (r, t.best_s)
 
 (* Least-squares slope of log2(y) against log2(x): the empirical
    scaling exponent.  [O(n)] gives ~1, [O(n^2)] ~2; [O(n log n)]
@@ -252,19 +273,24 @@ let parse_json src =
     if !pos <> n then Error "trailing garbage" else Ok v
   | exception Parse msg -> Error msg
 
-(* Record store: experiments push (n, wall, counters) points;
+(* Record store: experiments push (n, wall, median, counters) points;
    [flush_bench] writes one BENCH_<exp>.json per experiment and
-   returns the paths. *)
+   returns the paths.  The point keys are stable — always "n",
+   "wall_s", "wall_median_s", "counters", in that order — so the
+   trajectory files diff cleanly across runs.  When a call site has no
+   separate median (single-run timings), the median equals the wall
+   time. *)
 
-let bench_points : (string, (int * float * (string * int) list) list) Hashtbl.t =
+let bench_points : (string, (int * float * float * (string * int) list) list) Hashtbl.t =
   Hashtbl.create 16
 
 let bench_order : string list ref = ref []
 
-let record ~exp ~n ~wall counters =
+let record ~exp ~n ~wall ?median counters =
+  let median = Option.value median ~default:wall in
   if not (Hashtbl.mem bench_points exp) then bench_order := exp :: !bench_order;
   let prev = try Hashtbl.find bench_points exp with Not_found -> [] in
-  Hashtbl.replace bench_points exp ((n, wall, counters) :: prev)
+  Hashtbl.replace bench_points exp ((n, wall, median, counters) :: prev)
 
 let flush_bench () =
   List.rev_map
@@ -276,10 +302,11 @@ let flush_bench () =
             ( "points",
               Arr
                 (List.map
-                   (fun (n, wall, counters) ->
+                   (fun (n, wall, median, counters) ->
                      Obj
                        [ ("n", Num (float_of_int n));
                          ("wall_s", Num wall);
+                         ("wall_median_s", Num median);
                          ( "counters",
                            Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) counters)
                          ) ])

@@ -19,6 +19,17 @@ let perf_smoke = Array.exists (( = ) "--perf-smoke") Sys.argv
 let smoke = perf_smoke || Array.exists (( = ) "--smoke") Sys.argv
 let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 
+(* --repeat N: time every point with N repetitions (best and median
+   both land in the BENCH json) instead of the per-site defaults. *)
+let () =
+  Array.iteri
+    (fun i a ->
+      if a = "--repeat" && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> Harness.repeat_override := Some n
+        | _ -> ())
+    Sys.argv
+
 let scale xs =
   let keep = if smoke then 1 else if quick then 2 else List.length xs in
   List.filteri (fun i _ -> i < keep) xs
@@ -47,7 +58,8 @@ let e1 () =
         let g = Graph_gen.random_connected ~seed:(100 + n) ~nodes:n ~extra_edges:(7 * n) in
         let e = float_of_int (List.length g.Graph_gen.edges) in
         let oracle = Graph_gen.mst_weight g in
-        let r_staged, t_staged = Harness.time (fun () -> Prim.run Runner.Staged g) in
+        let r_staged, ts = Harness.time_stats (fun () -> Prim.run Runner.Staged g) in
+        let t_staged = ts.Harness.best_s in
         let r_ref, t_ref =
           if n <= 512 then
             let r, t = Harness.time ~repeat:1 (fun () -> Prim.run Runner.Reference g) in
@@ -57,7 +69,8 @@ let e1 () =
         let r_proc, t_proc = Harness.time (fun () -> Prim.procedural g) in
         assert (r_staged.Prim.weight = oracle && r_proc.Prim.weight = oracle);
         Option.iter (fun r -> assert (r.Prim.weight = oracle)) r_ref;
-        record ~exp:"E1" ~n ~wall:t_staged (counters_of (Prim.program ~root:0 g));
+        record ~exp:"E1" ~n ~wall:t_staged ~median:ts.Harness.median_s
+          (counters_of (Prim.program ~root:0 g));
         let row =
           [ string_of_int n; string_of_int (int_of_float e); Harness.sec t_staged;
             (match t_ref with Some t -> Harness.sec t | None -> "-");
@@ -89,11 +102,13 @@ let e2 () =
     List.fold_left
       (fun (rows, sp, pp) n ->
         let items = List.init n (fun i -> (Printf.sprintf "x%d" i, Rng.int rng 1_000_000)) in
-        let out, t_staged = Harness.time (fun () -> Sorting.run Runner.Staged items) in
+        let out, ts = Harness.time_stats (fun () -> Sorting.run Runner.Staged items) in
+        let t_staged = ts.Harness.best_s in
         assert (Sorting.is_sorted_permutation ~input:items out);
         let _, t_proc = Harness.time (fun () -> Sorting.procedural items) in
         let _, t_list = Harness.time (fun () -> List.sort (fun (_, a) (_, b) -> compare a b) items) in
-        record ~exp:"E2" ~n ~wall:t_staged (counters_of (Sorting.program items));
+        record ~exp:"E2" ~n ~wall:t_staged ~median:ts.Harness.median_s
+          (counters_of (Sorting.program items));
         let fn = float_of_int n in
         ( [ string_of_int n; Harness.sec t_staged; Harness.sec t_proc; Harness.sec t_list;
             Harness.ratio t_staged t_proc ]
@@ -634,6 +649,73 @@ let e15 () =
           string_of_int (us (pct 0.99)) ] ]
 
 (* ------------------------------------------------------------------ *)
+(* E16 — domains scaling: sharded saturation at jobs 1/2/4             *)
+(* ------------------------------------------------------------------ *)
+
+(* The data-parallel mode shards each flat rule's delta across OCaml
+   domains (Par.run); by construction the model — and every telemetry
+   counter — is byte-identical to the sequential run, and every point
+   below re-verifies that before its timing is recorded.  The scaling
+   curve itself is machine-dependent: on a single-core host the extra
+   domains only time-slice and the curve is flat, which the json
+   records honestly (no speedup assertion here — byte-identity is the
+   correctness gate, the curve is the measurement). *)
+
+let e16 () =
+  let db_bytes db = Format.asprintf "%a" Database.pp db in
+  let jobs_levels = [ 1; 2; 4 ] in
+  let curve (tag, workload_id, n, prog) =
+    let seq_bytes = ref "" in
+    let t1 = ref 0.0 in
+    List.map
+      (fun jobs ->
+        let result = ref None in
+        let _, ts =
+          Harness.time_stats (fun () ->
+              result := Some (fst (Choice_fixpoint.run ~jobs prog)))
+        in
+        let bytes = db_bytes (Option.get !result) in
+        if jobs = 1 then begin
+          seq_bytes := bytes;
+          t1 := ts.Harness.best_s
+        end
+        else if not (String.equal !seq_bytes bytes) then begin
+          Printf.eprintf "E16: %s n=%d jobs=%d model differs from the sequential run\n"
+            tag n jobs;
+          exit 1
+        end;
+        let telemetry = Telemetry.create () in
+        ignore (Choice_fixpoint.run ~telemetry ~jobs prog);
+        record ~exp:"E16" ~n ~wall:ts.Harness.best_s ~median:ts.Harness.median_s
+          (("jobs", jobs) :: ("workload_id", workload_id) :: Telemetry.totals telemetry);
+        [ tag; string_of_int n; string_of_int jobs; Harness.sec ts.Harness.best_s;
+          Harness.sec ts.Harness.median_s; Harness.ratio !t1 ts.Harness.best_s ])
+      jobs_levels
+  in
+  let prim_workloads =
+    List.map
+      (fun n ->
+        let g = Graph_gen.random_connected ~seed:(1600 + n) ~nodes:n ~extra_edges:(4 * n) in
+        ("prim", 1, n, Prim.program ~root:0 g))
+      (scale [ 96; 192; 320 ])
+  in
+  let sort_workloads =
+    List.map
+      (fun n ->
+        let rng = Rng.create 16 in
+        let items = List.init n (fun i -> (Printf.sprintf "x%d" i, Rng.int rng 1_000_000)) in
+        ("sort", 2, n, Sorting.program items))
+      (scale [ 128; 256; 512 ])
+  in
+  let rows = List.concat_map curve (prim_workloads @ sort_workloads) in
+  Harness.table
+    ~title:
+      "E16  Data-parallel saturation (reference engine, --jobs scaling; model \
+       byte-identical at every point)"
+    ~header:[ "workload"; "n"; "jobs"; "best(s)"; "median(s)"; "speedup vs j=1" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* A1 — (R,Q,L) vs recompute-least (reference engine)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -850,6 +932,7 @@ let () =
   e13 ();
   ignore (e14 ());
   e15 ();
+  e16 ();
   a1 ();
   a2 ();
   a3 ();

@@ -37,6 +37,11 @@ let max_facts_arg = smax "max-facts" "Server-side per-request cap on derived fac
 let max_steps_arg = smax "max-steps" "Server-side per-request cap on fixpoint steps / gamma firings."
 let max_candidates_arg = smax "max-candidates" "Server-side per-request cap on choice-candidate examinations."
 
+let max_jobs_arg =
+  Arg.(value & opt int 1 & info [ "max-jobs" ] ~docv:"N"
+         ~doc:"Cap on evaluation domains granted per request; a client's requested \
+               $(b,jobs) is clamped to this (default 1: sequential).")
+
 let max_frame_arg =
   Arg.(value & opt int Gbc.Protocol.max_frame_default & info [ "max-frame" ] ~docv:"BYTES"
          ~doc:"Largest accepted frame payload.")
@@ -46,7 +51,7 @@ let cache_arg =
          ~doc:"Compiled-program cache entries (LRU beyond that).")
 
 let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
-    max_candidates max_frame cache_capacity =
+    max_candidates max_jobs max_frame cache_capacity =
   let cfg =
     { Gbc.Server.host;
       port = (if no_tcp then None else Some port);
@@ -57,6 +62,7 @@ let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
       max_facts;
       max_steps;
       max_candidates;
+      max_jobs = max 1 max_jobs;
       max_frame;
       cache_capacity }
   in
@@ -83,7 +89,7 @@ let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
 let serve_term =
   Term.(const serve $ host_arg $ port_arg $ no_tcp_arg $ unix_arg $ workers_arg
         $ default_timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg
-        $ max_frame_arg $ cache_arg)
+        $ max_jobs_arg $ max_frame_arg $ cache_arg)
 
 let serve_doc =
   "Serve programs over the gbcd wire protocol: a worker pool of OCaml domains, \

@@ -89,6 +89,11 @@ let max_candidates_arg =
   Arg.(value & opt (some int) None & info [ "max-candidates" ] ~docv:"N"
          ~doc:"Stop after more than N choice-candidate examinations.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Evaluation domains for data-parallel saturation (default 1: sequential).  \
+               The model is byte-identical at any value.")
+
 let limits_of ?timeout_s ?max_facts ?max_steps ?max_candidates () =
   match (timeout_s, max_facts, max_steps, max_candidates) with
   | None, None, None, None -> Limits.unlimited
@@ -100,12 +105,14 @@ let map_outcome f = function
 
 (* Evaluate with telemetry and a governor threaded through the chosen
    engine; the outcome carries just the database. *)
-let evaluate_with ~telemetry ~limits ~engine ~seed prog =
+let evaluate_with ?(jobs = 1) ~telemetry ~limits ~engine ~seed prog =
   match (engine, seed) with
   | `Reference, Some s ->
-    map_outcome fst (Choice_fixpoint.run_governed ~policy:(Random s) ~telemetry ~limits prog)
-  | `Reference, None -> map_outcome fst (Choice_fixpoint.run_governed ~telemetry ~limits prog)
-  | `Staged, _ -> map_outcome fst (Stage_engine.run_governed ~telemetry ~limits prog)
+    map_outcome fst
+      (Choice_fixpoint.run_governed ~policy:(Random s) ~telemetry ~limits ~jobs prog)
+  | `Reference, None ->
+    map_outcome fst (Choice_fixpoint.run_governed ~telemetry ~limits ~jobs prog)
+  | `Staged, _ -> map_outcome fst (Stage_engine.run_governed ~telemetry ~limits ~jobs prog)
 
 (* ---------------- run ---------------- *)
 
@@ -114,12 +121,12 @@ let run_cmd =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Collect engine telemetry and print the per-rule counter table to stderr.")
   in
-  let run file engine preds seed stats timeout_s max_facts max_steps max_candidates =
+  let run file engine preds seed stats jobs timeout_s max_facts max_steps max_candidates =
     handle (fun () ->
         let prog = parse_file file in
         let telemetry = if stats then Telemetry.create () else Telemetry.none in
         let limits = limits_of ?timeout_s ?max_facts ?max_steps ?max_candidates () in
-        match evaluate_with ~telemetry ~limits ~engine ~seed prog with
+        match evaluate_with ~jobs:(max 1 jobs) ~telemetry ~limits ~engine ~seed prog with
         | Limits.Complete db ->
           print_model ?preds db;
           if stats then Format.eprintf "%a@?" Telemetry.pp telemetry
@@ -131,12 +138,14 @@ let run_cmd =
           exit partial_exit)
   in
   let doc =
-    "Evaluate a choice program and print one stable model.  With a budget \
-     ($(b,--timeout), $(b,--max-facts), $(b,--max-steps), $(b,--max-candidates)) \
-     exhaustion prints the partial model, a diagnostic on stderr, and exits with code 3."
+    "Evaluate a choice program and print one stable model.  $(b,--jobs) shards \
+     flat-rule saturation across that many OCaml domains (same model, byte for byte).  \
+     With a budget ($(b,--timeout), $(b,--max-facts), $(b,--max-steps), \
+     $(b,--max-candidates)) exhaustion prints the partial model, a diagnostic on \
+     stderr, and exits with code 3."
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ file_arg $ engine_arg $ preds_arg $ seed_arg $ stats_arg
+    Term.(const run $ file_arg $ engine_arg $ preds_arg $ seed_arg $ stats_arg $ jobs_arg
           $ timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg)
 
 (* ---------------- profile ---------------- *)
@@ -371,6 +380,7 @@ let repl_cmd =
       Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint previous) f
     in
     let program = ref [] in
+    let jobs = ref 1 in
     let errors = ref 0 in
     let print_err msg =
       incr errors;
@@ -384,10 +394,10 @@ let repl_cmd =
           Error ("query interrupted (" ^ Limits.violation_to_string d.Limits.violated ^ ")")
       in
       with_interrupt (fun () ->
-          match Stage_engine.run_governed ~limits !program with
+          match Stage_engine.run_governed ~limits ~jobs:!jobs !program with
           | outcome -> unwrap outcome
           | exception Stage_engine.Not_compilable _ -> (
-            match Choice_fixpoint.run_governed ~limits !program with
+            match Choice_fixpoint.run_governed ~limits ~jobs:!jobs !program with
             | outcome -> unwrap outcome
             | exception Choice_fixpoint.Unsupported msg -> Error msg)
           | exception Choice_fixpoint.Unsupported msg -> Error msg)
@@ -437,6 +447,13 @@ let repl_cmd =
           try Format.printf "stable: %b@." (Stable.is_stable !program db)
           with Invalid_argument msg -> print_err msg)
         | Error msg -> print_err msg)
+      | [ ":jobs" ] -> Format.printf "jobs: %d@." !jobs
+      | [ ":jobs"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+          jobs := n;
+          Format.printf "jobs: %d@." n
+        | _ -> print_err "usage: :jobs N  (N >= 1)")
       | [ ":load"; path ] -> (
         match Gbc_error.protect (fun () -> parse_file path) with
         | Ok prog ->
@@ -445,7 +462,7 @@ let repl_cmd =
         | Error e -> print_err (Gbc_error.to_string e))
       | [ ":help" ] | [ ":h" ] ->
         Format.printf
-          "clauses end with '.'; queries start with '?-'.@.commands: :model :models            :check :stable :list :load FILE :clear :quit@.Ctrl-C interrupts a running query (the session and the program survive).@."
+          "clauses end with '.'; queries start with '?-'.@.commands: :model :models            :check :stable :list :load FILE :jobs N :clear :quit@.Ctrl-C interrupts a running query (the session and the program survive).@."
       | _ -> print_err ("unknown command: " ^ line)
     in
     Format.printf "gbc repl — :help for commands, :quit to leave@.";
@@ -660,11 +677,19 @@ let load_or_die c file =
     assert false
   | r -> r
 
-let budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates () =
+let budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates ?jobs () =
   { Protocol.timeout_ms = Option.map (fun s -> int_of_float (s *. 1000.0)) timeout_s;
     max_facts;
     max_steps;
-    max_candidates }
+    max_candidates;
+    jobs }
+
+(* The client's --jobs is a request; the server clamps it to its own
+   --max-jobs, so omitted means "whatever the server's default is"
+   (sequential). *)
+let cjobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Request N evaluation domains; the server grants at most its $(b,--max-jobs).")
 
 let wire_engine = function `Staged -> Protocol.Staged | `Reference -> Protocol.Reference
 
@@ -678,7 +703,8 @@ let client_run_cmd =
     Arg.(value & opt (some string) None & info [ "assert" ] ~docv:"FACTS"
            ~doc:"Ground facts (surface syntax) asserted into the session before running.")
   in
-  let run host port unix file engine preds seed facts timeout_s max_facts max_steps max_candidates =
+  let run host port unix file engine preds seed facts jobs timeout_s max_facts max_steps
+      max_candidates =
     with_client host port unix (fun c ->
         ignore (load_or_die c file);
         Option.iter
@@ -693,13 +719,13 @@ let client_run_cmd =
                 { engine = wire_engine engine;
                   seed;
                   preds;
-                  budget = budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates () })))
+                  budget = budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates ?jobs () })))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Load FILE (or stdin with $(b,-)) into a server session and print one stable model.")
     Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ engine_arg $ preds_arg
-          $ seed_arg $ facts_arg $ timeout_arg $ max_facts_arg $ max_steps_arg
+          $ seed_arg $ facts_arg $ cjobs_arg $ timeout_arg $ max_facts_arg $ max_steps_arg
           $ max_candidates_arg)
 
 let client_models_cmd =
@@ -719,7 +745,7 @@ let client_query_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"ATOM"
            ~doc:"Query atom, e.g. 'prm(X, Y, C, _)'.")
   in
-  let run host port unix file engine text timeout_s max_facts max_steps max_candidates =
+  let run host port unix file engine text jobs timeout_s max_facts max_steps max_candidates =
     with_client host port unix (fun c ->
         ignore (load_or_die c file);
         print_response
@@ -727,11 +753,11 @@ let client_query_cmd =
              (Protocol.Query
                 { engine = wire_engine engine;
                   text;
-                  budget = budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates () })))
+                  budget = budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates ?jobs () })))
   in
   Cmd.v (Cmd.info "query" ~doc:"Load FILE on the server and answer one query atom.")
     Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ engine_arg $ atom_arg
-          $ timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg)
+          $ cjobs_arg $ timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg)
 
 let client_stats_cmd =
   let run host port unix =

@@ -23,6 +23,7 @@ module Naive = Gbc_datalog.Naive
 module Seminaive = Gbc_datalog.Seminaive
 module Telemetry = Gbc_datalog.Telemetry
 module Limits = Gbc_datalog.Limits
+module Par = Gbc_datalog.Par
 module Gbc_error = Gbc_datalog.Gbc_error
 module Choice_fixpoint = Gbc_datalog.Choice_fixpoint
 module Stage_engine = Gbc_datalog.Stage_engine

@@ -43,13 +43,18 @@ val run :
   ?policy:policy ->
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
+  ?jobs:int ->
   ?db:Database.t ->
   Ast.program ->
   Database.t * stats
 (** Evaluate the program (facts included) on top of [db] (fresh when
     omitted; mutated in place).  Returns one choice model.  When
     [telemetry] is an enabled collector, per-rule counters, delta sizes
-    and per-stratum spans are recorded into it.
+    and per-stratum spans are recorded into it.  [jobs] > 1 shards flat
+    saturation and gamma candidate enumeration across a domain pool
+    ({!Par.get}) with merge orders chosen so the model — and the
+    telemetry counters — are byte-identical to [jobs = 1]; each gamma
+    step still fires exactly one chosen fact, sequentially.
     @raise Limits.Exhausted when [limits] trips a budget; use
     {!run_governed} to receive the partial database instead. *)
 
@@ -57,12 +62,15 @@ val run_governed :
   ?policy:policy ->
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
+  ?jobs:int ->
   ?db:Database.t ->
   Ast.program ->
   (Database.t * stats) Limits.outcome
 (** Like {!run}, but budget exhaustion and cancellation are returned as
     {!Limits.Partial} carrying the consistent partial database derived
-    so far plus a diagnostics snapshot, instead of an exception. *)
+    so far plus a diagnostics snapshot, instead of an exception.  A
+    budget tripped inside a parallel region aborts every shard before
+    anything is merged, so the partial database is consistent. *)
 
 val model : ?policy:policy -> ?db:Database.t -> Ast.program -> Database.t
 (** {!run} without the statistics. *)

@@ -36,6 +36,9 @@ type crule = {
   c_ext : (Eval.cterm * Eval.cterm) array;  (* (key, cost) per extremum *)
   c_min : bool array;  (* minimize flag per extremum *)
   v_fds : (vterm list * vterm list) list;  (* [fds] against the V layout *)
+  (* Per-shard scratch for data-parallel candidate collection: one
+     cloned body and private environment per shard, grown lazily. *)
+  mutable c_scratch : (Eval.body * Eval.env) array;
 }
 
 let is_choice_rule r = has_next r || has_choice r
@@ -112,7 +115,8 @@ let compile_crule ridx (r : Ast.rule) =
     c_fds = List.map (fun (l, rr) -> (List.map compile_t l, List.map compile_t rr)) fds;
     c_ext = Array.of_list (List.map (fun e -> (compile_t e.key, compile_t e.cost)) extrema);
     c_min = Array.of_list (List.map (fun e -> e.minimize) extrema);
-    v_fds = List.map (fun (l, rr) -> (List.map (compile_vterm vars) l, List.map (compile_vterm vars) rr)) fds }
+    v_fds = List.map (fun (l, rr) -> (List.map (compile_vterm vars) l, List.map (compile_vterm vars) rr)) fds;
+    c_scratch = [||] }
 
 (* The rewritten positive rule: head <- flat body, chosen$i(V).  The
    extrema are dropped when the head is fully determined by V (always
@@ -204,47 +208,156 @@ type candidate = {
   c_row : Value.t array;  (* the new chosen$i tuple *)
 }
 
-let collect_candidates ?(idx = 0) ?(limits = Limits.unlimited) db tele st tracker examined =
+(* Minimum slice length before candidate collection fans out.  Low on
+   purpose: the gamma step dominates the engines' running time, so even
+   small slices are worth sharding, and the exemplar suites then cover
+   the parallel path at [--jobs] > 1. *)
+let par_threshold = 2
+
+let crule_scratch cr shards =
+  if Array.length cr.c_scratch < shards then begin
+    let old = cr.c_scratch in
+    cr.c_scratch <-
+      Array.init shards (fun i ->
+          if i < Array.length old then old.(i)
+          else
+            let b = Eval.clone_body cr.body in
+            (b, Eval.fresh_env b))
+  end;
+  cr.c_scratch
+
+(* Data-parallel candidate enumeration.  Each shard runs its slice of
+   the first scan read-only, deduplicates locally and keeps only
+   FD-compatible solutions ([st.tables] is frozen for the whole region
+   — replay happened before).  The local [seen] tables only ever hold
+   compatible rows, so every occurrence of an incompatible row is
+   checked and counted in both modes, and the coordinator's merge —
+   shards in slice order, with a global first-occurrence dedup —
+   reproduces the sequential solution list and telemetry counters
+   exactly. *)
+let collect_parallel pool limits st stage_binding db slice =
+  let cr = st.cr in
+  let n = Relation.slice_len slice in
+  let shards = Par.nshards pool n in
+  Eval.prepare_indexes cr.body db;
+  let scratch = crule_scratch cr shards in
+  let results = Array.make shards ([], 0, 0) in
+  Par.run pool ~shards (fun s ->
+      let body, env = scratch.(s) in
+      Array.fill env 0 (Array.length env) None;
+      (match stage_binding with
+      | Some (slot, v) -> env.(slot) <- Some v
+      | None -> ());
+      let lo, hi = Par.bounds ~shards n s in
+      let seen = Relation.Row_tbl.create 64 in
+      let acc = ref [] and ex = ref 0 and rej = ref 0 in
+      Eval.run_slice body db env slice lo hi (fun env ->
+          incr ex;
+          Limits.tick_candidates limits 1;
+          let row = Eval.eval_row env cr.c_out in
+          if not (Relation.Row_tbl.mem seen row) then begin
+            let projections =
+              List.map
+                (fun (l, r) ->
+                  ( Value.Tup (List.map (Eval.eval_cterm env) l),
+                    Value.Tup (List.map (Eval.eval_cterm env) r) ))
+                cr.c_fds
+            in
+            if compatible st projections then begin
+              Relation.Row_tbl.add seen row ();
+              let kcs =
+                Array.map
+                  (fun (k, c) -> (Eval.eval_cterm env k, Eval.eval_cterm env c))
+                  cr.c_ext
+              in
+              acc := (row, Relation.mem st.rel row, kcs) :: !acc
+            end
+            else incr rej
+          end);
+      results.(s) <- (List.rev !acc, !ex, !rej));
+  (results, shards, n)
+
+let collect_candidates ?(idx = 0) ?(limits = Limits.unlimited) ?(pool = Par.sequential) db tele
+    st tracker examined =
   let cr = st.cr in
   replay_chosen st;
   let rc = Telemetry.rule tele cr.label in
   let env = Eval.fresh_env cr.body in
-  (match cr.stage, tracker with
-  | Some (v, _), Some tr ->
-    env.(Eval.slot cr.body v) <- Some (Value.Int (current_stage db tr + 1))
-  | None, None -> ()
-  | _ -> assert false);
+  let stage_binding =
+    match cr.stage, tracker with
+    | Some (v, _), Some tr ->
+      let slot = Eval.slot cr.body v in
+      let value = Value.Int (current_stage db tr + 1) in
+      env.(slot) <- Some value;
+      Some (slot, value)
+    | None, None -> None
+    | _ -> assert false
+  in
   (* All FD-compatible solutions, existing chosen rows included: the
      existing rows act as witnesses that suppress costlier candidates
      (cf. the bi_st_c example), while only new rows are candidates. *)
-  let seen = Relation.Row_tbl.create 64 in
-  let solutions = ref [] in
-  Eval.run cr.body db env (fun env ->
-      incr examined;
-      Limits.tick_candidates limits 1;
-      (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
-      let row = Eval.eval_row env cr.c_out in
-      if not (Relation.Row_tbl.mem seen row) then begin
-        let projections =
-          List.map
-            (fun (l, r) ->
-              ( Value.Tup (List.map (Eval.eval_cterm env) l),
-                Value.Tup (List.map (Eval.eval_cterm env) r) ))
-            cr.c_fds
-        in
-        if compatible st projections then begin
-          Relation.Row_tbl.add seen row ();
-          let kcs =
-            Array.map (fun (k, c) -> (Eval.eval_cterm env k, Eval.eval_cterm env c)) cr.c_ext
-          in
-          solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
-        end
-        else
-          match rc with
-          | Some rc -> rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + 1
-          | None -> ()
-      end);
-  let solutions = List.rev !solutions in
+  let parallel_slice =
+    if Par.size pool > 1 && Eval.shardable cr.body then
+      match Eval.shard_scan cr.body db env with
+      | Some slice when Relation.slice_len slice >= par_threshold -> Some slice
+      | _ -> None
+    else None
+  in
+  let solutions =
+    match parallel_slice with
+    | Some slice ->
+      let results, shards, rows = collect_parallel pool limits st stage_binding db slice in
+      let gseen = Relation.Row_tbl.create 64 in
+      let merged = ref [] in
+      Telemetry.span tele "par:merge" (fun () ->
+          Array.iter
+            (fun (sols, ex, rej) ->
+              examined := !examined + ex;
+              (match rc with
+              | Some rc ->
+                rc.Telemetry.candidates <- rc.Telemetry.candidates + ex;
+                rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + rej
+              | None -> ());
+              List.iter
+                (fun ((row, _, _) as sol) ->
+                  if not (Relation.Row_tbl.mem gseen row) then begin
+                    Relation.Row_tbl.add gseen row ();
+                    merged := sol :: !merged
+                  end)
+                sols)
+            results);
+      Telemetry.add_par tele ~shards ~rows;
+      List.rev !merged
+    | None ->
+      let seen = Relation.Row_tbl.create 64 in
+      let solutions = ref [] in
+      Eval.run cr.body db env (fun env ->
+          incr examined;
+          Limits.tick_candidates limits 1;
+          (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
+          let row = Eval.eval_row env cr.c_out in
+          if not (Relation.Row_tbl.mem seen row) then begin
+            let projections =
+              List.map
+                (fun (l, r) ->
+                  ( Value.Tup (List.map (Eval.eval_cterm env) l),
+                    Value.Tup (List.map (Eval.eval_cterm env) r) ))
+                cr.c_fds
+            in
+            if compatible st projections then begin
+              Relation.Row_tbl.add seen row ();
+              let kcs =
+                Array.map (fun (k, c) -> (Eval.eval_cterm env k, Eval.eval_cterm env c)) cr.c_ext
+              in
+              solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
+            end
+            else
+              match rc with
+              | Some rc -> rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + 1
+              | None -> ()
+          end);
+      List.rev !solutions
+  in
   (* Optimum per key for each extremum, over all compatible solutions. *)
   let bests = Array.map (fun _ -> Value.Tbl.create 16) cr.c_ext in
   List.iter
@@ -294,17 +407,18 @@ type clique_state = {
   fd_states : fd_state list;
   trackers : tracker option list;  (* aligned with fd_states *)
   saturators : Seminaive.incremental list;  (* one per flat sub-clique *)
+  pool : Par.t;
 }
 
 let saturate_flat state =
   wrap_invalid (fun () -> List.iter Seminaive.step state.saturators)
 
-let make_state ?telemetry ?limits db plan =
+let make_state ?telemetry ?limits ?(pool = Par.sequential) db plan =
   let saturators =
     wrap_invalid (fun () ->
         List.map
           (fun sub ->
-            Seminaive.make ~allow_clique_negation:true ?telemetry ?limits db ~clique:sub
+            Seminaive.make ~allow_clique_negation:true ?telemetry ?limits ~pool db ~clique:sub
               plan.flat)
           plan.sub_cliques)
   in
@@ -319,12 +433,13 @@ let make_state ?telemetry ?limits db plan =
           Some { pred = cr.head.pred; pos; mark = 0; maxv = 0 })
       plan.crules
   in
-  { plan; fd_states; trackers; saturators }
+  { plan; fd_states; trackers; saturators; pool }
 
 let all_candidates ?limits db tele state examined =
   List.concat
     (List.mapi
-       (fun i (st, tr) -> collect_candidates ~idx:i ?limits db tele st tr examined)
+       (fun i (st, tr) ->
+         collect_candidates ~idx:i ?limits ~pool:state.pool db tele st tr examined)
        (List.combine state.fd_states state.trackers))
 
 let fire ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db cand =
@@ -333,8 +448,8 @@ let fire ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db cand =
   Telemetry.fired telemetry cand.c_st.cr.label;
   ignore db
 
-let eval_choice_clique ~policy ~telemetry ~limits db plan stats_steps stats_examined =
-  let state = make_state ~telemetry ~limits db plan in
+let eval_choice_clique ~policy ~telemetry ~limits ?pool db plan stats_steps stats_examined =
+  let state = make_state ~telemetry ~limits ?pool db plan in
   let rng =
     match policy with First -> None | Random seed -> Some (Random.State.make [| seed |])
   in
@@ -422,7 +537,8 @@ let stratum_label i clique =
   Printf.sprintf "stratum %d: %s" i (String.concat "," (clique_preds clique))
 
 let run_governed ?(policy = First) ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited)
-    ?db program =
+    ?(jobs = 1) ?db program =
+  let pool = Par.get jobs in
   let db = match db with Some db -> db | None -> Database.create () in
   let steps = ref 0 and examined = ref 0 in
   let stats () = { gamma_steps = !steps; candidates_examined = !examined } in
@@ -441,18 +557,18 @@ let run_governed ?(policy = First) ?(telemetry = Telemetry.none) ?(limits = Limi
               | `Plain preds ->
                 wrap_invalid (fun () ->
                     try
-                      Seminaive.eval_clique ~telemetry ~limits db ~clique:preds
+                      Seminaive.eval_clique ~telemetry ~limits ~pool db ~clique:preds
                         (List.filter (fun r -> not (Ast.is_fact r)) program)
                     with Eval.Unsafe msg -> raise (Unsupported msg))
               | `Choice cplan ->
-                eval_choice_clique ~policy ~telemetry ~limits db cplan steps examined))
+                eval_choice_clique ~policy ~telemetry ~limits ~pool db cplan steps examined))
         plan.cliques;
       (db, stats ()))
 
 (* The ungoverned entry points re-raise: callers that pass a governor
    and want the partial database use [run_governed]. *)
-let run ?policy ?telemetry ?limits ?db program =
-  match run_governed ?policy ?telemetry ?limits ?db program with
+let run ?policy ?telemetry ?limits ?jobs ?db program =
+  match run_governed ?policy ?telemetry ?limits ?jobs ?db program with
   | Limits.Complete x -> x
   | Limits.Partial (_, d) -> raise (Limits.Exhausted d.Limits.violated)
 

@@ -41,6 +41,11 @@ type scan = {
   sc_writes : (int * int) array;
   sc_reads : int array;
   sc_fast : bool;
+  sc_mask : int;
+      (* static probe mask: positions known bound at fill time
+         (constants + statically-bound variables/terms).  Drives index
+         prebuilding before a parallel region; when the runtime pattern
+         binds more, the read-only paths fall back to a linear scan. *)
 }
 
 type step =
@@ -317,15 +322,21 @@ let compile_body ?(extra_bound = []) lits =
     let fill = ref [] and writes = ref [] and reads = ref [] in
     let written = Hashtbl.create 4 in
     let all_fast = ref fast in
+    let mask = ref 0 in
     for p = n - 1 downto 0 do
       match args.(p) with
-      | PCst c -> pattern.(p) <- Some c
+      | PCst c ->
+        pattern.(p) <- Some c;
+        mask := !mask lor (1 lsl p)
       | PVar s ->
         fill := (p, args.(p)) :: !fill;
         let statically_bound =
           match ast_args.(p) with Var v when v <> "_" -> SSet.mem v !bound | _ -> false
         in
-        if statically_bound then reads := p :: !reads
+        if statically_bound then begin
+          reads := p :: !reads;
+          mask := !mask lor (1 lsl p)
+        end
         else if Hashtbl.mem written s then
           (* Repeated unbound variable within one atom, e.g. [e(X, X)]:
              needs an equality check, so no kernel. *)
@@ -336,7 +347,9 @@ let compile_body ?(extra_bound = []) lits =
         end
       | PCmp _ | PBinop _ ->
         fill := (p, args.(p)) :: !fill;
-        all_fast := false
+        all_fast := false;
+        if List.for_all (fun v -> SSet.mem v !bound) (term_vars ast_args.(p)) then
+          mask := !mask lor (1 lsl p)
       | PAny -> assert false (* [resolve] gives wildcards fresh slots *)
     done;
     { sc_pred = a.pred;
@@ -346,7 +359,8 @@ let compile_body ?(extra_bound = []) lits =
       sc_fill = Array.of_list !fill;
       sc_writes = Array.of_list !writes;
       sc_reads = Array.of_list !reads;
-      sc_fast = !all_fast }
+      sc_fast = !all_fast;
+      sc_mask = !mask }
   in
   let ready (j, l) =
     match l with
@@ -616,3 +630,153 @@ let solutions body db ?(bindings = []) outs =
   let acc = ref [] in
   run body db env (fun env -> acc := eval_terms body env outs :: !acc);
   List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Sharded read-only execution (parallel saturation)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* During a parallel region every shard joins against the same frozen
+   database, so execution must touch nothing shared and mutable: scans
+   go through [Relation.iter_matching_ro] (private probe keys, no lazy
+   index builds) and every shard owns a [clone_body] — a structural
+   copy with private [sc_pattern] buffers.  Slot assignments and
+   compiled terms are shared with the original, so cterms compiled
+   against the original body evaluate correctly under a clone's
+   environment. *)
+
+let clone_scan sc = { sc with sc_pattern = Array.copy sc.sc_pattern }
+
+let clone_body b =
+  { b with
+    steps =
+      Array.map
+        (function
+          | SScan sc -> SScan (clone_scan sc)
+          | SNeg (sc, g) -> SNeg (clone_scan sc, g)
+          | (STest _ | SUnify _) as s -> s)
+        b.steps }
+
+(* Build (sequentially, before the region) every index the shards'
+   read-only scans will probe, keyed by the compile-time masks. *)
+let prepare_indexes body db =
+  Array.iter
+    (function
+      | SScan sc | SNeg (sc, _) -> (
+        if sc.sc_mask <> 0 then
+          match find_rel db sc with
+          | Some rel -> Relation.ensure_index rel sc.sc_mask
+          | None -> ())
+      | STest _ | SUnify _ -> ())
+    body.steps
+
+let neg_holds_ro db env sc guards =
+  match find_rel db sc with
+  | None -> true
+  | Some rel ->
+    fill_pattern env sc;
+    let found = ref false in
+    (try
+       Relation.iter_matching_ro rel sc.sc_pattern (fun row ->
+           let trail = ref [] in
+           let matched =
+             match_row env trail sc.sc_args row
+             && List.for_all
+                  (fun (op, x, y) ->
+                    match eval_pterm env x, eval_pterm env y with
+                    | Some a, Some b -> test_cmp op a b
+                    | _ -> raise (Unsafe "unbound variable in negation guard"))
+                  guards
+           in
+           undo env trail;
+           if matched then begin
+             found := true;
+             raise Exit
+           end)
+     with Exit -> ());
+    not !found
+
+let shardable body =
+  Array.length body.steps > 0
+  && match body.steps.(0) with SScan _ -> true | _ -> false
+
+let shard_scan body db env =
+  match body.steps.(0) with
+  | SScan sc -> (
+    match find_rel db sc with
+    | None -> None
+    | Some rel ->
+      fill_pattern env sc;
+      Some (Relation.slice rel sc.sc_pattern))
+  | _ -> invalid_arg "Eval.shard_scan: body does not start with a scan"
+
+(* [run_slice body db env slice lo hi k]: evaluate a body whose first
+   step is a scan, drawing that scan's rows from [slice.(lo..hi-1)] and
+   executing the remaining steps read-only.  [body] must be a private
+   clone and [env] a private environment of the calling shard (with any
+   extra-bound variables already set). *)
+let run_slice body db env slice lo hi k =
+  let nsteps = Array.length body.steps in
+  let rec exec i =
+    if i = nsteps then k env
+    else
+      match body.steps.(i) with
+      | SScan sc -> (
+        match find_rel db sc with
+        | None -> ()
+        | Some rel ->
+          fill_pattern env sc;
+          if sc.sc_fast && fast_applicable sc then begin
+            let writes = sc.sc_writes in
+            let nw = Array.length writes in
+            Relation.iter_matching_ro rel sc.sc_pattern (fun row ->
+                for j = 0 to nw - 1 do
+                  let p, s = writes.(j) in
+                  env.(s) <- Some row.(p)
+                done;
+                exec (i + 1));
+            for j = 0 to nw - 1 do
+              let _, s = writes.(j) in
+              env.(s) <- None
+            done
+          end
+          else
+            Relation.iter_matching_ro rel sc.sc_pattern (fun row ->
+                let trail = ref [] in
+                if match_row env trail sc.sc_args row then exec (i + 1);
+                undo env trail))
+      | SNeg (sc, guards) -> if neg_holds_ro db env sc guards then exec (i + 1)
+      | STest (op, x, y) -> (
+        match eval_pterm env x, eval_pterm env y with
+        | Some a, Some b -> if test_cmp op a b then exec (i + 1)
+        | _ -> raise (Unsafe "unbound variable in comparison"))
+      | SUnify (pat, ground) -> (
+        match eval_pterm env ground with
+        | None -> raise (Unsafe "unbound variable in equality")
+        | Some v ->
+          let trail = ref [] in
+          if match_pterm env trail pat v then exec (i + 1);
+          undo env trail)
+  in
+  match body.steps.(0) with
+  | SScan sc ->
+    fill_pattern env sc;
+    if sc.sc_fast && fast_applicable sc then begin
+      let writes = sc.sc_writes in
+      let nw = Array.length writes in
+      Relation.slice_iter slice lo hi (fun row ->
+          for j = 0 to nw - 1 do
+            let p, s = writes.(j) in
+            env.(s) <- Some row.(p)
+          done;
+          exec 1);
+      for j = 0 to nw - 1 do
+        let _, s = writes.(j) in
+        env.(s) <- None
+      done
+    end
+    else
+      Relation.slice_iter slice lo hi (fun row ->
+          let trail = ref [] in
+          if match_row env trail sc.sc_args row then exec 1;
+          undo env trail)
+  | _ -> invalid_arg "Eval.run_slice: body does not start with a scan"

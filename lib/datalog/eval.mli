@@ -81,3 +81,42 @@ val solutions :
 (** [solutions body db ~bindings outs] runs the body with the given
     initial variable bindings and returns the evaluation of [outs] for
     every solution, in enumeration order. *)
+
+(** {2 Sharded read-only execution}
+
+    The data-parallel saturation path ({!Par}) splits the first scan of
+    a body into contiguous row ranges evaluated by independent domains.
+    Shards must touch nothing shared and mutable: each owns a
+    {!clone_body} (private probe buffers; slots and compiled terms
+    shared, so cterms compiled against the original still evaluate
+    under the clone's environments) and runs {!run_slice}, whose scans
+    are read-only — no lazy index builds, private probe keys.  The
+    sequential coordinator calls {!prepare_indexes} first so the
+    read-only probes hit prebuilt indexes. *)
+
+val shardable : body -> bool
+(** The body starts with a positive scan — its enumeration can be
+    sharded.  (Bodies starting with a filter fall back to sequential
+    evaluation.) *)
+
+val clone_body : body -> body
+(** A structural copy with private scan-pattern buffers, safe to
+    execute concurrently with other clones of the same body. *)
+
+val prepare_indexes : body -> Database.t -> unit
+(** Build (sequentially) every index the body's scans will probe,
+    using the compile-time static bound-column masks.  Call before
+    entering a parallel region. *)
+
+val shard_scan : body -> Database.t -> env -> Relation.slice option
+(** Fill the first scan's probe pattern from [env] and return the
+    slice of matching rows ([None] when the relation does not exist).
+    Sequential: may build the probed index.
+    @raise Invalid_argument when the body does not start with a scan. *)
+
+val run_slice :
+  body -> Database.t -> env -> Relation.slice -> int -> int -> (env -> unit) -> unit
+(** [run_slice body db env slice lo hi k]: like {!run}, but the first
+    scan's rows are drawn from [slice.(lo..hi-1)] and all execution is
+    read-only.  [body] and [env] must be private to the calling shard,
+    with any extra-bound variables already set in [env]. *)

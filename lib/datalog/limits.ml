@@ -1,8 +1,15 @@
 (* The resource governor threaded through every fixpoint loop.  Budget
-   counters are plain integer compares; the wall clock and the
+   counters are atomic integer updates; the wall clock and the
    cancellation token are polled on step ticks and otherwise every
    [poll_interval] events, so the hot derivation paths pay one branch
-   when unlimited and a handful of integer operations when governed. *)
+   when unlimited and a handful of integer operations when governed.
+
+   One governor may be ticked from several domains at once during
+   data-parallel saturation (Par): the counters are [Atomic.t], and a
+   budget trip in any shard publishes the violation through [tripped],
+   which every other shard observes at its next poll — so all shards
+   abort within one poll interval and the merge never happens, keeping
+   the Partial database consistent. *)
 
 type violation = Deadline | Max_facts | Max_steps | Max_candidates | Cancelled
 
@@ -18,10 +25,11 @@ type t = {
   max_steps : int;
   max_candidates : int;
   cancel : bool ref;
-  mutable facts : int;
-  mutable steps : int;
-  mutable candidates : int;
-  mutable countdown : int;  (* events until the next clock/token poll *)
+  facts : int Atomic.t;
+  steps : int Atomic.t;
+  candidates : int Atomic.t;
+  countdown : int Atomic.t;  (* events until the next clock/token poll *)
+  tripped : violation option Atomic.t;  (* cross-shard abort broadcast *)
   mutable active : string option;
   mutable fault : (int * fault) option;
 }
@@ -36,10 +44,11 @@ let make limited ~deadline ~max_facts ~max_steps ~max_candidates ~cancel =
     max_steps;
     max_candidates;
     cancel;
-    facts = 0;
-    steps = 0;
-    candidates = 0;
-    countdown = poll_interval;
+    facts = Atomic.make 0;
+    steps = Atomic.make 0;
+    candidates = Atomic.make 0;
+    countdown = Atomic.make poll_interval;
+    tripped = Atomic.make None;
     active = None;
     fault = None }
 
@@ -66,49 +75,51 @@ let set_active t label = if t.limited then t.active <- Some label
 (* Checks                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let trip t v =
+  Atomic.set t.tripped (Some v);
+  raise (Exhausted v)
+
 let check_clock_and_token t =
-  if !(t.cancel) then raise (Exhausted Cancelled);
+  (match Atomic.get t.tripped with Some v -> raise (Exhausted v) | None -> ());
+  if !(t.cancel) then trip t Cancelled;
   match t.deadline with
-  | Some d when Unix.gettimeofday () >= d -> raise (Exhausted Deadline)
+  | Some d when Unix.gettimeofday () >= d -> trip t Deadline
   | _ -> ()
 
 let check_now t = if t.limited then check_clock_and_token t
 
 let poll t =
-  if t.limited then begin
-    t.countdown <- t.countdown - 1;
-    if t.countdown <= 0 then begin
-      t.countdown <- poll_interval;
+  if t.limited then
+    if Atomic.fetch_and_add t.countdown (-1) <= 1 then begin
+      Atomic.set t.countdown poll_interval;
       check_clock_and_token t
     end
-  end
 
 let fire_fault t =
   match t.fault with
-  | Some (k, f) when t.facts >= k ->
+  | Some (k, f) when Atomic.get t.facts >= k ->
     t.fault <- None;
-    (match f with Trip v -> raise (Exhausted v) | Raise e -> raise e)
+    (match f with Trip v -> trip t v | Raise e -> raise e)
   | _ -> ()
 
 let tick_derived t n =
   if t.limited && n > 0 then begin
-    t.facts <- t.facts + n;
+    let facts = Atomic.fetch_and_add t.facts n + n in
     if t.fault <> None then fire_fault t;
-    if t.facts > t.max_facts then raise (Exhausted Max_facts);
+    if facts > t.max_facts then trip t Max_facts;
     poll t
   end
 
 let tick_step t =
   if t.limited then begin
-    t.steps <- t.steps + 1;
-    if t.steps > t.max_steps then raise (Exhausted Max_steps);
+    if Atomic.fetch_and_add t.steps 1 + 1 > t.max_steps then trip t Max_steps;
     check_clock_and_token t
   end
 
 let tick_candidates t n =
   if t.limited && n > 0 then begin
-    t.candidates <- t.candidates + n;
-    if t.candidates > t.max_candidates then raise (Exhausted Max_candidates);
+    if Atomic.fetch_and_add t.candidates n + n > t.max_candidates then
+      trip t Max_candidates;
     poll t
   end
 
@@ -141,9 +152,9 @@ let diagnostics ?(telemetry = Telemetry.none) (t : t) violated =
   { violated;
     active = t.active;
     elapsed_s = Unix.gettimeofday () -. t.started;
-    facts = t.facts;
-    steps = t.steps;
-    candidates = t.candidates;
+    facts = Atomic.get t.facts;
+    steps = Atomic.get t.steps;
+    candidates = Atomic.get t.candidates;
     max_queue }
 
 let govern ?telemetry t ~partial f =
@@ -152,7 +163,11 @@ let govern ?telemetry t ~partial f =
     f ()
   with
   | x -> Complete x
-  | exception Exhausted v -> Partial (partial (), diagnostics ?telemetry t v)
+  | exception Exhausted v ->
+    (* reset the broadcast so the governor (and its cancel token) can be
+       reused after a partial outcome *)
+    Atomic.set t.tripped None;
+    Partial (partial (), diagnostics ?telemetry t v)
 
 let violation_to_string = function
   | Deadline -> "wall-clock deadline"

@@ -21,7 +21,12 @@
 
     The default {!unlimited} instance is shared and permanently
     disabled: every tick costs one branch and no allocation, mirroring
-    {!Telemetry.none}. *)
+    {!Telemetry.none}.
+
+    A governor is domain-safe: during data-parallel saturation
+    ({!Par}) every shard ticks the same [t] — the counters are atomic,
+    and a budget trip in any shard is broadcast so the others abort at
+    their next poll, before any merge into the database. *)
 
 type violation =
   | Deadline  (** wall-clock deadline passed *)

@@ -1,0 +1,167 @@
+(* A work-sharing pool of OCaml 5 domains for data-parallel saturation.
+
+   One pool owns [size - 1] spawned worker domains plus the calling
+   domain; [run] splits a job into [shards] independent bodies claimed
+   dynamically through an atomic counter, so uneven shards balance
+   across domains.  Workers block on a condition variable between jobs
+   — an idle pool burns no CPU — and are reused for the lifetime of the
+   process (spawning a domain costs tens of microseconds, far too much
+   to pay per rule firing).
+
+   The pool makes no determinism promises of its own: shard bodies run
+   concurrently in any order.  Determinism is the caller's job — the
+   engines have each shard write into a private buffer and merge the
+   buffers sequentially in shard-index order after [run] returns.
+
+   Re-entrancy: [run] must not be called from inside a shard body.
+   Concurrent [run]s on the same pool from different domains (the
+   daemon's worker domains sharing a sized pool) are safe: the pool is
+   claimed with [Mutex.try_lock], and a caller that loses the race
+   simply executes its shards inline on its own domain. *)
+
+type task = {
+  f : int -> unit;
+  nshards : int;
+  next : int Atomic.t;  (* next unclaimed shard index *)
+  pending : int Atomic.t;  (* shards not yet finished *)
+  mutable failures : (int * exn * Printexc.raw_backtrace) list;
+}
+
+type t = {
+  size : int;  (* total domains incl. the caller *)
+  m : Mutex.t;
+  cv : Condition.t;  (* new-task and task-finished signals *)
+  run_m : Mutex.t;  (* held by the caller for a whole [run] *)
+  mutable current : task option;
+  mutable generation : int;
+  mutable spawned : bool;  (* workers are started on first parallel run *)
+}
+
+let create ~jobs =
+  let size = max 1 (min jobs 64) in
+  { size;
+    m = Mutex.create ();
+    cv = Condition.create ();
+    run_m = Mutex.create ();
+    current = None;
+    generation = 0;
+    spawned = false }
+
+let sequential = create ~jobs:1
+let size t = t.size
+
+(* Claim and execute shards until the task's counter is exhausted.  A
+   shard body must not escape with an exception — the first failure (by
+   lowest shard index) is re-raised by the caller after the join. *)
+let work_on pool task =
+  let rec claim () =
+    let i = Atomic.fetch_and_add task.next 1 in
+    if i < task.nshards then begin
+      (try task.f i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock pool.m;
+         task.failures <- (i, e, bt) :: task.failures;
+         Mutex.unlock pool.m);
+      if Atomic.fetch_and_add task.pending (-1) = 1 then begin
+        (* last shard: wake the caller waiting in [run] *)
+        Mutex.lock pool.m;
+        Condition.broadcast pool.cv;
+        Mutex.unlock pool.m
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let rec worker pool gen =
+  Mutex.lock pool.m;
+  while pool.generation = gen do
+    Condition.wait pool.cv pool.m
+  done;
+  let gen = pool.generation in
+  let task = pool.current in
+  Mutex.unlock pool.m;
+  (* [current] is never reset, so a late wake-up finds the finished
+     task, sees its counter exhausted, and goes back to waiting. *)
+  (match task with Some task -> work_on pool task | None -> ());
+  worker pool gen
+
+let ensure_workers pool =
+  if not pool.spawned then begin
+    pool.spawned <- true;
+    for _ = 1 to pool.size - 1 do
+      ignore (Domain.spawn (fun () -> worker pool 0))
+    done
+  end
+
+let run_inline ~shards f =
+  for i = 0 to shards - 1 do
+    f i
+  done
+
+let run pool ~shards f =
+  if shards <= 0 then ()
+  else if pool.size <= 1 || shards = 1 then run_inline ~shards f
+  else if not (Mutex.try_lock pool.run_m) then
+    (* another domain owns the pool right now: degrade gracefully *)
+    run_inline ~shards f
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool.run_m)
+      (fun () ->
+        let task =
+          { f;
+            nshards = shards;
+            next = Atomic.make 0;
+            pending = Atomic.make shards;
+            failures = [] }
+        in
+        Mutex.lock pool.m;
+        ensure_workers pool;
+        pool.current <- Some task;
+        pool.generation <- pool.generation + 1;
+        Condition.broadcast pool.cv;
+        Mutex.unlock pool.m;
+        work_on pool task;
+        Mutex.lock pool.m;
+        while Atomic.get task.pending > 0 do
+          Condition.wait pool.cv pool.m
+        done;
+        let failures = task.failures in
+        Mutex.unlock pool.m;
+        match
+          List.sort (fun (a, _, _) (b, _, _) -> compare (a : int) b) failures
+        with
+        | [] -> ()
+        | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt)
+
+(* ------------------------------------------------------------------ *)
+(* Shared sized pools                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One pool per requested width, shared process-wide: `--jobs 4` from
+   the repl, the daemon, or the bench all reuse the same three spawned
+   workers instead of accumulating idle domains. *)
+let pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let pools_m = Mutex.create ()
+
+let get jobs =
+  let jobs = max 1 (min jobs 64) in
+  if jobs = 1 then sequential
+  else
+    Mutex.protect pools_m (fun () ->
+        match Hashtbl.find_opt pools jobs with
+        | Some p -> p
+        | None ->
+          let p = create ~jobs in
+          Hashtbl.add pools jobs p;
+          p)
+
+(* Split [n] items into at most [size t] contiguous shards of near-equal
+   width.  [bounds t n i] is the [lo, hi) range of shard [i]; callers
+   merge results for i = nshards-1 downto 0 (or 0 upto) as their
+   determinism argument requires. *)
+let nshards t n = if n <= 0 then 0 else min t.size n
+
+let bounds ~shards n i = (i * n / shards, (i + 1) * n / shards)

@@ -1,0 +1,52 @@
+(** A work-sharing pool of OCaml 5 domains.
+
+    The data-parallel half of the Theorem 3 alternation: flat-rule
+    saturation shards each rule's delta across domains, while the
+    choice/[next] firings that need sequencing stay on the calling
+    domain.  A pool owns [size - 1] blocked worker domains plus the
+    caller; {!run} splits a job into dynamically claimed shards and
+    joins them all before returning, re-raising the first shard failure
+    (by lowest shard index) so exception behaviour is deterministic.
+
+    Pools promise nothing about shard execution order.  The engines
+    obtain deterministic (byte-identical to sequential) models by
+    having each shard fill a private buffer and merging the buffers in
+    shard-index order after the join — see docs/INTERNALS.md,
+    "Parallel evaluation". *)
+
+type t
+
+val sequential : t
+(** The width-1 pool: {!run} executes shards inline on the caller, no
+    domains are ever spawned.  The default of every engine entry
+    point. *)
+
+val create : jobs:int -> t
+(** A private pool of [jobs] domains total (the caller counts as one;
+    clamped to [1 .. 64]).  Workers are spawned lazily on the first
+    parallel {!run} and live for the rest of the process. *)
+
+val get : int -> t
+(** The shared process-wide pool of the given width — repeated
+    [get 4] returns the same pool, so repl/daemon/bench runs reuse
+    workers instead of accumulating idle domains.  [get 1] is
+    {!sequential}. *)
+
+val size : t -> int
+(** Total domains including the caller. *)
+
+val run : t -> shards:int -> (int -> unit) -> unit
+(** [run t ~shards f] executes [f 0 .. f (shards-1)], concurrently on
+    the pool's domains when the pool is wider than 1 and available,
+    inline otherwise (including when another domain currently owns the
+    pool).  Returns only after every shard finished.  If shards raised,
+    the exception of the lowest-indexed failing shard is re-raised.
+    Must not be called from inside a shard body of the same pool. *)
+
+val nshards : t -> int -> int
+(** How many shards to cut [n] work items into: [min (size t) n]
+    (0 when [n <= 0]). *)
+
+val bounds : shards:int -> int -> int -> int * int
+(** [bounds ~shards n i] is the contiguous [lo, hi) sub-range of
+    [0, n) owned by shard [i] under a near-equal split. *)

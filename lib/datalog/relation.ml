@@ -164,6 +164,110 @@ let iter_matching r pattern f =
       done
   end
 
+let ensure_index r mask =
+  if mask <> 0 then begin
+    let nbound = ref 0 in
+    for c = 0 to r.rel_arity - 1 do
+      if mask land (1 lsl c) <> 0 then incr nbound
+    done;
+    ignore (get_index r mask !nbound)
+  end
+
+(* Does [row] agree with every bound position of [pattern]?  The
+   linear-scan fallback of the read-only paths below. *)
+let rec row_matches pattern (row : tuple) i =
+  i = Array.length pattern
+  || ((match pattern.(i) with None -> true | Some v -> Value.equal v row.(i))
+     && row_matches pattern row (i + 1))
+
+(* Read-only variant for concurrent readers inside a parallel region:
+   never builds or mutates an index and probes with a private key
+   instead of the shared [scratch] buffer.  Uses an existing index when
+   one is present, otherwise filters a linear scan — both enumerate in
+   insertion order, so the result sequence is identical to
+   [iter_matching] either way.  Coordinators call [ensure_index] for
+   the statically known probe masks before entering the region, making
+   the fallback rare. *)
+let iter_matching_ro r pattern f =
+  if Array.length pattern <> r.rel_arity then
+    invalid_arg (Printf.sprintf "Relation.iter_matching_ro: bad pattern arity for %s" r.rel_name);
+  let mask = ref 0 and nbound = ref 0 in
+  for i = 0 to r.rel_arity - 1 do
+    if pattern.(i) <> None then begin
+      mask := !mask lor (1 lsl i);
+      incr nbound
+    end
+  done;
+  if !mask = 0 then iter r f
+  else
+    match Hashtbl.find_opt r.indexes !mask with
+    | Some idx -> (
+      let key = Array.make !nbound Value.unit in
+      for j = 0 to !nbound - 1 do
+        key.(j) <-
+          (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
+      done;
+      match Row_tbl.find_opt idx.buckets key with
+      | None -> ()
+      | Some b ->
+        let stop = b.n - 1 in
+        for i = 0 to stop do
+          f r.rows.(b.ids.(i))
+        done)
+    | None ->
+      for i = 0 to r.count - 1 do
+        let row = r.rows.(i) in
+        if row_matches pattern row 0 then f row
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Slices: sharded enumeration of a matched row set                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A frozen description of the rows matching a pattern, splittable into
+   contiguous ranges for the domain pool.  Built by the sequential
+   coordinator (which may create the index); iterated concurrently by
+   shards, each over its own [lo, hi) range, touching nothing mutable.
+   The ids array and row array are captured with their current bounds,
+   so later appends by the coordinator are invisible. *)
+type slice = { sl_rel : t; sl_ids : int array option; sl_len : int }
+
+let slice r pattern =
+  if Array.length pattern <> r.rel_arity then
+    invalid_arg (Printf.sprintf "Relation.slice: bad pattern arity for %s" r.rel_name);
+  let mask = ref 0 and nbound = ref 0 in
+  for i = 0 to r.rel_arity - 1 do
+    if pattern.(i) <> None then begin
+      mask := !mask lor (1 lsl i);
+      incr nbound
+    end
+  done;
+  if !mask = 0 then { sl_rel = r; sl_ids = None; sl_len = r.count }
+  else begin
+    let idx = get_index r !mask !nbound in
+    for j = 0 to !nbound - 1 do
+      idx.scratch.(j) <-
+        (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
+    done;
+    match Row_tbl.find_opt idx.buckets idx.scratch with
+    | None -> { sl_rel = r; sl_ids = None; sl_len = 0 }
+    | Some b -> { sl_rel = r; sl_ids = Some b.ids; sl_len = b.n }
+  end
+
+let slice_len sl = sl.sl_len
+
+let slice_iter sl lo hi f =
+  let hi = min hi sl.sl_len in
+  match sl.sl_ids with
+  | None ->
+    for i = lo to hi - 1 do
+      f sl.sl_rel.rows.(i)
+    done
+  | Some ids ->
+    for i = lo to hi - 1 do
+      f sl.sl_rel.rows.(ids.(i))
+    done
+
 let fold r ~init ~f =
   let acc = ref init in
   iter r (fun row -> acc := f !acc row);

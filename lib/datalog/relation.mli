@@ -50,6 +50,40 @@ val iter_matching : t -> Value.t option array -> (tuple -> unit) -> unit
     scratch pattern buffer across calls.  Rows inserted by [f] itself
     are not visited. *)
 
+val iter_matching_ro : t -> Value.t option array -> (tuple -> unit) -> unit
+(** Like {!iter_matching} but safe for concurrent readers: never builds
+    or mutates an index and probes with a private key.  Falls back to a
+    filtered linear scan when no index exists for the pattern's bound
+    columns — same rows, same insertion order, just slower; call
+    {!ensure_index} from the (sequential) coordinator first. *)
+
+val ensure_index : t -> int -> unit
+(** [ensure_index r mask] builds (if absent) the index for the
+    bound-column bitmask [mask], so subsequent {!iter_matching_ro}
+    probes with that mask hit it.  Must be called outside any parallel
+    region — it mutates the relation's index table. *)
+
+(** {2 Slices — sharded enumeration}
+
+    A slice freezes the row set matching a pattern so a domain pool can
+    enumerate disjoint contiguous ranges of it concurrently.  Built by
+    the sequential coordinator ({!slice} may create an index); shards
+    then call {!slice_iter} on their own ranges, which touches nothing
+    mutable.  Rows appended after the slice was taken are not
+    visited. *)
+
+type slice
+
+val slice : t -> Value.t option array -> slice
+(** The rows matching [pattern] (every [Some v] position), in insertion
+    order: the whole relation when the pattern is all-wildcards, an
+    index bucket otherwise. *)
+
+val slice_len : slice -> int
+
+val slice_iter : slice -> int -> int -> (tuple -> unit) -> unit
+(** [slice_iter sl lo hi f]: rows [lo, hi) of the slice, in order. *)
+
 val fold : t -> init:'a -> f:('a -> tuple -> 'a) -> 'a
 val to_list : t -> tuple list
 

@@ -169,6 +169,10 @@ type variant = {
   v_head : Ast.atom;
   v_body : Eval.body;
   v_chead : Eval.cterm array;  (* head arguments against [v_body] *)
+  (* Per-shard scratch for the data-parallel fire path: one cloned body
+     (private probe buffers) and one private environment per shard,
+     grown lazily and reused across steps. *)
+  mutable v_scratch : (Eval.body * Eval.env) array;
 }
 
 (* Delta variants of a rule: one per positive occurrence of a tracked
@@ -200,7 +204,7 @@ let variants_of_rule tracked (rule : Ast.rule) =
     let body = match !delta with Some d -> d :: rest | None -> assert false in
     let v_body = Eval.compile_body body in
     { v_label = Telemetry.rule_label rule; v_head = rule.head; v_body;
-      v_chead = Eval.compile_terms v_body rule.head.args }
+      v_chead = Eval.compile_terms v_body rule.head.args; v_scratch = [||] }
   in
   List.init (List.length occurrences) make
 
@@ -212,11 +216,12 @@ type incremental = {
   watermarks : (string, int) Hashtbl.t;
   tele : Telemetry.t;
   limits : Limits.t;
+  pool : Par.t;
   clique_label : string;
 }
 
 let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none)
-    ?(limits = Limits.unlimited) db ~clique program =
+    ?(limits = Limits.unlimited) ?(pool = Par.sequential) db ~clique program =
   let rules =
     List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (head_pred r) clique) program
   in
@@ -245,7 +250,7 @@ let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none)
   let watermarks = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace watermarks p 0) tracked;
   { db; tracked; variants; extrema_rules; watermarks; tele = telemetry; limits;
-    clique_label = String.concat "," clique }
+    pool; clique_label = String.concat "," clique }
 
 let publish_deltas t =
   List.fold_left
@@ -263,20 +268,80 @@ let publish_deltas t =
         any || count > from)
     false t.tracked
 
-let fire tele limits db variant =
-  let env = Eval.fresh_env variant.v_body in
-  let additions = ref [] in
-  Eval.run variant.v_body db env (fun env ->
-      Limits.poll limits;
-      additions := Eval.eval_row env variant.v_chead :: !additions);
-  let added =
-    List.fold_left
-      (fun n row -> if Database.add_fact db variant.v_head.pred row then n + 1 else n)
-      0 !additions
+(* Minimum delta rows before a fire is worth fanning out to the pool.
+   Kept small so that modest workloads still exercise the parallel
+   machinery when [--jobs] asks for it. *)
+let par_threshold = 4
+
+let scratch_for variant shards =
+  if Array.length variant.v_scratch < shards then begin
+    let old = variant.v_scratch in
+    variant.v_scratch <-
+      Array.init shards (fun i ->
+          if i < Array.length old then old.(i)
+          else
+            let b = Eval.clone_body variant.v_body in
+            (b, Eval.fresh_env b))
+  end;
+  variant.v_scratch
+
+(* Data-parallel evaluation of one delta variant: the first scan (the
+   delta occurrence) is sliced into contiguous ranges, each evaluated
+   by a shard into a private prepend-built list.  The sequential path
+   inserts in reverse enumeration order (prepend then fold), so the
+   merge walks shards from last to first, each list front-to-back —
+   the database insertion order is byte-identical to sequential. *)
+let fire_parallel tele limits db pool variant slice =
+  let n = Relation.slice_len slice in
+  let shards = Par.nshards pool n in
+  Eval.prepare_indexes variant.v_body db;
+  let scratch = scratch_for variant shards in
+  let accs = Array.make shards [] in
+  Par.run pool ~shards (fun s ->
+      let body, env = scratch.(s) in
+      Array.fill env 0 (Array.length env) None;
+      let lo, hi = Par.bounds ~shards n s in
+      let acc = ref [] in
+      Eval.run_slice body db env slice lo hi (fun env ->
+          Limits.poll limits;
+          acc := Eval.eval_row env variant.v_chead :: !acc);
+      accs.(s) <- !acc);
+  let added = ref 0 in
+  Telemetry.span tele "par:merge" (fun () ->
+      for s = shards - 1 downto 0 do
+        List.iter
+          (fun row -> if Database.add_fact db variant.v_head.pred row then incr added)
+          accs.(s)
+      done);
+  Telemetry.add_par tele ~shards ~rows:n;
+  Telemetry.add_derived tele variant.v_label !added;
+  Limits.tick_derived limits !added;
+  !added > 0
+
+let fire ?(pool = Par.sequential) tele limits db variant =
+  let parallel_slice =
+    if Par.size pool > 1 && Eval.shardable variant.v_body then
+      match Eval.shard_scan variant.v_body db (Eval.fresh_env variant.v_body) with
+      | Some slice when Relation.slice_len slice >= par_threshold -> Some slice
+      | _ -> None
+    else None
   in
-  Telemetry.add_derived tele variant.v_label added;
-  Limits.tick_derived limits added;
-  added > 0
+  match parallel_slice with
+  | Some slice -> fire_parallel tele limits db pool variant slice
+  | None ->
+    let env = Eval.fresh_env variant.v_body in
+    let additions = ref [] in
+    Eval.run variant.v_body db env (fun env ->
+        Limits.poll limits;
+        additions := Eval.eval_row env variant.v_chead :: !additions);
+    let added =
+      List.fold_left
+        (fun n row -> if Database.add_fact db variant.v_head.pred row then n + 1 else n)
+        0 !additions
+    in
+    Telemetry.add_derived tele variant.v_label added;
+    Limits.tick_derived limits added;
+    added > 0
 
 let step t =
   (* The delta relations are scratch state: drop them even when a
@@ -290,7 +355,7 @@ let step t =
       while !progressed do
         Limits.tick_step t.limits;
         Telemetry.iteration t.tele t.clique_label;
-        List.iter (fun v -> ignore (fire t.tele t.limits t.db v)) t.variants;
+        List.iter (fun v -> ignore (fire ~pool:t.pool t.tele t.limits t.db v)) t.variants;
         List.iter
           (fun r ->
             ignore
@@ -300,5 +365,5 @@ let step t =
         progressed := publish_deltas t
       done)
 
-let eval_clique ?allow_clique_negation ?telemetry ?limits db ~clique program =
-  step (make ?allow_clique_negation ?telemetry ?limits db ~clique program)
+let eval_clique ?allow_clique_negation ?telemetry ?limits ?pool db ~clique program =
+  step (make ?allow_clique_negation ?telemetry ?limits ?pool db ~clique program)

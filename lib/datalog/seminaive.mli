@@ -21,6 +21,7 @@ val make :
   ?allow_clique_negation:bool ->
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
+  ?pool:Par.t ->
   Database.t ->
   clique:string list ->
   Ast.program ->
@@ -29,6 +30,13 @@ val make :
     positive body predicate is delta-tracked, so the first {!step}
     performs the seed evaluation and later steps are proportional to
     the new facts.
+
+    When [pool] has more than one domain, each delta variant whose
+    delta is large enough is evaluated data-parallel: the delta scan is
+    sliced across the pool's domains, each shard joins read-only into a
+    private buffer, and the buffers are merged in an order that makes
+    the database insertion order byte-identical to sequential
+    evaluation (see docs/INTERNALS.md, "Parallel evaluation").
     @raise Invalid_argument on rules outside the supported class (see
     above). *)
 
@@ -43,6 +51,7 @@ val eval_clique :
   ?allow_clique_negation:bool ->
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
+  ?pool:Par.t ->
   Database.t ->
   clique:string list ->
   Ast.program ->

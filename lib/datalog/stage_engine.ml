@@ -247,7 +247,7 @@ let reset_env (env : Eval.env) = Array.fill env 0 (Array.length env) None
 
 exception Fired of Value.t array * Value.t array (* chosen row, head row *)
 
-let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits db crules flat_rules gamma =
+let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool db crules flat_rules gamma =
   let exits, nexts = List.partition (fun ((cr : EC.crule), _) -> cr.EC.stage = None) crules in
   let srules = List.map (fun (cr, r) -> compile_srule cr r) nexts in
   let flat =
@@ -258,7 +258,7 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits db crules flat_r
     try
       List.map
         (fun sub ->
-          Seminaive.make ~allow_clique_negation:true ~telemetry ~limits db ~clique:sub flat)
+          Seminaive.make ~allow_clique_negation:true ~telemetry ~limits ~pool db ~clique:sub flat)
         sub_cliques
     with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
   in
@@ -331,7 +331,7 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits db crules flat_r
     let rec try_exits i = function
       | [] -> false
       | st :: rest -> (
-        match EC.collect_candidates ~idx:i ~limits db telemetry st None examined with
+        match EC.collect_candidates ~idx:i ~limits ~pool db telemetry st None examined with
         | [] -> try_exits (i + 1) rest
         | cand :: _ ->
           EC.fire ~telemetry ~limits db cand;
@@ -446,7 +446,8 @@ let plan_cliques rules =
     (Depgraph.cliques graph)
 
 let run_governed ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.none)
-    ?(limits = Limits.unlimited) ?db program =
+    ?(limits = Limits.unlimited) ?(jobs = 1) ?db program =
+  let pool = Par.get jobs in
   let db = match db with Some db -> db | None -> Database.create () in
   let gamma = ref 0 in
   let rql_stats = ref [] in
@@ -474,19 +475,19 @@ let run_governed ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.
           Telemetry.stratum telemetry label;
           Telemetry.span telemetry label (fun () ->
               if crules_in = [] then begin
-                try Seminaive.eval_clique ~telemetry ~limits db ~clique rules
+                try Seminaive.eval_clique ~telemetry ~limits ~pool db ~clique rules
                 with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
               end
               else
                 rql_stats :=
-                  eval_choice_clique ~backend ~shadow_mode:shadow ~telemetry ~limits db
+                  eval_choice_clique ~backend ~shadow_mode:shadow ~telemetry ~limits ~pool db
                     crules_in flat_in gamma
                   @ !rql_stats))
         (plan_cliques rules);
       (db, stats ()))
 
-let run ?backend ?shadow ?telemetry ?limits ?db program =
-  match run_governed ?backend ?shadow ?telemetry ?limits ?db program with
+let run ?backend ?shadow ?telemetry ?limits ?jobs ?db program =
+  match run_governed ?backend ?shadow ?telemetry ?limits ?jobs ?db program with
   | Limits.Complete x -> x
   | Limits.Partial (_, d) -> raise (Limits.Exhausted d.Limits.violated)
 

@@ -54,12 +54,18 @@ val run :
   ?shadow:shadow_mode ->
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
+  ?jobs:int ->
   ?db:Database.t ->
   Ast.program ->
   Database.t * stats
 (** When [telemetry] is an enabled collector, per-rule counters
     (candidates, firings, queue statistics), delta sizes and
-    per-stratum spans are recorded into it.
+    per-stratum spans are recorded into it.  [jobs] > 1 evaluates flat
+    saturation and exit-rule candidate collection data-parallel on a
+    shared domain pool ({!Par.get}); the model is byte-identical to
+    [jobs = 1] — [next]-rule pops and all firings stay sequential (the
+    paper's alternation), only the side-effect-free enumeration fans
+    out.
     @raise Limits.Exhausted when [limits] trips a budget; use
     {!run_governed} to receive the partial database instead. *)
 
@@ -68,12 +74,15 @@ val run_governed :
   ?shadow:shadow_mode ->
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
+  ?jobs:int ->
   ?db:Database.t ->
   Ast.program ->
   (Database.t * stats) Limits.outcome
 (** Like {!run}, but budget exhaustion and cancellation are returned as
     {!Limits.Partial} carrying the consistent partial database derived
-    so far plus a diagnostics snapshot, instead of an exception. *)
+    so far plus a diagnostics snapshot, instead of an exception.  A
+    budget tripped inside a parallel region aborts every shard before
+    anything is merged, so the partial database is consistent. *)
 
 val model : ?db:Database.t -> Ast.program -> Database.t
 

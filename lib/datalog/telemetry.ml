@@ -33,6 +33,12 @@ type t = {
   mutable iterations : int;
   mutable gamma_steps : int;
   mutable strata : int;
+  (* Data-parallel saturation (Par): recorded by the sequential
+     coordinator after each region's merge — shards never touch the
+     collector, so no field here needs to be atomic. *)
+  mutable par_regions : int;
+  mutable par_shards : int;
+  mutable par_rows : int;
 }
 
 let create_internal enabled =
@@ -44,7 +50,10 @@ let create_internal enabled =
     rule_order = [];
     iterations = 0;
     gamma_steps = 0;
-    strata = 0 }
+    strata = 0;
+    par_regions = 0;
+    par_shards = 0;
+    par_rows = 0 }
 
 let none = create_internal false
 let create () = create_internal true
@@ -148,6 +157,13 @@ let span t label f =
       f
   end
 
+let add_par t ~shards ~rows =
+  if t.enabled then begin
+    t.par_regions <- t.par_regions + 1;
+    t.par_shards <- t.par_shards + shards;
+    t.par_rows <- t.par_rows + rows
+  end
+
 let iterations t = t.iterations
 let gamma_steps t = t.gamma_steps
 
@@ -175,7 +191,10 @@ let totals t =
     ("shadowed", sum (fun rc -> rc.shadowed));
     ("stale", sum (fun rc -> rc.stale));
     ("revalidations", sum (fun rc -> rc.revalidations));
-    ("delta_tuples", Hashtbl.fold (fun _ r acc -> acc + !r) t.deltas 0) ]
+    ("delta_tuples", Hashtbl.fold (fun _ r acc -> acc + !r) t.deltas 0);
+    ("par_regions", t.par_regions);
+    ("par_shards", t.par_shards);
+    ("par_rows", t.par_rows) ]
 
 let pp ppf t =
   if not t.enabled then Format.fprintf ppf "telemetry disabled@."

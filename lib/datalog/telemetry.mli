@@ -69,6 +69,11 @@ val span : t -> string -> (unit -> 'a) -> 'a
 (** [span t label f] runs [f], accumulating its wall-clock time under
     [label] (no-op wrapper when disabled). *)
 
+val add_par : t -> shards:int -> rows:int -> unit
+(** Record one data-parallel region: how many shards it ran on and how
+    many input rows it covered.  Called by the sequential coordinator
+    after the merge — never from inside a shard. *)
+
 val iterations : t -> int
 val gamma_steps : t -> int
 

@@ -24,9 +24,11 @@ type budget = {
   max_facts : int option;
   max_steps : int option;
   max_candidates : int option;
+  jobs : int option;  (* requested evaluation domains; server clamps *)
 }
 
-let no_budget = { timeout_ms = None; max_facts = None; max_steps = None; max_candidates = None }
+let no_budget =
+  { timeout_ms = None; max_facts = None; max_steps = None; max_candidates = None; jobs = None }
 
 type request =
   | Ping
@@ -126,11 +128,12 @@ let w_list w b xs =
 
 let w_engine b = function Staged -> w_u8 b 0 | Reference -> w_u8 b 1
 
-let w_budget b { timeout_ms; max_facts; max_steps; max_candidates } =
+let w_budget b { timeout_ms; max_facts; max_steps; max_candidates; jobs } =
   w_opt w_int b timeout_ms;
   w_opt w_int b max_facts;
   w_opt w_int b max_steps;
-  w_opt w_int b max_candidates
+  w_opt w_int b max_candidates;
+  w_opt w_int b jobs
 
 (* ---------------- field readers ---------------- *)
 
@@ -199,7 +202,8 @@ let r_budget rd what =
   let max_facts = r_opt r_int rd what in
   let max_steps = r_opt r_int rd what in
   let max_candidates = r_opt r_int rd what in
-  { timeout_ms; max_facts; max_steps; max_candidates }
+  let jobs = r_opt r_int rd what in
+  { timeout_ms; max_facts; max_steps; max_candidates; jobs }
 
 (* ---------------- framing ---------------- *)
 

@@ -20,11 +20,14 @@ type budget = {
   max_facts : int option;
   max_steps : int option;
   max_candidates : int option;
+  jobs : int option;  (** requested evaluation domains (parallelism) *)
 }
 (** Client-requested resource caps for one evaluation.  The server
     clamps each against its own configured cap (the effective budget
     is the pointwise minimum), so a client can tighten but never
-    loosen the server's governor. *)
+    loosen the server's governor.  [jobs] asks for data-parallel
+    evaluation across that many domains; the grant is
+    [min (server max-jobs) jobs], defaulting to sequential. *)
 
 val no_budget : budget
 

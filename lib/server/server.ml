@@ -41,6 +41,7 @@ type config = {
   max_facts : int option;
   max_steps : int option;
   max_candidates : int option;
+  max_jobs : int;  (* cap on granted evaluation domains per request *)
   max_frame : int;
   cache_capacity : int;
 }
@@ -55,6 +56,7 @@ let default_config =
     max_facts = None;
     max_steps = None;
     max_candidates = None;
+    max_jobs = 1;
     max_frame = Protocol.max_frame_default;
     cache_capacity = 64 }
 
@@ -186,6 +188,11 @@ let effective_limits t (session : Session.t) (b : Protocol.budget) =
     ?max_candidates:(opt_min t.cfg.max_candidates b.Protocol.max_candidates)
     ~cancel:session.Session.cancel ()
 
+(* Granted parallelism: the client's request clamped by the server's
+   [max_jobs]; no request (or a nonsense one) means sequential. *)
+let effective_jobs t (b : Protocol.budget) =
+  max 1 (min t.cfg.max_jobs (Option.value b.Protocol.jobs ~default:1))
+
 (* ---------------- stats ---------------- *)
 
 let json_escape s =
@@ -216,12 +223,12 @@ let stats_json t (session : Session.t) =
   let c = session.Session.counters in
   let global_totals = Mutex.protect t.totals_m (fun () -> totals_json t.engine_totals) in
   Printf.sprintf
-    "{\"server\": {\"workers\": %d, \"uptime_s\": %.3f, \"draining\": %b, \"requests\": %d, \
+    "{\"server\": {\"workers\": %d, \"max_jobs\": %d, \"uptime_s\": %.3f, \"draining\": %b, \"requests\": %d, \
      \"errors\": %d, \"partials\": %d, \"sessions_total\": %d, \"cache\": {\"hits\": %d, \
      \"misses\": %d, \"evictions\": %d, \"entries\": %d}, \"engine\": %s}, \"session\": \
      {\"id\": %d, \"requests\": %d, \"evaluations\": %d, \"partials\": %d, \"errors\": %d, \
      \"facts_asserted\": %d, \"facts_retracted\": %d, \"eval_wall_s\": %.6f, \"engine\": %s}}"
-    t.cfg.workers
+    t.cfg.workers t.cfg.max_jobs
     (Unix.gettimeofday () -. t.started_at)
     (Atomic.get t.draining) (Atomic.get t.requests) (Atomic.get t.errors)
     (Atomic.get t.partials)
@@ -279,8 +286,9 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
       | Error e -> err e)
     | Protocol.Run { engine; seed; preds; budget } -> (
       let limits = effective_limits t session budget in
+      let jobs = effective_jobs t budget in
       let telemetry = Telemetry.create () in
-      let result = Session.run session ~engine ~seed ~limits ~telemetry in
+      let result = Session.run session ~engine ~seed ~jobs ~limits ~telemetry in
       merge_global_totals t telemetry;
       match result with
       | Ok (Limits.Complete db) ->
@@ -304,8 +312,9 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
       | Error e -> err e)
     | Protocol.Query { engine; text; budget } -> (
       let limits = effective_limits t session budget in
+      let jobs = effective_jobs t budget in
       let telemetry = Telemetry.create () in
-      let result = Session.query session ~engine ~text ~limits ~telemetry in
+      let result = Session.query session ~engine ~text ~jobs ~limits ~telemetry in
       merge_global_totals t telemetry;
       match result with
       | Ok (complete, vars, rows) ->

@@ -28,13 +28,16 @@ type config = {
   max_facts : int option;
   max_steps : int option;
   max_candidates : int option;
+  max_jobs : int;
+      (** cap on evaluation domains granted per request; the grant is
+          [min max_jobs (client's requested jobs)], at least 1 *)
   max_frame : int;  (** frames above this are a protocol violation *)
   cache_capacity : int;  (** compiled-program cache entries *)
 }
 
 val default_config : config
-(** 127.0.0.1:7411, 4 workers, 30s default timeout, 16 MiB max frame,
-    64 cache entries. *)
+(** 127.0.0.1:7411, 4 workers, sequential evaluation ([max_jobs = 1]),
+    30s default timeout, 16 MiB max frame, 64 cache entries. *)
 
 type t
 

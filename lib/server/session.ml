@@ -185,7 +185,7 @@ let note_eval t telemetry t0 =
       Hashtbl.replace t.counters.engine_totals k (prev + v))
     (Telemetry.totals telemetry)
 
-let run t ~engine ~seed ~limits ~telemetry =
+let run t ~engine ~seed ~jobs ~limits ~telemetry =
   match (t.entry, t.db) with
   | None, _ | _, None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
   | Some entry, Some db ->
@@ -196,13 +196,14 @@ let run t ~engine ~seed ~limits ~telemetry =
           match engine with
           | Protocol.Staged ->
             map_outcome fst
-              (Stage_engine.run_governed ~telemetry ~limits ~db:work entry.Program_cache.rules)
+              (Stage_engine.run_governed ~telemetry ~limits ~jobs ~db:work
+                 entry.Program_cache.rules)
           | Protocol.Reference ->
             let policy =
               match seed with Some s -> Choice_fixpoint.Random s | None -> Choice_fixpoint.First
             in
             map_outcome fst
-              (Choice_fixpoint.run_governed ~policy ~telemetry ~limits ~db:work
+              (Choice_fixpoint.run_governed ~policy ~telemetry ~limits ~jobs ~db:work
                  entry.Program_cache.rules))
     in
     note_eval t telemetry t0;
@@ -238,11 +239,11 @@ let parse_goal text =
   | { Ast.body = [ Ast.Pos a ]; _ } -> a
   | _ -> raise (Parser.Error ("queries take a single positive atom", nowhere))
 
-let query t ~engine ~text ~limits ~telemetry =
+let query t ~engine ~text ~jobs ~limits ~telemetry =
   match parse_goal text with
   | exception Parser.Error (msg, pos) -> Error (of_gbc_error (Gbc_error.Parse (msg, pos)))
   | goal -> (
-    match run t ~engine ~seed:None ~limits ~telemetry with
+    match run t ~engine ~seed:None ~jobs ~limits ~telemetry with
     | Error e -> Error e
     | Ok outcome ->
       let complete = match outcome with Limits.Complete _ -> true | _ -> false in

@@ -60,12 +60,15 @@ val run :
   t ->
   engine:Protocol.engine ->
   seed:int option ->
+  jobs:int ->
   limits:Limits.t ->
   telemetry:Telemetry.t ->
   (Database.t Limits.outcome, error) result
-(** Evaluate on a fresh copy of the snapshot.  Budget exhaustion and
-    cancellation come back as [Limits.Partial] — a consistent partial
-    model, never a crash. *)
+(** Evaluate on a fresh copy of the snapshot.  [jobs] is the granted
+    number of evaluation domains (the server clamps the client's
+    request against its own [max-jobs]); the model is independent of
+    it.  Budget exhaustion and cancellation come back as
+    [Limits.Partial] — a consistent partial model, never a crash. *)
 
 val enumerate : t -> max_models:int -> limits:Limits.t -> (Database.t list, error) result
 (** All choice models (small programs); a tripped budget is a
@@ -75,6 +78,7 @@ val query :
   t ->
   engine:Protocol.engine ->
   text:string ->
+  jobs:int ->
   limits:Limits.t ->
   telemetry:Telemetry.t ->
   (bool * string list * string list, error) result

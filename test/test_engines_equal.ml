@@ -98,6 +98,159 @@ let test_four_engines_on_horn () =
     horn_programs
 
 (* ------------------------------------------------------------------ *)
+(* Data-parallel evaluation: --jobs N must be byte-identical           *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel saturation path merges shard buffers in an order chosen
+   to reproduce the sequential database insertion order exactly, so the
+   rendered database — relation by relation, row by row, chosen$i
+   layouts included — must not differ by a single byte. *)
+
+let db_bytes db = Format.asprintf "%a" Database.pp db
+
+(* CI runs the suite twice: once default, once with GBC_TEST_JOBS set,
+   to exercise the parallel path under a different shard count. *)
+let jobs_under_test =
+  let base = [ 2; 4 ] in
+  match Option.bind (Sys.getenv_opt "GBC_TEST_JOBS") int_of_string_opt with
+  | Some j when j > 1 && not (List.mem j base) -> base @ [ j ]
+  | _ -> base
+
+let test_parallel_byte_identical () =
+  List.iter
+    (fun file ->
+      let prog = load file in
+      let ref1 = db_bytes (fst (Choice_fixpoint.run ~jobs:1 prog)) in
+      let st1 = db_bytes (fst (Stage_engine.run ~jobs:1 prog)) in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: reference jobs=%d byte-identical to sequential" file jobs)
+            ref1
+            (db_bytes (fst (Choice_fixpoint.run ~jobs prog)));
+          Alcotest.(check string)
+            (Printf.sprintf "%s: staged jobs=%d byte-identical to sequential" file jobs)
+            st1
+            (db_bytes (fst (Stage_engine.run ~jobs prog))))
+        jobs_under_test)
+    exemplars
+
+(* Random Horn programs: transitive closure plus a join rule over a
+   random edge set — deltas big enough to cross the parallel-fire
+   threshold, with plenty of duplicate derivations to stress the
+   shard-merge dedup. *)
+let gen_edges =
+  QCheck.Gen.(list_size (int_range 5 25) (pair (int_bound 7) (int_bound 7)))
+
+let arb_edges =
+  QCheck.make
+    ~print:(fun edges ->
+      String.concat " " (List.map (fun (a, b) -> Printf.sprintf "e(%d,%d)." a b) edges))
+    gen_edges
+
+let prop_parallel_horn =
+  QCheck.Test.make ~name:"random Horn: jobs 3 byte-identical to jobs 1" ~count:40 arb_edges
+    (fun edges ->
+      let src = Buffer.create 256 in
+      List.iter
+        (fun (a, b) -> Buffer.add_string src (Printf.sprintf "e(%d, %d).\n" a b))
+        edges;
+      Buffer.add_string src
+        "t(X, Y) :- e(X, Y).\n\
+         t(X, Z) :- t(X, Y), e(Y, Z).\n\
+         j(X, Z) :- t(X, Y), t(Y, Z).\n";
+      let prog = Parser.parse_program (Buffer.contents src) in
+      String.equal
+        (db_bytes (fst (Choice_fixpoint.run ~jobs:1 prog)))
+        (db_bytes (fst (Choice_fixpoint.run ~jobs:3 prog)))
+      && String.equal
+           (db_bytes (fst (Stage_engine.run ~jobs:1 prog)))
+           (db_bytes (fst (Stage_engine.run ~jobs:3 prog))))
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool itself                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_par_pool () =
+  let pool = Par.get 4 in
+  Alcotest.(check int) "pool width" 4 (Par.size pool);
+  Alcotest.(check bool) "jobs 1 is the shared sequential pool" true
+    (Par.get 1 == Par.sequential);
+  let n = 10_000 in
+  let shards = Par.nshards pool n in
+  let accs = Array.make shards 0 in
+  Par.run pool ~shards (fun s ->
+      let lo, hi = Par.bounds ~shards n s in
+      let t = ref 0 in
+      for i = lo to hi - 1 do
+        t := !t + i
+      done;
+      accs.(s) <- !t);
+  Alcotest.(check int) "sharded sum covers every index once" (n * (n - 1) / 2)
+    (Array.fold_left ( + ) 0 accs);
+  (* Shard bounds partition [0, n) exactly. *)
+  let cover = Array.make 17 0 in
+  let k = 5 in
+  for s = 0 to k - 1 do
+    let lo, hi = Par.bounds ~shards:k 17 s in
+    for i = lo to hi - 1 do
+      cover.(i) <- cover.(i) + 1
+    done
+  done;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "index %d covered once" i) 1 c)
+    cover
+
+let test_par_exception () =
+  let pool = Par.get 4 in
+  match Par.run pool ~shards:4 (fun s -> if s >= 2 then failwith (string_of_int s)) with
+  | () -> Alcotest.fail "expected a shard failure to propagate"
+  | exception Failure s ->
+    Alcotest.(check string) "lowest failing shard index wins" "2" s
+
+(* ------------------------------------------------------------------ *)
+(* Interner under concurrent domains                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Four domains intern overlapping string sets concurrently; every id
+   must resolve back to its string, the same string must map to the
+   same id from every domain, and the published rank table must keep
+   comparing ids in string order. *)
+let test_interner_concurrent_domains () =
+  let sign x = compare x 0 in
+  let per_domain = 2000 in
+  let name d i = Printf.sprintf "cd_%d_%d" ((i + d) mod 53) (i mod 17) in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            Array.init per_domain (fun i ->
+                let s = name d i in
+                (s, Interner.intern s))))
+  in
+  let results = List.concat_map (fun d -> Array.to_list (Domain.join d)) domains in
+  List.iter
+    (fun (s, id) ->
+      Alcotest.(check string) "concurrent intern resolves back" s (Interner.resolve id);
+      Alcotest.(check bool) "re-interning from the main domain agrees" true
+        (Interner.intern s = id))
+    results;
+  (* Order law over a sample of the concurrently interned ids. *)
+  let ids = List.map snd results in
+  let strs = List.map fst results in
+  List.iteri
+    (fun i id_a ->
+      if i < 50 then
+        List.iteri
+          (fun j id_b ->
+            if j < 50 then
+              Alcotest.(check int)
+                (Printf.sprintf "rank order %d/%d" i j)
+                (sign (String.compare (List.nth strs i) (List.nth strs j)))
+                (sign (Interner.compare_ids id_a id_b)))
+          ids)
+    ids
+
+(* ------------------------------------------------------------------ *)
 (* Interner properties                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -140,6 +293,15 @@ let () =
             test_reference_vs_staged;
           Alcotest.test_case "naive = seminaive = staged = reference on Horn" `Quick
             test_four_engines_on_horn ] );
+      ( "parallel",
+        [ Alcotest.test_case "every exemplar byte-identical at jobs 1/2/4" `Slow
+            test_parallel_byte_identical;
+          QCheck_alcotest.to_alcotest prop_parallel_horn;
+          Alcotest.test_case "domain pool shards, merges, covers" `Quick test_par_pool;
+          Alcotest.test_case "shard failure propagates (lowest index)" `Quick
+            test_par_exception;
+          Alcotest.test_case "interner safe under concurrent domains" `Quick
+            test_interner_concurrent_domains ] );
       ( "interner",
         [ QCheck_alcotest.to_alcotest prop_roundtrip;
           QCheck_alcotest.to_alcotest prop_order_preserved;

@@ -207,6 +207,41 @@ let test_max_candidates () =
       Alcotest.(check bool) (ename ^ " candidates counted") true (d.Limits.candidates > 5 - 1))
     engines
 
+(* A budget tripped inside a parallel saturation region must broadcast
+   to every shard and abort before any shard buffer is merged: the
+   partial database is a consistent subset of the full model, with no
+   leaked $delta scratch relations. *)
+let parallel_engines =
+  [ ( "reference",
+      fun ~limits prog ->
+        map_outcome fst (Choice_fixpoint.run_governed ~limits ~jobs:4 prog) );
+    ( "staged",
+      fun ~limits prog -> map_outcome fst (Stage_engine.run_governed ~limits ~jobs:4 prog) ) ]
+
+let test_parallel_cancellation_consistent () =
+  let prog = chain_prog 200 in
+  List.iter
+    (fun (ename, run) ->
+      let full = Limits.value (run ~limits:Limits.unlimited prog) in
+      let limits = Limits.create ~max_facts:60 () in
+      let partial, d = expect_partial (ename ^ "/jobs4") (run ~limits prog) in
+      Alcotest.check violation (ename ^ " parallel trip violation") Limits.Max_facts
+        d.Limits.violated;
+      Alcotest.(check bool) (ename ^ " no $delta scratch leaked") true
+        (List.for_all
+           (fun p -> not (String.length p > 6 && String.sub p (String.length p - 6) 6 = "$delta"))
+           (Database.preds partial));
+      Alcotest.(check bool) (ename ^ " parallel partial subset of full") true
+        (List.for_all
+           (fun pred ->
+             List.for_all
+               (fun row -> Database.mem_fact full pred row)
+               (Database.facts_of partial pred))
+           (Database.preds partial));
+      Alcotest.(check bool) (ename ^ " parallel partial strictly smaller") true
+        (List.length (Database.facts_of partial "r") < List.length (Database.facts_of full "r")))
+    parallel_engines
+
 (* ------------------------------------------------------------------ *)
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -329,7 +364,9 @@ let () =
             test_boundary_exact_budget;
           Alcotest.test_case "deadline 0 fails fast" `Quick test_deadline_zero_fails_fast;
           Alcotest.test_case "cancellation token" `Quick test_cancellation_token;
-          Alcotest.test_case "candidate budget" `Quick test_max_candidates ] );
+          Alcotest.test_case "candidate budget" `Quick test_max_candidates;
+          Alcotest.test_case "parallel trip leaves consistent partial db" `Quick
+            test_parallel_cancellation_consistent ] );
       ( "faults",
         [ Alcotest.test_case "injected trip exits structurally" `Quick test_fault_trip;
           Alcotest.test_case "injected crash escapes govern" `Quick test_fault_raise ] );

@@ -20,10 +20,12 @@ let gen_engine = QCheck.Gen.oneofl [ Protocol.Staged; Protocol.Reference ]
 
 let gen_budget =
   QCheck.Gen.(
-    map4
-      (fun a b c d -> { Protocol.timeout_ms = a; max_facts = b; max_steps = c; max_candidates = d })
-      (gen_opt (int_bound 1_000_000)) (gen_opt (int_bound 1_000_000))
-      (gen_opt (int_bound 1_000_000)) (gen_opt (int_bound 1_000_000)))
+    map2
+      (fun (a, b) (c, d, j) ->
+        { Protocol.timeout_ms = a; max_facts = b; max_steps = c; max_candidates = d; jobs = j })
+      (pair (gen_opt (int_bound 1_000_000)) (gen_opt (int_bound 1_000_000)))
+      (triple (gen_opt (int_bound 1_000_000)) (gen_opt (int_bound 1_000_000))
+         (gen_opt (int_bound 64))))
 
 let gen_preds = gen_opt QCheck.Gen.(list_size (int_bound 5) gen_small_string)
 

@@ -32,7 +32,7 @@ let source name = read_file ("../programs/" ^ name)
 
 let sock_counter = ref 0
 
-let with_server ?(workers = 4) ?default_timeout_s ?max_facts f =
+let with_server ?(workers = 4) ?default_timeout_s ?max_facts ?(max_jobs = 1) f =
   incr sock_counter;
   let path = Printf.sprintf "gbcd_test_%d_%d.sock" (Unix.getpid ()) !sock_counter in
   let cfg =
@@ -41,7 +41,8 @@ let with_server ?(workers = 4) ?default_timeout_s ?max_facts f =
       unix_path = Some path;
       workers;
       default_timeout_s;
-      max_facts }
+      max_facts;
+      max_jobs }
   in
   match Server.create cfg with
   | Error msg -> Alcotest.fail ("server create: " ^ msg)
@@ -260,6 +261,68 @@ let test_stats () =
             Alcotest.(check bool) "has session" true (contains json "\"session\"")
           | _ -> Alcotest.fail "expected Stats_json"))
 
+(* pull the integer following "key": out of a stats json blob *)
+let int_field json key =
+  let marker = "\"" ^ key ^ "\": " in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length json then Alcotest.fail ("stats json lacks " ^ key)
+    else if String.sub json i mlen = marker then i + mlen
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop = ref start in
+  while
+    !stop < String.length json
+    && (match json.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+  do
+    incr stop
+  done;
+  int_of_string (String.sub json start (!stop - start))
+
+(* The program cache's hit/miss/eviction counters must surface in the
+   stats frame: a second load of the same source from another session
+   is a hit, a different source is another miss. *)
+let test_cache_counters_in_stats () =
+  with_server (fun path ->
+      let src = source "prim.dl" in
+      with_conn path (fun c1 ->
+          let _ = expect_loaded (Client.rpc c1 (Protocol.Load src)) in
+          with_conn path (fun c2 ->
+              let _ = expect_loaded (Client.rpc c2 (Protocol.Load src)) in
+              let _ = expect_loaded (Client.rpc c2 (Protocol.Load (source "sorting.dl"))) in
+              match Client.rpc c2 Protocol.Stats with
+              | Protocol.Stats_json json ->
+                Alcotest.(check bool) "hits >= 1" true (int_field json "hits" >= 1);
+                Alcotest.(check bool) "misses >= 2" true (int_field json "misses" >= 2);
+                Alcotest.(check bool) "evictions >= 0" true (int_field json "evictions" >= 0);
+                Alcotest.(check bool) "entries >= 2" true (int_field json "entries" >= 2)
+              | _ -> Alcotest.fail "expected Stats_json")))
+
+(* A client asking for --jobs gets the same bytes as the sequential
+   single-shot run, whether the server grants the parallelism
+   (max_jobs 4) or clamps it back to 1 (default config). *)
+let test_jobs_request_same_model () =
+  let budget = { Protocol.no_budget with Protocol.jobs = Some 4 } in
+  let req =
+    Protocol.Run { engine = Protocol.Reference; seed = None; preds = None; budget }
+  in
+  let expected =
+    Format.asprintf "%a" Database.pp
+      (Choice_fixpoint.model (Parser.parse_program (source "prim.dl")))
+  in
+  List.iter
+    (fun max_jobs ->
+      with_server ~max_jobs (fun path ->
+          with_conn path (fun c ->
+              let _ = expect_loaded (Client.rpc c (Protocol.Load (source "prim.dl"))) in
+              let complete, text, _ = expect_model (Client.rpc c req) in
+              Alcotest.(check bool) "complete" true complete;
+              Alcotest.(check string)
+                (Printf.sprintf "model at max_jobs=%d" max_jobs)
+                expected text)))
+    [ 1; 4 ]
+
 (* ---------------- shutdown ---------------- *)
 
 let test_shutdown_drains () =
@@ -333,7 +396,10 @@ let () =
         [ Alcotest.test_case "malformed frame gets a structured error" `Quick
             test_malformed_frame_gets_error;
           Alcotest.test_case "query and enumerate" `Quick test_query_and_enumerate;
-          Alcotest.test_case "stats" `Quick test_stats ] );
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "cache counters in stats" `Quick test_cache_counters_in_stats;
+          Alcotest.test_case "jobs request serves identical model" `Quick
+            test_jobs_request_same_model ] );
       ( "lifecycle",
         [ Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
           Alcotest.test_case "8 sessions x 13 exemplars x 4 workers" `Slow
