@@ -299,6 +299,10 @@ let flush_bench () =
       let doc =
         Obj
           [ ("experiment", Str exp);
+            (* The host's parallelism budget: scaling points (E16) and
+               latency points (E15/E17) are meaningless without it. *)
+            ( "recommended_domain_count",
+              Num (float_of_int (Domain.recommended_domain_count ())) );
             ( "points",
               Arr
                 (List.map

@@ -14,7 +14,10 @@ open Gbc
    fact regression (the `perf-smoke` dune alias). *)
 (* --e15: run only the daemon throughput/latency experiment at full
    scale (8 sessions, 3 rounds) and write BENCH_E15.json. *)
+(* --e17: run only the incremental-maintenance latency experiment at
+   full scale and write BENCH_E17.json. *)
 let only_e15 = Array.exists (( = ) "--e15") Sys.argv
+let only_e17 = Array.exists (( = ) "--e17") Sys.argv
 let perf_smoke = Array.exists (( = ) "--perf-smoke") Sys.argv
 let smoke = perf_smoke || Array.exists (( = ) "--smoke") Sys.argv
 let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
@@ -716,6 +719,120 @@ let e16 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E17 — incremental view maintenance: single-fact update latency      *)
+(* ------------------------------------------------------------------ *)
+
+(* A session that has run its program to a complete model keeps it
+   materialized; the next run after a single-fact assert is served by
+   incremental maintenance (Ivm) — a delta step over the one new row —
+   instead of a from-scratch fixpoint.  Measured on a transitive-
+   closure chain (model of n(n-1)/2 facts, the honest worst case for
+   re-evaluation): each update asserts one edge from a fresh source
+   into the chain's sink, deriving exactly one new tc fact.  Every
+   update is checked to have been served incrementally (zero
+   fallbacks); the speedup over the from-scratch run is the claim. *)
+
+let e17 () =
+  let sizes = scale [ 128; 256; 512; 1024 ] in
+  let cache = Program_cache.create () in
+  let reps = if smoke then 3 else 10 in
+  let rows =
+    List.map
+      (fun n ->
+        let buf = Buffer.create (32 * n) in
+        Buffer.add_string buf
+          "tc(X, Y) <- edge(X, Y).\ntc(X, Z) <- tc(X, Y), edge(Y, Z).\n";
+        for i = 1 to n - 1 do
+          Buffer.add_string buf (Printf.sprintf "edge(%d, %d).\n" i (i + 1))
+        done;
+        let src = Buffer.contents buf in
+        let session () =
+          let s = Session.create ~cache ~id:0 in
+          (match Session.load s src with
+          | Ok _ -> ()
+          | Error (_, m) -> failwith ("E17 load: " ^ m));
+          s
+        in
+        let run s =
+          match
+            Session.run s ~engine:Protocol.Staged ~seed:None ~jobs:1
+              ~limits:Limits.unlimited ~telemetry:Telemetry.none
+          with
+          | Ok (Limits.Complete db) -> db
+          | _ -> failwith "E17: run did not complete"
+        in
+        (* from-scratch latency: a fresh session's first run (the load
+           is a cache hit; the evaluation dominates) *)
+        let model, t_full =
+          Harness.time (fun () ->
+              let s = session () in
+              run s)
+        in
+        let model_facts =
+          List.fold_left
+            (fun acc p -> acc + List.length (Database.facts_of model p))
+            0 (Database.preds model)
+        in
+        (* update latency: one warm session, [reps] distinct
+           single-fact asserts, each followed by a (maintained) run *)
+        let s = session () in
+        ignore (run s);
+        let samples =
+          Array.init reps (fun k ->
+              let fact = Printf.sprintf "edge(%d, %d)." (10_000_000 + k) n in
+              let t0 = Unix.gettimeofday () in
+              (match Session.assert_facts s fact with
+              | Ok _ -> ()
+              | Error (_, m) -> failwith ("E17 assert: " ^ m));
+              ignore (run s);
+              Unix.gettimeofday () -. t0)
+        in
+        Array.sort compare samples;
+        let t_inc = samples.(0) in
+        let t_inc_median = samples.(reps / 2) in
+        let c = s.Session.counters in
+        if c.Session.ivm_fallbacks > 0 || c.Session.runs_incremental < reps then begin
+          Printf.eprintf "E17: n=%d updates were not served incrementally\n" n;
+          exit 1
+        end;
+        (* byte-identity spot check against from-scratch on the small
+           sizes (rendering a half-million-fact model is not a timing) *)
+        if n <= 256 then begin
+          let fresh = session () in
+          for k = 0 to reps - 1 do
+            match
+              Session.assert_facts fresh
+                (Printf.sprintf "edge(%d, %d)." (10_000_000 + k) n)
+            with
+            | Ok _ -> ()
+            | Error (_, m) -> failwith ("E17 assert: " ^ m)
+          done;
+          let b1 = Session.render_model (run s) in
+          let b2 = Session.render_model (run fresh) in
+          if not (String.equal b1 b2) then begin
+            Printf.eprintf "E17: n=%d maintained model differs from from-scratch\n" n;
+            exit 1
+          end
+        end;
+        let us t = int_of_float (t *. 1e6) in
+        let speedup = if t_inc > 0.0 then t_full /. t_inc else 0.0 in
+        record ~exp:"E17" ~n ~wall:t_inc ~median:t_inc_median
+          [ ("model_facts", model_facts); ("full_us", us t_full);
+            ("inc_best_us", us t_inc); ("inc_median_us", us t_inc_median);
+            ("updates", reps); ("speedup_x10", int_of_float (speedup *. 10.0)) ];
+        [ string_of_int n; string_of_int model_facts; Harness.sec t_full;
+          Printf.sprintf "%d" (us t_inc); Printf.sprintf "%d" (us t_inc_median);
+          Printf.sprintf "%.0fx" speedup ])
+      sizes
+  in
+  Harness.table
+    ~title:
+      "E17  Incremental maintenance: single-fact assert latency vs model size \
+       (TC chain, staged engine; update = assert + maintained run)"
+    ~header:[ "n"; "model facts"; "full run(s)"; "update best(us)"; "update median(us)"; "speedup" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* A1 — (R,Q,L) vs recompute-least (reference engine)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -899,6 +1016,19 @@ let () =
       exit 1
     end
   end;
+  if only_e17 then begin
+    Printf.printf "Greedy by Choice — E17 (incremental maintenance)\n";
+    e17 ();
+    let files = Harness.flush_bench () in
+    if Harness.validate_bench files then begin
+      Printf.printf "wrote %s\n" (String.concat ", " files);
+      exit 0
+    end
+    else begin
+      print_endline "E17: BENCH JSON malformed";
+      exit 1
+    end
+  end;
   if perf_smoke then begin
     Printf.printf "Greedy by Choice — perf smoke (E14 allocation kernels)\n";
     let worst = e14 () in
@@ -933,6 +1063,7 @@ let () =
   ignore (e14 ());
   e15 ();
   e16 ();
+  e17 ();
   a1 ();
   a2 ();
   a3 ();

@@ -21,6 +21,7 @@ module Stage = Gbc_datalog.Stage
 module Rewrite = Gbc_datalog.Rewrite
 module Naive = Gbc_datalog.Naive
 module Seminaive = Gbc_datalog.Seminaive
+module Ivm = Gbc_datalog.Ivm
 module Telemetry = Gbc_datalog.Telemetry
 module Limits = Gbc_datalog.Limits
 module Par = Gbc_datalog.Par

@@ -107,6 +107,23 @@ let add r row =
 
 let mem r row = Row_tbl.mem r.seen row
 
+(* Deletion support for incremental view maintenance: relations are
+   append-only, so removing rows means rebuilding.  The survivors keep
+   their relative insertion order (engines and the canonical printer
+   rely on it); indexes are rebuilt lazily on the next probe. *)
+let filter r keep =
+  let out = create r.rel_name r.rel_arity in
+  for i = 0 to r.count - 1 do
+    let row = r.rows.(i) in
+    if keep row then begin
+      Row_tbl.add out.seen row ();
+      grow out row;
+      out.rows.(out.count) <- row;
+      out.count <- out.count + 1
+    end
+  done;
+  out
+
 let iter r f =
   for i = 0 to r.count - 1 do
     f r.rows.(i)

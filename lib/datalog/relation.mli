@@ -42,6 +42,14 @@ val iter_from : t -> int -> (tuple -> unit) -> unit
 (** [iter_from r k f] applies [f] to rows [k, k+1, ...] in insertion
     order — the semi-naive delta between two watermarks. *)
 
+val filter : t -> (tuple -> bool) -> t
+(** [filter r keep]: a fresh relation holding the rows of [r] that
+    satisfy [keep], in their original insertion order.  This is how
+    incremental view maintenance retracts: relations themselves are
+    append-only, so deletion rebuilds the survivors (O(n)) and installs
+    the result with [Database.set_relation]; indexes are rebuilt lazily
+    on the next probe. *)
+
 val iter_matching : t -> Value.t option array -> (tuple -> unit) -> unit
 (** [iter_matching r pattern f]: rows agreeing with every [Some v]
     position of [pattern], in insertion order.  Uses (and if needed

@@ -221,7 +221,8 @@ type incremental = {
 }
 
 let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none)
-    ?(limits = Limits.unlimited) ?(pool = Par.sequential) db ~clique program =
+    ?(limits = Limits.unlimited) ?(pool = Par.sequential) ?(marks = fun _ -> 0) db ~clique
+    program =
   let rules =
     List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (head_pred r) clique) program
   in
@@ -247,8 +248,23 @@ let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none)
           (plain @ extrema_rules))
   in
   let variants = List.concat_map (variants_of_rule tracked) plain in
+  (* Initial watermark per tracked predicate: 0 replays the whole
+     relation on the first step (the seed evaluation); a caller doing
+     incremental view maintenance passes [marks] pointing at the rows
+     its materialized output already accounts for, so the first step
+     publishes only what appeared since (clamped — a relation can have
+     shrunk through retraction since the mark was taken). *)
   let watermarks = Hashtbl.create 8 in
-  List.iter (fun p -> Hashtbl.replace watermarks p 0) tracked;
+  List.iter
+    (fun p ->
+      let m = max 0 (marks p) in
+      let m =
+        match Database.find db p with
+        | None -> 0
+        | Some rel -> min m (Relation.cardinal rel)
+      in
+      Hashtbl.replace watermarks p m)
+    tracked;
   { db; tracked; variants; extrema_rules; watermarks; tele = telemetry; limits;
     pool; clique_label = String.concat "," clique }
 

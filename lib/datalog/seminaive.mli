@@ -22,6 +22,7 @@ val make :
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
   ?pool:Par.t ->
+  ?marks:(string -> int) ->
   Database.t ->
   clique:string list ->
   Ast.program ->
@@ -30,6 +31,14 @@ val make :
     positive body predicate is delta-tracked, so the first {!step}
     performs the seed evaluation and later steps are proportional to
     the new facts.
+
+    [marks] sets the initial watermark of each tracked predicate
+    (default [fun _ -> 0], the full seed).  Incremental view
+    maintenance ({!Ivm}) passes the row counts its materialized model
+    already accounts for, so the first {!step} treats only the rows
+    appended since — externally asserted facts, lower-stratum
+    insertions — as the delta and never replays the existing model.
+    Marks are clamped to [0 .. cardinal].
 
     When [pool] has more than one domain, each delta variant whose
     delta is large enough is evaluated data-parallel: the delta scan is

@@ -53,6 +53,7 @@ type error_code =
   | Budget_exhausted
   | Draining
   | Server_error
+  | Not_retractable
 
 type response =
   | Pong
@@ -78,6 +79,7 @@ let error_code_to_int = function
   | Budget_exhausted -> 9
   | Draining -> 10
   | Server_error -> 11
+  | Not_retractable -> 12
 
 let error_code_of_int = function
   | 1 -> Some Lex_error
@@ -91,6 +93,7 @@ let error_code_of_int = function
   | 9 -> Some Budget_exhausted
   | 10 -> Some Draining
   | 11 -> Some Server_error
+  | 12 -> Some Not_retractable
   | _ -> None
 
 let error_code_to_string = function
@@ -105,6 +108,7 @@ let error_code_to_string = function
   | Budget_exhausted -> "budget-exhausted"
   | Draining -> "draining"
   | Server_error -> "server-error"
+  | Not_retractable -> "not-retractable"
 
 (* ---------------- field writers ---------------- *)
 

@@ -54,6 +54,7 @@ type error_code =
   | Budget_exhausted  (** enumeration budget tripped (runs return a partial {!Model} instead) *)
   | Draining  (** request arrived after shutdown began *)
   | Server_error  (** unclassified server-side exception *)
+  | Not_retractable  (** retract of a fact the session never asserted (or owned by the program) *)
 
 type response =
   | Pong

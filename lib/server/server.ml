@@ -227,7 +227,8 @@ let stats_json t (session : Session.t) =
      \"errors\": %d, \"partials\": %d, \"sessions_total\": %d, \"cache\": {\"hits\": %d, \
      \"misses\": %d, \"evictions\": %d, \"entries\": %d}, \"engine\": %s}, \"session\": \
      {\"id\": %d, \"requests\": %d, \"evaluations\": %d, \"partials\": %d, \"errors\": %d, \
-     \"facts_asserted\": %d, \"facts_retracted\": %d, \"eval_wall_s\": %.6f, \"engine\": %s}}"
+     \"facts_asserted\": %d, \"facts_retracted\": %d, \"runs_incremental\": %d, \
+     \"runs_full\": %d, \"ivm_fallbacks\": %d, \"eval_wall_s\": %.6f, \"engine\": %s}}"
     t.cfg.workers t.cfg.max_jobs
     (Unix.gettimeofday () -. t.started_at)
     (Atomic.get t.draining) (Atomic.get t.requests) (Atomic.get t.errors)
@@ -236,7 +237,8 @@ let stats_json t (session : Session.t) =
     cache.Program_cache.hits cache.Program_cache.misses cache.Program_cache.evictions
     cache.Program_cache.entries global_totals session.Session.id c.Session.requests
     c.Session.evaluations c.Session.partials c.Session.errors c.Session.facts_asserted
-    c.Session.facts_retracted c.Session.eval_wall_s
+    c.Session.facts_retracted c.Session.runs_incremental c.Session.runs_full
+    c.Session.ivm_fallbacks c.Session.eval_wall_s
     (totals_json c.Session.engine_totals)
 
 (* ---------------- request handling (worker side) ---------------- *)

@@ -6,13 +6,28 @@
    the relation level, so isolation between sessions sharing a cached
    program costs O(#relations) until a session actually asserts.
 
+   Asserted facts form a multiset: asserting the same row twice means
+   retracting it once still leaves it visible.  Retraction is exact —
+   a batch that tries to remove more occurrences than the session
+   asserted (or a fact owned by the loaded program) is refused as a
+   whole, mutating nothing.
+
    Lifecycle:
-     Load        -> snapshot := copy(entry.base); asserted := []
-     Assert      -> facts added to the snapshot (and remembered)
-     Retract     -> snapshot rebuilt from base + remaining asserts
-     Run/Query/
-     Enumerate   -> evaluate on copy(snapshot); the snapshot itself
-                    never sees derived facts, so runs are repeatable
+     Load        -> snapshot := copy(entry.base); multiset := {};
+                    materialization dropped
+     Assert      -> occurrences recorded; net-new rows enter the
+                    snapshot and the pending delta
+     Retract     -> occurrences removed; rows whose count hits zero
+                    (and that the program does not own) leave the
+                    snapshot and enter the pending delta
+     Run/Query   -> with a live materialization for the same
+                    (engine, seed): repair it incrementally from the
+                    pending delta (Ivm.apply) — or serve it as-is when
+                    nothing changed.  Otherwise evaluate from scratch
+                    on copy(snapshot) and materialize the complete
+                    model for next time.
+     Enumerate   -> always from scratch (a model set has no single
+                    materialization)
 
    A session is driven by at most one worker at a time (the server
    dispatches one request per connection), so nothing here needs a
@@ -21,9 +36,12 @@
 
 module Ast = Gbc_datalog.Ast
 module Database = Gbc_datalog.Database
+module Relation = Gbc_datalog.Relation
 module Value = Gbc_datalog.Value
 module Parser = Gbc_datalog.Parser
 module Eval = Gbc_datalog.Eval
+module Ivm = Gbc_datalog.Ivm
+module Par = Gbc_datalog.Par
 module Limits = Gbc_datalog.Limits
 module Telemetry = Gbc_datalog.Telemetry
 module Gbc_error = Gbc_datalog.Gbc_error
@@ -38,8 +56,17 @@ type counters = {
   mutable errors : int;
   mutable facts_asserted : int;
   mutable facts_retracted : int;
+  mutable runs_incremental : int;  (* served by maintaining the materialized model *)
+  mutable runs_full : int;  (* from-scratch engine evaluations *)
+  mutable ivm_fallbacks : int;  (* materializations dropped (choice reach, errors) *)
   mutable eval_wall_s : float;
   engine_totals : (string, int) Hashtbl.t;  (* summed Telemetry.totals *)
+}
+
+type materialization = {
+  mat_engine : Protocol.engine;
+  mat_seed : int option;
+  ivm : Ivm.t;
 }
 
 type t = {
@@ -47,8 +74,12 @@ type t = {
   cache : Program_cache.t;
   cancel : bool ref;
   mutable entry : Program_cache.entry option;
-  mutable db : Database.t option;  (* base snapshot + asserted facts *)
-  mutable asserted : (string * Value.t array) list;  (* newest first *)
+  mutable db : Database.t option;  (* base snapshot + net asserted facts *)
+  mutable asserted : (string, int Relation.Row_tbl.t) Hashtbl.t;
+      (* occurrence count per asserted row, by predicate *)
+  mutable pending_inserts : (string * Value.t array) list;  (* newest first *)
+  mutable pending_deletes : (string * Value.t array) list;  (* newest first *)
+  mutable mat : materialization option;
   counters : counters;
 }
 
@@ -60,10 +91,14 @@ let create ~cache ~id =
     cancel = ref false;
     entry = None;
     db = None;
-    asserted = [];
+    asserted = Hashtbl.create 8;
+    pending_inserts = [];
+    pending_deletes = [];
+    mat = None;
     counters =
       { requests = 0; evaluations = 0; partials = 0; errors = 0; facts_asserted = 0;
-        facts_retracted = 0; eval_wall_s = 0.0; engine_totals = Hashtbl.create 16 } }
+        facts_retracted = 0; runs_incremental = 0; runs_full = 0; ivm_fallbacks = 0;
+        eval_wall_s = 0.0; engine_totals = Hashtbl.create 16 } }
 
 let of_gbc_error (e : Gbc_error.t) : error =
   let code =
@@ -94,7 +129,10 @@ let load t source =
   | Ok (entry, hit) ->
     t.entry <- Some entry;
     t.db <- Some (Database.copy entry.Program_cache.base);
-    t.asserted <- [];
+    t.asserted <- Hashtbl.create 8;
+    t.pending_inserts <- [];
+    t.pending_deletes <- [];
+    t.mat <- None;
     Ok (entry, hit)
 
 let parse_ground_facts text =
@@ -112,6 +150,27 @@ let with_db t f =
   | None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
   | Some db -> f db
 
+let occ_tbl t pred =
+  match Hashtbl.find_opt t.asserted pred with
+  | Some tb -> tb
+  | None ->
+    let tb = Relation.Row_tbl.create 8 in
+    Hashtbl.replace t.asserted pred tb;
+    tb
+
+let occ_count t pred row =
+  match Hashtbl.find_opt t.asserted pred with
+  | None -> 0
+  | Some tb -> ( try Relation.Row_tbl.find tb row with Not_found -> 0)
+
+(* Remove the first pending entry equal to (pred, row); [None] when
+   absent.  Pending lists are the (small) net delta since the last
+   materialization, so linear scans are fine. *)
+let rec remove_first pred (row : Value.t array) = function
+  | [] -> None
+  | (p, r) :: rest when String.equal p pred && Relation.Row_key.equal r row -> Some rest
+  | x :: rest -> Option.map (fun rest' -> x :: rest') (remove_first pred row rest)
+
 let assert_facts t text =
   with_db t (fun db ->
       match parse_ground_facts text with
@@ -121,54 +180,105 @@ let assert_facts t text =
             let added =
               List.fold_left
                 (fun added (pred, row) ->
+                  let tb = occ_tbl t pred in
+                  let n = try Relation.Row_tbl.find tb row with Not_found -> 0 in
+                  Relation.Row_tbl.replace tb row (n + 1);
                   if Database.add_fact db pred row then begin
-                    t.asserted <- (pred, row) :: t.asserted;
+                    (* A net-new visible row: it either cancels a
+                       pending delete (re-asserted since the last
+                       materialization) or becomes a pending insert. *)
+                    (match remove_first pred row t.pending_deletes with
+                    | Some rest -> t.pending_deletes <- rest
+                    | None -> t.pending_inserts <- (pred, row) :: t.pending_inserts);
                     added + 1
                   end
                   else added)
                 0 facts
             in
-            t.counters.facts_asserted <- t.counters.facts_asserted + added;
+            t.counters.facts_asserted <- t.counters.facts_asserted + List.length facts;
             added))
 
-let row_equal (p1, (r1 : Value.t array)) (p2, r2) =
-  String.equal p1 p2 && Array.length r1 = Array.length r2
-  && (let ok = ref true in
-      Array.iteri (fun i v -> if not (Value.equal v r2.(i)) then ok := false) r1;
-      !ok)
+let render_fact pred row =
+  Printf.sprintf "%s(%s)" pred
+    (String.concat ", " (List.map Value.to_string (Array.to_list row)))
 
-(* Relations are append-only, so retraction rebuilds the snapshot from
-   the frozen base plus the surviving asserts.  Only session-asserted
-   facts are retractable; the loaded program's own facts are part of
-   the compiled entry and immutable. *)
+(* Retraction removes exactly one asserted occurrence per batch entry.
+   The whole batch is validated against the occurrence multiset first:
+   if any entry exceeds what the session asserted — including facts
+   owned by the loaded program, which are immutable — the request is
+   refused and nothing (snapshot, multiset, counters) changes. *)
 let retract_facts t text =
-  match t.entry with
-  | None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
-  | Some entry -> (
+  match (t.entry, t.db) with
+  | None, _ | _, None ->
+    Error (Protocol.No_program, "no program loaded (send a load frame first)")
+  | Some entry, Some db -> (
     match parse_ground_facts text with
     | Error e -> Error e
     | Ok facts ->
-      protect (fun () ->
-          let removed = ref 0 in
-          let survivors =
-            List.filter
-              (fun kept ->
-                if List.exists (row_equal kept) facts then begin
-                  incr removed;
-                  false
-                end
-                else true)
-              t.asserted
-          in
-          if !removed > 0 then begin
-            let db = Database.copy entry.Program_cache.base in
-            List.iter (fun (pred, row) -> ignore (Database.add_fact db pred row))
-              (List.rev survivors);
-            t.asserted <- survivors;
-            t.db <- Some db
-          end;
-          t.counters.facts_retracted <- t.counters.facts_retracted + !removed;
-          !removed))
+      (* Batch multiset: how many occurrences of each row this request
+         wants gone (the same fact may appear twice in one batch). *)
+      let need : (string * int Relation.Row_tbl.t) list ref = ref [] in
+      let need_tbl pred =
+        match List.assoc_opt pred !need with
+        | Some tb -> tb
+        | None ->
+          let tb = Relation.Row_tbl.create 8 in
+          need := (pred, tb) :: !need;
+          tb
+      in
+      List.iter
+        (fun (pred, row) ->
+          let tb = need_tbl pred in
+          let n = try Relation.Row_tbl.find tb row with Not_found -> 0 in
+          Relation.Row_tbl.replace tb row (n + 1))
+        facts;
+      let bad = ref None in
+      List.iter
+        (fun (pred, tb) ->
+          Relation.Row_tbl.iter
+            (fun row n ->
+              if !bad = None && occ_count t pred row < n then bad := Some (pred, row))
+            tb)
+        !need;
+      match !bad with
+      | Some (pred, row) ->
+        let owned = Database.mem_fact entry.Program_cache.base pred row in
+        Error
+          ( Protocol.Not_retractable,
+            Printf.sprintf "cannot retract %s: %s" (render_fact pred row)
+              (if owned then "the fact is owned by the loaded program"
+               else "the fact was never asserted (or was already retracted)") )
+      | None ->
+        protect (fun () ->
+            List.iter
+              (fun (pred, tb) ->
+                Relation.Row_tbl.iter
+                  (fun row n ->
+                    let cur = occ_count t pred row in
+                    let left = cur - n in
+                    let otb = occ_tbl t pred in
+                    if left > 0 then Relation.Row_tbl.replace otb row left
+                    else begin
+                      Relation.Row_tbl.remove otb row;
+                      (* The last occurrence is gone; the row leaves
+                         the snapshot unless the program owns it. *)
+                      if not (Database.mem_fact entry.Program_cache.base pred row)
+                      then begin
+                        (match Database.find db pred with
+                        | Some rel ->
+                          Database.set_relation db pred
+                            (Relation.filter rel (fun r ->
+                                 not (Relation.Row_key.equal r row)))
+                        | None -> ());
+                        match remove_first pred row t.pending_inserts with
+                        | Some rest -> t.pending_inserts <- rest
+                        | None -> t.pending_deletes <- (pred, row) :: t.pending_deletes
+                      end
+                    end)
+                  tb)
+              !need;
+            t.counters.facts_retracted <- t.counters.facts_retracted + List.length facts;
+            List.length facts))
 
 (* ---------------- evaluation ---------------- *)
 
@@ -185,32 +295,90 @@ let note_eval t telemetry t0 =
       Hashtbl.replace t.counters.engine_totals k (prev + v))
     (Telemetry.totals telemetry)
 
+(* The materialization is keyed by what makes a run's model unique:
+   the engine, and for the reference engine its choice seed. *)
+let run_key engine seed =
+  match engine with
+  | Protocol.Staged -> (Protocol.Staged, None)
+  | Protocol.Reference -> (Protocol.Reference, seed)
+
+(* Try to serve this run from the live materialization: nothing
+   pending means the model is already current; otherwise repair it
+   from the pending delta.  [None] means evaluate from scratch —
+   because there is no materialization for this (engine, seed), or the
+   repair refused (choice stratum reachable) or failed (budget,
+   substrate error): those drop the materialization, and the
+   from-scratch run surfaces any real error through [protect]. *)
+let try_incremental t ~key ~jobs ~limits ~telemetry =
+  match t.mat with
+  | Some m when (m.mat_engine, m.mat_seed) = key -> (
+    match (t.pending_inserts, t.pending_deletes) with
+    | [], [] -> Some (Limits.Complete (Ivm.model m.ivm))
+    | ins, dels -> (
+      let drop () =
+        t.mat <- None;
+        t.counters.ivm_fallbacks <- t.counters.ivm_fallbacks + 1;
+        None
+      in
+      match
+        Ivm.apply ~telemetry ~limits ~pool:(Par.get jobs) m.ivm
+          ~inserts:(List.rev ins) ~deletes:(List.rev dels)
+      with
+      | Ivm.Maintained ->
+        t.pending_inserts <- [];
+        t.pending_deletes <- [];
+        Some (Limits.Complete (Ivm.model m.ivm))
+      | Ivm.Fallback _ -> drop ()
+      | exception _ -> drop ()))
+  | _ -> None
+
 let run t ~engine ~seed ~jobs ~limits ~telemetry =
   match (t.entry, t.db) with
   | None, _ | _, None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
-  | Some entry, Some db ->
-    let work = Database.copy db in
+  | Some entry, Some db -> (
     let t0 = Unix.gettimeofday () in
-    let result =
-      protect (fun () ->
-          match engine with
-          | Protocol.Staged ->
-            map_outcome fst
-              (Stage_engine.run_governed ~telemetry ~limits ~jobs ~db:work
-                 entry.Program_cache.rules)
-          | Protocol.Reference ->
-            let policy =
-              match seed with Some s -> Choice_fixpoint.Random s | None -> Choice_fixpoint.First
-            in
-            map_outcome fst
-              (Choice_fixpoint.run_governed ~policy ~telemetry ~limits ~jobs ~db:work
-                 entry.Program_cache.rules))
-    in
-    note_eval t telemetry t0;
-    (match result with
-     | Ok (Limits.Partial _) -> t.counters.partials <- t.counters.partials + 1
-     | _ -> ());
-    result
+    let key = run_key engine seed in
+    match try_incremental t ~key ~jobs ~limits ~telemetry with
+    | Some outcome ->
+      t.counters.runs_incremental <- t.counters.runs_incremental + 1;
+      note_eval t telemetry t0;
+      Ok outcome
+    | None ->
+      let work = Database.copy db in
+      let result =
+        protect (fun () ->
+            match engine with
+            | Protocol.Staged ->
+              map_outcome fst
+                (Stage_engine.run_governed ~telemetry ~limits ~jobs ~db:work
+                   entry.Program_cache.rules)
+            | Protocol.Reference ->
+              let policy =
+                match seed with Some s -> Choice_fixpoint.Random s | None -> Choice_fixpoint.First
+              in
+              map_outcome fst
+                (Choice_fixpoint.run_governed ~policy ~telemetry ~limits ~jobs ~db:work
+                   entry.Program_cache.rules))
+      in
+      note_eval t telemetry t0;
+      (match result with
+      | Ok (Limits.Complete model) ->
+        t.counters.runs_full <- t.counters.runs_full + 1;
+        (* A complete model over the current snapshot: materialize it
+           so the next run with this key is incremental. *)
+        t.pending_inserts <- [];
+        t.pending_deletes <- [];
+        t.mat <-
+          Some
+            { mat_engine = fst key;
+              mat_seed = snd key;
+              ivm = Ivm.create entry.Program_cache.rules ~edb:db ~model }
+      | Ok (Limits.Partial _) ->
+        t.counters.runs_full <- t.counters.runs_full + 1;
+        t.counters.partials <- t.counters.partials + 1;
+        t.mat <- None
+      | Error _ -> t.mat <- None);
+      result)
 
 let enumerate t ~max_models ~limits =
   match (t.entry, t.db) with

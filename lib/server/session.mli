@@ -5,15 +5,29 @@
     private database snapshot taken via the copy-on-write
     [Database.copy], so concurrently connected sessions asserting
     different facts see disjoint models at O(#relations) isolation
-    cost.  Every evaluation runs on a fresh copy of the snapshot —
-    derived facts never leak back into the session's EDB, so repeated
-    runs are repeatable.
+    cost.
+
+    Asserted facts form a {e multiset}: asserting a row twice means one
+    retract still leaves it visible, and a retract batch that exceeds
+    what was asserted — or names a fact owned by the loaded program —
+    is refused atomically ([Not_retractable]), mutating nothing.
+
+    A complete run {e materializes} its model: the session keeps the
+    evaluated database alive, and subsequent runs with the same
+    (engine, seed) are served by incremental view maintenance
+    ({!Gbc_datalog.Ivm}) over the net asserted/retracted delta instead
+    of a from-scratch fixpoint.  Changes that can reach a choice
+    stratum, budget trips and substrate errors drop the materialization
+    and fall back to a full evaluation (counted in
+    [counters.ivm_fallbacks]).
 
     A session is driven by at most one server worker at a time; the
     only cross-domain field is {!val-cancel}, set by the event loop on
     client disconnect and polled by the governor. *)
 
 module Database = Gbc_datalog.Database
+module Relation = Gbc_datalog.Relation
+module Ivm = Gbc_datalog.Ivm
 module Limits = Gbc_datalog.Limits
 module Telemetry = Gbc_datalog.Telemetry
 
@@ -22,10 +36,21 @@ type counters = {
   mutable evaluations : int;
   mutable partials : int;
   mutable errors : int;
-  mutable facts_asserted : int;
-  mutable facts_retracted : int;
+  mutable facts_asserted : int;  (** occurrences recorded (batch sizes) *)
+  mutable facts_retracted : int;  (** occurrences removed (batch sizes) *)
+  mutable runs_incremental : int;
+      (** runs served from the materialized model (repaired or as-is) *)
+  mutable runs_full : int;  (** from-scratch engine evaluations *)
+  mutable ivm_fallbacks : int;
+      (** materializations dropped: choice-stratum reach, budget, errors *)
   mutable eval_wall_s : float;
   engine_totals : (string, int) Hashtbl.t;  (** summed [Telemetry.totals] *)
+}
+
+type materialization = {
+  mat_engine : Protocol.engine;
+  mat_seed : int option;
+  ivm : Ivm.t;
 }
 
 type t = {
@@ -34,7 +59,11 @@ type t = {
   cancel : bool ref;  (** wire into [Limits.create ~cancel]; set on disconnect *)
   mutable entry : Program_cache.entry option;
   mutable db : Database.t option;
-  mutable asserted : (string * Gbc_datalog.Value.t array) list;
+  mutable asserted : (string, int Relation.Row_tbl.t) Hashtbl.t;
+      (** occurrence count per asserted row, by predicate *)
+  mutable pending_inserts : (string * Gbc_datalog.Value.t array) list;
+  mutable pending_deletes : (string * Gbc_datalog.Value.t array) list;
+  mutable mat : materialization option;
   counters : counters;
 }
 
@@ -44,17 +73,24 @@ val create : cache:Program_cache.t -> id:int -> t
 
 val load : t -> string -> (Program_cache.entry * bool, error) result
 (** Compile (through the cache) and make this the session's program;
-    resets the snapshot and the assert set.  The flag is [true] on a
-    cache hit. *)
+    resets the snapshot, the assert multiset, the pending delta and the
+    materialization.  The flag is [true] on a cache hit. *)
 
 val assert_facts : t -> string -> (int, error) result
-(** Parse ground facts and add them to the private snapshot; returns
-    how many were new. *)
+(** Parse ground facts and record one occurrence of each in the assert
+    multiset; net-new rows enter the private snapshot and the pending
+    delta.  Returns how many rows were {e new to the snapshot} (a
+    re-assert only raises the occurrence count). *)
 
 val retract_facts : t -> string -> (int, error) result
-(** Remove previously asserted facts (exact matches) and rebuild the
-    snapshot from the frozen base; returns how many were removed.  The
-    loaded program's own facts are immutable. *)
+(** Remove exactly one asserted occurrence per batch entry.  The batch
+    is validated as a whole first: retracting a fact that was never
+    asserted (or asserted fewer times than the batch demands), or one
+    owned by the loaded program, fails with [Not_retractable] and
+    mutates nothing — snapshot, multiset and counters are untouched.
+    On success returns the batch size; rows whose occurrence count hits
+    zero (and that the program does not own) leave the snapshot and
+    join the pending delta. *)
 
 val run :
   t ->
@@ -64,15 +100,21 @@ val run :
   limits:Limits.t ->
   telemetry:Telemetry.t ->
   (Database.t Limits.outcome, error) result
-(** Evaluate on a fresh copy of the snapshot.  [jobs] is the granted
-    number of evaluation domains (the server clamps the client's
-    request against its own [max-jobs]); the model is independent of
-    it.  Budget exhaustion and cancellation come back as
-    [Limits.Partial] — a consistent partial model, never a crash. *)
+(** Evaluate the session's program.  When a live materialization
+    exists for the same (engine, seed), the pending delta is applied
+    incrementally ({!Gbc_datalog.Ivm.apply}) — or the materialized
+    model is served as-is when nothing changed; the result is
+    byte-identical (canonical rendering) to a from-scratch run.
+    Otherwise a fresh copy of the snapshot is evaluated and, when the
+    outcome is [Complete], materialized for next time.  [jobs] is the
+    granted number of evaluation domains (the server clamps the
+    client's request against its own [max-jobs]); the model is
+    independent of it.  Budget exhaustion and cancellation come back
+    as [Limits.Partial] — a consistent partial model, never a crash. *)
 
 val enumerate : t -> max_models:int -> limits:Limits.t -> (Database.t list, error) result
 (** All choice models (small programs); a tripped budget is a
-    [Budget_exhausted] error. *)
+    [Budget_exhausted] error.  Always evaluates from scratch. *)
 
 val query :
   t ->
@@ -82,9 +124,12 @@ val query :
   limits:Limits.t ->
   telemetry:Telemetry.t ->
   (bool * string list * string list, error) result
-(** Evaluate, then answer one positive query atom against the model:
-    (model was complete, variable names, rendered rows). *)
+(** Evaluate ({!run}, so incremental when possible), then answer one
+    positive query atom against the model: (model was complete,
+    variable names, rendered rows). *)
 
 val render_model : ?preds:string list -> Database.t -> string
 (** Same text as [gbc run] prints: the whole model via [Database.pp],
-    or the chosen predicates in insertion order. *)
+    or the chosen predicates in insertion order.  After incremental
+    maintenance the per-predicate insertion order can differ from a
+    from-scratch run (the canonical [Database.pp] form never does). *)

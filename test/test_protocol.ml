@@ -51,7 +51,8 @@ let gen_request =
 let all_error_codes =
   [ Protocol.Lex_error; Protocol.Parse_error; Protocol.Unsafe; Protocol.Unsupported;
     Protocol.Not_compilable; Protocol.Io_error; Protocol.Protocol_violation;
-    Protocol.No_program; Protocol.Budget_exhausted; Protocol.Draining; Protocol.Server_error ]
+    Protocol.No_program; Protocol.Budget_exhausted; Protocol.Draining; Protocol.Server_error;
+    Protocol.Not_retractable ]
 
 let gen_response =
   QCheck.Gen.(

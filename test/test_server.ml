@@ -166,12 +166,33 @@ let test_retract () =
           (match Client.rpc c (Protocol.Retract_facts "p(3).") with
            | Protocol.Retracted { removed = 1 } -> ()
            | _ -> Alcotest.fail "retract one");
-          (* the program's own facts are not retractable *)
+          (* the program's own facts are not retractable: the batch is
+             refused as a whole, and nothing changes *)
           (match Client.rpc c (Protocol.Retract_facts "p(1).") with
-           | Protocol.Retracted { removed = 0 } -> ()
+           | Protocol.Error { code = Protocol.Not_retractable; _ } -> ()
            | _ -> Alcotest.fail "program facts must survive retraction");
+          (* neither is a fact the session never asserted *)
+          (match Client.rpc c (Protocol.Retract_facts "p(99).") with
+           | Protocol.Error { code = Protocol.Not_retractable; _ } -> ()
+           | _ -> Alcotest.fail "never-asserted facts are not retractable");
+          (* ... nor one already retracted *)
+          (match Client.rpc c (Protocol.Retract_facts "p(3).") with
+           | Protocol.Error { code = Protocol.Not_retractable; _ } -> ()
+           | _ -> Alcotest.fail "double retract must fail");
+          (* multiset semantics: a double assert takes two retracts *)
+          (match Client.rpc c (Protocol.Assert_facts "p(2).") with
+           | Protocol.Asserted { added = 0 } -> ()
+           | _ -> Alcotest.fail "re-assert records an occurrence, adds no row");
+          (match Client.rpc c (Protocol.Retract_facts "p(2).") with
+           | Protocol.Retracted { removed = 1 } -> ()
+           | _ -> Alcotest.fail "first retract of a doubly-asserted fact");
           let _, text, _ = expect_model (Client.rpc c run_req) in
-          Alcotest.(check string) "model after retract" "p(1).\np(2).\nq(1).\nq(2).\n" text))
+          Alcotest.(check string) "model after retract" "p(1).\np(2).\nq(1).\nq(2).\n" text;
+          (match Client.rpc c (Protocol.Retract_facts "p(2).") with
+           | Protocol.Retracted { removed = 1 } -> ()
+           | _ -> Alcotest.fail "second retract removes the row");
+          let _, text, _ = expect_model (Client.rpc c run_req) in
+          Alcotest.(check string) "model after final retract" "p(1).\nq(1).\n" text))
 
 (* ---------------- governance ---------------- *)
 
