@@ -16,8 +16,12 @@ open Gbc
    scale (8 sessions, 3 rounds) and write BENCH_E15.json. *)
 (* --e17: run only the incremental-maintenance latency experiment at
    full scale and write BENCH_E17.json. *)
+(* --e18: run only the durability experiment (WAL overhead + cold
+   recovery) at full scale, write BENCH_E18.json, and fail if the
+   fsync-batched WAL costs more than 20% of the E15 workload's rps. *)
 let only_e15 = Array.exists (( = ) "--e15") Sys.argv
 let only_e17 = Array.exists (( = ) "--e17") Sys.argv
+let only_e18 = Array.exists (( = ) "--e18") Sys.argv
 let perf_smoke = Array.exists (( = ) "--perf-smoke") Sys.argv
 let smoke = perf_smoke || Array.exists (( = ) "--smoke") Sys.argv
 let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
@@ -747,7 +751,7 @@ let e17 () =
         done;
         let src = Buffer.contents buf in
         let session () =
-          let s = Session.create ~cache ~id:0 in
+          let s = Session.create ~cache ~id:0 () in
           (match Session.load s src with
           | Ok _ -> ()
           | Error (_, m) -> failwith ("E17 load: " ^ m));
@@ -831,6 +835,197 @@ let e17 () =
        (TC chain, staged engine; update = assert + maintained run)"
     ~header:[ "n"; "model facts"; "full run(s)"; "update best(us)"; "update median(us)"; "speedup" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* E18 — durability: WAL overhead and cold-recovery time               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two questions the durability layer must answer with numbers:
+
+   1. What does the write-ahead log cost on the serving path?  The E15
+      workload, extended with one mutation per program (Load + Assert
+      + Run), is replayed against the same in-process daemon twice —
+      ephemeral, then durable with the default batch:16 fsync — and
+      the req/s ratio is the overhead.  The budget is 20% (asserted by
+      the --e18 gate): records are a few dozen bytes and evaluation
+      dominates each request, so exceeding it means the logging path
+      regressed.
+
+   2. How long does cold recovery take as the model grows?  A durable
+      session materializes the TC chain at n, the server shuts down,
+      and Server.create on the same data dir — program store warm-up,
+      snapshot read, WAL-tail replay, digest-verified re-evaluation —
+      is timed before any listener binds. *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let e18 () =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let rec conn_retry sock tries =
+    match Client.connect_unix sock with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+      Unix.sleepf 0.02;
+      conn_retry sock (tries - 1)
+  in
+  let run_req =
+    Protocol.Run
+      { engine = Protocol.Staged; seed = None; preds = None; budget = Protocol.no_budget }
+  in
+  (* -- 1: req/s with the WAL off vs on ----------------------------- *)
+  let sources = List.map (fun n -> read_file ("../programs/" ^ n)) e15_exemplars in
+  let sessions = if smoke then 2 else 4 in
+  let rounds = if smoke then 1 else 2 in
+  let serve ~data_dir =
+    let sock =
+      Printf.sprintf "gbcd_e18_%d_%s.sock" (Unix.getpid ())
+        (if data_dir = None then "off" else "on")
+    in
+    let cfg =
+      { Server.default_config with
+        port = None; unix_path = Some sock; workers = 4; data_dir; fsync = Wal.Batch 16 }
+    in
+    match Server.create cfg with
+    | Error msg -> failwith ("E18: server create failed: " ^ msg)
+    | Ok srv ->
+      let runner = Domain.spawn (fun () -> Server.run srv) in
+      let errors = Atomic.make 0 in
+      let requests = Atomic.make 0 in
+      let session i =
+        let c = conn_retry sock 100 in
+        let k = ref 0 in
+        let rpc req check =
+          let resp = Client.rpc c req in
+          Atomic.incr requests;
+          if not (check resp) then Atomic.incr errors
+        in
+        for _ = 1 to rounds do
+          List.iter
+            (fun src ->
+              rpc (Protocol.Load src) (function Protocol.Loaded _ -> true | _ -> false);
+              incr k;
+              rpc
+                (Protocol.Assert_facts
+                   { text = Printf.sprintf "zz_bench(%d, %d)." i !k; id = None })
+                (function Protocol.Asserted _ -> true | _ -> false);
+              rpc run_req (function Protocol.Model { complete; _ } -> complete | _ -> false))
+            sources
+        done;
+        Client.close c
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads = List.init sessions (fun i -> Thread.create session i) in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      Server.shutdown srv;
+      Domain.join runner;
+      (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
+      (float_of_int (Atomic.get requests) /. wall, Atomic.get requests, Atomic.get errors, wall)
+  in
+  let rps_off, reqs, errs_off, _ = serve ~data_dir:None in
+  let dir = Printf.sprintf "gbcd_e18_%d.data" (Unix.getpid ()) in
+  rm_rf dir;
+  let rps_on, _, errs_on, wall_on = serve ~data_dir:(Some dir) in
+  rm_rf dir;
+  let overhead = if rps_off > 0.0 then (rps_off -. rps_on) /. rps_off *. 100.0 else 0.0 in
+  record ~exp:"E18" ~n:sessions ~wall:wall_on
+    [ ("requests", reqs); ("errors", errs_off + errs_on); ("workers", 4);
+      ("rps_wal_off", int_of_float rps_off); ("rps_wal_on", int_of_float rps_on);
+      ("overhead_pct_x10", int_of_float (overhead *. 10.0));
+      ("within_budget", if overhead <= 20.0 then 1 else 0) ];
+  Harness.table
+    ~title:
+      "E18  WAL overhead: the E15 workload + one mutation per program \
+       (4 workers, fsync batch:16), ephemeral vs durable"
+    ~header:[ "sessions"; "requests"; "errors"; "req/s off"; "req/s on"; "overhead" ]
+    [ [ string_of_int sessions; string_of_int reqs; string_of_int (errs_off + errs_on);
+        Printf.sprintf "%.0f" rps_off; Printf.sprintf "%.0f" rps_on;
+        Printf.sprintf "%.1f%%" overhead ] ];
+  (* -- 2: cold recovery vs model size ------------------------------ *)
+  let rec_rows =
+    List.map
+      (fun n ->
+        let dir = Printf.sprintf "gbcd_e18r_%d_%d.data" (Unix.getpid ()) n in
+        rm_rf dir;
+        let sock = Printf.sprintf "gbcd_e18r_%d_%d.sock" (Unix.getpid ()) n in
+        let cfg =
+          { Server.default_config with
+            port = None; unix_path = Some sock; workers = 2; data_dir = Some dir;
+            fsync = Wal.Batch 16; snapshot_every = 2 }
+        in
+        let buf = Buffer.create (32 * n) in
+        Buffer.add_string buf "tc(X, Y) <- edge(X, Y).\ntc(X, Z) <- tc(X, Y), edge(Y, Z).\n";
+        for i = 1 to n - 1 do
+          Buffer.add_string buf (Printf.sprintf "edge(%d, %d).\n" i (i + 1))
+        done;
+        let src = Buffer.contents buf in
+        let model_facts = ref 0 in
+        (match Server.create cfg with
+         | Error msg -> failwith ("E18: server create failed: " ^ msg)
+         | Ok srv ->
+           let runner = Domain.spawn (fun () -> Server.run srv) in
+           let c = conn_retry sock 100 in
+           (match Client.rpc c (Protocol.Load src) with
+            | Protocol.Loaded _ -> ()
+            | _ -> failwith "E18: load");
+           (match
+              Client.rpc c
+                (Protocol.Assert_facts
+                   { text = Printf.sprintf "edge(%d, 1)." (n + 1); id = None })
+            with
+            | Protocol.Asserted _ -> ()
+            | _ -> failwith "E18: assert");
+           (match Client.rpc c run_req with
+            | Protocol.Model { complete = true; text; _ } ->
+              model_facts :=
+                List.length
+                  (List.filter (fun l -> l <> "") (String.split_on_char '\n' text))
+            | _ -> failwith "E18: run");
+           (match Client.rpc c (Protocol.Attach None) with
+            | Protocol.Attached _ -> ()
+            | _ -> failwith "E18: attach");
+           Client.close c;
+           Server.shutdown srv;
+           Domain.join runner);
+        (* the cold start: recovery happens inside Server.create *)
+        let t0 = Unix.gettimeofday () in
+        let t_rec =
+          match Server.create cfg with
+          | Error msg -> failwith ("E18: recovery create failed: " ^ msg)
+          | Ok srv ->
+            let t = Unix.gettimeofday () -. t0 in
+            let runner = Domain.spawn (fun () -> Server.run srv) in
+            Server.shutdown srv;
+            Domain.join runner;
+            t
+        in
+        rm_rf dir;
+        (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
+        record ~exp:"E18" ~n ~wall:t_rec
+          [ ("model_facts", !model_facts);
+            ("recovery_us", int_of_float (t_rec *. 1e6)) ];
+        [ string_of_int n; string_of_int !model_facts;
+          Printf.sprintf "%d" (int_of_float (t_rec *. 1e6)) ])
+      (scale [ 128; 256; 512 ])
+  in
+  Harness.table
+    ~title:
+      "E18  Cold recovery: Server.create on a durable data dir \
+       (snapshot + WAL tail, digest-verified) vs model size"
+    ~header:[ "n"; "model facts"; "recovery(us)" ]
+    rec_rows;
+  overhead
 
 (* ------------------------------------------------------------------ *)
 (* A1 — (R,Q,L) vs recompute-least (reference engine)                  *)
@@ -1029,6 +1224,21 @@ let () =
       exit 1
     end
   end;
+  if only_e18 then begin
+    Printf.printf "Greedy by Choice — E18 (durability: WAL overhead + recovery)\n";
+    let overhead = e18 () in
+    let files = Harness.flush_bench () in
+    if not (Harness.validate_bench files) then begin
+      print_endline "E18: BENCH JSON malformed";
+      exit 1
+    end;
+    Printf.printf "wrote %s\n" (String.concat ", " files);
+    if overhead > 20.0 then begin
+      Printf.printf "E18: FAILED — WAL overhead %.1f%% exceeds the 20%% budget\n" overhead;
+      exit 1
+    end;
+    exit 0
+  end;
   if perf_smoke then begin
     Printf.printf "Greedy by Choice — perf smoke (E14 allocation kernels)\n";
     let worst = e14 () in
@@ -1064,6 +1274,7 @@ let () =
   e15 ();
   e16 ();
   e17 ();
+  ignore (e18 ());
   a1 ();
   a2 ();
   a3 ();

@@ -50,8 +50,38 @@ let cache_arg =
   Arg.(value & opt int 64 & info [ "cache-capacity" ] ~docv:"N"
          ~doc:"Compiled-program cache entries (LRU beyond that).")
 
+let data_dir_arg =
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+         ~doc:"Make sessions durable under DIR: mutations are write-ahead logged and \
+               periodically snapshotted; a restart recovers every session (crash-safe) \
+               and clients reclaim theirs by id.  Omitted: sessions are ephemeral.")
+
+let fsync_arg =
+  Arg.(value & opt string "batch:16" & info [ "fsync" ] ~docv:"POLICY"
+         ~doc:"WAL fsync policy: $(b,always), $(b,never) or $(b,batch:N) (sync every Nth \
+               record; a process crash loses nothing either way, an OS crash at most N \
+               acknowledged records).")
+
+let snapshot_every_arg =
+  Arg.(value & opt int 64 & info [ "snapshot-every" ] ~docv:"N"
+         ~doc:"Collapse a session's WAL into a binary snapshot every N records \
+               (0 disables snapshotting).")
+
+let idle_timeout_arg =
+  Arg.(value & opt float 0.0 & info [ "idle-timeout" ] ~docv:"SEC"
+         ~doc:"Reap connections and detached sessions idle longer than SEC (closing \
+               their WAL descriptors; durable state stays reclaimable).  0 disables.")
+
 let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
-    max_candidates max_jobs max_frame cache_capacity =
+    max_candidates max_jobs max_frame cache_capacity data_dir fsync snapshot_every
+    idle_timeout =
+  let fsync =
+    match Gbc.Wal.fsync_policy_of_string fsync with
+    | Ok p -> p
+    | Error msg ->
+      Format.eprintf "gbcd: %s@." msg;
+      exit 2
+  in
   let cfg =
     { Gbc.Server.host;
       port = (if no_tcp then None else Some port);
@@ -64,7 +94,14 @@ let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
       max_candidates;
       max_jobs = max 1 max_jobs;
       max_frame;
-      cache_capacity }
+      cache_capacity;
+      data_dir;
+      fsync;
+      snapshot_every = max 0 snapshot_every;
+      idle_timeout_s = (if idle_timeout > 0.0 then Some idle_timeout else None);
+      worker_fault =
+        (* undocumented, tests only: kill the worker handling the k-th request *)
+        Option.bind (Sys.getenv_opt "GBCD_WORKER_FAULT") int_of_string_opt }
   in
   match Gbc.Server.create cfg with
   | Error msg ->
@@ -78,6 +115,12 @@ let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
       (fun p -> Format.printf "gbcd: listening on %s:%d@." cfg.Gbc.Server.host p)
       (Gbc.Server.port srv);
     Option.iter (fun p -> Format.printf "gbcd: listening on %s@." p) unix_path;
+    Option.iter
+      (fun d ->
+        Format.printf "gbcd: durable under %s (fsync %s, snapshot every %d)@." d
+          (Gbc.Wal.fsync_policy_to_string cfg.Gbc.Server.fsync)
+          cfg.Gbc.Server.snapshot_every)
+      data_dir;
     Format.printf "gbcd: %d worker(s), default timeout %s@?"
       cfg.Gbc.Server.workers
       (match cfg.Gbc.Server.default_timeout_s with
@@ -89,10 +132,12 @@ let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
 let serve_term =
   Term.(const serve $ host_arg $ port_arg $ no_tcp_arg $ unix_arg $ workers_arg
         $ default_timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg
-        $ max_jobs_arg $ max_frame_arg $ cache_arg)
+        $ max_jobs_arg $ max_frame_arg $ cache_arg $ data_dir_arg $ fsync_arg
+        $ snapshot_every_arg $ idle_timeout_arg)
 
 let serve_doc =
   "Serve programs over the gbcd wire protocol: a worker pool of OCaml domains, \
    per-connection sessions with copy-on-write isolation, a compiled-program cache, \
-   and a per-request resource governor.  SIGINT/SIGTERM (or a client's shutdown \
-   frame) drain gracefully."
+   and a per-request resource governor.  With $(b,--data-dir) sessions are durable: \
+   write-ahead logged, snapshotted, and recovered on restart.  SIGINT/SIGTERM (or a \
+   client's shutdown frame) drain gracefully."

@@ -616,22 +616,41 @@ let cunix_arg =
   Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH"
          ~doc:"Connect over a Unix-domain socket instead of TCP.")
 
-let with_client host port unix_path f =
-  let conn () =
+let ctimeout_arg =
+  Arg.(value & opt (some float) None & info [ "connect-timeout" ] ~docv:"SEC"
+         ~doc:"Give up on a connect attempt after SEC seconds.")
+
+let cretries_arg =
+  Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N"
+         ~doc:"Reconnect attempts (exponential backoff with jitter) before giving up; \
+               a broken connection replays the request exactly-once.")
+
+(* All client commands go through the resilient layer: reconnect with
+   backoff, re-attach to the session, replay the interrupted request
+   (mutations stamped with client-unique ids, so exactly-once). *)
+let with_client ?deadline ?connect_timeout ?(retries = 5) host port unix_path f =
+  let endpoint =
     match unix_path with
-    | Some path -> Client.connect_unix path
-    | None -> Client.connect_tcp ~host ~port ()
+    | Some path -> Client.Uds path
+    | None -> Client.Tcp { host; port }
   in
-  match conn () with
-  | exception Unix.Unix_error (e, _, _) ->
-    Format.eprintf "gbc: cannot connect: %s@." (Unix.error_message e);
-    exit err_exit
-  | c ->
-    Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
-        try f c
-        with Client.Protocol_error msg ->
-          Format.eprintf "gbc: protocol error: %s@." msg;
-          exit err_exit)
+  let r = Client.resilient ?connect_timeout ?deadline ~retries endpoint in
+  Fun.protect ~finally:(fun () -> Client.resilient_close r) (fun () ->
+      try f r with
+      | Client.Protocol_error msg ->
+        Format.eprintf "gbc: protocol error: %s@." msg;
+        exit err_exit
+      | Client.Timeout ->
+        Format.eprintf "gbc: deadline exceeded: the server did not answer in time@.";
+        exit err_exit
+      | Client.Session_lost msg ->
+        Format.eprintf "gbc: session lost: %s@." msg;
+        exit err_exit
+      | Unix.Unix_error (e, _, _) ->
+        Format.eprintf "gbc: cannot reach the server: %s@." (Unix.error_message e);
+        exit err_exit)
+
+let crpc = Client.resilient_rpc
 
 let print_response = function
   | Protocol.Pong -> Format.printf "pong@."
@@ -664,13 +683,14 @@ let print_response = function
       Format.eprintf "gbc: answers computed against a partial model@.";
       exit partial_exit
     end
+  | Protocol.Attached { id } -> Format.printf "attached to session %d@." id
   | Protocol.Stats_json json -> Format.printf "%s@." json
   | Protocol.Error { code; message } ->
     Format.eprintf "gbc: %s: %s@." (Protocol.error_code_to_string code) message;
     exit err_exit
 
 let load_or_die c file =
-  match Client.rpc c (Protocol.Load (read_file file)) with
+  match crpc c (Protocol.Load (read_file file)) with
   | Protocol.Loaded _ as r -> r
   | Protocol.Error _ as r ->
     print_response r;
@@ -694,27 +714,36 @@ let cjobs_arg =
 let wire_engine = function `Staged -> Protocol.Staged | `Reference -> Protocol.Reference
 
 let client_ping_cmd =
-  let run host port unix = with_client host port unix (fun c -> print_response (Client.rpc c Protocol.Ping)) in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC"
+           ~doc:"Fail (exit code 2) unless the pong arrives within SEC seconds — \
+                 distinguishes a hung daemon from a healthy one.")
+  in
+  let run host port unix ctimeout retries deadline =
+    with_client ?deadline ?connect_timeout:ctimeout ~retries host port unix (fun c ->
+        print_response (crpc c Protocol.Ping))
+  in
   Cmd.v (Cmd.info "ping" ~doc:"Round-trip a ping frame.")
-    Term.(const run $ chost_arg $ cport_arg $ cunix_arg)
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ ctimeout_arg $ cretries_arg
+          $ deadline_arg)
 
 let client_run_cmd =
   let facts_arg =
     Arg.(value & opt (some string) None & info [ "assert" ] ~docv:"FACTS"
            ~doc:"Ground facts (surface syntax) asserted into the session before running.")
   in
-  let run host port unix file engine preds seed facts jobs timeout_s max_facts max_steps
-      max_candidates =
-    with_client host port unix (fun c ->
+  let run host port unix ctimeout retries file engine preds seed facts jobs timeout_s
+      max_facts max_steps max_candidates =
+    with_client ?connect_timeout:ctimeout ~retries host port unix (fun c ->
         ignore (load_or_die c file);
         Option.iter
           (fun fs ->
-            match Client.rpc c (Protocol.Assert_facts fs) with
+            match crpc c (Protocol.Assert_facts { text = fs; id = None }) with
             | Protocol.Asserted _ -> ()
             | r -> print_response r)
           facts;
         print_response
-          (Client.rpc c
+          (crpc c
              (Protocol.Run
                 { engine = wire_engine engine;
                   seed;
@@ -724,54 +753,59 @@ let client_run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Load FILE (or stdin with $(b,-)) into a server session and print one stable model.")
-    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ engine_arg $ preds_arg
-          $ seed_arg $ facts_arg $ cjobs_arg $ timeout_arg $ max_facts_arg $ max_steps_arg
-          $ max_candidates_arg)
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ ctimeout_arg $ cretries_arg
+          $ file_arg $ engine_arg $ preds_arg $ seed_arg $ facts_arg $ cjobs_arg $ timeout_arg
+          $ max_facts_arg $ max_steps_arg $ max_candidates_arg)
 
 let client_models_cmd =
   let max_arg =
     Arg.(value & opt int 100 & info [ "max" ] ~docv:"N" ~doc:"Stop after N distinct models.")
   in
-  let run host port unix file preds max_models =
-    with_client host port unix (fun c ->
+  let run host port unix ctimeout retries file preds max_models =
+    with_client ?connect_timeout:ctimeout ~retries host port unix (fun c ->
         ignore (load_or_die c file);
-        print_response (Client.rpc c (Protocol.Enumerate { max_models; preds })))
+        print_response (crpc c (Protocol.Enumerate { max_models; preds })))
   in
   Cmd.v (Cmd.info "models" ~doc:"Enumerate the choice models of FILE on the server.")
-    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ preds_arg $ max_arg)
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ ctimeout_arg $ cretries_arg
+          $ file_arg $ preds_arg $ max_arg)
 
 let client_query_cmd =
   let atom_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"ATOM"
            ~doc:"Query atom, e.g. 'prm(X, Y, C, _)'.")
   in
-  let run host port unix file engine text jobs timeout_s max_facts max_steps max_candidates =
-    with_client host port unix (fun c ->
+  let run host port unix ctimeout retries file engine text jobs timeout_s max_facts max_steps
+      max_candidates =
+    with_client ?connect_timeout:ctimeout ~retries host port unix (fun c ->
         ignore (load_or_die c file);
         print_response
-          (Client.rpc c
+          (crpc c
              (Protocol.Query
                 { engine = wire_engine engine;
                   text;
                   budget = budget_of ?timeout_s ?max_facts ?max_steps ?max_candidates ?jobs () })))
   in
   Cmd.v (Cmd.info "query" ~doc:"Load FILE on the server and answer one query atom.")
-    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ file_arg $ engine_arg $ atom_arg
-          $ cjobs_arg $ timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg)
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ ctimeout_arg $ cretries_arg
+          $ file_arg $ engine_arg $ atom_arg $ cjobs_arg $ timeout_arg $ max_facts_arg
+          $ max_steps_arg $ max_candidates_arg)
 
 let client_stats_cmd =
-  let run host port unix =
-    with_client host port unix (fun c -> print_response (Client.rpc c Protocol.Stats))
+  let run host port unix ctimeout retries =
+    with_client ?connect_timeout:ctimeout ~retries host port unix (fun c ->
+        print_response (crpc c Protocol.Stats))
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print the server's aggregated telemetry as JSON.")
-    Term.(const run $ chost_arg $ cport_arg $ cunix_arg)
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ ctimeout_arg $ cretries_arg)
 
 let client_shutdown_cmd =
-  let run host port unix =
-    with_client host port unix (fun c -> print_response (Client.rpc c Protocol.Shutdown))
+  let run host port unix ctimeout retries =
+    with_client ?connect_timeout:ctimeout ~retries host port unix (fun c ->
+        print_response (crpc c Protocol.Shutdown))
   in
   Cmd.v (Cmd.info "shutdown" ~doc:"Ask the server to drain and exit gracefully.")
-    Term.(const run $ chost_arg $ cport_arg $ cunix_arg)
+    Term.(const run $ chost_arg $ cport_arg $ cunix_arg $ ctimeout_arg $ cretries_arg)
 
 let client_cmd =
   let doc = "Talk to a running gbcd (see $(b,gbc serve))." in

@@ -41,6 +41,12 @@ module Session = Gbc_server.Session
 module Server = Gbc_server.Server
 module Client = Gbc_server.Client
 
+(* Durability substrate (WAL + snapshots) *)
+module Checksum = Gbc_datalog.Checksum
+module Db_snapshot = Gbc_datalog.Db_snapshot
+module Wal = Gbc_server.Wal
+module Durable = Gbc_server.Durable
+
 (* Ordered structures (Section 6) *)
 module Binary_heap = Gbc_ordered.Binary_heap
 module Pairing_heap = Gbc_ordered.Pairing_heap

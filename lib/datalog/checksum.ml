@@ -1,0 +1,26 @@
+(* CRC-32 (IEEE 802.3): reflected, polynomial 0xEDB88320, init and
+   final xor 0xFFFFFFFF.  The byte-at-a-time table is built once; all
+   arithmetic stays within 32 bits, so native 63-bit ints are safe. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Checksum.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let sub_string s ~pos ~len = update 0 s ~pos ~len
+let string s = update 0 s ~pos:0 ~len:(String.length s)

@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+
+    Used by the durability layer — WAL records and database snapshots —
+    to detect torn and corrupted writes.  Pure OCaml, table-driven; the
+    result fits in 32 bits and is returned as a non-negative [int]. *)
+
+val string : string -> int
+(** CRC-32 of a whole string. *)
+
+val sub_string : string -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes of [s] starting at [pos].
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] extends a running checksum, so
+    [update (string a) b ~pos:0 ~len:(String.length b) = string (a ^ b)]. *)

@@ -1,0 +1,176 @@
+(* Database <-> bytes, with a local symbol table.
+
+   Layout (all integers big-endian):
+
+     u32 nsyms                      local symbol table
+     nsyms x (u32 len, bytes)       local id 0, 1, ... in order
+     u32 npreds
+     per predicate:
+       u32 len, bytes               name
+       u32 arity
+       u32 nrows
+       nrows x arity x value        rows in insertion order
+
+     value := u8 tag
+       0  Int  i64
+       1  Sym  u32 local id
+       2  Str  u32 local id
+       3  Tup  u32 count, values
+       4  App  (u32 len, bytes) name, u32 count, values
+
+   The global interner allocates ids in first-sight order, which is a
+   property of the process, not of the data — hence the local table:
+   the writer maps global ids to dense local ones, the reader interns
+   the strings back and maps local ids to whatever the current process
+   says. *)
+
+exception Corrupt of string
+
+(* ---------------- writing ---------------- *)
+
+let w_u8 b n = Buffer.add_uint8 b (n land 0xff)
+let w_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
+let w_i64 b n = Buffer.add_int64_be b (Int64.of_int n)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+type enc = {
+  locals : (int, int) Hashtbl.t;  (* global interner id -> local id *)
+  mutable syms_rev : string list;
+  mutable nsyms : int;
+}
+
+let local enc gid =
+  match Hashtbl.find_opt enc.locals gid with
+  | Some l -> l
+  | None ->
+    let l = enc.nsyms in
+    Hashtbl.add enc.locals gid l;
+    enc.syms_rev <- Interner.resolve gid :: enc.syms_rev;
+    enc.nsyms <- l + 1;
+    l
+
+let rec w_value enc b = function
+  | Value.Int i ->
+    w_u8 b 0;
+    w_i64 b i
+  | Value.Sym id ->
+    w_u8 b 1;
+    w_u32 b (local enc id)
+  | Value.Str id ->
+    w_u8 b 2;
+    w_u32 b (local enc id)
+  | Value.Tup xs ->
+    w_u8 b 3;
+    w_u32 b (List.length xs);
+    List.iter (w_value enc b) xs
+  | Value.App (f, xs) ->
+    w_u8 b 4;
+    w_str b f;
+    w_u32 b (List.length xs);
+    List.iter (w_value enc b) xs
+
+let write buf db =
+  let enc = { locals = Hashtbl.create 64; syms_rev = []; nsyms = 0 } in
+  (* rows go to a scratch buffer first: the symbol table they populate
+     must precede them in the stream *)
+  let body = Buffer.create 4096 in
+  let preds = Database.preds db in
+  w_u32 body (List.length preds);
+  List.iter
+    (fun pred ->
+      let rel = Option.get (Database.find db pred) in
+      w_str body pred;
+      w_u32 body (Relation.arity rel);
+      w_u32 body (Relation.cardinal rel);
+      Relation.iter rel (fun row -> Array.iter (fun v -> w_value enc body v) row))
+    preds;
+  w_u32 buf enc.nsyms;
+  List.iter (fun s -> w_str buf s) (List.rev enc.syms_rev);
+  Buffer.add_buffer buf body
+
+(* ---------------- reading ---------------- *)
+
+type reader = { src : string; mutable pos : int }
+
+let need rd n what =
+  if n < 0 || rd.pos + n > String.length rd.src then
+    raise (Corrupt (Printf.sprintf "truncated %s at offset %d" what rd.pos))
+
+let r_u8 rd what =
+  need rd 1 what;
+  let v = Char.code rd.src.[rd.pos] in
+  rd.pos <- rd.pos + 1;
+  v
+
+let r_u32 rd what =
+  need rd 4 what;
+  let v = Int32.to_int (String.get_int32_be rd.src rd.pos) in
+  rd.pos <- rd.pos + 4;
+  if v < 0 then raise (Corrupt (Printf.sprintf "negative count in %s" what));
+  v
+
+let r_i64 rd what =
+  need rd 8 what;
+  let v = Int64.to_int (String.get_int64_be rd.src rd.pos) in
+  rd.pos <- rd.pos + 8;
+  v
+
+(* a count of n promises at least n further bytes; reject impossible
+   counts before allocating *)
+let r_count rd what =
+  let n = r_u32 rd what in
+  if n > String.length rd.src - rd.pos then
+    raise (Corrupt (Printf.sprintf "impossible count %d in %s" n what));
+  n
+
+let r_str rd what =
+  let n = r_count rd what in
+  let s = String.sub rd.src rd.pos n in
+  rd.pos <- rd.pos + n;
+  s
+
+let rec r_value syms rd =
+  match r_u8 rd "value" with
+  | 0 -> Value.Int (r_i64 rd "int value")
+  | 1 -> Value.Sym (r_sym syms rd)
+  | 2 -> Value.Str (r_sym syms rd)
+  | 3 ->
+    let n = r_count rd "tuple" in
+    Value.Tup (List.init n (fun _ -> r_value syms rd))
+  | 4 ->
+    let f = r_str rd "constructor name" in
+    let n = r_count rd "constructor args" in
+    Value.App (f, List.init n (fun _ -> r_value syms rd))
+  | t -> raise (Corrupt (Printf.sprintf "unknown value tag %d at offset %d" t (rd.pos - 1)))
+
+and r_sym syms rd =
+  let l = r_u32 rd "symbol id" in
+  if l >= Array.length syms then
+    raise (Corrupt (Printf.sprintf "local symbol id %d out of range" l));
+  syms.(l)
+
+let read s pos =
+  let rd = { src = s; pos } in
+  let nsyms = r_count rd "symbol table" in
+  (* re-intern: local id -> this process's global id *)
+  let syms = Array.init nsyms (fun _ -> Interner.intern (r_str rd "symbol")) in
+  let npreds = r_count rd "predicate count" in
+  let db = Database.create () in
+  for _ = 1 to npreds do
+    let name = r_str rd "predicate name" in
+    let arity = r_u32 rd "arity" in
+    if arity > 0xFFFF then raise (Corrupt (Printf.sprintf "implausible arity %d" arity));
+    let nrows = r_count rd "row count" in
+    let rel =
+      try Database.relation db name arity
+      with Invalid_argument msg -> raise (Corrupt msg)
+    in
+    for _ = 1 to nrows do
+      let row = Array.init arity (fun _ -> r_value syms rd) in
+      ignore (Relation.add rel row)
+    done
+  done;
+  (db, rd.pos)

@@ -1,6 +1,20 @@
 (* A small blocking client for the gbcd wire protocol: connect, frame
    requests out, read response frames back.  Used by `gbc client`, the
-   server tests and bench E15. *)
+   server tests and bench E15/E18.
+
+   Two layers:
+
+   - [t]: one socket, send/recv/rpc, optional connect timeout and
+     receive deadline (SO_RCVTIMEO -> Timeout).
+
+   - [resilient]: an endpoint plus retry policy.  It attaches to a
+     server session on every (re)connect — first Attach None to learn
+     the session id, later Attach (Some id) to reclaim it — and
+     replays a request whose connection died, after exponential
+     backoff with jitter.  Mutations are stamped with client-unique
+     request ids, so a replay the server already applied is answered
+     from its recorded result (exactly-once), even across a server
+     crash and recovery. *)
 
 type t = {
   fd : Unix.file_descr;
@@ -9,20 +23,51 @@ type t = {
 }
 
 exception Protocol_error of string
+exception Timeout
+
+type endpoint = Tcp of { host : string; port : int } | Uds of string
 
 let connect_fd ?(max_frame = Protocol.max_frame_default) fd = { fd; inbuf = ""; max_frame }
 
-let connect_tcp ?max_frame ~host ~port () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+(* Bounded connect: non-blocking connect, select for writability, read
+   the socket error back.  Never blocks past [timeout]. *)
+let connect_bounded fd addr timeout =
+  match timeout with
+  | None -> Unix.connect fd addr
+  | Some tmo -> (
+    Unix.set_nonblock fd;
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ fd ] [] tmo with
+      | _, [], _ -> raise Timeout
+      | _ -> (
+        match Unix.getsockopt_error fd with
+        | None -> ()
+        | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+    Unix.clear_nonblock fd)
+
+let connect ?max_frame ?timeout endpoint =
+  let domain, addr =
+    match endpoint with
+    | Tcp { host; port } ->
+      let inet = try Unix.inet_addr_of_string host with Failure _ -> failwith ("bad host " ^ host) in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+    | Uds path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try connect_bounded fd addr timeout
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
   connect_fd ?max_frame fd
 
-let connect_unix ?max_frame path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
-  connect_fd ?max_frame fd
+let connect_tcp ?max_frame ?timeout ~host ~port () = connect ?max_frame ?timeout (Tcp { host; port })
+let connect_unix ?max_frame ?timeout path = connect ?max_frame ?timeout (Uds path)
+
+let set_recv_deadline t = function
+  | None -> ( try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO 0.0 with Unix.Unix_error _ -> ())
+  | Some s -> Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO (Float.max 0.001 s)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -50,14 +95,135 @@ let recv t =
        | Error msg -> raise (Protocol_error msg))
     | Protocol.Bad_length n ->
       raise (Protocol_error (Printf.sprintf "unacceptable frame length %d" n))
-    | Protocol.Need_more ->
-      let n = Unix.read t.fd buf 0 chunk in
-      if n = 0 then raise (Protocol_error "connection closed by server");
-      t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
-      go ()
+    | Protocol.Need_more -> (
+      match Unix.read t.fd buf 0 chunk with
+      | 0 -> raise (Protocol_error "connection closed by server")
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* SO_RCVTIMEO expired: the response deadline passed *)
+        raise Timeout
+      | n ->
+        t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
+        go ())
   in
   go ()
 
 let rpc t req =
   send t req;
   recv t
+
+(* ---------------- the resilient layer ---------------- *)
+
+exception Session_lost of string
+
+type resilient = {
+  endpoint : endpoint;
+  r_max_frame : int;
+  connect_timeout : float option;
+  deadline : float option;
+  retries : int;
+  mutable conn : t option;
+  mutable session : int option;  (* learned from the first Attach *)
+  mutable next_id : int;  (* mutation request ids, client-unique *)
+}
+
+let rng = lazy (Random.State.make_self_init ())
+
+let resilient ?(max_frame = Protocol.max_frame_default) ?connect_timeout ?deadline ?(retries = 5)
+    endpoint =
+  { endpoint;
+    r_max_frame = max_frame;
+    connect_timeout;
+    deadline;
+    retries;
+    conn = None;
+    session = None;
+    (* seed mutation ids from the clock so a fresh client reclaiming a
+       durable session cannot collide with its predecessor's ids (the
+       server's dedup state survives restarts) *)
+    next_id = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e6)) land 0x3FFFFFFFFFFFF }
+
+let session_id r = r.session
+
+let backoff_sleep attempt =
+  let capped = Float.min (0.05 *. (2.0 ** float_of_int attempt)) 2.0 in
+  Unix.sleepf (capped +. Random.State.float (Lazy.force rng) (capped *. 0.5))
+
+let drop_conn r =
+  match r.conn with
+  | None -> ()
+  | Some c ->
+    close c;
+    r.conn <- None
+
+(* Connect and attach.  [Attach None] registers a fresh session as
+   attachable and reports its id; [Attach (Some id)] reclaims ours —
+   from the server's memory, or restored from its data dir after a
+   crash.  A [no-session] answer is permanent (the state is truly
+   gone) and is never retried. *)
+let rec ensure_conn r attempt =
+  match r.conn with
+  | Some c -> c
+  | None -> (
+    match
+      let c = connect ~max_frame:r.r_max_frame ?timeout:r.connect_timeout r.endpoint in
+      match
+        set_recv_deadline c r.deadline;
+        rpc c (Protocol.Attach r.session)
+      with
+      | Protocol.Attached { id } ->
+        r.session <- Some id;
+        c
+      | Protocol.Error { code = Protocol.No_session; message } ->
+        close c;
+        raise (Session_lost message)
+      | _ ->
+        close c;
+        raise (Protocol_error "unexpected response to attach")
+      | exception e ->
+        close c;
+        raise e
+    with
+    | c ->
+      r.conn <- Some c;
+      c
+    | exception ((Unix.Unix_error _ | Protocol_error _ | Timeout) as e) ->
+      if attempt < r.retries then begin
+        backoff_sleep attempt;
+        ensure_conn r (attempt + 1)
+      end
+      else raise e)
+
+(* Stamp mutations that do not carry an id yet: the id is what makes a
+   replayed retry exactly-once on the server. *)
+let assign_id r = function
+  | Protocol.Assert_facts { text; id = None } ->
+    r.next_id <- r.next_id + 1;
+    Protocol.Assert_facts { text; id = Some r.next_id }
+  | Protocol.Retract_facts { text; id = None } ->
+    r.next_id <- r.next_id + 1;
+    Protocol.Retract_facts { text; id = Some r.next_id }
+  | req -> req
+
+let resilient_rpc r req =
+  let req = assign_id r req in
+  let rec go attempt =
+    let c = ensure_conn r 0 in
+    match rpc c req with
+    | resp -> resp
+    | exception Timeout ->
+      (* the deadline is the caller's contract; do not retry into it *)
+      drop_conn r;
+      raise Timeout
+    | exception ((Unix.Unix_error _ | Protocol_error _) as e) ->
+      (* broken connection: reconnect (with backoff), re-attach, and
+         replay this very request *)
+      drop_conn r;
+      if attempt < r.retries then begin
+        backoff_sleep attempt;
+        go (attempt + 1)
+      end
+      else raise e
+  in
+  go 0
+
+let resilient_close r = drop_conn r

@@ -1,4 +1,14 @@
-(** A blocking client for the gbcd wire protocol. *)
+(** Clients for the gbcd wire protocol.
+
+    {!t} is one blocking socket: send/recv/rpc, an optional connect
+    timeout and an optional receive deadline.  {!resilient} wraps an
+    endpoint with a retry policy: it attaches to a server session on
+    every (re)connect and transparently replays a request whose
+    connection died — exponential backoff with jitter between
+    attempts.  Mutations are stamped with client-unique request ids,
+    so a replay the server already applied is answered from its
+    recorded result rather than applied twice, even across a server
+    crash and recovery (the dedup state rides the WAL). *)
 
 type t
 
@@ -6,11 +16,25 @@ exception Protocol_error of string
 (** Framing or decoding failure, or the server closed mid-exchange.
     Socket-level failures raise [Unix.Unix_error] as usual. *)
 
-val connect_tcp : ?max_frame:int -> host:string -> port:int -> unit -> t
-val connect_unix : ?max_frame:int -> string -> t
+exception Timeout
+(** The connect timeout or receive deadline expired. *)
+
+type endpoint = Tcp of { host : string; port : int } | Uds of string
+
+val connect : ?max_frame:int -> ?timeout:float -> endpoint -> t
+(** Connect to an endpoint.  With [timeout] the connect is
+    non-blocking + select, raising {!Timeout} when the server does not
+    accept in time. *)
+
+val connect_tcp : ?max_frame:int -> ?timeout:float -> host:string -> port:int -> unit -> t
+val connect_unix : ?max_frame:int -> ?timeout:float -> string -> t
 
 val connect_fd : ?max_frame:int -> Unix.file_descr -> t
 (** Wrap an already-connected socket. *)
+
+val set_recv_deadline : t -> float option -> unit
+(** Bound every subsequent {!recv} (SO_RCVTIMEO); an expired deadline
+    raises {!Timeout}.  [None] removes the bound. *)
 
 val close : t -> unit
 
@@ -19,3 +43,38 @@ val recv : t -> Protocol.response
 
 val rpc : t -> Protocol.request -> Protocol.response
 (** [send] then [recv] — the one-in-flight round trip gbcd expects. *)
+
+(** {2 Retry / backoff} *)
+
+exception Session_lost of string
+(** The server answered [no-session] to an attach: the session's state
+    is truly gone (never retried). *)
+
+type resilient
+
+val resilient :
+  ?max_frame:int ->
+  ?connect_timeout:float ->
+  ?deadline:float ->
+  ?retries:int ->
+  endpoint ->
+  resilient
+(** A reconnecting client.  [connect_timeout] bounds each connect
+    attempt, [deadline] bounds each response wait, [retries] (default
+    5) caps reconnect attempts per operation.  Nothing connects until
+    the first {!resilient_rpc}. *)
+
+val resilient_rpc : resilient -> Protocol.request -> Protocol.response
+(** Send one request, transparently reconnecting (backoff + jitter),
+    re-attaching to the session and replaying on a broken connection.
+    Assert/retract requests without an id are stamped with a fresh
+    client-unique id first, making the replay exactly-once.  Raises
+    {!Timeout} when the response deadline expires (not retried — the
+    deadline is the caller's contract), {!Session_lost} when the
+    session cannot be reclaimed, or the last failure when [retries] is
+    exhausted. *)
+
+val session_id : resilient -> int option
+(** The server-side session id, once the first attach learned it. *)
+
+val resilient_close : resilient -> unit

@@ -33,13 +33,16 @@ let no_budget =
 type request =
   | Ping
   | Load of string  (** program source text *)
-  | Assert_facts of string  (** ground facts, surface syntax *)
-  | Retract_facts of string  (** ground facts, surface syntax *)
+  | Assert_facts of { text : string; id : int option }  (** ground facts, surface syntax *)
+  | Retract_facts of { text : string; id : int option }
   | Run of { engine : engine; seed : int option; preds : string list option; budget : budget }
   | Enumerate of { max_models : int; preds : string list option }
   | Query of { engine : engine; text : string; budget : budget }
   | Stats
   | Shutdown
+  | Attach of int option
+      (** [None]: mark this session attachable and report its id;
+          [Some id]: adopt session [id] (detached, or durable on disk) *)
 
 type error_code =
   | Lex_error
@@ -54,6 +57,7 @@ type error_code =
   | Draining
   | Server_error
   | Not_retractable
+  | No_session
 
 type response =
   | Pong
@@ -66,6 +70,7 @@ type response =
   | Stats_json of string
   | Error of { code : error_code; message : string }
   | Bye
+  | Attached of { id : int }
 
 let error_code_to_int = function
   | Lex_error -> 1
@@ -80,6 +85,7 @@ let error_code_to_int = function
   | Draining -> 10
   | Server_error -> 11
   | Not_retractable -> 12
+  | No_session -> 13
 
 let error_code_of_int = function
   | 1 -> Some Lex_error
@@ -94,6 +100,7 @@ let error_code_of_int = function
   | 10 -> Some Draining
   | 11 -> Some Server_error
   | 12 -> Some Not_retractable
+  | 13 -> Some No_session
   | _ -> None
 
 let error_code_to_string = function
@@ -109,6 +116,7 @@ let error_code_to_string = function
   | Draining -> "draining"
   | Server_error -> "server-error"
   | Not_retractable -> "not-retractable"
+  | No_session -> "no-session"
 
 (* ---------------- field writers ---------------- *)
 
@@ -243,6 +251,7 @@ let tag_enumerate = 0x06
 let tag_query = 0x07
 let tag_stats = 0x08
 let tag_shutdown = 0x09
+let tag_attach = 0x0a
 
 let encode_request req =
   let b = Buffer.create 64 in
@@ -251,12 +260,14 @@ let encode_request req =
    | Load src ->
      w_u8 b tag_load;
      w_string b src
-   | Assert_facts text ->
+   | Assert_facts { text; id } ->
      w_u8 b tag_assert;
-     w_string b text
-   | Retract_facts text ->
+     w_string b text;
+     w_opt w_int b id
+   | Retract_facts { text; id } ->
      w_u8 b tag_retract;
-     w_string b text
+     w_string b text;
+     w_opt w_int b id
    | Run { engine; seed; preds; budget } ->
      w_u8 b tag_run;
      w_engine b engine;
@@ -273,7 +284,10 @@ let encode_request req =
      w_string b text;
      w_budget b budget
    | Stats -> w_u8 b tag_stats
-   | Shutdown -> w_u8 b tag_shutdown);
+   | Shutdown -> w_u8 b tag_shutdown
+   | Attach id ->
+     w_u8 b tag_attach;
+     w_opt w_int b id);
   frame (Buffer.contents b)
 
 let finish rd v what =
@@ -288,8 +302,14 @@ let decode_request body =
     let req =
       if tag = tag_ping then Ping
       else if tag = tag_load then Load (r_string rd "load")
-      else if tag = tag_assert then Assert_facts (r_string rd "assert")
-      else if tag = tag_retract then Retract_facts (r_string rd "retract")
+      else if tag = tag_assert then begin
+        let text = r_string rd "assert" in
+        Assert_facts { text; id = r_opt r_int rd "assert" }
+      end
+      else if tag = tag_retract then begin
+        let text = r_string rd "retract" in
+        Retract_facts { text; id = r_opt r_int rd "retract" }
+      end
       else if tag = tag_run then begin
         let engine = r_engine rd "run" in
         let seed = r_opt r_int rd "run" in
@@ -310,6 +330,7 @@ let decode_request body =
       end
       else if tag = tag_stats then Stats
       else if tag = tag_shutdown then Shutdown
+      else if tag = tag_attach then Attach (r_opt r_int rd "attach")
       else raise (Malformed (Printf.sprintf "unknown request tag 0x%02x" tag))
     in
     Ok (finish rd req "request")
@@ -327,6 +348,7 @@ let tag_answers = 0x87
 let tag_stats_json = 0x88
 let tag_error = 0x89
 let tag_bye = 0x8a
+let tag_attached = 0x8b
 
 let encode_response resp =
   let b = Buffer.create 256 in
@@ -365,7 +387,10 @@ let encode_response resp =
      w_u8 b tag_error;
      w_u8 b (error_code_to_int code);
      w_string b message
-   | Bye -> w_u8 b tag_bye);
+   | Bye -> w_u8 b tag_bye
+   | Attached { id } ->
+     w_u8 b tag_attached;
+     w_int b id);
   frame (Buffer.contents b)
 
 let decode_response body =
@@ -411,6 +436,7 @@ let decode_response body =
         Error { code; message }
       end
       else if tag = tag_bye then Bye
+      else if tag = tag_attached then Attached { id = r_int rd "attached" }
       else raise (Malformed (Printf.sprintf "unknown response tag 0x%02x" tag))
     in
     Ok (finish rd resp "response")

@@ -34,13 +34,24 @@ val no_budget : budget
 type request =
   | Ping
   | Load of string  (** program source text; compiled through the cache *)
-  | Assert_facts of string  (** ground facts in surface syntax *)
-  | Retract_facts of string  (** ground facts in surface syntax *)
+  | Assert_facts of { text : string; id : int option }
+      (** ground facts in surface syntax.  [id] is an optional client
+          request id: resending the id of the session's last applied
+          mutation is answered from its recorded result instead of
+          applying again, making retries after a lost response exactly-
+          once (the dedup state survives crashes via the WAL). *)
+  | Retract_facts of { text : string; id : int option }  (** ground facts; [id] as above *)
   | Run of { engine : engine; seed : int option; preds : string list option; budget : budget }
   | Enumerate of { max_models : int; preds : string list option }
   | Query of { engine : engine; text : string; budget : budget }
   | Stats
   | Shutdown  (** graceful drain: in-flight queries finish first *)
+  | Attach of int option
+      (** [Attach None] marks the connection's session attachable and
+          reports its id; [Attach (Some id)] swaps the connection onto
+          session [id] — detached in memory, or restored from the data
+          dir when the server is durable.  Unknown or busy ids get a
+          [No_session] error. *)
 
 type error_code =
   | Lex_error
@@ -55,6 +66,7 @@ type error_code =
   | Draining  (** request arrived after shutdown began *)
   | Server_error  (** unclassified server-side exception *)
   | Not_retractable  (** retract of a fact the session never asserted (or owned by the program) *)
+  | No_session  (** [Attach] named a session that does not exist or is attached elsewhere *)
 
 type response =
   | Pong
@@ -70,6 +82,7 @@ type response =
   | Stats_json of string
   | Error of { code : error_code; message : string }
   | Bye
+  | Attached of { id : int }  (** the session now driven by this connection *)
 
 val error_code_to_int : error_code -> int
 val error_code_of_int : int -> error_code option

@@ -15,9 +15,24 @@
      queue, waking the loop through a self-pipe.  Workers never touch
      sockets or connection state — only the session they were handed.
 
+   - Workers are supervised: an exception escaping a request handler
+     (which already classifies everything it can) answers the client
+     with a structured error frame, reports the death on the
+     completion queue, and lets the domain exit; the event loop joins
+     the corpse and spawns a replacement, so the pool never shrinks
+     and no connection hangs on a dead worker.
+
    - Client disconnects flip the session's cancellation token, so a
      runaway evaluation for a dead client stops at the governor's next
      poll; the orphaned response is discarded.
+
+   - With a data dir configured, sessions are durable: mutations are
+     write-ahead logged and periodically snapshotted (see Session and
+     Durable), startup restores every on-disk session into the
+     detached registry, and a client reclaims its session with Attach.
+     The actual connection/session swap happens on the event loop (it
+     owns connections); the worker only claims the target under the
+     registry lock and posts a [Swap].
 
    - Shutdown is a graceful drain: stop accepting, finish in-flight
      evaluations and flush their responses, answer queued-but-unstarted
@@ -25,8 +40,8 @@
 
    Every server-side failure is classified (Session.protect /
    Gbc_error) and returned as a structured Error frame; a connection
-   is only ever closed by the client, by a framing violation, or by
-   drain. *)
+   is only ever closed by the client, by a framing violation, by the
+   idle reaper, or by drain. *)
 
 module Limits = Gbc_datalog.Limits
 module Telemetry = Gbc_datalog.Telemetry
@@ -44,6 +59,11 @@ type config = {
   max_jobs : int;  (* cap on granted evaluation domains per request *)
   max_frame : int;
   cache_capacity : int;
+  data_dir : string option;  (* None: ephemeral sessions, no WAL *)
+  fsync : Wal.fsync_policy;
+  snapshot_every : int;  (* WAL records between snapshots; 0 disables *)
+  idle_timeout_s : float option;  (* reap idle conns + detached sessions *)
+  worker_fault : int option;  (* tests only: k-th request kills its worker *)
 }
 
 let default_config =
@@ -58,11 +78,16 @@ let default_config =
     max_candidates = None;
     max_jobs = 1;
     max_frame = Protocol.max_frame_default;
-    cache_capacity = 64 }
+    cache_capacity = 64;
+    data_dir = None;
+    fsync = Wal.Batch 16;
+    snapshot_every = 64;
+    idle_timeout_s = None;
+    worker_fault = None }
 
 type conn = {
   fd : Unix.file_descr;
-  session : Session.t;
+  mutable session : Session.t;  (* event-loop owned; replaced by Attach *)
   inbuf : Buffer.t;  (* unconsumed inbound bytes *)
   out : Buffer.t;  (* outbound bytes; [out_off] already written *)
   mutable out_off : int;
@@ -71,22 +96,28 @@ type conn = {
   mutable alive : bool;  (* fd open *)
   mutable peer_gone : bool;  (* EOF/error seen; stop reading *)
   mutable close_after_flush : bool;
+  mutable last_activity : float;  (* inbound data or completed request *)
 }
 
-type post = Keep | Start_drain
+type post = Keep | Start_drain | Swap of Session.t
 
 type work_item = Job of conn * Protocol.request | Quit
+
+type completion =
+  | Done of conn * string * post
+  | Worker_died of int * string  (* slot, cause — respawn it *)
 
 type t = {
   cfg : config;
   listeners : Unix.file_descr list;
   tcp_port : int option;  (* actual bound port (for port 0) *)
   cache : Program_cache.t;
+  durable : Durable.t option;
   work_m : Mutex.t;
   work_c : Condition.t;
   work : work_item Queue.t;
   done_m : Mutex.t;
-  done_q : (conn * string * post) Queue.t;
+  done_q : completion Queue.t;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   draining : bool Atomic.t;
@@ -95,6 +126,19 @@ type t = {
   errors : int Atomic.t;
   partials : int Atomic.t;
   sessions_total : int Atomic.t;
+  (* the session registry: which ids are on a connection, which are
+     detached (attachable, conn-less) and when they detached.  Workers
+     claim from it (Attach), the event loop releases into it, the idle
+     sweep reaps from it — all under [sessions_m]. *)
+  sessions_m : Mutex.t;
+  live_ids : (int, unit) Hashtbl.t;
+  detached : (int, Session.t * float) Hashtbl.t;
+  open_conns : int Atomic.t;
+  workers_respawned : int Atomic.t;
+  sessions_reaped : int Atomic.t;
+  sessions_recovered : int Atomic.t;
+  conns_idle_closed : int Atomic.t;
+  fault_tick : int Atomic.t;  (* counts requests toward [worker_fault] *)
   totals_m : Mutex.t;
   engine_totals : (string, int) Hashtbl.t;
   mutable conns : conn list;  (* event-loop owned *)
@@ -125,6 +169,35 @@ let create cfg =
      kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match
+    let cache = Program_cache.create ~capacity:cfg.cache_capacity () in
+    let durable =
+      match cfg.data_dir with
+      | None -> None
+      | Some dir -> (
+        match Durable.create ~fsync:cfg.fsync ~snapshot_every:cfg.snapshot_every dir with
+        | Ok d -> Some d
+        | Error msg -> failwith msg)
+    in
+    (* Recover before binding: warm the compile cache from the program
+       store, then rebuild every on-disk session (snapshot + WAL tail)
+       into the detached registry — clients reclaim them with Attach.
+       Nothing is accepted until the restored state is consistent. *)
+    let detached = Hashtbl.create 16 in
+    let sessions_total = Atomic.make 0 in
+    let sessions_recovered = Atomic.make 0 in
+    (match durable with
+    | None -> ()
+    | Some dur ->
+      List.iter
+        (fun src -> ignore (Program_cache.find_or_compile cache src))
+        (Durable.list_programs dur);
+      List.iter
+        (fun id ->
+          let s = Session.restore ~cache dur id in
+          Hashtbl.replace detached id (s, Unix.gettimeofday ());
+          Atomic.incr sessions_recovered;
+          if id > Atomic.get sessions_total then Atomic.set sessions_total id)
+        (Durable.session_ids dur));
     let tcp = Option.map (fun p -> bind_tcp cfg.host p cfg.backlog) cfg.port in
     let uds = Option.map (fun p -> bind_unix p cfg.backlog) cfg.unix_path in
     let listeners =
@@ -138,7 +211,8 @@ let create cfg =
     { cfg;
       listeners;
       tcp_port = Option.map snd tcp;
-      cache = Program_cache.create ~capacity:cfg.cache_capacity ();
+      cache;
+      durable;
       work_m = Mutex.create ();
       work_c = Condition.create ();
       work = Queue.create ();
@@ -151,7 +225,16 @@ let create cfg =
       requests = Atomic.make 0;
       errors = Atomic.make 0;
       partials = Atomic.make 0;
-      sessions_total = Atomic.make 0;
+      sessions_total;
+      sessions_m = Mutex.create ();
+      live_ids = Hashtbl.create 16;
+      detached;
+      open_conns = Atomic.make 0;
+      workers_respawned = Atomic.make 0;
+      sessions_reaped = Atomic.make 0;
+      sessions_recovered;
+      conns_idle_closed = Atomic.make 0;
+      fault_tick = Atomic.make 0;
       totals_m = Mutex.create ();
       engine_totals = Hashtbl.create 32;
       conns = [] }
@@ -170,6 +253,45 @@ let wake t =
 let shutdown t =
   Atomic.set t.draining true;
   wake t
+
+(* ---------------- the session registry ---------------- *)
+
+(* Release a session whose connection is gone: attachable sessions
+   wait in the detached registry for a reconnecting client (their WAL
+   stays open for the next mutation); anything else is discarded.
+   During drain nothing waits. *)
+let release_session t (s : Session.t) =
+  Mutex.protect t.sessions_m (fun () ->
+      Hashtbl.remove t.live_ids s.Session.id;
+      if s.Session.attachable && not (Atomic.get t.draining) then
+        Hashtbl.replace t.detached s.Session.id (s, Unix.gettimeofday ())
+      else Session.discard s)
+
+(* Claim a session for attachment: detached in memory first, then —
+   when durable — restored from disk (it may have been idle-reaped, or
+   belong to a previous daemon run whose startup recovery was itself
+   interrupted).  The restore runs under [sessions_m] so two clients
+   racing for one id cannot both rebuild it; attaches are rare enough
+   that the stall does not matter. *)
+let claim_session t id =
+  Mutex.protect t.sessions_m (fun () ->
+      if Hashtbl.mem t.live_ids id then
+        Error (Printf.sprintf "session %d is attached to another connection" id)
+      else
+        match Hashtbl.find_opt t.detached id with
+        | Some (s, _) ->
+          Hashtbl.remove t.detached id;
+          Hashtbl.replace t.live_ids id ();
+          s.Session.cancel := false;
+          Ok s
+        | None -> (
+          match t.durable with
+          | Some dur when Durable.session_exists dur id ->
+            let s = Session.restore ~cache:t.cache dur id in
+            Atomic.incr t.sessions_recovered;
+            Hashtbl.replace t.live_ids id ();
+            Ok s
+          | _ -> Error (Printf.sprintf "no session %d" id)))
 
 (* ---------------- per-request governance ---------------- *)
 
@@ -218,13 +340,28 @@ let totals_json tbl =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) entries)
   ^ "}"
 
+let durable_json t =
+  match t.durable with
+  | None -> "null"
+  | Some d ->
+    Printf.sprintf
+      "{\"data_dir\": \"%s\", \"fsync\": \"%s\", \"snapshot_every\": %d, \"wal_records\": %d, \
+       \"snapshots_written\": %d}"
+      (json_escape (Durable.root d))
+      (Wal.fsync_policy_to_string (Durable.fsync d))
+      (Durable.snapshot_every d) (Wal.appended ())
+      (Durable.snapshots_written ())
+
 let stats_json t (session : Session.t) =
   let cache = Program_cache.stats t.cache in
   let c = session.Session.counters in
   let global_totals = Mutex.protect t.totals_m (fun () -> totals_json t.engine_totals) in
+  let sessions_detached = Mutex.protect t.sessions_m (fun () -> Hashtbl.length t.detached) in
   Printf.sprintf
     "{\"server\": {\"workers\": %d, \"max_jobs\": %d, \"uptime_s\": %.3f, \"draining\": %b, \"requests\": %d, \
-     \"errors\": %d, \"partials\": %d, \"sessions_total\": %d, \"cache\": {\"hits\": %d, \
+     \"errors\": %d, \"partials\": %d, \"sessions_total\": %d, \"open_conns\": %d, \
+     \"workers_respawned\": %d, \"sessions_detached\": %d, \"sessions_reaped\": %d, \
+     \"sessions_recovered\": %d, \"conns_idle_closed\": %d, \"durable\": %s, \"cache\": {\"hits\": %d, \
      \"misses\": %d, \"evictions\": %d, \"entries\": %d}, \"engine\": %s}, \"session\": \
      {\"id\": %d, \"requests\": %d, \"evaluations\": %d, \"partials\": %d, \"errors\": %d, \
      \"facts_asserted\": %d, \"facts_retracted\": %d, \"runs_incremental\": %d, \
@@ -234,11 +371,17 @@ let stats_json t (session : Session.t) =
     (Atomic.get t.draining) (Atomic.get t.requests) (Atomic.get t.errors)
     (Atomic.get t.partials)
     (Atomic.get t.sessions_total)
-    cache.Program_cache.hits cache.Program_cache.misses cache.Program_cache.evictions
-    cache.Program_cache.entries global_totals session.Session.id c.Session.requests
-    c.Session.evaluations c.Session.partials c.Session.errors c.Session.facts_asserted
-    c.Session.facts_retracted c.Session.runs_incremental c.Session.runs_full
-    c.Session.ivm_fallbacks c.Session.eval_wall_s
+    (Atomic.get t.open_conns)
+    (Atomic.get t.workers_respawned)
+    sessions_detached
+    (Atomic.get t.sessions_reaped)
+    (Atomic.get t.sessions_recovered)
+    (Atomic.get t.conns_idle_closed)
+    (durable_json t) cache.Program_cache.hits cache.Program_cache.misses
+    cache.Program_cache.evictions cache.Program_cache.entries global_totals session.Session.id
+    c.Session.requests c.Session.evaluations c.Session.partials c.Session.errors
+    c.Session.facts_asserted c.Session.facts_retracted c.Session.runs_incremental
+    c.Session.runs_full c.Session.ivm_fallbacks c.Session.eval_wall_s
     (totals_json c.Session.engine_totals)
 
 (* ---------------- request handling (worker side) ---------------- *)
@@ -268,6 +411,17 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
     | Protocol.Ping -> (Protocol.Pong, Keep)
     | Protocol.Shutdown -> (Protocol.Bye, Start_drain)
     | Protocol.Stats -> (Protocol.Stats_json (stats_json t session), Keep)
+    | Protocol.Attach None ->
+      (* survive this connection: from now on the session outlives its
+         socket and can be reclaimed by id *)
+      session.Session.attachable <- true;
+      (Protocol.Attached { id = session.Session.id }, Keep)
+    | Protocol.Attach (Some id) ->
+      if id = session.Session.id then (Protocol.Attached { id }, Keep)
+      else (
+        match claim_session t id with
+        | Ok s -> (Protocol.Attached { id }, Swap s)
+        | Error msg -> err (Protocol.No_session, msg))
     | Protocol.Load src -> (
       match Session.load session src with
       | Ok (entry, cache_hit) ->
@@ -278,12 +432,12 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
               stage_stratified = entry.Program_cache.report.Gbc_datalog.Stage.stage_stratified },
           Keep )
       | Error e -> err e)
-    | Protocol.Assert_facts text -> (
-      match Session.assert_facts session text with
+    | Protocol.Assert_facts { text; id } -> (
+      match Session.assert_facts ?id session text with
       | Ok added -> (Protocol.Asserted { added }, Keep)
       | Error e -> err e)
-    | Protocol.Retract_facts text -> (
-      match Session.retract_facts session text with
+    | Protocol.Retract_facts { text; id } -> (
+      match Session.retract_facts ?id session text with
       | Ok removed -> (Protocol.Retracted { removed }, Keep)
       | Error e -> err e)
     | Protocol.Run { engine; seed; preds; budget } -> (
@@ -327,7 +481,7 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
     (* last-resort classification: a worker must survive anything *)
     err (Protocol.Server_error, Printexc.to_string e)
 
-let worker t =
+let worker t slot =
   let pop () =
     Mutex.lock t.work_m;
     while Queue.is_empty t.work do
@@ -340,12 +494,36 @@ let worker t =
   let rec go () =
     match pop () with
     | Quit -> ()
-    | Job (conn, req) ->
-      let resp, post = handle_request t conn.session req in
-      let bytes = Protocol.encode_response resp in
-      Mutex.protect t.done_m (fun () -> Queue.push (conn, bytes, post) t.done_q);
-      wake t;
-      go ()
+    | Job (conn, req) -> (
+      match
+        (match t.cfg.worker_fault with
+        | Some k when k = 1 + Atomic.fetch_and_add t.fault_tick 1 ->
+          (* tests only: simulate a handler bug that escapes every
+             classification layer *)
+          failwith "injected worker fault"
+        | _ -> ());
+        handle_request t conn.session req
+      with
+      | resp, post ->
+        let bytes = Protocol.encode_response resp in
+        Mutex.protect t.done_m (fun () -> Queue.push (Done (conn, bytes, post)) t.done_q);
+        wake t;
+        go ()
+      | exception e ->
+        (* This domain is compromised: answer the client with a
+           structured error (never a hung connection), report the
+           death for respawning, and exit the domain. *)
+        Atomic.incr t.errors;
+        let bytes =
+          Protocol.encode_response
+            (Protocol.Error
+               { code = Protocol.Server_error;
+                 message = "worker crashed handling this request: " ^ Printexc.to_string e })
+        in
+        Mutex.protect t.done_m (fun () ->
+            Queue.push (Done (conn, bytes, Keep)) t.done_q;
+            Queue.push (Worker_died (slot, Printexc.to_string e)) t.done_q);
+        wake t)
   in
   go ()
 
@@ -354,9 +532,10 @@ let worker t =
 let close_conn t c =
   if c.alive then begin
     c.alive <- false;
-    (try Unix.close c.fd with Unix.Unix_error _ -> ())
-  end;
-  ignore t
+    Atomic.decr t.open_conns;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    release_session t c.session
+  end
 
 let on_peer_gone t c =
   if not c.peer_gone then begin
@@ -431,9 +610,11 @@ let accept_conn t lfd =
   | fd, _addr ->
     Unix.set_nonblock fd;
     let id = 1 + Atomic.fetch_and_add t.sessions_total 1 in
+    Mutex.protect t.sessions_m (fun () -> Hashtbl.replace t.live_ids id ());
+    Atomic.incr t.open_conns;
     let c =
       { fd;
-        session = Session.create ~cache:t.cache ~id;
+        session = Session.create ?durable:t.durable ~cache:t.cache ~id ();
         inbuf = Buffer.create 1024;
         out = Buffer.create 1024;
         out_off = 0;
@@ -441,7 +622,8 @@ let accept_conn t lfd =
         busy = false;
         alive = true;
         peer_gone = false;
-        close_after_flush = false }
+        close_after_flush = false;
+        last_activity = Unix.gettimeofday () }
     in
     t.conns <- c :: t.conns
 
@@ -453,6 +635,7 @@ let on_readable t c =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | exception Unix.Unix_error _ -> on_peer_gone t c
   | n ->
+    c.last_activity <- Unix.gettimeofday ();
     Buffer.add_subbytes c.inbuf read_chunk 0 n;
     parse_frames t c
 
@@ -464,6 +647,8 @@ let on_writable t c =
     match Unix.write_substring c.fd (Buffer.contents c.out) c.out_off len with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
     | exception Unix.Unix_error _ ->
+      (* EPIPE/ECONNRESET and kin: the peer is gone — clean teardown,
+         never a crash (SIGPIPE is ignored process-wide) *)
       Buffer.clear c.out;
       c.out_off <- 0;
       on_peer_gone t c
@@ -477,7 +662,7 @@ let on_writable t c =
   if out_pending c = 0 && c.close_after_flush && (not c.busy) && Queue.is_empty c.pending
   then close_conn t c
 
-let drain_completions t =
+let drain_completions t ~respawn =
   let items =
     Mutex.protect t.done_m (fun () ->
         let xs = List.of_seq (Queue.to_seq t.done_q) in
@@ -485,14 +670,32 @@ let drain_completions t =
         xs)
   in
   List.iter
-    (fun (c, bytes, post) ->
-      c.busy <- false;
-      (match post with
-       | Start_drain -> Atomic.set t.draining true
-       | Keep -> ());
-      if c.alive && not c.peer_gone then Buffer.add_string c.out bytes
-      else if c.alive then close_conn t c;
-      dispatch t c)
+    (fun item ->
+      match item with
+      | Worker_died (slot, cause) ->
+        Printf.eprintf "gbcd: worker %d died (%s); respawning\n%!" slot cause;
+        respawn slot
+      | Done (c, bytes, post) ->
+        c.busy <- false;
+        c.last_activity <- Unix.gettimeofday ();
+        (match post with
+        | Start_drain -> Atomic.set t.draining true
+        | Swap s ->
+          if c.alive && not c.peer_gone then begin
+            (* the connection abandons its old session for the claimed
+               one; the old one waits detached (if attachable) or dies *)
+            release_session t c.session;
+            s.Session.cancel := false;
+            c.session <- s
+          end
+          else
+            (* the client vanished mid-attach: the claimed session goes
+               straight back to the registry *)
+            release_session t s
+        | Keep -> ());
+        if c.alive && not c.peer_gone then Buffer.add_string c.out bytes
+        else if c.alive then close_conn t c;
+        dispatch t c)
     items
 
 let drain_pipe t =
@@ -505,12 +708,53 @@ let drain_pipe t =
   in
   go ()
 
-let finished t =
-  Atomic.get t.draining
-  && List.for_all (fun c -> (not c.busy) && ((not c.alive) || out_pending c = 0)) t.conns
+(* Reap what the idle timeout says is abandoned: detached sessions
+   nobody reclaimed (their WAL fds close with them; the on-disk state
+   stays reclaimable via Attach) and connections with no traffic, no
+   pending work and nothing in flight. *)
+let sweep_idle t now timeout =
+  let reaped =
+    Mutex.protect t.sessions_m (fun () ->
+        let dead =
+          Hashtbl.fold
+            (fun id (s, since) acc -> if now -. since >= timeout then (id, s) :: acc else acc)
+            t.detached []
+        in
+        List.iter (fun (id, _) -> Hashtbl.remove t.detached id) dead;
+        dead)
+  in
+  List.iter
+    (fun (_, s) ->
+      Session.discard s;
+      Atomic.incr t.sessions_reaped)
+    reaped;
+  List.iter
+    (fun c ->
+      if
+        c.alive && (not c.busy)
+        && Queue.is_empty c.pending
+        && out_pending c = 0
+        && now -. c.last_activity >= timeout
+      then begin
+        Atomic.incr t.conns_idle_closed;
+        on_peer_gone t c
+      end)
+    t.conns
 
 let run t =
-  let workers = List.init t.cfg.workers (fun _ -> Domain.spawn (fun () -> worker t)) in
+  let domains = Array.init t.cfg.workers (fun slot -> Some (Domain.spawn (fun () -> worker t slot))) in
+  (* how many live workers will consume a Quit at drain time *)
+  let live = ref t.cfg.workers in
+  let respawn slot =
+    (match domains.(slot) with
+    | Some d -> Domain.join d  (* the domain already exited; reclaim it *)
+    | None -> ());
+    domains.(slot) <- None;
+    Atomic.incr t.workers_respawned;
+    if Atomic.get t.draining then decr live
+    else domains.(slot) <- Some (Domain.spawn (fun () -> worker t slot))
+  in
+  let last_sweep = ref (Unix.gettimeofday ()) in
   let rec loop () =
     t.conns <- List.filter (fun c -> c.alive || c.busy) t.conns;
     if finished t then ()
@@ -536,21 +780,37 @@ let run t =
          List.iter
            (fun c -> if c.alive && List.mem c.fd writable then on_writable t c)
            t.conns);
-      drain_completions t;
+      drain_completions t ~respawn;
+      (match t.cfg.idle_timeout_s with
+      | Some timeout ->
+        let now = Unix.gettimeofday () in
+        if now -. !last_sweep >= 1.0 then begin
+          last_sweep := now;
+          sweep_idle t now timeout
+        end
+      | None -> ());
       (* drain mode: flush Draining errors to idle connections *)
       if Atomic.get t.draining then List.iter (fun c -> dispatch t c) t.conns;
       loop ()
     end
+  and finished t =
+    Atomic.get t.draining
+    && List.for_all (fun c -> (not c.busy) && ((not c.alive) || out_pending c = 0)) t.conns
   in
   loop ();
   (* drained: release everything *)
   List.iter (fun c -> close_conn t c) t.conns;
   t.conns <- [];
+  Mutex.protect t.sessions_m (fun () ->
+      Hashtbl.iter (fun _ (s, _) -> Session.discard s) t.detached;
+      Hashtbl.reset t.detached);
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
   Mutex.protect t.work_m (fun () ->
-      List.iter (fun _ -> Queue.push Quit t.work) workers);
+      for _ = 1 to !live do
+        Queue.push Quit t.work
+      done);
   Condition.broadcast t.work_c;
-  List.iter Domain.join workers;
+  Array.iter (Option.iter Domain.join) domains;
   (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
   Option.iter

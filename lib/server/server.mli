@@ -16,7 +16,22 @@
 
     Shutdown (the [Shutdown] request, or {!shutdown} from another
     domain) drains gracefully: stop accepting, finish in-flight work,
-    answer queued requests with [Draining], flush, join workers. *)
+    answer queued requests with [Draining], flush, join workers.
+
+    Workers are {e supervised}: an exception that escapes a request
+    handler answers the client with a structured [server-error] frame
+    and kills only its own domain — the event loop joins the corpse
+    and spawns a replacement, so the pool never shrinks and no
+    connection hangs.
+
+    With [data_dir] set the daemon is {e crash-safe}: every session
+    mutation is write-ahead logged before it is applied and the log is
+    periodically collapsed into an atomic binary snapshot (see
+    {!Wal}, {!Durable}, {!Session}).  Startup recovery warms the
+    compile cache from the program store and rebuilds every on-disk
+    session — tolerating torn or corrupt WAL tails and unreadable
+    snapshots by truncating/warning, never by refusing to start — and
+    clients reclaim their sessions with [Attach]. *)
 
 type config = {
   host : string;
@@ -33,11 +48,25 @@ type config = {
           [min max_jobs (client's requested jobs)], at least 1 *)
   max_frame : int;  (** frames above this are a protocol violation *)
   cache_capacity : int;  (** compiled-program cache entries *)
+  data_dir : string option;
+      (** root of the durability layout (WALs, snapshots, program
+          store); [None] keeps sessions ephemeral *)
+  fsync : Wal.fsync_policy;  (** WAL sync batching (default [Batch 16]) *)
+  snapshot_every : int;
+      (** WAL records between snapshots per session; 0 never snapshots *)
+  idle_timeout_s : float option;
+      (** reap idle connections and unreclaimed detached sessions
+          (closing their WAL fds); [None] keeps them forever *)
+  worker_fault : int option;
+      (** tests only: the k-th request process-wide raises inside its
+          worker {e outside} every classification layer, exercising
+          supervision *)
 }
 
 val default_config : config
 (** 127.0.0.1:7411, 4 workers, sequential evaluation ([max_jobs = 1]),
-    30s default timeout, 16 MiB max frame, 64 cache entries. *)
+    30s default timeout, 16 MiB max frame, 64 cache entries, no
+    durability, no idle timeout. *)
 
 type t
 

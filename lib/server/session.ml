@@ -69,6 +69,17 @@ type materialization = {
   ivm : Ivm.t;
 }
 
+(* Durability state of one session: its WAL handle (fd opened lazily,
+   so sessions that never load a program leave nothing on disk), the
+   next LSN to assign, and how many records were appended since the
+   last snapshot. *)
+type durability = {
+  dur : Durable.t;
+  wal : Wal.t;
+  mutable next_lsn : int;
+  mutable since_snapshot : int;
+}
+
 type t = {
   id : int;
   cache : Program_cache.t;
@@ -80,12 +91,16 @@ type t = {
   mutable pending_inserts : (string * Value.t array) list;  (* newest first *)
   mutable pending_deletes : (string * Value.t array) list;  (* newest first *)
   mutable mat : materialization option;
+  durability : durability option;
+  mutable replaying : bool;  (* recovery replay: suppress WAL writes *)
+  mutable last_mut : (int * int) option;  (* exactly-once dedup: (request id, result) *)
+  mutable attachable : bool;  (* survives its connection in memory *)
   counters : counters;
 }
 
 type error = Protocol.error_code * string
 
-let create ~cache ~id =
+let create ?durable ~cache ~id () =
   { id;
     cache;
     cancel = ref false;
@@ -95,10 +110,24 @@ let create ~cache ~id =
     pending_inserts = [];
     pending_deletes = [];
     mat = None;
+    durability =
+      Option.map
+        (fun dur ->
+          { dur;
+            wal = Wal.create ~fsync:(Durable.fsync dur) (Durable.wal_path dur id);
+            next_lsn = 0;
+            since_snapshot = 0 })
+        durable;
+    replaying = false;
+    last_mut = None;
+    attachable = false;
     counters =
       { requests = 0; evaluations = 0; partials = 0; errors = 0; facts_asserted = 0;
         facts_retracted = 0; runs_incremental = 0; runs_full = 0; ivm_fallbacks = 0;
         eval_wall_s = 0.0; engine_totals = Hashtbl.create 16 } }
+
+let discard t =
+  match t.durability with None -> () | Some d -> Wal.close d.wal
 
 let of_gbc_error (e : Gbc_error.t) : error =
   let code =
@@ -121,19 +150,123 @@ let protect f =
   | Error e -> Error (of_gbc_error e)
   | exception Invalid_argument msg -> Error (Protocol.Unsupported, msg)
 
+(* ---------------- rendering ---------------- *)
+
+(* Identical to the CLI's print_model: the whole model through
+   [Database.pp] (sorted, one fact per line), or the chosen predicates
+   in insertion order. *)
+let render_model ?preds db =
+  match preds with
+  | None -> Format.asprintf "%a" Database.pp db
+  | Some preds ->
+    let b = Buffer.create 256 in
+    List.iter
+      (fun pred ->
+        List.iter
+          (fun row ->
+            Buffer.add_string b
+              (Printf.sprintf "%s(%s).\n" pred
+                 (String.concat ", " (List.map Value.to_string (Array.to_list row)))))
+          (Database.facts_of db pred))
+      preds;
+    Buffer.contents b
+
+let model_digest db = Digest.to_hex (Digest.string (render_model db))
+
+(* ---------------- durability ---------------- *)
+
+(* Log-before-apply: the record must be on the log (per the fsync
+   policy) before the mutation touches memory.  A failed append is an
+   [io-error] frame and the mutation is NOT applied — the client can
+   retry.  During recovery replay the log already holds the record, so
+   appends are suppressed. *)
+let log_record t record =
+  match t.durability with
+  | None -> Ok ()
+  | Some _ when t.replaying -> Ok ()
+  | Some d -> (
+    match Wal.append d.wal ~lsn:d.next_lsn record with
+    | () ->
+      d.next_lsn <- d.next_lsn + 1;
+      d.since_snapshot <- d.since_snapshot + 1;
+      Ok ()
+    | exception Unix.Unix_error (e, fn, _) ->
+      Error
+        ( Protocol.Io_error,
+          Printf.sprintf "write-ahead log append failed: %s: %s" fn (Unix.error_message e) ))
+
+let engine_to_int = function Protocol.Staged -> 0 | Protocol.Reference -> 1
+let engine_of_int n = if n = 1 then Protocol.Reference else Protocol.Staged
+
+(* Collapse the WAL into a fresh snapshot once enough records piled
+   up.  The materialized model is stored only when nothing is pending
+   (then it, its engine key and its rendering digest fully describe
+   the session's warm state); with mutations pending the next run is
+   full anyway, so recovery just drops the materialization.  A failed
+   snapshot only warns — the WAL still holds everything. *)
+let maybe_snapshot t =
+  match t.durability with
+  | Some d when (not t.replaying) && Durable.snapshot_every d.dur > 0
+                && d.since_snapshot >= Durable.snapshot_every d.dur -> (
+    match t.db with
+    | None -> ()
+    | Some db -> (
+      let multiset =
+        Hashtbl.fold
+          (fun pred tb acc ->
+            Relation.Row_tbl.fold (fun row n acc -> (pred, row, n) :: acc) tb acc)
+          t.asserted []
+      in
+      let mat =
+        match (t.mat, t.pending_inserts, t.pending_deletes) with
+        | Some m, [], [] ->
+          let model = Ivm.model m.ivm in
+          Some
+            { Durable.m_engine = engine_to_int m.mat_engine;
+              m_seed = m.mat_seed;
+              model;
+              model_digest = model_digest model }
+        | _ -> None
+      in
+      let snap =
+        { Durable.last_lsn = d.next_lsn - 1;
+          digest = Option.map (fun e -> e.Program_cache.digest) t.entry;
+          db;
+          multiset;
+          last_mut = t.last_mut;
+          mat }
+      in
+      (* reset the counter either way: on failure we retry after
+         another [snapshot_every] records, not on every append *)
+      d.since_snapshot <- 0;
+      match Durable.write_snapshot d.dur ~id:t.id snap with
+      | Ok () -> ( try Wal.reset d.wal with Unix.Unix_error _ -> ())
+      | Error msg -> Durable.warn d.dur (Printf.sprintf "session %d: %s" t.id msg)))
+  | _ -> ()
+
 (* ---------------- load / assert / retract ---------------- *)
 
 let load t source =
   match Program_cache.find_or_compile t.cache source with
   | Error e -> Error (of_gbc_error e)
-  | Ok (entry, hit) ->
-    t.entry <- Some entry;
-    t.db <- Some (Database.copy entry.Program_cache.base);
-    t.asserted <- Hashtbl.create 8;
-    t.pending_inserts <- [];
-    t.pending_deletes <- [];
-    t.mat <- None;
-    Ok (entry, hit)
+  | Ok (entry, hit) -> (
+    (* Persist the source first (the WAL only names its digest), then
+       log, then apply. *)
+    (match t.durability with
+    | Some d when not t.replaying ->
+      Durable.store_program d.dur ~digest:entry.Program_cache.digest ~source
+    | _ -> ());
+    match log_record t (Wal.Load { digest = entry.Program_cache.digest }) with
+    | Error e -> Error e
+    | Ok () ->
+      t.entry <- Some entry;
+      t.db <- Some (Database.copy entry.Program_cache.base);
+      t.asserted <- Hashtbl.create 8;
+      t.pending_inserts <- [];
+      t.pending_deletes <- [];
+      t.mat <- None;
+      maybe_snapshot t;
+      Ok (entry, hit))
 
 let parse_ground_facts text =
   protect (fun () ->
@@ -171,12 +304,35 @@ let rec remove_first pred (row : Value.t array) = function
   | (p, r) :: rest when String.equal p pred && Relation.Row_key.equal r row -> Some rest
   | x :: rest -> Option.map (fun rest' -> x :: rest') (remove_first pred row rest)
 
-let assert_facts t text =
-  with_db t (fun db ->
-      match parse_ground_facts text with
-      | Error e -> Error e
-      | Ok facts ->
-        protect (fun () ->
+(* Exactly-once dedup: a client that lost the response to its last
+   mutation resends it under the same request id; if that id matches
+   the session's last applied mutation we answer from the recorded
+   result instead of applying twice.  One slot suffices because the
+   server keeps one request in flight per connection and the client
+   replays only its most recent unacknowledged mutation. *)
+let dedup t id =
+  match (id, t.last_mut) with
+  | Some i, Some (j, result) when i = j -> Some result
+  | _ -> None
+
+let record_mut t id result =
+  match (id, result) with
+  | Some i, Ok n -> t.last_mut <- Some (i, n)
+  | _ -> ()
+
+let assert_facts ?id t text =
+  match dedup t id with
+  | Some result -> Ok result
+  | None ->
+    with_db t (fun db ->
+        match parse_ground_facts text with
+        | Error e -> Error e
+        | Ok facts -> (
+          match log_record t (Wal.Assert { text; id }) with
+          | Error e -> Error e
+          | Ok () ->
+            let result =
+              protect (fun () ->
             let added =
               List.fold_left
                 (fun added (pred, row) ->
@@ -195,8 +351,12 @@ let assert_facts t text =
                   else added)
                 0 facts
             in
-            t.counters.facts_asserted <- t.counters.facts_asserted + List.length facts;
-            added))
+                  t.counters.facts_asserted <- t.counters.facts_asserted + List.length facts;
+                  added)
+            in
+            record_mut t id result;
+            maybe_snapshot t;
+            result))
 
 let render_fact pred row =
   Printf.sprintf "%s(%s)" pred
@@ -207,7 +367,10 @@ let render_fact pred row =
    if any entry exceeds what the session asserted — including facts
    owned by the loaded program, which are immutable — the request is
    refused and nothing (snapshot, multiset, counters) changes. *)
-let retract_facts t text =
+let retract_facts ?id t text =
+  match dedup t id with
+  | Some result -> Ok result
+  | None -> (
   match (t.entry, t.db) with
   | None, _ | _, None ->
     Error (Protocol.No_program, "no program loaded (send a load frame first)")
@@ -248,8 +411,15 @@ let retract_facts t text =
             Printf.sprintf "cannot retract %s: %s" (render_fact pred row)
               (if owned then "the fact is owned by the loaded program"
                else "the fact was never asserted (or was already retracted)") )
-      | None ->
-        protect (fun () ->
+      | None -> (
+        (* validated: every occurrence is retractable, so log it — a
+           replay of this record revalidates against the same state
+           and succeeds identically *)
+        match log_record t (Wal.Retract { text; id }) with
+        | Error e -> Error e
+        | Ok () ->
+          let result =
+            protect (fun () ->
             List.iter
               (fun (pred, tb) ->
                 Relation.Row_tbl.iter
@@ -278,7 +448,11 @@ let retract_facts t text =
                   tb)
               !need;
             t.counters.facts_retracted <- t.counters.facts_retracted + List.length facts;
-            List.length facts))
+            List.length facts)
+          in
+          record_mut t id result;
+          maybe_snapshot t;
+          result)))
 
 (* ---------------- evaluation ---------------- *)
 
@@ -332,6 +506,21 @@ let try_incremental t ~key ~jobs ~limits ~telemetry =
       | exception _ -> drop ()))
   | _ -> None
 
+(* A complete run is WAL-logged with the MD5 of its canonical
+   rendering: recovery re-runs it to rebuild the warm materialization
+   and the digest proves the restored model byte-identical.  A failed
+   append here only warns — the model was already computed and the
+   fact state is fully covered by the mutation records. *)
+let log_run t ~key model =
+  match
+    log_record t
+      (Wal.Run
+         { engine = engine_to_int (fst key); seed = snd key; model_digest = model_digest model })
+  with
+  | Ok () -> maybe_snapshot t
+  | Error (_, msg) -> (
+    match t.durability with Some d -> Durable.warn d.dur msg | None -> ())
+
 let run t ~engine ~seed ~jobs ~limits ~telemetry =
   match (t.entry, t.db) with
   | None, _ | _, None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
@@ -342,6 +531,9 @@ let run t ~engine ~seed ~jobs ~limits ~telemetry =
     | Some outcome ->
       t.counters.runs_incremental <- t.counters.runs_incremental + 1;
       note_eval t telemetry t0;
+      (match outcome with
+      | Limits.Complete model -> log_run t ~key model
+      | Limits.Partial _ -> ());
       Ok outcome
     | None ->
       let work = Database.copy db in
@@ -372,7 +564,8 @@ let run t ~engine ~seed ~jobs ~limits ~telemetry =
           Some
             { mat_engine = fst key;
               mat_seed = snd key;
-              ivm = Ivm.create entry.Program_cache.rules ~edb:db ~model }
+              ivm = Ivm.create entry.Program_cache.rules ~edb:db ~model };
+        log_run t ~key model
       | Ok (Limits.Partial _) ->
         t.counters.runs_full <- t.counters.runs_full + 1;
         t.counters.partials <- t.counters.partials + 1;
@@ -431,23 +624,106 @@ let query t ~engine ~text ~jobs ~limits ~telemetry =
           in
           (complete, vars, rendered)))
 
-(* ---------------- rendering ---------------- *)
 
-(* Identical to the CLI's print_model: the whole model through
-   [Database.pp] (sorted, one fact per line), or the chosen predicates
-   in insertion order. *)
-let render_model ?preds db =
-  match preds with
-  | None -> Format.asprintf "%a" Database.pp db
-  | Some preds ->
-    let b = Buffer.create 256 in
-    List.iter
-      (fun pred ->
-        List.iter
-          (fun row ->
-            Buffer.add_string b
-              (Printf.sprintf "%s(%s).\n" pred
-                 (String.concat ", " (List.map Value.to_string (Array.to_list row)))))
-          (Database.facts_of db pred))
-      preds;
-    Buffer.contents b
+(* ---------------- recovery ---------------- *)
+
+let warn_recovery t msg =
+  match t.durability with
+  | Some d -> Durable.warn d.dur (Printf.sprintf "session %d: %s" t.id msg)
+  | None -> ()
+
+(* Re-execute a logged complete run to rebuild the warm
+   materialization, then prove the model byte-identical to what was
+   served before the crash: the canonical rendering's MD5 must match
+   the one logged with the record.  Any disagreement — partial
+   outcome, error, digest mismatch — drops the materialization and
+   warns; the next client run evaluates from scratch.  Recovery never
+   crashes and never serves a silently different model warm. *)
+let replay_run t ~engine ~seed ~digest =
+  let limits = Limits.create ~cancel:t.cancel () in
+  let telemetry = Telemetry.create () in
+  match run t ~engine:(engine_of_int engine) ~seed ~jobs:1 ~limits ~telemetry with
+  | Ok (Limits.Complete model) ->
+    if model_digest model <> digest then begin
+      warn_recovery t "replayed run disagrees with the logged model digest; materialization dropped";
+      t.mat <- None
+    end
+  | Ok (Limits.Partial _) | Error _ ->
+    warn_recovery t "a logged run did not complete on replay; materialization dropped";
+    t.mat <- None
+
+let replay_load t dur digest =
+  match Durable.load_program dur digest with
+  | None ->
+    warn_recovery t (Printf.sprintf "program %s is missing from the store; its state is lost" digest)
+  | Some src -> (
+    match load t src with
+    | Ok _ -> ()
+    | Error (_, msg) -> warn_recovery t ("stored program no longer compiles: " ^ msg))
+
+let restore ~cache dur id =
+  let t = create ~durable:dur ~cache ~id () in
+  let d = match t.durability with Some d -> d | None -> assert false in
+  t.replaying <- true;
+  t.attachable <- true;
+  let snap = Durable.read_snapshot dur ~id in
+  let base_lsn = match snap with Some s -> s.Durable.last_lsn | None -> -1 in
+  (* 1. the snapshot: program through the cache, then fact base,
+     multiset, dedup state and (when stored) the materialization *)
+  (match snap with
+  | None -> ()
+  | Some s ->
+    (match s.Durable.digest with
+    | None -> ()
+    | Some digest -> replay_load t dur digest);
+    (match t.entry with
+    | None -> ()
+    | Some entry ->
+      t.db <- Some s.Durable.db;
+      List.iter
+        (fun (pred, row, n) -> Relation.Row_tbl.replace (occ_tbl t pred) row n)
+        s.Durable.multiset;
+      t.last_mut <- s.Durable.last_mut;
+      (match s.Durable.mat with
+      | None -> ()
+      | Some m ->
+        if model_digest m.Durable.model <> m.Durable.model_digest then
+          warn_recovery t "snapshot materialization fails its digest; dropped"
+        else
+          t.mat <-
+            Some
+              { mat_engine = engine_of_int m.Durable.m_engine;
+                mat_seed = m.Durable.m_seed;
+                ivm =
+                  Ivm.create entry.Program_cache.rules ~edb:s.Durable.db
+                    ~model:m.Durable.model })));
+  (* 2. the WAL tail: records beyond the snapshot, in order, through
+     the exact in-memory paths the live session used *)
+  let { Wal.records; corrupt } = Wal.replay (Durable.wal_path dur id) in
+  (match corrupt with
+  | Some msg -> warn_recovery t ("write-ahead log tail dropped: " ^ msg)
+  | None -> ());
+  let replayed = ref 0 in
+  let max_lsn = ref base_lsn in
+  List.iter
+    (fun (lsn, record) ->
+      if lsn > base_lsn then begin
+        if lsn > !max_lsn then max_lsn := lsn;
+        incr replayed;
+        match record with
+        | Wal.Load { digest } -> replay_load t dur digest
+        | Wal.Assert { text; id } -> (
+          match assert_facts ?id t text with
+          | Ok _ -> ()
+          | Error (_, msg) -> warn_recovery t ("a logged assert failed on replay: " ^ msg))
+        | Wal.Retract { text; id } -> (
+          match retract_facts ?id t text with
+          | Ok _ -> ()
+          | Error (_, msg) -> warn_recovery t ("a logged retract failed on replay: " ^ msg))
+        | Wal.Run { engine; seed; model_digest } -> replay_run t ~engine ~seed ~digest:model_digest
+      end)
+    records;
+  d.next_lsn <- !max_lsn + 1;
+  d.since_snapshot <- !replayed;
+  t.replaying <- false;
+  t

@@ -53,6 +53,19 @@ type materialization = {
   ivm : Ivm.t;
 }
 
+type durability = {
+  dur : Durable.t;
+  wal : Wal.t;  (** fd opened lazily on the first append *)
+  mutable next_lsn : int;
+  mutable since_snapshot : int;  (** WAL records since the last snapshot *)
+}
+(** Durability state of one session; present when the server runs with
+    a data dir.  Mutations are logged {e before} they are applied (a
+    failed append is an [io-error] and nothing changes), complete runs
+    are logged with the MD5 of their canonical rendering, and every
+    [snapshot_every] records the WAL is collapsed into an atomic
+    binary snapshot. *)
+
 type t = {
   id : int;
   cache : Program_cache.t;
@@ -64,25 +77,52 @@ type t = {
   mutable pending_inserts : (string * Gbc_datalog.Value.t array) list;
   mutable pending_deletes : (string * Gbc_datalog.Value.t array) list;
   mutable mat : materialization option;
+  durability : durability option;
+  mutable replaying : bool;  (** recovery replay in progress: WAL appends suppressed *)
+  mutable last_mut : (int * int) option;
+      (** exactly-once dedup: (request id, result) of the last applied
+          mutation carrying an id; survives crashes via the WAL *)
+  mutable attachable : bool;  (** survives its connection, reclaimable via [Attach] *)
   counters : counters;
 }
 
 type error = Protocol.error_code * string
 
-val create : cache:Program_cache.t -> id:int -> t
+val create : ?durable:Durable.t -> cache:Program_cache.t -> id:int -> unit -> t
+(** A fresh session; with [durable] its mutations are WAL-logged under
+    the data dir (the session directory is created lazily on the first
+    logged record, so sessions that never load leave nothing). *)
+
+val restore : cache:Program_cache.t -> Durable.t -> int -> t
+(** Rebuild a session from its on-disk state: the latest readable
+    snapshot, then the WAL tail beyond it replayed through the normal
+    [load]/[assert_facts]/[retract_facts]/[run] paths.  Logged runs are
+    re-executed and their models verified byte-identical (canonical
+    rendering MD5) before the materialization is kept.  Tolerant by
+    construction: corrupt snapshots, torn/corrupt WAL tails, missing
+    program sources and replay failures warn on stderr and degrade
+    (cold materialization, lost tail) — they never raise.  The result
+    is [attachable]. *)
+
+val discard : t -> unit
+(** Release the session's WAL file descriptor (memory state is left to
+    the GC).  On-disk state is kept — the session can be restored. *)
 
 val load : t -> string -> (Program_cache.entry * bool, error) result
 (** Compile (through the cache) and make this the session's program;
     resets the snapshot, the assert multiset, the pending delta and the
     materialization.  The flag is [true] on a cache hit. *)
 
-val assert_facts : t -> string -> (int, error) result
+val assert_facts : ?id:int -> t -> string -> (int, error) result
 (** Parse ground facts and record one occurrence of each in the assert
     multiset; net-new rows enter the private snapshot and the pending
     delta.  Returns how many rows were {e new to the snapshot} (a
-    re-assert only raises the occurrence count). *)
+    re-assert only raises the occurrence count).  [id] is the client's
+    request id: when it equals the last applied mutation's id the
+    recorded result is returned without applying again (retry after a
+    lost response is exactly-once). *)
 
-val retract_facts : t -> string -> (int, error) result
+val retract_facts : ?id:int -> t -> string -> (int, error) result
 (** Remove exactly one asserted occurrence per batch entry.  The batch
     is validated as a whole first: retracting a fact that was never
     asserted (or asserted fewer times than the batch demands), or one

@@ -1,0 +1,342 @@
+(* The write-ahead log.  On disk, a log is a sequence of records:
+
+     u32 len      payload length
+     u32 crc      CRC-32 of the payload
+     payload      i64 lsn, u8 tag, fields
+
+   Appends are single write(2) calls, so a crash leaves at worst one
+   torn record at the tail; replay validates length and CRC record by
+   record and truncates the file back to the last whole record when
+   either check fails.  LSNs are assigned by the session (monotone per
+   log) and let recovery skip records a snapshot already covers.
+
+   Fault injection is process-wide and deterministic: a global atomic
+   counts appended records, and the armed fault fires when the count
+   reaches its k — mirroring Limits.fault_at.  Crash faults SIGKILL
+   the process (the real thing, not an exception), which is how the
+   chaos test kills the daemon at exact points in the durability
+   path. *)
+
+module Checksum = Gbc_datalog.Checksum
+
+type fsync_policy = Always | Batch of int | Never
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | s -> (
+    let n =
+      if String.length s > 6 && String.sub s 0 6 = "batch:" then
+        int_of_string_opt (String.sub s 6 (String.length s - 6))
+      else int_of_string_opt s
+    in
+    match n with
+    | Some n when n > 0 -> Ok (Batch n)
+    | _ -> Error (Printf.sprintf "bad fsync policy %S (always | never | batch:N)" s))
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Batch n -> Printf.sprintf "batch:%d" n
+
+type record =
+  | Load of { digest : string }
+  | Assert of { text : string; id : int option }
+  | Retract of { text : string; id : int option }
+  | Run of { engine : int; seed : int option; model_digest : string }
+
+(* ---------------- fault injection ---------------- *)
+
+type fault = Crash_at of int | Torn_at of int | Short_at of int | Fsync_fail_at of int
+
+let armed : fault option Atomic.t = Atomic.make None
+let counter = Atomic.make 0
+
+let set_fault f = Atomic.set armed f
+let appended () = Atomic.get counter
+
+let fault_of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | None -> None
+    | Some k -> (
+      match kind with
+      | "crash" -> Some (Crash_at k)
+      | "torn" -> Some (Torn_at k)
+      | "short" -> Some (Short_at k)
+      | "fsyncfail" -> Some (Fsync_fail_at k)
+      | _ -> None))
+
+let () =
+  match Sys.getenv_opt "GBCD_WAL_FAULT" with
+  | Some s -> set_fault (fault_of_string s)
+  | None -> ()
+
+let kill_self () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+(* ---------------- record codec ---------------- *)
+
+let tag_load = 1
+let tag_assert = 2
+let tag_retract = 3
+let tag_run = 4
+
+let w_u8 b n = Buffer.add_uint8 b (n land 0xff)
+let w_i64 b n = Buffer.add_int64_be b (Int64.of_int n)
+
+let w_str b s =
+  Buffer.add_int32_be b (Int32.of_int (String.length s));
+  Buffer.add_string b s
+
+let w_opt_int b = function
+  | None -> w_u8 b 0
+  | Some n ->
+    w_u8 b 1;
+    w_i64 b n
+
+let encode_payload ~lsn record =
+  let b = Buffer.create 128 in
+  w_i64 b lsn;
+  (match record with
+   | Load { digest } ->
+     w_u8 b tag_load;
+     w_str b digest
+   | Assert { text; id } ->
+     w_u8 b tag_assert;
+     w_str b text;
+     w_opt_int b id
+   | Retract { text; id } ->
+     w_u8 b tag_retract;
+     w_str b text;
+     w_opt_int b id
+   | Run { engine; seed; model_digest } ->
+     w_u8 b tag_run;
+     w_u8 b engine;
+     w_opt_int b seed;
+     w_str b model_digest);
+  Buffer.contents b
+
+exception Bad of string
+
+type reader = { src : string; mutable pos : int }
+
+let need rd n =
+  if rd.pos + n > String.length rd.src then raise (Bad "truncated record payload")
+
+let r_u8 rd =
+  need rd 1;
+  let v = Char.code rd.src.[rd.pos] in
+  rd.pos <- rd.pos + 1;
+  v
+
+let r_i64 rd =
+  need rd 8;
+  let v = Int64.to_int (String.get_int64_be rd.src rd.pos) in
+  rd.pos <- rd.pos + 8;
+  v
+
+let r_str rd =
+  need rd 4;
+  let n = Int32.to_int (String.get_int32_be rd.src rd.pos) in
+  rd.pos <- rd.pos + 4;
+  if n < 0 || rd.pos + n > String.length rd.src then raise (Bad "bad string length");
+  let s = String.sub rd.src rd.pos n in
+  rd.pos <- rd.pos + n;
+  s
+
+let r_opt_int rd =
+  match r_u8 rd with
+  | 0 -> None
+  | 1 -> Some (r_i64 rd)
+  | _ -> raise (Bad "bad option tag")
+
+let decode_payload s =
+  let rd = { src = s; pos = 0 } in
+  let lsn = r_i64 rd in
+  let record =
+    match r_u8 rd with
+    | 1 -> Load { digest = r_str rd }
+    | 2 ->
+      let text = r_str rd in
+      Assert { text; id = r_opt_int rd }
+    | 3 ->
+      let text = r_str rd in
+      Retract { text; id = r_opt_int rd }
+    | 4 ->
+      let engine = r_u8 rd in
+      let seed = r_opt_int rd in
+      Run { engine; seed; model_digest = r_str rd }
+    | t -> raise (Bad (Printf.sprintf "unknown record tag %d" t))
+  in
+  if rd.pos <> String.length s then raise (Bad "trailing bytes in record");
+  (lsn, record)
+
+(* ---------------- appending ---------------- *)
+
+type t = {
+  path : string;
+  fsync : fsync_policy;
+  mutable fd : Unix.file_descr option;
+  mutable unsynced : int;
+}
+
+let create ~fsync path = { path; fsync; fd = None; unsynced = 0 }
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let get_fd t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    mkdir_p (Filename.dirname t.path);
+    let fd = Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+    t.fd <- Some fd;
+    fd
+
+let write_all fd s pos len =
+  let off = ref pos in
+  while !off < pos + len do
+    let n = Unix.write_substring fd s !off (pos + len - !off) in
+    off := !off + n
+  done
+
+let max_record = 64 * 1024 * 1024
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_int32_be b (Int32.of_int (Checksum.string payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let do_sync t fd =
+  Unix.fsync fd;
+  t.unsynced <- 0
+
+let append t ~lsn record =
+  let payload = encode_payload ~lsn record in
+  let whole = frame payload in
+  let k = 1 + Atomic.fetch_and_add counter 1 in
+  (match Atomic.get armed with
+   | Some (Fsync_fail_at j) when j = k ->
+     (* one-shot: the record is rejected before any byte lands, as if
+        the write+sync failed atomically *)
+     Atomic.set armed None;
+     raise (Unix.Unix_error (Unix.EIO, "fsync", t.path))
+   | Some (Crash_at j) when j = k ->
+     write_all (get_fd t) whole 0 (String.length whole);
+     kill_self ()
+   | Some (Torn_at j) when j = k ->
+     (* cut mid-payload: header promises more than is present, CRC
+        cannot match *)
+     write_all (get_fd t) whole 0 (8 + ((String.length whole - 8) / 2));
+     kill_self ()
+   | Some (Short_at j) when j = k ->
+     (* not even a whole header *)
+     write_all (get_fd t) whole 0 (min 6 (String.length whole));
+     kill_self ()
+   | _ -> ());
+  let fd = get_fd t in
+  write_all fd whole 0 (String.length whole);
+  match t.fsync with
+  | Always -> do_sync t fd
+  | Never -> ()
+  | Batch n ->
+    t.unsynced <- t.unsynced + 1;
+    if t.unsynced >= n then do_sync t fd
+
+let sync t =
+  match t.fd with
+  | Some fd when t.unsynced > 0 -> do_sync t fd
+  | _ -> ()
+
+let reset t =
+  let fd = get_fd t in
+  Unix.ftruncate fd 0;
+  t.unsynced <- 0
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (try sync t with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None
+
+(* ---------------- replay ---------------- *)
+
+type replayed = {
+  records : (int * record) list;
+  corrupt : string option;
+}
+
+let read_file path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let len = (Unix.fstat fd).Unix.st_size in
+        let buf = Bytes.create len in
+        let off = ref 0 in
+        (try
+           while !off < len do
+             let n = Unix.read fd buf !off (len - !off) in
+             if n = 0 then raise Exit;
+             off := !off + n
+           done
+         with Exit -> ());
+        Some (Bytes.sub_string buf 0 !off))
+
+let truncate_to path len =
+  match Unix.openfile path [ Unix.O_WRONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.ftruncate fd len with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let replay path =
+  match read_file path with
+  | None -> { records = []; corrupt = None }
+  | Some data ->
+    let len = String.length data in
+    let records = ref [] in
+    let pos = ref 0 in
+    let corrupt = ref None in
+    let bad msg = corrupt := Some (Printf.sprintf "%s at offset %d" msg !pos) in
+    (try
+       while !pos < len && !corrupt = None do
+         if len - !pos < 8 then begin bad "short record header"; raise Exit end;
+         let plen = Int32.to_int (String.get_int32_be data !pos) in
+         let crc = Int32.to_int (String.get_int32_be data (!pos + 4)) land 0xFFFFFFFF in
+         if plen <= 0 || plen > max_record then begin
+           bad (Printf.sprintf "implausible record length %d" plen);
+           raise Exit
+         end;
+         if len - !pos - 8 < plen then begin bad "torn final record"; raise Exit end;
+         if Checksum.sub_string data ~pos:(!pos + 8) ~len:plen <> crc then begin
+           bad "record checksum mismatch";
+           raise Exit
+         end;
+         (match decode_payload (String.sub data (!pos + 8) plen) with
+          | lsn_record -> records := lsn_record :: !records
+          | exception Bad msg -> bad ("undecodable record: " ^ msg); raise Exit);
+         pos := !pos + 8 + plen
+       done
+     with Exit -> ());
+    (match !corrupt with
+     | Some _ ->
+       (* drop the tail on disk too, so the next writer does not
+          append after garbage *)
+       truncate_to path !pos
+     | None -> ());
+    { records = List.rev !records; corrupt = !corrupt }

@@ -34,7 +34,7 @@ let source name = read_file ("../programs/" ^ name)
 let cache = Program_cache.create ()
 
 let mk_session src =
-  let s = Session.create ~cache ~id:0 in
+  let s = Session.create ~cache ~id:0 () in
   match Session.load s src with
   | Ok (entry, _) -> (s, entry)
   | Error (_, msg) -> Alcotest.failf "load: %s" msg

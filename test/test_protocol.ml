@@ -34,8 +34,13 @@ let gen_request =
     oneof
       [ return Protocol.Ping;
         map (fun s -> Protocol.Load s) gen_binary_string;
-        map (fun s -> Protocol.Assert_facts s) gen_binary_string;
-        map (fun s -> Protocol.Retract_facts s) gen_binary_string;
+        map2
+          (fun text id -> Protocol.Assert_facts { text; id })
+          gen_binary_string (gen_opt (int_bound 1_000_000_000));
+        map2
+          (fun text id -> Protocol.Retract_facts { text; id })
+          gen_binary_string (gen_opt (int_bound 1_000_000_000));
+        map (fun s -> Protocol.Attach s) (gen_opt (int_bound 1_000_000));
         map4
           (fun engine seed preds budget -> Protocol.Run { engine; seed; preds; budget })
           gen_engine (gen_opt (int_bound 1_000_000)) gen_preds gen_budget;
@@ -52,7 +57,7 @@ let all_error_codes =
   [ Protocol.Lex_error; Protocol.Parse_error; Protocol.Unsafe; Protocol.Unsupported;
     Protocol.Not_compilable; Protocol.Io_error; Protocol.Protocol_violation;
     Protocol.No_program; Protocol.Budget_exhausted; Protocol.Draining; Protocol.Server_error;
-    Protocol.Not_retractable ]
+    Protocol.Not_retractable; Protocol.No_session ]
 
 let gen_response =
   QCheck.Gen.(
@@ -65,6 +70,7 @@ let gen_response =
           (int_bound 10_000) bool gen_small_string bool;
         map (fun added -> Protocol.Asserted { added }) (int_bound 1000);
         map (fun removed -> Protocol.Retracted { removed }) (int_bound 1000);
+        map (fun id -> Protocol.Attached { id }) (int_bound 1_000_000);
         map3
           (fun complete text diagnostic -> Protocol.Model { complete; text; diagnostic })
           bool gen_binary_string (gen_opt gen_binary_string);

@@ -32,7 +32,8 @@ let source name = read_file ("../programs/" ^ name)
 
 let sock_counter = ref 0
 
-let with_server ?(workers = 4) ?default_timeout_s ?max_facts ?(max_jobs = 1) f =
+let with_server ?(workers = 4) ?default_timeout_s ?max_facts ?(max_jobs = 1) ?worker_fault
+    ?idle_timeout_s f =
   incr sock_counter;
   let path = Printf.sprintf "gbcd_test_%d_%d.sock" (Unix.getpid ()) !sock_counter in
   let cfg =
@@ -42,7 +43,9 @@ let with_server ?(workers = 4) ?default_timeout_s ?max_facts ?(max_jobs = 1) f =
       workers;
       default_timeout_s;
       max_facts;
-      max_jobs }
+      max_jobs;
+      worker_fault;
+      idle_timeout_s }
   in
   match Server.create cfg with
   | Error msg -> Alcotest.fail ("server create: " ^ msg)
@@ -80,6 +83,9 @@ let expect_model = function
 
 let run_req =
   Protocol.Run { engine = Protocol.Staged; seed = None; preds = None; budget = Protocol.no_budget }
+
+let assert_req text = Protocol.Assert_facts { text; id = None }
+let retract_req text = Protocol.Retract_facts { text; id = None }
 
 (* single-shot reference output, same rendering as the server's *)
 let local_model name =
@@ -137,10 +143,10 @@ let test_session_isolation () =
               let _, hit2, digest2, _ = expect_loaded (Client.rpc c2 (Protocol.Load src)) in
               Alcotest.(check string) "shared entry" digest1 digest2;
               Alcotest.(check bool) "second session hit the cache" true hit2;
-              (match Client.rpc c1 (Protocol.Assert_facts "edge(2, 31).") with
+              (match Client.rpc c1 (assert_req "edge(2, 31).") with
                | Protocol.Asserted { added = 1 } -> ()
                | _ -> Alcotest.fail "assert in session 1");
-              (match Client.rpc c2 (Protocol.Assert_facts "edge(2, 32).") with
+              (match Client.rpc c2 (assert_req "edge(2, 32).") with
                | Protocol.Asserted { added = 1 } -> ()
                | _ -> Alcotest.fail "assert in session 2");
               let _, m1, _ = expect_model (Client.rpc c1 run_req) in
@@ -160,35 +166,35 @@ let test_retract () =
       with_conn path (fun c ->
           let src = "q(X) <- p(X).\np(1).\n" in
           let _ = expect_loaded (Client.rpc c (Protocol.Load src)) in
-          (match Client.rpc c (Protocol.Assert_facts "p(2). p(3).") with
+          (match Client.rpc c (assert_req "p(2). p(3).") with
            | Protocol.Asserted { added = 2 } -> ()
            | _ -> Alcotest.fail "assert two");
-          (match Client.rpc c (Protocol.Retract_facts "p(3).") with
+          (match Client.rpc c (retract_req "p(3).") with
            | Protocol.Retracted { removed = 1 } -> ()
            | _ -> Alcotest.fail "retract one");
           (* the program's own facts are not retractable: the batch is
              refused as a whole, and nothing changes *)
-          (match Client.rpc c (Protocol.Retract_facts "p(1).") with
+          (match Client.rpc c (retract_req "p(1).") with
            | Protocol.Error { code = Protocol.Not_retractable; _ } -> ()
            | _ -> Alcotest.fail "program facts must survive retraction");
           (* neither is a fact the session never asserted *)
-          (match Client.rpc c (Protocol.Retract_facts "p(99).") with
+          (match Client.rpc c (retract_req "p(99).") with
            | Protocol.Error { code = Protocol.Not_retractable; _ } -> ()
            | _ -> Alcotest.fail "never-asserted facts are not retractable");
           (* ... nor one already retracted *)
-          (match Client.rpc c (Protocol.Retract_facts "p(3).") with
+          (match Client.rpc c (retract_req "p(3).") with
            | Protocol.Error { code = Protocol.Not_retractable; _ } -> ()
            | _ -> Alcotest.fail "double retract must fail");
           (* multiset semantics: a double assert takes two retracts *)
-          (match Client.rpc c (Protocol.Assert_facts "p(2).") with
+          (match Client.rpc c (assert_req "p(2).") with
            | Protocol.Asserted { added = 0 } -> ()
            | _ -> Alcotest.fail "re-assert records an occurrence, adds no row");
-          (match Client.rpc c (Protocol.Retract_facts "p(2).") with
+          (match Client.rpc c (retract_req "p(2).") with
            | Protocol.Retracted { removed = 1 } -> ()
            | _ -> Alcotest.fail "first retract of a doubly-asserted fact");
           let _, text, _ = expect_model (Client.rpc c run_req) in
           Alcotest.(check string) "model after retract" "p(1).\np(2).\nq(1).\nq(2).\n" text;
-          (match Client.rpc c (Protocol.Retract_facts "p(2).") with
+          (match Client.rpc c (retract_req "p(2).") with
            | Protocol.Retracted { removed = 1 } -> ()
            | _ -> Alcotest.fail "second retract removes the row");
           let _, text, _ = expect_model (Client.rpc c run_req) in
@@ -320,6 +326,144 @@ let test_cache_counters_in_stats () =
                 Alcotest.(check bool) "entries >= 2" true (int_field json "entries" >= 2)
               | _ -> Alcotest.fail "expected Stats_json")))
 
+(* ---------------- sessions: attach / reclaim ---------------- *)
+
+let expect_attached = function
+  | Protocol.Attached { id } -> id
+  | Protocol.Error { message; _ } -> Alcotest.fail ("attach failed: " ^ message)
+  | _ -> Alcotest.fail "expected an Attached frame"
+
+(* A session marked attachable survives its connection: a later client
+   reclaims it by id and sees the same program and facts. *)
+let test_attach_reclaim () =
+  with_server (fun path ->
+      let src = "q(X) <- p(X).\np(1).\n" in
+      let id =
+        with_conn path (fun c ->
+            let _ = expect_loaded (Client.rpc c (Protocol.Load src)) in
+            (match Client.rpc c (assert_req "p(7).") with
+             | Protocol.Asserted { added = 1 } -> ()
+             | _ -> Alcotest.fail "assert");
+            expect_attached (Client.rpc c (Protocol.Attach None)))
+      in
+      with_conn path (fun c ->
+          let id' = expect_attached (Client.rpc c (Protocol.Attach (Some id))) in
+          Alcotest.(check int) "same session id" id id';
+          let _, text, _ = expect_model (Client.rpc c run_req) in
+          Alcotest.(check string) "state survived the reconnect"
+            "p(1).\np(7).\nq(1).\nq(7).\n" text);
+      (* an id nobody ever held is a permanent, structured answer *)
+      with_conn path (fun c ->
+          match Client.rpc c (Protocol.Attach (Some 424242)) with
+          | Protocol.Error { code = Protocol.No_session; _ } -> ()
+          | _ -> Alcotest.fail "expected No_session"))
+
+(* A replayed mutation (same request id) is answered from the recorded
+   result, not applied twice — the exactly-once contract the resilient
+   client relies on after a broken connection. *)
+let test_exactly_once_replay () =
+  with_server (fun path ->
+      with_conn path (fun c ->
+          let _ = expect_loaded (Client.rpc c (Protocol.Load "q(X) <- p(X).\np(1).\n")) in
+          let req = Protocol.Assert_facts { text = "p(5)."; id = Some 42 } in
+          (match Client.rpc c req with
+           | Protocol.Asserted { added = 1 } -> ()
+           | _ -> Alcotest.fail "first assert");
+          (match Client.rpc c req with
+           | Protocol.Asserted { added = 1 } -> ()  (* the recorded result, replayed *)
+           | _ -> Alcotest.fail "replay must echo the recorded result");
+          (* one retract empties it: the occurrence was recorded once *)
+          (match Client.rpc c (retract_req "p(5).") with
+           | Protocol.Retracted { removed = 1 } -> ()
+           | _ -> Alcotest.fail "retract");
+          match Client.rpc c (retract_req "p(5).") with
+          | Protocol.Error { code = Protocol.Not_retractable; _ } -> ()
+          | _ -> Alcotest.fail "the deduped replay must not have added a second occurrence"))
+
+(* ---------------- supervision ---------------- *)
+
+(* An exception escaping a worker domain surfaces as a structured
+   error frame on the connection whose request killed it, and the pool
+   respawns the worker — the next request is served normally. *)
+let test_worker_supervision () =
+  with_server ~workers:2 ~worker_fault:1 (fun path ->
+      with_conn path (fun c ->
+          (match Client.rpc c Protocol.Ping with
+           | Protocol.Error { code = Protocol.Server_error; _ } -> ()
+           | _ -> Alcotest.fail "the injected fault must surface as a structured error");
+          (match Client.rpc c Protocol.Ping with
+           | Protocol.Pong -> ()
+           | _ -> Alcotest.fail "expected Pong from the respawned pool");
+          match Client.rpc c Protocol.Stats with
+          | Protocol.Stats_json json ->
+            Alcotest.(check bool) "respawn counted" true
+              (int_field json "workers_respawned" >= 1)
+          | _ -> Alcotest.fail "expected Stats_json"))
+
+(* Clients hanging up mid-frame (torn length prefix, torn payload)
+   must not leak connection slots or descriptors. *)
+let test_midframe_disconnect () =
+  with_server (fun path ->
+      for i = 0 to 19 do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        let torn =
+          match i mod 3 with
+          | 0 -> "\x00\x00"                  (* half a length prefix *)
+          | 1 -> "\x00\x00\x01\x00\x02\x05"  (* prefix promises 256 bytes, sends 2 *)
+          | _ -> "\x00\x00\x00\x05\x10"      (* a fifth of a payload *)
+        in
+        let _ = Unix.write_substring fd torn 0 (String.length torn) in
+        Unix.close fd
+      done;
+      with_conn path (fun c ->
+          let rec settle tries =
+            match Client.rpc c Protocol.Stats with
+            | Protocol.Stats_json json ->
+              let open_conns = int_field json "open_conns" in
+              if open_conns = 1 then ()  (* just this stats connection *)
+              else if tries = 0 then
+                Alcotest.failf "leaked connections: open_conns=%d (want 1)" open_conns
+              else begin
+                Unix.sleepf 0.05;
+                settle (tries - 1)
+              end
+            | _ -> Alcotest.fail "expected Stats_json"
+          in
+          settle 40;
+          match Client.rpc c Protocol.Ping with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "server must survive mid-frame hangups"))
+
+(* --idle-timeout reaps detached sessions nobody reclaimed; without a
+   data dir their state is then truly gone (no-session). *)
+let test_idle_reap () =
+  with_server ~idle_timeout_s:0.3 (fun path ->
+      let id =
+        with_conn path (fun c ->
+            let _ = expect_loaded (Client.rpc c (Protocol.Load "p(1).\n")) in
+            expect_attached (Client.rpc c (Protocol.Attach None)))
+      in
+      let rec wait tries =
+        let reaped =
+          with_conn path (fun c ->
+              match Client.rpc c Protocol.Stats with
+              | Protocol.Stats_json json -> int_field json "sessions_reaped" >= 1
+              | _ -> Alcotest.fail "expected Stats_json")
+        in
+        if reaped then ()
+        else if tries = 0 then Alcotest.fail "idle session never reaped"
+        else begin
+          Unix.sleepf 0.2;
+          wait (tries - 1)
+        end
+      in
+      wait 30;
+      with_conn path (fun c ->
+          match Client.rpc c (Protocol.Attach (Some id)) with
+          | Protocol.Error { code = Protocol.No_session; _ } -> ()
+          | _ -> Alcotest.fail "a reaped ephemeral session must answer no-session"))
+
 (* A client asking for --jobs gets the same bytes as the sequential
    single-shot run, whether the server grants the parallelism
    (max_jobs 4) or clamps it back to 1 (default config). *)
@@ -408,7 +552,14 @@ let () =
           Alcotest.test_case "run without load" `Quick test_run_without_load ] );
       ( "sessions",
         [ Alcotest.test_case "copy-on-write isolation" `Quick test_session_isolation;
-          Alcotest.test_case "retract" `Quick test_retract ] );
+          Alcotest.test_case "retract" `Quick test_retract;
+          Alcotest.test_case "attach and reclaim" `Quick test_attach_reclaim;
+          Alcotest.test_case "exactly-once replay" `Quick test_exactly_once_replay ] );
+      ( "supervision",
+        [ Alcotest.test_case "worker dies, pool respawns" `Quick test_worker_supervision;
+          Alcotest.test_case "mid-frame disconnects leak nothing" `Quick
+            test_midframe_disconnect;
+          Alcotest.test_case "idle sessions reaped" `Quick test_idle_reap ] );
       ( "governance",
         [ Alcotest.test_case "client budget partial keeps connection" `Quick
             test_budget_partial_keeps_connection;
