@@ -344,9 +344,14 @@ let validate_bench paths =
       | Ok (Obj fields) -> (
         match (List.assoc_opt "experiment" fields, List.assoc_opt "points" fields) with
         | Some (Str _), Some (Arr (_ :: _ as points)) ->
+          (* [wall_median_s] is required too: [record] substitutes the
+             wall time when a site has no separate median (single-run
+             timings, --repeat 1), so before/after rows are always
+             comparable on the same key. *)
           let point_ok = function
             | Obj pf ->
               List.mem_assoc "n" pf && List.mem_assoc "wall_s" pf
+              && List.mem_assoc "wall_median_s" pf
               && List.mem_assoc "counters" pf
             | _ -> false
           in

@@ -19,6 +19,10 @@ open Gbc
 (* --e18: run only the durability experiment (WAL overhead + cold
    recovery) at full scale, write BENCH_E18.json, and fail if the
    fsync-batched WAL costs more than 20% of the E15 workload's rps. *)
+(* --e14: run only the allocation kernels at full scale (interpreted
+   vs compiled), write BENCH_E14.json, and fail on a words-per-fact
+   budget violation in either mode. *)
+let only_e14 = Array.exists (( = ) "--e14") Sys.argv
 let only_e15 = Array.exists (( = ) "--e15") Sys.argv
 let only_e17 = Array.exists (( = ) "--e17") Sys.argv
 let only_e18 = Array.exists (( = ) "--e18") Sys.argv
@@ -507,10 +511,14 @@ let e11 () =
 
 (* The join-kernel claim: with interned symbols, array-backed indexes
    and precompiled terms, a staged run allocates a small bounded number
-   of minor-heap words per derived fact.  GC counters bracket a single
-   uninstrumented run (telemetry itself allocates), so these points are
-   directly comparable across commits.  Returns the worst words/fact
-   seen, which the perf-smoke gate bounds. *)
+   of minor-heap words per derived fact — and the ahead-of-time
+   compiled closure chains (--compiled) strictly fewer.  Each kernel is
+   run twice, interpreted then compiled, GC counters bracketing a
+   single uninstrumented run each (telemetry itself allocates), and the
+   two models are checked byte-identical before either point is
+   recorded.  Returns the worst words/fact seen across BOTH modes,
+   which the perf-smoke gate bounds — compiled execution lives under
+   the same budget as the interpreter. *)
 let e14 () =
   let mk_sort n =
     let rng = Rng.create 7 in
@@ -526,34 +534,53 @@ let e14 () =
       ("matching", mk_matching, scale [ 2048; 8192 ]) ]
   in
   let worst = ref 0.0 in
+  let measure ~compiled prog =
+    Gc.compact ();
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let db, _ = Stage_engine.run ~compiled prog in
+    let wall = Unix.gettimeofday () -. t0 in
+    (db, wall, Gc.minor_words () -. w0)
+  in
   let rows =
     List.concat_map
       (fun (name, mk, sizes) ->
         List.map
           (fun n ->
             let prog = mk n in
-            Gc.compact ();
-            let w0 = Gc.minor_words () in
-            let t0 = Unix.gettimeofday () in
-            let db, _ = Stage_engine.run prog in
-            let wall = Unix.gettimeofday () -. t0 in
-            let dw = Gc.minor_words () -. w0 in
+            let db, wall, dw = measure ~compiled:false prog in
+            let db_c, wall_c, dw_c = measure ~compiled:true prog in
+            if
+              not
+                (String.equal
+                   (Format.asprintf "%a" Database.pp db)
+                   (Format.asprintf "%a" Database.pp db_c))
+            then begin
+              Printf.eprintf "E14: %s n=%d compiled model differs from interpreted\n" name n;
+              exit 1
+            end;
             let facts = Database.cardinal db in
             let wpf = dw /. float_of_int facts in
-            if wpf > !worst then worst := wpf;
+            let wpf_c = dw_c /. float_of_int facts in
+            worst := Float.max !worst (Float.max wpf wpf_c);
             record ~exp:"E14" ~n ~wall
               [ ("minor_words", int_of_float dw); ("facts", facts);
-                ("words_per_fact", int_of_float (Float.round wpf)) ];
-            [ name; string_of_int n; Harness.sec wall; Printf.sprintf "%.0f" dw;
-              string_of_int facts; Printf.sprintf "%.1f" wpf ])
+                ("words_per_fact", int_of_float (Float.round wpf));
+                ("compiled_minor_words", int_of_float dw_c);
+                ("compiled_words_per_fact", int_of_float (Float.round wpf_c));
+                ("compiled_wall_us", int_of_float (wall_c *. 1e6)) ];
+            [ name; string_of_int n; Harness.sec wall; Harness.sec wall_c;
+              Printf.sprintf "%.1f" wpf; Printf.sprintf "%.1f" wpf_c;
+              Harness.ratio wpf wpf_c ])
           sizes)
       kernels
   in
   Harness.table
     ~title:
-      "E14  Allocation kernels: minor-heap words per derived fact, staged engine \
-       (interned symbols + array-backed indexes + precompiled terms)"
-    ~header:[ "kernel"; "n"; "staged(s)"; "minor words"; "facts"; "words/fact" ]
+      "E14  Allocation kernels: minor-heap words per derived fact, staged engine, \
+       interpreted vs --compiled (byte-identical models)"
+    ~header:
+      [ "kernel"; "n"; "staged(s)"; "compiled(s)"; "words/fact"; "compiled w/f"; "improvement" ]
     rows;
   !worst
 
@@ -1198,6 +1225,22 @@ let bechamel_suite () =
 let perf_smoke_budget = 400.0
 
 let () =
+  if only_e14 then begin
+    Printf.printf "Greedy by Choice — E14 (allocation kernels, interpreted vs compiled)\n";
+    let worst = e14 () in
+    let files = Harness.flush_bench () in
+    if not (Harness.validate_bench files) then begin
+      print_endline "E14: BENCH JSON malformed";
+      exit 1
+    end;
+    Printf.printf "wrote %s\n" (String.concat ", " files);
+    Printf.printf "E14: worst %.1f words/fact (budget %.0f)\n" worst perf_smoke_budget;
+    if worst > perf_smoke_budget then begin
+      print_endline "E14: FAILED — allocation regression";
+      exit 1
+    end;
+    exit 0
+  end;
   if only_e15 then begin
     Printf.printf "Greedy by Choice — E15 (gbcd daemon)\n";
     e15 ();
@@ -1240,7 +1283,8 @@ let () =
     exit 0
   end;
   if perf_smoke then begin
-    Printf.printf "Greedy by Choice — perf smoke (E14 allocation kernels)\n";
+    Printf.printf
+      "Greedy by Choice — perf smoke (E14 allocation kernels, interpreted + compiled)\n";
     let worst = e14 () in
     let files = Harness.flush_bench () in
     if not (Harness.validate_bench files) then begin

@@ -50,6 +50,12 @@ let cache_arg =
   Arg.(value & opt int 64 & info [ "cache-capacity" ] ~docv:"N"
          ~doc:"Compiled-program cache entries (LRU beyond that).")
 
+let compiled_arg =
+  Arg.(value & flag & info [ "compiled" ]
+         ~doc:"Evaluate requests with the ahead-of-time compiled closure chains \
+               (cost-planned join orders cached per program).  Models are \
+               byte-identical to the interpreter's.")
+
 let data_dir_arg =
   Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
          ~doc:"Make sessions durable under DIR: mutations are write-ahead logged and \
@@ -73,8 +79,8 @@ let idle_timeout_arg =
                their WAL descriptors; durable state stays reclaimable).  0 disables.")
 
 let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
-    max_candidates max_jobs max_frame cache_capacity data_dir fsync snapshot_every
-    idle_timeout =
+    max_candidates max_jobs max_frame cache_capacity compiled data_dir fsync
+    snapshot_every idle_timeout =
   let fsync =
     match Gbc.Wal.fsync_policy_of_string fsync with
     | Ok p -> p
@@ -95,6 +101,7 @@ let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
       max_jobs = max 1 max_jobs;
       max_frame;
       cache_capacity;
+      compiled;
       data_dir;
       fsync;
       snapshot_every = max 0 snapshot_every;
@@ -132,8 +139,8 @@ let serve host port no_tcp unix_path workers default_timeout max_facts max_steps
 let serve_term =
   Term.(const serve $ host_arg $ port_arg $ no_tcp_arg $ unix_arg $ workers_arg
         $ default_timeout_arg $ max_facts_arg $ max_steps_arg $ max_candidates_arg
-        $ max_jobs_arg $ max_frame_arg $ cache_arg $ data_dir_arg $ fsync_arg
-        $ snapshot_every_arg $ idle_timeout_arg)
+        $ max_jobs_arg $ max_frame_arg $ cache_arg $ compiled_arg $ data_dir_arg
+        $ fsync_arg $ snapshot_every_arg $ idle_timeout_arg)
 
 let serve_doc =
   "Serve programs over the gbcd wire protocol: a worker pool of OCaml domains, \

@@ -16,6 +16,8 @@ module Pretty = Gbc_datalog.Pretty
 module Relation = Gbc_datalog.Relation
 module Database = Gbc_datalog.Database
 module Eval = Gbc_datalog.Eval
+module Plan = Gbc_datalog.Plan
+module Compile = Gbc_datalog.Compile
 module Depgraph = Gbc_datalog.Depgraph
 module Stage = Gbc_datalog.Stage
 module Rewrite = Gbc_datalog.Rewrite

@@ -44,6 +44,8 @@ val run :
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
   ?jobs:int ->
+  ?compiled:bool ->
+  ?plan:Plan.t ->
   ?db:Database.t ->
   Ast.program ->
   Database.t * stats
@@ -55,6 +57,12 @@ val run :
     ({!Par.get}) with merge orders chosen so the model — and the
     telemetry counters — are byte-identical to [jobs = 1]; each gamma
     step still fires exactly one chosen fact, sequentially.
+
+    [compiled] (default [false]) runs every rule body as an
+    ahead-of-time {!Compile} closure chain over the cost-planned join
+    order ([plan] when given, else {!Plan.analyze} on the program) —
+    byte-identical models, less allocation per tuple (see
+    docs/INTERNALS.md, "Compiled execution").
     @raise Limits.Exhausted when [limits] trips a budget; use
     {!run_governed} to receive the partial database instead. *)
 
@@ -63,6 +71,8 @@ val run_governed :
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
   ?jobs:int ->
+  ?compiled:bool ->
+  ?plan:Plan.t ->
   ?db:Database.t ->
   Ast.program ->
   (Database.t * stats) Limits.outcome

@@ -39,6 +39,18 @@ type crule = {
   (* Per-shard scratch for data-parallel candidate collection: one
      cloned body and private environment per shard, grown lazily. *)
   mutable c_scratch : (Eval.body * Eval.env) array;
+  (* Compiled execution: the body's closure chain plus V/FD/extrema
+     evaluators over its unboxed environment ([None] when running
+     interpreted). *)
+  cc : ccompiled option;
+}
+
+and ccompiled = {
+  cc_chain : Compile.t;
+  cc_out : Compile.value_prog array;
+  cc_fds : (Compile.value_prog list * Compile.value_prog list) list;
+  cc_ext : (Compile.value_prog * Compile.value_prog) array;
+  mutable cc_scratch : Compile.t array;
 }
 
 let is_choice_rule r = has_next r || has_choice r
@@ -89,7 +101,7 @@ let rec compile_vterm vars = function
   | Cmp (f, args) -> VCmp (f, List.map (compile_vterm vars) args)
   | Binop (op, a, b) -> VBinop (op, compile_vterm vars a, compile_vterm vars b)
 
-let compile_crule ridx (r : Ast.rule) =
+let compile_crule ?(compiled = false) ridx (r : Ast.rule) =
   let stage = stage_of_rule r in
   let fds =
     match stage with
@@ -109,14 +121,32 @@ let compile_crule ridx (r : Ast.rule) =
   let out_terms = List.map (fun v -> Var v) vars in
   let extrema = extrema_of r in
   let compile_t t = try Eval.compile_term body t with Eval.Unsafe msg -> unsafe msg in
+  let c_out = Array.of_list (List.map compile_t out_terms) in
+  let c_fds = List.map (fun (l, rr) -> (List.map compile_t l, List.map compile_t rr)) fds in
+  let c_ext = Array.of_list (List.map (fun e -> (compile_t e.key, compile_t e.cost)) extrema) in
+  let cc =
+    if not compiled then None
+    else begin
+      let bound = match stage with Some (v, _) -> [ Eval.slot body v ] | None -> [] in
+      let chain = Compile.of_body ~bound body in
+      Some
+        { cc_chain = chain;
+          cc_out = Compile.compile_row chain c_out;
+          cc_fds =
+            List.map
+              (fun (l, rr) ->
+                (List.map (Compile.compile_value chain) l, List.map (Compile.compile_value chain) rr))
+              c_fds;
+          cc_ext = Array.map (fun (k, c) -> (Compile.compile_value chain k, Compile.compile_value chain c)) c_ext;
+          cc_scratch = [||] }
+    end
+  in
   { ridx; label = Telemetry.rule_label r; head = r.head; vars; out_terms;
     fds; body; extrema; stage;
-    c_out = Array.of_list (List.map compile_t out_terms);
-    c_fds = List.map (fun (l, rr) -> (List.map compile_t l, List.map compile_t rr)) fds;
-    c_ext = Array.of_list (List.map (fun e -> (compile_t e.key, compile_t e.cost)) extrema);
+    c_out; c_fds; c_ext;
     c_min = Array.of_list (List.map (fun e -> e.minimize) extrema);
     v_fds = List.map (fun (l, rr) -> (List.map (compile_vterm vars) l, List.map (compile_vterm vars) rr)) fds;
-    c_scratch = [||] }
+    c_scratch = [||]; cc }
 
 (* The rewritten positive rule: head <- flat body, chosen$i(V).  The
    extrema are dropped when the head is fully determined by V (always
@@ -277,86 +307,180 @@ let collect_parallel pool limits st stage_binding db slice =
       results.(s) <- (List.rev !acc, !ex, !rej));
   (results, shards, n)
 
+(* Compiled twin of [collect_parallel]: same slicing, same local dedup,
+   same merge contract, each shard running a private chain clone.  The
+   V/FD/extrema programs are shared — they take the environment as an
+   argument, so a clone's private env plugs straight in. *)
+let collect_parallel_compiled pool limits cc st stage_binding db slice =
+  let n = Relation.slice_len slice in
+  let shards = Par.nshards pool n in
+  Compile.prepare_indexes cc.cc_chain db;
+  if Array.length cc.cc_scratch < shards then begin
+    let old = cc.cc_scratch in
+    cc.cc_scratch <-
+      Array.init shards (fun i ->
+          if i < Array.length old then old.(i) else Compile.clone cc.cc_chain)
+  end;
+  let scratch = cc.cc_scratch in
+  let results = Array.make shards ([], 0, 0) in
+  Par.run pool ~shards (fun s ->
+      let ch = scratch.(s) in
+      (match stage_binding with
+      | Some (slot, v) -> Compile.set_slot ch slot v
+      | None -> ());
+      let cenv = Compile.env ch in
+      let lo, hi = Par.bounds ~shards n s in
+      let seen = Relation.Row_tbl.create 64 in
+      let acc = ref [] and ex = ref 0 and rej = ref 0 in
+      Compile.run_slice ch db slice lo hi (fun () ->
+          incr ex;
+          Limits.tick_candidates limits 1;
+          let row = Compile.eval_row cenv cc.cc_out in
+          if not (Relation.Row_tbl.mem seen row) then begin
+            let projections =
+              List.map
+                (fun (l, r) ->
+                  ( Value.Tup (List.map (fun p -> p cenv) l),
+                    Value.Tup (List.map (fun p -> p cenv) r) ))
+                cc.cc_fds
+            in
+            if compatible st projections then begin
+              Relation.Row_tbl.add seen row ();
+              let kcs = Array.map (fun (k, c) -> (k cenv, c cenv)) cc.cc_ext in
+              acc := (row, Relation.mem st.rel row, kcs) :: !acc
+            end
+            else incr rej
+          end);
+      results.(s) <- (List.rev !acc, !ex, !rej));
+  (results, shards, n)
+
 let collect_candidates ?(idx = 0) ?(limits = Limits.unlimited) ?(pool = Par.sequential) db tele
     st tracker examined =
   let cr = st.cr in
   replay_chosen st;
   let rc = Telemetry.rule tele cr.label in
-  let env = Eval.fresh_env cr.body in
   let stage_binding =
     match cr.stage, tracker with
     | Some (v, _), Some tr ->
-      let slot = Eval.slot cr.body v in
-      let value = Value.Int (current_stage db tr + 1) in
-      env.(slot) <- Some value;
-      Some (slot, value)
+      Some (Eval.slot cr.body v, Value.Int (current_stage db tr + 1))
     | None, None -> None
     | _ -> assert false
+  in
+  (* Shards in slice order with a global first-occurrence dedup: the
+     merged list reproduces the sequential solution order exactly. *)
+  let merge_shards (results, shards, rows) =
+    let gseen = Relation.Row_tbl.create 64 in
+    let merged = ref [] in
+    Telemetry.span tele "par:merge" (fun () ->
+        Array.iter
+          (fun (sols, ex, rej) ->
+            examined := !examined + ex;
+            (match rc with
+            | Some rc ->
+              rc.Telemetry.candidates <- rc.Telemetry.candidates + ex;
+              rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + rej
+            | None -> ());
+            List.iter
+              (fun ((row, _, _) as sol) ->
+                if not (Relation.Row_tbl.mem gseen row) then begin
+                  Relation.Row_tbl.add gseen row ();
+                  merged := sol :: !merged
+                end)
+              sols)
+          results);
+    Telemetry.add_par tele ~shards ~rows;
+    List.rev !merged
   in
   (* All FD-compatible solutions, existing chosen rows included: the
      existing rows act as witnesses that suppress costlier candidates
      (cf. the bi_st_c example), while only new rows are candidates. *)
-  let parallel_slice =
-    if Par.size pool > 1 && Eval.shardable cr.body then
-      match Eval.shard_scan cr.body db env with
-      | Some slice when Relation.slice_len slice >= par_threshold -> Some slice
-      | _ -> None
-    else None
-  in
   let solutions =
-    match parallel_slice with
-    | Some slice ->
-      let results, shards, rows = collect_parallel pool limits st stage_binding db slice in
-      let gseen = Relation.Row_tbl.create 64 in
-      let merged = ref [] in
-      Telemetry.span tele "par:merge" (fun () ->
-          Array.iter
-            (fun (sols, ex, rej) ->
-              examined := !examined + ex;
-              (match rc with
-              | Some rc ->
-                rc.Telemetry.candidates <- rc.Telemetry.candidates + ex;
-                rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + rej
-              | None -> ());
-              List.iter
-                (fun ((row, _, _) as sol) ->
-                  if not (Relation.Row_tbl.mem gseen row) then begin
-                    Relation.Row_tbl.add gseen row ();
-                    merged := sol :: !merged
-                  end)
-                sols)
-            results);
-      Telemetry.add_par tele ~shards ~rows;
-      List.rev !merged
-    | None ->
-      let seen = Relation.Row_tbl.create 64 in
-      let solutions = ref [] in
-      Eval.run cr.body db env (fun env ->
-          incr examined;
-          Limits.tick_candidates limits 1;
-          (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
-          let row = Eval.eval_row env cr.c_out in
-          if not (Relation.Row_tbl.mem seen row) then begin
-            let projections =
-              List.map
-                (fun (l, r) ->
-                  ( Value.Tup (List.map (Eval.eval_cterm env) l),
-                    Value.Tup (List.map (Eval.eval_cterm env) r) ))
-                cr.c_fds
-            in
-            if compatible st projections then begin
-              Relation.Row_tbl.add seen row ();
-              let kcs =
-                Array.map (fun (k, c) -> (Eval.eval_cterm env k, Eval.eval_cterm env c)) cr.c_ext
+    match cr.cc with
+    | Some cc ->
+      (match stage_binding with
+      | Some (slot, v) -> Compile.set_slot cc.cc_chain slot v
+      | None -> ());
+      let parallel_slice =
+        if Par.size pool > 1 && Compile.shardable cc.cc_chain then
+          match Compile.shard_scan cc.cc_chain db with
+          | Some slice when Relation.slice_len slice >= par_threshold -> Some slice
+          | _ -> None
+        else None
+      in
+      (match parallel_slice with
+      | Some slice ->
+        merge_shards (collect_parallel_compiled pool limits cc st stage_binding db slice)
+      | None ->
+        let cenv = Compile.env cc.cc_chain in
+        let seen = Relation.Row_tbl.create 64 in
+        let solutions = ref [] in
+        Compile.run cc.cc_chain db (fun () ->
+            incr examined;
+            Limits.tick_candidates limits 1;
+            (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
+            let row = Compile.eval_row cenv cc.cc_out in
+            if not (Relation.Row_tbl.mem seen row) then begin
+              let projections =
+                List.map
+                  (fun (l, r) ->
+                    ( Value.Tup (List.map (fun p -> p cenv) l),
+                      Value.Tup (List.map (fun p -> p cenv) r) ))
+                  cc.cc_fds
               in
-              solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
-            end
-            else
-              match rc with
-              | Some rc -> rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + 1
-              | None -> ()
-          end);
-      List.rev !solutions
+              if compatible st projections then begin
+                Relation.Row_tbl.add seen row ();
+                let kcs = Array.map (fun (k, c) -> (k cenv, c cenv)) cc.cc_ext in
+                solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
+              end
+              else
+                match rc with
+                | Some rc -> rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + 1
+                | None -> ()
+            end);
+        List.rev !solutions)
+    | None ->
+      let env = Eval.fresh_env cr.body in
+      (match stage_binding with
+      | Some (slot, v) -> env.(slot) <- Some v
+      | None -> ());
+      let parallel_slice =
+        if Par.size pool > 1 && Eval.shardable cr.body then
+          match Eval.shard_scan cr.body db env with
+          | Some slice when Relation.slice_len slice >= par_threshold -> Some slice
+          | _ -> None
+        else None
+      in
+      (match parallel_slice with
+      | Some slice -> merge_shards (collect_parallel pool limits st stage_binding db slice)
+      | None ->
+        let seen = Relation.Row_tbl.create 64 in
+        let solutions = ref [] in
+        Eval.run cr.body db env (fun env ->
+            incr examined;
+            Limits.tick_candidates limits 1;
+            (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
+            let row = Eval.eval_row env cr.c_out in
+            if not (Relation.Row_tbl.mem seen row) then begin
+              let projections =
+                List.map
+                  (fun (l, r) ->
+                    ( Value.Tup (List.map (Eval.eval_cterm env) l),
+                      Value.Tup (List.map (Eval.eval_cterm env) r) ))
+                  cr.c_fds
+              in
+              if compatible st projections then begin
+                Relation.Row_tbl.add seen row ();
+                let kcs =
+                  Array.map (fun (k, c) -> (Eval.eval_cterm env k, Eval.eval_cterm env c)) cr.c_ext
+                in
+                solutions := (row, Relation.mem st.rel row, kcs) :: !solutions
+              end
+              else
+                match rc with
+                | Some rc -> rc.Telemetry.fd_rejections <- rc.Telemetry.fd_rejections + 1
+                | None -> ()
+            end);
+        List.rev !solutions)
   in
   (* Optimum per key for each extremum, over all compatible solutions. *)
   let bests = Array.map (fun _ -> Value.Tbl.create 16) cr.c_ext in
@@ -413,13 +537,13 @@ type clique_state = {
 let saturate_flat state =
   wrap_invalid (fun () -> List.iter Seminaive.step state.saturators)
 
-let make_state ?telemetry ?limits ?(pool = Par.sequential) db plan =
+let make_state ?telemetry ?limits ?(pool = Par.sequential) ?(compiled = false) db plan =
   let saturators =
     wrap_invalid (fun () ->
         List.map
           (fun sub ->
-            Seminaive.make ~allow_clique_negation:true ?telemetry ?limits ~pool db ~clique:sub
-              plan.flat)
+            Seminaive.make ~allow_clique_negation:true ?telemetry ?limits ~pool ~compiled db
+              ~clique:sub plan.flat)
           plan.sub_cliques)
   in
   let fd_states = List.map (fun (cr, _) -> make_fd_state db cr) plan.crules in
@@ -448,8 +572,9 @@ let fire ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited) db cand =
   Telemetry.fired telemetry cand.c_st.cr.label;
   ignore db
 
-let eval_choice_clique ~policy ~telemetry ~limits ?pool db plan stats_steps stats_examined =
-  let state = make_state ~telemetry ~limits ?pool db plan in
+let eval_choice_clique ~policy ~telemetry ~limits ?pool ?(compiled = false) db plan stats_steps
+    stats_examined =
+  let state = make_state ~telemetry ~limits ?pool ~compiled db plan in
   let rng =
     match policy with First -> None | Random seed -> Some (Random.State.make [| seed |])
   in
@@ -490,18 +615,18 @@ type program_plan = {
   cliques : [ `Plain of string list | `Choice of clique_plan ] list;
 }
 
-let plan_program program =
+let plan_program ?(compiled = false) program =
   let facts, rules = List.partition Ast.is_fact program in
   (* Number the choice rules exactly as Rewrite.expand_choice does on
      the next-expanded program: program order among choice rules. *)
   let counter = ref 0 in
-  let compiled =
+  let tagged =
     List.map
       (fun r ->
         if is_choice_rule r then begin
           let i = !counter in
           incr counter;
-          `Choice (compile_crule i r, r)
+          `Choice (compile_crule ~compiled i r, r)
         end
         else `Flat r)
       rules
@@ -515,14 +640,14 @@ let plan_program program =
             (function
               | `Choice ((cr : crule), r) when List.mem cr.head.pred clique -> Some (cr, r)
               | _ -> None)
-            compiled
+            tagged
         in
         let flat_in =
           List.filter_map
             (function
               | `Flat r when List.mem (head_pred r) clique -> Some r
               | _ -> None)
-            compiled
+            tagged
         in
         if crules_in = [] then `Plain clique else `Choice (make_plan crules_in flat_in))
       (Depgraph.cliques graph)
@@ -537,7 +662,7 @@ let stratum_label i clique =
   Printf.sprintf "stratum %d: %s" i (String.concat "," (clique_preds clique))
 
 let run_governed ?(policy = First) ?(telemetry = Telemetry.none) ?(limits = Limits.unlimited)
-    ?(jobs = 1) ?db program =
+    ?(jobs = 1) ?(compiled = false) ?plan ?db program =
   let pool = Par.get jobs in
   let db = match db with Some db -> db | None -> Database.create () in
   let steps = ref 0 and examined = ref 0 in
@@ -545,8 +670,18 @@ let run_governed ?(policy = First) ?(telemetry = Telemetry.none) ?(limits = Limi
   Limits.govern ~telemetry limits
     ~partial:(fun () -> (db, stats ()))
     (fun () ->
-      let plan = plan_program program in
-      Database.load_facts db plan.facts;
+      (* Compiled mode reorders reorderable rule bodies by the cost
+         plan first; the chains are then built from the planned bodies,
+         so plan dumps, compiled runs and [gbc plan] all agree. *)
+      let program =
+        if not compiled then program
+        else
+          match plan with
+          | Some p -> Plan.program p
+          | None -> Plan.program (Plan.analyze ~telemetry ~db program)
+      in
+      let pplan = plan_program ~compiled program in
+      Database.load_facts db pplan.facts;
       List.iteri
         (fun i clique ->
           let label = stratum_label i clique in
@@ -557,18 +692,19 @@ let run_governed ?(policy = First) ?(telemetry = Telemetry.none) ?(limits = Limi
               | `Plain preds ->
                 wrap_invalid (fun () ->
                     try
-                      Seminaive.eval_clique ~telemetry ~limits ~pool db ~clique:preds
+                      Seminaive.eval_clique ~telemetry ~limits ~pool ~compiled db ~clique:preds
                         (List.filter (fun r -> not (Ast.is_fact r)) program)
                     with Eval.Unsafe msg -> raise (Unsupported msg))
               | `Choice cplan ->
-                eval_choice_clique ~policy ~telemetry ~limits ~pool db cplan steps examined))
-        plan.cliques;
+                eval_choice_clique ~policy ~telemetry ~limits ~pool ~compiled db cplan steps
+                  examined))
+        pplan.cliques;
       (db, stats ()))
 
 (* The ungoverned entry points re-raise: callers that pass a governor
    and want the partial database use [run_governed]. *)
-let run ?policy ?telemetry ?limits ?jobs ?db program =
-  match run_governed ?policy ?telemetry ?limits ?jobs ?db program with
+let run ?policy ?telemetry ?limits ?jobs ?compiled ?plan ?db program =
+  match run_governed ?policy ?telemetry ?limits ?jobs ?compiled ?plan ?db program with
   | Limits.Complete x -> x
   | Limits.Partial (_, d) -> raise (Limits.Exhausted d.Limits.violated)
 

@@ -16,7 +16,52 @@
 
 type env = Value.t option array
 
-type body
+(** {2 Internal representation}
+
+    Exposed concretely so {!Compile} can turn an already-planned body
+    into a chain of specialized closures without re-deriving the join
+    order — the compiled engine's byte-identity guarantee rests on
+    executing exactly these steps in exactly this order.  Everything
+    here is produced by {!compile_body}; treat it as read-only. *)
+
+(** Slot-resolved terms.  [PAny] only arises from {!compile_term} on a
+    wildcard — the body compiler gives every [_] its own fresh slot. *)
+type pterm =
+  | PVar of int
+  | PCst of Value.t
+  | PCmp of string * pterm array
+  | PBinop of Ast.binop * pterm * pterm
+  | PAny
+
+type cterm = pterm
+
+type guard = Ast.cmp_op * pterm * pterm
+
+(** A compiled scan of one atom; see [eval.ml] for the invariants of
+    the scratch pattern, kernel writes and static probe mask. *)
+type scan = {
+  sc_pred : string;
+  sc_arity : int;
+  sc_args : pterm array;
+  sc_pattern : Value.t option array;
+  sc_fill : (int * pterm) array;
+  sc_writes : (int * int) array;
+  sc_reads : int array;
+  sc_fast : bool;
+  sc_mask : int;
+}
+
+type step =
+  | SScan of scan
+  | SNeg of scan * guard list
+  | STest of Ast.cmp_op * pterm * pterm
+  | SUnify of pterm * pterm
+
+type body = {
+  steps : step array;
+  slots : (string, int) Hashtbl.t;
+  nvars : int;
+}
 
 exception Unsafe of string
 (** Raised at compile time when the body cannot be ordered safely
@@ -55,8 +100,6 @@ val eval_terms : body -> env -> Ast.term list -> Value.t list
     every call.  Hot paths (the greedy engines evaluate heads, costs,
     keys and FD projections once per candidate row) should instead
     resolve once with {!compile_term} and evaluate the compiled form. *)
-
-type cterm
 
 val compile_term : body -> Ast.term -> cterm
 (** Resolve a term's variables to slots once.  Wildcards ([_]) compile

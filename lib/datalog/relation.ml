@@ -181,6 +181,67 @@ let iter_matching r pattern f =
       done
   end
 
+(* Mask + key-buffer probes for the compiled execution path.  The
+   compiled chains know their bound-column masks statically, so they
+   probe with a full-arity [Value.t] buffer (bound positions filled,
+   the rest ignored) instead of an option pattern — no [Some] boxes per
+   probe.  Index choice, bucket walk and snapshot semantics are
+   identical to [iter_matching], so enumeration order matches the
+   interpreter's exactly. *)
+
+let popcount mask =
+  let n = ref 0 and m = ref mask in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr n
+  done;
+  !n
+
+let iter_matching_cols r mask (key : Value.t array) f =
+  if mask = 0 then iter r f
+  else begin
+    let idx = get_index r mask (popcount mask) in
+    let cols = idx.columns in
+    for j = 0 to Array.length cols - 1 do
+      idx.scratch.(j) <- key.(cols.(j))
+    done;
+    match Row_tbl.find_opt idx.buckets idx.scratch with
+    | None -> ()
+    | Some b ->
+      let stop = b.n - 1 in
+      for i = 0 to stop do
+        f r.rows.(b.ids.(i))
+      done
+  end
+
+(* Does [row] agree with [key] on every column of [mask]? *)
+let rec row_matches_cols mask (key : Value.t array) (row : tuple) i =
+  i = Array.length row
+  || ((mask land (1 lsl i) = 0 || Value.equal key.(i) row.(i))
+     && row_matches_cols mask key row (i + 1))
+
+let iter_matching_cols_ro r mask (key : Value.t array) (probe : Value.t array) f =
+  if mask = 0 then iter r f
+  else
+    match Hashtbl.find_opt r.indexes mask with
+    | Some idx -> (
+      let cols = idx.columns in
+      for j = 0 to Array.length cols - 1 do
+        probe.(j) <- key.(cols.(j))
+      done;
+      match Row_tbl.find_opt idx.buckets probe with
+      | None -> ()
+      | Some b ->
+        let stop = b.n - 1 in
+        for i = 0 to stop do
+          f r.rows.(b.ids.(i))
+        done)
+    | None ->
+      for i = 0 to r.count - 1 do
+        let row = r.rows.(i) in
+        if row_matches_cols mask key row 0 then f row
+      done
+
 let ensure_index r mask =
   if mask <> 0 then begin
     let nbound = ref 0 in
@@ -265,6 +326,19 @@ let slice r pattern =
     for j = 0 to !nbound - 1 do
       idx.scratch.(j) <-
         (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
+    done;
+    match Row_tbl.find_opt idx.buckets idx.scratch with
+    | None -> { sl_rel = r; sl_ids = None; sl_len = 0 }
+    | Some b -> { sl_rel = r; sl_ids = Some b.ids; sl_len = b.n }
+  end
+
+let slice_cols r mask (key : Value.t array) =
+  if mask = 0 then { sl_rel = r; sl_ids = None; sl_len = r.count }
+  else begin
+    let idx = get_index r mask (popcount mask) in
+    let cols = idx.columns in
+    for j = 0 to Array.length cols - 1 do
+      idx.scratch.(j) <- key.(cols.(j))
     done;
     match Row_tbl.find_opt idx.buckets idx.scratch with
     | None -> { sl_rel = r; sl_ids = None; sl_len = 0 }

@@ -65,6 +65,21 @@ val iter_matching_ro : t -> Value.t option array -> (tuple -> unit) -> unit
     columns — same rows, same insertion order, just slower; call
     {!ensure_index} from the (sequential) coordinator first. *)
 
+val iter_matching_cols : t -> int -> Value.t array -> (tuple -> unit) -> unit
+(** [iter_matching_cols r mask key f]: rows agreeing with [key] on every
+    column of the bitmask [mask], in insertion order.  [key] is a
+    full-arity buffer whose positions outside [mask] are ignored — the
+    compiled execution path's allocation-free replacement for building
+    an option pattern.  Index choice and snapshot semantics are those of
+    {!iter_matching}, so the row sequence is identical. *)
+
+val iter_matching_cols_ro : t -> int -> Value.t array -> Value.t array -> (tuple -> unit) -> unit
+(** [iter_matching_cols_ro r mask key probe f]: like
+    {!iter_matching_cols} but safe for concurrent readers — never builds
+    an index and probes with the caller-owned [probe] buffer, which must
+    hold exactly as many slots as [mask] has bits.  Falls back to a
+    filtered linear scan when no index exists (same rows, same order). *)
+
 val ensure_index : t -> int -> unit
 (** [ensure_index r mask] builds (if absent) the index for the
     bound-column bitmask [mask], so subsequent {!iter_matching_ro}
@@ -86,6 +101,10 @@ val slice : t -> Value.t option array -> slice
 (** The rows matching [pattern] (every [Some v] position), in insertion
     order: the whole relation when the pattern is all-wildcards, an
     index bucket otherwise. *)
+
+val slice_cols : t -> int -> Value.t array -> slice
+(** Mask + key-buffer variant of {!slice} for compiled chains: the rows
+    agreeing with [key] on every column of [mask]. *)
 
 val slice_len : slice -> int
 

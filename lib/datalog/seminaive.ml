@@ -173,11 +173,17 @@ type variant = {
      (private probe buffers) and one private environment per shard,
      grown lazily and reused across steps. *)
   mutable v_scratch : (Eval.body * Eval.env) array;
+  (* Compiled execution: the closure chain for [v_body] plus the head
+     row evaluators over its unboxed environment ([None] when running
+     interpreted).  Shards get chain clones, grown like [v_scratch]. *)
+  v_chain : Compile.t option;
+  v_cprogs : Compile.value_prog array;
+  mutable v_cscratch : Compile.t array;
 }
 
 (* Delta variants of a rule: one per positive occurrence of a tracked
    predicate, reading that occurrence from [pred$delta]. *)
-let variants_of_rule tracked (rule : Ast.rule) =
+let variants_of_rule ?(compiled = false) tracked (rule : Ast.rule) =
   let occurrences =
     List.filter (function Pos a -> List.mem a.pred tracked | _ -> false) rule.body
   in
@@ -203,8 +209,13 @@ let variants_of_rule tracked (rule : Ast.rule) =
        delta is empty costs O(1). *)
     let body = match !delta with Some d -> d :: rest | None -> assert false in
     let v_body = Eval.compile_body body in
-    { v_label = Telemetry.rule_label rule; v_head = rule.head; v_body;
-      v_chead = Eval.compile_terms v_body rule.head.args; v_scratch = [||] }
+    let v_chead = Eval.compile_terms v_body rule.head.args in
+    let v_chain = if compiled then Some (Compile.of_body v_body) else None in
+    let v_cprogs =
+      match v_chain with Some c -> Compile.compile_row c v_chead | None -> [||]
+    in
+    { v_label = Telemetry.rule_label rule; v_head = rule.head; v_body; v_chead;
+      v_scratch = [||]; v_chain; v_cprogs; v_cscratch = [||] }
   in
   List.init (List.length occurrences) make
 
@@ -221,8 +232,8 @@ type incremental = {
 }
 
 let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none)
-    ?(limits = Limits.unlimited) ?(pool = Par.sequential) ?(marks = fun _ -> 0) db ~clique
-    program =
+    ?(limits = Limits.unlimited) ?(pool = Par.sequential) ?(marks = fun _ -> 0)
+    ?(compiled = false) db ~clique program =
   let rules =
     List.filter (fun r -> (not (Ast.is_fact r)) && List.mem (head_pred r) clique) program
   in
@@ -247,7 +258,7 @@ let make ?(allow_clique_negation = false) ?(telemetry = Telemetry.none)
           (fun r -> List.map (fun a -> a.pred) (positive_body_atoms r))
           (plain @ extrema_rules))
   in
-  let variants = List.concat_map (variants_of_rule tracked) plain in
+  let variants = List.concat_map (variants_of_rule ~compiled tracked) plain in
   (* Initial watermark per tracked predicate: 0 replays the whole
      relation on the first step (the seed evaluation); a caller doing
      incremental view maintenance passes [marks] pointing at the rows
@@ -277,11 +288,21 @@ let publish_deltas t =
         let from = Hashtbl.find t.watermarks p in
         let count = Relation.cardinal rel in
         Hashtbl.replace t.watermarks p count;
-        let delta = Relation.create (p ^ delta_suffix) (Relation.arity rel) in
-        Relation.iter_from rel from (fun row -> ignore (Relation.add delta row));
-        Database.set_relation t.db (p ^ delta_suffix) delta;
-        Telemetry.add_delta t.tele p (count - from);
-        any || count > from)
+        if count = from then begin
+          (* Empty delta: drop the previous step's relation instead of
+             materializing a fresh empty one — scans of an absent
+             relation enumerate nothing, exactly like an empty one, and
+             most predicates go quiet well before the fixpoint. *)
+          Database.remove_relation t.db (p ^ delta_suffix);
+          any
+        end
+        else begin
+          let delta = Relation.create (p ^ delta_suffix) (Relation.arity rel) in
+          Relation.iter_from rel from (fun row -> ignore (Relation.add delta row));
+          Database.set_relation t.db (p ^ delta_suffix) delta;
+          Telemetry.add_delta t.tele p (count - from);
+          true
+        end)
     false t.tracked
 
 (* Minimum delta rows before a fire is worth fanning out to the pool.
@@ -334,22 +355,59 @@ let fire_parallel tele limits db pool variant slice =
   Limits.tick_derived limits !added;
   !added > 0
 
-let fire ?(pool = Par.sequential) tele limits db variant =
+let cscratch_for variant chain shards =
+  if Array.length variant.v_cscratch < shards then begin
+    let old = variant.v_cscratch in
+    variant.v_cscratch <-
+      Array.init shards (fun i ->
+          if i < Array.length old then old.(i) else Compile.clone chain)
+  end;
+  variant.v_cscratch
+
+(* Compiled fire: same slice threshold, same shard bounds, same
+   last-to-first merge as the interpreted paths — only the per-tuple
+   machinery differs. *)
+let fire_compiled tele limits db pool variant chain =
   let parallel_slice =
-    if Par.size pool > 1 && Eval.shardable variant.v_body then
-      match Eval.shard_scan variant.v_body db (Eval.fresh_env variant.v_body) with
+    if Par.size pool > 1 && Compile.shardable chain then
+      match Compile.shard_scan chain db with
       | Some slice when Relation.slice_len slice >= par_threshold -> Some slice
       | _ -> None
     else None
   in
   match parallel_slice with
-  | Some slice -> fire_parallel tele limits db pool variant slice
+  | Some slice ->
+    let n = Relation.slice_len slice in
+    let shards = Par.nshards pool n in
+    Compile.prepare_indexes chain db;
+    let scratch = cscratch_for variant chain shards in
+    let accs = Array.make shards [] in
+    Par.run pool ~shards (fun s ->
+        let ch = scratch.(s) in
+        let cenv = Compile.env ch in
+        let lo, hi = Par.bounds ~shards n s in
+        let acc = ref [] in
+        Compile.run_slice ch db slice lo hi (fun () ->
+            Limits.poll limits;
+            acc := Compile.eval_row cenv variant.v_cprogs :: !acc);
+        accs.(s) <- !acc);
+    let added = ref 0 in
+    Telemetry.span tele "par:merge" (fun () ->
+        for s = shards - 1 downto 0 do
+          List.iter
+            (fun row -> if Database.add_fact db variant.v_head.pred row then incr added)
+            accs.(s)
+        done);
+    Telemetry.add_par tele ~shards ~rows:n;
+    Telemetry.add_derived tele variant.v_label !added;
+    Limits.tick_derived limits !added;
+    !added > 0
   | None ->
-    let env = Eval.fresh_env variant.v_body in
+    let cenv = Compile.env chain in
     let additions = ref [] in
-    Eval.run variant.v_body db env (fun env ->
+    Compile.run chain db (fun () ->
         Limits.poll limits;
-        additions := Eval.eval_row env variant.v_chead :: !additions);
+        additions := Compile.eval_row cenv variant.v_cprogs :: !additions);
     let added =
       List.fold_left
         (fun n row -> if Database.add_fact db variant.v_head.pred row then n + 1 else n)
@@ -358,6 +416,34 @@ let fire ?(pool = Par.sequential) tele limits db variant =
     Telemetry.add_derived tele variant.v_label added;
     Limits.tick_derived limits added;
     added > 0
+
+let fire ?(pool = Par.sequential) tele limits db variant =
+  match variant.v_chain with
+  | Some chain -> fire_compiled tele limits db pool variant chain
+  | None -> (
+    let parallel_slice =
+      if Par.size pool > 1 && Eval.shardable variant.v_body then
+        match Eval.shard_scan variant.v_body db (Eval.fresh_env variant.v_body) with
+        | Some slice when Relation.slice_len slice >= par_threshold -> Some slice
+        | _ -> None
+      else None
+    in
+    match parallel_slice with
+    | Some slice -> fire_parallel tele limits db pool variant slice
+    | None ->
+      let env = Eval.fresh_env variant.v_body in
+      let additions = ref [] in
+      Eval.run variant.v_body db env (fun env ->
+          Limits.poll limits;
+          additions := Eval.eval_row env variant.v_chead :: !additions);
+      let added =
+        List.fold_left
+          (fun n row -> if Database.add_fact db variant.v_head.pred row then n + 1 else n)
+          0 !additions
+      in
+      Telemetry.add_derived tele variant.v_label added;
+      Limits.tick_derived limits added;
+      added > 0)
 
 let step t =
   (* The delta relations are scratch state: drop them even when a
@@ -381,5 +467,5 @@ let step t =
         progressed := publish_deltas t
       done)
 
-let eval_clique ?allow_clique_negation ?telemetry ?limits ?pool db ~clique program =
-  step (make ?allow_clique_negation ?telemetry ?limits ?pool db ~clique program)
+let eval_clique ?allow_clique_negation ?telemetry ?limits ?pool ?compiled db ~clique program =
+  step (make ?allow_clique_negation ?telemetry ?limits ?pool ?compiled db ~clique program)

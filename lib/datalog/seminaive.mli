@@ -23,6 +23,7 @@ val make :
   ?limits:Limits.t ->
   ?pool:Par.t ->
   ?marks:(string -> int) ->
+  ?compiled:bool ->
   Database.t ->
   clique:string list ->
   Ast.program ->
@@ -46,6 +47,12 @@ val make :
     private buffer, and the buffers are merged in an order that makes
     the database insertion order byte-identical to sequential
     evaluation (see docs/INTERNALS.md, "Parallel evaluation").
+
+    With [compiled] (default [false]) every delta variant runs as an
+    ahead-of-time {!Compile} closure chain instead of the [Eval]
+    interpreter — same steps, same enumeration order, byte-identical
+    models, less allocation per tuple (see docs/INTERNALS.md,
+    "Compiled execution").
     @raise Invalid_argument on rules outside the supported class (see
     above). *)
 
@@ -61,6 +68,7 @@ val eval_clique :
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
   ?pool:Par.t ->
+  ?compiled:bool ->
   Database.t ->
   clique:string list ->
   Ast.program ->

@@ -112,9 +112,56 @@ type srule = {
   c_head : Eval.cterm array;  (* head argument terms *)
   c_fds : (Eval.cterm list * Eval.cterm list) list;
   c_cost : Eval.cterm option;
+  cost_pos : int option;
+  (* Source argument position holding the extremum cost when the cost
+     term is that argument's plain variable — the compiled queue then
+     reads costs straight out of the row, no memo table. *)
+  (* Compiled execution of the residual: closure chain plus output /
+     FD evaluators over its unboxed environment ([None] when running
+     interpreted).  Source-row costs keep using the interpreted terms —
+     they are computed once per row and memoized by the queue. *)
+  scc : scompiled option;
 }
 
-let compile_srule (cr : EC.crule) (r : Ast.rule) =
+and scompiled = {
+  sc_chain : Compile.t;
+  sc_bind : Compile.binder;  (* [src_pats] against a source row *)
+  sc_out : Compile.value_prog array;
+  sc_head : Compile.value_prog array;
+  sc_fds : (Compile.value_prog list * Compile.value_prog list) list;
+  sc_fd_cols : (int * int array * Value.t array * int array) array option;
+  (* When every projection of every choice FD is a plain chosen-row
+     column ([VPos]), the FD state needs no tables at all: per FD the
+     left-column bitmask, the left columns, a reusable full-arity probe
+     key and the right columns, checked against the chosen relation's
+     own indexes. *)
+}
+
+(* Index-backed FD compatibility: the chosen relation's rows are
+   pairwise FD-consistent (every add went through this check), so a
+   candidate is compatible iff every stored row agreeing with it on an
+   FD's left columns also agrees on the right columns.  Probes reuse
+   the relation's column indexes — no projection tuples, no replay. *)
+exception Fd_conflict
+
+let compatible_cols rel fds (cand : Value.t array) =
+  try
+    Array.iter
+      (fun (mask, lcols, key, rcols) ->
+        for j = 0 to Array.length lcols - 1 do
+          let c = lcols.(j) in
+          key.(c) <- cand.(c)
+        done;
+        Relation.iter_matching_cols rel mask key (fun row ->
+            for j = 0 to Array.length rcols - 1 do
+              let c = rcols.(j) in
+              if not (Value.equal row.(c) cand.(c)) then raise Fd_conflict
+            done))
+      fds;
+    true
+  with Fd_conflict -> false
+
+let compile_srule ?(compiled = false) (cr : EC.crule) (r : Ast.rule) =
   let fail msg = raise (Not_compilable (msg ^ ": " ^ Pretty.rule_to_string r)) in
   let stage_var =
     match cr.EC.stage with Some (v, _) -> v | None -> assert false
@@ -206,17 +253,74 @@ let compile_srule (cr : EC.crule) (r : Ast.rule) =
     try Eval.compile_term residual t
     with Eval.Unsafe msg -> fail ("unsafe residual: " ^ msg)
   in
+  let stage_slot = Eval.slot residual stage_var in
+  let src_pats = Array.of_list (List.map compile_t source.args) in
+  let c_out = Array.of_list (List.map compile_t cr.EC.out_terms) in
+  let c_head = Array.of_list (List.map compile_t cr.EC.head.args) in
+  let c_fds =
+    List.map (fun (l, rr) -> (List.map compile_t l, List.map compile_t rr)) cr.EC.fds
+  in
+  let scc =
+    if not compiled then None
+    else begin
+      let bound =
+        List.sort_uniq compare
+          (List.map (Eval.slot residual) (stage_var :: atom_vars source))
+      in
+      let chain = Compile.of_body ~bound residual in
+      let fd_cols =
+        let arity = List.length cr.EC.vars in
+        let cols vs =
+          List.fold_right
+            (fun v acc ->
+              match (v, acc) with EC.VPos i, Some l -> Some (i :: l) | _ -> None)
+            vs (Some [])
+        in
+        let conv (l, rr) =
+          match (cols l, cols rr) with
+          | Some ls, Some rs ->
+            Some
+              ( List.fold_left (fun m c -> m lor (1 lsl c)) 0 ls,
+                Array.of_list ls,
+                Array.make (max 1 arity) Value.unit,
+                Array.of_list rs )
+          | _ -> None
+        in
+        let rec go acc = function
+          | [] -> Some (Array.of_list (List.rev acc))
+          | fd :: rest -> (
+            match conv fd with Some c -> go (c :: acc) rest | None -> None)
+        in
+        go [] cr.EC.v_fds
+      in
+      Some
+        { sc_chain = chain;
+          sc_bind = Compile.compile_binder ~bound:[ stage_slot ] src_pats;
+          sc_out = Compile.compile_row chain c_out;
+          sc_head = Compile.compile_row chain c_head;
+          sc_fds =
+            List.map
+              (fun (l, rr) ->
+                (List.map (Compile.compile_value chain) l, List.map (Compile.compile_value chain) rr))
+              c_fds;
+          sc_fd_cols = fd_cols }
+    end
+  in
+  let cost_pos =
+    match cost with
+    | Some (Var v) ->
+      let rec find i = function
+        | [] -> None
+        | Var w :: _ when String.equal w v -> Some i
+        | _ :: rest -> find (i + 1) rest
+      in
+      find 0 source.args
+    | _ -> None
+  in
   { cr; rule = r; source; residual; minimize; has_extremum; cost; key_positions;
-    stage_positions; shadow; newer_wins; stage_var;
-    stage_slot = Eval.slot residual stage_var;
-    src_pats = Array.of_list (List.map compile_t source.args);
-    c_out = Array.of_list (List.map compile_t cr.EC.out_terms);
-    c_head = Array.of_list (List.map compile_t cr.EC.head.args);
-    c_fds =
-      List.map
-        (fun (l, rr) -> (List.map compile_t l, List.map compile_t rr))
-        cr.EC.fds;
-    c_cost = Option.map compile_t cost }
+    stage_positions; shadow; newer_wins; stage_var; stage_slot; src_pats;
+    c_out; c_head; c_fds;
+    c_cost = Option.map compile_t cost; cost_pos; scc }
 
 (* ------------------------------------------------------------------ *)
 (* Matching a source row                                               *)
@@ -241,15 +345,77 @@ type staged = {
   tracker : EC.tracker;
   scratch : Eval.env;  (* reusable residual environment for [valid] *)
   mutable src_mark : int;
+  src_rel : Relation.t;
+  ins : Value.t array -> unit;  (* preallocated [Rql.insert], lean sync *)
+  cfire : (unit -> int) option;
+  (* Compiled pop-validate-fire; returns the stage fired at, or -1. *)
 }
 
 let reset_env (env : Eval.env) = Array.fill env 0 (Array.length env) None
 
 exception Fired of Value.t array * Value.t array (* chosen row, head row *)
 
-let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool db crules flat_rules gamma =
+(* Compiled pop-validate-fire loop for one staged rule.  The closures
+   are preallocated here rather than per fire, relations are resolved
+   once per call rather than per candidate, the stage slot is written
+   once per stage (the binder and the chain both treat it as bound),
+   and FD checks go through {!compatible_cols} when the FDs are plain
+   column projections — the validity semantics and therefore the fired
+   sequence are exactly the interpreter's. *)
+let make_cfire ~telemetry ~limits db (sr : srule) (sc : scompiled) ~rql ~fd ~tracker ~head_rel =
+  let cenv = Compile.env sc.sc_chain in
+  let rc = Telemetry.rule telemetry sr.cr.EC.label in
+  let kont =
+    match sc.sc_fd_cols with
+    | Some fds ->
+      fun () ->
+        let chosen_row = Compile.eval_row cenv sc.sc_out in
+        if
+          (not (Relation.mem fd.EC.rel chosen_row))
+          && compatible_cols fd.EC.rel fds chosen_row
+        then raise (Fired (chosen_row, Compile.eval_row cenv sc.sc_head))
+    | None ->
+      fun () ->
+        let chosen_row = Compile.eval_row cenv sc.sc_out in
+        if not (Relation.mem fd.EC.rel chosen_row) then begin
+          let projections =
+            List.map
+              (fun (l, r) ->
+                ( Value.Tup (List.map (fun p -> p cenv) l),
+                  Value.Tup (List.map (fun p -> p cenv) r) ))
+              sc.sc_fds
+          in
+          if EC.compatible fd projections then
+            raise (Fired (chosen_row, Compile.eval_row cenv sc.sc_head))
+        end
+  in
+  let valid row =
+    Limits.tick_candidates limits 1;
+    (match rc with
+    | Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1
+    | None -> ());
+    if not (Compile.bind sc.sc_bind cenv row) then false
+    else begin
+      match Compile.run_resolved sc.sc_chain kont with
+      | () -> false
+      | exception Fired (chosen_row, head_row) ->
+        ignore (Relation.add fd.EC.rel chosen_row);
+        Limits.tick_derived limits 1;
+        if Relation.add head_rel head_row then Limits.tick_derived limits 1;
+        true
+    end
+  in
+  fun () ->
+    if Option.is_none sc.sc_fd_cols then EC.replay_chosen fd;
+    let stage = EC.current_stage db tracker + 1 in
+    Compile.set_slot sc.sc_chain sr.stage_slot (Value.Int stage);
+    Compile.resolve sc.sc_chain db;
+    match Rql.retrieve_least rql ~valid with Some _ -> stage | None -> -1
+
+let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool ~compiled db crules
+    flat_rules gamma =
   let exits, nexts = List.partition (fun ((cr : EC.crule), _) -> cr.EC.stage = None) crules in
-  let srules = List.map (fun (cr, r) -> compile_srule cr r) nexts in
+  let srules = List.map (fun (cr, r) -> compile_srule ~compiled cr r) nexts in
   let flat =
     flat_rules @ List.map (fun (cr, r) -> EC.positive_rule cr r) exits
   in
@@ -258,7 +424,8 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool db crules 
     try
       List.map
         (fun sub ->
-          Seminaive.make ~allow_clique_negation:true ~telemetry ~limits ~pool db ~clique:sub flat)
+          Seminaive.make ~allow_clique_negation:true ~telemetry ~limits ~pool ~compiled db
+            ~clique:sub flat)
         sub_cliques
     with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
   in
@@ -272,23 +439,31 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool db crules 
       (fun sr ->
         let key_of row = Value.Tup (List.map (fun p -> row.(p)) sr.key_positions) in
         (* Cost of a source row: bind its terms into a scratch residual
-           environment and evaluate the compiled cost term. *)
+           environment and evaluate the compiled cost term.  Compiled
+           mode reads projected costs straight out of the row instead —
+           physically the same values, and neither the memo table nor
+           its per-row entries exist. *)
         let cost_env = Eval.fresh_env sr.residual in
         let cost_of row =
           reset_env cost_env;
           if bind_source sr cost_env row then row_cost sr cost_env
           else invalid_arg "Stage_engine: source row does not match its own atom"
         in
-        let cost_tbl = Relation.Row_tbl.create 256 in
-        let cost_cached row =
-          (* [find]/[Not_found] rather than [find_opt]: the heap calls
-             this O(log n) times per pop, and the [Some] boxes add up. *)
-          match Relation.Row_tbl.find cost_tbl row with
-          | c -> c
-          | exception Not_found ->
-            let c = cost_of row in
-            Relation.Row_tbl.add cost_tbl row c;
-            c
+        let cost_cached =
+          match (if compiled then sr.cost_pos else None) with
+          | Some p -> fun (row : Value.t array) -> row.(p)
+          | None ->
+            let cost_tbl = Relation.Row_tbl.create 256 in
+            fun row ->
+              (* [find]/[Not_found] rather than [find_opt]: the heap
+                 calls this O(log n) times per pop, and the [Some]
+                 boxes add up. *)
+              (match Relation.Row_tbl.find cost_tbl row with
+              | c -> c
+              | exception Not_found ->
+                let c = cost_of row in
+                Relation.Row_tbl.add cost_tbl row c;
+                c)
         in
         let cost_cmp a b =
           if not sr.has_extremum then 0
@@ -303,28 +478,51 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool db crules 
         in
         let shadow = match shadow_mode with `Auto -> sr.shadow | `Off -> false in
         let rql =
-          Rql.create ~backend ~shadow ~newer_wins:sr.newer_wins ~key:key_of
+          Rql.create ~backend ~lean:compiled ~shadow ~newer_wins:sr.newer_wins ~key:key_of
             ~cost_cmp ~stage:stage_of ()
         in
-        ignore (Database.relation db sr.source.pred (List.length sr.source.args));
-        { sr; rql; fd = EC.make_fd_state db sr.cr;
+        (* Relation creation order (source, head, chosen$) is part of
+           the canonical output; keep it. *)
+        let src_rel = Database.relation db sr.source.pred (List.length sr.source.args) in
+        let tracker =
+          let pos = match sr.cr.EC.stage with Some (_, p) -> p | None -> assert false in
+          ignore (Database.relation db sr.cr.EC.head.pred (List.length sr.cr.EC.head.args));
+          { EC.pred = sr.cr.EC.head.pred; pos; mark = 0; maxv = 0 }
+        in
+        let head_rel =
+          Database.relation db sr.cr.EC.head.pred (List.length sr.cr.EC.head.args)
+        in
+        let fd = EC.make_fd_state db sr.cr in
+        let cfire =
+          match sr.scc with
+          | None -> None
+          | Some sc -> Some (make_cfire ~telemetry ~limits db sr sc ~rql ~fd ~tracker ~head_rel)
+        in
+        { sr; rql; fd; tracker;
           scratch = Eval.fresh_env sr.residual;
-          tracker =
-            (let pos = match sr.cr.EC.stage with Some (_, p) -> p | None -> assert false in
-             ignore (Database.relation db sr.cr.EC.head.pred (List.length sr.cr.EC.head.args));
-             { EC.pred = sr.cr.EC.head.pred; pos; mark = 0; maxv = 0 });
-          src_mark = 0 })
+          src_mark = 0; src_rel;
+          ins = (fun row -> Rql.insert rql row);
+          cfire })
       srules
   in
   let sync () =
-    List.iter
-      (fun st ->
-        match Database.find db st.sr.source.pred with
-        | None -> ()
-        | Some rel ->
-          Relation.iter_from rel st.src_mark (fun row -> Rql.insert st.rql row);
-          st.src_mark <- Relation.cardinal rel)
-      staged
+    if compiled then
+      (* Lean variant: the source relation and the insert closure are
+         cached in the staged state — nothing per call. *)
+      List.iter
+        (fun st ->
+          Relation.iter_from st.src_rel st.src_mark st.ins;
+          st.src_mark <- Relation.cardinal st.src_rel)
+        staged
+    else
+      List.iter
+        (fun st ->
+          match Database.find db st.sr.source.pred with
+          | None -> ()
+          | Some rel ->
+            Relation.iter_from rel st.src_mark (fun row -> Rql.insert st.rql row);
+            st.src_mark <- Relation.cardinal rel)
+        staged
   in
   let examined = ref 0 in
   let fire_exit () =
@@ -342,49 +540,62 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool db crules 
   in
   (* Pop-validate-fire for one staged rule; returns true if fired. *)
   let fire_staged st =
-    EC.replay_chosen st.fd;
-    let rc = Telemetry.rule telemetry st.sr.cr.EC.label in
-    let stage = EC.current_stage db st.tracker + 1 in
-    let stage_value = Some (Value.Int stage) in
-    let valid row =
-      (* Every popped source fact is a candidate the engine examines. *)
-      Limits.tick_candidates limits 1;
-      (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
-      let env = st.scratch in
-      reset_env env;
-      env.(st.sr.stage_slot) <- stage_value;
-      if not (bind_source st.sr env row) then false
-      else begin
-        match
-          Eval.run st.sr.residual db env (fun env ->
-              let chosen_row = Eval.eval_row env st.sr.c_out in
-              if not (Relation.mem st.fd.EC.rel chosen_row) then begin
-                let projections =
-                  List.map
-                    (fun (l, r) ->
-                      ( Value.Tup (List.map (Eval.eval_cterm env) l),
-                        Value.Tup (List.map (Eval.eval_cterm env) r) ))
-                    st.sr.c_fds
-                in
-                if EC.compatible st.fd projections then
-                  raise (Fired (chosen_row, Eval.eval_row env st.sr.c_head))
-              end)
-        with
-        | () -> false
-        | exception Fired (chosen_row, head_row) ->
-          ignore (Relation.add st.fd.EC.rel chosen_row);
-          Limits.tick_derived limits 1;
-          if Database.add_fact db st.sr.cr.EC.head.pred head_row then
-            Limits.tick_derived limits 1;
-          true
+    match st.cfire with
+    | Some cf ->
+      let stage = cf () in
+      if stage >= 0 then begin
+        incr gamma;
+        if Telemetry.enabled telemetry then
+          Telemetry.fired telemetry ~stage st.sr.cr.EC.label;
+        true
       end
-    in
-    match Rql.retrieve_least st.rql ~valid with
-    | Some _ ->
-      incr gamma;
-      Telemetry.fired telemetry ~stage st.sr.cr.EC.label;
-      true
-    | None -> false
+      else false
+    | None ->
+      EC.replay_chosen st.fd;
+      let rc = Telemetry.rule telemetry st.sr.cr.EC.label in
+      let stage = EC.current_stage db st.tracker + 1 in
+      let stage_value = Some (Value.Int stage) in
+      let fired chosen_row head_row =
+        ignore (Relation.add st.fd.EC.rel chosen_row);
+        Limits.tick_derived limits 1;
+        if Database.add_fact db st.sr.cr.EC.head.pred head_row then
+          Limits.tick_derived limits 1;
+        true
+      in
+      let valid row =
+        (* Every popped source fact is a candidate the engine examines. *)
+        Limits.tick_candidates limits 1;
+        (match rc with Some rc -> rc.Telemetry.candidates <- rc.Telemetry.candidates + 1 | None -> ());
+        let env = st.scratch in
+        reset_env env;
+        env.(st.sr.stage_slot) <- stage_value;
+        if not (bind_source st.sr env row) then false
+        else begin
+          match
+            Eval.run st.sr.residual db env (fun env ->
+                let chosen_row = Eval.eval_row env st.sr.c_out in
+                if not (Relation.mem st.fd.EC.rel chosen_row) then begin
+                  let projections =
+                    List.map
+                      (fun (l, r) ->
+                        ( Value.Tup (List.map (Eval.eval_cterm env) l),
+                          Value.Tup (List.map (Eval.eval_cterm env) r) ))
+                      st.sr.c_fds
+                  in
+                  if EC.compatible st.fd projections then
+                    raise (Fired (chosen_row, Eval.eval_row env st.sr.c_head))
+                end)
+          with
+          | () -> false
+          | exception Fired (chosen_row, head_row) -> fired chosen_row head_row
+        end
+      in
+      (match Rql.retrieve_least st.rql ~valid with
+      | Some _ ->
+        incr gamma;
+        Telemetry.fired telemetry ~stage st.sr.cr.EC.label;
+        true
+      | None -> false)
   in
   saturate ();
   let rec loop () =
@@ -414,15 +625,15 @@ let eval_choice_clique ~backend ~shadow_mode ~telemetry ~limits ~pool db crules 
 (* Program driver                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let plan_cliques rules =
+let plan_cliques ?(compiled = false) rules =
   let counter = ref 0 in
-  let compiled =
+  let tagged =
     List.map
       (fun r ->
         if EC.is_choice_rule r then begin
           let i = !counter in
           incr counter;
-          `Choice (EC.compile_crule i r, r)
+          `Choice (EC.compile_crule ~compiled i r, r)
         end
         else `Flat r)
       rules
@@ -435,18 +646,18 @@ let plan_cliques rules =
           (function
             | `Choice ((cr : EC.crule), r) when List.mem cr.EC.head.pred clique -> Some (cr, r)
             | _ -> None)
-          compiled
+          tagged
       in
       let flat_in =
         List.filter_map
           (function `Flat r when List.mem (head_pred r) clique -> Some r | _ -> None)
-          compiled
+          tagged
       in
       (clique, crules_in, flat_in))
     (Depgraph.cliques graph)
 
 let run_governed ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.none)
-    ?(limits = Limits.unlimited) ?(jobs = 1) ?db program =
+    ?(limits = Limits.unlimited) ?(jobs = 1) ?(compiled = false) ?plan ?db program =
   let pool = Par.get jobs in
   let db = match db with Some db -> db | None -> Database.create () in
   let gamma = ref 0 in
@@ -466,6 +677,17 @@ let run_governed ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.
   Limits.govern ~telemetry limits
     ~partial:(fun () -> (db, stats ()))
     (fun () ->
+      (* Compiled mode reorders reorderable rule bodies by the cost
+         plan first.  The gate makes this a no-op on any program with
+         choice / next rules, so [compile_srule]'s source-atom
+         selection always sees the source order. *)
+      let program =
+        if not compiled then program
+        else
+          match plan with
+          | Some p -> Plan.program p
+          | None -> Plan.program (Plan.analyze ~telemetry ~db program)
+      in
       let facts, rules = List.partition Ast.is_fact program in
       Database.load_facts db facts;
       List.iteri
@@ -475,19 +697,19 @@ let run_governed ?(backend = `Binary) ?(shadow = `Auto) ?(telemetry = Telemetry.
           Telemetry.stratum telemetry label;
           Telemetry.span telemetry label (fun () ->
               if crules_in = [] then begin
-                try Seminaive.eval_clique ~telemetry ~limits ~pool db ~clique rules
+                try Seminaive.eval_clique ~telemetry ~limits ~pool ~compiled db ~clique rules
                 with Invalid_argument msg | Eval.Unsafe msg -> raise (Not_compilable msg)
               end
               else
                 rql_stats :=
-                  eval_choice_clique ~backend ~shadow_mode:shadow ~telemetry ~limits ~pool db
-                    crules_in flat_in gamma
+                  eval_choice_clique ~backend ~shadow_mode:shadow ~telemetry ~limits ~pool
+                    ~compiled db crules_in flat_in gamma
                   @ !rql_stats))
-        (plan_cliques rules);
+        (plan_cliques ~compiled rules);
       (db, stats ()))
 
-let run ?backend ?shadow ?telemetry ?limits ?jobs ?db program =
-  match run_governed ?backend ?shadow ?telemetry ?limits ?jobs ?db program with
+let run ?backend ?shadow ?telemetry ?limits ?jobs ?compiled ?plan ?db program =
+  match run_governed ?backend ?shadow ?telemetry ?limits ?jobs ?compiled ?plan ?db program with
   | Limits.Complete x -> x
   | Limits.Partial (_, d) -> raise (Limits.Exhausted d.Limits.violated)
 

@@ -55,6 +55,8 @@ val run :
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
   ?jobs:int ->
+  ?compiled:bool ->
+  ?plan:Plan.t ->
   ?db:Database.t ->
   Ast.program ->
   Database.t * stats
@@ -66,6 +68,12 @@ val run :
     [jobs = 1] — [next]-rule pops and all firings stay sequential (the
     paper's alternation), only the side-effect-free enumeration fans
     out.
+
+    [compiled] (default [false]) runs flat saturation, residual
+    revalidation and exit-rule enumeration as ahead-of-time {!Compile}
+    closure chains over the cost-planned join order ([plan] when given,
+    else {!Plan.analyze}) — byte-identical models, less allocation per
+    tuple (see docs/INTERNALS.md, "Compiled execution").
     @raise Limits.Exhausted when [limits] trips a budget; use
     {!run_governed} to receive the partial database instead. *)
 
@@ -75,6 +83,8 @@ val run_governed :
   ?telemetry:Telemetry.t ->
   ?limits:Limits.t ->
   ?jobs:int ->
+  ?compiled:bool ->
+  ?plan:Plan.t ->
   ?db:Database.t ->
   Ast.program ->
   (Database.t * stats) Limits.outcome

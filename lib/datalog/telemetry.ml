@@ -125,6 +125,9 @@ let add_delta t pred n =
     | Some r -> r := !r + n
     | None -> Hashtbl.add t.deltas pred (ref n)
 
+let delta_tuples t pred =
+  match Hashtbl.find_opt t.deltas pred with Some r -> Some !r | None -> None
+
 (* ------------------------------------------------------------------ *)
 (* Iterations, strata, spans                                           *)
 (* ------------------------------------------------------------------ *)

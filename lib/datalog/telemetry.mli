@@ -62,6 +62,11 @@ val queue : t -> string -> Gbc_ordered.Rql.stats -> unit
 (** Merge an (R,Q,L) statistics snapshot into a rule's counters. *)
 
 val add_delta : t -> string -> int -> unit
+
+(** [delta_tuples t pred]: total delta tuples published so far for a
+    predicate — the join planner's selectivity seed ([None] when never
+    recorded). *)
+val delta_tuples : t -> string -> int option
 val iteration : t -> string -> unit
 val stratum : t -> string -> unit
 

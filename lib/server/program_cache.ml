@@ -20,6 +20,7 @@ module Ast = Gbc_datalog.Ast
 module Database = Gbc_datalog.Database
 module Parser = Gbc_datalog.Parser
 module Stage = Gbc_datalog.Stage
+module Plan = Gbc_datalog.Plan
 module Gbc_error = Gbc_datalog.Gbc_error
 
 type entry = {
@@ -29,9 +30,18 @@ type entry = {
   rules : Ast.program;  (* non-fact clauses *)
   base : Database.t;  (* the program's ground facts; frozen *)
   report : Stage.report;
+  plan : Plan.t;  (* cost plan against [base]; feeds --compiled runs *)
+  compile_ms : float;  (* wall time of this entry's compilation *)
 }
 
-type stats = { hits : int; misses : int; evictions : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  programs_compiled : int;
+  compile_ms_total : float;
+}
 
 type t = {
   capacity : int;
@@ -41,6 +51,8 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable programs_compiled : int;
+  mutable compile_ms_total : float;
 }
 
 let create ?(capacity = 64) () =
@@ -50,17 +62,26 @@ let create ?(capacity = 64) () =
     lru = [];
     hits = 0;
     misses = 0;
-    evictions = 0 }
+    evictions = 0;
+    programs_compiled = 0;
+    compile_ms_total = 0.0 }
 
 let digest_hex source = Digest.to_hex (Digest.string source)
 
 let compile ~digest source =
+  let t0 = Unix.gettimeofday () in
   let program = Parser.parse_program source in
   let facts, rules = List.partition Ast.is_fact program in
   let base = Database.create () in
   Database.load_facts base facts;
   let report = Stage.analyze program in
-  { digest; source_bytes = String.length source; program; rules; base; report }
+  (* Plan over the non-fact clauses only — sessions evaluate [rules]
+     against a copy of [base], so the plan's program must match; the
+     base database supplies the cardinality statistics the fact
+     clauses would otherwise seed. *)
+  let plan = Plan.analyze ~db:base rules in
+  { digest; source_bytes = String.length source; program; rules; base; report; plan;
+    compile_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
 
 let touch t digest = t.lru <- digest :: List.filter (fun d -> not (String.equal d digest)) t.lru
 
@@ -98,6 +119,10 @@ let find_or_compile t source =
       Ok
         (Mutex.protect t.lock (fun () ->
              t.misses <- t.misses + 1;
+             (* Counted even on a lost race: the compilation work (and
+                its wall time) really happened in this process. *)
+             t.programs_compiled <- t.programs_compiled + 1;
+             t.compile_ms_total <- t.compile_ms_total +. entry.compile_ms;
              match Hashtbl.find_opt t.table digest with
              | Some winner ->
                (* lost a compile race; the mapping stays unique *)
@@ -112,4 +137,6 @@ let find_or_compile t source =
 let stats t =
   Mutex.protect t.lock (fun () ->
       { hits = t.hits; misses = t.misses; evictions = t.evictions;
-        entries = Hashtbl.length t.table })
+        entries = Hashtbl.length t.table;
+        programs_compiled = t.programs_compiled;
+        compile_ms_total = t.compile_ms_total })

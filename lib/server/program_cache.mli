@@ -14,6 +14,7 @@
 module Ast = Gbc_datalog.Ast
 module Database = Gbc_datalog.Database
 module Stage = Gbc_datalog.Stage
+module Plan = Gbc_datalog.Plan
 module Gbc_error = Gbc_datalog.Gbc_error
 
 type entry = private {
@@ -23,9 +24,21 @@ type entry = private {
   rules : Ast.program;  (** non-fact clauses only *)
   base : Database.t;  (** the program's ground facts — treat as frozen *)
   report : Stage.report;
+  plan : Plan.t;
+      (** cost plan computed once against [base]; sessions hand it to
+          the engines for [compiled] evaluation so re-runs skip
+          re-analysis *)
+  compile_ms : float;  (** wall time this entry took to compile *)
 }
 
-type stats = { hits : int; misses : int; evictions : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  programs_compiled : int;  (** entries compiled by this process *)
+  compile_ms_total : float;  (** total wall time spent compiling *)
+}
 
 type t
 

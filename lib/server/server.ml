@@ -59,6 +59,7 @@ type config = {
   max_jobs : int;  (* cap on granted evaluation domains per request *)
   max_frame : int;
   cache_capacity : int;
+  compiled : bool;  (* evaluate with the AOT-compiled closure chains *)
   data_dir : string option;  (* None: ephemeral sessions, no WAL *)
   fsync : Wal.fsync_policy;
   snapshot_every : int;  (* WAL records between snapshots; 0 disables *)
@@ -79,6 +80,7 @@ let default_config =
     max_jobs = 1;
     max_frame = Protocol.max_frame_default;
     cache_capacity = 64;
+    compiled = false;
     data_dir = None;
     fsync = Wal.Batch 16;
     snapshot_every = 64;
@@ -362,7 +364,8 @@ let stats_json t (session : Session.t) =
      \"errors\": %d, \"partials\": %d, \"sessions_total\": %d, \"open_conns\": %d, \
      \"workers_respawned\": %d, \"sessions_detached\": %d, \"sessions_reaped\": %d, \
      \"sessions_recovered\": %d, \"conns_idle_closed\": %d, \"durable\": %s, \"cache\": {\"hits\": %d, \
-     \"misses\": %d, \"evictions\": %d, \"entries\": %d}, \"engine\": %s}, \"session\": \
+     \"misses\": %d, \"evictions\": %d, \"entries\": %d, \"programs_compiled\": %d, \
+     \"compile_ms_total\": %.3f}, \"engine\": %s}, \"session\": \
      {\"id\": %d, \"requests\": %d, \"evaluations\": %d, \"partials\": %d, \"errors\": %d, \
      \"facts_asserted\": %d, \"facts_retracted\": %d, \"runs_incremental\": %d, \
      \"runs_full\": %d, \"ivm_fallbacks\": %d, \"eval_wall_s\": %.6f, \"engine\": %s}}"
@@ -378,7 +381,9 @@ let stats_json t (session : Session.t) =
     (Atomic.get t.sessions_recovered)
     (Atomic.get t.conns_idle_closed)
     (durable_json t) cache.Program_cache.hits cache.Program_cache.misses
-    cache.Program_cache.evictions cache.Program_cache.entries global_totals session.Session.id
+    cache.Program_cache.evictions cache.Program_cache.entries
+    cache.Program_cache.programs_compiled cache.Program_cache.compile_ms_total global_totals
+    session.Session.id
     c.Session.requests c.Session.evaluations c.Session.partials c.Session.errors
     c.Session.facts_asserted c.Session.facts_retracted c.Session.runs_incremental
     c.Session.runs_full c.Session.ivm_fallbacks c.Session.eval_wall_s
@@ -444,7 +449,9 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
       let limits = effective_limits t session budget in
       let jobs = effective_jobs t budget in
       let telemetry = Telemetry.create () in
-      let result = Session.run session ~engine ~seed ~jobs ~limits ~telemetry in
+      let result =
+        Session.run ~compiled:t.cfg.compiled session ~engine ~seed ~jobs ~limits ~telemetry
+      in
       merge_global_totals t telemetry;
       match result with
       | Ok (Limits.Complete db) ->
@@ -470,7 +477,9 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
       let limits = effective_limits t session budget in
       let jobs = effective_jobs t budget in
       let telemetry = Telemetry.create () in
-      let result = Session.query session ~engine ~text ~jobs ~limits ~telemetry in
+      let result =
+        Session.query ~compiled:t.cfg.compiled session ~engine ~text ~jobs ~limits ~telemetry
+      in
       merge_global_totals t telemetry;
       match result with
       | Ok (complete, vars, rows) ->

@@ -521,7 +521,7 @@ let log_run t ~key model =
   | Error (_, msg) -> (
     match t.durability with Some d -> Durable.warn d.dur msg | None -> ())
 
-let run t ~engine ~seed ~jobs ~limits ~telemetry =
+let run ?(compiled = false) t ~engine ~seed ~jobs ~limits ~telemetry =
   match (t.entry, t.db) with
   | None, _ | _, None -> Error (Protocol.No_program, "no program loaded (send a load frame first)")
   | Some entry, Some db -> (
@@ -537,20 +537,24 @@ let run t ~engine ~seed ~jobs ~limits ~telemetry =
       Ok outcome
     | None ->
       let work = Database.copy db in
+      (* In compiled mode hand the engines the entry's cached cost
+         plan: re-runs skip re-analysis, and every session sharing the
+         entry executes the same join orders. *)
+      let plan = entry.Program_cache.plan in
       let result =
         protect (fun () ->
             match engine with
             | Protocol.Staged ->
               map_outcome fst
-                (Stage_engine.run_governed ~telemetry ~limits ~jobs ~db:work
+                (Stage_engine.run_governed ~compiled ~plan ~telemetry ~limits ~jobs ~db:work
                    entry.Program_cache.rules)
             | Protocol.Reference ->
               let policy =
                 match seed with Some s -> Choice_fixpoint.Random s | None -> Choice_fixpoint.First
               in
               map_outcome fst
-                (Choice_fixpoint.run_governed ~policy ~telemetry ~limits ~jobs ~db:work
-                   entry.Program_cache.rules))
+                (Choice_fixpoint.run_governed ~compiled ~plan ~policy ~telemetry ~limits ~jobs
+                   ~db:work entry.Program_cache.rules))
       in
       note_eval t telemetry t0;
       (match result with
@@ -600,11 +604,11 @@ let parse_goal text =
   | { Ast.body = [ Ast.Pos a ]; _ } -> a
   | _ -> raise (Parser.Error ("queries take a single positive atom", nowhere))
 
-let query t ~engine ~text ~jobs ~limits ~telemetry =
+let query ?compiled t ~engine ~text ~jobs ~limits ~telemetry =
   match parse_goal text with
   | exception Parser.Error (msg, pos) -> Error (of_gbc_error (Gbc_error.Parse (msg, pos)))
   | goal -> (
-    match run t ~engine ~seed:None ~jobs ~limits ~telemetry with
+    match run ?compiled t ~engine ~seed:None ~jobs ~limits ~telemetry with
     | Error e -> Error e
     | Ok outcome ->
       let complete = match outcome with Limits.Complete _ -> true | _ -> false in

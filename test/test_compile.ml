@@ -1,0 +1,172 @@
+(* Compiled execution: the --compiled closure chains must be
+   observationally invisible.
+
+   The chain executes exactly the planned body's steps in order,
+   probing the same indexes and enumerating rows in the same insertion
+   order as the interpreter, so compiled models must be byte-identical
+   — relation by relation, row by row, chosen$i layouts included — on
+   both engines, sequential and sharded.  These tests pin that over
+   every shipped exemplar and over random Horn programs, and pin the
+   planner itself: join orders on a fixture with skewed selectivities,
+   and the reorder gate that keeps choice programs in source order. *)
+
+open Gbc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load name = Parser.parse_program (read_file ("../programs/" ^ name))
+
+let exemplars =
+  [ "example1.dl"; "bi_st_c.dl"; "sorting.dl"; "prim.dl"; "kruskal.dl";
+    "matching.dl"; "huffman.dl"; "tsp.dl"; "dijkstra.dl"; "scheduling.dl";
+    "vertex_cover.dl"; "set_cover.dl"; "transitive_closure.dl" ]
+
+let db_bytes db = Format.asprintf "%a" Database.pp db
+
+let jobs_under_test =
+  match Option.bind (Sys.getenv_opt "GBC_TEST_JOBS") int_of_string_opt with
+  | Some j when j > 1 -> [ 1; j ]
+  | _ -> [ 1; 2 ]
+
+let test_reference_byte_identical () =
+  List.iter
+    (fun file ->
+      let prog = load file in
+      let interpreted = db_bytes (fst (Choice_fixpoint.run ~jobs:1 prog)) in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: reference --compiled jobs=%d byte-identical" file jobs)
+            interpreted
+            (db_bytes (fst (Choice_fixpoint.run ~compiled:true ~jobs prog))))
+        jobs_under_test)
+    exemplars
+
+let test_staged_byte_identical () =
+  List.iter
+    (fun file ->
+      let prog = load file in
+      let interpreted = db_bytes (fst (Stage_engine.run ~jobs:1 prog)) in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: staged --compiled jobs=%d byte-identical" file jobs)
+            interpreted
+            (db_bytes (fst (Stage_engine.run ~compiled:true ~jobs prog))))
+        jobs_under_test)
+    exemplars
+
+(* Random Horn programs, compiled vs interpreted full models on the
+   reference engine, sequential and sharded.  Same generator shape as
+   the parallel suite: enough duplicate derivations to stress dedup,
+   plus a join rule so the planner has an order to choose. *)
+let gen_edges =
+  QCheck.Gen.(list_size (int_range 5 25) (pair (int_bound 7) (int_bound 7)))
+
+let arb_edges =
+  QCheck.make
+    ~print:(fun edges ->
+      String.concat " " (List.map (fun (a, b) -> Printf.sprintf "e(%d,%d)." a b) edges))
+    gen_edges
+
+let horn_src edges =
+  let src = Buffer.create 256 in
+  List.iter
+    (fun (a, b) -> Buffer.add_string src (Printf.sprintf "e(%d, %d).\n" a b))
+    edges;
+  Buffer.add_string src
+    "t(X, Y) :- e(X, Y).\n\
+     t(X, Z) :- t(X, Y), e(Y, Z).\n\
+     j(X, Z) :- t(X, Y), t(Y, Z).\n\
+     s(X) :- e(X, X).\n\
+     u(X, Z) :- j(X, Z), not s(X).\n";
+  Buffer.contents src
+
+let prop_compiled_horn =
+  QCheck.Test.make ~name:"random Horn: compiled = interpreted (jobs 1 and 3)" ~count:40
+    arb_edges (fun edges ->
+      let prog = Parser.parse_program (horn_src edges) in
+      let interpreted = db_bytes (fst (Choice_fixpoint.run ~jobs:1 prog)) in
+      String.equal interpreted
+        (db_bytes (fst (Choice_fixpoint.run ~compiled:true ~jobs:1 prog)))
+      && String.equal interpreted
+           (db_bytes (fst (Choice_fixpoint.run ~compiled:true ~jobs:3 prog)))
+      && String.equal
+           (db_bytes (fst (Stage_engine.run ~jobs:1 prog)))
+           (db_bytes (fst (Stage_engine.run ~compiled:true ~jobs:1 prog)))
+      && String.equal
+           (db_bytes (fst (Stage_engine.run ~jobs:1 prog)))
+           (db_bytes (fst (Stage_engine.run ~compiled:true ~jobs:3 prog))))
+
+(* ------------------------------------------------------------------ *)
+(* The planner                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Skewed selectivities: [big] has 64 rows, [small] 2, [tiny] 1.  The
+   source order starts with the most expensive scan; the plan must put
+   [tiny] first (cheapest seed), then [small], then [big] — by then the
+   joins are index probes on bound columns. *)
+let planner_fixture =
+  let src = Buffer.create 1024 in
+  for i = 0 to 63 do
+    Buffer.add_string src (Printf.sprintf "big(%d, %d).\n" i (i mod 8))
+  done;
+  Buffer.add_string src "small(0, 1). small(1, 2).\ntiny(0).\n";
+  Buffer.add_string src "out(X, Y, Z) :- big(Y, Z), small(X, Y), tiny(X).\n";
+  Buffer.contents src
+
+let body_preds (r : Ast.rule) =
+  List.filter_map (function Ast.Pos a -> Some a.Ast.pred | _ -> None) r.Ast.body
+
+let test_planner_join_order () =
+  let prog = Parser.parse_program planner_fixture in
+  let db = Choice_fixpoint.model (List.filter Ast.is_fact prog) in
+  let plan = Plan.analyze ~db prog in
+  Alcotest.(check bool) "pure-Horn program is reorderable" true plan.Plan.reorderable;
+  let planned = Plan.program plan in
+  let rule = List.find (fun r -> not (Ast.is_fact r)) planned in
+  Alcotest.(check (list string)) "cheapest-first join order"
+    [ "tiny"; "small"; "big" ] (body_preds rule);
+  (* The program's own fact counts seed the estimates even without a
+     materialized database. *)
+  let from_facts = Plan.program (Plan.analyze prog) in
+  let rule = List.find (fun r -> not (Ast.is_fact r)) from_facts in
+  Alcotest.(check (list string)) "fact counts alone give the same order"
+    [ "tiny"; "small"; "big" ] (body_preds rule);
+  (* Without any statistics every atom costs the same default, so the
+     tie-break keeps source order. *)
+  let rules_only = List.filter (fun r -> not (Ast.is_fact r)) prog in
+  let blind = Plan.program (Plan.analyze rules_only) in
+  let rule = List.find (fun r -> not (Ast.is_fact r)) blind in
+  Alcotest.(check (list string)) "no stats: source order preserved"
+    [ "big"; "small"; "tiny" ] (body_preds rule)
+
+let test_planner_gate () =
+  (* A choice program: enumeration order leaks into tie-breaking, so
+     the plan must be annotation-only. *)
+  let prog = load "sorting.dl" in
+  let plan = Plan.analyze prog in
+  Alcotest.(check bool) "choice program is not reorderable" false plan.Plan.reorderable;
+  Alcotest.(check bool) "gated plan leaves every body in source order" true
+    (List.for_all2
+       (fun a b -> Pretty.rule_to_string a = Pretty.rule_to_string b)
+       (List.filter (fun r -> not (Ast.is_fact r)) prog)
+       (List.filter (fun r -> not (Ast.is_fact r)) (Plan.program plan)))
+
+let () =
+  Alcotest.run "compiled"
+    [ ( "byte-identity",
+        [ Alcotest.test_case "reference --compiled on every exemplar" `Slow
+            test_reference_byte_identical;
+          Alcotest.test_case "staged --compiled on every exemplar" `Slow
+            test_staged_byte_identical;
+          QCheck_alcotest.to_alcotest prop_compiled_horn ] );
+      ( "planner",
+        [ Alcotest.test_case "skewed fixture: cheapest-first order" `Quick
+            test_planner_join_order;
+          Alcotest.test_case "choice programs stay in source order" `Quick
+            test_planner_gate ] ) ]

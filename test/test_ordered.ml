@@ -105,8 +105,8 @@ let prop_union_find_vs_naive =
 
 type fact = { key : int; cost : int; stage : int }
 
-let make_rql ?backend ?shadow ?newer_wins () =
-  Rql.create ?backend ?shadow ?newer_wins ~key:(fun f -> f.key)
+let make_rql ?backend ?lean ?shadow ?newer_wins () =
+  Rql.create ?backend ?lean ?shadow ?newer_wins ~key:(fun f -> f.key)
     ~cost_cmp:(fun a b -> compare a.cost b.cost)
     ~stage:(fun f -> f.stage) ()
 
@@ -196,6 +196,36 @@ let prop_rql_no_shadow_equals_heap backend =
       in
       drain [] = List.sort compare costs)
 
+(* The compiled engine's flat heap must be observationally identical
+   to the boxed backends: ids make the (cost, id) order total, so the
+   pop sequence — including which pops the validity predicate rejects —
+   matches fact for fact. *)
+let prop_rql_lean_equals_boxed =
+  QCheck.Test.make ~name:"rql ~lean drains identically to the boxed heap" ~count:200
+    QCheck.(pair bool (small_list (pair (int_bound 4) (int_bound 50))))
+    (fun (shadow, facts) ->
+      let drain q =
+        (* Reject every third valid-checked candidate, deterministically,
+           to exercise the invalid-reopens-class path too. *)
+        let checks = ref 0 in
+        let valid _ =
+          incr checks;
+          !checks mod 3 <> 0
+        in
+        let rec go acc =
+          match Rql.retrieve_least q ~valid with
+          | Some f -> go ((f.key, f.cost) :: acc)
+          | None -> List.rev acc
+        in
+        (go [], Rql.stats q)
+      in
+      let fill q = List.iter (fun (k, c) -> Rql.insert q { key = k; cost = c; stage = 0 }) facts in
+      let boxed = make_rql ~shadow () in
+      let lean = make_rql ~lean:true ~shadow () in
+      fill boxed;
+      fill lean;
+      drain boxed = drain lean)
+
 let prop_rql_shadow_one_per_class =
   QCheck.Test.make ~name:"rql shadowing yields at most one pop per class" ~count:200
     QCheck.(small_list (pair (int_bound 4) (int_bound 50)))
@@ -237,4 +267,5 @@ let () =
           Alcotest.test_case "stale entries skipped" `Quick test_rql_stale_entries_skipped;
           QCheck_alcotest.to_alcotest (prop_rql_no_shadow_equals_heap `Binary);
           QCheck_alcotest.to_alcotest (prop_rql_no_shadow_equals_heap `Pairing);
+          QCheck_alcotest.to_alcotest prop_rql_lean_equals_boxed;
           QCheck_alcotest.to_alcotest prop_rql_shadow_one_per_class ] ) ]
