@@ -22,10 +22,15 @@ open Gbc
 (* --e14: run only the allocation kernels at full scale (interpreted
    vs compiled), write BENCH_E14.json, and fail on a words-per-fact
    budget violation in either mode. *)
+(* --e19: run only the scale-out serving experiment (open-loop load
+   through gbc-router, blocking vs pipelined clients) at full scale,
+   write BENCH_E19.json, and fail unless the pipelined client's
+   requests/s strictly beats the blocking client's. *)
 let only_e14 = Array.exists (( = ) "--e14") Sys.argv
 let only_e15 = Array.exists (( = ) "--e15") Sys.argv
 let only_e17 = Array.exists (( = ) "--e17") Sys.argv
 let only_e18 = Array.exists (( = ) "--e18") Sys.argv
+let only_e19 = Array.exists (( = ) "--e19") Sys.argv
 let perf_smoke = Array.exists (( = ) "--perf-smoke") Sys.argv
 let smoke = perf_smoke || Array.exists (( = ) "--smoke") Sys.argv
 let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
@@ -600,6 +605,38 @@ let e15_exemplars =
     "matching.dl"; "huffman.dl"; "tsp.dl"; "dijkstra.dl"; "scheduling.dl";
     "vertex_cover.dl"; "set_cover.dl"; "transitive_closure.dl" ]
 
+(* pick ["key": <int>] out of a stats json, scanning from the first
+   occurrence of [section] so repeated field names across nested
+   objects resolve to the right one (floats truncate at the point) *)
+let json_int_after json ~section key =
+  let find sub from =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length json then None
+      else if String.sub json i n = sub then Some (i + n)
+      else go (i + 1)
+    in
+    go from
+  in
+  match find ("\"" ^ section ^ "\"") 0 with
+  | None -> 0
+  | Some s -> (
+    match find ("\"" ^ key ^ "\":") s with
+    | None -> 0
+    | Some p ->
+      let p = ref p in
+      while !p < String.length json && json.[!p] = ' ' do
+        incr p
+      done;
+      let q = ref !p in
+      while
+        !q < String.length json
+        && (match json.[!q] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr q
+      done;
+      if !q = !p then 0 else int_of_string (String.sub json !p (!q - !p)))
+
 let e15 () =
   let read_file path =
     let ic = open_in_bin path in
@@ -657,6 +694,30 @@ let e15 () =
     let threads = List.init sessions (fun i -> Thread.create session i) in
     List.iter Thread.join threads;
     let wall = Unix.gettimeofday () -. t0 in
+    (* one more connection reads the server's queue-wait histogram:
+       time from frame parse to worker dequeue, recorded separately
+       from the client-observed latency so service time and queueing
+       are distinguishable in the json *)
+    let qw_mean, qw_p50, qw_p99 =
+      let rec conn tries =
+        match Client.connect_unix sock with
+        | c -> c
+        | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+          when tries > 0 ->
+          Unix.sleepf 0.02;
+          conn (tries - 1)
+      in
+      let c = conn 50 in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.rpc c Protocol.Stats with
+          | Protocol.Stats_json json ->
+            ( json_int_after json ~section:"queue_wait" "mean_us",
+              json_int_after json ~section:"queue_wait" "p50_us",
+              json_int_after json ~section:"queue_wait" "p99_us" )
+          | _ -> (0, 0, 0))
+    in
     Server.shutdown srv;
     Domain.join runner;
     (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
@@ -672,7 +733,8 @@ let e15 () =
     record ~exp:"E15" ~n:sessions ~wall
       [ ("requests", n_req); ("errors", Atomic.get errors); ("workers", 4);
         ("rounds", rounds); ("rps", int_of_float rps); ("p50_us", us (pct 0.50));
-        ("p99_us", us (pct 0.99)) ];
+        ("p99_us", us (pct 0.99)); ("queue_wait_mean_us", qw_mean);
+        ("queue_wait_p50_us", qw_p50); ("queue_wait_p99_us", qw_p99) ];
     Harness.table
       ~title:
         "E15  gbcd daemon: concurrent sessions replaying the exemplar corpus \
@@ -1055,6 +1117,244 @@ let e18 () =
   overhead
 
 (* ------------------------------------------------------------------ *)
+(* E19 — scale-out serving: open-loop load through gbc-router          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two in-process gbcd backends behind an in-process consistent-hash
+   router, driven two ways over the same workload (Load + Run per
+   session, cycling three exemplar programs):
+
+   - blocking: classic closed-loop clients — send, wait, check,
+     repeat.  Every request pays the full client → router → backend →
+     router → client turnaround before the next may start.
+   - pipelined: the same connections switched to protocol v2, fed by
+     an open-loop generator with exponential (Poisson) inter-arrival
+     times provisioned at twice the blocking throughput, bounded only
+     by an in-flight window.  The backend always finds the next
+     request already queued, so requests/s must come out strictly
+     higher.
+
+   Every Model response in BOTH phases is compared byte-for-byte
+   against single-shot evaluation of the same program — a router or
+   envelope bug fails the bench, not just the numbers.  Each phase
+   gets a fresh fleet, and the backends' queue-wait histograms are
+   read back before teardown, so BENCH_E19 records queueing
+   separately from service time (under open-loop overload the
+   pipelined phase's queue-wait is the interesting number). *)
+
+let e19_exemplars = [ "example1.dl"; "prim.dl"; "transitive_closure.dl" ]
+
+let e19 () =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let progs =
+    List.map
+      (fun n ->
+        let src = read_file ("../programs/" ^ n) in
+        let reference =
+          Format.asprintf "%a" Database.pp (Stage_engine.model (Parser.parse_program src))
+        in
+        (src, reference))
+      e19_exemplars
+  in
+  let nprogs = List.length progs in
+  let prog i = List.nth progs (i mod nprogs) in
+  let sessions = if smoke then 30 else 2000 in
+  let gens = 2 in
+  let per = sessions / gens in
+  let inflight_cap = 64 in
+  let backends_n = 2 in
+  let errors = Atomic.make 0 in
+  let run_req =
+    Protocol.Run { engine = Protocol.Staged; seed = None; preds = None; budget = Protocol.no_budget }
+  in
+  let rec conn_retry sock tries =
+    match Client.connect_unix sock with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+      Unix.sleepf 0.02;
+      conn_retry sock (tries - 1)
+  in
+  (* a fresh fleet per phase; the result of [f] comes back with the
+     backends' queue-wait numbers, read just before teardown *)
+  let with_fleet phase f =
+    let backs =
+      List.init backends_n (fun i ->
+          let path = Printf.sprintf "gbcd_e19_%s_b%d_%d.sock" phase i (Unix.getpid ()) in
+          let cfg = { Server.default_config with port = None; unix_path = Some path; workers = 2 } in
+          match Server.create cfg with
+          | Error msg -> failwith ("E19: backend create: " ^ msg)
+          | Ok srv -> (path, srv, Domain.spawn (fun () -> Server.run srv)))
+    in
+    let rsock = Printf.sprintf "gbcd_e19_%s_r_%d.sock" phase (Unix.getpid ()) in
+    let rcfg =
+      { Router.default_config with
+        port = None;
+        unix_path = Some rsock;
+        backends = List.map (fun (p, _, _) -> Client.Uds p) backs;
+        connect_timeout = Some 2.0 }
+    in
+    match Router.create rcfg with
+    | Error msg -> failwith ("E19: router create: " ^ msg)
+    | Ok rt ->
+      let rrunner = Domain.spawn (fun () -> Router.run rt) in
+      let queue_wait () =
+        let per_backend =
+          List.map
+            (fun (p, _, _) ->
+              let c = conn_retry p 100 in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match Client.rpc c Protocol.Stats with
+                  | Protocol.Stats_json json ->
+                    ( json_int_after json ~section:"queue_wait" "p50_us",
+                      json_int_after json ~section:"queue_wait" "p99_us" )
+                  | _ -> (0, 0)))
+            backs
+        in
+        ( List.fold_left (fun a (p, _) -> max a p) 0 per_backend,
+          List.fold_left (fun a (_, p) -> max a p) 0 per_backend )
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.shutdown rt;
+          Domain.join rrunner;
+          (try Unix.unlink rsock with Unix.Unix_error _ | Sys_error _ -> ());
+          List.iter
+            (fun (p, srv, d) ->
+              Server.shutdown srv;
+              Domain.join d;
+              (try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ()))
+            backs)
+        (fun () ->
+          let r = f rsock in
+          (r, queue_wait ()))
+  in
+  let join_gens gen =
+    let lat_m = Mutex.create () in
+    let lats = ref [] in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init gens (fun g ->
+          Thread.create
+            (fun g ->
+              let mine = gen g in
+              Mutex.protect lat_m (fun () -> lats := mine @ !lats))
+            g)
+    in
+    List.iter Thread.join threads;
+    (Unix.gettimeofday () -. t0, !lats)
+  in
+  (* -- phase 1: blocking closed-loop clients ------------------------ *)
+  let blocking rsock =
+    join_gens (fun g ->
+        let c = conn_retry rsock 150 in
+        let mine = ref [] in
+        let timed req check =
+          let t0 = Unix.gettimeofday () in
+          let resp = Client.rpc c req in
+          mine := (Unix.gettimeofday () -. t0) :: !mine;
+          if not (check resp) then Atomic.incr errors
+        in
+        for s = 0 to per - 1 do
+          let src, reference = prog ((g * per) + s) in
+          timed (Protocol.Load src) (function Protocol.Loaded _ -> true | _ -> false);
+          timed run_req (function
+            | Protocol.Model { complete; text; _ } -> complete && text = reference
+            | _ -> false)
+        done;
+        Client.close c;
+        !mine)
+  in
+  (* -- phase 2: open-loop pipelined generators ---------------------- *)
+  let pipelined ~session_rate rsock =
+    join_gens (fun g ->
+        let r = Client.resilient ~connect_timeout:2.0 (Client.Uds rsock) in
+        let p = Client.Pipeline.create r in
+        let pending = Hashtbl.create 256 in
+        let mine = ref [] in
+        let complete (rid, resp) =
+          match Hashtbl.find_opt pending rid with
+          | None -> Atomic.incr errors
+          | Some (is_run, reference, t0) ->
+            Hashtbl.remove pending rid;
+            (* sojourn time: submit to completion, queueing included —
+               the honest latency of an open-loop system *)
+            mine := (Unix.gettimeofday () -. t0) :: !mine;
+            let ok =
+              if is_run then
+                match resp with
+                | Protocol.Model { complete; text; _ } -> complete && text = reference
+                | _ -> false
+              else match resp with Protocol.Loaded _ -> true | _ -> false
+            in
+            if not ok then Atomic.incr errors
+        in
+        let rng = Random.State.make [| 0x919; g |] in
+        let rate = session_rate /. float_of_int gens in
+        let next = ref (Unix.gettimeofday ()) in
+        for s = 0 to per - 1 do
+          let u = Random.State.float rng 1.0 in
+          next := !next +. (-.log (1.0 -. u) /. rate);
+          while Client.Pipeline.inflight p >= inflight_cap do
+            complete (Client.Pipeline.await p)
+          done;
+          let now = Unix.gettimeofday () in
+          if !next > now then Unix.sleepf (!next -. now);
+          let src, reference = prog ((g * per) + s) in
+          let t = Unix.gettimeofday () in
+          Hashtbl.replace pending
+            (Client.Pipeline.submit p (Protocol.Load src))
+            (false, reference, t);
+          Hashtbl.replace pending (Client.Pipeline.submit p run_req) (true, reference, t)
+        done;
+        List.iter complete (Client.Pipeline.drain p);
+        Client.Pipeline.close p;
+        !mine)
+  in
+  let (wall_b, lats_b), _ = with_fleet "blk" blocking in
+  let n_b = List.length lats_b in
+  let rps_b = if wall_b > 0.0 then float_of_int n_b /. wall_b else 0.0 in
+  (* provision arrivals at 2x the blocking throughput: the generator
+     does not slow down for the server, only the in-flight cap bounds
+     admission, so the fleet runs saturated and queueing shows up *)
+  let session_rate = rps_b in
+  let (wall_p, lats_p), (qw_p50, qw_p99) = with_fleet "pip" (pipelined ~session_rate) in
+  let n_p = List.length lats_p in
+  let rps_p = if wall_p > 0.0 then float_of_int n_p /. wall_p else 0.0 in
+  let pct lats p =
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0 else int_of_float (a.(min (n - 1) (int_of_float (p *. float_of_int n))) *. 1e6)
+  in
+  record ~exp:"E19" ~n:sessions ~wall:(wall_b +. wall_p)
+    [ ("requests", n_b + n_p); ("errors", Atomic.get errors); ("backends", backends_n);
+      ("generators", gens); ("inflight_cap", inflight_cap);
+      ("blocking_rps", int_of_float rps_b); ("pipelined_rps", int_of_float rps_p);
+      ("blocking_p50_us", pct lats_b 0.50); ("blocking_p99_us", pct lats_b 0.99);
+      ("pipelined_p50_us", pct lats_p 0.50); ("pipelined_p99_us", pct lats_p 0.99);
+      ("queue_wait_p50_us", qw_p50); ("queue_wait_p99_us", qw_p99);
+      ("speedup_pct", int_of_float ((rps_p -. rps_b) /. Float.max rps_b 1.0 *. 100.0)) ];
+  Harness.table
+    ~title:
+      "E19  Scale-out serving: open-loop load through gbc-router (2 backends x 2 \
+       workers), blocking vs pipelined clients, models checked against single-shot"
+    ~header:
+      [ "sessions"; "errors"; "blk req/s"; "pip req/s"; "blk p99(us)"; "pip p99(us)";
+        "qwait p99(us)" ]
+    [ [ string_of_int sessions; string_of_int (Atomic.get errors);
+        Printf.sprintf "%.0f" rps_b; Printf.sprintf "%.0f" rps_p;
+        string_of_int (pct lats_b 0.99); string_of_int (pct lats_p 0.99);
+        string_of_int qw_p99 ] ];
+  (rps_b, rps_p)
+
+(* ------------------------------------------------------------------ *)
 (* A1 — (R,Q,L) vs recompute-least (reference engine)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1254,6 +1554,22 @@ let () =
       exit 1
     end
   end;
+  if only_e19 then begin
+    Printf.printf "Greedy by Choice — E19 (scale-out serving through gbc-router)\n";
+    let rps_b, rps_p = e19 () in
+    let files = Harness.flush_bench () in
+    if not (Harness.validate_bench files) then begin
+      print_endline "E19: BENCH JSON malformed";
+      exit 1
+    end;
+    Printf.printf "wrote %s\n" (String.concat ", " files);
+    if rps_p <= rps_b then begin
+      Printf.printf "E19: FAILED — pipelined %.0f req/s does not beat blocking %.0f req/s\n"
+        rps_p rps_b;
+      exit 1
+    end;
+    exit 0
+  end;
   if only_e17 then begin
     Printf.printf "Greedy by Choice — E17 (incremental maintenance)\n";
     e17 ();
@@ -1319,6 +1635,7 @@ let () =
   e16 ();
   e17 ();
   ignore (e18 ());
+  ignore (e19 ());
   a1 ();
   a2 ();
   a3 ();

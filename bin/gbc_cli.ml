@@ -644,6 +644,11 @@ let demo_cmd =
 let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc:Daemon_cli.serve_doc) Daemon_cli.serve_term
 
+(* ---------------- router ---------------- *)
+
+let router_cmd =
+  Cmd.v (Cmd.info "router" ~doc:Router_cli.router_doc) Router_cli.router_term
+
 (* ---------------- client ---------------- *)
 
 (* A one-shot client for a running gbcd: connect, (optionally) load a
@@ -729,6 +734,7 @@ let print_response = function
       exit partial_exit
     end
   | Protocol.Attached { id } -> Format.printf "attached to session %d@." id
+  | Protocol.Welcome { version } -> Format.printf "welcome, protocol v%d@." version
   | Protocol.Stats_json json -> Format.printf "%s@." json
   | Protocol.Error { code; message } ->
     Format.eprintf "gbc: %s: %s@." (Protocol.error_code_to_string code) message;
@@ -865,4 +871,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; profile_cmd; check_cmd; analyze_cmd; plan_cmd; rewrite_cmd; models_cmd; stable_cmd;
-            wellfounded_cmd; query_cmd; explain_cmd; repl_cmd; demo_cmd; serve_cmd; client_cmd ]))
+            wellfounded_cmd; query_cmd; explain_cmd; repl_cmd; demo_cmd; serve_cmd; router_cmd;
+            client_cmd ]))

@@ -1,0 +1,8 @@
+(* gbc-router — the standalone router entry point.  `gbc-router
+   --backend HOST:PORT ...` is `gbc router ...`; both share
+   Router_cli. *)
+
+let () =
+  let open Cmdliner in
+  let info = Cmd.info "gbc-router" ~version:"1.0.0" ~doc:Router_cli.router_doc in
+  exit (Cmd.eval (Cmd.v info Router_cli.router_term))

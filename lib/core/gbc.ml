@@ -42,6 +42,7 @@ module Program_cache = Gbc_server.Program_cache
 module Session = Gbc_server.Session
 module Server = Gbc_server.Server
 module Client = Gbc_server.Client
+module Router = Gbc_server.Router
 
 (* Durability substrate (WAL + snapshots) *)
 module Checksum = Gbc_datalog.Checksum

@@ -84,15 +84,14 @@ let send t req = send_raw t (Protocol.encode_request req)
 
 let chunk = 65536
 
-let recv t =
+(* One whole frame payload off the wire (blocking, deadline-aware). *)
+let recv_body t =
   let buf = Bytes.create chunk in
   let rec go () =
     match Protocol.extract_frame ~max_frame:t.max_frame t.inbuf 0 with
     | Protocol.Frame (body, next) ->
       t.inbuf <- String.sub t.inbuf next (String.length t.inbuf - next);
-      (match Protocol.decode_response body with
-       | Ok resp -> resp
-       | Error msg -> raise (Protocol_error msg))
+      body
     | Protocol.Bad_length n ->
       raise (Protocol_error (Printf.sprintf "unacceptable frame length %d" n))
     | Protocol.Need_more -> (
@@ -106,6 +105,11 @@ let recv t =
         go ())
   in
   go ()
+
+let recv t =
+  match Protocol.decode_response (recv_body t) with
+  | Ok resp -> resp
+  | Error msg -> raise (Protocol_error msg)
 
 let rpc t req =
   send t req;
@@ -227,3 +231,152 @@ let resilient_rpc r req =
   go 0
 
 let resilient_close r = drop_conn r
+
+(* ---------------- pipelining (protocol v2) ---------------- *)
+
+module Pipeline = struct
+  (* Many requests in flight on one connection, replies matched by the
+     per-request id of the v2 envelope.  Built on [resilient]: when the
+     connection dies, the next submit/await reconnects, re-attaches,
+     and replays the whole in-flight window in submission order with
+     the {e same} request ids — the server's dedup window answers
+     already-applied mutations from their recorded results. *)
+
+  type nonrec t = {
+    r : resilient;
+    mutable bound : t option;
+        (* the connection the in-flight window lives on; compared
+           physically against [r.conn] to detect a reconnect *)
+    mutable v2 : bool;  (* negotiated verdict: envelopes understood? *)
+    mutable negotiated : bool;
+    mutable inflight : (int * Protocol.request) list;  (* oldest first *)
+  }
+
+  let create r = { r; bound = None; v2 = false; negotiated = false; inflight = [] }
+  let inflight t = List.length t.inflight
+  let v2 t = t.v2
+  let session_id t = session_id t.r
+
+  let fresh_rid t =
+    t.r.next_id <- t.r.next_id + 1;
+    t.r.next_id
+
+  let send_req t c (rid, req) =
+    send_raw c
+      (if t.v2 then Protocol.encode_request_v2 ~rid req else Protocol.encode_request req)
+
+  (* Bind the in-flight window to the current (possibly fresh)
+     connection: negotiate v2 once per pipeline, then replay every
+     outstanding request in order. *)
+  let rec ensure t =
+    let c = ensure_conn t.r 0 in
+    match t.bound with
+    | Some b when b == c -> c
+    | _ ->
+      if t.negotiated then begin
+        t.bound <- Some c;
+        List.iter (send_req t c) t.inflight;
+        c
+      end
+      else begin
+        (match rpc c (Protocol.Hello { version = Protocol.protocol_version }) with
+        | Protocol.Welcome { version } ->
+          t.v2 <- version >= 2;
+          t.negotiated <- true
+        | Protocol.Error { code = Protocol.Protocol_violation; _ } ->
+          (* a v1 server refuses the unknown tag and hangs up; remember
+             the verdict and fall back to bare frames on a fresh
+             connection *)
+          t.v2 <- false;
+          t.negotiated <- true;
+          drop_conn t.r
+        | _ ->
+          drop_conn t.r;
+          raise (Protocol_error "unexpected response to hello"));
+        ensure t
+      end
+
+  let on_conn_error t =
+    drop_conn t.r;
+    t.bound <- None
+
+  (* Enqueue one request; returns its id without waiting.  The request
+     joins the in-flight window {e before} the send, so a reconnect
+     replay inside [ensure] covers it exactly once. *)
+  let submit t req =
+    let rid = fresh_rid t in
+    let req =
+      match req with
+      | Protocol.Assert_facts { text; id = None } ->
+        Protocol.Assert_facts { text; id = Some rid }
+      | Protocol.Retract_facts { text; id = None } ->
+        Protocol.Retract_facts { text; id = Some rid }
+      | req -> req
+    in
+    t.inflight <- t.inflight @ [ (rid, req) ];
+    let rec go attempt =
+      match
+        let already_bound =
+          match (t.bound, t.r.conn) with Some b, Some c -> b == c | _ -> false
+        in
+        let c = ensure t in
+        (* a rebind just replayed the whole window, this request included *)
+        if already_bound then send_req t c (rid, req)
+      with
+      | () -> rid
+      | exception Timeout ->
+        on_conn_error t;
+        raise Timeout
+      | exception ((Unix.Unix_error _ | Protocol_error _) as e) ->
+        on_conn_error t;
+        if attempt < t.r.retries then begin
+          backoff_sleep attempt;
+          go (attempt + 1)
+        end
+        else raise e
+    in
+    go 0
+
+  (* Next reply off the wire, in server completion order (not
+     necessarily submission order).  Bare v1 replies are matched FIFO
+     against the oldest in-flight request. *)
+  let await t =
+    if t.inflight = [] then invalid_arg "Client.Pipeline.await: nothing in flight";
+    let rec go attempt =
+      match
+        let c = ensure t in
+        match Protocol.decode_response_v2 (recv_body c) with
+        | Error msg -> raise (Protocol_error msg)
+        | Ok (Some rid, resp) ->
+          t.inflight <- List.filter (fun (r, _) -> r <> rid) t.inflight;
+          (rid, resp)
+        | Ok (None, resp) -> (
+          match t.inflight with
+          | (rid, _) :: rest ->
+            t.inflight <- rest;
+            (rid, resp)
+          | [] -> raise (Protocol_error "response with nothing in flight"))
+      with
+      | reply -> reply
+      | exception Timeout ->
+        on_conn_error t;
+        raise Timeout
+      | exception ((Unix.Unix_error _ | Protocol_error _) as e) ->
+        on_conn_error t;
+        if attempt < t.r.retries then begin
+          backoff_sleep attempt;
+          go (attempt + 1)
+        end
+        else raise e
+    in
+    go 0
+
+  (* Collect every outstanding reply, keyed by request id. *)
+  let drain t =
+    let rec go acc = if t.inflight = [] then List.rev acc else go (await t :: acc) in
+    go []
+
+  let close t =
+    t.bound <- None;
+    resilient_close t.r
+end

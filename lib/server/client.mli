@@ -78,3 +78,49 @@ val session_id : resilient -> int option
 (** The server-side session id, once the first attach learned it. *)
 
 val resilient_close : resilient -> unit
+
+(** {2 Pipelining (protocol v2)} *)
+
+module Pipeline : sig
+  (** Many requests in flight on one connection.  Each request is
+      wrapped in a v2 envelope carrying a client-unique id; replies
+      come back in server completion order and are matched by that id.
+      Against a v1 server the pipeline falls back transparently to
+      bare frames with FIFO reply matching (same API, no overtaking).
+
+      Built on {!type-resilient}: when the connection dies, the next
+      {!submit}/{!await} reconnects, re-attaches, and replays the whole
+      in-flight window in submission order with the {e same} ids — the
+      server's dedup window answers already-applied mutations from
+      their recorded results, keeping replays exactly-once. *)
+
+  type t
+
+  val create : resilient -> t
+  (** Nothing connects until the first {!submit}. *)
+
+  val submit : t -> Protocol.request -> int
+  (** Enqueue one request without waiting for its reply; returns the
+      request id to match against {!await}.  Assert/retract requests
+      without an id are stamped with the envelope id itself.  Raises
+      like {!resilient_rpc} when the connection cannot be
+      (re)established. *)
+
+  val await : t -> int * Protocol.response
+  (** The next reply off the wire, in server completion order.  Raises
+      [Invalid_argument] when nothing is in flight, {!Timeout} when the
+      receive deadline expires (not retried). *)
+
+  val drain : t -> (int * Protocol.response) list
+  (** {!await} until the in-flight window is empty, in arrival order. *)
+
+  val inflight : t -> int
+  (** Requests submitted but not yet answered. *)
+
+  val v2 : t -> bool
+  (** Whether envelope framing was negotiated ([false] before the first
+      connect and against a v1 server). *)
+
+  val session_id : t -> int option
+  val close : t -> unit
+end

@@ -13,9 +13,18 @@
    bad tag, bad length, trailing bytes) into [Error msg], and
    [extract_frame] reports an undecodable length prefix as
    [Bad_length] so the server can answer with a structured error frame
-   instead of dying on garbage input. *)
+   instead of dying on garbage input.
+
+   Protocol v2 adds pipelining: a request payload may be wrapped in an
+   envelope (tag 0x7f, then an i64 request id, then the v1 payload
+   unchanged), and the matching response comes back in a response
+   envelope (tag 0xff, same id).  Envelopes are stateless — the server
+   accepts bare v1 and enveloped v2 payloads on the same connection —
+   so version negotiation ([Hello]/[Welcome]) only informs the
+   *client* whether the peer will echo ids back. *)
 
 let max_frame_default = 16 * 1024 * 1024
+let protocol_version = 2
 
 type engine = Staged | Reference
 
@@ -43,6 +52,11 @@ type request =
   | Attach of int option
       (** [None]: mark this session attachable and report its id;
           [Some id]: adopt session [id] (detached, or durable on disk) *)
+  | Hello of { version : int }
+      (** capability negotiation: the client's highest protocol
+          version; answered with [Welcome] (v2+ servers) or a
+          protocol-violation error (v1 servers), so the client can
+          fall back *)
 
 type error_code =
   | Lex_error
@@ -71,6 +85,9 @@ type response =
   | Error of { code : error_code; message : string }
   | Bye
   | Attached of { id : int }
+  | Welcome of { version : int }
+      (** the version the server settles on: [min client_version
+          protocol_version] *)
 
 let error_code_to_int = function
   | Lex_error -> 1
@@ -252,9 +269,15 @@ let tag_query = 0x07
 let tag_stats = 0x08
 let tag_shutdown = 0x09
 let tag_attach = 0x0a
+let tag_hello = 0x0b
 
-let encode_request req =
-  let b = Buffer.create 64 in
+(* the v2 envelope: tag, i64 request id, then the v1 payload verbatim.
+   0x7f/0xff sit at the top of each tag space so they can never
+   collide with a v1 frame kind. *)
+let tag_req_envelope = 0x7f
+let tag_resp_envelope = 0xff
+
+let write_request b req =
   (match req with
    | Ping -> w_u8 b tag_ping
    | Load src ->
@@ -287,7 +310,21 @@ let encode_request req =
    | Shutdown -> w_u8 b tag_shutdown
    | Attach id ->
      w_u8 b tag_attach;
-     w_opt w_int b id);
+     w_opt w_int b id
+   | Hello { version } ->
+     w_u8 b tag_hello;
+     w_int b version)
+
+let encode_request req =
+  let b = Buffer.create 64 in
+  write_request b req;
+  frame (Buffer.contents b)
+
+let encode_request_v2 ~rid req =
+  let b = Buffer.create 72 in
+  w_u8 b tag_req_envelope;
+  w_int b rid;
+  write_request b req;
   frame (Buffer.contents b)
 
 let finish rd v what =
@@ -295,45 +332,59 @@ let finish rd v what =
     raise (Malformed (Printf.sprintf "%d trailing byte(s) after %s" (String.length rd.src - rd.pos) what));
   v
 
+let read_request rd =
+  let tag = r_u8 rd "request tag" in
+  if tag = tag_ping then Ping
+  else if tag = tag_load then Load (r_string rd "load")
+  else if tag = tag_assert then begin
+    let text = r_string rd "assert" in
+    Assert_facts { text; id = r_opt r_int rd "assert" }
+  end
+  else if tag = tag_retract then begin
+    let text = r_string rd "retract" in
+    Retract_facts { text; id = r_opt r_int rd "retract" }
+  end
+  else if tag = tag_run then begin
+    let engine = r_engine rd "run" in
+    let seed = r_opt r_int rd "run" in
+    let preds = r_opt (r_list r_string) rd "run" in
+    let budget = r_budget rd "run" in
+    Run { engine; seed; preds; budget }
+  end
+  else if tag = tag_enumerate then begin
+    let max_models = r_int rd "enumerate" in
+    let preds = r_opt (r_list r_string) rd "enumerate" in
+    Enumerate { max_models; preds }
+  end
+  else if tag = tag_query then begin
+    let engine = r_engine rd "query" in
+    let text = r_string rd "query" in
+    let budget = r_budget rd "query" in
+    Query { engine; text; budget }
+  end
+  else if tag = tag_stats then Stats
+  else if tag = tag_shutdown then Shutdown
+  else if tag = tag_attach then Attach (r_opt r_int rd "attach")
+  else if tag = tag_hello then Hello { version = r_int rd "hello" }
+  else raise (Malformed (Printf.sprintf "unknown request tag 0x%02x" tag))
+
 let decode_request body =
   let rd = { src = body; pos = 0 } in
+  try Ok (finish rd (read_request rd) "request")
+  with Malformed msg -> Result.Error msg
+
+(* v2-aware decode: accepts a bare v1 payload ([None] id) or an
+   enveloped one ([Some rid]); the connection needs no decode mode. *)
+let decode_request_v2 body =
+  let rd = { src = body; pos = 0 } in
   try
-    let tag = r_u8 rd "request tag" in
-    let req =
-      if tag = tag_ping then Ping
-      else if tag = tag_load then Load (r_string rd "load")
-      else if tag = tag_assert then begin
-        let text = r_string rd "assert" in
-        Assert_facts { text; id = r_opt r_int rd "assert" }
-      end
-      else if tag = tag_retract then begin
-        let text = r_string rd "retract" in
-        Retract_facts { text; id = r_opt r_int rd "retract" }
-      end
-      else if tag = tag_run then begin
-        let engine = r_engine rd "run" in
-        let seed = r_opt r_int rd "run" in
-        let preds = r_opt (r_list r_string) rd "run" in
-        let budget = r_budget rd "run" in
-        Run { engine; seed; preds; budget }
-      end
-      else if tag = tag_enumerate then begin
-        let max_models = r_int rd "enumerate" in
-        let preds = r_opt (r_list r_string) rd "enumerate" in
-        Enumerate { max_models; preds }
-      end
-      else if tag = tag_query then begin
-        let engine = r_engine rd "query" in
-        let text = r_string rd "query" in
-        let budget = r_budget rd "query" in
-        Query { engine; text; budget }
-      end
-      else if tag = tag_stats then Stats
-      else if tag = tag_shutdown then Shutdown
-      else if tag = tag_attach then Attach (r_opt r_int rd "attach")
-      else raise (Malformed (Printf.sprintf "unknown request tag 0x%02x" tag))
-    in
-    Ok (finish rd req "request")
+    if String.length body > 0 && Char.code body.[0] = tag_req_envelope then begin
+      rd.pos <- 1;
+      let rid = r_int rd "request envelope" in
+      let req = read_request rd in
+      Ok (Some rid, finish rd req "request")
+    end
+    else Ok (None, finish rd (read_request rd) "request")
   with Malformed msg -> Result.Error msg
 
 (* ---------------- responses ---------------- *)
@@ -349,9 +400,9 @@ let tag_stats_json = 0x88
 let tag_error = 0x89
 let tag_bye = 0x8a
 let tag_attached = 0x8b
+let tag_welcome = 0x8c
 
-let encode_response resp =
-  let b = Buffer.create 256 in
+let write_response b resp =
   (match resp with
    | Pong -> w_u8 b tag_pong
    | Loaded { clauses; cache_hit; digest; stage_stratified } ->
@@ -390,54 +441,80 @@ let encode_response resp =
    | Bye -> w_u8 b tag_bye
    | Attached { id } ->
      w_u8 b tag_attached;
-     w_int b id);
+     w_int b id
+   | Welcome { version } ->
+     w_u8 b tag_welcome;
+     w_int b version)
+
+let encode_response resp =
+  let b = Buffer.create 256 in
+  write_response b resp;
   frame (Buffer.contents b)
+
+let encode_response_v2 ~rid resp =
+  let b = Buffer.create 264 in
+  w_u8 b tag_resp_envelope;
+  w_int b rid;
+  write_response b resp;
+  frame (Buffer.contents b)
+
+let read_response rd =
+  let tag = r_u8 rd "response tag" in
+  if tag = tag_pong then Pong
+  else if tag = tag_loaded then begin
+    let clauses = r_int rd "loaded" in
+    let cache_hit = r_bool rd "loaded" in
+    let digest = r_string rd "loaded" in
+    let stage_stratified = r_bool rd "loaded" in
+    Loaded { clauses; cache_hit; digest; stage_stratified }
+  end
+  else if tag = tag_asserted then Asserted { added = r_int rd "asserted" }
+  else if tag = tag_retracted then Retracted { removed = r_int rd "retracted" }
+  else if tag = tag_model then begin
+    let complete = r_bool rd "model" in
+    let text = r_string rd "model" in
+    let diagnostic = r_opt r_string rd "model" in
+    Model { complete; text; diagnostic }
+  end
+  else if tag = tag_model_set then begin
+    let total = r_int rd "model-set" in
+    let models = r_list r_string rd "model-set" in
+    Model_set { total; models }
+  end
+  else if tag = tag_answers then begin
+    let complete = r_bool rd "answers" in
+    let vars = r_list r_string rd "answers" in
+    let rows = r_list r_string rd "answers" in
+    Answers { complete; vars; rows }
+  end
+  else if tag = tag_stats_json then Stats_json (r_string rd "stats")
+  else if tag = tag_error then begin
+    let code =
+      match error_code_of_int (r_u8 rd "error") with
+      | Some c -> c
+      | None -> raise (Malformed "unknown error code")
+    in
+    let message = r_string rd "error" in
+    Error { code; message }
+  end
+  else if tag = tag_bye then Bye
+  else if tag = tag_attached then Attached { id = r_int rd "attached" }
+  else if tag = tag_welcome then Welcome { version = r_int rd "welcome" }
+  else raise (Malformed (Printf.sprintf "unknown response tag 0x%02x" tag))
 
 let decode_response body =
   let rd = { src = body; pos = 0 } in
+  try Ok (finish rd (read_response rd) "response")
+  with Malformed msg -> Result.Error msg
+
+let decode_response_v2 body =
+  let rd = { src = body; pos = 0 } in
   try
-    let tag = r_u8 rd "response tag" in
-    let resp =
-      if tag = tag_pong then Pong
-      else if tag = tag_loaded then begin
-        let clauses = r_int rd "loaded" in
-        let cache_hit = r_bool rd "loaded" in
-        let digest = r_string rd "loaded" in
-        let stage_stratified = r_bool rd "loaded" in
-        Loaded { clauses; cache_hit; digest; stage_stratified }
-      end
-      else if tag = tag_asserted then Asserted { added = r_int rd "asserted" }
-      else if tag = tag_retracted then Retracted { removed = r_int rd "retracted" }
-      else if tag = tag_model then begin
-        let complete = r_bool rd "model" in
-        let text = r_string rd "model" in
-        let diagnostic = r_opt r_string rd "model" in
-        Model { complete; text; diagnostic }
-      end
-      else if tag = tag_model_set then begin
-        let total = r_int rd "model-set" in
-        let models = r_list r_string rd "model-set" in
-        Model_set { total; models }
-      end
-      else if tag = tag_answers then begin
-        let complete = r_bool rd "answers" in
-        let vars = r_list r_string rd "answers" in
-        let rows = r_list r_string rd "answers" in
-        Answers { complete; vars; rows }
-      end
-      else if tag = tag_stats_json then Stats_json (r_string rd "stats")
-      else if tag = tag_error then begin
-        let code =
-          match error_code_of_int (r_u8 rd "error") with
-          | Some c -> c
-          | None -> raise (Malformed "unknown error code")
-        in
-        let message = r_string rd "error" in
-        Error { code; message }
-      end
-      else if tag = tag_bye then Bye
-      else if tag = tag_attached then Attached { id = r_int rd "attached" }
-      else raise (Malformed (Printf.sprintf "unknown response tag 0x%02x" tag))
-    in
-    Ok (finish rd resp "response")
+    if String.length body > 0 && Char.code body.[0] = tag_resp_envelope then begin
+      rd.pos <- 1;
+      let rid = r_int rd "response envelope" in
+      let resp = read_response rd in
+      Ok (Some rid, finish rd resp "response")
+    end
+    else Ok (None, finish rd (read_response rd) "response")
   with Malformed msg -> Result.Error msg

@@ -8,10 +8,24 @@
     Decoding is total: malformed input of any shape — truncated
     payloads, unknown tags, inconsistent lengths, trailing bytes —
     comes back as [Error msg], never an exception, so a server can
-    always answer garbage with a structured error frame. *)
+    always answer garbage with a structured error frame.
+
+    {b Protocol v2 — pipelining.}  A request payload may be wrapped in
+    an {e envelope}: tag [0x7f], an i64 request id, then the v1
+    payload verbatim; the response comes back wrapped the same way
+    (tag [0xff], the request's id), so a client can keep many requests
+    in flight on one connection and match replies by id even when they
+    arrive out of order.  Envelopes are per-frame and stateless — the
+    v2 decoders accept bare v1 payloads too — so [Hello]/[Welcome]
+    negotiation exists only to tell the {e client} whether the peer
+    echoes ids (a v1 server answers [Hello] with a protocol-violation
+    error, and the client falls back to blocking v1). *)
 
 val max_frame_default : int
 (** Default payload-size cap (16 MiB). *)
+
+val protocol_version : int
+(** The highest protocol version this build speaks (2). *)
 
 type engine = Staged | Reference
 
@@ -52,6 +66,11 @@ type request =
           session [id] — detached in memory, or restored from the data
           dir when the server is durable.  Unknown or busy ids get a
           [No_session] error. *)
+  | Hello of { version : int }
+      (** capability negotiation: the client's highest version.  v2+
+          servers answer [Welcome]; a v1 server answers with a
+          protocol-violation error, telling the client to stay on
+          blocking v1. *)
 
 type error_code =
   | Lex_error
@@ -83,6 +102,8 @@ type response =
   | Error of { code : error_code; message : string }
   | Bye
   | Attached of { id : int }  (** the session now driven by this connection *)
+  | Welcome of { version : int }
+      (** the settled version: [min client_version protocol_version] *)
 
 val error_code_to_int : error_code -> int
 val error_code_of_int : int -> error_code option
@@ -92,6 +113,12 @@ val encode_request : request -> string
 (** The full frame, length prefix included. *)
 
 val encode_response : response -> string
+
+val encode_request_v2 : rid:int -> request -> string
+(** The enveloped form: tag [0x7f], the i64 [rid], then the v1
+    payload.  Full frame, length prefix included. *)
+
+val encode_response_v2 : rid:int -> response -> string
 
 type extracted =
   | Need_more  (** not yet a whole frame *)
@@ -107,3 +134,9 @@ val decode_request : string -> (request, string) result
     malformation are [Error]. *)
 
 val decode_response : string -> (response, string) result
+
+val decode_request_v2 : string -> (int option * request, string) result
+(** Like {!decode_request} but accepts both wire forms: an enveloped
+    payload yields [Some rid], a bare v1 payload yields [None]. *)
+
+val decode_response_v2 : string -> (int option * response, string) result

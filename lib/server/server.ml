@@ -3,11 +3,16 @@
    Architecture — one event-loop domain plus a pool of worker domains:
 
    - The event loop owns every socket.  It accepts connections, reads
-     bytes, splits frames (Protocol.extract_frame), decodes requests,
-     and queues at most one in-flight request per connection on the
-     shared work queue (per-connection FIFO order is what makes
-     assert-then-run meaningful).  It also owns all outbound buffers
-     and flushes them as sockets become writable.
+     bytes, splits frames (Protocol.extract_frame), decodes requests
+     (v1 or enveloped v2), and queues session-bound work on the shared
+     work queue at most one per connection at a time (per-connection
+     FIFO order is what makes assert-then-run meaningful).  Enveloped
+     Ping/Hello frames are "independent": they carry no session state,
+     so they are dispatched immediately — even while a session-bound
+     request is in flight — and their replies genuinely overtake
+     (out-of-order, matched by the envelope id on the client).  It
+     also owns all outbound buffers and flushes them as sockets become
+     writable.
 
    - Worker domains block on the work queue, evaluate the request
      against the connection's session under a per-request Limits
@@ -45,6 +50,75 @@
 
 module Limits = Gbc_datalog.Limits
 module Telemetry = Gbc_datalog.Telemetry
+
+(* A lock-free log2-bucketed histogram: bucket i counts values v with
+   floor(log2 v) = i (v = 0 lands in bucket 0).  Cheap enough for the
+   per-request hot path, precise enough for tail percentiles — a
+   reported percentile is the bucket's upper bound, clamped by the
+   true maximum.  Workers add concurrently; readers get a consistent-
+   enough snapshot for stats. *)
+module Hist = struct
+  type t = {
+    buckets : int Atomic.t array;
+    count : int Atomic.t;
+    sum : int Atomic.t;
+    max : int Atomic.t;
+  }
+
+  let nbuckets = 40
+
+  let create () =
+    { buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+      count = Atomic.make 0;
+      sum = Atomic.make 0;
+      max = Atomic.make 0 }
+
+  let bucket_of v =
+    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+    min (nbuckets - 1) (go 0 (max v 0))
+
+  let add t v =
+    let v = max 0 v in
+    Atomic.incr t.buckets.(bucket_of v);
+    Atomic.incr t.count;
+    ignore (Atomic.fetch_and_add t.sum v);
+    let rec bump () =
+      let m = Atomic.get t.max in
+      if v > m && not (Atomic.compare_and_set t.max m v) then bump ()
+    in
+    bump ()
+
+  let count t = Atomic.get t.count
+  let max_value t = Atomic.get t.max
+
+  let mean t =
+    let n = Atomic.get t.count in
+    if n = 0 then 0.0 else float_of_int (Atomic.get t.sum) /. float_of_int n
+
+  (* the value at percentile p (0 < p <= 100): upper bound of the
+     bucket where the cumulative count crosses it *)
+  let percentile t p =
+    let total = Atomic.get t.count in
+    if total = 0 then 0
+    else begin
+      let target =
+        Stdlib.max 1 (int_of_float (Float.round (p *. float_of_int total /. 100.0)))
+      in
+      let cum = ref 0 in
+      let result = ref (Atomic.get t.max) in
+      (try
+         Array.iteri
+           (fun i b ->
+             cum := !cum + Atomic.get b;
+             if !cum >= target then begin
+               result := (2 lsl i) - 1;
+               raise Exit
+             end)
+           t.buckets
+       with Exit -> ());
+      min !result (Atomic.get t.max)
+    end
+end
 
 type config = {
   host : string;
@@ -93,8 +167,11 @@ type conn = {
   inbuf : Buffer.t;  (* unconsumed inbound bytes *)
   out : Buffer.t;  (* outbound bytes; [out_off] already written *)
   mutable out_off : int;
-  pending : Protocol.request Queue.t;
-  mutable busy : bool;  (* a request is with a worker *)
+  pending : (int option * Protocol.request * float) Queue.t;
+      (* (envelope id, request, parse time) — parse time feeds the
+         queue-wait histogram when a worker finally dequeues it *)
+  mutable busy : bool;  (* a session-bound request is with a worker *)
+  mutable inflight : int;  (* all requests with workers, independents included *)
   mutable alive : bool;  (* fd open *)
   mutable peer_gone : bool;  (* EOF/error seen; stop reading *)
   mutable close_after_flush : bool;
@@ -103,10 +180,13 @@ type conn = {
 
 type post = Keep | Start_drain | Swap of Session.t
 
-type work_item = Job of conn * Protocol.request | Quit
+type work_item =
+  | Job of conn * int option * Protocol.request * bool * float
+      (* conn, envelope id, request, session-bound?, parse time *)
+  | Quit
 
 type completion =
-  | Done of conn * string * post
+  | Done of conn * string * post * bool  (* encoded reply, post-action, session-bound? *)
   | Worker_died of int * string  (* slot, cause — respawn it *)
 
 type t = {
@@ -143,6 +223,9 @@ type t = {
   fault_tick : int Atomic.t;  (* counts requests toward [worker_fault] *)
   totals_m : Mutex.t;
   engine_totals : (string, int) Hashtbl.t;
+  queue_wait : Hist.t;  (* µs from frame parse to worker dequeue *)
+  depth : Hist.t;  (* per-connection in-flight depth at each dispatch *)
+  inflight_max : int Atomic.t;  (* deepest pipeline any connection reached *)
   mutable conns : conn list;  (* event-loop owned *)
 }
 
@@ -239,6 +322,9 @@ let create cfg =
       fault_tick = Atomic.make 0;
       totals_m = Mutex.create ();
       engine_totals = Hashtbl.create 32;
+      queue_wait = Hist.create ();
+      depth = Hist.create ();
+      inflight_max = Atomic.make 0;
       conns = [] }
   with
   | t -> Ok t
@@ -363,7 +449,9 @@ let stats_json t (session : Session.t) =
     "{\"server\": {\"workers\": %d, \"max_jobs\": %d, \"uptime_s\": %.3f, \"draining\": %b, \"requests\": %d, \
      \"errors\": %d, \"partials\": %d, \"sessions_total\": %d, \"open_conns\": %d, \
      \"workers_respawned\": %d, \"sessions_detached\": %d, \"sessions_reaped\": %d, \
-     \"sessions_recovered\": %d, \"conns_idle_closed\": %d, \"durable\": %s, \"cache\": {\"hits\": %d, \
+     \"sessions_recovered\": %d, \"conns_idle_closed\": %d, \"inflight_max\": %d, \
+     \"pipelined_depth_p99\": %d, \"queue_wait\": {\"count\": %d, \"mean_us\": %.1f, \
+     \"p50_us\": %d, \"p99_us\": %d, \"max_us\": %d}, \"durable\": %s, \"cache\": {\"hits\": %d, \
      \"misses\": %d, \"evictions\": %d, \"entries\": %d, \"programs_compiled\": %d, \
      \"compile_ms_total\": %.3f}, \"engine\": %s}, \"session\": \
      {\"id\": %d, \"requests\": %d, \"evaluations\": %d, \"partials\": %d, \"errors\": %d, \
@@ -380,6 +468,12 @@ let stats_json t (session : Session.t) =
     (Atomic.get t.sessions_reaped)
     (Atomic.get t.sessions_recovered)
     (Atomic.get t.conns_idle_closed)
+    (Atomic.get t.inflight_max)
+    (Hist.percentile t.depth 99.0)
+    (Hist.count t.queue_wait) (Hist.mean t.queue_wait)
+    (Hist.percentile t.queue_wait 50.0)
+    (Hist.percentile t.queue_wait 99.0)
+    (Hist.max_value t.queue_wait)
     (durable_json t) cache.Program_cache.hits cache.Program_cache.misses
     cache.Program_cache.evictions cache.Program_cache.entries
     cache.Program_cache.programs_compiled cache.Program_cache.compile_ms_total global_totals
@@ -414,6 +508,8 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
   try
     match req with
     | Protocol.Ping -> (Protocol.Pong, Keep)
+    | Protocol.Hello { version } ->
+      (Protocol.Welcome { version = min version Protocol.protocol_version }, Keep)
     | Protocol.Shutdown -> (Protocol.Bye, Start_drain)
     | Protocol.Stats -> (Protocol.Stats_json (stats_json t session), Keep)
     | Protocol.Attach None ->
@@ -490,6 +586,14 @@ let handle_request t (session : Session.t) req : Protocol.response * post =
     (* last-resort classification: a worker must survive anything *)
     err (Protocol.Server_error, Printexc.to_string e)
 
+(* Replies echo the request's wire form: an enveloped request gets its
+   reply wrapped in a response envelope carrying the same id, a bare v1
+   request gets a bare v1 reply. *)
+let encode_reply rid resp =
+  match rid with
+  | Some rid -> Protocol.encode_response_v2 ~rid resp
+  | None -> Protocol.encode_response resp
+
 let worker t slot =
   let pop () =
     Mutex.lock t.work_m;
@@ -503,7 +607,9 @@ let worker t slot =
   let rec go () =
     match pop () with
     | Quit -> ()
-    | Job (conn, req) -> (
+    | Job (conn, rid, req, session_bound, parsed_at) -> (
+      Hist.add t.queue_wait
+        (int_of_float ((Unix.gettimeofday () -. parsed_at) *. 1e6));
       match
         (match t.cfg.worker_fault with
         | Some k when k = 1 + Atomic.fetch_and_add t.fault_tick 1 ->
@@ -514,8 +620,9 @@ let worker t slot =
         handle_request t conn.session req
       with
       | resp, post ->
-        let bytes = Protocol.encode_response resp in
-        Mutex.protect t.done_m (fun () -> Queue.push (Done (conn, bytes, post)) t.done_q);
+        let bytes = encode_reply rid resp in
+        Mutex.protect t.done_m (fun () ->
+            Queue.push (Done (conn, bytes, post, session_bound)) t.done_q);
         wake t;
         go ()
       | exception e ->
@@ -524,13 +631,13 @@ let worker t slot =
            death for respawning, and exit the domain. *)
         Atomic.incr t.errors;
         let bytes =
-          Protocol.encode_response
+          encode_reply rid
             (Protocol.Error
                { code = Protocol.Server_error;
                  message = "worker crashed handling this request: " ^ Printexc.to_string e })
         in
         Mutex.protect t.done_m (fun () ->
-            Queue.push (Done (conn, bytes, Keep)) t.done_q;
+            Queue.push (Done (conn, bytes, Keep, session_bound)) t.done_q;
             Queue.push (Worker_died (slot, Printexc.to_string e)) t.done_q);
         wake t)
   in
@@ -554,28 +661,53 @@ let on_peer_gone t c =
     c.session.Session.cancel := true;
     Queue.clear c.pending
   end;
-  if not c.busy then close_conn t c
+  if c.inflight = 0 then close_conn t c
 
-let respond_now c resp = Buffer.add_string c.out (Protocol.encode_response resp)
+let respond_now ?rid c resp = Buffer.add_string c.out (encode_reply rid resp)
 
-let enqueue_job t c req =
-  c.busy <- true;
-  Mutex.protect t.work_m (fun () -> Queue.push (Job (c, req)) t.work);
+let enqueue_job t c (rid, req, parsed_at) ~session_bound =
+  if session_bound then c.busy <- true;
+  c.inflight <- c.inflight + 1;
+  Hist.add t.depth c.inflight;
+  if c.inflight > Atomic.get t.inflight_max then Atomic.set t.inflight_max c.inflight;
+  Mutex.protect t.work_m (fun () ->
+      Queue.push (Job (c, rid, req, session_bound, parsed_at)) t.work);
   Condition.signal t.work_c
 
+(* Requests that touch no session state may overtake the per-connection
+   FIFO — but only when the client asked for it by enveloping them
+   (bare v1 traffic keeps its strict request/reply ordering). *)
+let independent = function
+  | Protocol.Ping | Protocol.Hello _ -> true
+  | _ -> false
+
 let dispatch t c =
-  if c.alive && (not c.busy) && not (Queue.is_empty c.pending) then begin
+  if c.alive && not (Queue.is_empty c.pending) then begin
     if Atomic.get t.draining then begin
       (* drain answers queued-but-unstarted work without evaluating *)
       Queue.iter
-        (fun _ ->
-          respond_now c
+        (fun (rid, _, _) ->
+          respond_now ?rid c
             (Protocol.Error { code = Protocol.Draining; message = "server is draining" }))
         c.pending;
       Queue.clear c.pending;
       c.close_after_flush <- true
     end
-    else enqueue_job t c (Queue.pop c.pending)
+    else begin
+      (* enveloped independents go to workers immediately, out of
+         order; session-bound requests stay one-at-a-time FIFO *)
+      let keep = Queue.create () in
+      Queue.iter
+        (fun ((rid, req, _) as item) ->
+          match rid with
+          | Some _ when independent req -> enqueue_job t c item ~session_bound:false
+          | _ -> Queue.push item keep)
+        c.pending;
+      Queue.clear c.pending;
+      Queue.transfer keep c.pending;
+      if (not c.busy) && not (Queue.is_empty c.pending) then
+        enqueue_job t c (Queue.pop c.pending) ~session_bound:true
+    end
   end
 
 let parse_frames t c =
@@ -596,8 +728,8 @@ let parse_frames t c =
       stop := true
     | Protocol.Frame (body, next) -> (
       off := next;
-      match Protocol.decode_request body with
-      | Ok req -> Queue.push req c.pending
+      match Protocol.decode_request_v2 body with
+      | Ok (rid, req) -> Queue.push (rid, req, Unix.gettimeofday ()) c.pending
       | Error msg ->
         respond_now c
           (Protocol.Error { code = Protocol.Protocol_violation; message = msg });
@@ -629,6 +761,7 @@ let accept_conn t lfd =
         out_off = 0;
         pending = Queue.create ();
         busy = false;
+        inflight = 0;
         alive = true;
         peer_gone = false;
         close_after_flush = false;
@@ -668,7 +801,7 @@ let on_writable t c =
         c.out_off <- 0
       end
   end;
-  if out_pending c = 0 && c.close_after_flush && (not c.busy) && Queue.is_empty c.pending
+  if out_pending c = 0 && c.close_after_flush && c.inflight = 0 && Queue.is_empty c.pending
   then close_conn t c
 
 let drain_completions t ~respawn =
@@ -684,8 +817,9 @@ let drain_completions t ~respawn =
       | Worker_died (slot, cause) ->
         Printf.eprintf "gbcd: worker %d died (%s); respawning\n%!" slot cause;
         respawn slot
-      | Done (c, bytes, post) ->
-        c.busy <- false;
+      | Done (c, bytes, post, session_bound) ->
+        if session_bound then c.busy <- false;
+        c.inflight <- c.inflight - 1;
         c.last_activity <- Unix.gettimeofday ();
         (match post with
         | Start_drain -> Atomic.set t.draining true
@@ -703,7 +837,7 @@ let drain_completions t ~respawn =
             release_session t s
         | Keep -> ());
         if c.alive && not c.peer_gone then Buffer.add_string c.out bytes
-        else if c.alive then close_conn t c;
+        else if c.alive && c.inflight = 0 then close_conn t c;
         dispatch t c)
     items
 
@@ -740,7 +874,7 @@ let sweep_idle t now timeout =
   List.iter
     (fun c ->
       if
-        c.alive && (not c.busy)
+        c.alive && c.inflight = 0
         && Queue.is_empty c.pending
         && out_pending c = 0
         && now -. c.last_activity >= timeout
@@ -749,6 +883,23 @@ let sweep_idle t now timeout =
         on_peer_gone t c
       end)
     t.conns
+
+(* The select timeout is the distance to the nearest deadline — the
+   next idle sweep (when an idle timeout is configured) or the next
+   batched-WAL staleness flush — and infinite when there is none: the
+   self-pipe wakes the loop for completions, so an idle server makes
+   no wakeups at all instead of ticking on a fixed period. *)
+let select_timeout t ~last_sweep =
+  let deadlines =
+    (match t.cfg.idle_timeout_s with
+    | Some _ -> [ last_sweep +. 1.0 ]
+    | None -> [])
+    @ (match Wal.next_flush_deadline () with Some d -> [ d ] | None -> [])
+  in
+  match deadlines with
+  | [] -> -1.0
+  | ds ->
+    Float.max 0.0 (List.fold_left Float.min Float.infinity ds -. Unix.gettimeofday ())
 
 let run t =
   let domains = Array.init t.cfg.workers (fun slot -> Some (Domain.spawn (fun () -> worker t slot))) in
@@ -765,7 +916,7 @@ let run t =
   in
   let last_sweep = ref (Unix.gettimeofday ()) in
   let rec loop () =
-    t.conns <- List.filter (fun c -> c.alive || c.busy) t.conns;
+    t.conns <- List.filter (fun c -> c.alive || c.inflight > 0) t.conns;
     if finished t then ()
     else begin
       let accepting = not (Atomic.get t.draining) in
@@ -778,7 +929,7 @@ let run t =
       let wrs =
         List.filter_map (fun c -> if c.alive && out_pending c > 0 then Some c.fd else None) t.conns
       in
-      (match Unix.select rds wrs [] 0.25 with
+      (match Unix.select rds wrs [] (select_timeout t ~last_sweep:!last_sweep) with
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        | readable, writable, _ ->
          if List.mem t.pipe_r readable then drain_pipe t;
@@ -790,6 +941,7 @@ let run t =
            (fun c -> if c.alive && List.mem c.fd writable then on_writable t c)
            t.conns);
       drain_completions t ~respawn;
+      Wal.sync_stale ();
       (match t.cfg.idle_timeout_s with
       | Some timeout ->
         let now = Unix.gettimeofday () in
@@ -804,7 +956,7 @@ let run t =
     end
   and finished t =
     Atomic.get t.draining
-    && List.for_all (fun c -> (not c.busy) && ((not c.alive) || out_pending c = 0)) t.conns
+    && List.for_all (fun c -> c.inflight = 0 && ((not c.alive) || out_pending c = 0)) t.conns
   in
   loop ();
   (* drained: release everything *)

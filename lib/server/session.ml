@@ -94,6 +94,7 @@ type t = {
   durability : durability option;
   mutable replaying : bool;  (* recovery replay: suppress WAL writes *)
   mutable last_mut : (int * int) option;  (* exactly-once dedup: (request id, result) *)
+  mutable recent_muts : (int * int) list;  (* bounded dedup window for pipelined replay *)
   mutable attachable : bool;  (* survives its connection in memory *)
   counters : counters;
 }
@@ -120,6 +121,7 @@ let create ?durable ~cache ~id () =
         durable;
     replaying = false;
     last_mut = None;
+    recent_muts = [];
     attachable = false;
     counters =
       { requests = 0; evaluations = 0; partials = 0; errors = 0; facts_asserted = 0;
@@ -304,20 +306,35 @@ let rec remove_first pred (row : Value.t array) = function
   | (p, r) :: rest when String.equal p pred && Relation.Row_key.equal r row -> Some rest
   | x :: rest -> Option.map (fun rest' -> x :: rest') (remove_first pred row rest)
 
-(* Exactly-once dedup: a client that lost the response to its last
-   mutation resends it under the same request id; if that id matches
-   the session's last applied mutation we answer from the recorded
-   result instead of applying twice.  One slot suffices because the
-   server keeps one request in flight per connection and the client
-   replays only its most recent unacknowledged mutation. *)
+(* Exactly-once dedup: a client that lost the response to a mutation
+   resends it under the same request id; an id the session already
+   applied is answered from the recorded result instead of applied
+   twice.  The blocking client replays only its last unacknowledged
+   mutation ([last_mut], which also rides snapshots), but a pipelined
+   client reconnecting replays {e every} in-flight request, so a
+   bounded window of recent ids backs the single slot.  The window is
+   not snapshotted: WAL-tail replay repopulates it through the normal
+   mutation paths, which covers exactly the records a replaying client
+   could still resend. *)
+let recent_muts_cap = 128
+
 let dedup t id =
-  match (id, t.last_mut) with
-  | Some i, Some (j, result) when i = j -> Some result
-  | _ -> None
+  match id with
+  | None -> None
+  | Some i -> (
+    match t.last_mut with
+    | Some (j, result) when i = j -> Some result
+    | _ -> List.assoc_opt i t.recent_muts)
 
 let record_mut t id result =
   match (id, result) with
-  | Some i, Ok n -> t.last_mut <- Some (i, n)
+  | Some i, Ok n ->
+    t.last_mut <- Some (i, n);
+    let window = (i, n) :: t.recent_muts in
+    t.recent_muts <-
+      (if List.length window > recent_muts_cap then
+         List.filteri (fun k _ -> k < recent_muts_cap) window
+       else window)
   | _ -> ()
 
 let assert_facts ?id t text =

@@ -82,6 +82,11 @@ type t = {
   mutable last_mut : (int * int) option;
       (** exactly-once dedup: (request id, result) of the last applied
           mutation carrying an id; survives crashes via the WAL *)
+  mutable recent_muts : (int * int) list;
+      (** bounded window of recently applied (id, result) pairs backing
+          [last_mut], so a pipelined client replaying {e all} its
+          in-flight mutations after a reconnect stays exactly-once;
+          rebuilt from the WAL tail on recovery *)
   mutable attachable : bool;  (** survives its connection, reclaimable via [Attach] *)
   counters : counters;
 }

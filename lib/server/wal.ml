@@ -186,6 +186,39 @@ type t = {
 
 let create ~fsync path = { path; fsync; fd = None; unsynced = 0 }
 
+(* ---------------- batched-sync staleness ---------------- *)
+
+(* Under [Batch n] an acknowledged record can wait for n-1 successors
+   before it reaches stable storage — indefinitely, on a quiet session.
+   This process-wide registry tracks every log holding unsynced
+   records and when its oldest one landed, so the server's event loop
+   can (a) compute its select timeout from the nearest flush deadline
+   instead of ticking on a fixed period and (b) sync stale logs when
+   that deadline passes.  Entries are compared physically; the mutex
+   only guards the list — fsync itself runs outside it. *)
+
+let flush_max_age = 0.1  (* seconds an acknowledged record may wait unsynced *)
+
+let reg_m = Mutex.create ()
+let registry : (t * float) list ref = ref []
+
+let register t now =
+  Mutex.protect reg_m (fun () ->
+      if not (List.exists (fun (w, _) -> w == t) !registry) then
+        registry := (t, now) :: !registry)
+
+let unregister t =
+  Mutex.protect reg_m (fun () ->
+      registry := List.filter (fun (w, _) -> not (w == t)) !registry)
+
+let next_flush_deadline () =
+  Mutex.protect reg_m (fun () ->
+      List.fold_left
+        (fun acc (_, since) ->
+          let d = since +. flush_max_age in
+          match acc with None -> Some d | Some d' -> Some (Float.min d d'))
+        None !registry)
+
 let rec mkdir_p dir =
   if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
@@ -219,7 +252,8 @@ let frame payload =
 
 let do_sync t fd =
   Unix.fsync fd;
-  t.unsynced <- 0
+  t.unsynced <- 0;
+  unregister t
 
 let append t ~lsn record =
   let payload = encode_payload ~lsn record in
@@ -252,16 +286,31 @@ let append t ~lsn record =
   | Batch n ->
     t.unsynced <- t.unsynced + 1;
     if t.unsynced >= n then do_sync t fd
+    else if t.unsynced = 1 then register t (Unix.gettimeofday ())
 
 let sync t =
-  match t.fd with
+  (match t.fd with
   | Some fd when t.unsynced > 0 -> do_sync t fd
-  | _ -> ()
+  | _ -> ());
+  unregister t
+
+let sync_stale () =
+  let now = Unix.gettimeofday () in
+  let stale =
+    Mutex.protect reg_m (fun () ->
+        List.filter_map
+          (fun (w, since) -> if now -. since >= flush_max_age then Some w else None)
+          !registry)
+  in
+  List.iter
+    (fun w -> try sync w with Unix.Unix_error _ -> unregister w)
+    stale
 
 let reset t =
   let fd = get_fd t in
   Unix.ftruncate fd 0;
-  t.unsynced <- 0
+  t.unsynced <- 0;
+  unregister t
 
 let close t =
   match t.fd with

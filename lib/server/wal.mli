@@ -81,6 +81,22 @@ val append : t -> lsn:int -> record -> unit
 val sync : t -> unit
 (** Flush any batched records to stable storage now. *)
 
+val flush_max_age : float
+(** How long (seconds) an acknowledged record may wait unsynced under
+    [Batch n] before {!sync_stale} flushes it (0.1). *)
+
+val next_flush_deadline : unit -> float option
+(** The earliest absolute time ([Unix.gettimeofday] clock) at which
+    some log's batched records turn stale — process-wide, across every
+    live log.  [None] when nothing is waiting.  The server's event
+    loop folds this into its select timeout. *)
+
+val sync_stale : unit -> unit
+(** Fsync every log whose oldest batched record has waited at least
+    {!flush_max_age}.  Sync failures are swallowed here (the log drops
+    off the deadline registry; the next append surfaces the error to
+    its caller). *)
+
 val reset : t -> unit
 (** Truncate the log to empty (after a successful snapshot). *)
 

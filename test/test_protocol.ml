@@ -51,7 +51,8 @@ let gen_request =
           (fun engine text budget -> Protocol.Query { engine; text; budget })
           gen_engine gen_binary_string gen_budget;
         return Protocol.Stats;
-        return Protocol.Shutdown ])
+        return Protocol.Shutdown;
+        map (fun version -> Protocol.Hello { version }) (int_bound 1000) ])
 
 let all_error_codes =
   [ Protocol.Lex_error; Protocol.Parse_error; Protocol.Unsafe; Protocol.Unsupported;
@@ -87,6 +88,7 @@ let gen_response =
         map2
           (fun code message -> Protocol.Error { code; message })
           (oneofl all_error_codes) gen_binary_string;
+        map (fun version -> Protocol.Welcome { version }) (int_bound 1000);
       ])
 
 (* ---------------- round trips ---------------- *)
@@ -111,6 +113,58 @@ let response_roundtrip =
       match Protocol.decode_response (strip_frame (Protocol.encode_response resp)) with
       | Ok resp' -> resp = resp'
       | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+(* ---------------- protocol v2 envelopes ---------------- *)
+
+let gen_rid = QCheck.Gen.(oneof [ int_bound 1_000_000; return 0; return max_int ])
+
+let enveloped_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"v2 request envelope round-trip (id preserved)"
+    (QCheck.make QCheck.Gen.(pair gen_rid gen_request)) (fun (rid, req) ->
+      match Protocol.decode_request_v2 (strip_frame (Protocol.encode_request_v2 ~rid req)) with
+      | Ok (Some rid', req') -> rid = rid' && req = req'
+      | Ok (None, _) -> QCheck.Test.fail_reportf "envelope id lost"
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+let enveloped_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"v2 response envelope round-trip (id preserved)"
+    (QCheck.make QCheck.Gen.(pair gen_rid gen_response)) (fun (rid, resp) ->
+      match Protocol.decode_response_v2 (strip_frame (Protocol.encode_response_v2 ~rid resp)) with
+      | Ok (Some rid', resp') -> rid = rid' && resp = resp'
+      | Ok (None, _) -> QCheck.Test.fail_reportf "envelope id lost"
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+(* the v2 decoders accept bare v1 frames unchanged: same connection,
+   both framings, no mode switch *)
+let bare_through_v2 =
+  QCheck.Test.make ~count:500 ~name:"bare v1 frames decode through the v2 entry points"
+    (QCheck.make QCheck.Gen.(pair gen_request gen_response)) (fun (req, resp) ->
+      (match Protocol.decode_request_v2 (strip_frame (Protocol.encode_request req)) with
+      | Ok (None, req') when req' = req -> ()
+      | Ok _ -> QCheck.Test.fail_reportf "bare request misdecoded"
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg);
+      match Protocol.decode_response_v2 (strip_frame (Protocol.encode_response resp)) with
+      | Ok (None, resp') when resp' = resp -> true
+      | Ok _ -> QCheck.Test.fail_reportf "bare response misdecoded"
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+let garbage_payload_v2 =
+  QCheck.Test.make ~count:1000 ~name:"v2 decoders are total on garbage"
+    (QCheck.make gen_binary_string) (fun payload ->
+      (match Protocol.decode_request_v2 payload with Ok _ | Error _ -> ());
+      (match Protocol.decode_response_v2 payload with Ok _ | Error _ -> ());
+      (* envelope tags followed by junk, and truncated envelopes *)
+      (match Protocol.decode_request_v2 ("\x7f" ^ payload) with Ok _ | Error _ -> ());
+      (match Protocol.decode_response_v2 ("\xff" ^ payload) with Ok _ | Error _ -> ());
+      true)
+
+let truncated_envelope () =
+  let body = strip_frame (Protocol.encode_request_v2 ~rid:42 Protocol.Ping) in
+  for len = 0 to String.length body - 1 do
+    match Protocol.decode_request_v2 (String.sub body 0 len) with
+    | Ok (Some 42, Protocol.Ping) -> Alcotest.fail "a strict prefix decoded whole"
+    | Ok _ | Error _ -> ()
+  done
 
 (* every error code survives the int mapping *)
 let error_code_ints () =
@@ -216,6 +270,10 @@ let () =
     [ ( "roundtrip",
         [ qt request_roundtrip; qt response_roundtrip;
           Alcotest.test_case "error codes" `Quick error_code_ints ] );
+      ( "v2-envelopes",
+        [ qt enveloped_request_roundtrip; qt enveloped_response_roundtrip;
+          qt bare_through_v2; qt garbage_payload_v2;
+          Alcotest.test_case "truncated envelope" `Quick truncated_envelope ] );
       ( "malformed",
         [ Alcotest.test_case "truncated length prefix" `Quick truncated_prefix;
           Alcotest.test_case "oversized / zero / negative length" `Quick oversized_frame;

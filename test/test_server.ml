@@ -488,6 +488,158 @@ let test_jobs_request_same_model () =
                 expected text)))
     [ 1; 4 ]
 
+(* ---------------- pipelining (protocol v2) ---------------- *)
+
+let with_pipeline path f =
+  let r = Client.resilient (Client.Uds path) in
+  let p = Client.Pipeline.create r in
+  Fun.protect ~finally:(fun () -> Client.Pipeline.close p) (fun () -> f p)
+
+(* Many requests on the wire at once, replies matched by envelope id:
+   the served models must still be byte-identical to single-shot
+   evaluation. *)
+let test_pipeline_byte_identity () =
+  with_server ~workers:2 (fun path ->
+      with_pipeline path (fun p ->
+          List.iter
+            (fun name ->
+              let rid_load = Client.Pipeline.submit p (Protocol.Load (source name)) in
+              let rid_run = Client.Pipeline.submit p run_req in
+              let replies = Client.Pipeline.drain p in
+              Alcotest.(check bool) "negotiated v2" true (Client.Pipeline.v2 p);
+              (match List.assoc rid_load replies with
+              | Protocol.Loaded _ -> ()
+              | _ -> Alcotest.fail (name ^ ": expected Loaded"));
+              match List.assoc rid_run replies with
+              | Protocol.Model { complete = true; text; _ } ->
+                Alcotest.(check string) (name ^ " model") (local_model name) text
+              | _ -> Alcotest.fail (name ^ ": expected a complete Model"))
+            [ "example1.dl"; "prim.dl"; "huffman.dl" ]))
+
+(* An enveloped Ping genuinely overtakes a long evaluation in flight on
+   the same connection: out-of-order completion is real, not cosmetic. *)
+let test_pipeline_out_of_order () =
+  with_server ~workers:2 (fun path ->
+      with_pipeline path (fun p ->
+          let _ = Client.Pipeline.submit p (Protocol.Load (source "adversarial_nat.dl")) in
+          ignore (Client.Pipeline.drain p);
+          let budget = { Protocol.no_budget with Protocol.timeout_ms = Some 1000 } in
+          let slow =
+            Client.Pipeline.submit p
+              (Protocol.Run { engine = Protocol.Staged; seed = None; preds = None; budget })
+          in
+          let ping = Client.Pipeline.submit p Protocol.Ping in
+          let first_rid, first = Client.Pipeline.await p in
+          Alcotest.(check int) "the ping's reply arrives first" ping first_rid;
+          (match first with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong");
+          match Client.Pipeline.drain p with
+          | [ (rid, Protocol.Model _) ] ->
+            Alcotest.(check int) "the slow run still completes" slow rid
+          | _ -> Alcotest.fail "expected the run's Model frame"))
+
+(* The pipelining telemetry surfaces in stats: in-flight depth, its
+   p99, and the queue-wait histogram. *)
+let test_pipeline_stats () =
+  with_server ~workers:2 (fun path ->
+      with_pipeline path (fun p ->
+          let _ = Client.Pipeline.submit p (Protocol.Load (source "adversarial_nat.dl")) in
+          ignore (Client.Pipeline.drain p);
+          let budget = { Protocol.no_budget with Protocol.timeout_ms = Some 300 } in
+          let _ =
+            Client.Pipeline.submit p
+              (Protocol.Run { engine = Protocol.Staged; seed = None; preds = None; budget })
+          in
+          let _ = Client.Pipeline.submit p Protocol.Ping in
+          ignore (Client.Pipeline.drain p);
+          let sid = Client.Pipeline.submit p Protocol.Stats in
+          match List.assoc sid (Client.Pipeline.drain p) with
+          | Protocol.Stats_json json ->
+            Alcotest.(check bool) "inflight_max saw the pipeline" true
+              (int_field json "inflight_max" >= 2);
+            Alcotest.(check bool) "depth p99 present" true
+              (int_field json "pipelined_depth_p99" >= 1);
+            Alcotest.(check bool) "queue-wait samples recorded" true
+              (int_field json "count" >= 1);
+            Alcotest.(check bool) "queue-wait p99 sane" true (int_field json "p99_us" >= 0)
+          | _ -> Alcotest.fail "expected Stats_json"))
+
+(* Against a v1-only server — emulated here: it answers attach and
+   ping but treats the hello tag as a protocol violation and hangs up —
+   the pipeline falls back to bare framing on a fresh connection and
+   keeps working, FIFO. *)
+let test_pipeline_v1_fallback () =
+  incr sock_counter;
+  let path = Printf.sprintf "gbcd_v1_%d_%d.sock" (Unix.getpid ()) !sock_counter in
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 8;
+  let stop = Atomic.make false in
+  let serve_conn fd =
+    let buf = Buffer.create 64 in
+    let chunk = Bytes.create 4096 in
+    let closed = ref false in
+    while not !closed do
+      match Protocol.extract_frame (Buffer.contents buf) 0 with
+      | Protocol.Frame (body, next) ->
+        let rest = Buffer.contents buf in
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub rest next (String.length rest - next));
+        let reply =
+          match Protocol.decode_request body with
+          | Ok (Protocol.Attach _) -> Protocol.Attached { id = 1 }
+          | Ok Protocol.Ping -> Protocol.Pong
+          | Ok _ | Error _ ->
+            (* an old server does not know hello or envelopes *)
+            closed := true;
+            Protocol.Error { code = Protocol.Protocol_violation; message = "unknown tag" }
+        in
+        let bytes = Protocol.encode_response reply in
+        (try ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+         with Unix.Unix_error _ -> ());
+        if !closed then (try Unix.close fd with Unix.Unix_error _ -> ())
+      | _ -> (
+        match Unix.read fd chunk 0 4096 with
+        | 0 ->
+          closed := true;
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | n -> Buffer.add_subbytes buf chunk 0 n
+        | exception Unix.Unix_error _ ->
+          closed := true;
+          (try Unix.close fd with Unix.Unix_error _ -> ()))
+    done
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.accept lfd with
+          | exception Unix.Unix_error _ -> Atomic.set stop true
+          | fd, _ -> serve_conn fd
+        done)
+      ()
+  in
+  let r = Client.resilient ~retries:2 (Client.Uds path) in
+  let p = Client.Pipeline.create r in
+  let rid = Client.Pipeline.submit p Protocol.Ping in
+  let rid', resp = Client.Pipeline.await p in
+  Alcotest.(check int) "bare reply matched FIFO to its id" rid rid';
+  (match resp with
+  | Protocol.Pong -> ()
+  | _ -> Alcotest.fail "expected Pong");
+  Alcotest.(check bool) "fell back to v1 framing" false (Client.Pipeline.v2 p);
+  Client.Pipeline.close p;
+  Atomic.set stop true;
+  (* a throwaway connection unblocks the accept loop *)
+  (let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+   (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
+   try Unix.close fd with Unix.Unix_error _ -> ());
+  Thread.join th;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+
 (* ---------------- shutdown ---------------- *)
 
 let test_shutdown_drains () =
@@ -572,6 +724,13 @@ let () =
           Alcotest.test_case "cache counters in stats" `Quick test_cache_counters_in_stats;
           Alcotest.test_case "jobs request serves identical model" `Quick
             test_jobs_request_same_model ] );
+      ( "pipelining",
+        [ Alcotest.test_case "pipelined models byte-identical" `Quick
+            test_pipeline_byte_identity;
+          Alcotest.test_case "enveloped ping overtakes a running eval" `Quick
+            test_pipeline_out_of_order;
+          Alcotest.test_case "depth and queue-wait in stats" `Quick test_pipeline_stats;
+          Alcotest.test_case "v1 fallback keeps working" `Quick test_pipeline_v1_fallback ] );
       ( "lifecycle",
         [ Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
           Alcotest.test_case "8 sessions x 13 exemplars x 4 workers" `Slow
