@@ -35,6 +35,12 @@ let time ?repeat f =
   let r, t = time_stats ?repeat f in
   (r, t.best_s)
 
+(* Peak major-heap size since program start, in words — the resident
+   footprint that the allocation experiments (E14, E20) record next to
+   minor words per fact.  [Gc.quick_stat] reads the counter without
+   forcing a collection, so bracketing a measurement with it is free. *)
+let top_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
+
 (* Least-squares slope of log2(y) against log2(x): the empirical
    scaling exponent.  [O(n)] gives ~1, [O(n^2)] ~2; [O(n log n)]
    lands slightly above 1. *)

@@ -26,11 +26,16 @@ open Gbc
    through gbc-router, blocking vs pipelined clients) at full scale,
    write BENCH_E19.json, and fail unless the pipelined client's
    requests/s strictly beats the blocking client's. *)
+(* --e20: run only the big-EDB tier (million-edge bulk loads, flat vs
+   boxed; snapshot restore; the greedy exemplars at a sub-tier), write
+   BENCH_E20.json, and fail unless the flat representation is at least
+   1.5x better on minor words per loaded fact on every corpus. *)
 let only_e14 = Array.exists (( = ) "--e14") Sys.argv
 let only_e15 = Array.exists (( = ) "--e15") Sys.argv
 let only_e17 = Array.exists (( = ) "--e17") Sys.argv
 let only_e18 = Array.exists (( = ) "--e18") Sys.argv
 let only_e19 = Array.exists (( = ) "--e19") Sys.argv
+let only_e20 = Array.exists (( = ) "--e20") Sys.argv
 let perf_smoke = Array.exists (( = ) "--perf-smoke") Sys.argv
 let smoke = perf_smoke || Array.exists (( = ) "--smoke") Sys.argv
 let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
@@ -573,7 +578,8 @@ let e14 () =
                 ("words_per_fact", int_of_float (Float.round wpf));
                 ("compiled_minor_words", int_of_float dw_c);
                 ("compiled_words_per_fact", int_of_float (Float.round wpf_c));
-                ("compiled_wall_us", int_of_float (wall_c *. 1e6)) ];
+                ("compiled_wall_us", int_of_float (wall_c *. 1e6));
+                ("top_heap_words", Harness.top_heap_words ()) ];
             [ name; string_of_int n; Harness.sec wall; Harness.sec wall_c;
               Printf.sprintf "%.1f" wpf; Printf.sprintf "%.1f" wpf_c;
               Harness.ratio wpf wpf_c ])
@@ -1355,6 +1361,188 @@ let e19 () =
   (rps_b, rps_p)
 
 (* ------------------------------------------------------------------ *)
+(* E20 — the big-EDB tier: flat vs boxed million-edge loads            *)
+(* ------------------------------------------------------------------ *)
+
+(* The storage-layout claim: columnar flat-int relations make the
+   million-edge corpus a systems workload rather than an allocation
+   stress test.  Three measurements, all on the generated graph
+   corpora behind Prim / Kruskal / Dijkstra (seeds recorded in every
+   point):
+
+   1. Bulk-load allocation — the same corpus loaded twice through
+      [Graph_gen.load_big], once with flat storage disabled (boxed
+      rows: a tuple plus a Value box per field) and once enabled.
+      The gate asserts flat is >= 1.5x better on minor words per
+      fact; per-predicate cardinalities and distinct counts must
+      agree between the two representations before any point is
+      recorded.
+
+   2. Snapshot round-trip at the tier — the flat database written
+      with the v2 cell-blob codec and restored, against the same
+      data written v1 (tagged values) and restored; plus the
+      session-fork primitive ([Database.copy]) timed on the
+      million-fact database.
+
+   3. The programs themselves at a sub-tier the engines settle in
+      bench time — Prim / Kruskal / Dijkstra through the staged
+      engine seeded via [?db], byte-identical models required
+      between the boxed and flat runs. *)
+
+let e20_seed = 42
+
+let e20 () =
+  let nodes, edges, grid = if smoke then (2_000, 20_000, 100) else (100_000, 1_000_000, 707) in
+  let saved_threshold = Relation.flat_threshold () in
+  let set_flat flat = Relation.set_flat_threshold (if flat then Some 1024 else None) in
+  Fun.protect ~finally:(fun () -> Relation.set_flat_threshold saved_threshold) @@ fun () ->
+  (* -- 1: bulk-load allocation, boxed vs flat ----------------------- *)
+  let corpora =
+    [ ("prim", `Power, false); ("kruskal", `Road, false); ("dijkstra", `Power, true) ]
+  in
+  let worst_ratio = ref infinity in
+  let big_db = ref None in
+  let load_rows =
+    List.map
+      (fun (name, kind, directed) ->
+        let g =
+          match kind with
+          | `Power -> Graph_gen.power_law ~seed:e20_seed ~nodes ~edges
+          | `Road -> Graph_gen.road_network ~seed:e20_seed ~width:grid ~height:grid
+        in
+        let measure flat =
+          set_flat flat;
+          Gc.compact ();
+          let w0 = Gc.minor_words () in
+          let t0 = Unix.gettimeofday () in
+          let db = Database.create () in
+          Graph_gen.load_big ~directed db g;
+          Graph_gen.load_big_nodes db g;
+          let wall = Unix.gettimeofday () -. t0 in
+          (db, wall, Gc.minor_words () -. w0)
+        in
+        let db_b, wall_b, dw_b = measure false in
+        let db_f, wall_f, dw_f = measure true in
+        let facts = Database.cardinal db_b in
+        (* representation must be invisible: same cardinalities, same
+           per-column statistics (full byte-identity is the bigedb
+           smoke test's job — at 10^6+ facts the canonical printer
+           would dominate the bench) *)
+        let stats db =
+          List.map
+            (fun p ->
+              let rel = Option.get (Database.find db p) in
+              (p, Relation.cardinal rel, Relation.distinct_counts rel))
+            (Database.preds db)
+        in
+        if Database.cardinal db_f <> facts || stats db_b <> stats db_f then begin
+          Printf.eprintf "E20: %s: flat load disagrees with boxed load\n" name;
+          exit 1
+        end;
+        let wpf_b = dw_b /. float_of_int facts in
+        let wpf_f = dw_f /. float_of_int facts in
+        let ratio = wpf_b /. Float.max wpf_f 0.01 in
+        worst_ratio := Float.min !worst_ratio ratio;
+        if name = "dijkstra" then big_db := Some db_f;
+        record ~exp:"E20" ~n:facts ~wall:wall_f
+          [ ("seed", e20_seed); ("nodes", nodes); ("graph_edges", Graph_gen.big_edges g);
+            ("directed", if directed then 1 else 0);
+            ("boxed_minor_words", int_of_float dw_b);
+            ("flat_minor_words", int_of_float dw_f);
+            ("boxed_words_per_fact_x10", int_of_float (wpf_b *. 10.0));
+            ("flat_words_per_fact_x10", int_of_float (wpf_f *. 10.0));
+            ("improvement_x10", int_of_float (ratio *. 10.0));
+            ("boxed_load_us", int_of_float (wall_b *. 1e6));
+            ("flat_load_us", int_of_float (wall_f *. 1e6));
+            ("top_heap_words", Harness.top_heap_words ()) ];
+        [ name; string_of_int facts; Harness.sec wall_b; Harness.sec wall_f;
+          Printf.sprintf "%.1f" wpf_b; Printf.sprintf "%.1f" wpf_f;
+          Printf.sprintf "%.0fx" ratio ])
+      corpora
+  in
+  Harness.table
+    ~title:
+      (Printf.sprintf
+         "E20  Big-EDB bulk loads (%d-node / %d-edge power-law, %dx%d road): boxed vs \
+          flat relations, minor words per loaded fact"
+         nodes edges grid grid)
+    ~header:[ "corpus"; "facts"; "boxed(s)"; "flat(s)"; "boxed w/f"; "flat w/f"; "gain" ]
+    load_rows;
+  (* -- 2: snapshot round-trip and session fork at the tier ---------- *)
+  let db = Option.get !big_db in
+  let facts = Database.cardinal db in
+  set_flat true;
+  let buf = Buffer.create (1 lsl 20) in
+  Db_snapshot.write buf db;
+  let v2 = Buffer.contents buf in
+  let (db2, _), t_restore = Harness.time (fun () -> Db_snapshot.read v2 0) in
+  let buf = Buffer.create (1 lsl 20) in
+  Db_snapshot.write_v1 buf db;
+  let v1 = Buffer.contents buf in
+  let (db1, _), t_restore_v1 = Harness.time (fun () -> Db_snapshot.read v1 0) in
+  if Database.cardinal db2 <> facts || Database.cardinal db1 <> facts then begin
+    Printf.eprintf "E20: snapshot round-trip lost facts\n";
+    exit 1
+  end;
+  let _, t_fork = Harness.time (fun () -> Database.copy db) in
+  record ~exp:"E20" ~n:facts ~wall:t_restore
+    [ ("seed", e20_seed); ("snapshot_v2_bytes", String.length v2);
+      ("snapshot_v1_bytes", String.length v1);
+      ("restore_v2_us", int_of_float (t_restore *. 1e6));
+      ("restore_v1_us", int_of_float (t_restore_v1 *. 1e6));
+      ("fork_us", int_of_float (t_fork *. 1e6));
+      ("top_heap_words", Harness.top_heap_words ()) ];
+  Harness.table
+    ~title:"E20  Snapshot round-trip of the big fact base: v2 (flat cell blobs) vs v1 \
+            (tagged values), and the session-fork primitive"
+    ~header:[ "facts"; "v2 bytes"; "v1 bytes"; "v2 restore(s)"; "v1 restore(s)"; "fork(s)" ]
+    [ [ string_of_int facts; string_of_int (String.length v2); string_of_int (String.length v1);
+        Harness.sec t_restore; Harness.sec t_restore_v1; Printf.sprintf "%.6f" t_fork ] ];
+  (* -- 3: the greedy exemplars over a corpus the engines settle ----- *)
+  (* Per-program sub-tier: declarative Kruskal is O(e.n) (claim C4), so
+     it gets a smaller corpus than the near-linear Prim/Dijkstra. *)
+  let engine_rows =
+    List.map
+      (fun (name, source, directed, (sub_nodes, sub_edges)) ->
+        let sub_nodes, sub_edges =
+          if smoke then (500, 2_000) else (sub_nodes, sub_edges)
+        in
+        let sub = Graph_gen.power_law ~seed:e20_seed ~nodes:sub_nodes ~edges:sub_edges in
+        let prog = Parser.parse_program source in
+        let run flat =
+          set_flat flat;
+          let db = Database.create () in
+          Graph_gen.load_big ~directed db sub;
+          Graph_gen.load_big_nodes db sub;
+          let t0 = Unix.gettimeofday () in
+          let model, _ = Stage_engine.run ~db prog in
+          (Unix.gettimeofday () -. t0, Format.asprintf "%a" Database.pp model)
+        in
+        let wall_b, model_b = run false in
+        let wall_f, model_f = run true in
+        if not (String.equal model_b model_f) then begin
+          Printf.eprintf "E20: %s: flat model differs from boxed\n" name;
+          exit 1
+        end;
+        record ~exp:"E20" ~n:sub_edges ~wall:wall_f
+          [ ("seed", e20_seed); ("sub_nodes", sub_nodes); ("sub_edges", sub_edges);
+            ("engine_boxed_us", int_of_float (wall_b *. 1e6));
+            ("engine_flat_us", int_of_float (wall_f *. 1e6)) ];
+        [ name; string_of_int sub_edges; Harness.sec wall_b; Harness.sec wall_f;
+          Harness.ratio wall_b wall_f ])
+      [ ("prim", Prim.source ~root:0, false, (4_096, 32_768));
+        ("kruskal", Kruskal.source, false, (1_024, 4_096));
+        ("dijkstra", Dijkstra.source ~root:0, true, (4_096, 32_768)) ]
+  in
+  Harness.table
+    ~title:
+      "E20  Prim / Kruskal / Dijkstra on the generated corpus (staged engine, \
+       byte-identical models boxed vs flat)"
+    ~header:[ "program"; "edges"; "boxed(s)"; "flat(s)"; "speedup" ]
+    engine_rows;
+  !worst_ratio
+
+(* ------------------------------------------------------------------ *)
 (* A1 — (R,Q,L) vs recompute-least (reference engine)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1570,6 +1758,22 @@ let () =
     end;
     exit 0
   end;
+  if only_e20 then begin
+    Printf.printf "Greedy by Choice — E20 (big-EDB tier: flat vs boxed bulk loads)\n";
+    let worst = e20 () in
+    let files = Harness.flush_bench () in
+    if not (Harness.validate_bench files) then begin
+      print_endline "E20: BENCH JSON malformed";
+      exit 1
+    end;
+    Printf.printf "wrote %s\n" (String.concat ", " files);
+    Printf.printf "E20: worst flat-vs-boxed words/fact gain %.1fx (gate 1.5x)\n" worst;
+    if worst < 1.5 then begin
+      print_endline "E20: FAILED — flat representation does not clear the 1.5x gate";
+      exit 1
+    end;
+    exit 0
+  end;
   if only_e17 then begin
     Printf.printf "Greedy by Choice — E17 (incremental maintenance)\n";
     e17 ();
@@ -1636,6 +1840,7 @@ let () =
   e17 ();
   ignore (e18 ());
   ignore (e19 ());
+  ignore (e20 ());
   a1 ();
   a2 ();
   a3 ();

@@ -214,6 +214,7 @@ type cscan = {
   cs_writes : (int * int) array;  (* = the ops when they are all writes *)
   cs_all_writes : bool;
   cs_probe : Value.t array;  (* private probe buffer for read-only runs *)
+  cs_iprobe : int array;  (* private flat-probe buffer for read-only runs *)
   mutable cs_rel : Relation.t option;
 }
 
@@ -272,18 +273,22 @@ let build_scan bound (sc : E.scan) =
       cs_writes = writes;
       cs_all_writes = all_writes;
       cs_probe = Array.make (max 1 (popcount mask)) Value.unit;
+      cs_iprobe = Array.make (max 1 sc.E.sc_arity) 0;
       cs_rel = None },
     !bound )
 
-let rec ops_ok env (ops : rowop array) (row : Value.t array) j =
+(* The statically-unrolled residue of [match_row] per enumerated row:
+   fields are read positionally through [Relation.read], so flat
+   relations never materialize a row tuple. *)
+let rec ops_ok_ids env (ops : rowop array) rel id j =
   j = Array.length ops
   || (match ops.(j) with
      | WVar (p, s) ->
-       env.(s) <- row.(p);
+       env.(s) <- Relation.read rel id p;
        true
-     | REq (p, s) -> Value.equal env.(s) row.(p)
-     | RMatch (p, m) -> m env row.(p))
-     && ops_ok env ops row (j + 1)
+     | REq (p, s) -> Value.equal env.(s) (Relation.read rel id p)
+     | RMatch (p, m) -> m env (Relation.read rel id p))
+     && ops_ok_ids env ops rel id (j + 1)
 
 let rec guards_ok env (gs : (env -> bool) array) j =
   j = Array.length gs || (gs.(j) env && guards_ok env gs (j + 1))
@@ -304,10 +309,16 @@ let neg_fails ~ro env cs guards =
   | Some rel ->
     fill_key env cs;
     let hit = ref false in
-    let visit row = if ops_ok env cs.cs_ops row 0 && guards_ok env guards 0 then (hit := true; raise Exit) in
+    let visit id =
+      if ops_ok_ids env cs.cs_ops rel id 0 && guards_ok env guards 0 then begin
+        hit := true;
+        raise Exit
+      end
+    in
     (try
-       if ro then Relation.iter_matching_cols_ro rel cs.cs_mask cs.cs_key cs.cs_probe visit
-       else Relation.iter_matching_cols rel cs.cs_mask cs.cs_key visit
+       if ro then
+         Relation.iter_matching_cols_ro_ids rel cs.cs_mask cs.cs_key cs.cs_probe cs.cs_iprobe visit
+       else Relation.iter_matching_cols_ids rel cs.cs_mask cs.cs_key visit
      with Exit -> ());
     !hit
 
@@ -371,14 +382,19 @@ let of_body ?(bound = []) (body : E.body) =
       let next = build ~ro (i + 1) in
       match steps.(i) with
       | CScan cs ->
+        (* visit closures are preallocated; they re-read [cs_rel] per
+           row (set before iteration starts, never cleared mid-run) *)
         if cs.cs_all_writes then begin
           let writes = cs.cs_writes in
           let nw = Array.length writes in
-          let visit row =
-            for j = 0 to nw - 1 do
-              let p, s = writes.(j) in
-              env.(s) <- row.(p)
-            done;
+          let visit id =
+            (match cs.cs_rel with
+            | Some rel ->
+              for j = 0 to nw - 1 do
+                let p, s = writes.(j) in
+                env.(s) <- Relation.read rel id p
+              done
+            | None -> assert false);
             next ()
           in
           fun () ->
@@ -386,19 +402,27 @@ let of_body ?(bound = []) (body : E.body) =
             | None -> ()
             | Some rel ->
               fill_key env cs;
-              if ro then Relation.iter_matching_cols_ro rel cs.cs_mask cs.cs_key cs.cs_probe visit
-              else Relation.iter_matching_cols rel cs.cs_mask cs.cs_key visit
+              if ro then
+                Relation.iter_matching_cols_ro_ids rel cs.cs_mask cs.cs_key cs.cs_probe
+                  cs.cs_iprobe visit
+              else Relation.iter_matching_cols_ids rel cs.cs_mask cs.cs_key visit
         end
         else begin
           let ops = cs.cs_ops in
-          let visit row = if ops_ok env ops row 0 then next () in
+          let visit id =
+            match cs.cs_rel with
+            | Some rel -> if ops_ok_ids env ops rel id 0 then next ()
+            | None -> assert false
+          in
           fun () ->
             match cs.cs_rel with
             | None -> ()
             | Some rel ->
               fill_key env cs;
-              if ro then Relation.iter_matching_cols_ro rel cs.cs_mask cs.cs_key cs.cs_probe visit
-              else Relation.iter_matching_cols rel cs.cs_mask cs.cs_key visit
+              if ro then
+                Relation.iter_matching_cols_ro_ids rel cs.cs_mask cs.cs_key cs.cs_probe
+                  cs.cs_iprobe visit
+              else Relation.iter_matching_cols_ids rel cs.cs_mask cs.cs_key visit
         end
       | CNeg (cs, gs) -> fun () -> if not (neg_fails ~ro env cs gs) then next ()
       | CTest t -> fun () -> if t env then next ()
@@ -416,17 +440,20 @@ let of_body ?(bound = []) (body : E.body) =
           let writes = cs.cs_writes in
           let nw = Array.length writes in
           fun sl lo hi ->
-            Relation.slice_iter sl lo hi (fun row ->
+            let rel = Relation.slice_rel sl in
+            Relation.slice_iter_ids sl lo hi (fun id ->
                 for j = 0 to nw - 1 do
                   let p, s = writes.(j) in
-                  env.(s) <- row.(p)
+                  env.(s) <- Relation.read rel id p
                 done;
                 slice_tail ())
         end
         else begin
           let ops = cs.cs_ops in
           fun sl lo hi ->
-            Relation.slice_iter sl lo hi (fun row -> if ops_ok env ops row 0 then slice_tail ())
+            let rel = Relation.slice_rel sl in
+            Relation.slice_iter_ids sl lo hi (fun id ->
+                if ops_ok_ids env ops rel id 0 then slice_tail ())
         end
       | _ -> assert false
   in

@@ -1,7 +1,10 @@
 (* Database <-> bytes, with a local symbol table.
 
-   Layout (all integers big-endian):
+   Two stream formats share the decoder.  Version 2 (current) is
+   framed:
 
+     u32 magic          0x47424332 "GBC2"
+     u8  version        2
      u32 nsyms                      local symbol table
      nsyms x (u32 len, bytes)       local id 0, 1, ... in order
      u32 npreds
@@ -9,7 +12,9 @@
        u32 len, bytes               name
        u32 arity
        u32 nrows
-       nrows x arity x value        rows in insertion order
+       u8  repr                     0 boxed, 1 flat
+       repr 0: nrows x arity x value          rows in insertion order
+       repr 1: (nrows * arity) x i64 cell     raw flat cells
 
      value := u8 tag
        0  Int  i64
@@ -18,6 +23,21 @@
        3  Tup  u32 count, values
        4  App  (u32 len, bytes) name, u32 count, values
 
+   A flat relation's cell store is dumped as one run of i64s — no per
+   value tag bytes, and the reader rebuilds the relation with a single
+   blit plus a membership rehash instead of row-at-a-time inserts.
+   Cells use the in-memory encoding ([i lsl 1] for ints,
+   [(id lsl 1) lor 1] for symbols) with symbol ids rewritten through
+   the local table on both sides.
+
+   Version 1 streams (everything before the magic existed) start
+   directly at the [u32 nsyms] field and encode every relation with
+   repr-0 rows and no repr byte.  The reader keys on the leading u32:
+   the magic value as an nsyms count would promise a ~1.2 G-entry
+   symbol table, which the count plausibility check rejects for any
+   stream small enough to be ambiguous.  {!write_v1} is kept so tests
+   can exercise the legacy decode path.
+
    The global interner allocates ids in first-sight order, which is a
    property of the process, not of the data — hence the local table:
    the writer maps global ids to dense local ones, the reader interns
@@ -25,6 +45,9 @@
    says. *)
 
 exception Corrupt of string
+
+let magic = 0x47424332 (* "GBC2" *)
+let version = 2
 
 (* ---------------- writing ---------------- *)
 
@@ -72,7 +95,20 @@ let rec w_value enc b = function
     w_u32 b (List.length xs);
     List.iter (w_value enc b) xs
 
-let write buf db =
+let w_boxed_rows enc body rel =
+  Relation.iter rel (fun row -> Array.iter (fun v -> w_value enc body v) row)
+
+(* One i64 per cell.  Int cells travel in their in-memory encoding;
+   sym cells are re-encoded with the local id. *)
+let w_flat_cells enc body rel cells =
+  let n = Relation.cardinal rel * Relation.arity rel in
+  for i = 0 to n - 1 do
+    let c = Array.unsafe_get cells i in
+    if Relation.cell_is_sym c then w_i64 body (Relation.sym_cell (local enc (Relation.cell_sym c)))
+    else w_i64 body c
+  done
+
+let write_body ~flat buf db =
   let enc = { locals = Hashtbl.create 64; syms_rev = []; nsyms = 0 } in
   (* rows go to a scratch buffer first: the symbol table they populate
      must precede them in the stream *)
@@ -85,11 +121,26 @@ let write buf db =
       w_str body pred;
       w_u32 body (Relation.arity rel);
       w_u32 body (Relation.cardinal rel);
-      Relation.iter rel (fun row -> Array.iter (fun v -> w_value enc body v) row))
+      if flat then
+        match Relation.flat_cells rel with
+        | Some cells ->
+          w_u8 body 1;
+          w_flat_cells enc body rel cells
+        | None ->
+          w_u8 body 0;
+          w_boxed_rows enc body rel
+      else w_boxed_rows enc body rel)
     preds;
   w_u32 buf enc.nsyms;
   List.iter (fun s -> w_str buf s) (List.rev enc.syms_rev);
   Buffer.add_buffer buf body
+
+let write buf db =
+  w_u32 buf magic;
+  w_u8 buf version;
+  write_body ~flat:true buf db
+
+let write_v1 buf db = write_body ~flat:false buf db
 
 (* ---------------- reading ---------------- *)
 
@@ -152,8 +203,34 @@ and r_sym syms rd =
     raise (Corrupt (Printf.sprintf "local symbol id %d out of range" l));
   syms.(l)
 
-let read s pos =
-  let rd = { src = s; pos } in
+let r_boxed_rows syms rd rel arity nrows =
+  for _ = 1 to nrows do
+    let row = Array.init arity (fun _ -> r_value syms rd) in
+    ignore (Relation.add rel row)
+  done
+
+(* The whole cell store in one pass: a flat row is 8 * arity bytes, so
+   one length check up front covers every cell. *)
+let r_flat_cells syms rd name arity nrows =
+  if arity = 0 then raise (Corrupt (Printf.sprintf "flat nullary predicate %s" name));
+  let n = nrows * arity in
+  need rd (8 * n) "flat cells";
+  let cells =
+    Array.init n (fun _ ->
+        let c = r_i64 rd "flat cell" in
+        if Relation.cell_is_sym c then begin
+          let l = Relation.cell_sym c in
+          if l >= Array.length syms then
+            raise (Corrupt (Printf.sprintf "local symbol id %d out of range" l));
+          Relation.sym_cell syms.(l)
+        end
+        else c)
+  in
+  Relation.of_flat_cells name arity cells nrows
+
+(* body shared by both versions: v2 streams carry a repr byte per
+   predicate, v1 streams are always boxed rows *)
+let read_body ~v2 rd =
   let nsyms = r_count rd "symbol table" in
   (* re-intern: local id -> this process's global id *)
   let syms = Array.init nsyms (fun _ -> Interner.intern (r_str rd "symbol")) in
@@ -164,13 +241,32 @@ let read s pos =
     let arity = r_u32 rd "arity" in
     if arity > 0xFFFF then raise (Corrupt (Printf.sprintf "implausible arity %d" arity));
     let nrows = r_count rd "row count" in
-    let rel =
-      try Database.relation db name arity
-      with Invalid_argument msg -> raise (Corrupt msg)
-    in
-    for _ = 1 to nrows do
-      let row = Array.init arity (fun _ -> r_value syms rd) in
-      ignore (Relation.add rel row)
-    done
+    let repr = if v2 then r_u8 rd "representation tag" else 0 in
+    match repr with
+    | 0 ->
+      let rel =
+        try Database.relation db name arity
+        with Invalid_argument msg -> raise (Corrupt msg)
+      in
+      r_boxed_rows syms rd rel arity nrows
+    | 1 ->
+      if Database.find db name <> None then
+        raise (Corrupt (Printf.sprintf "duplicate flat predicate %s" name));
+      let rel =
+        try r_flat_cells syms rd name arity nrows
+        with Invalid_argument msg -> raise (Corrupt msg)
+      in
+      Database.set_relation db name rel
+    | t -> raise (Corrupt (Printf.sprintf "unknown representation tag %d" t))
   done;
   (db, rd.pos)
+
+let read s pos =
+  let rd = { src = s; pos } in
+  if String.length s - pos >= 5 && Int32.to_int (String.get_int32_be s pos) = magic then begin
+    rd.pos <- pos + 4;
+    let v = r_u8 rd "format version" in
+    if v <> version then raise (Corrupt (Printf.sprintf "unsupported snapshot format %d" v));
+    read_body ~v2:true rd
+  end
+  else read_body ~v2:false rd

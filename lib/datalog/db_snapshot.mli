@@ -7,11 +7,16 @@
     order, so a round trip preserves arities, per-relation order and —
     therefore — the canonical [Database.pp] rendering byte-for-byte.
 
-    The codec frames nothing and checksums nothing: callers
-    (lib/server/durable.ml) wrap the emitted bytes in their own
-    magic/version/CRC envelope.  Multiple snapshots can be
-    concatenated; {!read} returns the offset just past the one it
-    consumed. *)
+    The current stream format (version 2, magic ["GBC2"]) writes flat
+    all-int relations as one raw cell blob — restoring a bulk-loaded
+    database is a blit plus a membership rehash per relation instead of
+    a value decode per field.  Version 1 streams (no magic) are still
+    decoded; {!write_v1} produces them for back-compat tests.
+
+    The codec checksums nothing: callers (lib/server/durable.ml) wrap
+    the emitted bytes in their own magic/version/CRC envelope.
+    Multiple snapshots can be concatenated; {!read} returns the offset
+    just past the one it consumed. *)
 
 exception Corrupt of string
 (** Raised by {!read} on any malformation — truncation, impossible
@@ -19,7 +24,12 @@ exception Corrupt of string
     raised after reading past the snapshot's own bytes. *)
 
 val write : Buffer.t -> Database.t -> unit
-(** Append the snapshot encoding of a database. *)
+(** Append the (version 2) snapshot encoding of a database. *)
+
+val write_v1 : Buffer.t -> Database.t -> unit
+(** Append the legacy unframed version 1 encoding — every relation as
+    tagged value rows.  Decodes to the same database as {!write};
+    exists so tests can cover the legacy path with current data. *)
 
 val read : string -> int -> Database.t * int
 (** [read s pos] decodes one snapshot starting at [pos], returning the

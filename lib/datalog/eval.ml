@@ -509,12 +509,14 @@ let run body db env k =
         | Some rel ->
           fill_pattern env sc;
           if sc.sc_fast && fast_applicable sc then begin
+            (* id-based kernel: read only the written positions — on a
+               flat relation no row tuple is ever materialized *)
             let writes = sc.sc_writes in
             let nw = Array.length writes in
-            Relation.iter_matching rel sc.sc_pattern (fun row ->
+            Relation.iter_matching_ids rel sc.sc_pattern (fun id ->
                 for j = 0 to nw - 1 do
                   let p, s = writes.(j) in
-                  env.(s) <- Some row.(p)
+                  env.(s) <- Some (Relation.read rel id p)
                 done;
                 exec (i + 1));
             for j = 0 to nw - 1 do
@@ -728,10 +730,10 @@ let run_slice body db env slice lo hi k =
           if sc.sc_fast && fast_applicable sc then begin
             let writes = sc.sc_writes in
             let nw = Array.length writes in
-            Relation.iter_matching_ro rel sc.sc_pattern (fun row ->
+            Relation.iter_matching_ro_ids rel sc.sc_pattern (fun id ->
                 for j = 0 to nw - 1 do
                   let p, s = writes.(j) in
-                  env.(s) <- Some row.(p)
+                  env.(s) <- Some (Relation.read rel id p)
                 done;
                 exec (i + 1));
             for j = 0 to nw - 1 do
@@ -763,10 +765,11 @@ let run_slice body db env slice lo hi k =
     if sc.sc_fast && fast_applicable sc then begin
       let writes = sc.sc_writes in
       let nw = Array.length writes in
-      Relation.slice_iter slice lo hi (fun row ->
+      let srel = Relation.slice_rel slice in
+      Relation.slice_iter_ids slice lo hi (fun id ->
           for j = 0 to nw - 1 do
             let p, s = writes.(j) in
-            env.(s) <- Some row.(p)
+            env.(s) <- Some (Relation.read srel id p)
           done;
           exec 1);
       for j = 0 to nw - 1 do

@@ -20,6 +20,273 @@ end
 
 module Row_tbl = Hashtbl.Make (Row_key)
 
+(* ------------------------------------------------------------------ *)
+(* Flat cell encoding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Interning (PR 3) made ground rows all-int in practice: every field
+   is a [Value.Int] or a [Value.Sym].  Such rows pack into a single
+   growable int array of [arity * count] cells — one word per field, no
+   per-field box, no pointer chase on scans.  A cell is
+
+     [i lsl 1]           for [Int i]   (|i| < 2^61)
+     [(id lsl 1) lor 1]  for [Sym id]  (interner ids are >= 0)
+
+   [Str]/[Tup]/[App] fields are not encodable (a [Str] shares the
+   interner id space with [Sym], and there is only one tag bit);
+   relations holding such rows stay in the boxed representation. *)
+
+let max_flat_int = 1 lsl 61
+
+let cell_encodable = function
+  | Value.Int i -> i < max_flat_int && i > -max_flat_int
+  | Value.Sym _ -> true
+  | Value.Str _ | Value.Tup _ | Value.App _ -> false
+
+let encode_cell = function
+  | Value.Int i -> i lsl 1
+  | Value.Sym id -> (id lsl 1) lor 1
+  | _ -> invalid_arg "Relation.encode_cell: not flat-encodable"
+
+let cell_is_sym c = c land 1 = 1
+let cell_sym c = c lsr 1
+let sym_cell id = (id lsl 1) lor 1
+let int_cell i = i lsl 1
+
+let rec row_encodable (row : tuple) i =
+  i = Array.length row || (cell_encodable row.(i) && row_encodable row (i + 1))
+
+(* Decoding caches: direct-mapped arrays of shared [Int]/[Sym] boxes,
+   so decoding a cell is allocation-free once its value has been seen
+   recently.  Reads validate the slot (the stored box must carry the
+   requested payload), so a stale or racy entry only costs a fresh
+   allocation — never a wrong value.  Domain-safe without locks: slots
+   hold immutable one-field blocks, which OCaml 5 publishes safely
+   across racy accesses, and a single-word store cannot tear. *)
+
+let cache_bits = 16
+let cache_mask = (1 lsl cache_bits) - 1
+let int_cache = Array.make (1 lsl cache_bits) (Value.Int 0)
+let sym_cache = Array.make (1 lsl cache_bits) (Value.Sym 0)
+
+let int_value i =
+  let k = i land cache_mask in
+  match Array.unsafe_get int_cache k with
+  | Value.Int j as v when j = i -> v
+  | _ ->
+    let v = Value.Int i in
+    Array.unsafe_set int_cache k v;
+    v
+
+let sym_value id =
+  let k = id land cache_mask in
+  match Array.unsafe_get sym_cache k with
+  | Value.Sym j as v when j = id -> v
+  | _ ->
+    let v = Value.Sym id in
+    Array.unsafe_set sym_cache k v;
+    v
+
+let decode_cell c = if c land 1 = 0 then int_value (c asr 1) else sym_value (c lsr 1)
+
+(* ------------------------------------------------------------------ *)
+(* Promotion policy                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* All-int relations promote to the flat representation automatically
+   once they reach the threshold ([GBC_FLAT] overrides: "off"/"0"
+   disables, an integer replaces the default).  Mixed-type relations
+   never promote; a non-encodable row arriving later demotes. *)
+
+let default_flat_threshold = 1024
+
+let initial_threshold =
+  match Sys.getenv_opt "GBC_FLAT" with
+  | Some ("off" | "0") -> None
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Some n
+    | _ -> Some default_flat_threshold)
+  | None -> Some default_flat_threshold
+
+let flat_threshold_ref = ref initial_threshold
+let set_flat_threshold t = flat_threshold_ref := t
+let flat_threshold () = !flat_threshold_ref
+
+(* ------------------------------------------------------------------ *)
+(* Flat membership set and indexes                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Open-addressing structures over row ids, probing straight into the
+   cell store: no per-entry box, no stored keys — a slot is compared by
+   reading its row's cells.  Power-of-two sizes, linear probing, no
+   deletions (relations are append-only). *)
+
+let mix h c = (h * 1000003) lxor (c lxor (c lsr 31))
+
+let rec hash_cells cells off w h i =
+  if i = w then h land max_int
+  else hash_cells cells off w (mix h (Array.unsafe_get cells (off + i))) (i + 1)
+
+let rec hash_probe (probe : int array) w h i =
+  if i = w then h land max_int
+  else hash_probe probe w (mix h (Array.unsafe_get probe i)) (i + 1)
+
+let rec cells_eq_probe cells off (probe : int array) w i =
+  i = w
+  || (Array.unsafe_get cells (off + i) = Array.unsafe_get probe i
+     && cells_eq_probe cells off probe w (i + 1))
+
+(* Membership: a hash set of row ids keyed by full-row cell content.
+   Always populated (promotion, restore, bulk load, privatize) so that
+   [mem] never mutates — parallel shards call it on relations they only
+   read. *)
+type fseen = { mutable fs_slots : int array; mutable fs_n : int }
+
+let fs_create n =
+  let rec cap c = if c >= 2 * n then c else cap (2 * c) in
+  { fs_slots = Array.make (cap 32) (-1); fs_n = 0 }
+
+let fs_insert_no_resize slots mask cells w id =
+  let h = hash_cells cells (id * w) w 17 0 in
+  let i = ref (h land mask) in
+  while Array.unsafe_get slots !i >= 0 do
+    i := (!i + 1) land mask
+  done;
+  Array.unsafe_set slots !i id
+
+let fs_resize fs cells w =
+  let ncap = 2 * Array.length fs.fs_slots in
+  let nslots = Array.make ncap (-1) in
+  let mask = ncap - 1 in
+  Array.iter
+    (fun id -> if id >= 0 then fs_insert_no_resize nslots mask cells w id)
+    fs.fs_slots;
+  fs.fs_slots <- nslots
+
+(* [probe] holds the encoded candidate row. *)
+let fs_mem fs cells w (probe : int array) =
+  let slots = fs.fs_slots in
+  let mask = Array.length slots - 1 in
+  let h = hash_probe probe w 17 0 in
+  let i = ref (h land mask) in
+  let found = ref false in
+  let stop = ref false in
+  while not !stop do
+    let id = Array.unsafe_get slots !i in
+    if id < 0 then stop := true
+    else if cells_eq_probe cells (id * w) probe w 0 then begin
+      found := true;
+      stop := true
+    end
+    else i := (!i + 1) land mask
+  done;
+  !found
+
+(* The row's cells must already be in the store. *)
+let fs_insert fs cells w id =
+  if 2 * (fs.fs_n + 1) >= Array.length fs.fs_slots then fs_resize fs cells w;
+  fs_insert_no_resize fs.fs_slots (Array.length fs.fs_slots - 1) cells w id;
+  fs.fs_n <- fs.fs_n + 1
+
+(* An index maps a projection on a column set to the bucket of matching
+   row ids, in insertion order.  Buckets live in an open-addressing
+   table; a bucket's key is the projection of its first row, so exact
+   comparison reads that representative's cells and no keys are
+   stored. *)
+
+type fbucket = { mutable fb_ids : int array; mutable fb_n : int }
+
+let fb_null = { fb_ids = [||]; fb_n = -1 }
+
+let fb_push b id =
+  let cap = Array.length b.fb_ids in
+  if b.fb_n = cap then begin
+    let nids = Array.make (if cap = 0 then 4 else 2 * cap) 0 in
+    Array.blit b.fb_ids 0 nids 0 b.fb_n;
+    b.fb_ids <- nids
+  end;
+  b.fb_ids.(b.fb_n) <- id;
+  b.fb_n <- b.fb_n + 1
+
+type findex = {
+  fi_cols : int array;
+  mutable fi_slots : fbucket array;
+  mutable fi_n : int;  (* used slots (distinct keys) *)
+  fi_probe : int array;  (* reusable probe, length |fi_cols| *)
+}
+
+let rec hash_proj cells off (cols : int array) k h i =
+  if i = k then h land max_int
+  else
+    hash_proj cells off cols k (mix h (Array.unsafe_get cells (off + Array.unsafe_get cols i))) (i + 1)
+
+let rec proj_eq_probe cells off (cols : int array) (probe : int array) k i =
+  i = k
+  || (Array.unsafe_get cells (off + Array.unsafe_get cols i) = Array.unsafe_get probe i
+     && proj_eq_probe cells off cols probe k (i + 1))
+
+let fi_insert_bucket slots mask cells w cols k b =
+  let rep = b.fb_ids.(0) * w in
+  let h = hash_proj cells rep cols k 17 0 in
+  let i = ref (h land mask) in
+  while (Array.unsafe_get slots !i).fb_n >= 0 do
+    i := (!i + 1) land mask
+  done;
+  Array.unsafe_set slots !i b
+
+let fi_resize fi cells w =
+  let ncap = 2 * Array.length fi.fi_slots in
+  let nslots = Array.make ncap fb_null in
+  let mask = ncap - 1 in
+  let k = Array.length fi.fi_cols in
+  Array.iter
+    (fun b -> if b.fb_n >= 0 then fi_insert_bucket nslots mask cells w fi.fi_cols k b)
+    fi.fi_slots;
+  fi.fi_slots <- nslots
+
+(* Find the bucket whose key equals [probe] (first |fi_cols| slots);
+   [fb_null] when absent. *)
+let fi_find fi cells w (probe : int array) =
+  let slots = fi.fi_slots in
+  let mask = Array.length slots - 1 in
+  let k = Array.length fi.fi_cols in
+  let h = hash_probe probe k 17 0 in
+  let i = ref (h land mask) in
+  let res = ref fb_null in
+  let stop = ref false in
+  while not !stop do
+    let b = Array.unsafe_get slots !i in
+    if b.fb_n < 0 then stop := true
+    else if proj_eq_probe cells (b.fb_ids.(0) * w) fi.fi_cols probe k 0 then begin
+      res := b;
+      stop := true
+    end
+    else i := (!i + 1) land mask
+  done;
+  !res
+
+(* Add a stored row to the index. *)
+let fi_add fi cells w id =
+  let k = Array.length fi.fi_cols in
+  let off = id * w in
+  for j = 0 to k - 1 do
+    fi.fi_probe.(j) <- Array.unsafe_get cells (off + Array.unsafe_get fi.fi_cols j)
+  done;
+  let b = fi_find fi cells w fi.fi_probe in
+  if b.fb_n >= 0 then fb_push b id
+  else begin
+    if 2 * (fi.fi_n + 1) >= Array.length fi.fi_slots then fi_resize fi cells w;
+    let nb = { fb_ids = Array.make 4 0; fb_n = 0 } in
+    fb_push nb id;
+    fi_insert_bucket fi.fi_slots (Array.length fi.fi_slots - 1) cells w fi.fi_cols k nb;
+    fi.fi_n <- fi.fi_n + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Representations                                                     *)
+(* ------------------------------------------------------------------ *)
+
 (* Row ids for one projection key, in insertion order.  A growable int
    array rather than a list: probes walk it front-to-back with no
    [List.rev] and no per-probe allocation. *)
@@ -35,28 +302,54 @@ let bucket_push b id =
   b.ids.(b.n) <- id;
   b.n <- b.n + 1
 
-(* An index for a set of bound columns: projection of the row on those
-   columns -> bucket of row ids.  [scratch] is the reusable probe key;
-   it is copied only when a projection is stored for the first time. *)
+(* A boxed index for a set of bound columns: projection of the row on
+   those columns -> bucket of row ids.  [scratch] is the reusable probe
+   key; it is copied only when a projection is stored for the first
+   time. *)
 type index = { columns : int array; buckets : bucket Row_tbl.t; scratch : Value.t array }
+
+type boxed = {
+  mutable rows : tuple array;
+  mutable seen : unit Row_tbl.t;
+  bindexes : (int, index) Hashtbl.t;  (* bitmask of bound columns -> index *)
+}
+
+type flat = {
+  width : int;  (* = arity, > 0 *)
+  mutable cells : int array;  (* row i at [i*width, (i+1)*width) *)
+  mutable fseen : fseen;
+  findexes : (int, findex) Hashtbl.t;  (* bitmask of bound columns -> index *)
+  fscratch : int array;  (* reusable full-width encoded probe *)
+}
+
+type repr = Boxed of boxed | Flat of flat
 
 type t = {
   rel_name : string;
   rel_arity : int;
-  mutable rows : tuple array;
   mutable count : int;
-  mutable seen : unit Row_tbl.t;
-  mutable shared : bool; (* rows/seen shared with a copy; privatize before add *)
-  indexes : (int, index) Hashtbl.t; (* bitmask of bound columns -> index *)
+  mutable shared : bool;  (* rows/cells/seen shared with a copy; privatize before add *)
+  mutable all_int : bool;  (* every stored row is flat-encodable *)
+  mutable repr : repr;
 }
 
+let mk_boxed () = Boxed { rows = [||]; seen = Row_tbl.create 64; bindexes = Hashtbl.create 4 }
+
+let mk_flat arity =
+  Flat
+    { width = arity;
+      cells = [||];
+      fseen = fs_create 16;
+      findexes = Hashtbl.create 4;
+      fscratch = Array.make arity 0 }
+
 let create rel_name rel_arity =
-  { rel_name; rel_arity; rows = [||]; count = 0; seen = Row_tbl.create 64;
-    shared = false; indexes = Hashtbl.create 4 }
+  { rel_name; rel_arity; count = 0; shared = false; all_int = true; repr = mk_boxed () }
 
 let name r = r.rel_name
 let arity r = r.rel_arity
 let cardinal r = r.count
+let is_flat r = match r.repr with Flat _ -> true | Boxed _ -> false
 
 let index_add idx row_id row =
   let k = Array.length idx.columns in
@@ -70,23 +363,147 @@ let index_add idx row_id row =
     bucket_push b row_id;
     Row_tbl.add idx.buckets (Array.copy idx.scratch) b
 
-(* The rows array and [seen] set are shared with a copy until either
-   side first mutates; the frozen prefix itself never changes, so
-   sharing is safe for all read paths. *)
+(* The row store and membership table are shared with a copy until
+   either side first mutates; the frozen prefix itself never changes,
+   so sharing is safe for every read path. *)
 let privatize r =
   if r.shared then begin
-    r.rows <- Array.copy r.rows;
-    r.seen <- Row_tbl.copy r.seen;
+    (match r.repr with
+    | Boxed b ->
+      b.rows <- Array.copy b.rows;
+      b.seen <- Row_tbl.copy b.seen
+    | Flat f ->
+      f.cells <- Array.copy f.cells;
+      f.fseen <- { fs_slots = Array.copy f.fseen.fs_slots; fs_n = f.fseen.fs_n });
     r.shared <- false
   end
 
-let grow r row =
-  let cap = Array.length r.rows in
+let grow_boxed r b (row : tuple) =
+  let cap = Array.length b.rows in
   if r.count = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
     let nrows = Array.make ncap row in
-    Array.blit r.rows 0 nrows 0 r.count;
-    r.rows <- nrows
+    Array.blit b.rows 0 nrows 0 r.count;
+    b.rows <- nrows
+  end
+
+let grow_flat r f =
+  let w = f.width in
+  let cap = Array.length f.cells in
+  if (r.count * w) + w > cap then begin
+    let ncap = max (16 * w) (2 * cap) in
+    let ncells = Array.make ncap 0 in
+    Array.blit f.cells 0 ncells 0 (r.count * w);
+    f.cells <- ncells
+  end
+
+(* Decode one stored row into a fresh tuple. *)
+let decode_row f i =
+  let w = f.width in
+  let off = i * w in
+  Array.init w (fun j -> decode_cell (Array.unsafe_get f.cells (off + j)))
+
+(* Positional read of one field of a stored row.  Allocation-free for
+   boxed relations and for flat cells that hit the decode cache. *)
+let read r id col =
+  match r.repr with
+  | Flat f -> decode_cell (Array.unsafe_get f.cells ((id * f.width) + col))
+  | Boxed b -> Array.unsafe_get (Array.unsafe_get b.rows id) col
+
+(* ---------------- promotion / demotion ---------------- *)
+
+(* Rebuild as flat from the boxed rows.  Indexes are dropped and
+   rebuilt lazily on the next probe; membership is rebuilt eagerly (see
+   [fseen]). *)
+let promote_now r (b : boxed) =
+  let w = r.rel_arity in
+  let f =
+    { width = w;
+      cells = Array.make (max (16 * w) (r.count * w)) 0;
+      fseen = fs_create (max 16 r.count);
+      findexes = Hashtbl.create 4;
+      fscratch = Array.make w 0 }
+  in
+  for i = 0 to r.count - 1 do
+    let row = b.rows.(i) in
+    let off = i * w in
+    for j = 0 to w - 1 do
+      f.cells.(off + j) <- encode_cell row.(j)
+    done;
+    fs_insert f.fseen f.cells w i
+  done;
+  r.repr <- Flat f;
+  (* the new structures are private by construction *)
+  r.shared <- false
+
+let promote r =
+  (match r.repr with
+  | Boxed b when r.all_int && r.rel_arity > 0 && flat_threshold () <> None -> promote_now r b
+  | _ -> ());
+  is_flat r
+
+let maybe_promote r =
+  match (r.repr, flat_threshold ()) with
+  | Boxed b, Some th when r.all_int && r.rel_arity > 0 && r.count >= th -> promote_now r b
+  | _ -> ()
+
+(* Rebuild as boxed from the flat cells: a non-encodable row arrived,
+   or a test forces the representation. *)
+let demote r =
+  match r.repr with
+  | Boxed _ -> ()
+  | Flat f ->
+    let b =
+      { rows = Array.make (max 16 r.count) [||];
+        seen = Row_tbl.create (max 64 (2 * r.count));
+        bindexes = Hashtbl.create 4 }
+    in
+    for i = 0 to r.count - 1 do
+      let row = decode_row f i in
+      b.rows.(i) <- row;
+      Row_tbl.add b.seen row ()
+    done;
+    r.repr <- Boxed b;
+    r.shared <- false
+
+(* ---------------- add / mem ---------------- *)
+
+let encode_probe f (row : tuple) =
+  for j = 0 to f.width - 1 do
+    f.fscratch.(j) <- encode_cell row.(j)
+  done
+
+let add_boxed r b row =
+  if Row_tbl.mem b.seen row then false
+  else begin
+    (* [privatize] replaces the backing arrays inside this same [b]
+       record, so the binding stays valid *)
+    privatize r;
+    Row_tbl.add b.seen row ();
+    grow_boxed r b row;
+    b.rows.(r.count) <- row;
+    r.count <- r.count + 1;
+    Hashtbl.iter (fun _ idx -> index_add idx (r.count - 1) row) b.bindexes;
+    if not (row_encodable row 0) then r.all_int <- false;
+    maybe_promote r;
+    true
+  end
+
+(* The encoded candidate is in [f.fscratch]. *)
+let add_flat_encoded r f =
+  if fs_mem f.fseen f.cells f.width f.fscratch then false
+  else begin
+    privatize r;
+    grow_flat r f;
+    let w = f.width in
+    Array.blit f.fscratch 0 f.cells (r.count * w) w;
+    fs_insert f.fseen f.cells w r.count;
+    (* Guarded: the iter closure would otherwise be the only per-row
+       minor allocation on the bulk-load path (no indexes yet). *)
+    if Hashtbl.length f.findexes > 0 then
+      Hashtbl.iter (fun _ fi -> fi_add fi f.cells w r.count) f.findexes;
+    r.count <- r.count + 1;
+    true
   end
 
 let add r row =
@@ -94,100 +511,195 @@ let add r row =
     invalid_arg
       (Printf.sprintf "Relation.add: %s expects arity %d, got %d" r.rel_name r.rel_arity
          (Array.length row));
-  if Row_tbl.mem r.seen row then false
-  else begin
-    privatize r;
-    Row_tbl.add r.seen row ();
-    grow r row;
-    r.rows.(r.count) <- row;
-    r.count <- r.count + 1;
-    Hashtbl.iter (fun _ idx -> index_add idx (r.count - 1) row) r.indexes;
-    true
-  end
+  match r.repr with
+  | Boxed b -> add_boxed r b row
+  | Flat f ->
+    if row_encodable row 0 then begin
+      encode_probe f row;
+      add_flat_encoded r f
+    end
+    else begin
+      demote r;
+      r.all_int <- false;
+      match r.repr with Boxed b -> add_boxed r b row | Flat _ -> assert false
+    end
 
-let mem r row = Row_tbl.mem r.seen row
+(* Bulk-load fast path: an all-[Int] row given as raw integers.  The
+   first row of an empty relation switches it to the flat
+   representation immediately (no boxed warm-up), so loading allocates
+   nothing per row beyond amortized store growth. *)
+let add_ints r (ints : int array) =
+  if Array.length ints <> r.rel_arity then
+    invalid_arg
+      (Printf.sprintf "Relation.add_ints: %s expects arity %d, got %d" r.rel_name r.rel_arity
+         (Array.length ints));
+  (match r.repr with
+  | Boxed _ when r.count = 0 && r.rel_arity > 0 && flat_threshold () <> None ->
+    r.repr <- mk_flat r.rel_arity
+  | _ -> ());
+  match r.repr with
+  | Flat f ->
+    for j = 0 to f.width - 1 do
+      f.fscratch.(j) <- int_cell ints.(j)
+    done;
+    add_flat_encoded r f
+  | Boxed _ -> add r (Array.map (fun i -> Value.Int i) ints)
+
+let mem r row =
+  match r.repr with
+  | Boxed b -> Row_tbl.mem b.seen row
+  | Flat f ->
+    Array.length row = f.width
+    && row_encodable row 0
+    && begin
+         encode_probe f row;
+         fs_mem f.fseen f.cells f.width f.fscratch
+       end
+
+(* ---------------- iteration ---------------- *)
+
+let iter r f =
+  match r.repr with
+  | Boxed b ->
+    let rows = b.rows in
+    for i = 0 to r.count - 1 do
+      f (Array.unsafe_get rows i)
+    done
+  | Flat fl ->
+    for i = 0 to r.count - 1 do
+      f (decode_row fl i)
+    done
+
+let iter_from r k f =
+  match r.repr with
+  | Boxed b ->
+    let rows = b.rows in
+    for i = k to r.count - 1 do
+      f (Array.unsafe_get rows i)
+    done
+  | Flat fl ->
+    for i = k to r.count - 1 do
+      f (decode_row fl i)
+    done
+
+let iter_ids r f =
+  for i = 0 to r.count - 1 do
+    f i
+  done
 
 (* Deletion support for incremental view maintenance: relations are
    append-only, so removing rows means rebuilding.  The survivors keep
    their relative insertion order (engines and the canonical printer
-   rely on it); indexes are rebuilt lazily on the next probe. *)
+   rely on it) and the source's representation; indexes are rebuilt
+   lazily on the next probe. *)
 let filter r keep =
   let out = create r.rel_name r.rel_arity in
-  for i = 0 to r.count - 1 do
-    let row = r.rows.(i) in
-    if keep row then begin
-      Row_tbl.add out.seen row ();
-      grow out row;
-      out.rows.(out.count) <- row;
-      out.count <- out.count + 1
-    end
-  done;
-  out
-
-let iter r f =
-  for i = 0 to r.count - 1 do
-    f r.rows.(i)
-  done
-
-let iter_from r k f =
-  for i = k to r.count - 1 do
-    f r.rows.(i)
-  done
-
-let get_index r mask nbound =
-  match Hashtbl.find_opt r.indexes mask with
-  | Some idx -> idx
-  | None ->
-    let columns = Array.make nbound 0 in
-    let j = ref 0 in
-    for c = 0 to r.rel_arity - 1 do
-      if mask land (1 lsl c) <> 0 then begin
-        columns.(!j) <- c;
-        incr j
+  (match r.repr with
+  | Boxed b ->
+    let ob = match out.repr with Boxed ob -> ob | Flat _ -> assert false in
+    for i = 0 to r.count - 1 do
+      let row = b.rows.(i) in
+      if keep row then begin
+        Row_tbl.add ob.seen row ();
+        grow_boxed out ob row;
+        ob.rows.(out.count) <- row;
+        out.count <- out.count + 1
       end
     done;
-    let idx = { columns; buckets = Row_tbl.create 64; scratch = Array.make nbound Value.unit } in
+    out.all_int <- r.all_int
+  | Flat f ->
+    out.repr <- mk_flat r.rel_arity;
+    let og = match out.repr with Flat og -> og | Boxed _ -> assert false in
+    let w = f.width in
     for i = 0 to r.count - 1 do
-      index_add idx i r.rows.(i)
-    done;
-    Hashtbl.add r.indexes mask idx;
-    idx
+      if keep (decode_row f i) then begin
+        grow_flat out og;
+        Array.blit f.cells (i * w) og.cells (out.count * w) w;
+        fs_insert og.fseen og.cells w out.count;
+        out.count <- out.count + 1
+      end
+    done);
+  out
 
-let iter_matching r pattern f =
-  if Array.length pattern <> r.rel_arity then
-    invalid_arg (Printf.sprintf "Relation.iter_matching: bad pattern arity for %s" r.rel_name);
-  let mask = ref 0 and nbound = ref 0 in
-  for i = 0 to r.rel_arity - 1 do
-    if pattern.(i) <> None then begin
-      mask := !mask lor (1 lsl i);
-      incr nbound
-    end
-  done;
-  if !mask = 0 then iter r f
-  else begin
-    let idx = get_index r !mask !nbound in
-    for j = 0 to !nbound - 1 do
-      idx.scratch.(j) <-
-        (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
-    done;
-    match Row_tbl.find_opt idx.buckets idx.scratch with
-    | None -> ()
-    | Some b ->
-      (* Snapshot semantics: the bound is read once, and ids only ever
-         append, so rows inserted by [f] are not visited. *)
-      let stop = b.n - 1 in
-      for i = 0 to stop do
-        f r.rows.(b.ids.(i))
-      done
+(* Bulk append of rows [from, cardinal src) of [src] into the empty
+   [dst] — the semi-naive delta publisher.  Rows of one relation are
+   already distinct, so no membership probes on the way in; flat
+   sources blit their cell range, boxed sources share row pointers. *)
+let append_from dst src from =
+  if dst.count <> 0 then invalid_arg "Relation.append_from: destination not empty";
+  if dst.rel_arity <> src.rel_arity then invalid_arg "Relation.append_from: arity mismatch";
+  let n = src.count - from in
+  if n > 0 then begin
+    match src.repr with
+    | Flat f ->
+      let w = f.width in
+      let og =
+        { width = w;
+          cells = Array.make (n * w) 0;
+          fseen = fs_create (max 16 n);
+          findexes = Hashtbl.create 4;
+          fscratch = Array.make w 0 }
+      in
+      Array.blit f.cells (from * w) og.cells 0 (n * w);
+      for i = 0 to n - 1 do
+        fs_insert og.fseen og.cells w i
+      done;
+      dst.repr <- Flat og;
+      dst.count <- n
+    | Boxed b ->
+      let ob = match dst.repr with Boxed ob -> ob | Flat _ -> assert false in
+      ob.rows <- Array.sub b.rows from n;
+      for i = 0 to n - 1 do
+        Row_tbl.add ob.seen ob.rows.(i) ()
+      done;
+      dst.count <- n;
+      (* conservative: only gates future promotion *)
+      dst.all_int <- src.all_int
   end
 
-(* Mask + key-buffer probes for the compiled execution path.  The
-   compiled chains know their bound-column masks statically, so they
-   probe with a full-arity [Value.t] buffer (bound positions filled,
-   the rest ignored) instead of an option pattern — no [Some] boxes per
-   probe.  Index choice, bucket walk and snapshot semantics are
-   identical to [iter_matching], so enumeration order matches the
-   interpreter's exactly. *)
+(* ---------------- indexes and probes ---------------- *)
+
+let index_columns arity mask nbound =
+  let columns = Array.make nbound 0 in
+  let j = ref 0 in
+  for c = 0 to arity - 1 do
+    if mask land (1 lsl c) <> 0 then begin
+      columns.(!j) <- c;
+      incr j
+    end
+  done;
+  columns
+
+let boxed_index r b mask nbound =
+  match Hashtbl.find_opt b.bindexes mask with
+  | Some idx -> idx
+  | None ->
+    let idx =
+      { columns = index_columns r.rel_arity mask nbound;
+        buckets = Row_tbl.create 64;
+        scratch = Array.make nbound Value.unit }
+    in
+    for i = 0 to r.count - 1 do
+      index_add idx i b.rows.(i)
+    done;
+    Hashtbl.add b.bindexes mask idx;
+    idx
+
+let flat_index r f mask nbound =
+  match Hashtbl.find_opt f.findexes mask with
+  | Some fi -> fi
+  | None ->
+    let fi =
+      { fi_cols = index_columns r.rel_arity mask nbound;
+        fi_slots = Array.make 64 fb_null;
+        fi_n = 0;
+        fi_probe = Array.make nbound 0 }
+    in
+    for i = 0 to r.count - 1 do
+      fi_add fi f.cells f.width i
+    done;
+    Hashtbl.add f.findexes mask fi;
+    fi
 
 let popcount mask =
   let n = ref 0 and m = ref mask in
@@ -197,78 +709,9 @@ let popcount mask =
   done;
   !n
 
-let iter_matching_cols r mask (key : Value.t array) f =
-  if mask = 0 then iter r f
-  else begin
-    let idx = get_index r mask (popcount mask) in
-    let cols = idx.columns in
-    for j = 0 to Array.length cols - 1 do
-      idx.scratch.(j) <- key.(cols.(j))
-    done;
-    match Row_tbl.find_opt idx.buckets idx.scratch with
-    | None -> ()
-    | Some b ->
-      let stop = b.n - 1 in
-      for i = 0 to stop do
-        f r.rows.(b.ids.(i))
-      done
-  end
-
-(* Does [row] agree with [key] on every column of [mask]? *)
-let rec row_matches_cols mask (key : Value.t array) (row : tuple) i =
-  i = Array.length row
-  || ((mask land (1 lsl i) = 0 || Value.equal key.(i) row.(i))
-     && row_matches_cols mask key row (i + 1))
-
-let iter_matching_cols_ro r mask (key : Value.t array) (probe : Value.t array) f =
-  if mask = 0 then iter r f
-  else
-    match Hashtbl.find_opt r.indexes mask with
-    | Some idx -> (
-      let cols = idx.columns in
-      for j = 0 to Array.length cols - 1 do
-        probe.(j) <- key.(cols.(j))
-      done;
-      match Row_tbl.find_opt idx.buckets probe with
-      | None -> ()
-      | Some b ->
-        let stop = b.n - 1 in
-        for i = 0 to stop do
-          f r.rows.(b.ids.(i))
-        done)
-    | None ->
-      for i = 0 to r.count - 1 do
-        let row = r.rows.(i) in
-        if row_matches_cols mask key row 0 then f row
-      done
-
-let ensure_index r mask =
-  if mask <> 0 then begin
-    let nbound = ref 0 in
-    for c = 0 to r.rel_arity - 1 do
-      if mask land (1 lsl c) <> 0 then incr nbound
-    done;
-    ignore (get_index r mask !nbound)
-  end
-
-(* Does [row] agree with every bound position of [pattern]?  The
-   linear-scan fallback of the read-only paths below. *)
-let rec row_matches pattern (row : tuple) i =
-  i = Array.length pattern
-  || ((match pattern.(i) with None -> true | Some v -> Value.equal v row.(i))
-     && row_matches pattern row (i + 1))
-
-(* Read-only variant for concurrent readers inside a parallel region:
-   never builds or mutates an index and probes with a private key
-   instead of the shared [scratch] buffer.  Uses an existing index when
-   one is present, otherwise filters a linear scan — both enumerate in
-   insertion order, so the result sequence is identical to
-   [iter_matching] either way.  Coordinators call [ensure_index] for
-   the statically known probe masks before entering the region, making
-   the fallback rare. *)
-let iter_matching_ro r pattern f =
+let pattern_mask r fn pattern =
   if Array.length pattern <> r.rel_arity then
-    invalid_arg (Printf.sprintf "Relation.iter_matching_ro: bad pattern arity for %s" r.rel_name);
+    invalid_arg (Printf.sprintf "Relation.%s: bad pattern arity for %s" fn r.rel_name);
   let mask = ref 0 and nbound = ref 0 in
   for i = 0 to r.rel_arity - 1 do
     if pattern.(i) <> None then begin
@@ -276,27 +719,269 @@ let iter_matching_ro r pattern f =
       incr nbound
     end
   done;
-  if !mask = 0 then iter r f
+  (!mask, !nbound)
+
+(* Fill a findex probe from an option pattern; false when a bound value
+   is not flat-encodable (then no flat row can match). *)
+let fill_fprobe (probe : int array) (cols : int array) (pattern : Value.t option array) =
+  let ok = ref true in
+  let k = Array.length cols in
+  let j = ref 0 in
+  while !ok && !j < k do
+    (match pattern.(cols.(!j)) with
+    | Some v -> if cell_encodable v then probe.(!j) <- encode_cell v else ok := false
+    | None -> assert false);
+    incr j
+  done;
+  !ok
+
+let fill_fprobe_cols (probe : int array) (cols : int array) (key : Value.t array) =
+  let ok = ref true in
+  let k = Array.length cols in
+  let j = ref 0 in
+  while !ok && !j < k do
+    let v = key.(cols.(!j)) in
+    if cell_encodable v then probe.(!j) <- encode_cell v else ok := false;
+    incr j
+  done;
+  !ok
+
+(* Bucket walks snapshot their bound before the first callback: ids
+   only ever append and the bound is read once, so rows inserted by the
+   callback itself are not visited. *)
+
+let iter_matching_ids r pattern f =
+  let mask, nbound = pattern_mask r "iter_matching_ids" pattern in
+  if mask = 0 then iter_ids r f
   else
-    match Hashtbl.find_opt r.indexes !mask with
-    | Some idx -> (
-      let key = Array.make !nbound Value.unit in
-      for j = 0 to !nbound - 1 do
-        key.(j) <-
+    match r.repr with
+    | Boxed b -> (
+      let idx = boxed_index r b mask nbound in
+      for j = 0 to nbound - 1 do
+        idx.scratch.(j) <-
           (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
       done;
-      match Row_tbl.find_opt idx.buckets key with
+      match Row_tbl.find_opt idx.buckets idx.scratch with
       | None -> ()
-      | Some b ->
-        let stop = b.n - 1 in
+      | Some bk ->
+        let ids = bk.ids and stop = bk.n - 1 in
         for i = 0 to stop do
-          f r.rows.(b.ids.(i))
+          f (Array.unsafe_get ids i)
         done)
-    | None ->
-      for i = 0 to r.count - 1 do
-        let row = r.rows.(i) in
-        if row_matches pattern row 0 then f row
-      done
+    | Flat fl ->
+      let fi = flat_index r fl mask nbound in
+      if fill_fprobe fi.fi_probe fi.fi_cols pattern then begin
+        let bk = fi_find fi fl.cells fl.width fi.fi_probe in
+        if bk.fb_n >= 0 then begin
+          let ids = bk.fb_ids and stop = bk.fb_n - 1 in
+          for i = 0 to stop do
+            f (Array.unsafe_get ids i)
+          done
+        end
+      end
+
+let iter_matching r pattern f =
+  match r.repr with
+  | Boxed b -> iter_matching_ids r pattern (fun id -> f (Array.unsafe_get b.rows id))
+  | Flat fl -> iter_matching_ids r pattern (fun id -> f (decode_row fl id))
+
+(* Mask + key-buffer probes for the compiled execution path: the
+   compiled chains know their bound-column masks statically, so they
+   probe with a full-arity buffer (bound positions filled, the rest
+   ignored) instead of an option pattern.  Index choice, bucket walk
+   and snapshot semantics are identical to [iter_matching], so the
+   enumeration order matches the interpreter's exactly. *)
+
+let iter_matching_cols_ids r mask (key : Value.t array) f =
+  if mask = 0 then iter_ids r f
+  else
+    match r.repr with
+    | Boxed b -> (
+      let idx = boxed_index r b mask (popcount mask) in
+      let cols = idx.columns in
+      for j = 0 to Array.length cols - 1 do
+        idx.scratch.(j) <- key.(cols.(j))
+      done;
+      match Row_tbl.find_opt idx.buckets idx.scratch with
+      | None -> ()
+      | Some bk ->
+        let ids = bk.ids and stop = bk.n - 1 in
+        for i = 0 to stop do
+          f (Array.unsafe_get ids i)
+        done)
+    | Flat fl ->
+      let fi = flat_index r fl mask (popcount mask) in
+      if fill_fprobe_cols fi.fi_probe fi.fi_cols key then begin
+        let bk = fi_find fi fl.cells fl.width fi.fi_probe in
+        if bk.fb_n >= 0 then begin
+          let ids = bk.fb_ids and stop = bk.fb_n - 1 in
+          for i = 0 to stop do
+            f (Array.unsafe_get ids i)
+          done
+        end
+      end
+
+let iter_matching_cols r mask key f =
+  match r.repr with
+  | Boxed b -> iter_matching_cols_ids r mask key (fun id -> f (Array.unsafe_get b.rows id))
+  | Flat fl -> iter_matching_cols_ids r mask key (fun id -> f (decode_row fl id))
+
+(* Does [row] agree with [key] on every column of [mask]? *)
+let rec row_matches_cols mask (key : Value.t array) (row : tuple) i =
+  i = Array.length row
+  || ((mask land (1 lsl i) = 0 || Value.equal key.(i) row.(i))
+     && row_matches_cols mask key row (i + 1))
+
+let rec cells_match_cols cells off w mask (iprobe : int array) i =
+  i = w
+  || ((mask land (1 lsl i) = 0 || Array.unsafe_get cells (off + i) = iprobe.(i))
+     && cells_match_cols cells off w mask iprobe (i + 1))
+
+(* Read-only variants for concurrent readers inside a parallel region:
+   they never build or mutate an index and probe with caller-owned
+   buffers instead of the relation's shared scratch.  An existing index
+   is used when present, otherwise a filtered linear scan — both
+   enumerate in insertion order, so the result sequence is identical
+   either way.  Coordinators call [ensure_index] for the statically
+   known probe masks before entering the region, making the fallback
+   rare.
+
+   [probe] must hold at least as many slots as [mask] has bits;
+   [iprobe] must hold at least [arity] slots. *)
+let iter_matching_cols_ro_ids r mask (key : Value.t array) (probe : Value.t array)
+    (iprobe : int array) f =
+  if mask = 0 then iter_ids r f
+  else
+    match r.repr with
+    | Boxed b -> (
+      match Hashtbl.find_opt b.bindexes mask with
+      | Some idx -> (
+        let cols = idx.columns in
+        for j = 0 to Array.length cols - 1 do
+          probe.(j) <- key.(cols.(j))
+        done;
+        match Row_tbl.find_opt idx.buckets probe with
+        | None -> ()
+        | Some bk ->
+          let ids = bk.ids and stop = bk.n - 1 in
+          for i = 0 to stop do
+            f (Array.unsafe_get ids i)
+          done)
+      | None ->
+        let rows = b.rows in
+        for i = 0 to r.count - 1 do
+          if row_matches_cols mask key (Array.unsafe_get rows i) 0 then f i
+        done)
+    | Flat fl -> (
+      match Hashtbl.find_opt fl.findexes mask with
+      | Some fi ->
+        if fill_fprobe_cols iprobe fi.fi_cols key then begin
+          (* [fi_find] only reads the first |fi_cols| slots *)
+          let bk = fi_find fi fl.cells fl.width iprobe in
+          if bk.fb_n >= 0 then begin
+            let ids = bk.fb_ids and stop = bk.fb_n - 1 in
+            for i = 0 to stop do
+              f (Array.unsafe_get ids i)
+            done
+          end
+        end
+      | None ->
+        (* encode the bound positions once; a non-encodable bound value
+           matches no flat row *)
+        let w = fl.width in
+        let ok = ref true in
+        for i = 0 to w - 1 do
+          if mask land (1 lsl i) <> 0 then
+            if cell_encodable key.(i) then iprobe.(i) <- encode_cell key.(i) else ok := false
+        done;
+        if !ok then begin
+          let cells = fl.cells in
+          for i = 0 to r.count - 1 do
+            if cells_match_cols cells (i * w) w mask iprobe 0 then f i
+          done
+        end)
+
+let iter_matching_cols_ro r mask key probe f =
+  let iprobe = Array.make r.rel_arity 0 in
+  match r.repr with
+  | Boxed b ->
+    iter_matching_cols_ro_ids r mask key probe iprobe (fun id ->
+        f (Array.unsafe_get b.rows id))
+  | Flat fl ->
+    iter_matching_cols_ro_ids r mask key probe iprobe (fun id -> f (decode_row fl id))
+
+(* Does [row] agree with every bound position of [pattern]? *)
+let rec row_matches pattern (row : tuple) i =
+  i = Array.length pattern
+  || ((match pattern.(i) with None -> true | Some v -> Value.equal v row.(i))
+     && row_matches pattern row (i + 1))
+
+let iter_matching_ro_ids r pattern f =
+  let mask, nbound = pattern_mask r "iter_matching_ro_ids" pattern in
+  if mask = 0 then iter_ids r f
+  else
+    match r.repr with
+    | Boxed b -> (
+      match Hashtbl.find_opt b.bindexes mask with
+      | Some idx -> (
+        let key = Array.make nbound Value.unit in
+        for j = 0 to nbound - 1 do
+          key.(j) <-
+            (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
+        done;
+        match Row_tbl.find_opt idx.buckets key with
+        | None -> ()
+        | Some bk ->
+          let ids = bk.ids and stop = bk.n - 1 in
+          for i = 0 to stop do
+            f (Array.unsafe_get ids i)
+          done)
+      | None ->
+        let rows = b.rows in
+        for i = 0 to r.count - 1 do
+          if row_matches pattern (Array.unsafe_get rows i) 0 then f i
+        done)
+    | Flat fl -> (
+      match Hashtbl.find_opt fl.findexes mask with
+      | Some fi ->
+        let iprobe = Array.make nbound 0 in
+        if fill_fprobe iprobe fi.fi_cols pattern then begin
+          let bk = fi_find fi fl.cells fl.width iprobe in
+          if bk.fb_n >= 0 then begin
+            let ids = bk.fb_ids and stop = bk.fb_n - 1 in
+            for i = 0 to stop do
+              f (Array.unsafe_get ids i)
+            done
+          end
+        end
+      | None ->
+        let w = fl.width in
+        let iprobe = Array.make w 0 in
+        let ok = ref true in
+        for i = 0 to w - 1 do
+          match pattern.(i) with
+          | None -> ()
+          | Some v -> if cell_encodable v then iprobe.(i) <- encode_cell v else ok := false
+        done;
+        if !ok then begin
+          let cells = fl.cells in
+          for i = 0 to r.count - 1 do
+            if cells_match_cols cells (i * w) w mask iprobe 0 then f i
+          done
+        end)
+
+let iter_matching_ro r pattern f =
+  match r.repr with
+  | Boxed b -> iter_matching_ro_ids r pattern (fun id -> f (Array.unsafe_get b.rows id))
+  | Flat fl -> iter_matching_ro_ids r pattern (fun id -> f (decode_row fl id))
+
+let ensure_index r mask =
+  if mask <> 0 then begin
+    let nbound = popcount mask in
+    match r.repr with
+    | Boxed b -> ignore (boxed_index r b mask nbound)
+    | Flat f -> ignore (flat_index r f mask nbound)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Slices: sharded enumeration of a matched row set                    *)
@@ -306,58 +991,78 @@ let iter_matching_ro r pattern f =
    contiguous ranges for the domain pool.  Built by the sequential
    coordinator (which may create the index); iterated concurrently by
    shards, each over its own [lo, hi) range, touching nothing mutable.
-   The ids array and row array are captured with their current bounds,
-   so later appends by the coordinator are invisible. *)
+   The ids array and its bound are captured at build time, so later
+   appends by the coordinator are invisible. *)
 type slice = { sl_rel : t; sl_ids : int array option; sl_len : int }
 
-let slice r pattern =
-  if Array.length pattern <> r.rel_arity then
-    invalid_arg (Printf.sprintf "Relation.slice: bad pattern arity for %s" r.rel_name);
-  let mask = ref 0 and nbound = ref 0 in
-  for i = 0 to r.rel_arity - 1 do
-    if pattern.(i) <> None then begin
-      mask := !mask lor (1 lsl i);
-      incr nbound
-    end
-  done;
-  if !mask = 0 then { sl_rel = r; sl_ids = None; sl_len = r.count }
-  else begin
-    let idx = get_index r !mask !nbound in
-    for j = 0 to !nbound - 1 do
+let matched_bucket r pattern mask nbound =
+  match r.repr with
+  | Boxed b -> (
+    let idx = boxed_index r b mask nbound in
+    for j = 0 to nbound - 1 do
       idx.scratch.(j) <-
         (match pattern.(idx.columns.(j)) with Some v -> v | None -> assert false)
     done;
     match Row_tbl.find_opt idx.buckets idx.scratch with
+    | None -> None
+    | Some bk -> Some (bk.ids, bk.n))
+  | Flat fl ->
+    let fi = flat_index r fl mask nbound in
+    if fill_fprobe fi.fi_probe fi.fi_cols pattern then begin
+      let bk = fi_find fi fl.cells fl.width fi.fi_probe in
+      if bk.fb_n >= 0 then Some (bk.fb_ids, bk.fb_n) else None
+    end
+    else None
+
+let slice r pattern =
+  let mask, nbound = pattern_mask r "slice" pattern in
+  if mask = 0 then { sl_rel = r; sl_ids = None; sl_len = r.count }
+  else
+    match matched_bucket r pattern mask nbound with
     | None -> { sl_rel = r; sl_ids = None; sl_len = 0 }
-    | Some b -> { sl_rel = r; sl_ids = Some b.ids; sl_len = b.n }
-  end
+    | Some (ids, n) -> { sl_rel = r; sl_ids = Some ids; sl_len = n }
 
 let slice_cols r mask (key : Value.t array) =
   if mask = 0 then { sl_rel = r; sl_ids = None; sl_len = r.count }
-  else begin
-    let idx = get_index r mask (popcount mask) in
-    let cols = idx.columns in
-    for j = 0 to Array.length cols - 1 do
-      idx.scratch.(j) <- key.(cols.(j))
-    done;
-    match Row_tbl.find_opt idx.buckets idx.scratch with
-    | None -> { sl_rel = r; sl_ids = None; sl_len = 0 }
-    | Some b -> { sl_rel = r; sl_ids = Some b.ids; sl_len = b.n }
-  end
+  else
+    match r.repr with
+    | Boxed b -> (
+      let idx = boxed_index r b mask (popcount mask) in
+      let cols = idx.columns in
+      for j = 0 to Array.length cols - 1 do
+        idx.scratch.(j) <- key.(cols.(j))
+      done;
+      match Row_tbl.find_opt idx.buckets idx.scratch with
+      | None -> { sl_rel = r; sl_ids = None; sl_len = 0 }
+      | Some bk -> { sl_rel = r; sl_ids = Some bk.ids; sl_len = bk.n })
+    | Flat fl ->
+      let fi = flat_index r fl mask (popcount mask) in
+      if fill_fprobe_cols fi.fi_probe fi.fi_cols key then begin
+        let bk = fi_find fi fl.cells fl.width fi.fi_probe in
+        if bk.fb_n >= 0 then { sl_rel = r; sl_ids = Some bk.fb_ids; sl_len = bk.fb_n }
+        else { sl_rel = r; sl_ids = None; sl_len = 0 }
+      end
+      else { sl_rel = r; sl_ids = None; sl_len = 0 }
 
 let slice_len sl = sl.sl_len
+let slice_rel sl = sl.sl_rel
 
-let slice_iter sl lo hi f =
+let slice_iter_ids sl lo hi f =
   let hi = min hi sl.sl_len in
   match sl.sl_ids with
   | None ->
     for i = lo to hi - 1 do
-      f sl.sl_rel.rows.(i)
+      f i
     done
   | Some ids ->
     for i = lo to hi - 1 do
-      f sl.sl_rel.rows.(ids.(i))
+      f (Array.unsafe_get ids i)
     done
+
+let slice_iter sl lo hi f =
+  match sl.sl_rel.repr with
+  | Boxed b -> slice_iter_ids sl lo hi (fun id -> f (Array.unsafe_get b.rows id))
+  | Flat fl -> slice_iter_ids sl lo hi (fun id -> f (decode_row fl id))
 
 let fold r ~init ~f =
   let acc = ref init in
@@ -370,8 +1075,92 @@ let copy r =
   r.shared <- true;
   { rel_name = r.rel_name;
     rel_arity = r.rel_arity;
-    rows = r.rows;
     count = r.count;
-    seen = r.seen;
     shared = true;
-    indexes = Hashtbl.create 4 (* rebuilt lazily; never shared *) }
+    all_int = r.all_int;
+    repr =
+      (* the big structures are shared until either side mutates;
+         indexes are rebuilt lazily and never shared *)
+      (match r.repr with
+      | Boxed b -> Boxed { rows = b.rows; seen = b.seen; bindexes = Hashtbl.create 4 }
+      | Flat f ->
+        Flat
+          { width = f.width;
+            cells = f.cells;
+            fseen = f.fseen;
+            findexes = Hashtbl.create 4;
+            fscratch = Array.make f.width 0 }) }
+
+(* ------------------------------------------------------------------ *)
+(* Statistics and raw access                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Distinct cells of one column of a flat store, via a private
+   open-addressing int set sized up front.  [min_int] marks an empty
+   slot: it can never be a cell ([Int (-2^61)] is outside the encodable
+   range and sym ids are non-negative). *)
+let distinct_cells cells n w c =
+  let cap = ref 64 in
+  while !cap < 2 * n do
+    cap := 2 * !cap
+  done;
+  let slots = Array.make !cap min_int in
+  let mask = !cap - 1 in
+  let distinct = ref 0 in
+  for i = 0 to n - 1 do
+    let cell = Array.unsafe_get cells ((i * w) + c) in
+    let j = ref (mix 17 cell land max_int land mask) in
+    let stop = ref false in
+    while not !stop do
+      let v = Array.unsafe_get slots !j in
+      if v = min_int then begin
+        Array.unsafe_set slots !j cell;
+        incr distinct;
+        stop := true
+      end
+      else if v = cell then stop := true
+      else j := (!j + 1) land mask
+    done
+  done;
+  !distinct
+
+(* Per-column distinct counts for the cost-based planner.  Flat
+   relations count raw cells with no boxing; boxed relations fall back
+   to value sets. *)
+let distinct_counts r =
+  let w = r.rel_arity in
+  match r.repr with
+  | Flat f ->
+    Array.init w (fun c -> if r.count = 0 then 0 else distinct_cells f.cells r.count w c)
+  | Boxed b ->
+    let sets = Array.make w Value.Set.empty in
+    for i = 0 to r.count - 1 do
+      let row = b.rows.(i) in
+      for c = 0 to w - 1 do
+        sets.(c) <- Value.Set.add row.(c) sets.(c)
+      done
+    done;
+    Array.map Value.Set.cardinal sets
+
+(* Raw cell access for the snapshot codec: the live flat store (its
+   length may exceed count * arity).  Callers must not mutate it. *)
+let flat_cells r = match r.repr with Flat f -> Some f.cells | Boxed _ -> None
+
+(* Rebuild a relation from a decoded cell blob — the snapshot restore
+   path.  Takes ownership of [cells]; membership is rebuilt (one hash
+   insert per row), indexes stay lazy. *)
+let of_flat_cells rel_name rel_arity (cells : int array) count =
+  if rel_arity <= 0 then invalid_arg "Relation.of_flat_cells: arity must be positive";
+  if Array.length cells < count * rel_arity then
+    invalid_arg "Relation.of_flat_cells: cell array too short";
+  let f =
+    { width = rel_arity;
+      cells;
+      fseen = fs_create (max 16 count);
+      findexes = Hashtbl.create 4;
+      fscratch = Array.make rel_arity 0 }
+  in
+  for i = 0 to count - 1 do
+    fs_insert f.fseen f.cells rel_arity i
+  done;
+  { rel_name; rel_arity; count; shared = false; all_int = true; repr = Flat f }

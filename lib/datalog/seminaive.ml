@@ -298,7 +298,9 @@ let publish_deltas t =
         end
         else begin
           let delta = Relation.create (p ^ delta_suffix) (Relation.arity rel) in
-          Relation.iter_from rel from (fun row -> ignore (Relation.add delta row));
+          (* bulk copy: rows of one relation are already distinct, and a
+             flat source becomes a flat delta via one cell blit *)
+          Relation.append_from delta rel from;
           Database.set_relation t.db (p ^ delta_suffix) delta;
           Telemetry.add_delta t.tele p (count - from);
           true

@@ -37,3 +37,40 @@ val to_facts : ?pred:string -> ?directed:bool -> t -> Gbc_datalog.Ast.program
 
 val node_facts : ?pred:string -> t -> Gbc_datalog.Ast.program
 (** [node(i)] facts. *)
+
+(** {2 The big-EDB tier}
+
+    Columnar graphs for the 10^6-10^7-edge corpus: three parallel int
+    arrays instead of a triple list, generated in O(edges) and loaded
+    straight into flat relations with {!load_big} — no [Value] boxing
+    anywhere on the path. *)
+
+type big = {
+  big_nodes : int;
+  big_src : int array;
+  big_dst : int array;
+  big_cost : int array;  (** pairwise distinct (single stable model) *)
+}
+
+val big_edges : big -> int
+
+val power_law : seed:int -> nodes:int -> edges:int -> big
+(** Connected multigraph with a heavy-tailed degree distribution: a
+    spanning tree attaching each node to a skewed earlier one, then
+    skewed random chords (low node ids become hubs).  Costs are a
+    shuffled block of [1..edges]. *)
+
+val road_network : seed:int -> width:int -> height:int -> big
+(** A [width x height] 4-neighbour grid plus ~1% random long shortcuts
+    — the planar-plus-highways shape of road graphs.  Unique costs. *)
+
+val big_mst_weight : big -> int
+(** Kruskal over the columns — the test oracle for the big tier. *)
+
+val load_big : ?pred:string -> ?directed:bool -> Gbc_datalog.Database.t -> big -> unit
+(** Load edge facts [pred(u, v, c)] through the relation bulk-load fast
+    path ([Relation.add_ints]); with [directed:false] (default) each
+    edge is loaded in both orientations. *)
+
+val load_big_nodes : ?pred:string -> Gbc_datalog.Database.t -> big -> unit
+(** Load [pred(i)] for every node, same fast path. *)

@@ -121,6 +121,157 @@ let test_pp_stable_output () =
   Alcotest.(check string) "sorted rendering" "a(9).\nb(1).\nb(2).\n"
     (Format.asprintf "%a" Database.pp db)
 
+(* ---------------- flat vs boxed equivalence ---------------- *)
+
+let with_threshold t f =
+  let saved = Relation.flat_threshold () in
+  Relation.set_flat_threshold t;
+  Fun.protect ~finally:(fun () -> Relation.set_flat_threshold saved) f
+
+let ints_of_tuple a = Array.to_list (Array.map Value.as_int a)
+
+(* One scripted interleaving of inserts, membership checks, index
+   probes, iterations, and copy-on-write forks, replayed on a relation
+   pinned boxed (threshold [None]) and one promoted at the first row
+   (threshold [Some 1]).  Every observation, including iteration
+   order, must be identical. *)
+type op =
+  | Insert of int * int
+  | Insert_ints of int * int
+  | Member of int * int
+  | Probe of int * int  (** column, key *)
+  | Iterate
+  | Fork_diverge of int * int
+      (** copy, then insert into the original: the copy must not see the
+          row (exercises [privatize] on the shared store) *)
+
+let apply_ops ~flat ops =
+  with_threshold (if flat then Some 1 else None) (fun () ->
+      let r = Relation.create "p" 2 in
+      let obs = Buffer.create 256 in
+      let log fmt = Printf.ksprintf (fun s -> Buffer.add_string obs (s ^ "\n")) fmt in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert (a, b) -> log "ins %b" (Relation.add r (row [ a; b ]))
+          | Insert_ints (a, b) -> log "insi %b" (Relation.add_ints r [| a; b |])
+          | Member (a, b) -> log "mem %b" (Relation.mem r (row [ a; b ]))
+          | Probe (col, key) ->
+            let pat = [| None; None |] in
+            pat.(col) <- Some (Value.Int key);
+            Relation.iter_matching r pat (fun a -> log "hit %d %d" (Value.as_int a.(0)) (Value.as_int a.(1)));
+            (* The id-based probe must visit the same rows in the same
+               order, and [read] must decode the same cells. *)
+            Relation.iter_matching_ids r pat (fun id ->
+                log "hid %d %d"
+                  (Value.as_int (Relation.read r id 0))
+                  (Value.as_int (Relation.read r id 1)))
+          | Iterate -> Relation.iter r (fun a -> log "row %d %d" (Value.as_int a.(0)) (Value.as_int a.(1)))
+          | Fork_diverge (a, b) ->
+            let c = Relation.copy r in
+            ignore (Relation.add r (row [ a; b ]));
+            log "fork %d %d %b" (Relation.cardinal c) (Relation.cardinal r)
+              (Relation.mem c (row [ a; b ])))
+        ops;
+      (Buffer.contents obs, List.map ints_of_tuple (Relation.to_list r), Relation.is_flat r))
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [ (4, map2 (fun a b -> Insert (a, b)) (int_bound 6) (int_bound 6));
+        (3, map2 (fun a b -> Insert_ints (a, b)) (int_bound 6) (int_bound 6));
+        (2, map2 (fun a b -> Member (a, b)) (int_bound 6) (int_bound 6));
+        (2, map2 (fun c k -> Probe (c, k)) (int_bound 1) (int_bound 6));
+        (1, return Iterate);
+        (1, map2 (fun a b -> Fork_diverge (a + 10, b)) (int_bound 6) (int_bound 6)) ])
+
+let arb_ops = QCheck.make ~print:(fun l -> string_of_int (List.length l)) QCheck.Gen.(list_size (int_bound 40) gen_op)
+
+let prop_flat_boxed_equivalent =
+  QCheck.Test.make ~name:"flat and boxed relations are observationally equal" ~count:300
+    arb_ops
+    (fun ops ->
+      let obs_b, rows_b, flat_b = apply_ops ~flat:false ops in
+      let obs_f, rows_f, flat_f = apply_ops ~flat:true ops in
+      obs_b = obs_f && rows_b = rows_f && (not flat_b)
+      && (flat_f || List.length rows_f = 0))
+
+let prop_promote_demote_roundtrip =
+  QCheck.Test.make ~name:"promote/demote round-trips preserve rows and order" ~count:200
+    QCheck.(small_list (pair (int_bound 8) (int_bound 8)))
+    (fun rows ->
+      with_threshold (Some 1024) (fun () ->
+          let r = Relation.create "p" 2 in
+          List.iter (fun (a, b) -> ignore (Relation.add r (row [ a; b ]))) rows;
+          let before = List.map ints_of_tuple (Relation.to_list r) in
+          let promoted = Relation.promote r in
+          let after_p = List.map ints_of_tuple (Relation.to_list r) in
+          Relation.demote r;
+          let after_d = List.map ints_of_tuple (Relation.to_list r) in
+          ignore (Relation.promote r);
+          let again = List.map ints_of_tuple (Relation.to_list r) in
+          (promoted || rows = [])
+          && before = after_p && before = after_d && before = again))
+
+let test_mixed_rows_demote () =
+  with_threshold (Some 1) (fun () ->
+      let r = Relation.create "p" 2 in
+      ignore (Relation.add_ints r [| 1; 2 |]);
+      Alcotest.(check bool) "flat after int row" true (Relation.is_flat r);
+      ignore (Relation.add r [| Value.str "s"; Value.Int 3 |]);
+      Alcotest.(check bool) "demoted by non-encodable row" false (Relation.is_flat r);
+      Alcotest.(check int) "both rows kept" 2 (Relation.cardinal r);
+      Alcotest.(check bool) "int row survives" true (Relation.mem r (row [ 1; 2 ]));
+      Alcotest.(check bool) "promote refuses mixed" false (Relation.promote r))
+
+(* ---------------- snapshot codec ---------------- *)
+
+let db_of_source src =
+  let db = Database.create () in
+  Database.load_facts db (Parser.parse_program src);
+  db
+
+let pp_db db = Format.asprintf "%a" Database.pp db
+
+(* A version 1 stream (the format every release up to the previous one
+   wrote) must still restore byte-identically. *)
+let test_snapshot_v1_compat () =
+  let db = db_of_source "edge(a, b, 3). edge(b, c, 1). label(a, \"x y\"). n(42). n(-7)." in
+  let buf = Buffer.create 256 in
+  Db_snapshot.write_v1 buf db;
+  let db', _ = Db_snapshot.read (Buffer.contents buf) 0 in
+  Alcotest.(check string) "v1 restores byte-identically" (pp_db db) (pp_db db')
+
+let test_snapshot_v2_flat_roundtrip () =
+  with_threshold (Some 1024) (fun () ->
+      let db = db_of_source "mixed(a, 1). mixed(b, 2)." in
+      let rel = Database.relation db "big" 3 in
+      for i = 0 to 2_000 do
+        ignore (Relation.add_ints rel [| i; i * 2; -i |])
+      done;
+      Alcotest.(check bool) "source is flat" true (Relation.is_flat rel);
+      let buf = Buffer.create 256 in
+      Db_snapshot.write buf db;
+      let db', _ = Db_snapshot.read (Buffer.contents buf) 0 in
+      Alcotest.(check string) "v2 restores byte-identically" (pp_db db) (pp_db db');
+      Alcotest.(check bool) "restored as flat without re-encoding" true
+        (Relation.is_flat (Database.relation db' "big" 3));
+      (* The same data through the legacy writer must decode too. *)
+      let buf1 = Buffer.create 256 in
+      Db_snapshot.write_v1 buf1 db;
+      let db1, _ = Db_snapshot.read (Buffer.contents buf1) 0 in
+      Alcotest.(check string) "v1 of the same db agrees" (pp_db db) (pp_db db1))
+
+let test_snapshot_rejects_future_version () =
+  let buf = Buffer.create 8 in
+  Buffer.add_int32_be buf 0x47424332l;
+  Buffer.add_uint8 buf 99;
+  Alcotest.(check bool) "future version raises Corrupt" true
+    (try
+       ignore (Db_snapshot.read (Buffer.contents buf) 0);
+       false
+     with Db_snapshot.Corrupt _ -> true)
+
 let prop_index_agrees_with_scan =
   QCheck.Test.make ~name:"indexed lookup = filtered scan" ~count:200
     QCheck.(pair (small_list (pair (int_bound 5) (int_bound 5))) (pair (int_bound 5) (int_bound 1)))
@@ -152,4 +303,13 @@ let () =
           Alcotest.test_case "copy and equal_on" `Quick test_database_copy_and_equal;
           Alcotest.test_case "load_facts validation" `Quick test_load_facts_rejects_rules;
           Alcotest.test_case "stable pp" `Quick test_pp_stable_output ] );
+      ( "flat",
+        [ Alcotest.test_case "mixed rows demote" `Quick test_mixed_rows_demote;
+          QCheck_alcotest.to_alcotest prop_flat_boxed_equivalent;
+          QCheck_alcotest.to_alcotest prop_promote_demote_roundtrip ] );
+      ( "snapshot",
+        [ Alcotest.test_case "v1 back-compat" `Quick test_snapshot_v1_compat;
+          Alcotest.test_case "v2 flat round-trip" `Quick test_snapshot_v2_flat_roundtrip;
+          Alcotest.test_case "future version rejected" `Quick
+            test_snapshot_rejects_future_version ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_index_agrees_with_scan ]) ]
